@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Ablation studies over DiVa's design parameters, extending the
+ * paper's Section IV-D discussion: the drain rate R (PPU width), the
+ * on-chip SRAM capacity, the PE-array aspect ratio, and the DRAM
+ * bandwidth. Each sweep reports DP-SGD(R) iteration cycles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/multichip.h"
+#include "common/table.h"
+
+using namespace diva;
+
+namespace
+{
+
+Cycles
+cyclesFor(const AcceleratorConfig &cfg, const Network &net)
+{
+    return benchutil::runSim(cfg, net, TrainingAlgorithm::kDpSgdR,
+                             benchutil::dpBatch(net))
+        .totalCycles();
+}
+
+void
+printAblation()
+{
+    const std::vector<Network> nets = {resnet50(), bertBase()};
+
+    std::cout << "=== Ablation: PPU drain rate R (output rows/cycle) "
+                 "===\n";
+    TextTable r_table({"R", "ResNet-50 cycles", "xR=8", "BERT-base "
+                       "cycles", "xR=8"});
+    std::vector<Cycles> base(nets.size());
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        AcceleratorConfig cfg = divaDefault(true);
+        base[i] = cyclesFor(cfg, nets[i]);
+    }
+    for (int r : {1, 2, 4, 8, 16, 32}) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.drainRowsPerCycle = r;
+        std::vector<std::string> cells = {std::to_string(r)};
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            const Cycles c = cyclesFor(cfg, nets[i]);
+            cells.push_back(std::to_string(c));
+            cells.push_back(
+                TextTable::fmt(double(c) / double(base[i]), 3));
+        }
+        r_table.addRow(cells);
+    }
+    r_table.print(std::cout);
+
+    std::cout << "\n=== Ablation: on-chip SRAM capacity ===\n";
+    TextTable s_table({"SRAM (MiB)", "ResNet-50 cycles",
+                       "BERT-base cycles"});
+    for (Bytes mib : {2, 4, 8, 16, 32, 64}) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.sramBytes = mib * 1_MiB;
+        s_table.addRow({std::to_string(mib),
+                        std::to_string(cyclesFor(cfg, nets[0])),
+                        std::to_string(cyclesFor(cfg, nets[1]))});
+    }
+    s_table.print(std::cout);
+
+    std::cout << "\n=== Ablation: PE-array aspect ratio (16384 MACs) "
+                 "===\n";
+    TextTable a_table({"array", "ResNet-50 cycles", "BERT-base cycles"});
+    struct Aspect { int rows; int cols; };
+    for (const Aspect a :
+         {Aspect{32, 512}, Aspect{64, 256}, Aspect{128, 128},
+          Aspect{256, 64}, Aspect{512, 32}}) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.peRows = a.rows;
+        cfg.peCols = a.cols;
+        cfg.drainRowsPerCycle = std::min(cfg.drainRowsPerCycle, a.rows);
+        a_table.addRow({std::to_string(a.rows) + "x" +
+                            std::to_string(a.cols),
+                        std::to_string(cyclesFor(cfg, nets[0])),
+                        std::to_string(cyclesFor(cfg, nets[1]))});
+    }
+    a_table.print(std::cout);
+
+    std::cout << "\n=== Ablation: WS double-buffered weight latches "
+                 "===\n";
+    TextTable w_table({"model", "WS cycles", "WS+dbuf cycles",
+                       "improvement", "DiVa speedup vs WS+dbuf"});
+    for (const auto &net : nets) {
+        AcceleratorConfig ws = tpuV3Ws();
+        AcceleratorConfig ws_dbuf = tpuV3Ws();
+        ws_dbuf.wsDoubleBufferWeights = true;
+        const Cycles c0 = cyclesFor(ws, net);
+        const Cycles c1 = cyclesFor(ws_dbuf, net);
+        const Cycles cd = cyclesFor(divaDefault(true), net);
+        w_table.addRow({net.name, std::to_string(c0),
+                        std::to_string(c1),
+                        TextTable::fmtX(double(c0) / double(c1), 3),
+                        TextTable::fmtX(double(c1) / double(cd))});
+    }
+    w_table.print(std::cout);
+
+    std::cout << "\n=== Ablation: micro-batching (logical batch = 4x "
+                 "DP max) ===\n";
+    TextTable m_table({"model", "micro-batch", "WS cycles",
+                       "DiVa cycles", "DiVa speedup"});
+    for (const auto &net : nets) {
+        const int dp_batch = benchutil::dpBatch(net);
+        const int logical = 4 * dp_batch;
+        for (int mb : {dp_batch, dp_batch / 4, dp_batch / 16}) {
+            if (mb < 1)
+                continue;
+            const OpStream stream = buildMicrobatchedOpStream(
+                net, TrainingAlgorithm::kDpSgdR, logical, mb);
+            const Cycles cw = Executor(tpuV3Ws()).run(stream)
+                                  .totalCycles();
+            const Cycles cd =
+                Executor(divaDefault(true)).run(stream).totalCycles();
+            m_table.addRow({net.name, std::to_string(mb),
+                            std::to_string(cw), std::to_string(cd),
+                            TextTable::fmtX(double(cw) / double(cd))});
+        }
+    }
+    m_table.print(std::cout);
+
+    std::cout << "\n=== Ablation: DRAM bandwidth (GB/s) ===\n";
+    TextTable b_table({"bandwidth", "WS ResNet-50", "DiVa ResNet-50",
+                       "DiVa speedup"});
+    for (double bw : {112.5, 225.0, 450.0, 900.0, 1800.0}) {
+        AcceleratorConfig ws = tpuV3Ws();
+        AcceleratorConfig dv = divaDefault(true);
+        ws.dramBandwidthGBs = bw;
+        dv.dramBandwidthGBs = bw;
+        const Cycles cw = cyclesFor(ws, nets[0]);
+        const Cycles cd = cyclesFor(dv, nets[0]);
+        b_table.addRow({TextTable::fmt(bw, 1), std::to_string(cw),
+                        std::to_string(cd),
+                        TextTable::fmtX(double(cw) / double(cd))});
+    }
+    b_table.print(std::cout);
+
+    std::cout << "\n=== Ablation: data-parallel pod scaling "
+                 "(ResNet-152, global batch 512) ===\n";
+    TextTable p_table({"chips", "per-chip batch", "WS total cycles",
+                       "DiVa total cycles", "DiVa efficiency"});
+    for (int chips : {1, 2, 4, 8, 16, 32}) {
+        MultiChipConfig pod;
+        pod.numChips = chips;
+        const ScalingResult ws = simulateDataParallel(
+            tpuV3Ws(), resnet152(), TrainingAlgorithm::kDpSgdR, 512,
+            pod);
+        const ScalingResult dv = simulateDataParallel(
+            divaDefault(true), resnet152(), TrainingAlgorithm::kDpSgdR,
+            512, pod);
+        p_table.addRow({std::to_string(chips),
+                        std::to_string(dv.perChipBatch),
+                        std::to_string(ws.totalCycles),
+                        std::to_string(dv.totalCycles),
+                        TextTable::fmtPct(dv.efficiency)});
+    }
+    p_table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_AblationDrainRate(benchmark::State &state)
+{
+    AcceleratorConfig cfg = divaDefault(true);
+    cfg.drainRowsPerCycle = int(state.range(0));
+    const Network net = resnet50();
+    const OpStream stream = buildOpStream(
+        net, TrainingAlgorithm::kDpSgdR, benchutil::dpBatch(net));
+    const Executor exec(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.run(stream).totalCycles());
+}
+BENCHMARK(BM_AblationDrainRate)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printAblation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 13: end-to-end speedup over the WS systolic baseline for
+ * DP-SGD(R) on OS+PPU, DiVa without PPU and DiVa with PPU, plus the
+ * non-private SGD comparison points (WS and DiVa). The paper reports
+ * an average 3.6x (max 7.3x) DiVa speedup, DiVa reaching ~75% of
+ * non-private WS-SGD performance, and DiVa-SGD beating WS-SGD by 1.6x.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+printFigure13()
+{
+    std::cout << "=== Figure 13: end-to-end speedup vs WS systolic "
+                 "(DP-SGD(R) unless noted) ===\n";
+    TextTable table({"model", "WS", "OS+PPU", "DiVa w/o PPU", "DiVa",
+                     "SGD:WS (xDP-WS)", "SGD:DiVa (xSGD-WS)",
+                     "DiVa vs SGD:WS"});
+    std::vector<double> diva_speedups, diva_no_ppu, os_ppu, sgd_diva,
+        gap_to_sgd;
+    double max_speedup = 0.0;
+    std::string max_model;
+    for (const auto &net : allModels()) {
+        const int batch = benchutil::dpBatch(net);
+        const Cycles ws = benchutil::runSim(
+            tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, batch)
+            .totalCycles();
+        const Cycles os = benchutil::runSim(
+            systolicOs(true), net, TrainingAlgorithm::kDpSgdR, batch)
+            .totalCycles();
+        const Cycles dv0 = benchutil::runSim(
+            divaDefault(false), net, TrainingAlgorithm::kDpSgdR, batch)
+            .totalCycles();
+        const Cycles dv1 = benchutil::runSim(
+            divaDefault(true), net, TrainingAlgorithm::kDpSgdR, batch)
+            .totalCycles();
+        const Cycles sgd_ws = benchutil::runSim(
+            tpuV3Ws(), net, TrainingAlgorithm::kSgd, batch)
+            .totalCycles();
+        const Cycles sgd_dv = benchutil::runSim(
+            divaDefault(true), net, TrainingAlgorithm::kSgd, batch)
+            .totalCycles();
+
+        const double s_os = double(ws) / double(os);
+        const double s_dv0 = double(ws) / double(dv0);
+        const double s_dv1 = double(ws) / double(dv1);
+        table.addRow(
+            {net.name, "1.00x", TextTable::fmtX(s_os),
+             TextTable::fmtX(s_dv0), TextTable::fmtX(s_dv1),
+             TextTable::fmtX(double(ws) / double(sgd_ws)),
+             TextTable::fmtX(double(sgd_ws) / double(sgd_dv)),
+             TextTable::fmtPct(double(sgd_ws) / double(dv1))});
+        diva_speedups.push_back(s_dv1);
+        diva_no_ppu.push_back(s_dv0);
+        os_ppu.push_back(s_os);
+        sgd_diva.push_back(double(sgd_ws) / double(sgd_dv));
+        gap_to_sgd.push_back(double(sgd_ws) / double(dv1));
+        if (s_dv1 > max_speedup) {
+            max_speedup = s_dv1;
+            max_model = net.name;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: DiVa avg 3.6x (max 7.3x, ResNet-152) over "
+                 "WS; reaches ~75% of non-private WS-SGD; DiVa-SGD "
+                 "1.6x over WS-SGD\n";
+    std::cout << "measured: DiVa avg "
+              << TextTable::fmtX(benchutil::geomean(diva_speedups))
+              << " (max " << TextTable::fmtX(max_speedup) << ", "
+              << max_model << "); OS+PPU avg "
+              << TextTable::fmtX(benchutil::geomean(os_ppu))
+              << "; DiVa w/o PPU avg "
+              << TextTable::fmtX(benchutil::geomean(diva_no_ppu))
+              << "; reaches "
+              << TextTable::fmtPct(benchutil::geomean(gap_to_sgd))
+              << " of WS-SGD; DiVa-SGD "
+              << TextTable::fmtX(benchutil::geomean(sgd_diva))
+              << " over WS-SGD\n\n";
+}
+
+void
+BM_EndToEnd(benchmark::State &state)
+{
+    const Network net = allModels()[std::size_t(state.range(0))];
+    const auto configs = benchutil::designPoints();
+    const AcceleratorConfig cfg =
+        configs[std::size_t(state.range(1))];
+    const OpStream stream = buildOpStream(
+        net, TrainingAlgorithm::kDpSgdR, benchutil::dpBatch(net));
+    const Executor exec(cfg);
+    Cycles cycles = 0;
+    for (auto _ : state) {
+        cycles = exec.run(stream).totalCycles();
+        benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles"] =
+        benchmark::Counter(double(cycles));
+}
+BENCHMARK(BM_EndToEnd)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure13();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 14: DP-SGD(R) training-time breakdown on the four breakdown
+ * models (VGG-16, ResNet-152, BERT-large, LSTM-large) across the four
+ * design points, normalized to the WS total. Shows where DiVa's wins
+ * come from: per-example gradient GEMMs and gradient-norm derivation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+printFigure14()
+{
+    std::cout << "=== Figure 14: DP-SGD(R) latency breakdown "
+                 "(normalized to WS total) ===\n";
+    std::vector<double> pe_reduction;
+    double max_pe_reduction = 0.0;
+    for (const auto &net : breakdownModels()) {
+        const int batch = benchutil::dpBatch(net);
+        std::cout << "\n--- " << net.name << " (mini-batch " << batch
+                  << ") ---\n";
+        TextTable table({"stage", "WS", "OS+PPU", "DiVa w/o PPU",
+                         "DiVa"});
+        std::vector<SimResult> results;
+        for (const auto &cfg : benchutil::designPoints())
+            results.push_back(benchutil::runSim(
+                cfg, net, TrainingAlgorithm::kDpSgdR, batch));
+        const double ws_total = double(results[0].totalCycles());
+        for (Stage s : allStages()) {
+            bool any = false;
+            std::vector<std::string> cells = {stageName(s)};
+            for (const auto &r : results) {
+                const Cycles c = r.stageCyclesFor(s);
+                any = any || c > 0;
+                cells.push_back(TextTable::fmt(double(c) / ws_total, 3));
+            }
+            if (any)
+                table.addRow(cells);
+        }
+        std::vector<std::string> totals = {"TOTAL"};
+        for (const auto &r : results)
+            totals.push_back(
+                TextTable::fmt(double(r.totalCycles()) / ws_total, 3));
+        table.addSeparator();
+        table.addRow(totals);
+        table.print(std::cout);
+
+        const double pe_red =
+            double(results[0].stageCyclesFor(Stage::kPerExampleGrad)) /
+            double(results[3].stageCyclesFor(Stage::kPerExampleGrad));
+        pe_reduction.push_back(pe_red);
+        max_pe_reduction = std::max(max_pe_reduction, pe_red);
+    }
+    std::cout << "\npaper: DiVa reduces per-example wgrad latency avg "
+                 "7.0x (max 14.6x)\n";
+    std::cout << "measured: per-example wgrad latency reduction avg "
+              << TextTable::fmtX(benchutil::geomean(pe_reduction))
+              << " (max " << TextTable::fmtX(max_pe_reduction)
+              << ")\n\n";
+}
+
+void
+BM_Breakdown(benchmark::State &state)
+{
+    const Network net =
+        breakdownModels()[std::size_t(state.range(0))];
+    const AcceleratorConfig cfg =
+        benchutil::designPoints()[std::size_t(state.range(1))];
+    const OpStream stream = buildOpStream(
+        net, TrainingAlgorithm::kDpSgdR, benchutil::dpBatch(net));
+    const Executor exec(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.run(stream).totalCycles());
+}
+BENCHMARK(BM_Breakdown)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure14();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 16: chip-wide energy consumption of DP-SGD(R) training,
+ * normalized to the WS systolic baseline, for the four breakdown
+ * models on OS and DiVa with/without the PPU. The paper reports an
+ * average 2.6x (max 4.6x) energy reduction for DiVa.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "energy/energy_model.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+printFigure16()
+{
+    std::cout << "=== Figure 16: energy consumption (normalized to WS) "
+                 "===\n";
+    const std::vector<AcceleratorConfig> configs = {
+        tpuV3Ws(), systolicOs(false), systolicOs(true),
+        divaDefault(false), divaDefault(true)};
+    TextTable table({"model", "WS", "OS w/o PPU", "OS+PPU",
+                     "DiVa w/o PPU", "DiVa", "DiVa saving"});
+    std::vector<double> savings;
+    double max_saving = 0.0;
+    std::string max_model;
+    for (const auto &net : allModels()) {
+        const int batch = benchutil::dpBatch(net);
+        std::vector<double> joules;
+        for (const auto &cfg : configs) {
+            const SimResult r = benchutil::runSim(
+                cfg, net, TrainingAlgorithm::kDpSgdR, batch);
+            joules.push_back(EnergyModel::energy(r, cfg).total());
+        }
+        std::vector<std::string> cells = {net.name};
+        for (double j : joules)
+            cells.push_back(TextTable::fmt(j / joules[0], 3));
+        const double saving = joules[0] / joules.back();
+        cells.push_back(TextTable::fmtX(saving));
+        table.addRow(cells);
+        savings.push_back(saving);
+        if (saving > max_saving) {
+            max_saving = saving;
+            max_model = net.name;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: DiVa avg 2.6x (max 4.6x) energy reduction "
+                 "vs WS\n";
+    std::cout << "measured: avg "
+              << TextTable::fmtX(benchutil::geomean(savings)) << " (max "
+              << TextTable::fmtX(max_saving) << ", " << max_model
+              << ")\n\n";
+}
+
+void
+BM_EnergyModel(benchmark::State &state)
+{
+    const Network net = allModels()[std::size_t(state.range(0))];
+    const AcceleratorConfig cfg = divaDefault(true);
+    const OpStream stream = buildOpStream(
+        net, TrainingAlgorithm::kDpSgdR, benchutil::dpBatch(net));
+    const Executor exec(cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            EnergyModel::energy(exec.run(stream), cfg).total());
+    }
+}
+BENCHMARK(BM_EnergyModel)
+    ->DenseRange(0, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure16();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

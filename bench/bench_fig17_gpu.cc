@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 17: DiVa vs NVIDIA V100/A100 GPUs (with and without Tensor
+ * Cores) on the key GEMMs of DP-SGD's backpropagation bottleneck
+ * stages. The paper reports DiVa averaging 1.2x over V100 and ~1.0x
+ * over A100 with Tensor Cores enabled, despite having only a fraction
+ * of their peak throughput -- with MobileNet as the exception where
+ * the GPUs' SIMD mapping of tiny GEMMs wins.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "gpu/gpu_model.h"
+
+using namespace diva;
+
+namespace
+{
+
+/** DiVa's time on the same backprop bottleneck stages (seconds). */
+double
+divaBottleneckSeconds(const Network &net, int batch)
+{
+    const AcceleratorConfig cfg = divaDefault(true);
+    const SimResult r = benchutil::runSim(
+        cfg, net, TrainingAlgorithm::kDpSgdR, batch);
+    Cycles cycles = 0;
+    for (Stage s : {Stage::kActGrad1, Stage::kPerExampleGrad,
+                    Stage::kGradNorm, Stage::kActGrad2,
+                    Stage::kPerBatchGrad, Stage::kReduceNoise})
+        cycles += r.stageCyclesFor(s);
+    return cfg.cyclesToSeconds(cycles);
+}
+
+void
+printFigure17()
+{
+    std::cout << "=== Figure 17: DiVa speedup vs GPUs on DP-SGD(R) "
+                 "backprop bottleneck stages ===\n";
+    const std::vector<GpuConfig> gpus = {
+        GpuConfig::v100Fp32(), GpuConfig::v100Fp16(),
+        GpuConfig::a100Fp32(), GpuConfig::a100Fp16()};
+    TextTable table({"model", "vs V100(FP32)", "vs V100(FP16 TC)",
+                     "vs A100(FP32)", "vs A100(FP16 TC)"});
+    std::vector<double> vs_v100_tc, vs_a100_tc;
+    for (const auto &net : allModels()) {
+        const int batch = benchutil::dpBatch(net);
+        const OpStream stream =
+            buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
+        const double diva_sec = divaBottleneckSeconds(net, batch);
+        std::vector<std::string> cells = {net.name};
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+            const double gpu_sec =
+                GpuModel(gpus[g]).bottleneckSeconds(stream);
+            const double s = gpu_sec / diva_sec;
+            cells.push_back(TextTable::fmtX(s));
+            if (g == 1)
+                vs_v100_tc.push_back(s);
+            if (g == 3)
+                vs_a100_tc.push_back(s);
+        }
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: avg 1.2x vs V100(TC) and 1.0x vs A100(TC) "
+                 "with only 23.6%/9.5% of their FP16 throughput; "
+                 "MobileNet is the GPU-favoured exception\n";
+    std::cout << "measured: avg "
+              << TextTable::fmtX(benchutil::geomean(vs_v100_tc))
+              << " vs V100(TC), "
+              << TextTable::fmtX(benchutil::geomean(vs_a100_tc))
+              << " vs A100(TC); DiVa peak = "
+              << TextTable::fmtPct(divaDefault(true).peakTflops() /
+                                   125.0)
+              << " of V100 FP16, "
+              << TextTable::fmtPct(divaDefault(true).peakTflops() /
+                                   312.0)
+              << " of A100 FP16\n\n";
+}
+
+void
+BM_GpuModel(benchmark::State &state)
+{
+    const Network net = allModels()[std::size_t(state.range(0))];
+    const OpStream stream = buildOpStream(
+        net, TrainingAlgorithm::kDpSgdR, benchutil::dpBatch(net));
+    const GpuModel gpu(GpuConfig::a100Fp16());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gpu.bottleneckSeconds(stream));
+}
+BENCHMARK(BM_GpuModel)->DenseRange(0, 8)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure17();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 4 + Section III-A: memory-usage breakdown of SGD, DP-SGD and
+ * DP-SGD(R) (normalized to SGD, identical mini-batch), and the maximum
+ * feasible mini-batch per algorithm under TPUv3's 16 GiB HBM.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+printFigure4()
+{
+    std::cout << "=== Figure 4: memory usage breakdown (normalized to "
+                 "SGD, same mini-batch) ===\n";
+    TextTable table({"model", "algorithm", "weights", "activations",
+                     "per-batch G(W)", "per-example G(W)", "else",
+                     "total (xSGD)"});
+    for (const auto &net : allModels()) {
+        const int batch = benchutil::dpBatch(net);
+        const double sgd_total = double(
+            trainingMemory(net, TrainingAlgorithm::kSgd, batch).total());
+        for (auto algo :
+             {TrainingAlgorithm::kSgd, TrainingAlgorithm::kDpSgd,
+              TrainingAlgorithm::kDpSgdR}) {
+            const MemoryBreakdown mb = trainingMemory(net, algo, batch);
+            auto norm = [&](Bytes b) {
+                return TextTable::fmt(double(b) / sgd_total, 3);
+            };
+            table.addRow({net.name, algorithmName(algo),
+                          norm(mb.weights), norm(mb.activations),
+                          norm(mb.perBatchGrad), norm(mb.perExampleGrad),
+                          norm(mb.other),
+                          TextTable::fmtX(double(mb.total()) / sgd_total)});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    // Aggregate claims of the paper's Section III-A.
+    std::vector<double> dp_ratio, dpr_saving, pe_share;
+    for (const auto &net : allModels()) {
+        const int batch = benchutil::dpBatch(net);
+        const double sgd = double(
+            trainingMemory(net, TrainingAlgorithm::kSgd, batch).total());
+        const MemoryBreakdown dp =
+            trainingMemory(net, TrainingAlgorithm::kDpSgd, batch);
+        const double dpr = double(
+            trainingMemory(net, TrainingAlgorithm::kDpSgdR, batch)
+                .total());
+        dp_ratio.push_back(double(dp.total()) / sgd);
+        dpr_saving.push_back(double(dp.total()) / dpr);
+        pe_share.push_back(double(dp.perExampleGrad) /
+                           double(dp.total()));
+    }
+    std::cout << "\npaper: DP-SGD up to 11x SGD memory; per-example "
+                 "grads avg 78% of DP-SGD; DP-SGD(R) saves avg 3.8x\n";
+    std::cout << "measured: DP-SGD avg " << std::fixed
+              << benchutil::geomean(dp_ratio)
+              << "x SGD memory; per-example share avg "
+              << benchutil::geomean(pe_share) * 100.0
+              << "%; DP-SGD(R) saves avg "
+              << benchutil::geomean(dpr_saving) << "x\n\n";
+
+    std::cout << "=== Section III-A: max mini-batch under 16 GiB ===\n";
+    TextTable batches({"model", "SGD", "DP-SGD", "DP-SGD(R)",
+                       "SGD / DP-SGD"});
+    for (const auto &net : allModels()) {
+        const int sgd =
+            maxBatchSize(net, TrainingAlgorithm::kSgd, 16_GiB);
+        const int dp =
+            maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB);
+        const int dpr =
+            maxBatchSize(net, TrainingAlgorithm::kDpSgdR, 16_GiB);
+        batches.addRow({net.name, std::to_string(sgd),
+                        std::to_string(dp), std::to_string(dpr),
+                        TextTable::fmtX(double(sgd) / double(dp), 1)});
+    }
+    batches.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+BM_MemoryModel(benchmark::State &state)
+{
+    const Network net = allModels()[std::size_t(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            trainingMemory(net, TrainingAlgorithm::kDpSgd, 64).total());
+    }
+}
+BENCHMARK(BM_MemoryModel)->DenseRange(0, 8)->Unit(benchmark::kNanosecond);
+
+void
+BM_MaxBatchSearch(benchmark::State &state)
+{
+    const Network net = allModels()[std::size_t(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB));
+    }
+}
+BENCHMARK(BM_MaxBatchSearch)
+    ->DenseRange(0, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure4();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 5: end-to-end training time of SGD vs DP-SGD vs DP-SGD(R) on
+ * the TPUv3-like WS baseline, broken into forward/backward stages and
+ * normalized to SGD. The paper reports average slowdowns of 9.1x
+ * (DP-SGD) and 5.8x (DP-SGD(R)), backprop approaching 99% of DP time,
+ * and DP-SGD(R) beating DP-SGD by ~31% on average.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+printFigure5()
+{
+    std::cout << "=== Figure 5: training time breakdown on WS systolic "
+                 "(normalized to SGD) ===\n";
+    const AcceleratorConfig ws = tpuV3Ws();
+    TextTable table({"model", "algorithm", "Fwd", "Bwd(act 1st)",
+                     "Bwd(per-ex)", "Bwd(norm)", "Bwd(act 2nd)",
+                     "Bwd(per-batch)", "Bwd(clip)", "Bwd(red/noise)",
+                     "total (xSGD)"});
+    std::vector<double> dp_slow, dpr_slow, bwd_frac, r_gain;
+    for (const auto &net : allModels()) {
+        const int batch = benchutil::dpBatch(net);
+        const double sgd_total = double(
+            benchutil::runSim(ws, net, TrainingAlgorithm::kSgd, batch)
+                .totalCycles());
+        double dp_total = 0.0;
+        for (auto algo :
+             {TrainingAlgorithm::kSgd, TrainingAlgorithm::kDpSgd,
+              TrainingAlgorithm::kDpSgdR}) {
+            const SimResult r =
+                benchutil::runSim(ws, net, algo, batch);
+            std::vector<std::string> cells = {net.name,
+                                              algorithmName(algo)};
+            for (Stage s : allStages()) {
+                cells.push_back(TextTable::fmt(
+                    double(r.stageCyclesFor(s)) / sgd_total, 2));
+            }
+            const double total = double(r.totalCycles()) / sgd_total;
+            cells.push_back(TextTable::fmtX(total));
+            table.addRow(cells);
+
+            if (algo == TrainingAlgorithm::kDpSgd) {
+                dp_slow.push_back(total);
+                dp_total = double(r.totalCycles());
+            } else if (algo == TrainingAlgorithm::kDpSgdR) {
+                dpr_slow.push_back(total);
+                r_gain.push_back(dp_total / double(r.totalCycles()));
+                bwd_frac.push_back(
+                    1.0 - double(r.stageCyclesFor(Stage::kForward)) /
+                              double(r.totalCycles()));
+            }
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: DP-SGD avg 9.1x / DP-SGD(R) avg 5.8x slower "
+                 "than SGD; backprop ~99% of DP time; DP-SGD(R) ~31% "
+                 "faster than DP-SGD\n";
+    std::cout << "measured: DP-SGD avg "
+              << TextTable::fmtX(benchutil::geomean(dp_slow))
+              << ", DP-SGD(R) avg "
+              << TextTable::fmtX(benchutil::geomean(dpr_slow))
+              << " slower than SGD; backprop share avg "
+              << TextTable::fmtPct(benchutil::geomean(bwd_frac))
+              << "; DP-SGD(R) gain avg "
+              << TextTable::fmtX(benchutil::geomean(r_gain)) << "\n\n";
+}
+
+void
+BM_SimulateIteration(benchmark::State &state)
+{
+    const Network net = allModels()[std::size_t(state.range(0))];
+    const auto algo = static_cast<TrainingAlgorithm>(state.range(1));
+    const int batch = benchutil::dpBatch(net);
+    const AcceleratorConfig cfg = tpuV3Ws();
+    const OpStream stream = buildOpStream(net, algo, batch);
+    const Executor exec(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.run(stream).totalCycles());
+    state.counters["slowdown_vs_sgd"] = benchmark::Counter(
+        double(exec.run(stream).totalCycles()) /
+        double(exec.run(buildOpStream(net, TrainingAlgorithm::kSgd,
+                                      batch))
+                   .totalCycles()));
+}
+BENCHMARK(BM_SimulateIteration)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure5();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

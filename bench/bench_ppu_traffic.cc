@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The PPU traffic claim (Sections I and IV-C): DiVa's PPU provides a
+ * ~99% reduction in off-chip data movement during gradient
+ * post-processing, by deriving norms on the GEMM engine's drain path
+ * instead of spilling per-example gradients to DRAM.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+printPpuTraffic()
+{
+    std::cout << "=== PPU: off-chip traffic during gradient "
+                 "post-processing (GB) ===\n";
+    TextTable table({"model", "WS (spill+fetch)", "DiVa w/o PPU",
+                     "DiVa (PPU)", "reduction vs WS"});
+    std::vector<double> reductions;
+    for (const auto &net : allModels()) {
+        const int batch = benchutil::dpBatch(net);
+        const auto traffic = [&](const AcceleratorConfig &cfg) {
+            return double(benchutil::runSim(
+                              cfg, net, TrainingAlgorithm::kDpSgdR,
+                              batch)
+                              .postProcessingDram.total());
+        };
+        const double ws = traffic(tpuV3Ws());
+        const double dv0 = traffic(divaDefault(false));
+        const double dv1 = traffic(divaDefault(true));
+        const double reduction = 1.0 - dv1 / ws;
+        table.addRow({net.name, TextTable::fmt(ws / 1e9, 3),
+                      TextTable::fmt(dv0 / 1e9, 3),
+                      TextTable::fmt(dv1 / 1e9, 4),
+                      TextTable::fmtPct(reduction)});
+        reductions.push_back(reduction);
+    }
+    table.print(std::cout);
+    double avg = 0.0;
+    for (double r : reductions)
+        avg += r;
+    avg /= double(reductions.size());
+    std::cout << "\npaper: 99% reduction in post-processing off-chip "
+                 "data movement\n";
+    std::cout << "measured: avg " << TextTable::fmtPct(avg) << "\n\n";
+}
+
+void
+BM_PostProcTraffic(benchmark::State &state)
+{
+    const Network net = allModels()[std::size_t(state.range(0))];
+    const bool ppu = state.range(1) != 0;
+    const OpStream stream = buildOpStream(
+        net, TrainingAlgorithm::kDpSgdR, benchutil::dpBatch(net));
+    const Executor exec(divaDefault(ppu));
+    double bytes = 0.0;
+    for (auto _ : state) {
+        bytes = double(exec.run(stream).postProcessingDram.total());
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["postproc_GB"] = benchmark::Counter(bytes / 1e9);
+}
+BENCHMARK(BM_PostProcTraffic)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printPpuTraffic();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

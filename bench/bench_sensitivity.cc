@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Section VI-C sensitivity: DiVa's end-to-end speedup over WS when the
+ * CNN input images grow 4x/16x/64x (side 64/128/256) and when the
+ * Transformer/RNN sequence length grows 2x/4x/8x (64/128/256). Larger
+ * inputs populate systolic arrays better, so the advantage shrinks:
+ * the paper reports 3.6x/2.1x/1.7x (images) and 2.0x/1.6x/1.5x
+ * (sequences).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace diva;
+
+namespace
+{
+
+double
+speedupAt(const Network &net)
+{
+    const int batch = benchutil::dpBatch(net);
+    const Cycles ws = benchutil::runSim(
+        tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, batch)
+        .totalCycles();
+    const Cycles dv = benchutil::runSim(
+        divaDefault(true), net, TrainingAlgorithm::kDpSgdR, batch)
+        .totalCycles();
+    return double(ws) / double(dv);
+}
+
+void
+printSensitivity()
+{
+    using Builder = std::function<Network(int)>;
+    const std::vector<std::pair<const char *, Builder>> cnns = {
+        {"VGG-16", [](int s) { return vgg16(s); }},
+        {"ResNet-50", [](int s) { return resnet50(s); }},
+        {"ResNet-152", [](int s) { return resnet152(s); }},
+        {"SqueezeNet", [](int s) { return squeezenet(s); }},
+        {"MobileNet", [](int s) { return mobilenet(s); }},
+    };
+    const std::vector<std::pair<const char *, Builder>> nlps = {
+        {"BERT-base", [](int l) { return bertBase(l); }},
+        {"BERT-large", [](int l) { return bertLarge(l); }},
+        {"LSTM-small", [](int l) { return lstmSmall(l); }},
+        {"LSTM-large", [](int l) { return lstmLarge(l); }},
+    };
+
+    std::cout << "=== Section VI-C: DiVa speedup vs WS, scaled image "
+                 "sizes ===\n";
+    TextTable img({"model", "32x32 (x1)", "64x64 (x4)", "128x128 (x16)",
+                   "256x256 (x64)"});
+    std::vector<std::vector<double>> img_cols(4);
+    for (const auto &[name, build] : cnns) {
+        std::vector<std::string> cells = {name};
+        int col = 0;
+        for (int size : {32, 64, 128, 256}) {
+            const double s = speedupAt(build(size));
+            cells.push_back(TextTable::fmtX(s));
+            img_cols[std::size_t(col++)].push_back(s);
+        }
+        img.addRow(cells);
+    }
+    img.print(std::cout);
+    std::cout << "paper avg (x4/x16/x64): 3.6x / 2.1x / 1.7x; measured "
+                 "avg: "
+              << TextTable::fmtX(benchutil::geomean(img_cols[1])) << " / "
+              << TextTable::fmtX(benchutil::geomean(img_cols[2])) << " / "
+              << TextTable::fmtX(benchutil::geomean(img_cols[3]))
+              << "\n\n";
+
+    std::cout << "=== Section VI-C: DiVa speedup vs WS, scaled sequence "
+                 "lengths ===\n";
+    TextTable seq({"model", "L=32 (x1)", "L=64 (x2)", "L=128 (x4)",
+                   "L=256 (x8)"});
+    std::vector<std::vector<double>> seq_cols(4);
+    for (const auto &[name, build] : nlps) {
+        std::vector<std::string> cells = {name};
+        int col = 0;
+        for (int len : {32, 64, 128, 256}) {
+            const double s = speedupAt(build(len));
+            cells.push_back(TextTable::fmtX(s));
+            seq_cols[std::size_t(col++)].push_back(s);
+        }
+        seq.addRow(cells);
+    }
+    seq.print(std::cout);
+    std::cout << "paper avg (x2/x4/x8): 2.0x / 1.6x / 1.5x; measured "
+                 "avg: "
+              << TextTable::fmtX(benchutil::geomean(seq_cols[1])) << " / "
+              << TextTable::fmtX(benchutil::geomean(seq_cols[2])) << " / "
+              << TextTable::fmtX(benchutil::geomean(seq_cols[3]))
+              << "\n\n";
+}
+
+void
+BM_SensitivityPoint(benchmark::State &state)
+{
+    const int size = int(state.range(0));
+    const Network net = resnet50(size);
+    const OpStream stream = buildOpStream(
+        net, TrainingAlgorithm::kDpSgdR, benchutil::dpBatch(net));
+    const Executor exec(divaDefault(true));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.run(stream).totalCycles());
+}
+BENCHMARK(BM_SensitivityPoint)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSensitivity();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

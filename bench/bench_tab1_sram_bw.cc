@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table I: on-chip SRAM read/write bandwidth requirements per dataflow
+ * at the TPUv3-level configuration (128x128 PEs, BF16 inputs, FP32
+ * accumulation, 8-row weight fill / output drain).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "arch/accelerator_config.h"
+#include "common/table.h"
+#include "gemm/bandwidth.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+printTableI()
+{
+    std::cout << "=== Table I: SRAM buffer bandwidth requirements "
+                 "(bytes/clock) ===\n";
+    TextTable table({"data type", "Systolic WS",
+                     "Systolic OS & Outer-product"});
+    const SramBandwidth ws = sramBandwidthRequirement(tpuV3Ws());
+    const SramBandwidth os =
+        sramBandwidthRequirement(systolicOs(false));
+    const SramBandwidth outer =
+        sramBandwidthRequirement(divaDefault(false));
+    // OS and outer-product must agree (Section IV-D).
+    if (os.total() != outer.total())
+        std::cout << "WARNING: OS and outer-product disagree!\n";
+
+    table.addRow({"Input LHS", std::to_string(ws.inputLhs),
+                  std::to_string(outer.inputLhs)});
+    table.addRow({"Input RHS", std::to_string(ws.inputRhs),
+                  std::to_string(outer.inputRhs)});
+    table.addRow({"Output", std::to_string(ws.output),
+                  std::to_string(outer.output)});
+    table.addSeparator();
+    table.addRow({"Total", std::to_string(ws.total()),
+                  std::to_string(outer.total())});
+    table.print(std::cout);
+    std::cout << "\npaper: WS total (2*PE_H + 20*PE_W)B = "
+              << 2 * 128 + 20 * 128
+              << "; OS/outer total (2*PE_H + 34*PE_W)B = "
+              << 2 * 128 + 34 * 128 << "\n\n";
+}
+
+void
+BM_BandwidthModel(benchmark::State &state)
+{
+    const AcceleratorConfig cfg =
+        state.range(0) == 0 ? tpuV3Ws()
+        : state.range(0) == 1 ? systolicOs(false)
+                              : divaDefault(false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sramBandwidthRequirement(cfg).total());
+}
+BENCHMARK(BM_BandwidthModel)->DenseRange(0, 2);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTableI();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benchmarks.
+ *
+ * Every bench binary prints its paper artifact (the same rows/series
+ * the paper reports) and then runs google-benchmark microbenchmarks
+ * that time the underlying simulations.
+ */
+
+#ifndef DIVA_BENCH_BENCH_UTIL_H
+#define DIVA_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator_config.h"
+#include "models/zoo.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace benchutil
+{
+
+/** Geometric mean of a series of ratios. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+/**
+ * Figure-5/13 protocol: the mini-batch is the largest that vanilla
+ * DP-SGD fits under TPUv3's 16 GiB HBM; all algorithms then use it.
+ */
+inline int
+dpBatch(const Network &net)
+{
+    // Key on the activation footprint too: sensitivity builds scaled
+    // variants that share the model name.
+    static std::map<std::pair<std::string, Elems>, int> cache;
+    const auto key =
+        std::make_pair(net.name, net.activationElemsPerExample());
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    const int batch = std::max(
+        1, maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB));
+    cache[key] = batch;
+    return batch;
+}
+
+/** Plan + simulate one iteration. */
+inline SimResult
+runSim(const AcceleratorConfig &cfg, const Network &net,
+       TrainingAlgorithm algo, int batch)
+{
+    return Executor(cfg).run(buildOpStream(net, algo, batch));
+}
+
+/** The four design points of Figures 13/14/16. */
+inline std::vector<AcceleratorConfig>
+designPoints()
+{
+    return {tpuV3Ws(), systolicOs(true), divaDefault(false),
+            divaDefault(true)};
+}
+
+} // namespace benchutil
+} // namespace diva
+
+#endif // DIVA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Explore the maximum feasible mini-batch of every benchmark network
+ * under a sweep of device memory capacities (Section III-A), showing
+ * how DP-SGD's B x sizeof(G(W)) allocation collapses the feasible
+ * batch and how DP-SGD(R) restores it.
+ *
+ * Usage: batch_size_explorer [capacity-GiB ...]   (default: 8 16 32 80)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "models/zoo.h"
+#include "train/memory_model.h"
+
+using namespace diva;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Bytes> capacities;
+    for (int i = 1; i < argc; ++i) {
+        const long gib = std::atol(argv[i]);
+        if (gib <= 0) {
+            std::printf("invalid capacity '%s'\n", argv[i]);
+            return 1;
+        }
+        capacities.push_back(Bytes(gib) * 1_GiB);
+    }
+    if (capacities.empty())
+        capacities = {8_GiB, 16_GiB, 32_GiB, 80_GiB};
+
+    for (const Bytes cap : capacities) {
+        std::printf("=== max mini-batch under %.0f GiB ===\n",
+                    double(cap) / double(1_GiB));
+        TextTable table({"model", "params (M)", "SGD", "DP-SGD",
+                         "DP-SGD(R)", "DP-SGD penalty"});
+        for (const auto &net : allModels()) {
+            const int sgd =
+                maxBatchSize(net, TrainingAlgorithm::kSgd, cap);
+            const int dp =
+                maxBatchSize(net, TrainingAlgorithm::kDpSgd, cap);
+            const int dpr =
+                maxBatchSize(net, TrainingAlgorithm::kDpSgdR, cap);
+            table.addRow(
+                {net.name,
+                 TextTable::fmt(double(net.paramCount()) / 1e6, 1),
+                 std::to_string(sgd), std::to_string(dp),
+                 std::to_string(dpr),
+                 dp > 0 ? TextTable::fmtX(double(sgd) / double(dp), 1)
+                        : "inf"});
+        }
+        table.print(std::cout);
+
+        // Show where the memory goes for the worst-affected model.
+        const Network net = resnet152();
+        const int dp_batch =
+            maxBatchSize(net, TrainingAlgorithm::kDpSgd, cap);
+        if (dp_batch > 0) {
+            const MemoryBreakdown mb = trainingMemory(
+                net, TrainingAlgorithm::kDpSgd, dp_batch);
+            std::printf("ResNet-152 @ DP-SGD batch %d: weights %.2f GB,"
+                        " activations %.2f GB, per-example grads %.2f "
+                        "GB (%.0f%%)\n\n",
+                        dp_batch, double(mb.weights) / 1e9,
+                        double(mb.activations) / 1e9,
+                        double(mb.perExampleGrad) / 1e9,
+                        100.0 * double(mb.perExampleGrad) /
+                            double(mb.total()));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Design-space exploration for a DiVa-class accelerator: sweep the
+ * PPU drain rate, SRAM capacity and PE-array aspect ratio for a chosen
+ * model and report DP-SGD(R) iteration latency, utilization and the
+ * engine's area/power cost, exercising the public simulation API the
+ * way an architect would.
+ *
+ * Usage: design_space [model-name]   (default: BERT-base)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "arch/accelerator_config.h"
+#include "common/table.h"
+#include "energy/energy_model.h"
+#include "models/zoo.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+report(TextTable &table, const std::string &label,
+       const AcceleratorConfig &cfg, const OpStream &stream)
+{
+    const SimResult r = Executor(cfg).run(stream);
+    const EnergyBreakdown e = EnergyModel::energy(r, cfg);
+    table.addRow({label, std::to_string(r.totalCycles()),
+                  TextTable::fmtPct(r.overallUtilization(cfg)),
+                  TextTable::fmt(e.total(), 2),
+                  TextTable::fmt(EnergyModel::enginePowerW(cfg), 1),
+                  TextTable::fmt(EnergyModel::engineAreaMm2(cfg), 1)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string wanted = argc > 1 ? argv[1] : "BERT-base";
+    Network net;
+    bool found = false;
+    for (const auto &m : allModels()) {
+        if (m.name == wanted) {
+            net = m;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::printf("unknown model '%s'\n", wanted.c_str());
+        return 1;
+    }
+
+    const int batch = std::max(
+        1, maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB));
+    const OpStream stream =
+        buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
+    std::printf("design space for %s, DP-SGD(R), mini-batch %d\n\n",
+                net.name.c_str(), batch);
+
+    std::printf("--- drain rate R ---\n");
+    TextTable r_table({"config", "cycles", "util", "energy (J)",
+                       "power (W)", "area (mm^2)"});
+    for (int r : {1, 2, 4, 8, 16, 32}) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.drainRowsPerCycle = r;
+        report(r_table, "R=" + std::to_string(r), cfg, stream);
+    }
+    r_table.print(std::cout);
+
+    std::printf("\n--- SRAM capacity ---\n");
+    TextTable s_table({"config", "cycles", "util", "energy (J)",
+                       "power (W)", "area (mm^2)"});
+    for (int mib : {4, 8, 16, 32, 64}) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.sramBytes = Bytes(mib) * 1_MiB;
+        report(s_table, std::to_string(mib) + " MiB", cfg, stream);
+    }
+    s_table.print(std::cout);
+
+    std::printf("\n--- PE array aspect (16384 MACs) ---\n");
+    TextTable a_table({"config", "cycles", "util", "energy (J)",
+                       "power (W)", "area (mm^2)"});
+    for (const auto &[rows, cols] :
+         {std::pair{32, 512}, std::pair{64, 256}, std::pair{128, 128},
+          std::pair{256, 64}, std::pair{512, 32}}) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.peRows = rows;
+        cfg.peCols = cols;
+        cfg.drainRowsPerCycle =
+            std::min(cfg.drainRowsPerCycle, rows);
+        report(a_table,
+               std::to_string(rows) + "x" + std::to_string(cols), cfg,
+               stream);
+    }
+    a_table.print(std::cout);
+
+    std::printf("\n--- dataflow comparison at the default point ---\n");
+    TextTable d_table({"config", "cycles", "util", "energy (J)",
+                       "power (W)", "area (mm^2)"});
+    report(d_table, "Systolic-WS", tpuV3Ws(), stream);
+    report(d_table, "Systolic-OS+PPU", systolicOs(true), stream);
+    report(d_table, "DiVa w/o PPU", divaDefault(false), stream);
+    report(d_table, "DiVa", divaDefault(true), stream);
+    d_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * End-to-end DP training simulation: plan one DP-SGD(R) iteration of a
+ * chosen network at its maximum feasible mini-batch and simulate it on
+ * the four accelerator design points of the paper's Figure 13/14,
+ * printing the per-stage latency breakdown and speedups.
+ *
+ * Usage: dp_training_sim [model-name] [--trace]
+ * (default model: ResNet-50; --trace prints the op-level hot list)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator_config.h"
+#include "common/table.h"
+#include "models/zoo.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+using namespace diva;
+
+int
+main(int argc, char **argv)
+{
+    std::string wanted = "ResNet-50";
+    bool want_trace = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--trace")
+            want_trace = true;
+        else
+            wanted = argv[i];
+    }
+    Network net;
+    bool found = false;
+    for (const auto &m : allModels()) {
+        if (m.name == wanted) {
+            net = m;
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        std::printf("unknown model '%s'; available:\n", wanted.c_str());
+        for (const auto &m : allModels())
+            std::printf("  %s\n", m.name.c_str());
+        return 1;
+    }
+
+    // Figure 5's protocol: all algorithms run the largest mini-batch
+    // that vanilla DP-SGD fits in 16 GiB of HBM.
+    const int batch =
+        maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB);
+    std::printf("%s: %lld params, DP-SGD max mini-batch %d under "
+                "16 GiB\n\n",
+                net.name.c_str(),
+                static_cast<long long>(net.paramCount()), batch);
+
+    const std::vector<AcceleratorConfig> configs = {
+        tpuV3Ws(), systolicOs(true), divaDefault(false),
+        divaDefault(true)};
+
+    // Reference points: non-private SGD and the DP algorithms on WS.
+    const Executor ws(tpuV3Ws());
+    const SimResult sgd_ws =
+        ws.run(buildOpStream(net, TrainingAlgorithm::kSgd, batch));
+    const SimResult dpsgd_ws =
+        ws.run(buildOpStream(net, TrainingAlgorithm::kDpSgd, batch));
+
+    const OpStream dpsgdr =
+        buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
+
+    TextTable table({"engine", "total cycles", "vs SGD(WS)",
+                     "speedup vs WS", "util", "DRAM GB"});
+    SimResult ws_result;
+    for (const auto &cfg : configs) {
+        const Executor exec(cfg);
+        const SimResult r = exec.run(dpsgdr);
+        if (cfg.dataflow == Dataflow::kWeightStationary)
+            ws_result = r;
+        table.addRow(
+            {cfg.name, std::to_string(r.totalCycles()),
+             TextTable::fmtX(double(r.totalCycles()) /
+                             double(sgd_ws.totalCycles())),
+             TextTable::fmtX(speedup(ws_result, r)),
+             TextTable::fmtPct(r.overallUtilization(cfg)),
+             TextTable::fmt(double(r.totalDram().total()) / 1e9, 2)});
+    }
+    std::printf("DP-SGD(R) end-to-end (DP-SGD on WS: %.1fx SGD):\n",
+                double(dpsgd_ws.totalCycles()) /
+                    double(sgd_ws.totalCycles()));
+    table.print(std::cout);
+
+    std::printf("\nPer-stage latency breakdown (cycles):\n");
+    TextTable stages({"stage", "WS", "OS+PPU", "DiVa-noPPU", "DiVa"});
+    std::vector<SimResult> results;
+    for (const auto &cfg : configs)
+        results.push_back(Executor(cfg).run(dpsgdr));
+    for (Stage s : allStages()) {
+        std::vector<std::string> cells = {stageName(s)};
+        bool any = false;
+        for (const auto &r : results) {
+            const Cycles c = r.stageCyclesFor(s);
+            any = any || c > 0;
+            cells.push_back(std::to_string(c));
+        }
+        if (any)
+            stages.addRow(cells);
+    }
+    stages.print(std::cout);
+
+    if (want_trace) {
+        std::printf("\nOp-level trace on DiVa (top 15 by cycles):\n");
+        Trace trace;
+        Executor(divaDefault(true)).run(dpsgdr, &trace);
+        printTraceReport(std::cout, trace, 15);
+    }
+    return 0;
+}

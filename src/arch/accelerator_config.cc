@@ -1,0 +1,74 @@
+#include "arch/accelerator_config.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+const char *
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::kWeightStationary: return "WS";
+      case Dataflow::kOutputStationary: return "OS";
+      case Dataflow::kOuterProduct: return "DiVa";
+    }
+    return "?";
+}
+
+void
+AcceleratorConfig::validate() const
+{
+    if (peRows <= 0 || peCols <= 0)
+        DIVA_FATAL("PE array dimensions must be positive: ", peRows, "x",
+                   peCols);
+    if (freqGhz <= 0.0)
+        DIVA_FATAL("clock frequency must be positive: ", freqGhz);
+    if (sramBytes == 0)
+        DIVA_FATAL("on-chip SRAM capacity must be non-zero");
+    if (dramBandwidthGBs <= 0.0)
+        DIVA_FATAL("DRAM bandwidth must be positive: ", dramBandwidthGBs);
+    if (weightFillRowsPerCycle <= 0)
+        DIVA_FATAL("weight fill rate must be positive");
+    if (drainRowsPerCycle <= 0 || drainRowsPerCycle > peRows)
+        DIVA_FATAL("drain rate must be in [1, peRows]: ",
+                   drainRowsPerCycle);
+    if (hasPpu && dataflow == Dataflow::kWeightStationary)
+        DIVA_FATAL("a WS systolic array cannot host the PPU: its output "
+                   "granularity (tens of MBs in vector memory) defeats "
+                   "on-the-fly norm derivation (Section IV-C)");
+    if (inputBytes <= 0 || accumBytes <= 0)
+        DIVA_FATAL("element widths must be positive");
+}
+
+AcceleratorConfig
+tpuV3Ws()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "Systolic-WS";
+    cfg.dataflow = Dataflow::kWeightStationary;
+    cfg.hasPpu = false;
+    return cfg;
+}
+
+AcceleratorConfig
+systolicOs(bool with_ppu)
+{
+    AcceleratorConfig cfg;
+    cfg.name = with_ppu ? "Systolic-OS+PPU" : "Systolic-OS";
+    cfg.dataflow = Dataflow::kOutputStationary;
+    cfg.hasPpu = with_ppu;
+    return cfg;
+}
+
+AcceleratorConfig
+divaDefault(bool with_ppu)
+{
+    AcceleratorConfig cfg;
+    cfg.name = with_ppu ? "DiVa" : "DiVa-noPPU";
+    cfg.dataflow = Dataflow::kOuterProduct;
+    cfg.hasPpu = with_ppu;
+    return cfg;
+}
+
+} // namespace diva

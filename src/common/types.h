@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the DiVa simulator.
+ */
+
+#ifndef DIVA_COMMON_TYPES_H
+#define DIVA_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace diva
+{
+
+/** Simulated clock cycles (at the accelerator core frequency). */
+using Cycles = std::uint64_t;
+
+/** Byte counts for memory traffic and capacity accounting. */
+using Bytes = std::uint64_t;
+
+/** Multiply-accumulate operation counts. */
+using Macs = std::uint64_t;
+
+/** Element counts for tensors and vector operations. */
+using Elems = std::uint64_t;
+
+/** Convenience literal helpers for capacities. */
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Integer ceiling division for positive integers. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    return (num + den - 1) / den;
+}
+
+} // namespace diva
+
+#endif // DIVA_COMMON_TYPES_H

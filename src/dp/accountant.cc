@@ -1,0 +1,145 @@
+#include "dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+namespace
+{
+
+/** log of the binomial coefficient C(n, k). */
+double
+logBinom(int n, int k)
+{
+    return std::lgamma(double(n) + 1.0) - std::lgamma(double(k) + 1.0) -
+           std::lgamma(double(n - k) + 1.0);
+}
+
+/** Numerically stable log(sum(exp(terms))). */
+double
+logSumExp(const std::vector<double> &terms)
+{
+    const double m = *std::max_element(terms.begin(), terms.end());
+    if (!std::isfinite(m))
+        return m;
+    double acc = 0.0;
+    for (double t : terms)
+        acc += std::exp(t - m);
+    return m + std::log(acc);
+}
+
+} // namespace
+
+RdpAccountant::RdpAccountant(double noise_multiplier, double sampling_rate)
+    : sigma_(noise_multiplier), q_(sampling_rate)
+{
+    DIVA_ASSERT(sigma_ > 0.0, "noise multiplier must be positive");
+    DIVA_ASSERT(q_ > 0.0 && q_ <= 1.0, "sampling rate must be in (0,1]");
+}
+
+void
+RdpAccountant::addSteps(int steps)
+{
+    DIVA_ASSERT(steps >= 0);
+    steps_ += steps;
+}
+
+double
+RdpAccountant::rdpSingleStep(int alpha) const
+{
+    DIVA_ASSERT(alpha >= 2, "integer Renyi order must be >= 2");
+    if (q_ >= 1.0) {
+        // No subsampling: Gaussian mechanism RDP is alpha/(2 sigma^2).
+        return double(alpha) / (2.0 * sigma_ * sigma_);
+    }
+    std::vector<double> terms;
+    terms.reserve(std::size_t(alpha) + 1);
+    const double log_q = std::log(q_);
+    const double log_1mq = std::log1p(-q_);
+    for (int k = 0; k <= alpha; ++k) {
+        const double log_term =
+            logBinom(alpha, k) + double(alpha - k) * log_1mq +
+            double(k) * log_q +
+            double(k) * double(k - 1) / (2.0 * sigma_ * sigma_);
+        terms.push_back(log_term);
+    }
+    return logSumExp(terms) / (double(alpha) - 1.0);
+}
+
+std::vector<int>
+RdpAccountant::defaultOrders()
+{
+    std::vector<int> orders;
+    for (int a = 2; a <= 64; ++a)
+        orders.push_back(a);
+    for (int a = 68; a <= 256; a += 4)
+        orders.push_back(a);
+    return orders;
+}
+
+double
+RdpAccountant::epsilon(double delta) const
+{
+    DIVA_ASSERT(delta > 0.0 && delta < 1.0);
+    double best = std::numeric_limits<double>::infinity();
+    for (int alpha : defaultOrders()) {
+        const double eps = double(steps_) * rdpSingleStep(alpha) +
+                           std::log(1.0 / delta) / (double(alpha) - 1.0);
+        best = std::min(best, eps);
+    }
+    return best;
+}
+
+double
+RdpAccountant::calibrateNoiseMultiplier(double target_epsilon,
+                                        double delta,
+                                        double sampling_rate, int steps)
+{
+    DIVA_ASSERT(target_epsilon > 0.0 && steps > 0);
+    auto eps_at = [&](double sigma) {
+        RdpAccountant acc(sigma, sampling_rate);
+        acc.addSteps(steps);
+        return acc.epsilon(delta);
+    };
+    double lo = 1e-2;
+    double hi = 1.0;
+    // Grow hi until the budget is met (epsilon decreases in sigma).
+    while (eps_at(hi) > target_epsilon) {
+        hi *= 2.0;
+        if (hi > 1e4)
+            DIVA_FATAL("cannot reach epsilon=", target_epsilon,
+                       " within sigma <= 1e4");
+    }
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (eps_at(mid) > target_epsilon)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+int
+RdpAccountant::optimalOrder(double delta) const
+{
+    DIVA_ASSERT(delta > 0.0 && delta < 1.0);
+    double best = std::numeric_limits<double>::infinity();
+    int best_alpha = 2;
+    for (int alpha : defaultOrders()) {
+        const double eps = double(steps_) * rdpSingleStep(alpha) +
+                           std::log(1.0 / delta) / (double(alpha) - 1.0);
+        if (eps < best) {
+            best = eps;
+            best_alpha = alpha;
+        }
+    }
+    return best_alpha;
+}
+
+} // namespace diva

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Renyi differential privacy (RDP) accountant for the subsampled
+ * Gaussian mechanism, converting (noise multiplier sigma, sampling rate
+ * q, step count T) into an (epsilon, delta) guarantee.
+ *
+ * This is Algorithm 1's "total privacy cost" output. The bound follows
+ * Mironov, Talwar & Zhang ("Renyi Differential Privacy of the Sampled
+ * Gaussian Mechanism", 2019) for integer Renyi orders:
+ *
+ *   RDP(alpha) = 1/(alpha-1) * log( sum_{k=0}^{alpha} C(alpha,k)
+ *                (1-q)^(alpha-k) q^k exp(k(k-1)/(2 sigma^2)) )
+ *
+ * composed linearly over T steps and converted to (epsilon, delta) via
+ *   epsilon = min_alpha [ T*RDP(alpha) + log(1/delta)/(alpha-1) ].
+ */
+
+#ifndef DIVA_DP_ACCOUNTANT_H
+#define DIVA_DP_ACCOUNTANT_H
+
+#include <vector>
+
+namespace diva
+{
+
+/** Tracks the RDP cost of repeated subsampled Gaussian mechanisms. */
+class RdpAccountant
+{
+  public:
+    /**
+     * @param noise_multiplier sigma (noise stddev / clip norm)
+     * @param sampling_rate    q = B / N
+     */
+    RdpAccountant(double noise_multiplier, double sampling_rate);
+
+    /** Record `steps` additional mechanism invocations. */
+    void addSteps(int steps);
+
+    int steps() const { return steps_; }
+
+    /** RDP of a single step at integer order `alpha` (>= 2). */
+    double rdpSingleStep(int alpha) const;
+
+    /** Best epsilon at the given delta over the default order grid. */
+    double epsilon(double delta) const;
+
+    /** The Renyi order achieving the reported epsilon. */
+    int optimalOrder(double delta) const;
+
+    /** Default Renyi order grid (2..256). */
+    static std::vector<int> defaultOrders();
+
+    /**
+     * Calibrate the noise multiplier: the smallest sigma such that
+     * `steps` subsampled Gaussian steps at rate q stay within
+     * (target_epsilon, delta). Binary search over sigma; the practical
+     * inverse of epsilon() that practitioners use to pick sigma.
+     */
+    static double calibrateNoiseMultiplier(double target_epsilon,
+                                           double delta,
+                                           double sampling_rate,
+                                           int steps);
+
+  private:
+    double sigma_;
+    double q_;
+    int steps_ = 0;
+};
+
+} // namespace diva
+
+#endif // DIVA_DP_ACCOUNTANT_H

@@ -1,0 +1,113 @@
+#include "dp/conv2d.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dp/ops.h"
+
+namespace diva
+{
+
+Conv2d::Conv2d(const ConvGeometry &geometry, Rng &rng)
+    : geom_(geometry),
+      weight_(Tensor::randn(geometry.patchSize(), geometry.outChannels,
+                            rng,
+                            std::sqrt(2.0 /
+                                      double(geometry.patchSize())))),
+      bias_(Tensor::zeros(1, geometry.outChannels))
+{
+}
+
+Tensor
+Conv2d::gradYMatrix(const Tensor &grad_y, std::int64_t i) const
+{
+    const std::int64_t pq = geom_.outPixels();
+    const std::int64_t cout = geom_.outChannels;
+    DIVA_ASSERT(grad_y.cols() == cout * pq, "grad_y layout mismatch");
+    Tensor g(pq, cout);
+    for (std::int64_t c = 0; c < cout; ++c)
+        for (std::int64_t p = 0; p < pq; ++p)
+            g.at(p, c) = grad_y.at(i, c * pq + p);
+    return g;
+}
+
+Tensor
+Conv2d::forward(const Tensor &x) const
+{
+    const std::int64_t pq = geom_.outPixels();
+    const std::int64_t cout = geom_.outChannels;
+    Tensor y(x.rows(), cout * pq);
+    for (std::int64_t i = 0; i < x.rows(); ++i) {
+        const Tensor patches = im2col(geom_, x, i);
+        const Tensor out = matmul(patches, weight_); // (PQ, Cout)
+        // Store in CHW order to match the input convention.
+        for (std::int64_t c = 0; c < cout; ++c)
+            for (std::int64_t p = 0; p < pq; ++p)
+                y.at(i, c * pq + p) = out.at(p, c) + bias_.at(0, c);
+    }
+    return y;
+}
+
+Tensor
+Conv2d::backwardInput(const Tensor &grad_y) const
+{
+    const std::int64_t chw =
+        std::int64_t(geom_.inChannels) * geom_.inH * geom_.inW;
+    Tensor grad_x(grad_y.rows(), chw);
+    for (std::int64_t i = 0; i < grad_y.rows(); ++i) {
+        const Tensor g = gradYMatrix(grad_y, i);
+        // Patch-domain gradient: (PQ, CRS) = G * W^T.
+        const Tensor patch_grad = matmulTransB(g, weight_);
+        const Tensor row = col2im(geom_, patch_grad);
+        for (std::int64_t j = 0; j < chw; ++j)
+            grad_x.at(i, j) = row.at(0, j);
+    }
+    return grad_x;
+}
+
+void
+Conv2d::perBatchGrad(const Tensor &x, const Tensor &grad_y, Tensor &dw,
+                     Tensor &db) const
+{
+    DIVA_ASSERT(x.rows() == grad_y.rows());
+    dw = Tensor(geom_.patchSize(), geom_.outChannels);
+    db = Tensor(1, geom_.outChannels);
+    Tensor dw_i, db_i;
+    for (std::int64_t i = 0; i < x.rows(); ++i) {
+        perExampleGrad(x, grad_y, i, dw_i, db_i);
+        dw.add(dw_i);
+        db.add(db_i);
+    }
+}
+
+void
+Conv2d::perExampleGrad(const Tensor &x, const Tensor &grad_y,
+                       std::int64_t i, Tensor &dw, Tensor &db) const
+{
+    const Tensor patches = im2col(geom_, x, i); // (PQ, CRS)
+    const Tensor g = gradYMatrix(grad_y, i);    // (PQ, Cout)
+    // Figure 6, per-example conv wgrad: (CRS, PQ, Cout) GEMM.
+    dw = matmulTransA(patches, g);
+    db = Tensor(1, geom_.outChannels);
+    for (std::int64_t c = 0; c < geom_.outChannels; ++c) {
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < geom_.outPixels(); ++p)
+            acc += g.at(p, c);
+        db.at(0, c) = float(acc);
+    }
+}
+
+double
+Conv2d::perExampleGradNormSq(const Tensor &x, const Tensor &grad_y,
+                             std::int64_t i) const
+{
+    // Unlike linear layers, the conv per-example gradient has rank up
+    // to P*Q, so there is no rank-1 norm shortcut; materialize it
+    // (this is exactly why DP-SGD's per-example conv gradients are
+    // expensive and worth accelerating).
+    Tensor dw, db;
+    perExampleGrad(x, grad_y, i, dw, db);
+    return dw.l2NormSq() + db.l2NormSq();
+}
+
+} // namespace diva

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional 2-D convolution layer with per-batch and per-example
+ * weight gradients, lowered to GEMM via im2col -- the numeric
+ * realization of Figure 6's convolution rows:
+ *
+ *   forward:          (B*P*Q, Cin*R*S, Cout)
+ *   per-batch wgrad:  (Cin*R*S, B*P*Q, Cout)
+ *   per-example wgrad: B GEMMs of (Cin*R*S, P*Q, Cout)
+ */
+
+#ifndef DIVA_DP_CONV2D_H
+#define DIVA_DP_CONV2D_H
+
+#include "common/rng.h"
+#include "dp/im2col.h"
+#include "dp/tensor.h"
+
+namespace diva
+{
+
+/** y = conv2d(x, W) + b with explicit gradient derivations. */
+class Conv2d
+{
+  public:
+    Conv2d(const ConvGeometry &geometry, Rng &rng);
+
+    const ConvGeometry &geometry() const { return geom_; }
+
+    /**
+     * Forward pass. Input rows are flattened CHW images
+     * (B x Cin*H*W); output rows are flattened (B x Cout*P*Q).
+     */
+    Tensor forward(const Tensor &x) const;
+
+    /** Activation gradient: grad_x (B x Cin*H*W). */
+    Tensor backwardInput(const Tensor &grad_y) const;
+
+    /**
+     * Per-batch weight gradient, reduced over the whole mini-batch.
+     * dw is (Cin*R*S x Cout), db is (1 x Cout).
+     */
+    void perBatchGrad(const Tensor &x, const Tensor &grad_y, Tensor &dw,
+                      Tensor &db) const;
+
+    /** Per-example weight gradient of example i. */
+    void perExampleGrad(const Tensor &x, const Tensor &grad_y,
+                        std::int64_t i, Tensor &dw, Tensor &db) const;
+
+    /** Squared L2 norm of example i's (dW_i, db_i). */
+    double perExampleGradNormSq(const Tensor &x, const Tensor &grad_y,
+                                std::int64_t i) const;
+
+    /** Weight as the (Cin*R*S x Cout) GEMM operand. */
+    Tensor &weight() { return weight_; }
+    const Tensor &weight() const { return weight_; }
+    Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
+
+    std::int64_t paramCount() const
+    {
+        return weight_.size() + bias_.size();
+    }
+
+  private:
+    /** Reshape one example's grad_y row into a (P*Q x Cout) matrix. */
+    Tensor gradYMatrix(const Tensor &grad_y, std::int64_t i) const;
+
+    ConvGeometry geom_;
+    Tensor weight_; ///< (Cin*R*S, Cout)
+    Tensor bias_;   ///< (1, Cout)
+};
+
+} // namespace diva
+
+#endif // DIVA_DP_CONV2D_H

@@ -1,0 +1,60 @@
+#include "dp/data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+Dataset
+makeSyntheticClassification(std::int64_t n, int dim, int classes,
+                            Rng &rng, double separation)
+{
+    DIVA_ASSERT(n > 0 && dim > 0 && classes > 1);
+    Dataset data;
+    data.numClasses = classes;
+    data.x = Tensor(n, dim);
+    data.y.resize(std::size_t(n));
+
+    // Random unit-ish mean per class, scaled by the separation.
+    Tensor means(classes, dim);
+    for (int c = 0; c < classes; ++c) {
+        double norm_sq = 0.0;
+        for (int d = 0; d < dim; ++d) {
+            const double v = rng.gaussian();
+            means.at(c, d) = float(v);
+            norm_sq += v * v;
+        }
+        const double inv = separation / std::max(1e-9, std::sqrt(norm_sq));
+        for (int d = 0; d < dim; ++d)
+            means.at(c, d) = float(means.at(c, d) * inv);
+    }
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        const int c = int(rng.uniformInt(std::uint64_t(classes)));
+        data.y[std::size_t(i)] = c;
+        for (int d = 0; d < dim; ++d)
+            data.x.at(i, d) = float(means.at(c, d) + rng.gaussian());
+    }
+    return data;
+}
+
+void
+sampleBatch(const Dataset &data, std::int64_t batch, Rng &rng,
+            Tensor &x_out, std::vector<int> &y_out)
+{
+    DIVA_ASSERT(batch > 0 && data.size() > 0);
+    x_out = Tensor(batch, data.x.cols());
+    y_out.resize(std::size_t(batch));
+    for (std::int64_t i = 0; i < batch; ++i) {
+        const std::int64_t idx =
+            std::int64_t(rng.uniformInt(std::uint64_t(data.size())));
+        for (std::int64_t d = 0; d < data.x.cols(); ++d)
+            x_out.at(i, d) = data.x.at(idx, d);
+        y_out[std::size_t(i)] = data.y[std::size_t(idx)];
+    }
+}
+
+} // namespace diva

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic dataset generation for the functional DP-SGD examples and
+ * tests. The paper trains on CIFAR-10 and NLP corpora; DP-SGD's
+ * numerics (per-example gradients, clipping, noising) are exercised
+ * identically by a synthetic Gaussian-cluster classification task.
+ */
+
+#ifndef DIVA_DP_DATA_H
+#define DIVA_DP_DATA_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dp/tensor.h"
+
+namespace diva
+{
+
+/** A labeled classification dataset. */
+struct Dataset
+{
+    Tensor x;           ///< (N x dim) features
+    std::vector<int> y; ///< length-N class indices
+    int numClasses = 0;
+
+    std::int64_t size() const { return x.rows(); }
+};
+
+/**
+ * N examples from `classes` Gaussian clusters with unit covariance and
+ * class-mean separation `separation` in a random direction per class.
+ */
+Dataset makeSyntheticClassification(std::int64_t n, int dim, int classes,
+                                    Rng &rng, double separation = 3.0);
+
+/** Random mini-batch (with replacement) of the dataset. */
+void sampleBatch(const Dataset &data, std::int64_t batch, Rng &rng,
+                 Tensor &x_out, std::vector<int> &y_out);
+
+} // namespace diva
+
+#endif // DIVA_DP_DATA_H

@@ -1,0 +1,93 @@
+#include "dp/im2col.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+namespace
+{
+
+void
+checkGeometry(const ConvGeometry &g)
+{
+    DIVA_ASSERT(g.inChannels > 0 && g.outChannels > 0);
+    DIVA_ASSERT(g.kernelH > 0 && g.kernelW > 0 && g.stride > 0);
+    DIVA_ASSERT(g.padding >= 0 && g.inH > 0 && g.inW > 0);
+    DIVA_ASSERT(g.outH() > 0 && g.outW() > 0,
+                "convolution collapses spatially");
+}
+
+} // namespace
+
+Tensor
+im2col(const ConvGeometry &g, const Tensor &input, std::int64_t example)
+{
+    checkGeometry(g);
+    const std::int64_t chw =
+        std::int64_t(g.inChannels) * g.inH * g.inW;
+    DIVA_ASSERT(input.cols() == chw, "input row length mismatch");
+    DIVA_ASSERT(example >= 0 && example < input.rows());
+
+    Tensor patches(g.outPixels(), g.patchSize());
+    const int p_out = g.outH();
+    const int q_out = g.outW();
+    for (int py = 0; py < p_out; ++py) {
+        for (int px = 0; px < q_out; ++px) {
+            const std::int64_t pixel = std::int64_t(py) * q_out + px;
+            std::int64_t col = 0;
+            for (int c = 0; c < g.inChannels; ++c) {
+                for (int ky = 0; ky < g.kernelH; ++ky) {
+                    for (int kx = 0; kx < g.kernelW; ++kx, ++col) {
+                        const int iy = py * g.stride + ky - g.padding;
+                        const int ix = px * g.stride + kx - g.padding;
+                        if (iy < 0 || iy >= g.inH || ix < 0 ||
+                            ix >= g.inW) {
+                            continue; // zero padding
+                        }
+                        const std::int64_t idx =
+                            (std::int64_t(c) * g.inH + iy) * g.inW + ix;
+                        patches.at(pixel, col) = input.at(example, idx);
+                    }
+                }
+            }
+        }
+    }
+    return patches;
+}
+
+Tensor
+col2im(const ConvGeometry &g, const Tensor &patches)
+{
+    checkGeometry(g);
+    DIVA_ASSERT(patches.rows() == g.outPixels());
+    DIVA_ASSERT(patches.cols() == g.patchSize());
+
+    Tensor grad(1, std::int64_t(g.inChannels) * g.inH * g.inW);
+    const int p_out = g.outH();
+    const int q_out = g.outW();
+    for (int py = 0; py < p_out; ++py) {
+        for (int px = 0; px < q_out; ++px) {
+            const std::int64_t pixel = std::int64_t(py) * q_out + px;
+            std::int64_t col = 0;
+            for (int c = 0; c < g.inChannels; ++c) {
+                for (int ky = 0; ky < g.kernelH; ++ky) {
+                    for (int kx = 0; kx < g.kernelW; ++kx, ++col) {
+                        const int iy = py * g.stride + ky - g.padding;
+                        const int ix = px * g.stride + kx - g.padding;
+                        if (iy < 0 || iy >= g.inH || ix < 0 ||
+                            ix >= g.inW) {
+                            continue;
+                        }
+                        const std::int64_t idx =
+                            (std::int64_t(c) * g.inH + iy) * g.inW + ix;
+                        grad.at(0, idx) += patches.at(pixel, col);
+                    }
+                }
+            }
+        }
+    }
+    return grad;
+}
+
+} // namespace diva

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * im2col / col2im transforms: the lowering that turns convolutions
+ * into GEMMs (Section II-D cites this as the reason training
+ * accelerators standardize on GEMM). The functional conv layer uses
+ * these to compute forward and backward passes, which in turn
+ * validates the Figure-6 conv GEMM shape algebra numerically.
+ */
+
+#ifndef DIVA_DP_IM2COL_H
+#define DIVA_DP_IM2COL_H
+
+#include "dp/tensor.h"
+
+namespace diva
+{
+
+/** Geometry of one 2-D convolution. */
+struct ConvGeometry
+{
+    int inChannels = 0;
+    int outChannels = 0;
+    int kernelH = 0;
+    int kernelW = 0;
+    int stride = 1;
+    int padding = 0;
+    int inH = 0;
+    int inW = 0;
+
+    int outH() const
+    {
+        return (inH + 2 * padding - kernelH) / stride + 1;
+    }
+    int outW() const
+    {
+        return (inW + 2 * padding - kernelW) / stride + 1;
+    }
+
+    /** im2col patch length: Cin * R * S (Figure 6's K dimension). */
+    std::int64_t patchSize() const
+    {
+        return std::int64_t(inChannels) * kernelH * kernelW;
+    }
+
+    /** Output pixels per example: P * Q. */
+    std::int64_t outPixels() const
+    {
+        return std::int64_t(outH()) * outW();
+    }
+};
+
+/**
+ * Lower one example's input (CHW, flattened to a 1 x C*H*W row) into
+ * the im2col patch matrix of shape (P*Q, Cin*R*S): row p holds the
+ * receptive field of output pixel p. Out-of-bounds (padding) taps are
+ * zero.
+ */
+Tensor im2col(const ConvGeometry &g, const Tensor &input,
+              std::int64_t example);
+
+/**
+ * Inverse scatter: accumulate a patch-matrix gradient (P*Q, Cin*R*S)
+ * back into an input-shaped gradient row (1 x Cin*H*W). Overlapping
+ * patches sum, which is exactly the convolution input-gradient.
+ */
+Tensor col2im(const ConvGeometry &g, const Tensor &patches);
+
+} // namespace diva
+
+#endif // DIVA_DP_IM2COL_H

@@ -1,0 +1,83 @@
+#include "dp/linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dp/ops.h"
+
+namespace diva
+{
+
+Linear::Linear(int in_features, int out_features, Rng &rng)
+    : inFeatures_(in_features), outFeatures_(out_features),
+      weight_(Tensor::randn(in_features, out_features, rng,
+                            std::sqrt(2.0 / double(in_features)))),
+      bias_(Tensor::zeros(1, out_features))
+{
+    DIVA_ASSERT(in_features > 0 && out_features > 0);
+}
+
+Tensor
+Linear::forward(const Tensor &x) const
+{
+    DIVA_ASSERT(x.cols() == inFeatures_);
+    Tensor y = matmul(x, weight_);
+    for (std::int64_t i = 0; i < y.rows(); ++i)
+        for (std::int64_t j = 0; j < y.cols(); ++j)
+            y.at(i, j) += bias_.at(0, j);
+    return y;
+}
+
+Tensor
+Linear::backwardInput(const Tensor &grad_y) const
+{
+    DIVA_ASSERT(grad_y.cols() == outFeatures_);
+    return matmulTransB(grad_y, weight_);
+}
+
+void
+Linear::perBatchGrad(const Tensor &x, const Tensor &grad_y, Tensor &dw,
+                     Tensor &db) const
+{
+    DIVA_ASSERT(x.rows() == grad_y.rows());
+    dw = matmulTransA(x, grad_y);
+    db = Tensor(1, outFeatures_);
+    for (std::int64_t i = 0; i < grad_y.rows(); ++i)
+        for (std::int64_t j = 0; j < grad_y.cols(); ++j)
+            db.at(0, j) += grad_y.at(i, j);
+}
+
+void
+Linear::perExampleGrad(const Tensor &x, const Tensor &grad_y,
+                       std::int64_t i, Tensor &dw, Tensor &db) const
+{
+    DIVA_ASSERT(i >= 0 && i < x.rows());
+    dw = Tensor(inFeatures_, outFeatures_);
+    db = Tensor(1, outFeatures_);
+    for (std::int64_t r = 0; r < inFeatures_; ++r) {
+        const float xi = x.at(i, r);
+        if (xi == 0.0f)
+            continue;
+        for (std::int64_t c = 0; c < outFeatures_; ++c)
+            dw.at(r, c) = xi * grad_y.at(i, c);
+    }
+    for (std::int64_t c = 0; c < outFeatures_; ++c)
+        db.at(0, c) = grad_y.at(i, c);
+}
+
+double
+Linear::perExampleGradNormSq(const Tensor &x, const Tensor &grad_y,
+                             std::int64_t i) const
+{
+    DIVA_ASSERT(i >= 0 && i < x.rows());
+    double x_sq = 0.0;
+    for (std::int64_t r = 0; r < inFeatures_; ++r)
+        x_sq += double(x.at(i, r)) * double(x.at(i, r));
+    double g_sq = 0.0;
+    for (std::int64_t c = 0; c < outFeatures_; ++c)
+        g_sq += double(grad_y.at(i, c)) * double(grad_y.at(i, c));
+    // ||x g^T||_F^2 = ||x||^2 ||g||^2; the bias contributes ||g||^2.
+    return x_sq * g_sq + g_sq;
+}
+
+} // namespace diva

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fully connected layer with per-batch and per-example weight-gradient
+ * derivation -- the numeric counterpart of Figure 6's GEMM algebra.
+ */
+
+#ifndef DIVA_DP_LINEAR_H
+#define DIVA_DP_LINEAR_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "dp/tensor.h"
+
+namespace diva
+{
+
+/** y = x * W + b with explicit gradient derivations. */
+class Linear
+{
+  public:
+    /** Xavier-uniform-ish initialization via scaled Gaussians. */
+    Linear(int in_features, int out_features, Rng &rng);
+
+    int inFeatures() const { return inFeatures_; }
+    int outFeatures() const { return outFeatures_; }
+
+    /** (B, in) -> (B, out). */
+    Tensor forward(const Tensor &x) const;
+
+    /** grad_x(B, in) = grad_y(B, out) * W^T: the activation gradient. */
+    Tensor backwardInput(const Tensor &grad_y) const;
+
+    /**
+     * Per-batch weight gradient: dW(in, out) = x^T * grad_y (the K
+     * dimension reduces over the batch, Figure 6 middle column);
+     * db(1, out) = column sums of grad_y.
+     */
+    void perBatchGrad(const Tensor &x, const Tensor &grad_y, Tensor &dw,
+                      Tensor &db) const;
+
+    /**
+     * Per-example weight gradient for example `i`: the rank-1 outer
+     * product dW_i = x_i^T * grad_y_i (Figure 6 right column, K=1).
+     */
+    void perExampleGrad(const Tensor &x, const Tensor &grad_y,
+                        std::int64_t i, Tensor &dw, Tensor &db) const;
+
+    /**
+     * Squared L2 norm of example i's (dW_i, db_i) without materializing
+     * them: ||x_i||^2 * ||g_i||^2 + ||g_i||^2, exploiting the rank-1
+     * structure (this is the Lee & Kifer fast-clipping trick).
+     */
+    double perExampleGradNormSq(const Tensor &x, const Tensor &grad_y,
+                                std::int64_t i) const;
+
+    Tensor &weight() { return weight_; }
+    const Tensor &weight() const { return weight_; }
+    Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
+
+    std::int64_t paramCount() const
+    {
+        return std::int64_t(inFeatures_) * outFeatures_ + outFeatures_;
+    }
+
+  private:
+    int inFeatures_;
+    int outFeatures_;
+    Tensor weight_; ///< (in, out)
+    Tensor bias_;   ///< (1, out)
+};
+
+} // namespace diva
+
+#endif // DIVA_DP_LINEAR_H

@@ -1,0 +1,111 @@
+#include "dp/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    DIVA_ASSERT(a.cols() == b.rows(), "matmul shape mismatch");
+    Tensor c(a.rows(), b.cols());
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+        for (std::int64_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            for (std::int64_t j = 0; j < b.cols(); ++j)
+                c.at(i, j) += aik * b.at(k, j);
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransA(const Tensor &a, const Tensor &b)
+{
+    DIVA_ASSERT(a.rows() == b.rows(), "matmulTransA shape mismatch");
+    Tensor c(a.cols(), b.cols());
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+        for (std::int64_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            for (std::int64_t j = 0; j < b.cols(); ++j)
+                c.at(k, j) += aik * b.at(i, j);
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    DIVA_ASSERT(a.cols() == b.cols(), "matmulTransB shape mismatch");
+    Tensor c(a.rows(), b.rows());
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+        for (std::int64_t k = 0; k < b.rows(); ++k) {
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < a.cols(); ++j)
+                acc += double(a.at(i, j)) * double(b.at(k, j));
+            c.at(i, k) = float(acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+reluForward(const Tensor &x)
+{
+    Tensor y = x;
+    for (auto &v : y.data())
+        v = std::max(v, 0.0f);
+    return y;
+}
+
+Tensor
+reluBackward(const Tensor &z, const Tensor &grad_y)
+{
+    DIVA_ASSERT(z.rows() == grad_y.rows() && z.cols() == grad_y.cols());
+    Tensor grad_x = grad_y;
+    for (std::int64_t i = 0; i < z.size(); ++i) {
+        if (z[i] <= 0.0f)
+            grad_x[i] = 0.0f;
+    }
+    return grad_x;
+}
+
+double
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels,
+                    Tensor &grad)
+{
+    DIVA_ASSERT(std::int64_t(labels.size()) == logits.rows());
+    grad = Tensor(logits.rows(), logits.cols());
+    double total_loss = 0.0;
+    for (std::int64_t i = 0; i < logits.rows(); ++i) {
+        const int label = labels[std::size_t(i)];
+        DIVA_ASSERT(label >= 0 && label < logits.cols(),
+                    "label out of range");
+        float max_logit = logits.at(i, 0);
+        for (std::int64_t j = 1; j < logits.cols(); ++j)
+            max_logit = std::max(max_logit, logits.at(i, j));
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < logits.cols(); ++j)
+            denom += std::exp(double(logits.at(i, j)) - max_logit);
+        for (std::int64_t j = 0; j < logits.cols(); ++j) {
+            const double p =
+                std::exp(double(logits.at(i, j)) - max_logit) / denom;
+            grad.at(i, j) = float(p - (j == label ? 1.0 : 0.0));
+        }
+        const double log_p =
+            double(logits.at(i, label)) - max_logit - std::log(denom);
+        total_loss -= log_p;
+    }
+    return total_loss / double(logits.rows());
+}
+
+} // namespace diva

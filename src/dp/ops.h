@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Numeric primitives for the functional DP-SGD library: GEMM variants,
+ * ReLU forward/backward and the softmax cross-entropy loss.
+ */
+
+#ifndef DIVA_DP_OPS_H
+#define DIVA_DP_OPS_H
+
+#include <vector>
+
+#include "dp/tensor.h"
+
+namespace diva
+{
+
+/** C = A(BxK) * B(KxN). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C = A^T(KxB)^T... i.e. C(KxN) = A(BxK)^T * B(BxN). */
+Tensor matmulTransA(const Tensor &a, const Tensor &b);
+
+/** C(BxK) = A(BxN) * B(KxN)^T. */
+Tensor matmulTransB(const Tensor &a, const Tensor &b);
+
+/** Element-wise max(x, 0). */
+Tensor reluForward(const Tensor &x);
+
+/** grad_x = grad_y where pre-activation z > 0, else 0. */
+Tensor reluBackward(const Tensor &z, const Tensor &grad_y);
+
+/**
+ * Mean softmax cross-entropy over the batch.
+ *
+ * @param logits (B x C) raw scores
+ * @param labels length-B class indices
+ * @param grad   out-param: d(mean loss * B)/d(logits), i.e. the
+ *               *per-example* (un-averaged) gradient softmax(x)-onehot,
+ *               so row i is exactly dLi/dlogits_i as DP-SGD needs.
+ * @return mean loss over the batch
+ */
+double softmaxCrossEntropy(const Tensor &logits,
+                           const std::vector<int> &labels, Tensor &grad);
+
+} // namespace diva
+
+#endif // DIVA_DP_OPS_H

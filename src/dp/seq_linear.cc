@@ -1,0 +1,144 @@
+#include "dp/seq_linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dp/ops.h"
+
+namespace diva
+{
+
+SeqLinear::SeqLinear(int in_features, int out_features, int seq_len,
+                     Rng &rng)
+    : inFeatures_(in_features), outFeatures_(out_features),
+      seqLen_(seq_len),
+      weight_(Tensor::randn(in_features, out_features, rng,
+                            std::sqrt(2.0 / double(in_features)))),
+      bias_(Tensor::zeros(1, out_features))
+{
+    DIVA_ASSERT(in_features > 0 && out_features > 0 && seq_len > 0);
+}
+
+void
+SeqLinear::sliceStep(const Tensor &t, std::int64_t i, int step,
+                     int features, Tensor &out)
+{
+    out = Tensor(1, features);
+    for (int f = 0; f < features; ++f)
+        out.at(0, f) = t.at(i, std::int64_t(step) * features + f);
+}
+
+Tensor
+SeqLinear::forward(const Tensor &x) const
+{
+    DIVA_ASSERT(x.cols() == std::int64_t(seqLen_) * inFeatures_,
+                "input must be (B, L*I)");
+    Tensor y(x.rows(), std::int64_t(seqLen_) * outFeatures_);
+    for (std::int64_t i = 0; i < x.rows(); ++i) {
+        for (int t = 0; t < seqLen_; ++t) {
+            for (int o = 0; o < outFeatures_; ++o) {
+                double acc = bias_.at(0, o);
+                for (int f = 0; f < inFeatures_; ++f) {
+                    acc += double(x.at(i, std::int64_t(t) * inFeatures_ +
+                                          f)) *
+                           double(weight_.at(f, o));
+                }
+                y.at(i, std::int64_t(t) * outFeatures_ + o) = float(acc);
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+SeqLinear::backwardInput(const Tensor &grad_y) const
+{
+    DIVA_ASSERT(grad_y.cols() == std::int64_t(seqLen_) * outFeatures_);
+    Tensor gx(grad_y.rows(), std::int64_t(seqLen_) * inFeatures_);
+    for (std::int64_t i = 0; i < grad_y.rows(); ++i) {
+        for (int t = 0; t < seqLen_; ++t) {
+            for (int f = 0; f < inFeatures_; ++f) {
+                double acc = 0.0;
+                for (int o = 0; o < outFeatures_; ++o) {
+                    acc += double(grad_y.at(
+                               i, std::int64_t(t) * outFeatures_ + o)) *
+                           double(weight_.at(f, o));
+                }
+                gx.at(i, std::int64_t(t) * inFeatures_ + f) = float(acc);
+            }
+        }
+    }
+    return gx;
+}
+
+void
+SeqLinear::perBatchGrad(const Tensor &x, const Tensor &grad_y,
+                        Tensor &dw, Tensor &db) const
+{
+    DIVA_ASSERT(x.rows() == grad_y.rows());
+    dw = Tensor(inFeatures_, outFeatures_);
+    db = Tensor(1, outFeatures_);
+    Tensor dw_i, db_i;
+    for (std::int64_t i = 0; i < x.rows(); ++i) {
+        perExampleGrad(x, grad_y, i, dw_i, db_i);
+        dw.add(dw_i);
+        db.add(db_i);
+    }
+}
+
+void
+SeqLinear::perExampleGrad(const Tensor &x, const Tensor &grad_y,
+                          std::int64_t i, Tensor &dw, Tensor &db) const
+{
+    dw = Tensor(inFeatures_, outFeatures_);
+    db = Tensor(1, outFeatures_);
+    // dW_i = sum_t x_t^T g_t: the (I, L, O) GEMM with the time
+    // dimension reduced inside the GEMM (Figure 6, right column).
+    for (int t = 0; t < seqLen_; ++t) {
+        for (int f = 0; f < inFeatures_; ++f) {
+            const float xf =
+                x.at(i, std::int64_t(t) * inFeatures_ + f);
+            if (xf == 0.0f)
+                continue;
+            for (int o = 0; o < outFeatures_; ++o) {
+                dw.at(f, o) +=
+                    xf * grad_y.at(i,
+                                   std::int64_t(t) * outFeatures_ + o);
+            }
+        }
+        for (int o = 0; o < outFeatures_; ++o)
+            db.at(0, o) +=
+                grad_y.at(i, std::int64_t(t) * outFeatures_ + o);
+    }
+}
+
+double
+SeqLinear::perExampleGradNormSq(const Tensor &x, const Tensor &grad_y,
+                                std::int64_t i) const
+{
+    // Ghost-norm identity: ||sum_t x_t g_t^T||_F^2
+    //   = sum_{t,s} (x_t . x_s)(g_t . g_s).
+    // The bias gradient is sum_t g_t, whose norm uses the same g-Gram.
+    Tensor xt, xs, gt, gs;
+    double weight_sq = 0.0;
+    double bias_sq = 0.0;
+    for (int t = 0; t < seqLen_; ++t) {
+        sliceStep(x, i, t, inFeatures_, xt);
+        sliceStep(grad_y, i, t, outFeatures_, gt);
+        for (int s = 0; s < seqLen_; ++s) {
+            sliceStep(x, i, s, inFeatures_, xs);
+            sliceStep(grad_y, i, s, outFeatures_, gs);
+            double x_dot = 0.0;
+            for (int f = 0; f < inFeatures_; ++f)
+                x_dot += double(xt.at(0, f)) * double(xs.at(0, f));
+            double g_dot = 0.0;
+            for (int o = 0; o < outFeatures_; ++o)
+                g_dot += double(gt.at(0, o)) * double(gs.at(0, o));
+            weight_sq += x_dot * g_dot;
+            bias_sq += g_dot;
+        }
+    }
+    return weight_sq + bias_sq;
+}
+
+} // namespace diva

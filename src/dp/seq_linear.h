@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Time-series linear layer ("MLP layer with time-series input" in
+ * Figure 6): one weight matrix applied at every timestep, as in BERT
+ * projections and LSTM gates. Its per-example weight gradient sums the
+ * per-timestep outer products,
+ *
+ *   dW_i = sum_t x_{i,t}^T g_{i,t}  --  the (I, L, O) GEMM,
+ *
+ * and its per-example norm admits the Goodfellow/ghost-norm identity
+ *
+ *   ||dW_i||_F^2 = sum_{t,s} (x_t . x_s)(g_t . g_s)
+ *               = <X X^T, G G^T>_F,
+ *
+ * an O(L^2 (I+O)) computation that avoids materializing the I x O
+ * gradient -- the sequence analogue of DP-SGD(R)'s first pass.
+ */
+
+#ifndef DIVA_DP_SEQ_LINEAR_H
+#define DIVA_DP_SEQ_LINEAR_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "dp/tensor.h"
+
+namespace diva
+{
+
+/** y_{b,t} = x_{b,t} * W + bias for every timestep t. */
+class SeqLinear
+{
+  public:
+    SeqLinear(int in_features, int out_features, int seq_len, Rng &rng);
+
+    int inFeatures() const { return inFeatures_; }
+    int outFeatures() const { return outFeatures_; }
+    int seqLen() const { return seqLen_; }
+
+    /** (B, L*I) -> (B, L*O); rows are timestep-major flattenings. */
+    Tensor forward(const Tensor &x) const;
+
+    /** grad_x (B, L*I) = grad_y (B, L*O) through W^T per timestep. */
+    Tensor backwardInput(const Tensor &grad_y) const;
+
+    /** Per-batch weight gradient: the (I, B*L, O) GEMM of Figure 6. */
+    void perBatchGrad(const Tensor &x, const Tensor &grad_y, Tensor &dw,
+                      Tensor &db) const;
+
+    /** Per-example weight gradient: the (I, L, O) GEMM of Figure 6. */
+    void perExampleGrad(const Tensor &x, const Tensor &grad_y,
+                        std::int64_t i, Tensor &dw, Tensor &db) const;
+
+    /**
+     * Squared per-example gradient norm via the Gram-matrix identity,
+     * without materializing dW_i.
+     */
+    double perExampleGradNormSq(const Tensor &x, const Tensor &grad_y,
+                                std::int64_t i) const;
+
+    Tensor &weight() { return weight_; }
+    const Tensor &weight() const { return weight_; }
+    Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
+
+  private:
+    /** Extract example i's timestep-t slice of a (B, L*F) tensor. */
+    static void sliceStep(const Tensor &t, std::int64_t i, int step,
+                          int features, Tensor &out);
+
+    int inFeatures_;
+    int outFeatures_;
+    int seqLen_;
+    Tensor weight_; ///< (I, O)
+    Tensor bias_;   ///< (1, O)
+};
+
+} // namespace diva
+
+#endif // DIVA_DP_SEQ_LINEAR_H

@@ -1,0 +1,104 @@
+#include "dp/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+Tensor::Tensor(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(std::size_t(rows) * std::size_t(cols), 0.0f)
+{
+    DIVA_ASSERT(rows >= 0 && cols >= 0);
+}
+
+Tensor
+Tensor::zeros(std::int64_t rows, std::int64_t cols)
+{
+    return Tensor(rows, cols);
+}
+
+Tensor
+Tensor::randn(std::int64_t rows, std::int64_t cols, Rng &rng,
+              double stddev)
+{
+    Tensor t(rows, cols);
+    rng.fillGaussian(t.data_, stddev);
+    return t;
+}
+
+float &
+Tensor::at(std::int64_t r, std::int64_t c)
+{
+    DIVA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "index (", r, ",", c, ") out of (", rows_, ",", cols_,
+                ")");
+    return data_[std::size_t(r * cols_ + c)];
+}
+
+float
+Tensor::at(std::int64_t r, std::int64_t c) const
+{
+    DIVA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[std::size_t(r * cols_ + c)];
+}
+
+void
+Tensor::setZero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+double
+Tensor::l2NormSq() const
+{
+    double acc = 0.0;
+    for (float v : data_)
+        acc += double(v) * double(v);
+    return acc;
+}
+
+double
+Tensor::l2Norm() const
+{
+    return std::sqrt(l2NormSq());
+}
+
+void
+Tensor::scale(double s)
+{
+    for (auto &v : data_)
+        v = float(v * s);
+}
+
+void
+Tensor::add(const Tensor &other)
+{
+    DIVA_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::addScaled(const Tensor &other, double s)
+{
+    DIVA_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] = float(data_[i] + s * other.data_[i]);
+}
+
+double
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    DIVA_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+    double best = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        best = std::max(best,
+                        std::abs(double(data_[i]) - double(other.data_[i])));
+    return best;
+}
+
+} // namespace diva

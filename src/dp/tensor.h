@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small dense float tensor for the functional DP-SGD library.
+ *
+ * This is deliberately minimal: row-major storage, 1-D/2-D accessors,
+ * and the handful of BLAS-1 style helpers the trainers need. It exists
+ * so the repository contains a *real*, numerically verifiable DP-SGD
+ * implementation (per-example gradients, clipping, noising) alongside
+ * the timing models.
+ */
+
+#ifndef DIVA_DP_TENSOR_H
+#define DIVA_DP_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace diva
+{
+
+/** Dense row-major float matrix/vector. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct a zero-filled (rows x cols) tensor. */
+    Tensor(std::int64_t rows, std::int64_t cols);
+
+    /** Zero-filled tensor. */
+    static Tensor zeros(std::int64_t rows, std::int64_t cols);
+
+    /** I.i.d. N(0, stddev^2) entries. */
+    static Tensor randn(std::int64_t rows, std::int64_t cols, Rng &rng,
+                        double stddev);
+
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+    std::int64_t size() const { return rows_ * cols_; }
+
+    float &at(std::int64_t r, std::int64_t c);
+    float at(std::int64_t r, std::int64_t c) const;
+
+    float &operator[](std::int64_t i) { return data_[std::size_t(i)]; }
+    float operator[](std::int64_t i) const
+    {
+        return data_[std::size_t(i)];
+    }
+
+    std::vector<float> &data() { return data_; }
+    const std::vector<float> &data() const { return data_; }
+
+    /** Set all entries to zero. */
+    void setZero();
+
+    /** Sum of squared entries (double accumulation). */
+    double l2NormSq() const;
+
+    /** Euclidean norm. */
+    double l2Norm() const;
+
+    /** In-place scale by `s`. */
+    void scale(double s);
+
+    /** this += other (shapes must match). */
+    void add(const Tensor &other);
+
+    /** this += s * other. */
+    void addScaled(const Tensor &other, double s);
+
+    /** Max absolute difference vs another tensor (for tests). */
+    double maxAbsDiff(const Tensor &other) const;
+
+  private:
+    std::int64_t rows_ = 0;
+    std::int64_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace diva
+
+#endif // DIVA_DP_TENSOR_H

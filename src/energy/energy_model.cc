@@ -1,0 +1,64 @@
+#include "energy/energy_model.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+double
+EnergyModel::enginePowerW(const AcceleratorConfig &cfg)
+{
+    double p = 0.0;
+    switch (cfg.dataflow) {
+      case Dataflow::kWeightStationary: p = kWsPowerW; break;
+      case Dataflow::kOutputStationary: p = kOsPowerW; break;
+      case Dataflow::kOuterProduct: p = kOuterPowerW; break;
+    }
+    if (cfg.hasPpu)
+        p += kPpuPowerW;
+    // Scale with PE count relative to the synthesized 128x128 design,
+    // so ablation configs with different array sizes stay meaningful.
+    const double pe_scale =
+        double(cfg.peRows) * double(cfg.peCols) / (128.0 * 128.0);
+    return p * pe_scale;
+}
+
+double
+EnergyModel::engineAreaMm2(const AcceleratorConfig &cfg)
+{
+    double a = 0.0;
+    switch (cfg.dataflow) {
+      case Dataflow::kWeightStationary: a = kWsAreaMm2; break;
+      case Dataflow::kOutputStationary: a = kOsAreaMm2; break;
+      case Dataflow::kOuterProduct: a = kOuterAreaMm2; break;
+    }
+    if (cfg.hasPpu)
+        a += kPpuAreaMm2;
+    const double pe_scale =
+        double(cfg.peRows) * double(cfg.peCols) / (128.0 * 128.0);
+    return a * pe_scale;
+}
+
+EnergyBreakdown
+EnergyModel::energy(const SimResult &result, const AcceleratorConfig &cfg)
+{
+    EnergyBreakdown e;
+    e.computeJ = enginePowerW(cfg) * result.seconds(cfg);
+    e.sramJ = kSramJoulesPerByte *
+              double(result.sramReadBytes + result.sramWriteBytes);
+    e.dramJ = kDramJoulesPerByte * double(result.totalDram().total());
+    return e;
+}
+
+AreaPowerEntry
+EnergyModel::tableEntry(const AcceleratorConfig &cfg)
+{
+    AreaPowerEntry entry;
+    entry.engine = cfg.name.c_str();
+    entry.powerWatts = enginePowerW(cfg);
+    entry.areaMm2 = engineAreaMm2(cfg);
+    entry.peakTflops = cfg.peakTflops();
+    return entry;
+}
+
+} // namespace diva

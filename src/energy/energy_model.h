@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Energy, power, and area model (Section V "Area/power"/"Energy",
+ * Table III, Figure 16).
+ *
+ * The paper derives GEMM-engine/PPU power and area from a 65 nm
+ * SystemVerilog synthesis, SRAM energy from CACTI, and DRAM energy per
+ * access from Horowitz's ISSCC'14 numbers. We encode the published
+ * synthesis results (Table III) as model constants and use per-byte
+ * energies in the Horowitz/CACTI range for the memory system, so total
+ * energy is:
+ *
+ *   E = P_engine * T_exec + e_sram * bytes_sram + e_dram * bytes_dram
+ */
+
+#ifndef DIVA_ENERGY_ENERGY_MODEL_H
+#define DIVA_ENERGY_ENERGY_MODEL_H
+
+#include "arch/accelerator_config.h"
+#include "sim/result.h"
+
+namespace diva
+{
+
+/** Joules by component for one simulated iteration. */
+struct EnergyBreakdown
+{
+    double computeJ = 0.0;
+    double sramJ = 0.0;
+    double dramJ = 0.0;
+
+    double total() const { return computeJ + sramJ + dramJ; }
+};
+
+/** One row of the paper's Table III. */
+struct AreaPowerEntry
+{
+    const char *engine = "";
+    double powerWatts = 0.0;
+    double areaMm2 = 0.0;
+    double peakTflops = 0.0;
+};
+
+/** Energy/area/power constants and derivations. */
+class EnergyModel
+{
+  public:
+    /** GEMM-engine dynamic power in watts (Table III, 65 nm, 940 MHz). */
+    static constexpr double kWsPowerW = 13.4;
+    static constexpr double kOsPowerW = 13.6;
+    static constexpr double kOuterPowerW = 21.2;
+    static constexpr double kPpuPowerW = 2.6;
+
+    /** GEMM-engine area in mm^2 (Table III). */
+    static constexpr double kWsAreaMm2 = 68.0;
+    static constexpr double kOsAreaMm2 = 70.0;
+    static constexpr double kOuterAreaMm2 = 82.0;
+    static constexpr double kPpuAreaMm2 = 3.0;
+
+    /** Whole-chip envelope (Section VI-B: TPUv3-level, 12 nm). */
+    static constexpr double kChipAreaMm2 = 650.0;
+    static constexpr double kChipTdpW = 450.0;
+
+    /** Memory energy per byte: CACTI-class SRAM, Horowitz DRAM. */
+    static constexpr double kSramJoulesPerByte = 6.0e-12;
+    static constexpr double kDramJoulesPerByte = 160.0e-12;
+
+    /** Engine power (including PPU when present) for a config. */
+    static double enginePowerW(const AcceleratorConfig &cfg);
+
+    /** Engine area (including PPU when present) for a config. */
+    static double engineAreaMm2(const AcceleratorConfig &cfg);
+
+    /** Energy of one simulated iteration on the given accelerator. */
+    static EnergyBreakdown energy(const SimResult &result,
+                                  const AcceleratorConfig &cfg);
+
+    /** Table III row for the given configuration. */
+    static AreaPowerEntry tableEntry(const AcceleratorConfig &cfg);
+};
+
+} // namespace diva
+
+#endif // DIVA_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,29 @@
+#include "gemm/bandwidth.h"
+
+namespace diva
+{
+
+SramBandwidth
+sramBandwidthRequirement(const AcceleratorConfig &cfg)
+{
+    SramBandwidth bw;
+    bw.inputLhs = Bytes(cfg.peRows) * cfg.inputBytes;
+    switch (cfg.dataflow) {
+      case Dataflow::kWeightStationary:
+        // RHS latched 8 rows/cycle; a single output row drains.
+        bw.inputRhs = Bytes(cfg.peCols) * cfg.weightFillRowsPerCycle *
+                      cfg.inputBytes;
+        bw.output = Bytes(cfg.peCols) * cfg.accumBytes;
+        break;
+      case Dataflow::kOutputStationary:
+      case Dataflow::kOuterProduct:
+        // One RHS vector streams per cycle; R output rows drain.
+        bw.inputRhs = Bytes(cfg.peCols) * cfg.inputBytes;
+        bw.output = Bytes(cfg.peCols) * cfg.drainRowsPerCycle *
+                    cfg.accumBytes;
+        break;
+    }
+    return bw;
+}
+
+} // namespace diva

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analytic on-chip SRAM bandwidth requirements per dataflow (Table I).
+ *
+ * The WS dataflow needs a wide weight-fill port but drains one output
+ * row per cycle; OS-class dataflows (systolic OS and outer-product)
+ * read two input vectors per cycle and drain R output rows per cycle.
+ */
+
+#ifndef DIVA_GEMM_BANDWIDTH_H
+#define DIVA_GEMM_BANDWIDTH_H
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+
+namespace diva
+{
+
+/** Per-cycle SRAM port requirements of one dataflow (bytes/clock). */
+struct SramBandwidth
+{
+    Bytes inputLhs = 0;
+    Bytes inputRhs = 0;
+    Bytes output = 0;
+
+    Bytes total() const { return inputLhs + inputRhs + output; }
+};
+
+/**
+ * Table I entry for the given dataflow under the given configuration.
+ * With TPUv3-level parameters (PE 128x128, 2B inputs, 4B outputs,
+ * 8-row fill/drain) this reproduces the paper's
+ * (2*PE_H + 20*PE_W) B for WS and (2*PE_H + 34*PE_W) B for OS/outer.
+ */
+SramBandwidth sramBandwidthRequirement(const AcceleratorConfig &cfg);
+
+} // namespace diva
+
+#endif // DIVA_GEMM_BANDWIDTH_H

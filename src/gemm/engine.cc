@@ -1,0 +1,87 @@
+#include "gemm/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gemm/os_systolic.h"
+#include "gemm/outer_product.h"
+#include "gemm/traffic_model.h"
+#include "gemm/ws_systolic.h"
+
+namespace diva
+{
+
+GemmResult &
+GemmResult::operator+=(const GemmResult &o)
+{
+    computeCycles += o.computeCycles;
+    memoryCycles += o.memoryCycles;
+    cycles += o.cycles;
+    usefulMacs += o.usefulMacs;
+    dram += o.dram;
+    sramReadBytes += o.sramReadBytes;
+    sramWriteBytes += o.sramWriteBytes;
+    return *this;
+}
+
+GemmEngineModel::GemmEngineModel(const AcceleratorConfig &cfg)
+    : cfg_(cfg), dram_(cfg), sram_(cfg)
+{
+    cfg_.validate();
+}
+
+GemmResult
+GemmEngineModel::simulate(const GemmShape &shape,
+                          const GemmOptions &opt) const
+{
+    return simulateBatched(shape, 1, opt);
+}
+
+GemmResult
+GemmEngineModel::simulateBatched(const GemmShape &shape,
+                                 std::uint64_t count,
+                                 const GemmOptions &opt) const
+{
+    DIVA_ASSERT(shape.valid(), "invalid GEMM shape ", shape.str());
+    if (count == 0)
+        return {};
+
+    GemmResult r;
+    r.computeCycles = computeCycles(shape) * count;
+    r.usefulMacs = shape.macs() * count;
+
+    DramTraffic per_gemm =
+        gemmDramTraffic(shape, sram_, cfg_.inputBytes, cfg_.accumBytes,
+                        opt);
+    r.dram.readBytes = per_gemm.readBytes * count;
+    r.dram.writeBytes = per_gemm.writeBytes * count;
+    r.memoryCycles = dram_.streamingCycles(r.dram.total());
+
+    // Double-buffered operand staging lets compute overlap the DRAM
+    // streams; the GEMM finishes when the slower of the two is done,
+    // plus one exposed access latency for the leading tile.
+    r.cycles = std::max(r.computeCycles, r.memoryCycles) +
+               cfg_.dramLatencyCycles;
+
+    // On-chip traffic runs at the dataflow's per-cycle port rates for
+    // the duration of the compute phase (Table I).
+    r.sramReadBytes = sramReadBytesPerCycle() * r.computeCycles;
+    r.sramWriteBytes = sramWriteBytesPerCycle() * r.computeCycles;
+    return r;
+}
+
+std::unique_ptr<GemmEngineModel>
+GemmEngineModel::create(const AcceleratorConfig &cfg)
+{
+    switch (cfg.dataflow) {
+      case Dataflow::kWeightStationary:
+        return std::make_unique<WsSystolicModel>(cfg);
+      case Dataflow::kOutputStationary:
+        return std::make_unique<OsSystolicModel>(cfg);
+      case Dataflow::kOuterProduct:
+        return std::make_unique<OuterProductModel>(cfg);
+    }
+    DIVA_PANIC("unknown dataflow");
+}
+
+} // namespace diva

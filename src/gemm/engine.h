@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Abstract cycle-level GEMM engine model and its result record.
+ *
+ * Concrete engines implement the three dataflows studied in the paper:
+ * weight-stationary systolic (WsSystolicModel), output-stationary
+ * systolic (OsSystolicModel), and DiVa's outer-product broadcast engine
+ * (OuterProductModel). All engines share the same DRAM traffic model so
+ * that performance differences come from the dataflow, as in the paper.
+ */
+
+#ifndef DIVA_GEMM_ENGINE_H
+#define DIVA_GEMM_ENGINE_H
+
+#include <memory>
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+#include "gemm/gemm_shape.h"
+#include "mem/dram_model.h"
+#include "mem/sram_buffer.h"
+
+namespace diva
+{
+
+/** Per-GEMM execution knobs controlled by the training planner. */
+struct GemmOptions
+{
+    /**
+     * Whether the GEMM output is committed to DRAM. Per-example weight
+     * gradients that are consumed on-the-fly by the PPU (norm-only use
+     * under DP-SGD(R)) never leave the chip, which is the source of the
+     * paper's 99% post-processing traffic reduction.
+     */
+    bool writeOutputToDram = true;
+
+    /** Whether the LHS/RHS operands must be fetched from DRAM. */
+    bool lhsFromDram = true;
+    bool rhsFromDram = true;
+};
+
+/** Outcome of simulating one GEMM (or a batch of identical GEMMs). */
+struct GemmResult
+{
+    /** PE-array occupancy, before overlapping with memory. */
+    Cycles computeCycles = 0;
+
+    /** DRAM streaming time for all operand/output traffic. */
+    Cycles memoryCycles = 0;
+
+    /** Final latency: max(compute, memory) plus fixed access latency. */
+    Cycles cycles = 0;
+
+    /** MACs that contribute to the mathematical result. */
+    Macs usefulMacs = 0;
+
+    /** Off-chip traffic. */
+    DramTraffic dram;
+
+    /** On-chip SRAM traffic (for the energy model). */
+    Bytes sramReadBytes = 0;
+    Bytes sramWriteBytes = 0;
+
+    /** Effective FLOPS utilization: useful MACs over peak MACs. */
+    double utilization(const AcceleratorConfig &cfg) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return double(usefulMacs) /
+               (double(cycles) * double(cfg.macsPerCycle()));
+    }
+
+    /** Effective TFLOPS achieved. */
+    double effectiveTflops(const AcceleratorConfig &cfg) const
+    {
+        return utilization(cfg) * cfg.peakTflops();
+    }
+
+    GemmResult &operator+=(const GemmResult &o);
+};
+
+/**
+ * Base class for cycle-level GEMM engine models. Subclasses provide the
+ * dataflow-specific compute-cycle count; the base class supplies the
+ * shared DRAM traffic model and compute/memory overlap policy.
+ */
+class GemmEngineModel
+{
+  public:
+    explicit GemmEngineModel(const AcceleratorConfig &cfg);
+    virtual ~GemmEngineModel() = default;
+
+    /** Simulate a single GEMM. */
+    GemmResult simulate(const GemmShape &shape,
+                        const GemmOptions &opt = {}) const;
+
+    /**
+     * Simulate `count` independent GEMMs of identical shape (e.g. the
+     * B per-example weight-gradient GEMMs of one layer). The GEMMs are
+     * assumed to be issued back-to-back so the DRAM access latency is
+     * charged once for the whole train.
+     */
+    GemmResult simulateBatched(const GemmShape &shape, std::uint64_t count,
+                               const GemmOptions &opt = {}) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+    /** Factory keyed on cfg.dataflow. */
+    static std::unique_ptr<GemmEngineModel>
+    create(const AcceleratorConfig &cfg);
+
+  protected:
+    /**
+     * Dataflow-specific PE-array occupancy in cycles for one GEMM,
+     * excluding memory stalls. Must also report SRAM traffic.
+     */
+    virtual Cycles computeCycles(const GemmShape &shape) const = 0;
+
+    /** Per-cycle SRAM read/write rates of this dataflow (Table I). */
+    virtual Bytes sramReadBytesPerCycle() const = 0;
+    virtual Bytes sramWriteBytesPerCycle() const = 0;
+
+    AcceleratorConfig cfg_;
+    DramModel dram_;
+    SramBuffer sram_;
+};
+
+} // namespace diva
+
+#endif // DIVA_GEMM_ENGINE_H

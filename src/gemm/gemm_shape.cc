@@ -1,0 +1,16 @@
+#include "gemm/gemm_shape.h"
+
+#include <sstream>
+
+namespace diva
+{
+
+std::string
+GemmShape::str() const
+{
+    std::ostringstream oss;
+    oss << m << "x" << k << "x" << n;
+    return oss.str();
+}
+
+} // namespace diva

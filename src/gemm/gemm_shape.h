@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GEMM shape descriptor and the Figure-6 shape algebra helpers.
+ *
+ * A GEMM multiplies an (M,K) LHS by a (K,N) RHS into an (M,N) output.
+ * DP-SGD's characteristic pathology is GEMMs whose K dimension is small
+ * (per-example weight gradients), which map poorly onto systolic arrays.
+ */
+
+#ifndef DIVA_GEMM_GEMM_SHAPE_H
+#define DIVA_GEMM_GEMM_SHAPE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace diva
+{
+
+/** The (M, K, N) dimensions of one matrix multiplication. */
+struct GemmShape
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    std::int64_t n = 0;
+
+    GemmShape() = default;
+    GemmShape(std::int64_t m_, std::int64_t k_, std::int64_t n_)
+        : m(m_), k(k_), n(n_) {}
+
+    bool valid() const { return m > 0 && k > 0 && n > 0; }
+
+    /** Multiply-accumulate count: M*K*N. */
+    Macs macs() const { return Macs(m) * Macs(k) * Macs(n); }
+
+    /** Floating point operations: 2*M*K*N. */
+    double flops() const { return 2.0 * double(macs()); }
+
+    /** Operand footprints. */
+    Bytes lhsBytes(int elem_bytes) const
+    {
+        return Bytes(m) * Bytes(k) * Bytes(elem_bytes);
+    }
+    Bytes rhsBytes(int elem_bytes) const
+    {
+        return Bytes(k) * Bytes(n) * Bytes(elem_bytes);
+    }
+    Bytes outBytes(int elem_bytes) const
+    {
+        return Bytes(m) * Bytes(n) * Bytes(elem_bytes);
+    }
+
+    /**
+     * Arithmetic intensity in MACs per byte moved (inputs plus the
+     * FP32 output), the usual predictor of memory- vs compute-bound
+     * behavior. Small-K GEMMs have low intensity: their output is as
+     * large as their inputs but each element sees only K MACs.
+     */
+    double intensity(int elem_bytes) const
+    {
+        return double(macs()) /
+               double(lhsBytes(elem_bytes) + rhsBytes(elem_bytes) +
+                      outBytes(2 * elem_bytes));
+    }
+
+    /** "MxKxN" string for logs and tables. */
+    std::string str() const;
+
+    bool operator==(const GemmShape &o) const = default;
+};
+
+} // namespace diva
+
+#endif // DIVA_GEMM_GEMM_SHAPE_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Output-stationary systolic array cycle model.
+ *
+ * Each PE owns one output element; LHS and RHS vectors stream in from
+ * the left and top edges with diagonal skew and partial sums accumulate
+ * locally. After the K-dimension is exhausted the latched outputs are
+ * drained row-by-row (optionally straight into the PPU, Section IV-C).
+ * Like WS, a small K dimension is dominated by the skew overhead, so OS
+ * alone does not fix DP-SGD's per-example gradient GEMMs.
+ */
+
+#ifndef DIVA_GEMM_OS_SYSTOLIC_H
+#define DIVA_GEMM_OS_SYSTOLIC_H
+
+#include "gemm/engine.h"
+
+namespace diva
+{
+
+/** Cycle model of an output-stationary systolic GEMM engine. */
+class OsSystolicModel : public GemmEngineModel
+{
+  public:
+    explicit OsSystolicModel(const AcceleratorConfig &cfg);
+
+  protected:
+    Cycles computeCycles(const GemmShape &shape) const override;
+    Bytes sramReadBytesPerCycle() const override;
+    Bytes sramWriteBytesPerCycle() const override;
+};
+
+} // namespace diva
+
+#endif // DIVA_GEMM_OS_SYSTOLIC_H

@@ -1,0 +1,64 @@
+#include "gemm/outer_product.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+OuterProductModel::OuterProductModel(const AcceleratorConfig &cfg)
+    : GemmEngineModel(cfg)
+{
+    DIVA_ASSERT(cfg.dataflow == Dataflow::kOuterProduct);
+}
+
+Cycles
+OuterProductModel::computeCycles(const GemmShape &shape) const
+{
+    const std::int64_t pe_h = cfg_.peRows;
+    const std::int64_t pe_w = cfg_.peCols;
+    const std::int64_t drain = cfg_.drainRowsPerCycle;
+
+    const std::int64_t tiles_m = ceilDiv(shape.m, pe_h);
+    const std::int64_t tiles_n = ceilDiv(shape.n, pe_w);
+
+    // Broadcast over the local buses has a short, constant pipeline
+    // fill (bus drive + multiply + accumulate register).
+    constexpr Cycles kPipelineFill = 2;
+
+    Cycles total = 0;
+    for (std::int64_t tm = 0; tm < tiles_m; ++tm) {
+        const std::int64_t mt =
+            std::min<std::int64_t>(pe_h, shape.m - tm * pe_h);
+        for (std::int64_t tn = 0; tn < tiles_n; ++tn) {
+            (void)tn;
+            // K vector pairs streamed, one per cycle; no skew. The
+            // R-rows-per-cycle drain proceeds progressively, so the
+            // next tile's accumulation overlaps the drain in rows that
+            // have already been read out: the tile costs
+            // max(K, drain-time) rather than their sum.
+            const Cycles accumulate = Cycles(shape.k);
+            const Cycles drain_cycles = Cycles(ceilDiv(mt, drain));
+            total += std::max(accumulate, drain_cycles) + kPipelineFill;
+        }
+    }
+    return total;
+}
+
+Bytes
+OuterProductModel::sramReadBytesPerCycle() const
+{
+    // Two input vectors per cycle: O(PE_H + PE_W), same as systolic OS
+    // (Table I / Section IV-D).
+    return Bytes(cfg_.peRows) * cfg_.inputBytes +
+           Bytes(cfg_.peCols) * cfg_.inputBytes;
+}
+
+Bytes
+OuterProductModel::sramWriteBytesPerCycle() const
+{
+    return Bytes(cfg_.peCols) * cfg_.drainRowsPerCycle * cfg_.accumBytes;
+}
+
+} // namespace diva

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * DiVa's outer-product GEMM engine cycle model (Section IV-B).
+ *
+ * Each cycle, one LHS column (length M) and one RHS row (length N) are
+ * broadcast over per-row / per-column local buses and multiplied
+ * all-to-all, producing a full M x N partial-sum update. A (M,K,N) GEMM
+ * tile therefore takes exactly K cycles of accumulation regardless of
+ * K's size -- the engine always performs peRows x peCols MACs per cycle
+ * on full tiles, which is what makes it robust to the tall-skinny
+ * per-example weight-gradient GEMMs of DP-SGD.
+ */
+
+#ifndef DIVA_GEMM_OUTER_PRODUCT_H
+#define DIVA_GEMM_OUTER_PRODUCT_H
+
+#include "gemm/engine.h"
+
+namespace diva
+{
+
+/** Cycle model of the outer-product (all-to-all broadcast) engine. */
+class OuterProductModel : public GemmEngineModel
+{
+  public:
+    explicit OuterProductModel(const AcceleratorConfig &cfg);
+
+  protected:
+    Cycles computeCycles(const GemmShape &shape) const override;
+    Bytes sramReadBytesPerCycle() const override;
+    Bytes sramWriteBytesPerCycle() const override;
+};
+
+} // namespace diva
+
+#endif // DIVA_GEMM_OUTER_PRODUCT_H

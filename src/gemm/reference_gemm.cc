@@ -1,0 +1,89 @@
+#include "gemm/reference_gemm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+namespace
+{
+
+void
+checkOperands(const GemmShape &shape, const std::vector<float> &a,
+              const std::vector<float> &b)
+{
+    DIVA_ASSERT(shape.valid());
+    DIVA_ASSERT(a.size() == std::size_t(shape.m) * std::size_t(shape.k),
+                "LHS size mismatch for ", shape.str());
+    DIVA_ASSERT(b.size() == std::size_t(shape.k) * std::size_t(shape.n),
+                "RHS size mismatch for ", shape.str());
+}
+
+} // namespace
+
+std::vector<float>
+gemmInnerProduct(const GemmShape &shape, const std::vector<float> &a,
+                 const std::vector<float> &b)
+{
+    checkOperands(shape, a, b);
+    std::vector<float> c(std::size_t(shape.m) * std::size_t(shape.n),
+                         0.0f);
+    for (std::int64_t i = 0; i < shape.m; ++i) {
+        for (std::int64_t j = 0; j < shape.n; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t kk = 0; kk < shape.k; ++kk)
+                acc += a[i * shape.k + kk] * b[kk * shape.n + j];
+            c[i * shape.n + j] = acc;
+        }
+    }
+    return c;
+}
+
+std::vector<float>
+gemmOuterProduct(const GemmShape &shape, const std::vector<float> &a,
+                 const std::vector<float> &b)
+{
+    checkOperands(shape, a, b);
+    std::vector<float> c(std::size_t(shape.m) * std::size_t(shape.n),
+                         0.0f);
+    for (std::int64_t kk = 0; kk < shape.k; ++kk) {
+        for (std::int64_t i = 0; i < shape.m; ++i) {
+            const float ai = a[i * shape.k + kk];
+            for (std::int64_t j = 0; j < shape.n; ++j)
+                c[i * shape.n + j] += ai * b[kk * shape.n + j];
+        }
+    }
+    return c;
+}
+
+std::vector<float>
+gemmTiledOuterProduct(const GemmShape &shape, const std::vector<float> &a,
+                      const std::vector<float> &b, int tile_m, int tile_n)
+{
+    checkOperands(shape, a, b);
+    DIVA_ASSERT(tile_m > 0 && tile_n > 0);
+    std::vector<float> c(std::size_t(shape.m) * std::size_t(shape.n),
+                         0.0f);
+    for (std::int64_t m0 = 0; m0 < shape.m; m0 += tile_m) {
+        const std::int64_t m1 =
+            std::min<std::int64_t>(shape.m, m0 + tile_m);
+        for (std::int64_t n0 = 0; n0 < shape.n; n0 += tile_n) {
+            const std::int64_t n1 =
+                std::min<std::int64_t>(shape.n, n0 + tile_n);
+            // Rank-1 updates into the resident output tile, exactly the
+            // per-cycle accumulation of the outer-product PE array.
+            for (std::int64_t kk = 0; kk < shape.k; ++kk) {
+                for (std::int64_t i = m0; i < m1; ++i) {
+                    const float ai = a[i * shape.k + kk];
+                    for (std::int64_t j = n0; j < n1; ++j)
+                        c[i * shape.n + j] += ai * b[kk * shape.n + j];
+                }
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace diva

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Functional (numerical) GEMM implementations used to validate the
+ * dataflow mathematics: the inner-product (classic triple loop) and
+ * outer-product (Figure 9(a): sum of rank-1 updates) orders must give
+ * identical results, which the property tests check.
+ */
+
+#ifndef DIVA_GEMM_REFERENCE_GEMM_H
+#define DIVA_GEMM_REFERENCE_GEMM_H
+
+#include <vector>
+
+#include "gemm/gemm_shape.h"
+
+namespace diva
+{
+
+/** C(M,N) = A(M,K) * B(K,N), classic inner-product loop order. */
+std::vector<float> gemmInnerProduct(const GemmShape &shape,
+                                    const std::vector<float> &a,
+                                    const std::vector<float> &b);
+
+/**
+ * C(M,N) = sum_k a_k * b_k^T, outer-product loop order: the K dimension
+ * is the outermost loop and each iteration applies a rank-1 all-to-all
+ * update, exactly the accumulation order of DiVa's PE array.
+ */
+std::vector<float> gemmOuterProduct(const GemmShape &shape,
+                                    const std::vector<float> &a,
+                                    const std::vector<float> &b);
+
+/**
+ * Tiled outer-product GEMM that mirrors the hardware tiling: output
+ * tiles of (tile_m x tile_n) are accumulated independently, each via
+ * rank-1 updates, and written back tile by tile.
+ */
+std::vector<float> gemmTiledOuterProduct(const GemmShape &shape,
+                                         const std::vector<float> &a,
+                                         const std::vector<float> &b,
+                                         int tile_m, int tile_n);
+
+} // namespace diva
+
+#endif // DIVA_GEMM_REFERENCE_GEMM_H

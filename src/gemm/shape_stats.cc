@@ -1,0 +1,56 @@
+#include "gemm/shape_stats.h"
+
+namespace diva
+{
+
+std::size_t
+KDimHistogram::bucketFor(std::int64_t k)
+{
+    for (std::size_t i = 0; i < kBucketBounds.size(); ++i)
+        if (k <= kBucketBounds[i])
+            return i;
+    return kBucketBounds.size();
+}
+
+const char *
+KDimHistogram::bucketLabel(std::size_t bucket)
+{
+    static const char *labels[kNumBuckets] = {
+        "K=1", "K<=8", "K<=32", "K<=128", "K<=512", "K>512"};
+    return bucket < kNumBuckets ? labels[bucket] : "?";
+}
+
+double
+KDimHistogram::cumulativeFraction(std::size_t bucket) const
+{
+    if (totalGemms == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i <= bucket && i < kNumBuckets; ++i)
+        acc += counts[i];
+    return double(acc) / double(totalGemms);
+}
+
+ShapeStats
+collectShapeStats(const OpStream &stream)
+{
+    ShapeStats stats;
+    for (const auto &op : stream.ops) {
+        if (op.type != OpType::kGemm)
+            continue;
+        const std::size_t bucket =
+            KDimHistogram::bucketFor(op.shape.k);
+        stats.all.counts[bucket] += op.count;
+        stats.all.totalGemms += op.count;
+        if (op.stage == Stage::kPerExampleGrad) {
+            stats.perExample.counts[bucket] += op.count;
+            stats.perExample.totalGemms += op.count;
+        }
+        if (op.shape.k <= 32)
+            stats.smallKGemms += op.count;
+        stats.totalGemms += op.count;
+    }
+    return stats;
+}
+
+} // namespace diva

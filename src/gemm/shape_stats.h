@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GEMM shape statistics over a training op stream: the distribution of
+ * K-dimension sizes and aspect ratios per training stage. Section
+ * III-C's diagnosis is exactly a statement about this distribution --
+ * per-example weight gradients flood the stream with small-K,
+ * tall-skinny GEMMs -- and this module measures it.
+ */
+
+#ifndef DIVA_GEMM_SHAPE_STATS_H
+#define DIVA_GEMM_SHAPE_STATS_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "train/op.h"
+
+namespace diva
+{
+
+/** Histogram of GEMM K-dimension sizes (weighted by GEMM count). */
+struct KDimHistogram
+{
+    /** Bucket upper bounds: 1, 8, 32, 128, 512, inf. */
+    static constexpr std::array<std::int64_t, 5> kBucketBounds = {
+        1, 8, 32, 128, 512};
+    static constexpr std::size_t kNumBuckets =
+        kBucketBounds.size() + 1;
+
+    std::array<std::uint64_t, kNumBuckets> counts{};
+    std::uint64_t totalGemms = 0;
+
+    /** Bucket index for a K value. */
+    static std::size_t bucketFor(std::int64_t k);
+
+    /** Label like "<=32". */
+    static const char *bucketLabel(std::size_t bucket);
+
+    /** Fraction of GEMMs whose K is at most the bound of `bucket`. */
+    double cumulativeFraction(std::size_t bucket) const;
+};
+
+/** Shape statistics for one op stream. */
+struct ShapeStats
+{
+    KDimHistogram all;
+    KDimHistogram perExample;
+    std::uint64_t smallKGemms = 0; ///< K <= 32
+    std::uint64_t totalGemms = 0;
+
+    double
+    smallKFraction() const
+    {
+        return totalGemms ? double(smallKGemms) / double(totalGemms)
+                          : 0.0;
+    }
+};
+
+/** Collect shape statistics over a planned iteration. */
+ShapeStats collectShapeStats(const OpStream &stream);
+
+} // namespace diva
+
+#endif // DIVA_GEMM_SHAPE_STATS_H

@@ -1,0 +1,52 @@
+#include "gemm/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+DramTraffic
+gemmDramTraffic(const GemmShape &shape, const SramBuffer &sram,
+                int input_bytes, int accum_bytes, const GemmOptions &opt)
+{
+    DIVA_ASSERT(shape.valid(), "invalid GEMM shape ", shape.str());
+
+    const Bytes lhs = shape.lhsBytes(input_bytes);
+    const Bytes rhs = shape.rhsBytes(input_bytes);
+    const Bytes out = shape.outBytes(accum_bytes);
+
+    DramTraffic t;
+    if (opt.writeOutputToDram)
+        t.writeBytes = out;
+
+    const Bytes lhs_read = opt.lhsFromDram ? lhs : 0;
+    const Bytes rhs_read = opt.rhsFromDram ? rhs : 0;
+
+    // Case 1: an operand fits entirely in its partition -> both operands
+    // are fetched exactly once (stream the other one, accumulate output
+    // tiles in the output buffer / PE accumulators).
+    if (sram.lhsFits(lhs) || sram.rhsFits(rhs)) {
+        t.readBytes = lhs_read + rhs_read;
+        return t;
+    }
+
+    // Case 2: blocked execution with square-ish resident output tiles.
+    // For an output tile of side T, the LHS is re-read once per column
+    // block and the RHS once per row block.
+    const std::int64_t tile =
+        std::max<std::int64_t>(128,
+            std::int64_t(std::sqrt(double(sram.outCapacity()) /
+                                   double(accum_bytes))));
+    const std::int64_t mt = std::min<std::int64_t>(shape.m, tile);
+    const std::int64_t nt = std::min<std::int64_t>(shape.n, tile);
+    const std::int64_t row_blocks = ceilDiv(shape.m, mt);
+    const std::int64_t col_blocks = ceilDiv(shape.n, nt);
+
+    t.readBytes = lhs_read * Bytes(col_blocks) + rhs_read * Bytes(row_blocks);
+    return t;
+}
+
+} // namespace diva

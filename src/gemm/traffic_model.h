@@ -1,0 +1,37 @@
+/**
+ * @file
+ * DRAM traffic model for tiled GEMM execution.
+ *
+ * The scheduler keeps output tiles resident while streaming the K
+ * dimension, and reuses whole operands when they fit in their SRAM
+ * partition. Otherwise traffic multiplies by the number of passes over
+ * the non-resident operand, as in any blocked GEMM.
+ */
+
+#ifndef DIVA_GEMM_TRAFFIC_MODEL_H
+#define DIVA_GEMM_TRAFFIC_MODEL_H
+
+#include "gemm/engine.h"
+#include "gemm/gemm_shape.h"
+#include "mem/dram_model.h"
+#include "mem/sram_buffer.h"
+
+namespace diva
+{
+
+/**
+ * Estimate the off-chip traffic of one tiled GEMM.
+ *
+ * @param shape      GEMM dimensions
+ * @param sram       SRAM partition capacities
+ * @param input_bytes  element width of LHS/RHS (BF16: 2)
+ * @param accum_bytes  element width of the output (FP32: 4)
+ * @param opt        per-GEMM options (output commit, operand residency)
+ */
+DramTraffic gemmDramTraffic(const GemmShape &shape, const SramBuffer &sram,
+                            int input_bytes, int accum_bytes,
+                            const GemmOptions &opt);
+
+} // namespace diva
+
+#endif // DIVA_GEMM_TRAFFIC_MODEL_H

@@ -1,0 +1,71 @@
+#include "gemm/ws_systolic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+WsSystolicModel::WsSystolicModel(const AcceleratorConfig &cfg)
+    : GemmEngineModel(cfg)
+{
+    DIVA_ASSERT(cfg.dataflow == Dataflow::kWeightStationary);
+}
+
+Cycles
+WsSystolicModel::computeCycles(const GemmShape &shape) const
+{
+    const std::int64_t pe_h = cfg_.peRows;
+    const std::int64_t pe_w = cfg_.peCols;
+    const std::int64_t fill = cfg_.weightFillRowsPerCycle;
+
+    const std::int64_t tiles_k = ceilDiv(shape.k, pe_h);
+    const std::int64_t tiles_n = ceilDiv(shape.n, pe_w);
+
+    Cycles total = 0;
+    bool first_tile = true;
+    for (std::int64_t tk = 0; tk < tiles_k; ++tk) {
+        const std::int64_t kt =
+            std::min<std::int64_t>(pe_h, shape.k - tk * pe_h);
+        for (std::int64_t tn = 0; tn < tiles_n; ++tn) {
+            const std::int64_t nt =
+                std::min<std::int64_t>(pe_w, shape.n - tn * pe_w);
+            // Latch the (kt x nt) weight tile, then stream all M LHS
+            // rows through it. The stream occupies M + kt + nt - 1
+            // cycles due to the diagonal input/output skew
+            // (Figure 3(c): M + K + PE_W - 1).
+            const Cycles latch = Cycles(ceilDiv(kt, fill));
+            const Cycles stream = Cycles(shape.m + kt + nt - 1);
+            if (cfg_.wsDoubleBufferWeights) {
+                // Double-buffered latches hide the fill behind the
+                // previous tile's stream; only the first fill and any
+                // fill longer than a stream stay exposed.
+                total += first_tile ? latch + stream
+                                    : std::max(latch, stream);
+            } else {
+                total += latch + stream;
+            }
+            first_tile = false;
+        }
+    }
+    return total;
+}
+
+Bytes
+WsSystolicModel::sramReadBytesPerCycle() const
+{
+    // Table I: LHS stream PE_H x 2B plus weight fill PE_W x 8 x 2B.
+    return Bytes(cfg_.peRows) * cfg_.inputBytes +
+           Bytes(cfg_.peCols) * cfg_.weightFillRowsPerCycle *
+               cfg_.inputBytes;
+}
+
+Bytes
+WsSystolicModel::sramWriteBytesPerCycle() const
+{
+    // Table I: one output row of PE_W elements per cycle, 4B each.
+    return Bytes(cfg_.peCols) * cfg_.accumBytes;
+}
+
+} // namespace diva

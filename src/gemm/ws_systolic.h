@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Weight-stationary systolic array cycle model (TPUv3-like baseline).
+ *
+ * The RHS ("weight") matrix is latched into the array in (peRows x
+ * peCols) tiles at weightFillRowsPerCycle rows per cycle; the LHS is
+ * then streamed from the left edge with diagonal skew. A K-dimension
+ * tile smaller than peRows latches only part of the array, leaving the
+ * remaining PE rows idle for the whole stream -- the paper's root cause
+ * for DP-SGD's low utilization (Sections II-D, III-C).
+ */
+
+#ifndef DIVA_GEMM_WS_SYSTOLIC_H
+#define DIVA_GEMM_WS_SYSTOLIC_H
+
+#include "gemm/engine.h"
+
+namespace diva
+{
+
+/** Cycle model of a weight-stationary systolic GEMM engine. */
+class WsSystolicModel : public GemmEngineModel
+{
+  public:
+    explicit WsSystolicModel(const AcceleratorConfig &cfg);
+
+  protected:
+    Cycles computeCycles(const GemmShape &shape) const override;
+    Bytes sramReadBytesPerCycle() const override;
+    Bytes sramWriteBytesPerCycle() const override;
+};
+
+} // namespace diva
+
+#endif // DIVA_GEMM_WS_SYSTOLIC_H

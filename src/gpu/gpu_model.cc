@@ -1,0 +1,139 @@
+#include "gpu/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+GpuConfig
+GpuConfig::v100Fp32()
+{
+    GpuConfig cfg;
+    cfg.name = "V100(FP32)";
+    cfg.peakTflops = 15.7;
+    cfg.bandwidthGBs = 900.0;
+    cfg.numSms = 80;
+    cfg.kGranule = 1;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::v100Fp16()
+{
+    GpuConfig cfg;
+    cfg.name = "V100(FP16)";
+    cfg.peakTflops = 125.0;
+    cfg.bandwidthGBs = 900.0;
+    cfg.numSms = 80;
+    cfg.kGranule = 8;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::a100Fp32()
+{
+    GpuConfig cfg;
+    cfg.name = "A100(FP32)";
+    cfg.peakTflops = 19.5;
+    cfg.bandwidthGBs = 1555.0;
+    cfg.numSms = 108;
+    cfg.kGranule = 1;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::a100Fp16()
+{
+    GpuConfig cfg;
+    cfg.name = "A100(FP16)";
+    cfg.peakTflops = 312.0;
+    cfg.bandwidthGBs = 1555.0;
+    cfg.numSms = 108;
+    cfg.kGranule = 16;
+    return cfg;
+}
+
+GpuModel::GpuModel(const GpuConfig &cfg) : cfg_(cfg)
+{
+    DIVA_ASSERT(cfg_.peakTflops > 0.0 && cfg_.bandwidthGBs > 0.0 &&
+                cfg_.numSms > 0);
+}
+
+GpuOpResult
+GpuModel::batchedGemm(const GemmShape &shape, std::uint64_t count) const
+{
+    DIVA_ASSERT(shape.valid());
+    GpuOpResult r;
+    if (count == 0)
+        return r;
+
+    // Tile/K padding: the kernel computes ceil-multiples of the CTA
+    // tile and the MMA K-granule.
+    const std::int64_t m_pad =
+        ceilDiv(shape.m, std::int64_t(cfg_.tileM)) * cfg_.tileM;
+    const std::int64_t n_pad =
+        ceilDiv(shape.n, std::int64_t(cfg_.tileN)) * cfg_.tileN;
+    const std::int64_t k_pad =
+        ceilDiv(shape.k, std::int64_t(cfg_.kGranule)) * cfg_.kGranule;
+
+    // Wave quantization: all GEMMs of the batch share the grid.
+    const std::uint64_t tiles_per_gemm =
+        std::uint64_t(m_pad / cfg_.tileM) *
+        std::uint64_t(n_pad / cfg_.tileN);
+    const std::uint64_t total_tiles = tiles_per_gemm * count;
+    const std::uint64_t waves =
+        ceilDiv(total_tiles, std::uint64_t(cfg_.numSms));
+
+    const double flops_per_tile =
+        2.0 * double(cfg_.tileM) * double(cfg_.tileN) * double(k_pad);
+    const double sm_flops =
+        cfg_.peakTflops * 1e12 * cfg_.gemmEfficiency / cfg_.numSms;
+    r.computeSeconds =
+        double(waves) * flops_per_tile / sm_flops + cfg_.kernelOverheadSec;
+
+    const double bytes =
+        double(count) * (double(shape.lhsBytes(2)) +
+                         double(shape.rhsBytes(2)) +
+                         double(shape.outBytes(4)));
+    r.memorySeconds = bytes / (cfg_.bandwidthGBs * 1e9);
+
+    r.seconds = std::max(r.computeSeconds, r.memorySeconds);
+    return r;
+}
+
+double
+GpuModel::bottleneckSeconds(const OpStream &stream) const
+{
+    double total = 0.0;
+    for (const auto &op : stream.ops) {
+        switch (op.type) {
+          case OpType::kGemm:
+            // Figure 17 compares the key GEMMs of DP-SGD's
+            // backpropagation bottleneck stages.
+            if (op.stage == Stage::kPerExampleGrad ||
+                op.stage == Stage::kPerBatchGrad ||
+                op.stage == Stage::kActGrad1 ||
+                op.stage == Stage::kActGrad2) {
+                total += batchedGemm(op.shape, op.count).seconds;
+            }
+            break;
+          case OpType::kGradNorm:
+          case OpType::kGradClip:
+          case OpType::kGradReduce:
+          case OpType::kNoiseAdd: {
+            // Memory-bound vector phases stream in/out of HBM.
+            const double bytes =
+                4.0 * double(op.inElems + op.outElems);
+            total += bytes / (cfg_.bandwidthGBs * 1e9) +
+                     cfg_.kernelOverheadSec;
+            break;
+          }
+        }
+    }
+    return total;
+}
+
+} // namespace diva

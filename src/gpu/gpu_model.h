@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Roofline-style GPU performance model used for the Figure 17
+ * comparison against NVIDIA V100 and A100 (Section VI-D).
+ *
+ * The model captures the GPU behaviors that matter for DP-SGD's
+ * bottleneck GEMMs:
+ *   - tile quantization: outputs are computed in fixed CTA tiles, so M
+ *     and N round up to tile multiples;
+ *   - K-granule padding on Tensor Cores (MMA depth), which wastes
+ *     compute on the K=1..L per-example GEMMs;
+ *   - wave quantization across SMs;
+ *   - batched-GEMM execution: many small GEMMs fill waves together,
+ *     which is why GPUs handle MobileNet's tiny GEMMs comparatively
+ *     well (the paper's noted exception);
+ *   - HBM bandwidth bound with a fixed per-kernel launch overhead.
+ */
+
+#ifndef DIVA_GPU_GPU_MODEL_H
+#define DIVA_GPU_GPU_MODEL_H
+
+#include <string>
+
+#include "common/types.h"
+#include "gemm/gemm_shape.h"
+#include "train/op.h"
+
+namespace diva
+{
+
+/** Static description of one GPU execution mode. */
+struct GpuConfig
+{
+    std::string name;
+    double peakTflops = 0.0;
+    double bandwidthGBs = 0.0;
+    int numSms = 0;
+    /** Output tile computed per CTA. */
+    int tileM = 128;
+    int tileN = 128;
+    /** K padding granule (Tensor Core MMA depth; 1 for CUDA cores). */
+    int kGranule = 1;
+    /** Fixed kernel launch + epilogue overhead. */
+    double kernelOverheadSec = 5e-6;
+    /** Fraction of peak FLOPS attainable on dense GEMM. */
+    double gemmEfficiency = 0.85;
+
+    /** Paper's GPU design points. */
+    static GpuConfig v100Fp32();
+    static GpuConfig v100Fp16();
+    static GpuConfig a100Fp32();
+    static GpuConfig a100Fp16();
+};
+
+/** Simple per-op GPU timing result. */
+struct GpuOpResult
+{
+    double seconds = 0.0;
+    double computeSeconds = 0.0;
+    double memorySeconds = 0.0;
+};
+
+/** Roofline GPU model. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuConfig &cfg);
+
+    /**
+     * Time for `count` independent GEMMs of the same shape launched as
+     * one batched kernel (JAX vmap-style auto-vectorization, the
+     * paper's "strong baseline").
+     */
+    GpuOpResult batchedGemm(const GemmShape &shape,
+                            std::uint64_t count) const;
+
+    /**
+     * Time for the subset of a training op stream that Figure 17
+     * compares: the key GEMMs of DP-SGD's backpropagation bottleneck
+     * stages plus gradient post-processing memory time.
+     */
+    double bottleneckSeconds(const OpStream &stream) const;
+
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    GpuConfig cfg_;
+};
+
+} // namespace diva
+
+#endif // DIVA_GPU_GPU_MODEL_H

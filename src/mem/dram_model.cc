@@ -1,0 +1,31 @@
+#include "mem/dram_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+DramModel::DramModel(const AcceleratorConfig &cfg)
+    : bytesPerCycle_(cfg.dramBytesPerCycle()),
+      latency_(cfg.dramLatencyCycles)
+{
+    DIVA_ASSERT(bytesPerCycle_ > 0.0);
+}
+
+Cycles
+DramModel::transferCycles(Bytes bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    return latency_ + streamingCycles(bytes);
+}
+
+Cycles
+DramModel::streamingCycles(Bytes bytes) const
+{
+    return Cycles(std::ceil(double(bytes) / bytesPerCycle_));
+}
+
+} // namespace diva

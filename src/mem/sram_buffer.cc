@@ -1,0 +1,21 @@
+#include "mem/sram_buffer.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+SramBuffer::SramBuffer(const AcceleratorConfig &cfg, double lhs_frac,
+                       double rhs_frac)
+{
+    if (lhs_frac <= 0.0 || rhs_frac <= 0.0 ||
+        lhs_frac + rhs_frac >= 1.0) {
+        DIVA_FATAL("invalid SRAM partition fractions: lhs=", lhs_frac,
+                   " rhs=", rhs_frac);
+    }
+    lhsBytes_ = Bytes(double(cfg.sramBytes) * lhs_frac);
+    rhsBytes_ = Bytes(double(cfg.sramBytes) * rhs_frac);
+    outBytes_ = cfg.sramBytes - lhsBytes_ - rhsBytes_;
+}
+
+} // namespace diva

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * On-chip SRAM buffer partitioning model.
+ *
+ * The paper's Figure 8 shows the unified SRAM split into an LHS input
+ * buffer, an RHS input buffer, and an output buffer. The partition sizes
+ * determine how large a GEMM tile can stay resident, which in turn
+ * drives the DRAM traffic model (operands that fit are fetched once).
+ */
+
+#ifndef DIVA_MEM_SRAM_BUFFER_H
+#define DIVA_MEM_SRAM_BUFFER_H
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+
+namespace diva
+{
+
+/**
+ * Partitioned SRAM capacity. The default split mirrors TPUv3's layout
+ * where the output ("vector memory") partition is the largest: the WS
+ * dataflow needs a deep output buffer to amortize its input-stream skew
+ * (Section IV-C).
+ */
+class SramBuffer
+{
+  public:
+    /**
+     * @param cfg accelerator whose total SRAM is being partitioned
+     * @param lhs_frac fraction devoted to LHS operand tiles
+     * @param rhs_frac fraction devoted to RHS operand tiles
+     *                 (the remainder holds output tiles)
+     */
+    explicit SramBuffer(const AcceleratorConfig &cfg,
+                        double lhs_frac = 0.25, double rhs_frac = 0.25);
+
+    Bytes lhsCapacity() const { return lhsBytes_; }
+    Bytes rhsCapacity() const { return rhsBytes_; }
+    Bytes outCapacity() const { return outBytes_; }
+    Bytes totalCapacity() const
+    {
+        return lhsBytes_ + rhsBytes_ + outBytes_;
+    }
+
+    /** Whether an entire operand of the given size stays resident. */
+    bool lhsFits(Bytes b) const { return b <= lhsBytes_; }
+    bool rhsFits(Bytes b) const { return b <= rhsBytes_; }
+    bool outFits(Bytes b) const { return b <= outBytes_; }
+
+  private:
+    Bytes lhsBytes_;
+    Bytes rhsBytes_;
+    Bytes outBytes_;
+};
+
+} // namespace diva
+
+#endif // DIVA_MEM_SRAM_BUFFER_H

@@ -1,0 +1,313 @@
+#include "models/layer.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+Layer
+Layer::conv2d(std::string name, int in_c, int out_c, int kh, int kw,
+              int stride, int padding, int in_h, int in_w)
+{
+    Layer l;
+    l.kind = LayerKind::kConv2d;
+    l.name = std::move(name);
+    l.inChannels = in_c;
+    l.outChannels = out_c;
+    l.kernelH = kh;
+    l.kernelW = kw;
+    l.stride = stride;
+    l.padding = padding;
+    l.inH = in_h;
+    l.inW = in_w;
+    DIVA_ASSERT(l.outH() > 0 && l.outW() > 0,
+                "conv ", l.name, " collapses spatially");
+    return l;
+}
+
+Layer
+Layer::depthwiseConv2d(std::string name, int channels, int kh, int kw,
+                       int stride, int padding, int in_h, int in_w)
+{
+    Layer l = conv2d(std::move(name), channels, channels, kh, kw, stride,
+                     padding, in_h, in_w);
+    l.kind = LayerKind::kDepthwiseConv2d;
+    return l;
+}
+
+Layer
+Layer::linear(std::string name, int in_f, int out_f)
+{
+    Layer l;
+    l.kind = LayerKind::kLinear;
+    l.name = std::move(name);
+    l.inFeatures = in_f;
+    l.outFeatures = out_f;
+    return l;
+}
+
+Layer
+Layer::timeSeriesLinear(std::string name, int in_f, int out_f,
+                        int seq_len, bool sequential)
+{
+    Layer l;
+    l.kind = LayerKind::kTimeSeriesLinear;
+    l.name = std::move(name);
+    l.inFeatures = in_f;
+    l.outFeatures = out_f;
+    l.seqLen = seq_len;
+    l.sequential = sequential;
+    return l;
+}
+
+Layer
+Layer::attentionScores(std::string name, int num_heads, int head_dim,
+                       int seq_len)
+{
+    Layer l;
+    l.kind = LayerKind::kAttentionMatmul;
+    l.name = std::move(name);
+    l.numHeads = num_heads;
+    l.headDim = head_dim;
+    l.seqLen = seq_len;
+    // scores = Q(L,d) * K^T(d,L): (M,K,N) = (L, d, L)
+    l.inFeatures = head_dim;
+    l.outFeatures = seq_len;
+    return l;
+}
+
+Layer
+Layer::attentionContext(std::string name, int num_heads, int head_dim,
+                        int seq_len)
+{
+    Layer l;
+    l.kind = LayerKind::kAttentionMatmul;
+    l.name = std::move(name);
+    l.numHeads = num_heads;
+    l.headDim = head_dim;
+    l.seqLen = seq_len;
+    // context = P(L,L) * V(L,d): (M,K,N) = (L, L, d)
+    l.inFeatures = seq_len;
+    l.outFeatures = head_dim;
+    return l;
+}
+
+Layer
+Layer::pool(std::string name, int channels, int kh, int kw, int stride,
+            int in_h, int in_w)
+{
+    Layer l;
+    l.kind = LayerKind::kPool;
+    l.name = std::move(name);
+    l.inChannels = channels;
+    l.outChannels = channels;
+    l.kernelH = kh;
+    l.kernelW = kw;
+    l.stride = stride;
+    l.padding = 0;
+    l.inH = in_h;
+    l.inW = in_w;
+    return l;
+}
+
+int
+Layer::outH() const
+{
+    return (inH + 2 * padding - kernelH) / stride + 1;
+}
+
+int
+Layer::outW() const
+{
+    return (inW + 2 * padding - kernelW) / stride + 1;
+}
+
+bool
+Layer::hasWeights() const
+{
+    switch (kind) {
+      case LayerKind::kConv2d:
+      case LayerKind::kDepthwiseConv2d:
+      case LayerKind::kLinear:
+      case LayerKind::kTimeSeriesLinear:
+        return true;
+      case LayerKind::kAttentionMatmul:
+      case LayerKind::kPool:
+        return false;
+    }
+    return false;
+}
+
+std::int64_t
+Layer::paramCount() const
+{
+    switch (kind) {
+      case LayerKind::kConv2d:
+        return std::int64_t(inChannels) * outChannels * kernelH * kernelW
+               + outChannels;
+      case LayerKind::kDepthwiseConv2d:
+        return std::int64_t(inChannels) * kernelH * kernelW + inChannels;
+      case LayerKind::kLinear:
+      case LayerKind::kTimeSeriesLinear:
+        return std::int64_t(inFeatures) * outFeatures + outFeatures;
+      case LayerKind::kAttentionMatmul:
+      case LayerKind::kPool:
+        return 0;
+    }
+    return 0;
+}
+
+Elems
+Layer::outputElemsPerExample() const
+{
+    switch (kind) {
+      case LayerKind::kConv2d:
+      case LayerKind::kDepthwiseConv2d:
+      case LayerKind::kPool:
+        return Elems(outChannels) * Elems(outH()) * Elems(outW());
+      case LayerKind::kLinear:
+        return Elems(outFeatures);
+      case LayerKind::kTimeSeriesLinear:
+        return Elems(outFeatures) * Elems(seqLen);
+      case LayerKind::kAttentionMatmul:
+        return Elems(numHeads) * Elems(seqLen) * Elems(outFeatures);
+    }
+    return 0;
+}
+
+GemmInstance
+Layer::forwardGemm(int batch) const
+{
+    const std::int64_t b = batch;
+    switch (kind) {
+      case LayerKind::kConv2d: {
+        // (B*P*Q, Cin*R*S, Cout)
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t crs =
+            std::int64_t(inChannels) * kernelH * kernelW;
+        return {GemmShape(b * pq, crs, outChannels), 1};
+      }
+      case LayerKind::kDepthwiseConv2d: {
+        // One (B*P*Q, R*S, 1) GEMM per channel.
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t rs = std::int64_t(kernelH) * kernelW;
+        return {GemmShape(b * pq, rs, 1), std::uint64_t(inChannels)};
+      }
+      case LayerKind::kLinear:
+        return {GemmShape(b, inFeatures, outFeatures), 1};
+      case LayerKind::kTimeSeriesLinear:
+        if (sequential) {
+            // One (B, I, O) GEMM per timestep (recurrent projection).
+            return {GemmShape(b, inFeatures, outFeatures),
+                    std::uint64_t(seqLen)};
+        }
+        return {GemmShape(b * seqLen, inFeatures, outFeatures), 1};
+      case LayerKind::kAttentionMatmul:
+        // One (L, d, L) or (L, L, d) matmul per example per head.
+        return {GemmShape(seqLen, inFeatures, outFeatures),
+                std::uint64_t(b) * std::uint64_t(numHeads)};
+      case LayerKind::kPool:
+        return {};
+    }
+    return {};
+}
+
+GemmInstance
+Layer::actGradGemm(int batch) const
+{
+    const std::int64_t b = batch;
+    switch (kind) {
+      case LayerKind::kConv2d: {
+        // G(X) = G(Y) * W^T in the im2col domain:
+        // (B*P*Q, Cout, Cin*R*S)
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t crs =
+            std::int64_t(inChannels) * kernelH * kernelW;
+        return {GemmShape(b * pq, outChannels, crs), 1};
+      }
+      case LayerKind::kDepthwiseConv2d: {
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t rs = std::int64_t(kernelH) * kernelW;
+        return {GemmShape(b * pq, 1, rs), std::uint64_t(inChannels)};
+      }
+      case LayerKind::kLinear:
+        return {GemmShape(b, outFeatures, inFeatures), 1};
+      case LayerKind::kTimeSeriesLinear:
+        if (sequential) {
+            return {GemmShape(b, outFeatures, inFeatures),
+                    std::uint64_t(seqLen)};
+        }
+        return {GemmShape(b * seqLen, outFeatures, inFeatures), 1};
+      case LayerKind::kAttentionMatmul:
+        // Gradients flow to both activation operands -> two matmuls of
+        // the forward magnitude per example per head.
+        return {GemmShape(seqLen, outFeatures, inFeatures),
+                2ULL * std::uint64_t(b) * std::uint64_t(numHeads)};
+      case LayerKind::kPool:
+        return {};
+    }
+    return {};
+}
+
+GemmInstance
+Layer::perBatchWGradGemm(int batch) const
+{
+    const std::int64_t b = batch;
+    switch (kind) {
+      case LayerKind::kConv2d: {
+        // (Cin*R*S, B*P*Q, Cout): K grows with B, reducing over the
+        // whole mini-batch inside the GEMM.
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t crs =
+            std::int64_t(inChannels) * kernelH * kernelW;
+        return {GemmShape(crs, b * pq, outChannels), 1};
+      }
+      case LayerKind::kDepthwiseConv2d: {
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t rs = std::int64_t(kernelH) * kernelW;
+        return {GemmShape(rs, b * pq, 1), std::uint64_t(inChannels)};
+      }
+      case LayerKind::kLinear:
+        return {GemmShape(inFeatures, b, outFeatures), 1};
+      case LayerKind::kTimeSeriesLinear:
+        return {GemmShape(inFeatures, b * seqLen, outFeatures), 1};
+      case LayerKind::kAttentionMatmul:
+      case LayerKind::kPool:
+        return {};
+    }
+    return {};
+}
+
+GemmInstance
+Layer::perExampleWGradGemm(int batch) const
+{
+    const std::uint64_t b = std::uint64_t(batch);
+    switch (kind) {
+      case LayerKind::kConv2d: {
+        // B independent (Cin*R*S, P*Q, Cout) GEMMs: K = P*Q no longer
+        // scales with the mini-batch (Figure 6, right column).
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t crs =
+            std::int64_t(inChannels) * kernelH * kernelW;
+        return {GemmShape(crs, pq, outChannels), b};
+      }
+      case LayerKind::kDepthwiseConv2d: {
+        const std::int64_t pq = std::int64_t(outH()) * outW();
+        const std::int64_t rs = std::int64_t(kernelH) * kernelW;
+        return {GemmShape(rs, pq, 1), b * std::uint64_t(inChannels)};
+      }
+      case LayerKind::kLinear:
+        // B rank-1 outer products: (I, 1, O).
+        return {GemmShape(inFeatures, 1, outFeatures), b};
+      case LayerKind::kTimeSeriesLinear:
+        // (I, L, O): the time dimension is reduced inside the GEMM but
+        // the mini-batch is not.
+        return {GemmShape(inFeatures, seqLen, outFeatures), b};
+      case LayerKind::kAttentionMatmul:
+      case LayerKind::kPool:
+        return {};
+    }
+    return {};
+}
+
+} // namespace diva

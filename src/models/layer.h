@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Layer descriptors and the Figure-6 GEMM shape algebra.
+ *
+ * Every weighted DNN layer studied in the paper lowers to GEMM for both
+ * forward and backward propagation (im2col for convolutions). The three
+ * weight-gradient flavors differ only in how the mini-batch dimension B
+ * enters the GEMM (Figure 6):
+ *
+ *   - forward:            per-batch GEMM with B inside the M dimension;
+ *   - per-batch wgrad:    one GEMM whose K dimension contains B
+ *                         (the inner product over K reduces over the
+ *                         mini-batch);
+ *   - per-example wgrad:  B independent GEMMs whose K dimension is
+ *                         *independent of B* (1 for MLPs, P*Q for
+ *                         convolutions, L for time-series MLPs) --
+ *                         the irregular tall-skinny GEMMs that starve
+ *                         systolic arrays.
+ */
+
+#ifndef DIVA_MODELS_LAYER_H
+#define DIVA_MODELS_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "gemm/gemm_shape.h"
+
+namespace diva
+{
+
+/** Layer taxonomy covering all nine benchmark networks. */
+enum class LayerKind
+{
+    kConv2d,          ///< dense convolution (im2col GEMM)
+    kDepthwiseConv2d, ///< depthwise convolution (per-channel GEMMs)
+    kLinear,          ///< fully connected layer
+    kTimeSeriesLinear,///< linear over a length-L token/time sequence
+    kAttentionMatmul, ///< weightless activation-activation matmul
+    kPool,            ///< pooling; no GEMM, contributes activations only
+};
+
+/** A GEMM shape plus how many independent instances of it execute. */
+struct GemmInstance
+{
+    GemmShape shape;
+    std::uint64_t count = 0;
+
+    bool valid() const { return count > 0 && shape.valid(); }
+    Macs totalMacs() const { return shape.macs() * count; }
+};
+
+/**
+ * One network layer. Use the static factory functions; the relevant
+ * subset of fields is populated per LayerKind.
+ */
+struct Layer
+{
+    LayerKind kind = LayerKind::kLinear;
+    std::string name;
+
+    // Convolution / pooling geometry (per example).
+    int inChannels = 0;
+    int outChannels = 0;
+    int kernelH = 0;
+    int kernelW = 0;
+    int stride = 1;
+    int padding = 0;
+    int inH = 0;
+    int inW = 0;
+
+    // Linear geometry.
+    int inFeatures = 0;
+    int outFeatures = 0;
+
+    /** Sequence length for time-series layers and attention. */
+    int seqLen = 0;
+
+    /**
+     * Whether a time-series layer must execute one GEMM per timestep
+     * (LSTM recurrent projections) rather than batching tokens.
+     */
+    bool sequential = false;
+
+    /** Attention head count / head dim for kAttentionMatmul. */
+    int numHeads = 0;
+    int headDim = 0;
+
+    /** Factories. */
+    static Layer conv2d(std::string name, int in_c, int out_c, int kh,
+                        int kw, int stride, int padding, int in_h,
+                        int in_w);
+    static Layer depthwiseConv2d(std::string name, int channels, int kh,
+                                 int kw, int stride, int padding,
+                                 int in_h, int in_w);
+    static Layer linear(std::string name, int in_f, int out_f);
+    static Layer timeSeriesLinear(std::string name, int in_f, int out_f,
+                                  int seq_len, bool sequential = false);
+    static Layer attentionScores(std::string name, int num_heads,
+                                 int head_dim, int seq_len);
+    static Layer attentionContext(std::string name, int num_heads,
+                                  int head_dim, int seq_len);
+    static Layer pool(std::string name, int channels, int kh, int kw,
+                      int stride, int in_h, int in_w);
+
+    /** Output spatial dims for conv/pool layers. */
+    int outH() const;
+    int outW() const;
+
+    /** Whether this layer carries trainable weights. */
+    bool hasWeights() const;
+
+    /** Trainable parameter count (0 for weightless layers). */
+    std::int64_t paramCount() const;
+
+    /** Output activation elements produced per input example. */
+    Elems outputElemsPerExample() const;
+
+    /**
+     * Figure-6 GEMM instances for a mini-batch of size `batch`.
+     * An instance with count == 0 means the layer has no GEMM for that
+     * operation (pools, weightless layers for weight gradients).
+     */
+    GemmInstance forwardGemm(int batch) const;
+    GemmInstance actGradGemm(int batch) const;
+    GemmInstance perBatchWGradGemm(int batch) const;
+    GemmInstance perExampleWGradGemm(int batch) const;
+};
+
+} // namespace diva
+
+#endif // DIVA_MODELS_LAYER_H

@@ -1,0 +1,55 @@
+#include "models/network.h"
+
+#include <algorithm>
+
+namespace diva
+{
+
+const char *
+familyName(ModelFamily f)
+{
+    switch (f) {
+      case ModelFamily::kCnn: return "CNN";
+      case ModelFamily::kTransformer: return "Transformer";
+      case ModelFamily::kRnn: return "RNN";
+    }
+    return "?";
+}
+
+std::int64_t
+Network::paramCount() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : layers)
+        total += l.paramCount();
+    return total;
+}
+
+std::int64_t
+Network::maxLayerParamCount() const
+{
+    std::int64_t best = 0;
+    for (const auto &l : layers)
+        best = std::max(best, l.paramCount());
+    return best;
+}
+
+Elems
+Network::activationElemsPerExample() const
+{
+    Elems total = inputElemsPerExample;
+    for (const auto &l : layers)
+        total += l.outputElemsPerExample();
+    return total;
+}
+
+int
+Network::numWeightedLayers() const
+{
+    int n = 0;
+    for (const auto &l : layers)
+        n += l.hasWeights() ? 1 : 0;
+    return n;
+}
+
+} // namespace diva

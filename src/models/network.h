@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A network is an ordered list of layers plus bookkeeping totals used
+ * by the memory model and the training planner.
+ */
+
+#ifndef DIVA_MODELS_NETWORK_H
+#define DIVA_MODELS_NETWORK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "models/layer.h"
+
+namespace diva
+{
+
+/** Model family tags used to group results as in the paper's figures. */
+enum class ModelFamily
+{
+    kCnn,
+    kTransformer,
+    kRnn,
+};
+
+const char *familyName(ModelFamily f);
+
+/** An ordered feed-forward network description. */
+struct Network
+{
+    std::string name;
+    ModelFamily family = ModelFamily::kCnn;
+    std::vector<Layer> layers;
+
+    /** Input activation elements per example (e.g. 3*32*32). */
+    Elems inputElemsPerExample = 0;
+
+    /** Total trainable parameters. */
+    std::int64_t paramCount() const;
+
+    /** Trainable parameters of the largest single layer. */
+    std::int64_t maxLayerParamCount() const;
+
+    /** Stored activations per example (inputs + all layer outputs). */
+    Elems activationElemsPerExample() const;
+
+    /** Number of layers carrying trainable weights. */
+    int numWeightedLayers() const;
+};
+
+} // namespace diva
+
+#endif // DIVA_MODELS_NETWORK_H

@@ -1,0 +1,141 @@
+#include "models/random_network.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+namespace
+{
+
+int
+pick(Rng &rng, std::initializer_list<int> choices)
+{
+    const auto idx = rng.uniformInt(choices.size());
+    return *(choices.begin() + idx);
+}
+
+int
+layerCount(Rng &rng, const RandomNetworkOptions &opt)
+{
+    return opt.minLayers +
+           int(rng.uniformInt(
+               std::uint64_t(opt.maxLayers - opt.minLayers + 1)));
+}
+
+} // namespace
+
+Network
+randomCnn(Rng &rng, const RandomNetworkOptions &opt)
+{
+    Network net;
+    net.name = "random-cnn";
+    net.family = ModelFamily::kCnn;
+    int h = opt.imageSize;
+    int w = opt.imageSize;
+    int c = 3;
+    net.inputElemsPerExample = Elems(c) * Elems(h) * Elems(w);
+
+    const int layers = layerCount(rng, opt);
+    for (int i = 0; i < layers; ++i) {
+        const std::string name = "layer" + std::to_string(i);
+        const int roll = int(rng.uniformInt(10));
+        if (roll < 6 || h < 2) {
+            // Dense conv; keep channels bounded and spatial valid.
+            const int out_c = std::min(
+                opt.maxChannels, pick(rng, {8, 16, 32, 64, 128, 256}));
+            const int k = (h >= 3) ? pick(rng, {1, 3}) : 1;
+            const int stride = (h >= 4) ? pick(rng, {1, 1, 2}) : 1;
+            const int pad = k / 2;
+            Layer l = Layer::conv2d(name, c, out_c, k, k, stride, pad,
+                                    h, w);
+            h = l.outH();
+            w = l.outW();
+            c = out_c;
+            net.layers.push_back(std::move(l));
+        } else if (roll < 8) {
+            Layer l = Layer::depthwiseConv2d(name, c, 3, 3, 1, 1,
+                                             std::max(h, 3),
+                                             std::max(w, 3));
+            if (h >= 3) {
+                h = l.outH();
+                w = l.outW();
+                net.layers.push_back(std::move(l));
+            }
+        } else if (h >= 2) {
+            Layer l = Layer::pool(name, c, 2, 2, 2, h, w);
+            h = l.outH();
+            w = l.outW();
+            net.layers.push_back(std::move(l));
+        }
+    }
+    net.layers.push_back(
+        Layer::linear("classifier", c * h * w, 10));
+    return net;
+}
+
+Network
+randomMlp(Rng &rng, const RandomNetworkOptions &opt)
+{
+    Network net;
+    net.name = "random-mlp";
+    net.family = ModelFamily::kCnn; // dense models grouped with CNNs
+    int features = pick(rng, {16, 64, 256, 784});
+    net.inputElemsPerExample = Elems(features);
+    const int layers = layerCount(rng, opt);
+    for (int i = 0; i < layers; ++i) {
+        const int out = std::min(
+            opt.maxFeatures, pick(rng, {32, 64, 128, 512, 1024}));
+        net.layers.push_back(Layer::linear(
+            "fc" + std::to_string(i), features, out));
+        features = out;
+    }
+    net.layers.push_back(Layer::linear("head", features, 10));
+    return net;
+}
+
+Network
+randomTransformer(Rng &rng, const RandomNetworkOptions &opt)
+{
+    Network net;
+    net.name = "random-transformer";
+    net.family = ModelFamily::kTransformer;
+    const int hidden = pick(rng, {64, 128, 256, 512});
+    const int heads = pick(rng, {2, 4, 8});
+    const int ffn = hidden * pick(rng, {2, 4});
+    const int blocks =
+        std::max(1, layerCount(rng, opt) / 4);
+    net.inputElemsPerExample = Elems(hidden) * Elems(opt.seqLen);
+    for (int i = 0; i < blocks; ++i) {
+        const std::string p = "block" + std::to_string(i) + ".";
+        net.layers.push_back(Layer::timeSeriesLinear(
+            p + "qkv", hidden, 3 * hidden, opt.seqLen));
+        net.layers.push_back(Layer::attentionScores(
+            p + "scores", heads, hidden / heads, opt.seqLen));
+        net.layers.push_back(Layer::attentionContext(
+            p + "context", heads, hidden / heads, opt.seqLen));
+        net.layers.push_back(Layer::timeSeriesLinear(
+            p + "out", hidden, hidden, opt.seqLen));
+        net.layers.push_back(Layer::timeSeriesLinear(
+            p + "ffn1", hidden, ffn, opt.seqLen));
+        net.layers.push_back(Layer::timeSeriesLinear(
+            p + "ffn2", ffn, hidden, opt.seqLen));
+    }
+    net.layers.push_back(Layer::linear("head", hidden, 10));
+    return net;
+}
+
+Network
+randomNetwork(Rng &rng, const RandomNetworkOptions &opt)
+{
+    switch (rng.uniformInt(3)) {
+      case 0: return randomCnn(rng, opt);
+      case 1: return randomMlp(rng, opt);
+      default: return randomTransformer(rng, opt);
+    }
+}
+
+} // namespace diva

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Seeded random-network generation for fuzz/property testing: valid
+ * CNN, MLP and Transformer-ish architectures drawn from a seed, so the
+ * planner/executor invariants can be checked far beyond the nine
+ * hand-built benchmarks.
+ */
+
+#ifndef DIVA_MODELS_RANDOM_NETWORK_H
+#define DIVA_MODELS_RANDOM_NETWORK_H
+
+#include "common/rng.h"
+#include "models/network.h"
+
+namespace diva
+{
+
+/** Knobs for the generator. */
+struct RandomNetworkOptions
+{
+    int minLayers = 2;
+    int maxLayers = 12;
+    int maxChannels = 256;
+    int maxFeatures = 1024;
+    int imageSize = 32;
+    int seqLen = 16;
+};
+
+/** A random but structurally valid CNN (convs, pools, linear head). */
+Network randomCnn(Rng &rng, const RandomNetworkOptions &opt = {});
+
+/** A random MLP (stack of linear layers). */
+Network randomMlp(Rng &rng, const RandomNetworkOptions &opt = {});
+
+/** A random Transformer-style stack (projections + attention). */
+Network randomTransformer(Rng &rng, const RandomNetworkOptions &opt = {});
+
+/** One of the above, chosen by the RNG. */
+Network randomNetwork(Rng &rng, const RandomNetworkOptions &opt = {});
+
+} // namespace diva
+
+#endif // DIVA_MODELS_RANDOM_NETWORK_H

@@ -1,0 +1,76 @@
+#include "models/summary.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace diva
+{
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::kConv2d: return "conv2d";
+      case LayerKind::kDepthwiseConv2d: return "dwconv2d";
+      case LayerKind::kLinear: return "linear";
+      case LayerKind::kTimeSeriesLinear: return "ts-linear";
+      case LayerKind::kAttentionMatmul: return "attention";
+      case LayerKind::kPool: return "pool";
+    }
+    return "?";
+}
+
+std::string
+layerGeometry(const Layer &layer)
+{
+    std::ostringstream oss;
+    switch (layer.kind) {
+      case LayerKind::kConv2d:
+      case LayerKind::kDepthwiseConv2d:
+      case LayerKind::kPool:
+        oss << layer.kernelH << "x" << layer.kernelW << " s"
+            << layer.stride << " " << layer.inChannels << "->"
+            << layer.outChannels << " @" << layer.inH << "x"
+            << layer.inW;
+        break;
+      case LayerKind::kLinear:
+        oss << layer.inFeatures << "->" << layer.outFeatures;
+        break;
+      case LayerKind::kTimeSeriesLinear:
+        oss << layer.inFeatures << "->" << layer.outFeatures << " L"
+            << layer.seqLen << (layer.sequential ? " seq" : "");
+        break;
+      case LayerKind::kAttentionMatmul:
+        oss << layer.numHeads << "h d" << layer.headDim << " L"
+            << layer.seqLen;
+        break;
+    }
+    return oss.str();
+}
+
+void
+printModelSummary(std::ostream &os, const Network &net, int batch)
+{
+    os << net.name << " (" << familyName(net.family) << "), mini-batch "
+       << batch << "\n";
+    TextTable table({"layer", "kind", "geometry", "params",
+                     "act elems/ex", "fwd GEMM", "x"});
+    for (const auto &layer : net.layers) {
+        const GemmInstance fwd = layer.forwardGemm(batch);
+        table.addRow({layer.name, layerKindName(layer.kind),
+                      layerGeometry(layer),
+                      std::to_string(layer.paramCount()),
+                      std::to_string(layer.outputElemsPerExample()),
+                      fwd.valid() ? fwd.shape.str() : "-",
+                      fwd.valid() ? std::to_string(fwd.count) : "-"});
+    }
+    table.print(os);
+    os << "totals: " << net.layers.size() << " layers ("
+       << net.numWeightedLayers() << " weighted), "
+       << net.paramCount() << " params, "
+       << net.activationElemsPerExample()
+       << " activation elems/example\n";
+}
+
+} // namespace diva

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable model summaries: a per-layer table (kind, geometry,
+ * parameters, activation footprint, forward GEMM shape) plus network
+ * totals, in the spirit of torchsummary, for inspecting the zoo and
+ * custom networks.
+ */
+
+#ifndef DIVA_MODELS_SUMMARY_H
+#define DIVA_MODELS_SUMMARY_H
+
+#include <ostream>
+#include <string>
+
+#include "models/network.h"
+
+namespace diva
+{
+
+/** Short human-readable tag for a layer kind. */
+const char *layerKindName(LayerKind kind);
+
+/** One-line geometry description, e.g. "3x3/1 s2 16->64 @32x32". */
+std::string layerGeometry(const Layer &layer);
+
+/**
+ * Print the per-layer table and totals for `net` at mini-batch
+ * `batch` (the batch determines the forward GEMM shapes shown).
+ */
+void printModelSummary(std::ostream &os, const Network &net, int batch);
+
+} // namespace diva
+
+#endif // DIVA_MODELS_SUMMARY_H

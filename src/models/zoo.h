@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The nine benchmark networks of the paper (Section V): five CNNs
+ * evaluated on CIFAR-10-sized inputs, two BERT configurations and two
+ * LSTM configurations with a baseline sequence length of 32.
+ *
+ * Input image size and sequence length are parameters so the Section
+ * VI-C sensitivity study (4x/16x/64x larger images, 2x/4x/8x longer
+ * sequences) reuses the same builders.
+ */
+
+#ifndef DIVA_MODELS_ZOO_H
+#define DIVA_MODELS_ZOO_H
+
+#include <vector>
+
+#include "models/network.h"
+
+namespace diva
+{
+
+/** Default CIFAR-10 style image side used in the paper's baseline. */
+constexpr int kDefaultImageSize = 32;
+
+/** Default token sequence length used in the paper's baseline. */
+constexpr int kDefaultSeqLen = 32;
+
+Network vgg16(int image_size = kDefaultImageSize);
+Network resnet50(int image_size = kDefaultImageSize);
+Network resnet152(int image_size = kDefaultImageSize);
+Network squeezenet(int image_size = kDefaultImageSize);
+Network mobilenet(int image_size = kDefaultImageSize);
+
+Network bertBase(int seq_len = kDefaultSeqLen);
+Network bertLarge(int seq_len = kDefaultSeqLen);
+Network lstmSmall(int seq_len = kDefaultSeqLen);
+Network lstmLarge(int seq_len = kDefaultSeqLen);
+
+/** All nine models in the paper's figure ordering. */
+std::vector<Network> allModels();
+
+/** The four models used in the paper's breakdown figures (14-16). */
+std::vector<Network> breakdownModels();
+
+} // namespace diva
+
+#endif // DIVA_MODELS_ZOO_H

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * CNN benchmark builders: VGG-16, ResNet-50/152, SqueezeNet 1.0 and
+ * MobileNetV1, instantiated at CIFAR-10 scale (32x32 inputs) as in the
+ * paper's baseline configuration (Section V).
+ */
+
+#include "models/zoo.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+namespace
+{
+
+constexpr int kNumClasses = 10;
+
+/** Running spatial/channel state while stacking conv layers. */
+struct Builder
+{
+    Network net;
+    int h;
+    int w;
+    int c;
+
+    Builder(std::string name, int image_size, int channels)
+        : h(image_size), w(image_size), c(channels)
+    {
+        net.name = std::move(name);
+        net.family = ModelFamily::kCnn;
+        net.inputElemsPerExample =
+            Elems(channels) * Elems(image_size) * Elems(image_size);
+    }
+
+    void
+    conv(const std::string &name, int out_c, int k, int stride,
+         int padding)
+    {
+        Layer l = Layer::conv2d(name, c, out_c, k, k, stride, padding, h,
+                                w);
+        h = l.outH();
+        w = l.outW();
+        c = out_c;
+        net.layers.push_back(std::move(l));
+    }
+
+    void
+    depthwise(const std::string &name, int k, int stride, int padding)
+    {
+        Layer l = Layer::depthwiseConv2d(name, c, k, k, stride, padding,
+                                         h, w);
+        h = l.outH();
+        w = l.outW();
+        net.layers.push_back(std::move(l));
+    }
+
+    void
+    pool(const std::string &name, int k, int stride)
+    {
+        if (h < k) {
+            // Tiny CIFAR feature maps can be smaller than an ImageNet
+            // pooling window; clamp as frameworks do with ceil_mode.
+            return;
+        }
+        Layer l = Layer::pool(name, c, k, k, stride, h, w);
+        h = l.outH();
+        w = l.outW();
+        net.layers.push_back(std::move(l));
+    }
+
+    void
+    globalPool(const std::string &name)
+    {
+        if (h == 1 && w == 1)
+            return;
+        Layer l = Layer::pool(name, c, h, w, 1, h, w);
+        h = 1;
+        w = 1;
+        net.layers.push_back(std::move(l));
+    }
+
+    void
+    fc(const std::string &name, int out_f)
+    {
+        const int in_f = c * h * w;
+        net.layers.push_back(Layer::linear(name, in_f, out_f));
+        c = out_f;
+        h = 1;
+        w = 1;
+    }
+};
+
+/** ResNet bottleneck block: 1x1 -> 3x3 -> 1x1 (+ optional downsample). */
+void
+bottleneck(Builder &b, const std::string &name, int mid_c, int out_c,
+           int stride, bool downsample)
+{
+    const int in_h = b.h;
+    const int in_w = b.w;
+    const int in_c = b.c;
+    b.conv(name + ".conv1", mid_c, 1, 1, 0);
+    b.conv(name + ".conv2", mid_c, 3, stride, 1);
+    b.conv(name + ".conv3", out_c, 1, 1, 0);
+    if (downsample) {
+        // Projection shortcut runs in parallel on the block input.
+        Layer l = Layer::conv2d(name + ".downsample", in_c, out_c, 1, 1,
+                                stride, 0, in_h, in_w);
+        b.net.layers.push_back(std::move(l));
+    }
+}
+
+Network
+resnet(const std::string &name, const int (&blocks)[4], int image_size)
+{
+    Builder b(name, image_size, 3);
+    b.conv("conv1", 64, 7, 2, 3);
+    b.pool("maxpool", 3, 2);
+    const int mids[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        const int mid_c = mids[stage];
+        const int out_c = mid_c * 4;
+        for (int blk = 0; blk < blocks[stage]; ++blk) {
+            const int stride = (stage > 0 && blk == 0) ? 2 : 1;
+            // Tiny feature maps cannot stride below 1x1.
+            const int eff_stride = (b.h > 1) ? stride : 1;
+            bottleneck(b,
+                       "layer" + std::to_string(stage + 1) + "." +
+                           std::to_string(blk),
+                       mid_c, out_c, eff_stride, blk == 0);
+        }
+    }
+    b.globalPool("avgpool");
+    b.fc("fc", kNumClasses);
+    return b.net;
+}
+
+/** SqueezeNet fire module: squeeze 1x1 then parallel 1x1/3x3 expands. */
+void
+fire(Builder &b, const std::string &name, int squeeze_c, int expand_c)
+{
+    b.conv(name + ".squeeze", squeeze_c, 1, 1, 0);
+    const int in_h = b.h;
+    const int in_w = b.w;
+    const int in_c = b.c;
+    b.conv(name + ".expand1x1", expand_c, 1, 1, 0);
+    // The 3x3 expand consumes the same squeeze output in parallel.
+    Layer e3 = Layer::conv2d(name + ".expand3x3", in_c, expand_c, 3, 3,
+                             1, 1, in_h, in_w);
+    b.net.layers.push_back(std::move(e3));
+    b.c = expand_c * 2;
+}
+
+} // namespace
+
+Network
+vgg16(int image_size)
+{
+    Builder b("VGG-16", image_size, 3);
+    const int block_channels[5] = {64, 128, 256, 512, 512};
+    const int block_convs[5] = {2, 2, 3, 3, 3};
+    for (int blk = 0; blk < 5; ++blk) {
+        for (int cv = 0; cv < block_convs[blk]; ++cv) {
+            b.conv("block" + std::to_string(blk + 1) + ".conv" +
+                       std::to_string(cv + 1),
+                   block_channels[blk], 3, 1, 1);
+        }
+        b.pool("block" + std::to_string(blk + 1) + ".pool", 2, 2);
+    }
+    b.fc("fc1", 4096);
+    b.fc("fc2", 4096);
+    b.fc("fc3", kNumClasses);
+    return b.net;
+}
+
+Network
+resnet50(int image_size)
+{
+    const int blocks[4] = {3, 4, 6, 3};
+    return resnet("ResNet-50", blocks, image_size);
+}
+
+Network
+resnet152(int image_size)
+{
+    const int blocks[4] = {3, 8, 36, 3};
+    return resnet("ResNet-152", blocks, image_size);
+}
+
+Network
+squeezenet(int image_size)
+{
+    Builder b("SqueezeNet", image_size, 3);
+    b.conv("conv1", 96, 7, 2, 3);
+    b.pool("maxpool1", 3, 2);
+    fire(b, "fire2", 16, 64);
+    fire(b, "fire3", 16, 64);
+    fire(b, "fire4", 32, 128);
+    b.pool("maxpool4", 3, 2);
+    fire(b, "fire5", 32, 128);
+    fire(b, "fire6", 48, 192);
+    fire(b, "fire7", 48, 192);
+    fire(b, "fire8", 64, 256);
+    b.pool("maxpool8", 3, 2);
+    fire(b, "fire9", 64, 256);
+    b.conv("conv10", kNumClasses, 1, 1, 0);
+    b.globalPool("avgpool");
+    return b.net;
+}
+
+Network
+mobilenet(int image_size)
+{
+    Builder b("MobileNet", image_size, 3);
+    b.conv("conv1", 32, 3, 2, 1);
+    struct Block { int out_c; int stride; };
+    const Block blocks[] = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},
+        {512, 2}, {512, 1}, {512, 1}, {512, 1},  {512, 1},
+        {512, 1}, {1024, 2}, {1024, 1},
+    };
+    int idx = 2;
+    for (const auto &blk : blocks) {
+        const int stride = (b.h > 1) ? blk.stride : 1;
+        b.depthwise("dw" + std::to_string(idx), 3, stride, 1);
+        b.conv("pw" + std::to_string(idx), blk.out_c, 1, 1, 0);
+        ++idx;
+    }
+    b.globalPool("avgpool");
+    b.fc("fc", kNumClasses);
+    return b.net;
+}
+
+} // namespace diva

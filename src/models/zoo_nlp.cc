@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Transformer and RNN benchmark builders: BERT-base/large encoders and
+ * two character-level LSTM classifiers (after the Opacus char-LSTM
+ * example the paper cites for its LSTM benchmarks).
+ */
+
+#include "models/zoo.h"
+
+#include <string>
+
+namespace diva
+{
+
+namespace
+{
+
+constexpr int kNumClasses = 10;
+
+Network
+bert(const std::string &name, int num_layers, int hidden, int num_heads,
+     int ffn, int seq_len)
+{
+    Network net;
+    net.name = name;
+    net.family = ModelFamily::kTransformer;
+    net.inputElemsPerExample = Elems(hidden) * Elems(seq_len);
+    const int head_dim = hidden / num_heads;
+
+    for (int i = 0; i < num_layers; ++i) {
+        const std::string p = "encoder" + std::to_string(i) + ".";
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "q_proj", hidden, hidden,
+                                    seq_len));
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "k_proj", hidden, hidden,
+                                    seq_len));
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "v_proj", hidden, hidden,
+                                    seq_len));
+        net.layers.push_back(
+            Layer::attentionScores(p + "attn_scores", num_heads,
+                                   head_dim, seq_len));
+        net.layers.push_back(
+            Layer::attentionContext(p + "attn_context", num_heads,
+                                    head_dim, seq_len));
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "attn_out", hidden, hidden,
+                                    seq_len));
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "ffn_in", hidden, ffn, seq_len));
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "ffn_out", ffn, hidden,
+                                    seq_len));
+    }
+    net.layers.push_back(Layer::linear("classifier", hidden,
+                                       kNumClasses));
+    return net;
+}
+
+Network
+lstm(const std::string &name, int num_layers, int hidden, int seq_len)
+{
+    Network net;
+    net.name = name;
+    net.family = ModelFamily::kRnn;
+    net.inputElemsPerExample = Elems(hidden) * Elems(seq_len);
+
+    for (int i = 0; i < num_layers; ++i) {
+        const std::string p = "lstm" + std::to_string(i) + ".";
+        // Input projection x_t * W_ih: batched over all timesteps.
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "ih", hidden, 4 * hidden,
+                                    seq_len));
+        // Recurrent projection h_{t-1} * W_hh: inherently sequential,
+        // one (B, H, 4H) GEMM per timestep.
+        net.layers.push_back(
+            Layer::timeSeriesLinear(p + "hh", hidden, 4 * hidden,
+                                    seq_len, /*sequential=*/true));
+    }
+    net.layers.push_back(Layer::linear("classifier", hidden,
+                                       kNumClasses));
+    return net;
+}
+
+} // namespace
+
+Network
+bertBase(int seq_len)
+{
+    return bert("BERT-base", 12, 768, 12, 3072, seq_len);
+}
+
+Network
+bertLarge(int seq_len)
+{
+    return bert("BERT-large", 24, 1024, 16, 4096, seq_len);
+}
+
+Network
+lstmSmall(int seq_len)
+{
+    return lstm("LSTM-small", 1, 256, seq_len);
+}
+
+Network
+lstmLarge(int seq_len)
+{
+    return lstm("LSTM-large", 2, 1024, seq_len);
+}
+
+std::vector<Network>
+allModels()
+{
+    return {vgg16(),      resnet50(),  resnet152(),
+            squeezenet(), mobilenet(), bertBase(),
+            bertLarge(),  lstmSmall(), lstmLarge()};
+}
+
+std::vector<Network>
+breakdownModels()
+{
+    return {vgg16(), resnet152(), bertLarge(), lstmLarge()};
+}
+
+} // namespace diva

@@ -1,0 +1,51 @@
+#include "ppu/adder_tree.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+AdderTree::AdderTree(int width)
+{
+    DIVA_ASSERT(width > 0, "adder tree width must be positive");
+    width_ = 1;
+    levels_ = 0;
+    while (width_ < width) {
+        width_ <<= 1;
+        ++levels_;
+    }
+}
+
+double
+AdderTree::reduce(const std::vector<float> &values) const
+{
+    double total = 0.0;
+    for (std::size_t base = 0; base < values.size();
+         base += std::size_t(width_)) {
+        // One width-sized input vector per cycle; reduce in strict
+        // pairwise tree order to match the hardware datapath.
+        std::vector<double> level(std::size_t(width_), 0.0);
+        for (int i = 0; i < width_; ++i) {
+            const std::size_t idx = base + std::size_t(i);
+            level[std::size_t(i)] = idx < values.size() ? values[idx] : 0.0;
+        }
+        while (level.size() > 1) {
+            std::vector<double> next(level.size() / 2);
+            for (std::size_t i = 0; i < next.size(); ++i)
+                next[i] = level[2 * i] + level[2 * i + 1];
+            level.swap(next);
+        }
+        total += level[0];
+    }
+    return total;
+}
+
+Cycles
+AdderTree::reduceCycles(Elems num_vectors) const
+{
+    if (num_vectors == 0)
+        return 0;
+    return Cycles(num_vectors) + Cycles(levels_);
+}
+
+} // namespace diva

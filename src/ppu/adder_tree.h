@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-level adder tree: the reduction primitive inside DiVa's PPU
+ * (Figure 11). Provides both a functional model (tree-order summation,
+ * used to validate reduction math) and a cycle model (pipelined, one
+ * input vector per cycle, log2(width) levels of latency).
+ */
+
+#ifndef DIVA_PPU_ADDER_TREE_H
+#define DIVA_PPU_ADDER_TREE_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace diva
+{
+
+/**
+ * A pipelined binary adder tree of fixed input width. The baseline DiVa
+ * PPU instantiates R = 8 trees of width 128 (7 levels), one per drained
+ * GEMM-engine output row.
+ */
+class AdderTree
+{
+  public:
+    /** @param width number of leaf inputs; rounded up to a power of 2. */
+    explicit AdderTree(int width);
+
+    int width() const { return width_; }
+
+    /** Number of adder levels: log2(width). */
+    int levels() const { return levels_; }
+
+    /**
+     * Functionally reduce `values` in hardware tree order. Vectors
+     * longer than the tree width are folded in width-sized chunks, as
+     * the pipelined hardware would over successive cycles.
+     */
+    double reduce(const std::vector<float> &values) const;
+
+    /**
+     * Cycles to reduce `num_vectors` width-sized input vectors through
+     * the pipelined tree: one vector enters per cycle, plus the pipeline
+     * depth for the last one to emerge.
+     */
+    Cycles reduceCycles(Elems num_vectors) const;
+
+    /** Total two-input adders in the tree: width - 1. */
+    int numAdders() const { return width_ - 1; }
+
+  private:
+    int width_;
+    int levels_;
+};
+
+} // namespace diva
+
+#endif // DIVA_PPU_ADDER_TREE_H

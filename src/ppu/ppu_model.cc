@@ -1,0 +1,45 @@
+#include "ppu/ppu_model.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+PpuModel::PpuModel(const AcceleratorConfig &cfg)
+    : cfg_(cfg), tree_(cfg.peCols)
+{
+    DIVA_ASSERT(cfg.hasPpu, "PpuModel constructed for a config without "
+                            "a PPU");
+}
+
+Elems
+PpuModel::elemsPerCycle() const
+{
+    return Elems(cfg_.peCols) * Elems(cfg_.drainRowsPerCycle);
+}
+
+PostProcResult
+PpuModel::normOnDrain(Elems elems) const
+{
+    PostProcResult r;
+    r.processedElems = elems;
+    // The drain itself is already accounted inside the GEMM engine's
+    // cycle model; the trees keep pace with it (FREQ_PPU == FREQ_GEMM,
+    // PE_W elements per tree per cycle). Only the pipeline depth and
+    // the final scalar square-root/accumulate are exposed.
+    r.cycles = Cycles(tree_.levels()) + 4;
+    // No DRAM traffic: this is the whole point of the PPU.
+    return r;
+}
+
+PostProcResult
+PpuModel::reduceOnChip(Elems elems) const
+{
+    PostProcResult r;
+    r.processedElems = elems;
+    const Elems per_cycle = elemsPerCycle();
+    r.cycles = Cycles(ceilDiv(elems, per_cycle)) + Cycles(tree_.levels());
+    return r;
+}
+
+} // namespace diva

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cycle/traffic model of DiVa's post-processing unit (Section IV-C).
+ *
+ * The PPU sits on the drain path of an OS-class GEMM engine: R adder
+ * trees square-and-reduce the R output rows drained each cycle, so the
+ * L2-norm partial sums of per-example weight gradients are derived
+ * on-the-fly while the GEMM engine keeps running. The gradients never
+ * have to be spilled to DRAM for norm derivation -- the source of the
+ * paper's 99% reduction in post-processing off-chip traffic.
+ */
+
+#ifndef DIVA_PPU_PPU_MODEL_H
+#define DIVA_PPU_PPU_MODEL_H
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+#include "ppu/adder_tree.h"
+
+namespace diva
+{
+
+/** Result of a post-processing phase (norm / clip / reduce / noise). */
+struct PostProcResult
+{
+    /** Cycles exposed beyond what overlaps with the GEMM engine. */
+    Cycles cycles = 0;
+
+    /** Extra DRAM traffic incurred by this phase. */
+    Bytes dramReadBytes = 0;
+    Bytes dramWriteBytes = 0;
+
+    /** Elements that flowed through the reduction/vector datapath. */
+    Elems processedElems = 0;
+};
+
+/**
+ * DiVa PPU: R pipelined adder trees of width peCols, fed at the GEMM
+ * engine's drain rate.
+ */
+class PpuModel
+{
+  public:
+    explicit PpuModel(const AcceleratorConfig &cfg);
+
+    /**
+     * On-the-fly L2-norm partial-sum derivation for `elems` gradient
+     * elements drained out of the GEMM engine. The trees consume rows
+     * at line rate, so only the pipeline depth plus the final
+     * scalar accumulate/sqrt is exposed per invocation.
+     */
+    PostProcResult normOnDrain(Elems elems) const;
+
+    /**
+     * Standalone reduction of `elems` elements already resident on
+     * chip (e.g. reducing per-layer norm partials into the global
+     * per-example norm): the trees process peCols * R elements/cycle.
+     */
+    PostProcResult reduceOnChip(Elems elems) const;
+
+    /** Throughput of the PPU front-end in elements per cycle. */
+    Elems elemsPerCycle() const;
+
+    /** Number of adder-tree instances (= drain rows R). */
+    int numTrees() const { return cfg_.drainRowsPerCycle; }
+
+    const AdderTree &tree() const { return tree_; }
+
+  private:
+    AcceleratorConfig cfg_;
+    AdderTree tree_;
+};
+
+} // namespace diva
+
+#endif // DIVA_PPU_PPU_MODEL_H

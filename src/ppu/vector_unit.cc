@@ -1,0 +1,45 @@
+#include "ppu/vector_unit.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+namespace
+{
+
+/** Relative cost of a reduction pass vs an element-wise pass. */
+constexpr Elems kReductionOverhead = 2;
+
+/** SIMD instructions per element for Gaussian noise generation. */
+constexpr Elems kNoiseCostPerElem = 8;
+
+} // namespace
+
+VectorUnitModel::VectorUnitModel(const AcceleratorConfig &cfg)
+    : cfg_(cfg)
+{
+    DIVA_ASSERT(cfg.vectorLanes > 0);
+}
+
+Cycles
+VectorUnitModel::elementwiseCycles(Elems elems) const
+{
+    return Cycles(ceilDiv(elems, Elems(cfg_.vectorLanes)));
+}
+
+Cycles
+VectorUnitModel::reductionCycles(Elems elems) const
+{
+    return Cycles(ceilDiv(elems * kReductionOverhead,
+                          Elems(cfg_.vectorLanes)));
+}
+
+Cycles
+VectorUnitModel::noiseCycles(Elems elems) const
+{
+    return Cycles(ceilDiv(elems * kNoiseCostPerElem,
+                          Elems(cfg_.vectorLanes)));
+}
+
+} // namespace diva

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Model of a TPU-style SIMD vector unit, the post-processing fallback
+ * when no PPU is present (Section III-C / Figure 10(a)).
+ *
+ * The vector unit is efficient at element-wise work but reductions need
+ * repeated vector permutations, halving its effective throughput; and
+ * because per-example gradient tensors exceed the on-chip buffers they
+ * are spilled to DRAM and fetched back, making norm derivation memory
+ * bandwidth bound.
+ */
+
+#ifndef DIVA_PPU_VECTOR_UNIT_H
+#define DIVA_PPU_VECTOR_UNIT_H
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+#include "ppu/ppu_model.h"
+
+namespace diva
+{
+
+/** Cycle model of the on-chip vector processing unit. */
+class VectorUnitModel
+{
+  public:
+    explicit VectorUnitModel(const AcceleratorConfig &cfg);
+
+    /** Element-wise op (scale, add) compute cycles for `elems`. */
+    Cycles elementwiseCycles(Elems elems) const;
+
+    /**
+     * Reduction compute cycles: the log-depth permute/add sequence
+     * costs roughly 2x the element-wise pass over the data.
+     */
+    Cycles reductionCycles(Elems elems) const;
+
+    /**
+     * Gaussian noise generation + add: pseudo-random number generation
+     * is multi-instruction per element on a SIMD unit.
+     */
+    Cycles noiseCycles(Elems elems) const;
+
+  private:
+    AcceleratorConfig cfg_;
+};
+
+} // namespace diva
+
+#endif // DIVA_PPU_VECTOR_UNIT_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The executor maps a training op stream onto one accelerator
+ * configuration, producing per-stage cycle counts, utilization and
+ * off-chip traffic.
+ *
+ * Dispatch policy (Sections III-C and IV-C of the paper):
+ *   - GEMM ops run on the configured GEMM engine model.
+ *   - Per-example weight gradients are committed to DRAM only when a
+ *     later consumer needs them: always under vanilla DP-SGD (for the
+ *     clip stage), and under DP-SGD(R) only when no PPU exists (the
+ *     vector unit must re-read them for norm derivation).
+ *   - Gradient norms run on the PPU (on-the-fly, no traffic) when
+ *     present, otherwise on the vector unit against spilled tensors.
+ *   - Clip/reduce/noise run on the vector unit (or PPU reduction
+ *     datapath) and are memory-bandwidth bound.
+ */
+
+#ifndef DIVA_SIM_EXECUTOR_H
+#define DIVA_SIM_EXECUTOR_H
+
+#include <memory>
+#include <optional>
+
+#include "arch/accelerator_config.h"
+#include "gemm/engine.h"
+#include "mem/dram_model.h"
+#include "ppu/ppu_model.h"
+#include "ppu/vector_unit.h"
+#include "sim/result.h"
+#include "sim/trace.h"
+#include "train/op.h"
+
+namespace diva
+{
+
+/** Simulates op streams on one accelerator configuration. */
+class Executor
+{
+  public:
+    explicit Executor(const AcceleratorConfig &cfg);
+
+    /**
+     * Simulate one training iteration. When `trace` is non-null, a
+     * per-op latency/traffic record is appended for every op.
+     */
+    SimResult run(const OpStream &stream, Trace *trace = nullptr) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    void runGemm(SimResult &result, const Op &op,
+                 TrainingAlgorithm algo) const;
+    void runGradNorm(SimResult &result, const Op &op,
+                     TrainingAlgorithm algo) const;
+    void runGradClip(SimResult &result, const Op &op) const;
+    void runGradReduce(SimResult &result, const Op &op) const;
+    void runNoiseAdd(SimResult &result, const Op &op) const;
+
+    /** Whether per-example gradient GEMM outputs must go to DRAM. */
+    bool spillPerExampleGrads(TrainingAlgorithm algo) const;
+
+    /** Account a memory-bound post-processing phase. */
+    void addPostProc(SimResult &result, Stage stage, Cycles compute,
+                     Bytes read, Bytes write) const;
+
+    AcceleratorConfig cfg_;
+    std::unique_ptr<GemmEngineModel> engine_;
+    DramModel dram_;
+    std::optional<PpuModel> ppu_;
+    VectorUnitModel vectorUnit_;
+};
+
+} // namespace diva
+
+#endif // DIVA_SIM_EXECUTOR_H

@@ -1,0 +1,55 @@
+#include "sim/multichip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/executor.h"
+#include "train/planner.h"
+
+namespace diva
+{
+
+ScalingResult
+simulateDataParallel(const AcceleratorConfig &chip, const Network &net,
+                     TrainingAlgorithm algo, int global_batch,
+                     const MultiChipConfig &pod)
+{
+    DIVA_ASSERT(pod.numChips >= 1);
+    if (global_batch < pod.numChips)
+        DIVA_FATAL("global batch ", global_batch,
+                   " cannot shard over ", pod.numChips, " chips");
+
+    ScalingResult result;
+    result.numChips = pod.numChips;
+    result.perChipBatch = ceilDiv(global_batch, pod.numChips);
+
+    const Executor exec(chip);
+    // The slowest chip carries the ceil-sized shard.
+    result.computeCycles =
+        exec.run(buildOpStream(net, algo, result.perChipBatch))
+            .totalCycles();
+
+    if (pod.numChips > 1) {
+        // Ring all-reduce of the FP32 per-batch weight gradients:
+        // each chip sends 2*(N-1)/N of |G(W)| over its link.
+        const double grad_bytes = double(net.paramCount()) * 4.0;
+        const double wire_bytes = 2.0 *
+                                  double(pod.numChips - 1) /
+                                  double(pod.numChips) * grad_bytes;
+        const double bytes_per_cycle =
+            pod.interconnectGBs * 1e9 / (chip.freqGhz * 1e9);
+        result.allReduceCycles =
+            Cycles(std::ceil(wire_bytes / bytes_per_cycle)) +
+            Cycles(2 * (pod.numChips - 1)) * pod.linkLatencyCycles;
+    }
+    result.totalCycles = result.computeCycles + result.allReduceCycles;
+
+    const Cycles single =
+        exec.run(buildOpStream(net, algo, global_batch)).totalCycles();
+    result.efficiency = double(single) / (double(pod.numChips) *
+                                          double(result.totalCycles));
+    return result;
+}
+
+} // namespace diva

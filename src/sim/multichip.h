@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Data-parallel multi-chip scaling model. The paper evaluates a single
+ * TPUv3-class chip; production DP training runs on pods, where each
+ * chip processes a shard of the mini-batch and the per-batch weight
+ * gradients are ring-all-reduced over the interconnect before the
+ * (noised) update. DP-SGD composes cleanly with data parallelism:
+ * per-example clipping is local to the chip that saw the example, and
+ * noise is added once after the reduction.
+ */
+
+#ifndef DIVA_SIM_MULTICHIP_H
+#define DIVA_SIM_MULTICHIP_H
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+#include "models/network.h"
+#include "train/algorithm.h"
+
+namespace diva
+{
+
+/** Pod-level configuration. */
+struct MultiChipConfig
+{
+    int numChips = 8;
+    /** Per-link interconnect bandwidth (TPUv3 ICI class). */
+    double interconnectGBs = 70.0;
+    /** Per-hop link latency in core cycles. */
+    Cycles linkLatencyCycles = 500;
+};
+
+/** Outcome of one data-parallel training iteration. */
+struct ScalingResult
+{
+    int numChips = 1;
+    int perChipBatch = 0;
+    Cycles computeCycles = 0;   ///< slowest chip's local iteration
+    Cycles allReduceCycles = 0; ///< ring all-reduce of G(W)
+    Cycles totalCycles = 0;
+
+    /**
+     * Strong-scaling efficiency: single-chip time at the global batch
+     * divided by (numChips x multi-chip time). 1.0 = perfect scaling.
+     */
+    double efficiency = 0.0;
+};
+
+/**
+ * Simulate one data-parallel iteration of `global_batch` examples
+ * sharded over the pod. Requires global_batch >= numChips.
+ */
+ScalingResult simulateDataParallel(const AcceleratorConfig &chip,
+                                   const Network &net,
+                                   TrainingAlgorithm algo,
+                                   int global_batch,
+                                   const MultiChipConfig &pod);
+
+} // namespace diva
+
+#endif // DIVA_SIM_MULTICHIP_H

@@ -1,0 +1,82 @@
+#include "sim/result.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+Cycles
+SimResult::totalCycles() const
+{
+    Cycles total = 0;
+    for (auto c : stageCycles)
+        total += c;
+    return total;
+}
+
+Macs
+SimResult::totalMacs() const
+{
+    Macs total = 0;
+    for (auto m : stageMacs)
+        total += m;
+    return total;
+}
+
+DramTraffic
+SimResult::totalDram() const
+{
+    DramTraffic total;
+    for (const auto &t : stageDram)
+        total += t;
+    return total;
+}
+
+double
+SimResult::stageUtilization(Stage s, const AcceleratorConfig &cfg) const
+{
+    const auto idx = static_cast<std::size_t>(s);
+    if (stageCycles[idx] == 0)
+        return 0.0;
+    return double(stageMacs[idx]) /
+           (double(stageCycles[idx]) * double(cfg.macsPerCycle()));
+}
+
+double
+SimResult::overallUtilization(const AcceleratorConfig &cfg) const
+{
+    const Cycles total = totalCycles();
+    if (total == 0)
+        return 0.0;
+    return double(totalMacs()) /
+           (double(total) * double(cfg.macsPerCycle()));
+}
+
+double
+SimResult::seconds(const AcceleratorConfig &cfg) const
+{
+    return cfg.cyclesToSeconds(totalCycles());
+}
+
+SimResult &
+SimResult::operator+=(const SimResult &o)
+{
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        stageCycles[i] += o.stageCycles[i];
+        stageMacs[i] += o.stageMacs[i];
+        stageDram[i] += o.stageDram[i];
+    }
+    sramReadBytes += o.sramReadBytes;
+    sramWriteBytes += o.sramWriteBytes;
+    postProcessingDram += o.postProcessingDram;
+    return *this;
+}
+
+double
+speedup(const SimResult &slow, const SimResult &fast)
+{
+    DIVA_ASSERT(fast.totalCycles() > 0, "division by zero speedup");
+    return double(slow.totalCycles()) / double(fast.totalCycles());
+}
+
+} // namespace diva

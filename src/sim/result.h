@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-stage simulation results for one training iteration.
+ */
+
+#ifndef DIVA_SIM_RESULT_H
+#define DIVA_SIM_RESULT_H
+
+#include <array>
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+#include "mem/dram_model.h"
+#include "sim/stage.h"
+
+namespace diva
+{
+
+/** Cycle/traffic/compute totals of one simulated training iteration. */
+struct SimResult
+{
+    std::array<Cycles, kNumStages> stageCycles{};
+    std::array<Macs, kNumStages> stageMacs{};
+    std::array<DramTraffic, kNumStages> stageDram{};
+
+    Bytes sramReadBytes = 0;
+    Bytes sramWriteBytes = 0;
+
+    /**
+     * Off-chip traffic attributable to gradient post-processing: the
+     * per-example gradient spills plus all norm/clip/reduce/noise
+     * traffic. This is the quantity the PPU eliminates (the paper's
+     * "99% reduction in off-chip data movements during gradient
+     * post-processing").
+     */
+    DramTraffic postProcessingDram;
+
+    Cycles totalCycles() const;
+    Macs totalMacs() const;
+    DramTraffic totalDram() const;
+
+    Cycles stageCyclesFor(Stage s) const
+    {
+        return stageCycles[static_cast<std::size_t>(s)];
+    }
+
+    /** Effective FLOPS utilization of one stage. */
+    double stageUtilization(Stage s, const AcceleratorConfig &cfg) const;
+
+    /** Effective FLOPS utilization of the full iteration. */
+    double overallUtilization(const AcceleratorConfig &cfg) const;
+
+    /** Wall-clock seconds at the configuration's core frequency. */
+    double seconds(const AcceleratorConfig &cfg) const;
+
+    SimResult &operator+=(const SimResult &o);
+};
+
+/** Latency ratio: how much faster `fast` is than `slow`. */
+double speedup(const SimResult &slow, const SimResult &fast);
+
+} // namespace diva
+
+#endif // DIVA_SIM_RESULT_H

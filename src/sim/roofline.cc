@@ -1,0 +1,69 @@
+#include "sim/roofline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/executor.h"
+
+namespace diva
+{
+
+const char *
+boundName(Bound b)
+{
+    return b == Bound::kCompute ? "compute" : "memory";
+}
+
+RooflineSummary
+analyzeRoofline(const AcceleratorConfig &cfg, const OpStream &stream)
+{
+    RooflineSummary summary;
+    summary.machineBalance =
+        double(cfg.macsPerCycle()) / cfg.dramBytesPerCycle();
+
+    // Reuse the executor op by op so the classification matches the
+    // timing model exactly.
+    Trace trace;
+    const Executor exec(cfg);
+    exec.run(stream, &trace);
+
+    Cycles total_cycles = 0;
+    Cycles memory_cycles = 0;
+    for (const auto &t : trace) {
+        OpRoofline entry;
+        entry.index = t.index;
+        entry.stage = t.stage;
+        entry.intensity =
+            t.dramBytes > 0 ? double(t.macs) / double(t.dramBytes)
+                            : double(t.macs);
+        const double peak_macs =
+            double(t.cycles) * double(cfg.macsPerCycle());
+        entry.efficiency =
+            peak_macs > 0.0 ? double(t.macs) / peak_macs : 0.0;
+
+        // Memory bound iff the op's achieved intensity falls below the
+        // machine balance (equivalently: streaming its bytes takes
+        // longer than its useful compute would at peak).
+        const double compute_cycles =
+            double(t.macs) / double(cfg.macsPerCycle());
+        const double stream_cycles =
+            double(t.dramBytes) / cfg.dramBytesPerCycle();
+        entry.bound = stream_cycles > compute_cycles ? Bound::kMemory
+                                                     : Bound::kCompute;
+
+        total_cycles += t.cycles;
+        if (entry.bound == Bound::kMemory) {
+            ++summary.memoryBoundOps;
+            memory_cycles += t.cycles;
+        } else {
+            ++summary.computeBoundOps;
+        }
+        summary.ops.push_back(entry);
+    }
+    summary.memoryBoundCycleShare =
+        total_cycles > 0 ? double(memory_cycles) / double(total_cycles)
+                         : 0.0;
+    return summary;
+}
+
+} // namespace diva

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Roofline classification of training ops: whether each op of a
+ * training iteration is compute- or memory-bound on a given
+ * accelerator, and where the crossover arithmetic intensity lies.
+ * This formalizes the paper's Section III-C diagnosis ("per-example
+ * GEMMs are compute-starved; gradient post-processing is memory
+ * bound") as a reusable analysis.
+ */
+
+#ifndef DIVA_SIM_ROOFLINE_H
+#define DIVA_SIM_ROOFLINE_H
+
+#include <vector>
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+#include "sim/stage.h"
+#include "train/op.h"
+
+namespace diva
+{
+
+/** Binding classification of one op. */
+enum class Bound
+{
+    kCompute,
+    kMemory,
+};
+
+const char *boundName(Bound b);
+
+/** Roofline verdict for one op. */
+struct OpRoofline
+{
+    std::size_t index = 0;
+    Stage stage = Stage::kForward;
+    Bound bound = Bound::kCompute;
+    /** Achieved MACs per DRAM byte. */
+    double intensity = 0.0;
+    /** Fraction of peak MAC throughput achieved. */
+    double efficiency = 0.0;
+};
+
+/** Aggregate roofline statistics for one iteration. */
+struct RooflineSummary
+{
+    std::vector<OpRoofline> ops;
+    std::size_t computeBoundOps = 0;
+    std::size_t memoryBoundOps = 0;
+    /** Cycles spent in memory-bound ops / total cycles. */
+    double memoryBoundCycleShare = 0.0;
+
+    /**
+     * The machine-balance point: MACs per DRAM byte above which the
+     * accelerator is compute bound.
+     */
+    double machineBalance = 0.0;
+};
+
+/**
+ * Classify every op of the stream on the given accelerator. GEMM ops
+ * are compared against the engine cycle model; post-processing ops are
+ * classified by their vector-compute vs streaming time.
+ */
+RooflineSummary analyzeRoofline(const AcceleratorConfig &cfg,
+                                const OpStream &stream);
+
+} // namespace diva
+
+#endif // DIVA_SIM_ROOFLINE_H

@@ -1,0 +1,23 @@
+#include "sim/stage.h"
+
+namespace diva
+{
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::kForward: return "Fwdprop";
+      case Stage::kActGrad1: return "Bwd(activation grad,1st pass)";
+      case Stage::kPerExampleGrad: return "Bwd(per-example grad)";
+      case Stage::kGradNorm: return "Bwd(grad norm)";
+      case Stage::kActGrad2: return "Bwd(activation grad,2nd pass)";
+      case Stage::kPerBatchGrad: return "Bwd(per-batch grad)";
+      case Stage::kGradClip: return "Bwd(grad clip)";
+      case Stage::kReduceNoise: return "Bwd(Reduce/noise)";
+      case Stage::kNumStages: break;
+    }
+    return "?";
+}
+
+} // namespace diva

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Training-stage taxonomy matching the paper's Figure 5 / Figure 14
+ * latency-breakdown buckets.
+ */
+
+#ifndef DIVA_SIM_STAGE_H
+#define DIVA_SIM_STAGE_H
+
+#include <array>
+#include <cstddef>
+
+namespace diva
+{
+
+/** One bucket of the end-to-end training-time breakdown. */
+enum class Stage : std::size_t
+{
+    kForward = 0,       ///< Fwdprop
+    kActGrad1,          ///< Bwd(activation grad, 1st pass)
+    kPerExampleGrad,    ///< Bwd(per-example grad)
+    kGradNorm,          ///< Bwd(grad norm)
+    kActGrad2,          ///< Bwd(activation grad, 2nd pass) [DP-SGD(R)]
+    kPerBatchGrad,      ///< Bwd(per-batch grad)
+    kGradClip,          ///< Bwd(grad clip) [vanilla DP-SGD]
+    kReduceNoise,       ///< Bwd(Reduce/noise)
+    kNumStages,
+};
+
+constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::kNumStages);
+
+/** Figure-5 legend string for a stage. */
+const char *stageName(Stage s);
+
+/** Iteration helper. */
+constexpr std::array<Stage, kNumStages>
+allStages()
+{
+    return {Stage::kForward,     Stage::kActGrad1,
+            Stage::kPerExampleGrad, Stage::kGradNorm,
+            Stage::kActGrad2,    Stage::kPerBatchGrad,
+            Stage::kGradClip,    Stage::kReduceNoise};
+}
+
+} // namespace diva
+
+#endif // DIVA_SIM_STAGE_H

@@ -1,0 +1,71 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/table.h"
+
+namespace diva
+{
+
+std::vector<OpTrace>
+topOpsByCycles(const Trace &trace, std::size_t k)
+{
+    std::vector<OpTrace> sorted = trace;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const OpTrace &a, const OpTrace &b) {
+                         return a.cycles > b.cycles;
+                     });
+    if (sorted.size() > k)
+        sorted.resize(k);
+    return sorted;
+}
+
+Cycles
+layerCycles(const Trace &trace, const std::string &layer_name)
+{
+    Cycles total = 0;
+    for (const auto &t : trace)
+        if (t.layerName == layer_name)
+            total += t.cycles;
+    return total;
+}
+
+void
+printTraceReport(std::ostream &os, const Trace &trace, std::size_t top_k)
+{
+    Cycles total = 0;
+    std::array<Cycles, kNumStages> per_stage{};
+    for (const auto &t : trace) {
+        total += t.cycles;
+        per_stage[static_cast<std::size_t>(t.stage)] += t.cycles;
+    }
+    os << "trace: " << trace.size() << " ops, " << total
+       << " cycles total\n";
+
+    TextTable stages({"stage", "cycles", "share"});
+    for (Stage s : allStages()) {
+        const Cycles c = per_stage[static_cast<std::size_t>(s)];
+        if (c == 0)
+            continue;
+        stages.addRow({stageName(s), std::to_string(c),
+                       TextTable::fmtPct(double(c) /
+                                         double(std::max<Cycles>(total,
+                                                                 1)))});
+    }
+    stages.print(os);
+
+    TextTable top({"#", "op", "stage", "layer", "detail", "cycles",
+                   "share"});
+    for (const auto &t : topOpsByCycles(trace, top_k)) {
+        top.addRow({std::to_string(t.index), opTypeName(t.type),
+                    stageName(t.stage), t.layerName, t.detail,
+                    std::to_string(t.cycles),
+                    TextTable::fmtPct(double(t.cycles) /
+                                      double(std::max<Cycles>(total,
+                                                              1)))});
+    }
+    top.print(os);
+}
+
+} // namespace diva

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Op-level execution tracing: per-op latency and traffic records that
+ * the executor can emit alongside its aggregate result, plus report
+ * helpers (top-k ops, per-stage rollups). Useful for root-causing
+ * where an accelerator configuration spends its cycles, in the spirit
+ * of the paper's Figure 14 analysis but at op granularity.
+ */
+
+#ifndef DIVA_SIM_TRACE_H
+#define DIVA_SIM_TRACE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/stage.h"
+#include "train/op.h"
+
+namespace diva
+{
+
+/** One executed op's timing/traffic record. */
+struct OpTrace
+{
+    std::size_t index = 0;
+    OpType type = OpType::kGemm;
+    Stage stage = Stage::kForward;
+    std::string layerName;
+    std::string detail; ///< GEMM shape "MxKxN xCount" or element count
+    Cycles cycles = 0;
+    Bytes dramBytes = 0;
+    Macs macs = 0;
+};
+
+/** Full trace of one simulated iteration. */
+using Trace = std::vector<OpTrace>;
+
+/** The k ops with the highest cycle counts, descending. */
+std::vector<OpTrace> topOpsByCycles(const Trace &trace, std::size_t k);
+
+/** Sum of cycles attributed to one layer name across the trace. */
+Cycles layerCycles(const Trace &trace, const std::string &layer_name);
+
+/** Human-readable report: stage rollup plus the top-k op table. */
+void printTraceReport(std::ostream &os, const Trace &trace,
+                      std::size_t top_k = 10);
+
+} // namespace diva
+
+#endif // DIVA_SIM_TRACE_H

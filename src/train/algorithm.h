@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The three training algorithms compared throughout the paper.
+ */
+
+#ifndef DIVA_TRAIN_ALGORITHM_H
+#define DIVA_TRAIN_ALGORITHM_H
+
+namespace diva
+{
+
+/** Training algorithm selection (Algorithm 1). */
+enum class TrainingAlgorithm
+{
+    /** Non-private mini-batch SGD. */
+    kSgd,
+    /** Vanilla DP-SGD: per-example grads stored, then clipped/reduced. */
+    kDpSgd,
+    /**
+     * Reweighted DP-SGD (Lee & Kifer): first backprop derives only the
+     * per-example gradient norms; a second backprop computes the
+     * clipped per-batch gradient directly from a reweighted loss.
+     */
+    kDpSgdR,
+};
+
+inline const char *
+algorithmName(TrainingAlgorithm a)
+{
+    switch (a) {
+      case TrainingAlgorithm::kSgd: return "SGD";
+      case TrainingAlgorithm::kDpSgd: return "DP-SGD";
+      case TrainingAlgorithm::kDpSgdR: return "DP-SGD(R)";
+    }
+    return "?";
+}
+
+} // namespace diva
+
+#endif // DIVA_TRAIN_ALGORITHM_H

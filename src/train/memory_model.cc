@@ -1,0 +1,82 @@
+#include "train/memory_model.h"
+
+#include "common/logging.h"
+
+namespace diva
+{
+
+MemoryBreakdown
+trainingMemory(const Network &net, TrainingAlgorithm algo, int batch,
+               const MemoryModelParams &params)
+{
+    DIVA_ASSERT(batch > 0);
+
+    const Bytes param_bytes =
+        Bytes(net.paramCount()) * params.weightBytes;
+    const Bytes act_bytes = Bytes(net.activationElemsPerExample()) *
+                            Bytes(batch) * params.activationBytes;
+
+    MemoryBreakdown mb;
+    mb.weights = param_bytes;
+    mb.activations = act_bytes;
+    mb.perBatchGrad = param_bytes;
+
+    switch (algo) {
+      case TrainingAlgorithm::kSgd:
+        break;
+      case TrainingAlgorithm::kDpSgd:
+        // All layers' per-example gradients live until the global
+        // per-example norm is known (Algorithm 1, line 22).
+        mb.perExampleGrad = Bytes(batch) * param_bytes;
+        break;
+      case TrainingAlgorithm::kDpSgdR:
+        // Only the currently processed layer's per-example gradients
+        // are alive; the runtime needs one transient buffer sized for
+        // the largest layer.
+        mb.perExampleGrad =
+            Bytes(batch) * Bytes(net.maxLayerParamCount()) *
+            params.weightBytes;
+        break;
+    }
+
+    // Optimizer state (one momentum slot) plus input staging buffers.
+    mb.other = param_bytes + Bytes(net.inputElemsPerExample) *
+                                 Bytes(batch) * params.activationBytes;
+    return mb;
+}
+
+MemoryBreakdown
+trainingMemoryMicrobatched(const Network &net, TrainingAlgorithm algo,
+                           int batch, int microbatch,
+                           const MemoryModelParams &params)
+{
+    DIVA_ASSERT(batch > 0 && microbatch > 0 && microbatch <= batch);
+    // Per-pass tensors (activations, per-example grads, input staging)
+    // are sized by the micro-batch; the accumulated gradient and the
+    // optimizer state are full-size regardless.
+    MemoryBreakdown mb = trainingMemory(net, algo, microbatch, params);
+    (void)batch;
+    return mb;
+}
+
+int
+maxBatchSize(const Network &net, TrainingAlgorithm algo, Bytes capacity,
+             const MemoryModelParams &params)
+{
+    if (trainingMemory(net, algo, 1, params).total() > capacity)
+        return 0;
+
+    // Memory grows monotonically with batch -> binary search.
+    int lo = 1;
+    int hi = 1 << 24;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo + 1) / 2;
+        if (trainingMemory(net, algo, mid, params).total() <= capacity)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+} // namespace diva

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Device-memory allocation model (Figure 4 / Section III-A).
+ *
+ * DP-SGD must materialize one full weight-gradient set per example
+ * (B x sizeof(G(W))), dominating memory and capping the feasible
+ * mini-batch on a 16 GB device. DP-SGD(R) keeps only a single layer's
+ * per-example gradients alive at a time (they are consumed immediately
+ * for norm derivation), restoring SGD-like capacity.
+ */
+
+#ifndef DIVA_TRAIN_MEMORY_MODEL_H
+#define DIVA_TRAIN_MEMORY_MODEL_H
+
+#include "common/types.h"
+#include "models/network.h"
+#include "train/algorithm.h"
+
+namespace diva
+{
+
+/** Figure-4 memory categories, in bytes. */
+struct MemoryBreakdown
+{
+    Bytes weights = 0;
+    Bytes activations = 0;
+    Bytes perBatchGrad = 0;
+    Bytes perExampleGrad = 0;
+    Bytes other = 0;
+
+    Bytes total() const
+    {
+        return weights + activations + perBatchGrad + perExampleGrad +
+               other;
+    }
+};
+
+/** Element widths used by the allocation model. */
+struct MemoryModelParams
+{
+    /** Master weights, gradients and optimizer state (FP32). */
+    int weightBytes = 4;
+    /** Stored activations (BF16 as on TPUv3). */
+    int activationBytes = 2;
+};
+
+/** Memory required to train `net` with `algo` at mini-batch `batch`. */
+MemoryBreakdown trainingMemory(const Network &net, TrainingAlgorithm algo,
+                               int batch,
+                               const MemoryModelParams &params = {});
+
+/**
+ * Largest mini-batch that fits in `capacity` bytes of device memory
+ * (e.g. TPUv3's 16 GiB HBM). Returns 0 if even batch 1 does not fit.
+ */
+int maxBatchSize(const Network &net, TrainingAlgorithm algo,
+                 Bytes capacity, const MemoryModelParams &params = {});
+
+/**
+ * Memory required when a logical mini-batch of `batch` examples is
+ * processed in micro-batches of `microbatch` with gradient
+ * accumulation: activations and per-example gradients are sized by
+ * the micro-batch, while the accumulated per-batch gradient and
+ * optimizer state remain full-size.
+ */
+MemoryBreakdown trainingMemoryMicrobatched(
+    const Network &net, TrainingAlgorithm algo, int batch,
+    int microbatch, const MemoryModelParams &params = {});
+
+} // namespace diva
+
+#endif // DIVA_TRAIN_MEMORY_MODEL_H

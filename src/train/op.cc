@@ -1,0 +1,28 @@
+#include "train/op.h"
+
+namespace diva
+{
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::kGemm: return "gemm";
+      case OpType::kGradNorm: return "grad_norm";
+      case OpType::kGradClip: return "grad_clip";
+      case OpType::kGradReduce: return "grad_reduce";
+      case OpType::kNoiseAdd: return "noise_add";
+    }
+    return "?";
+}
+
+Macs
+OpStream::totalGemmMacs() const
+{
+    Macs total = 0;
+    for (const auto &op : ops)
+        total += op.gemmMacs();
+    return total;
+}
+
+} // namespace diva

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Typed operations emitted by the training planner and consumed by the
+ * executor. A training iteration is a linear stream of GEMM ops and
+ * gradient post-processing ops, each tagged with its Figure-5 stage.
+ */
+
+#ifndef DIVA_TRAIN_OP_H
+#define DIVA_TRAIN_OP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "gemm/gemm_shape.h"
+#include "sim/stage.h"
+#include "train/algorithm.h"
+
+namespace diva
+{
+
+/** Operation categories. */
+enum class OpType
+{
+    kGemm,       ///< matrix multiplication (possibly a batch of them)
+    kGradNorm,   ///< per-example L2-norm derivation over weight grads
+    kGradClip,   ///< per-example gradient scaling by min(1, C/norm)
+    kGradReduce, ///< sum of per-example grads into one per-batch grad
+    kNoiseAdd,   ///< Gaussian noise addition to the per-batch grad
+};
+
+const char *opTypeName(OpType t);
+
+/** One operation of a training iteration. */
+struct Op
+{
+    OpType type = OpType::kGemm;
+    Stage stage = Stage::kForward;
+    std::string layerName;
+
+    /** GEMM payload: `count` independent GEMMs of shape `shape`. */
+    GemmShape shape;
+    std::uint64_t count = 1;
+
+    /**
+     * Marks the per-example weight-gradient GEMMs whose outputs may be
+     * consumed on-the-fly by the PPU instead of being committed to DRAM.
+     */
+    bool perExampleOutput = false;
+
+    /** Post-processing payload: total elements read / written. */
+    Elems inElems = 0;
+    Elems outElems = 0;
+
+    Macs gemmMacs() const
+    {
+        return type == OpType::kGemm ? shape.macs() * count : 0;
+    }
+};
+
+/** A full training iteration for one network/algorithm/batch triple. */
+struct OpStream
+{
+    std::string networkName;
+    TrainingAlgorithm algorithm = TrainingAlgorithm::kSgd;
+    int batch = 0;
+    std::vector<Op> ops;
+
+    Macs totalGemmMacs() const;
+};
+
+} // namespace diva
+
+#endif // DIVA_TRAIN_OP_H

@@ -1,0 +1,77 @@
+#include "train/schedule.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dp/accountant.h"
+#include "energy/energy_model.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+namespace diva
+{
+
+TrainingRunSummary
+projectTrainingRun(const AcceleratorConfig &accel, const Network &net,
+                   TrainingAlgorithm algo, const TrainingRunConfig &run)
+{
+    DIVA_ASSERT(run.datasetSize > 0 && run.epochs > 0);
+
+    TrainingRunSummary summary;
+    summary.batch = run.batch;
+    if (summary.batch == 0) {
+        // Match the paper's protocol: the largest batch vanilla DP-SGD
+        // fits, shared by all algorithms for comparability.
+        summary.batch = maxBatchSize(net, TrainingAlgorithm::kDpSgd,
+                                     run.hbmBytes);
+        if (summary.batch == 0)
+            DIVA_FATAL("model '", net.name, "' does not fit ",
+                       run.hbmBytes, " bytes of device memory");
+    }
+    if (trainingMemory(net, algo, summary.batch).total() > run.hbmBytes)
+        DIVA_FATAL("mini-batch ", summary.batch, " of '", net.name,
+                   "' exceeds device memory under ",
+                   algorithmName(algo));
+
+    const Executor exec(accel);
+    const SimResult iter =
+        exec.run(buildOpStream(net, algo, summary.batch));
+
+    summary.stepsPerEpoch = std::max<std::int64_t>(
+        1, run.datasetSize / summary.batch);
+    summary.totalSteps =
+        summary.stepsPerEpoch * std::int64_t(run.epochs);
+    summary.secondsPerStep = iter.seconds(accel);
+    summary.totalHours =
+        summary.secondsPerStep * double(summary.totalSteps) / 3600.0;
+    summary.examplesPerSecond =
+        double(summary.batch) / summary.secondsPerStep;
+
+    const double joules_per_step =
+        EnergyModel::energy(iter, accel).total();
+    summary.totalEnergyKwh =
+        joules_per_step * double(summary.totalSteps) / 3.6e6;
+
+    if (algo != TrainingAlgorithm::kSgd) {
+        const double q =
+            double(summary.batch) / double(run.datasetSize);
+        summary.noiseMultiplier = run.noiseMultiplier;
+        if (run.targetEpsilon > 0.0) {
+            // Fix the privacy budget and derive the noise instead.
+            summary.noiseMultiplier =
+                RdpAccountant::calibrateNoiseMultiplier(
+                    run.targetEpsilon, run.targetDelta, q,
+                    int(summary.totalSteps));
+        }
+        if (summary.noiseMultiplier > 0.0) {
+            RdpAccountant accountant(summary.noiseMultiplier, q);
+            // RDP composes linearly; avoid a 10^5-iteration loop.
+            accountant.addSteps(int(summary.totalSteps));
+            summary.epsilon = accountant.epsilon(run.targetDelta);
+        }
+    }
+    return summary;
+}
+
+} // namespace diva

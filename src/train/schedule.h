@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Whole-training-run projection: compose the single-iteration cycle
+ * model with a dataset/epoch schedule, the energy model, and the RDP
+ * accountant to report end-to-end training time, throughput, energy
+ * and the final (epsilon, delta) privacy cost -- everything a
+ * practitioner would ask before committing to DP training on a given
+ * accelerator.
+ */
+
+#ifndef DIVA_TRAIN_SCHEDULE_H
+#define DIVA_TRAIN_SCHEDULE_H
+
+#include <cstdint>
+
+#include "arch/accelerator_config.h"
+#include "models/network.h"
+#include "train/algorithm.h"
+
+namespace diva
+{
+
+/** A full training-run recipe. */
+struct TrainingRunConfig
+{
+    std::int64_t datasetSize = 50'000; ///< CIFAR-10 scale by default
+    int epochs = 30;
+    int batch = 0;             ///< 0 = max DP-SGD batch under hbmBytes
+    Bytes hbmBytes = 16_GiB;
+    double noiseMultiplier = 1.1; ///< sigma, for the privacy cost
+    double targetDelta = 1e-5;
+
+    /**
+     * When positive, ignore noiseMultiplier and instead calibrate the
+     * smallest sigma that keeps the whole run within
+     * (targetEpsilon, targetDelta).
+     */
+    double targetEpsilon = 0.0;
+};
+
+/** Projected outcomes of the run. */
+struct TrainingRunSummary
+{
+    int batch = 0;
+    std::int64_t stepsPerEpoch = 0;
+    std::int64_t totalSteps = 0;
+    double secondsPerStep = 0.0;
+    double totalHours = 0.0;
+    double examplesPerSecond = 0.0;
+    double totalEnergyKwh = 0.0;
+    /** Final privacy cost (infinite for non-private SGD -> 0 noise). */
+    double epsilon = 0.0;
+    /** The noise multiplier used (given or calibrated). */
+    double noiseMultiplier = 0.0;
+};
+
+/**
+ * Project one full training run. Fails (DIVA_FATAL) if even mini-batch
+ * 1 does not fit the device memory.
+ */
+TrainingRunSummary projectTrainingRun(const AcceleratorConfig &accel,
+                                      const Network &net,
+                                      TrainingAlgorithm algo,
+                                      const TrainingRunConfig &run);
+
+} // namespace diva
+
+#endif // DIVA_TRAIN_SCHEDULE_H

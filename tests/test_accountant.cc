@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the RDP privacy accountant (subsampled Gaussian mechanism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/accountant.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(Accountant, RejectsInvalidParameters)
+{
+    EXPECT_THROW(RdpAccountant(0.0, 0.5), std::logic_error);
+    EXPECT_THROW(RdpAccountant(1.0, 0.0), std::logic_error);
+    EXPECT_THROW(RdpAccountant(1.0, 1.5), std::logic_error);
+}
+
+TEST(Accountant, FullBatchGaussianClosedForm)
+{
+    // q = 1: RDP(alpha) = alpha / (2 sigma^2).
+    const RdpAccountant acc(2.0, 1.0);
+    EXPECT_NEAR(acc.rdpSingleStep(2), 2.0 / 8.0, 1e-12);
+    EXPECT_NEAR(acc.rdpSingleStep(16), 16.0 / 8.0, 1e-12);
+}
+
+TEST(Accountant, SubsamplingAmplifiesPrivacy)
+{
+    // Smaller q must give strictly smaller per-step RDP.
+    const RdpAccountant full(1.0, 1.0);
+    const RdpAccountant sub(1.0, 0.01);
+    for (int alpha : {2, 4, 8, 32})
+        EXPECT_LT(sub.rdpSingleStep(alpha), full.rdpSingleStep(alpha));
+}
+
+TEST(Accountant, RdpIncreasingInAlpha)
+{
+    const RdpAccountant acc(1.0, 0.05);
+    double prev = 0.0;
+    for (int alpha : {2, 3, 4, 8, 16, 32, 64}) {
+        const double r = acc.rdpSingleStep(alpha);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Accountant, EpsilonGrowsWithSteps)
+{
+    RdpAccountant acc(1.0, 0.01);
+    acc.addSteps(100);
+    const double e100 = acc.epsilon(1e-5);
+    acc.addSteps(900);
+    const double e1000 = acc.epsilon(1e-5);
+    EXPECT_GT(e1000, e100);
+    EXPECT_EQ(acc.steps(), 1000);
+}
+
+TEST(Accountant, EpsilonShrinksWithMoreNoise)
+{
+    RdpAccountant low_noise(0.7, 0.01);
+    RdpAccountant high_noise(2.0, 0.01);
+    low_noise.addSteps(500);
+    high_noise.addSteps(500);
+    EXPECT_GT(low_noise.epsilon(1e-5), high_noise.epsilon(1e-5));
+}
+
+TEST(Accountant, EpsilonShrinksWithSmallerSamplingRate)
+{
+    RdpAccountant big_batch(1.0, 0.2);
+    RdpAccountant small_batch(1.0, 0.01);
+    big_batch.addSteps(500);
+    small_batch.addSteps(500);
+    EXPECT_GT(big_batch.epsilon(1e-5), small_batch.epsilon(1e-5));
+}
+
+TEST(Accountant, EpsilonDecreasesWithLargerDelta)
+{
+    RdpAccountant acc(1.0, 0.01);
+    acc.addSteps(1000);
+    EXPECT_GT(acc.epsilon(1e-7), acc.epsilon(1e-3));
+}
+
+TEST(Accountant, MatchesReferenceAbadiRegime)
+{
+    // The canonical MNIST setting of Abadi et al. / TF-Privacy:
+    // sigma = 1.1, q = 256/60000, T = 60 epochs * 234 steps,
+    // delta = 1e-5 -> epsilon ~ 3.0 (RDP accountants report ~2.9-3.2).
+    RdpAccountant acc(1.1, 256.0 / 60000.0);
+    acc.addSteps(60 * 234);
+    const double eps = acc.epsilon(1e-5);
+    EXPECT_GT(eps, 2.5);
+    EXPECT_LT(eps, 3.6);
+}
+
+TEST(Accountant, ZeroStepsGivesTinyEpsilon)
+{
+    const RdpAccountant acc(1.0, 0.01);
+    // Only the log(1/delta)/(alpha-1) conversion term remains, which
+    // the order grid drives toward zero.
+    EXPECT_LT(acc.epsilon(1e-5), 0.1);
+}
+
+TEST(Accountant, OptimalOrderWithinGrid)
+{
+    RdpAccountant acc(1.0, 0.02);
+    acc.addSteps(1000);
+    const int alpha = acc.optimalOrder(1e-5);
+    EXPECT_GE(alpha, 2);
+    EXPECT_LE(alpha, 256);
+}
+
+TEST(Accountant, RejectsBadDelta)
+{
+    RdpAccountant acc(1.0, 0.01);
+    EXPECT_THROW(acc.epsilon(0.0), std::logic_error);
+    EXPECT_THROW(acc.epsilon(1.0), std::logic_error);
+}
+
+TEST(Accountant, RejectsBadAlpha)
+{
+    const RdpAccountant acc(1.0, 0.01);
+    EXPECT_THROW(acc.rdpSingleStep(1), std::logic_error);
+}
+
+TEST(Accountant, CalibrationHitsTarget)
+{
+    const double q = 256.0 / 60000.0;
+    const int steps = 10000;
+    const double sigma =
+        RdpAccountant::calibrateNoiseMultiplier(3.0, 1e-5, q, steps);
+    RdpAccountant check(sigma, q);
+    check.addSteps(steps);
+    EXPECT_LE(check.epsilon(1e-5), 3.0);
+    // Slightly less noise must blow the budget (tight calibration).
+    RdpAccountant under(sigma * 0.95, q);
+    under.addSteps(steps);
+    EXPECT_GT(under.epsilon(1e-5), 3.0);
+}
+
+TEST(Accountant, CalibrationMonotonicInBudget)
+{
+    const double q = 0.01;
+    const double strict =
+        RdpAccountant::calibrateNoiseMultiplier(1.0, 1e-5, q, 1000);
+    const double loose =
+        RdpAccountant::calibrateNoiseMultiplier(8.0, 1e-5, q, 1000);
+    EXPECT_GT(strict, loose);
+}
+
+TEST(Accountant, CalibrationRoundTripsAbadiSetting)
+{
+    // Inverse of the reference regime: asking for the epsilon that
+    // sigma=1.1 yields should return sigma ~ 1.1.
+    const double q = 256.0 / 60000.0;
+    const int steps = 60 * 234;
+    RdpAccountant acc(1.1, q);
+    acc.addSteps(steps);
+    const double eps = acc.epsilon(1e-5);
+    const double sigma = RdpAccountant::calibrateNoiseMultiplier(
+        eps, 1e-5, q, steps);
+    EXPECT_NEAR(sigma, 1.1, 0.02);
+}
+
+TEST(Accountant, DefaultOrdersCoverWideRange)
+{
+    const auto orders = RdpAccountant::defaultOrders();
+    EXPECT_EQ(orders.front(), 2);
+    EXPECT_EQ(orders.back(), 256);
+    EXPECT_GT(orders.size(), 50u);
+}
+
+} // namespace
+} // namespace diva

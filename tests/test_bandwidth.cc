@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the Table-I SRAM bandwidth requirement model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "gemm/bandwidth.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(SramBandwidth, WsMatchesTableI)
+{
+    const AcceleratorConfig cfg = tpuV3Ws();
+    const SramBandwidth bw = sramBandwidthRequirement(cfg);
+    // Table I: LHS = PE_H * 2B; RHS = PE_W * 8 * 2B; out = PE_W * 4B.
+    EXPECT_EQ(bw.inputLhs, 128u * 2);
+    EXPECT_EQ(bw.inputRhs, 128u * 8 * 2);
+    EXPECT_EQ(bw.output, 128u * 4);
+    // Total: (2*PE_H + 20*PE_W) B = 2816 B/clock for 128x128.
+    EXPECT_EQ(bw.total(), Bytes(2 * 128 + 20 * 128));
+}
+
+TEST(SramBandwidth, OsMatchesTableI)
+{
+    const SramBandwidth bw =
+        sramBandwidthRequirement(systolicOs(false));
+    EXPECT_EQ(bw.inputLhs, 128u * 2);
+    EXPECT_EQ(bw.inputRhs, 128u * 2);
+    EXPECT_EQ(bw.output, 128u * 8 * 4);
+    // Total: (2*PE_H + 34*PE_W) B = 4608 B/clock for 128x128.
+    EXPECT_EQ(bw.total(), Bytes(2 * 128 + 34 * 128));
+}
+
+TEST(SramBandwidth, OuterProductEqualsOs)
+{
+    // Section IV-D: outer-product bandwidth is no worse than OS.
+    const SramBandwidth os = sramBandwidthRequirement(systolicOs(false));
+    const SramBandwidth outer =
+        sramBandwidthRequirement(divaDefault(false));
+    EXPECT_EQ(outer.inputLhs, os.inputLhs);
+    EXPECT_EQ(outer.inputRhs, os.inputRhs);
+    EXPECT_EQ(outer.output, os.output);
+}
+
+TEST(SramBandwidth, OsClassNeedsMoreOutputFewerInputPorts)
+{
+    const SramBandwidth ws = sramBandwidthRequirement(tpuV3Ws());
+    const SramBandwidth outer =
+        sramBandwidthRequirement(divaDefault(false));
+    EXPECT_GT(outer.output, ws.output);
+    EXPECT_LT(outer.inputRhs, ws.inputRhs);
+}
+
+TEST(SramBandwidth, ScalesWithArrayGeometry)
+{
+    AcceleratorConfig cfg = divaDefault(false);
+    cfg.peRows = 256;
+    cfg.peCols = 64;
+    const SramBandwidth bw = sramBandwidthRequirement(cfg);
+    EXPECT_EQ(bw.inputLhs, 256u * 2);
+    EXPECT_EQ(bw.inputRhs, 64u * 2);
+    EXPECT_EQ(bw.output, 64u * 8 * 4);
+}
+
+TEST(SramBandwidth, ScalesWithDrainRate)
+{
+    AcceleratorConfig cfg = divaDefault(false);
+    cfg.drainRowsPerCycle = 16;
+    const SramBandwidth bw = sramBandwidthRequirement(cfg);
+    EXPECT_EQ(bw.output, 128u * 16 * 4);
+}
+
+} // namespace
+} // namespace diva

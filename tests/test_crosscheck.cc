@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cross-checks between the analytic (timing) and functional (numeric)
+ * halves of the repository: the Figure-6 GEMM shapes that the planner
+ * feeds the simulator must be exactly the matrix dimensions the
+ * functional layers multiply. If these drift apart, the simulator is
+ * timing a different computation than DP-SGD actually performs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dp/conv2d.h"
+#include "dp/linear.h"
+#include "gemm/reference_gemm.h"
+#include "models/layer.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(CrossCheck, LinearPerExampleShapeMatchesFunctionalGrad)
+{
+    // Analytic: per-example wgrad of Linear(I,O) is (I, 1, O).
+    const Layer layer = Layer::linear("fc", 24, 10);
+    const GemmInstance gi = layer.perExampleWGradGemm(5);
+    ASSERT_EQ(gi.shape, GemmShape(24, 1, 10));
+    ASSERT_EQ(gi.count, 5u);
+
+    // Functional: dW_i has exactly (M=I) x (N=O) entries and is the
+    // product of a (I,1) column by a (1,O) row -- K = 1.
+    Rng rng(1);
+    Linear lin(24, 10, rng);
+    const Tensor x = Tensor::randn(5, 24, rng, 1.0);
+    const Tensor gy = Tensor::randn(5, 10, rng, 1.0);
+    Tensor dw, db;
+    lin.perExampleGrad(x, gy, 2, dw, db);
+    EXPECT_EQ(dw.rows(), gi.shape.m);
+    EXPECT_EQ(dw.cols(), gi.shape.n);
+}
+
+TEST(CrossCheck, LinearPerBatchShapeMatchesFunctionalGrad)
+{
+    // Analytic: per-batch wgrad is (I, B, O) -- the K dimension is the
+    // mini-batch.
+    const Layer layer = Layer::linear("fc", 24, 10);
+    const GemmInstance gi = layer.perBatchWGradGemm(7);
+    ASSERT_EQ(gi.shape, GemmShape(24, 7, 10));
+
+    // Functional: dW = x^T(24x7) * gy(7x10); verify against the
+    // reference GEMM with exactly those dimensions.
+    Rng rng(2);
+    Linear lin(24, 10, rng);
+    const Tensor x = Tensor::randn(7, 24, rng, 1.0);
+    const Tensor gy = Tensor::randn(7, 10, rng, 1.0);
+    Tensor dw, db;
+    lin.perBatchGrad(x, gy, dw, db);
+
+    // Rebuild via gemmInnerProduct on the Figure-6 shape.
+    std::vector<float> xt(24 * 7);
+    for (int i = 0; i < 7; ++i)
+        for (int j = 0; j < 24; ++j)
+            xt[std::size_t(j * 7 + i)] = x.at(i, j);
+    std::vector<float> g(gy.data().begin(), gy.data().end());
+    const auto ref = gemmInnerProduct(gi.shape, xt, g);
+    for (std::int64_t r = 0; r < dw.rows(); ++r)
+        for (std::int64_t c = 0; c < dw.cols(); ++c)
+            EXPECT_NEAR(dw.at(r, c),
+                        ref[std::size_t(r * dw.cols() + c)], 1e-4);
+}
+
+TEST(CrossCheck, ConvPerExampleShapeMatchesFunctionalGrad)
+{
+    // Analytic conv layer and functional conv with the same geometry.
+    const Layer layer = Layer::conv2d("c", 3, 8, 3, 3, 1, 1, 6, 6);
+    const GemmInstance gi = layer.perExampleWGradGemm(4);
+    // (Cin*R*S, P*Q, Cout) = (27, 36, 8).
+    ASSERT_EQ(gi.shape, GemmShape(27, 36, 8));
+    ASSERT_EQ(gi.count, 4u);
+
+    ConvGeometry g;
+    g.inChannels = 3;
+    g.outChannels = 8;
+    g.kernelH = g.kernelW = 3;
+    g.stride = 1;
+    g.padding = 1;
+    g.inH = g.inW = 6;
+    Rng rng(3);
+    const Conv2d conv(g, rng);
+    const Tensor x = Tensor::randn(4, 3 * 36, rng, 1.0);
+    const Tensor gy = Tensor::randn(4, 8 * 36, rng, 1.0);
+    Tensor dw, db;
+    conv.perExampleGrad(x, gy, 1, dw, db);
+    // dW is the (M x N) output of the Figure-6 GEMM; the im2col patch
+    // matrix supplies the K = P*Q dimension.
+    EXPECT_EQ(dw.rows(), gi.shape.m);
+    EXPECT_EQ(dw.cols(), gi.shape.n);
+    EXPECT_EQ(im2col(g, x, 1).rows(), gi.shape.k);
+}
+
+TEST(CrossCheck, ConvForwardShapeMatchesIm2colGemm)
+{
+    const Layer layer = Layer::conv2d("c", 3, 8, 3, 3, 1, 1, 6, 6);
+    const GemmInstance fwd = layer.forwardGemm(4);
+    // (B*P*Q, Cin*R*S, Cout) = (144, 27, 8).
+    ASSERT_EQ(fwd.shape, GemmShape(4 * 36, 27, 8));
+
+    ConvGeometry g;
+    g.inChannels = 3;
+    g.outChannels = 8;
+    g.kernelH = g.kernelW = 3;
+    g.stride = 1;
+    g.padding = 1;
+    g.inH = g.inW = 6;
+    Rng rng(4);
+    const Tensor x = Tensor::randn(4, 3 * 36, rng, 1.0);
+    // Each example contributes a (P*Q x Cin*R*S) patch block; stacked
+    // over the batch they form the (B*P*Q x Cin*R*S) LHS.
+    const Tensor patches = im2col(g, x, 0);
+    EXPECT_EQ(patches.rows() * 4, fwd.shape.m);
+    EXPECT_EQ(patches.cols(), fwd.shape.k);
+}
+
+TEST(CrossCheck, MacCountsAgreeAcrossDerivations)
+{
+    // Per-batch and per-example derivations of the same layer do the
+    // same number of useful MACs -- the reduction just moves in or out
+    // of the GEMM (Section III-C).
+    for (int b : {1, 3, 16}) {
+        const Layer conv = Layer::conv2d("c", 16, 32, 3, 3, 1, 1, 8, 8);
+        EXPECT_EQ(conv.perBatchWGradGemm(b).totalMacs(),
+                  conv.perExampleWGradGemm(b).totalMacs());
+        const Layer fc = Layer::linear("fc", 100, 50);
+        EXPECT_EQ(fc.perBatchWGradGemm(b).totalMacs(),
+                  fc.perExampleWGradGemm(b).totalMacs());
+        const Layer ts = Layer::timeSeriesLinear("ts", 64, 64, 12);
+        EXPECT_EQ(ts.perBatchWGradGemm(b).totalMacs(),
+                  ts.perExampleWGradGemm(b).totalMacs());
+    }
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the functional Conv2d layer: gradient correctness against
+ * finite differences and per-example/per-batch consistency -- the
+ * numeric validation of Figure 6's convolution GEMM algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dp/conv2d.h"
+#include "dp/ops.h"
+
+namespace diva
+{
+namespace
+{
+
+ConvGeometry
+geom(int cin, int cout, int k, int stride, int pad, int hw)
+{
+    ConvGeometry g;
+    g.inChannels = cin;
+    g.outChannels = cout;
+    g.kernelH = g.kernelW = k;
+    g.stride = stride;
+    g.padding = pad;
+    g.inH = g.inW = hw;
+    return g;
+}
+
+TEST(Conv2d, ForwardShape)
+{
+    Rng rng(1);
+    const Conv2d conv(geom(3, 8, 3, 1, 1, 6), rng);
+    const Tensor x = Tensor::randn(4, 3 * 36, rng, 1.0);
+    const Tensor y = conv.forward(x);
+    EXPECT_EQ(y.rows(), 4);
+    EXPECT_EQ(y.cols(), 8 * 36);
+    EXPECT_EQ(conv.paramCount(), 3 * 9 * 8 + 8);
+}
+
+TEST(Conv2d, ForwardMatchesDirectConvolution)
+{
+    // 1 channel, 2x2 kernel of ones, no bias: each output pixel is the
+    // sum of its receptive field.
+    Rng rng(2);
+    Conv2d conv(geom(1, 1, 2, 1, 0, 3), rng);
+    for (std::int64_t i = 0; i < conv.weight().size(); ++i)
+        conv.weight()[i] = 1.0f;
+    conv.bias().at(0, 0) = 0.0f;
+    Tensor x(1, 9);
+    for (int i = 0; i < 9; ++i)
+        x.at(0, i) = float(i + 1);
+    const Tensor y = conv.forward(x);
+    // Output (0,0) = 1+2+4+5 = 12; (1,1) = 5+6+8+9 = 28.
+    EXPECT_FLOAT_EQ(y.at(0, 0), 12.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 3), 28.0f);
+}
+
+TEST(Conv2d, BiasBroadcastPerChannel)
+{
+    Rng rng(3);
+    Conv2d conv(geom(1, 2, 1, 1, 0, 2), rng);
+    conv.weight().setZero();
+    conv.bias().at(0, 0) = 1.5f;
+    conv.bias().at(0, 1) = -2.0f;
+    const Tensor x = Tensor::randn(1, 4, rng, 1.0);
+    const Tensor y = conv.forward(x);
+    for (int p = 0; p < 4; ++p) {
+        EXPECT_FLOAT_EQ(y.at(0, p), 1.5f);
+        EXPECT_FLOAT_EQ(y.at(0, 4 + p), -2.0f);
+    }
+}
+
+TEST(Conv2d, PerBatchGradEqualsSumOfPerExample)
+{
+    Rng rng(4);
+    const Conv2d conv(geom(2, 4, 3, 1, 1, 5), rng);
+    const Tensor x = Tensor::randn(3, 2 * 25, rng, 1.0);
+    const Tensor gy = Tensor::randn(3, 4 * 25, rng, 1.0);
+    Tensor dw_b, db_b;
+    conv.perBatchGrad(x, gy, dw_b, db_b);
+    Tensor dw_sum(conv.weight().rows(), conv.weight().cols());
+    Tensor db_sum(1, 4);
+    Tensor dw_i, db_i;
+    for (std::int64_t i = 0; i < 3; ++i) {
+        conv.perExampleGrad(x, gy, i, dw_i, db_i);
+        dw_sum.add(dw_i);
+        db_sum.add(db_i);
+    }
+    EXPECT_LT(dw_b.maxAbsDiff(dw_sum), 1e-4);
+    EXPECT_LT(db_b.maxAbsDiff(db_sum), 1e-4);
+}
+
+TEST(Conv2d, WeightGradMatchesFiniteDifferences)
+{
+    Rng rng(5);
+    Conv2d conv(geom(2, 3, 3, 1, 1, 4), rng);
+    const Tensor x = Tensor::randn(2, 2 * 16, rng, 1.0);
+    const Tensor gy = Tensor::randn(2, 3 * 16, rng, 1.0);
+    Tensor dw, db;
+    conv.perBatchGrad(x, gy, dw, db);
+
+    // Loss L = <y, gy>; dL/dw must match analytic dw.
+    auto loss = [&]() {
+        const Tensor y = conv.forward(x);
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < y.size(); ++i)
+            acc += double(y[i]) * double(gy[i]);
+        return acc;
+    };
+    const double eps = 1e-3;
+    for (std::int64_t idx :
+         {std::int64_t(0), conv.weight().size() / 3,
+          conv.weight().size() - 1}) {
+        const float orig = conv.weight()[idx];
+        conv.weight()[idx] = float(orig + eps);
+        const double fp = loss();
+        conv.weight()[idx] = float(orig - eps);
+        const double fm = loss();
+        conv.weight()[idx] = orig;
+        EXPECT_NEAR(dw[idx], (fp - fm) / (2 * eps), 2e-2);
+    }
+    // Bias gradient too.
+    const float ob = conv.bias().at(0, 1);
+    conv.bias().at(0, 1) = float(ob + eps);
+    const double fp = loss();
+    conv.bias().at(0, 1) = float(ob - eps);
+    const double fm = loss();
+    conv.bias().at(0, 1) = ob;
+    EXPECT_NEAR(db.at(0, 1), (fp - fm) / (2 * eps), 2e-2);
+}
+
+TEST(Conv2d, InputGradMatchesFiniteDifferences)
+{
+    Rng rng(6);
+    const Conv2d conv(geom(2, 3, 3, 2, 1, 5), rng);
+    Tensor x = Tensor::randn(1, 2 * 25, rng, 1.0);
+    const Tensor gy = Tensor::randn(1, 3 * 9, rng, 1.0);
+    const Tensor gx = conv.backwardInput(gy);
+
+    auto loss = [&]() {
+        const Tensor y = conv.forward(x);
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < y.size(); ++i)
+            acc += double(y[i]) * double(gy[i]);
+        return acc;
+    };
+    const double eps = 1e-3;
+    for (std::int64_t idx : {std::int64_t(0), x.size() / 2,
+                             x.size() - 1}) {
+        const float orig = x[idx];
+        x[idx] = float(orig + eps);
+        const double fp = loss();
+        x[idx] = float(orig - eps);
+        const double fm = loss();
+        x[idx] = orig;
+        EXPECT_NEAR(gx[idx], (fp - fm) / (2 * eps), 2e-2);
+    }
+}
+
+TEST(Conv2d, PerExampleNormMatchesMaterialized)
+{
+    Rng rng(7);
+    const Conv2d conv(geom(2, 4, 3, 1, 1, 4), rng);
+    const Tensor x = Tensor::randn(3, 2 * 16, rng, 1.0);
+    const Tensor gy = Tensor::randn(3, 4 * 16, rng, 1.0);
+    Tensor dw, db;
+    for (std::int64_t i = 0; i < 3; ++i) {
+        conv.perExampleGrad(x, gy, i, dw, db);
+        EXPECT_NEAR(conv.perExampleGradNormSq(x, gy, i),
+                    dw.l2NormSq() + db.l2NormSq(), 1e-5);
+    }
+}
+
+TEST(Conv2d, PerExampleGradShapeMatchesFigure6)
+{
+    // dW_i is the (Cin*R*S x Cout) result of a (CRS, PQ, Cout) GEMM.
+    Rng rng(8);
+    const Conv2d conv(geom(16, 32, 3, 1, 1, 8), rng);
+    const Tensor x = Tensor::randn(2, 16 * 64, rng, 1.0);
+    const Tensor gy = Tensor::randn(2, 32 * 64, rng, 1.0);
+    Tensor dw, db;
+    conv.perExampleGrad(x, gy, 0, dw, db);
+    EXPECT_EQ(dw.rows(), 16 * 9);
+    EXPECT_EQ(dw.cols(), 32);
+    EXPECT_EQ(db.cols(), 32);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the Linear layer and MLP: gradient correctness against
+ * finite differences, per-example vs per-batch consistency, and the
+ * rank-1 norm shortcut.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dp/mlp.h"
+#include "dp/ops.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(Linear, ForwardAppliesBias)
+{
+    Rng rng(1);
+    Linear l(3, 2, rng);
+    l.bias().at(0, 0) = 10.0f;
+    Tensor x(1, 3); // zeros
+    const Tensor y = l.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 10.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+}
+
+TEST(Linear, PerBatchGradEqualsSumOfPerExample)
+{
+    Rng rng(2);
+    Linear l(6, 4, rng);
+    const Tensor x = Tensor::randn(5, 6, rng, 1.0);
+    const Tensor gy = Tensor::randn(5, 4, rng, 1.0);
+
+    Tensor dw_batch, db_batch;
+    l.perBatchGrad(x, gy, dw_batch, db_batch);
+
+    Tensor dw_sum(6, 4), db_sum(1, 4);
+    Tensor dw_i, db_i;
+    for (std::int64_t i = 0; i < 5; ++i) {
+        l.perExampleGrad(x, gy, i, dw_i, db_i);
+        dw_sum.add(dw_i);
+        db_sum.add(db_i);
+    }
+    EXPECT_LT(dw_batch.maxAbsDiff(dw_sum), 1e-5);
+    EXPECT_LT(db_batch.maxAbsDiff(db_sum), 1e-5);
+}
+
+TEST(Linear, NormShortcutMatchesMaterializedNorm)
+{
+    // The Lee & Kifer identity: ||x g^T||_F^2 = ||x||^2 ||g||^2.
+    Rng rng(3);
+    Linear l(8, 5, rng);
+    const Tensor x = Tensor::randn(4, 8, rng, 1.0);
+    const Tensor gy = Tensor::randn(4, 5, rng, 1.0);
+    Tensor dw, db;
+    for (std::int64_t i = 0; i < 4; ++i) {
+        l.perExampleGrad(x, gy, i, dw, db);
+        const double materialized = dw.l2NormSq() + db.l2NormSq();
+        const double shortcut = l.perExampleGradNormSq(x, gy, i);
+        EXPECT_NEAR(shortcut, materialized,
+                    1e-5 * std::max(1.0, materialized));
+    }
+}
+
+TEST(Mlp, RequiresAtLeastOneLayer)
+{
+    Rng rng(4);
+    EXPECT_THROW(Mlp({5}, rng), std::logic_error);
+}
+
+TEST(Mlp, ForwardShapes)
+{
+    Rng rng(5);
+    const Mlp mlp({8, 16, 4}, rng);
+    const Tensor x = Tensor::randn(3, 8, rng, 1.0);
+    const Tensor logits = mlp.forward(x);
+    EXPECT_EQ(logits.rows(), 3);
+    EXPECT_EQ(logits.cols(), 4);
+    EXPECT_EQ(mlp.paramCount(), 8 * 16 + 16 + 16 * 4 + 4);
+}
+
+TEST(Mlp, CachePopulated)
+{
+    Rng rng(6);
+    const Mlp mlp({4, 8, 3}, rng);
+    const Tensor x = Tensor::randn(2, 4, rng, 1.0);
+    Mlp::Cache cache;
+    mlp.forward(x, &cache);
+    ASSERT_EQ(cache.inputs.size(), 2u);
+    ASSERT_EQ(cache.preacts.size(), 2u);
+    EXPECT_EQ(cache.inputs[0].cols(), 4);
+    EXPECT_EQ(cache.inputs[1].cols(), 8);
+    EXPECT_EQ(cache.logits.cols(), 3);
+    // Hidden input is post-ReLU: non-negative.
+    for (std::int64_t i = 0; i < cache.inputs[1].size(); ++i)
+        EXPECT_GE(cache.inputs[1][i], 0.0f);
+}
+
+TEST(Mlp, PerBatchGradEqualsSumOfPerExample)
+{
+    Rng rng(7);
+    const Mlp mlp({6, 12, 5}, rng);
+    const Tensor x = Tensor::randn(7, 6, rng, 1.0);
+    std::vector<int> y;
+    for (int i = 0; i < 7; ++i)
+        y.push_back(i % 5);
+
+    Mlp::Cache cache;
+    Tensor dlogits;
+    mlp.lossAndLogitGrad(x, y, cache, dlogits);
+
+    MlpGrads batch = mlp.zeroGrads();
+    mlp.backwardPerBatch(cache, dlogits, batch);
+
+    MlpGrads sum = mlp.zeroGrads();
+    MlpGrads ex = mlp.zeroGrads();
+    for (std::int64_t i = 0; i < 7; ++i) {
+        mlp.perExampleGrad(cache, dlogits, i, ex);
+        sum.add(ex);
+    }
+    EXPECT_LT(batch.maxAbsDiff(sum), 1e-4);
+}
+
+TEST(Mlp, PerExampleNormShortcutMatchesMaterialized)
+{
+    Rng rng(8);
+    const Mlp mlp({5, 9, 4}, rng);
+    const Tensor x = Tensor::randn(6, 5, rng, 1.0);
+    std::vector<int> y = {0, 1, 2, 3, 0, 1};
+    Mlp::Cache cache;
+    Tensor dlogits;
+    mlp.lossAndLogitGrad(x, y, cache, dlogits);
+    MlpGrads ex = mlp.zeroGrads();
+    for (std::int64_t i = 0; i < 6; ++i) {
+        mlp.perExampleGrad(cache, dlogits, i, ex);
+        EXPECT_NEAR(mlp.perExampleGradNormSq(cache, dlogits, i),
+                    ex.l2NormSq(), 1e-4 * std::max(1.0, ex.l2NormSq()));
+    }
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences)
+{
+    Rng rng(9);
+    Mlp mlp({4, 6, 3}, rng);
+    const Tensor x = Tensor::randn(5, 4, rng, 1.0);
+    const std::vector<int> y = {0, 1, 2, 0, 1};
+
+    Mlp::Cache cache;
+    Tensor dlogits;
+    mlp.lossAndLogitGrad(x, y, cache, dlogits);
+    MlpGrads grads = mlp.zeroGrads();
+    mlp.backwardPerBatch(cache, dlogits, grads);
+
+    // Check a sample of weight entries of each layer via central
+    // differences on the total loss (mean * batch).
+    const double eps = 1e-3;
+    for (std::size_t l = 0; l < mlp.layers().size(); ++l) {
+        Linear &layer = mlp.layersMutable()[l];
+        for (std::int64_t idx : {std::int64_t(0), layer.weight().size() / 2,
+                                 layer.weight().size() - 1}) {
+            const float orig = layer.weight()[idx];
+            Tensor g_unused;
+            layer.weight()[idx] = float(orig + eps);
+            const double fp =
+                softmaxCrossEntropy(mlp.forward(x), y, g_unused) * 5;
+            layer.weight()[idx] = float(orig - eps);
+            const double fm =
+                softmaxCrossEntropy(mlp.forward(x), y, g_unused) * 5;
+            layer.weight()[idx] = orig;
+            EXPECT_NEAR(grads.dw[l][idx], (fp - fm) / (2 * eps), 2e-2)
+                << "layer " << l << " idx " << idx;
+        }
+    }
+}
+
+TEST(Mlp, ReweightedBackwardWithUnitWeightsEqualsPerBatch)
+{
+    Rng rng(10);
+    const Mlp mlp({5, 7, 3}, rng);
+    const Tensor x = Tensor::randn(4, 5, rng, 1.0);
+    const std::vector<int> y = {0, 1, 2, 1};
+    Mlp::Cache cache;
+    Tensor dlogits;
+    mlp.lossAndLogitGrad(x, y, cache, dlogits);
+
+    MlpGrads a = mlp.zeroGrads();
+    MlpGrads b = mlp.zeroGrads();
+    mlp.backwardPerBatch(cache, dlogits, a);
+    mlp.backwardReweighted(cache, dlogits, {1.0, 1.0, 1.0, 1.0}, b);
+    EXPECT_LT(a.maxAbsDiff(b), 1e-6);
+}
+
+TEST(Mlp, ReweightedBackwardEqualsWeightedSum)
+{
+    Rng rng(11);
+    const Mlp mlp({6, 8, 4}, rng);
+    const Tensor x = Tensor::randn(5, 6, rng, 1.0);
+    const std::vector<int> y = {3, 1, 0, 2, 1};
+    Mlp::Cache cache;
+    Tensor dlogits;
+    mlp.lossAndLogitGrad(x, y, cache, dlogits);
+
+    const std::vector<double> w = {0.5, 1.0, 0.25, 0.0, 2.0};
+    MlpGrads fused = mlp.zeroGrads();
+    mlp.backwardReweighted(cache, dlogits, w, fused);
+
+    MlpGrads manual = mlp.zeroGrads();
+    MlpGrads ex = mlp.zeroGrads();
+    for (std::int64_t i = 0; i < 5; ++i) {
+        mlp.perExampleGrad(cache, dlogits, i, ex);
+        manual.addScaled(ex, w[std::size_t(i)]);
+    }
+    EXPECT_LT(fused.maxAbsDiff(manual), 1e-4);
+}
+
+TEST(Mlp, UpdateMovesParametersDownhill)
+{
+    Rng rng(12);
+    Mlp mlp({4, 8, 2}, rng);
+    Rng data_rng(13);
+    const Tensor x = Tensor::randn(16, 4, data_rng, 1.0);
+    std::vector<int> y;
+    for (int i = 0; i < 16; ++i)
+        y.push_back(x.at(i, 0) > 0 ? 1 : 0);
+
+    Mlp::Cache cache;
+    Tensor dlogits;
+    const double loss0 = mlp.lossAndLogitGrad(x, y, cache, dlogits);
+    MlpGrads grads = mlp.zeroGrads();
+    mlp.backwardPerBatch(cache, dlogits, grads);
+    grads.scale(1.0 / 16.0);
+    mlp.applyUpdate(grads, 0.5);
+    const double loss1 = mlp.lossAndLogitGrad(x, y, cache, dlogits);
+    EXPECT_LT(loss1, loss0);
+}
+
+TEST(MlpGrads, NormAndScale)
+{
+    Rng rng(14);
+    const Mlp mlp({3, 4, 2}, rng);
+    MlpGrads g = mlp.zeroGrads();
+    g.dw[0].at(0, 0) = 3.0f;
+    g.db[1].at(0, 1) = 4.0f;
+    EXPECT_DOUBLE_EQ(g.l2NormSq(), 25.0);
+    g.scale(2.0);
+    EXPECT_DOUBLE_EQ(g.l2NormSq(), 100.0);
+    g.setZero();
+    EXPECT_DOUBLE_EQ(g.l2NormSq(), 0.0);
+}
+
+} // namespace
+} // namespace diva

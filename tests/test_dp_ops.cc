@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the numeric primitives (matmuls, ReLU, softmax-CE).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dp/ops.h"
+
+namespace diva
+{
+namespace
+{
+
+Tensor
+random(std::int64_t r, std::int64_t c, Rng &rng)
+{
+    return Tensor::randn(r, c, rng, 1.0);
+}
+
+TEST(Matmul, KnownResult)
+{
+    Tensor a(2, 2), b(2, 2);
+    a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+    b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+    const Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matmul, ShapeChecked)
+{
+    Tensor a(2, 3), b(2, 3);
+    EXPECT_THROW(matmul(a, b), std::logic_error);
+}
+
+TEST(Matmul, TransAEqualsExplicitTranspose)
+{
+    Rng rng(10);
+    const Tensor a = random(5, 3, rng);
+    const Tensor b = random(5, 4, rng);
+    const Tensor c = matmulTransA(a, b); // (3,4) = a^T b
+    // Explicit: transpose a into (3,5) then multiply.
+    Tensor at(3, 5);
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 3; ++j)
+            at.at(j, i) = a.at(i, j);
+    const Tensor expected = matmul(at, b);
+    EXPECT_LT(c.maxAbsDiff(expected), 1e-5);
+}
+
+TEST(Matmul, TransBEqualsExplicitTranspose)
+{
+    Rng rng(11);
+    const Tensor a = random(4, 6, rng);
+    const Tensor b = random(5, 6, rng);
+    const Tensor c = matmulTransB(a, b); // (4,5) = a b^T
+    Tensor bt(6, 5);
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 6; ++j)
+            bt.at(j, i) = b.at(i, j);
+    const Tensor expected = matmul(a, bt);
+    EXPECT_LT(c.maxAbsDiff(expected), 1e-5);
+}
+
+TEST(Relu, ForwardClampsNegatives)
+{
+    Tensor x(1, 4);
+    x.at(0, 0) = -2;
+    x.at(0, 1) = -0.5;
+    x.at(0, 2) = 0;
+    x.at(0, 3) = 3;
+    const Tensor y = reluForward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 0);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 0);
+    EXPECT_FLOAT_EQ(y.at(0, 3), 3);
+}
+
+TEST(Relu, BackwardMasksByPreactivation)
+{
+    Tensor z(1, 3), g(1, 3);
+    z.at(0, 0) = -1;
+    z.at(0, 1) = 2;
+    z.at(0, 2) = 0;
+    g.at(0, 0) = 5;
+    g.at(0, 1) = 5;
+    g.at(0, 2) = 5;
+    const Tensor gx = reluBackward(z, g);
+    EXPECT_FLOAT_EQ(gx.at(0, 0), 0);
+    EXPECT_FLOAT_EQ(gx.at(0, 1), 5);
+    EXPECT_FLOAT_EQ(gx.at(0, 2), 0);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogits)
+{
+    Tensor logits(2, 4); // all zeros -> uniform distribution
+    Tensor grad;
+    const double loss =
+        softmaxCrossEntropy(logits, {0, 3}, grad);
+    EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+    // Gradient: p - onehot = 0.25 - 1 at the label, 0.25 elsewhere.
+    EXPECT_NEAR(grad.at(0, 0), -0.75, 1e-6);
+    EXPECT_NEAR(grad.at(0, 1), 0.25, 1e-6);
+    EXPECT_NEAR(grad.at(1, 3), -0.75, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero)
+{
+    Rng rng(12);
+    const Tensor logits = random(8, 10, rng);
+    std::vector<int> labels;
+    for (int i = 0; i < 8; ++i)
+        labels.push_back(i % 10);
+    Tensor grad;
+    softmaxCrossEntropy(logits, labels, grad);
+    for (std::int64_t i = 0; i < grad.rows(); ++i) {
+        double row_sum = 0.0;
+        for (std::int64_t j = 0; j < grad.cols(); ++j)
+            row_sum += grad.at(i, j);
+        EXPECT_NEAR(row_sum, 0.0, 1e-5);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableForLargeLogits)
+{
+    Tensor logits(1, 3);
+    logits.at(0, 0) = 1000.0f;
+    logits.at(0, 1) = 999.0f;
+    logits.at(0, 2) = -1000.0f;
+    Tensor grad;
+    const double loss = softmaxCrossEntropy(logits, {0}, grad);
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_LT(loss, 1.0);
+}
+
+TEST(SoftmaxCrossEntropy, MatchesNumericalGradient)
+{
+    Rng rng(13);
+    Tensor logits = random(3, 5, rng);
+    const std::vector<int> labels = {1, 4, 0};
+    Tensor grad;
+    softmaxCrossEntropy(logits, labels, grad);
+    // Finite differences on the total (un-averaged) loss.
+    const double eps = 1e-3;
+    for (std::int64_t i = 0; i < 3; ++i) {
+        for (std::int64_t j = 0; j < 5; ++j) {
+            Tensor lp = logits, lm = logits;
+            lp.at(i, j) += float(eps);
+            lm.at(i, j) -= float(eps);
+            Tensor g_unused;
+            const double fp =
+                softmaxCrossEntropy(lp, labels, g_unused) * 3;
+            const double fm =
+                softmaxCrossEntropy(lm, labels, g_unused) * 3;
+            EXPECT_NEAR(grad.at(i, j), (fp - fm) / (2 * eps), 5e-3);
+        }
+    }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels)
+{
+    Tensor logits(1, 3);
+    Tensor grad;
+    EXPECT_THROW(softmaxCrossEntropy(logits, {3}, grad),
+                 std::logic_error);
+    EXPECT_THROW(softmaxCrossEntropy(logits, {0, 1}, grad),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the functional tensor class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dp/tensor.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(Tensor, ZeroInitialized)
+{
+    const Tensor t(3, 4);
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.cols(), 4);
+    EXPECT_EQ(t.size(), 12);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, AtAccessorsRoundTrip)
+{
+    Tensor t(2, 3);
+    t.at(1, 2) = 7.0f;
+    t.at(0, 0) = -1.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2), 7.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 0), -1.0f);
+    EXPECT_FLOAT_EQ(t[5], 7.0f); // row-major layout
+}
+
+TEST(Tensor, AtBoundsChecked)
+{
+    Tensor t(2, 3);
+    EXPECT_THROW(t.at(2, 0), std::logic_error);
+    EXPECT_THROW(t.at(0, 3), std::logic_error);
+    EXPECT_THROW(t.at(-1, 0), std::logic_error);
+}
+
+TEST(Tensor, RandnStatistics)
+{
+    Rng rng(3);
+    const Tensor t = Tensor::randn(100, 100, rng, 2.0);
+    EXPECT_NEAR(std::sqrt(t.l2NormSq() / double(t.size())), 2.0, 0.05);
+}
+
+TEST(Tensor, NormOfKnownVector)
+{
+    Tensor t(1, 4);
+    t.at(0, 0) = 3.0f;
+    t.at(0, 1) = 4.0f;
+    EXPECT_DOUBLE_EQ(t.l2NormSq(), 25.0);
+    EXPECT_DOUBLE_EQ(t.l2Norm(), 5.0);
+}
+
+TEST(Tensor, ScaleAndAdd)
+{
+    Tensor a(1, 3);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(0, 2) = 3;
+    Tensor b = a;
+    a.scale(2.0);
+    EXPECT_FLOAT_EQ(a.at(0, 1), 4.0f);
+    a.add(b);
+    EXPECT_FLOAT_EQ(a.at(0, 2), 9.0f);
+    a.addScaled(b, -1.0);
+    EXPECT_FLOAT_EQ(a.at(0, 0), 2.0f);
+}
+
+TEST(Tensor, AddShapeChecked)
+{
+    Tensor a(2, 2), b(2, 3);
+    EXPECT_THROW(a.add(b), std::logic_error);
+    EXPECT_THROW(a.addScaled(b, 1.0), std::logic_error);
+}
+
+TEST(Tensor, SetZero)
+{
+    Rng rng(1);
+    Tensor t = Tensor::randn(4, 4, rng, 1.0);
+    t.setZero();
+    EXPECT_DOUBLE_EQ(t.l2NormSq(), 0.0);
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a(1, 2), b(1, 2);
+    a.at(0, 0) = 1.0f;
+    b.at(0, 0) = 1.5f;
+    b.at(0, 1) = -0.25f;
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 0.5);
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(a), 0.0);
+}
+
+} // namespace
+} // namespace diva

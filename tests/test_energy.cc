@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the energy/area/power model (Table III, Figure 16).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "energy/energy_model.h"
+#include "models/zoo.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(EnergyModel, TableIIIPowerNumbers)
+{
+    EXPECT_DOUBLE_EQ(EnergyModel::enginePowerW(tpuV3Ws()), 13.4);
+    EXPECT_DOUBLE_EQ(EnergyModel::enginePowerW(systolicOs(false)), 13.6);
+    EXPECT_DOUBLE_EQ(EnergyModel::enginePowerW(divaDefault(false)),
+                     21.2);
+    // Section VI-B: outer-product adds 7.8 W over WS, PPU adds 2.6 W.
+    EXPECT_DOUBLE_EQ(EnergyModel::enginePowerW(divaDefault(true)),
+                     21.2 + 2.6);
+}
+
+TEST(EnergyModel, TableIIIAreaNumbers)
+{
+    EXPECT_DOUBLE_EQ(EnergyModel::engineAreaMm2(tpuV3Ws()), 68.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::engineAreaMm2(systolicOs(false)),
+                     70.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::engineAreaMm2(divaDefault(false)),
+                     82.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::engineAreaMm2(divaDefault(true)),
+                     85.0);
+}
+
+TEST(EnergyModel, DivaOverheadsWithinChipBudget)
+{
+    // Section VI-B: +17 mm^2 over WS (~0.3% of 650 mm^2 chip) and
+    // +10.4 W (~2.3% of the 450 W TDP).
+    const double extra_area =
+        EnergyModel::engineAreaMm2(divaDefault(true)) -
+        EnergyModel::engineAreaMm2(tpuV3Ws());
+    const double extra_power =
+        EnergyModel::enginePowerW(divaDefault(true)) -
+        EnergyModel::enginePowerW(tpuV3Ws());
+    EXPECT_NEAR(extra_area, 17.0, 0.1);
+    EXPECT_NEAR(extra_power, 10.4, 0.1);
+    EXPECT_LT(extra_area / EnergyModel::kChipAreaMm2, 0.03);
+    EXPECT_LT(extra_power / EnergyModel::kChipTdpW, 0.025);
+}
+
+TEST(EnergyModel, PowerScalesWithPeCount)
+{
+    AcceleratorConfig half = divaDefault(false);
+    half.peRows = 64;
+    EXPECT_DOUBLE_EQ(EnergyModel::enginePowerW(half), 21.2 / 2.0);
+}
+
+TEST(EnergyModel, EnergyComponentsPositive)
+{
+    const AcceleratorConfig cfg = divaDefault(true);
+    const SimResult r = Executor(cfg).run(
+        buildOpStream(resnet50(), TrainingAlgorithm::kDpSgdR, 32));
+    const EnergyBreakdown e = EnergyModel::energy(r, cfg);
+    EXPECT_GT(e.computeJ, 0.0);
+    EXPECT_GT(e.sramJ, 0.0);
+    EXPECT_GT(e.dramJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.computeJ + e.sramJ + e.dramJ);
+}
+
+TEST(EnergyModel, DivaMoreEnergyEfficientThanWsForDp)
+{
+    // Figure 16: DiVa's higher power is outweighed by its much shorter
+    // training time.
+    for (const auto &net : breakdownModels()) {
+        const int batch =
+            maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB);
+        const OpStream stream =
+            buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
+        const AcceleratorConfig ws_cfg = tpuV3Ws();
+        const AcceleratorConfig dv_cfg = divaDefault(true);
+        const double e_ws =
+            EnergyModel::energy(Executor(ws_cfg).run(stream), ws_cfg)
+                .total();
+        const double e_dv =
+            EnergyModel::energy(Executor(dv_cfg).run(stream), dv_cfg)
+                .total();
+        EXPECT_LT(e_dv, e_ws) << net.name;
+    }
+}
+
+TEST(EnergyModel, EffectiveTflopsPerWattImproves)
+{
+    // Table III: DiVa achieves ~3.5x the TFLOPS/W of WS on DP work.
+    const Network net = resnet152();
+    const OpStream stream =
+        buildOpStream(net, TrainingAlgorithm::kDpSgdR, 32);
+    const AcceleratorConfig ws_cfg = tpuV3Ws();
+    const AcceleratorConfig dv_cfg = divaDefault(true);
+    const SimResult ws = Executor(ws_cfg).run(stream);
+    const SimResult dv = Executor(dv_cfg).run(stream);
+    const double ws_eff = ws.overallUtilization(ws_cfg) *
+                          ws_cfg.peakTflops() /
+                          EnergyModel::enginePowerW(ws_cfg);
+    const double dv_eff = dv.overallUtilization(dv_cfg) *
+                          dv_cfg.peakTflops() /
+                          EnergyModel::enginePowerW(dv_cfg);
+    EXPECT_GT(dv_eff, 2.0 * ws_eff);
+}
+
+TEST(EnergyModel, TableEntryIsConsistent)
+{
+    const AcceleratorConfig cfg = divaDefault(true);
+    const AreaPowerEntry entry = EnergyModel::tableEntry(cfg);
+    EXPECT_STREQ(entry.engine, "DiVa");
+    EXPECT_DOUBLE_EQ(entry.powerWatts,
+                     EnergyModel::enginePowerW(cfg));
+    EXPECT_DOUBLE_EQ(entry.areaMm2, EnergyModel::engineAreaMm2(cfg));
+    EXPECT_NEAR(entry.peakTflops, 30.8, 0.1);
+}
+
+TEST(EnergyModel, DramEnergyDominatedBySpills)
+{
+    // Without the PPU, DP-SGD(R)'s DRAM energy balloons with the
+    // per-example gradient spills.
+    const Network net = resnet50();
+    const OpStream stream =
+        buildOpStream(net, TrainingAlgorithm::kDpSgdR, 64);
+    const AcceleratorConfig with = divaDefault(true);
+    const AcceleratorConfig without = divaDefault(false);
+    const double dram_with =
+        EnergyModel::energy(Executor(with).run(stream), with).dramJ;
+    const double dram_without =
+        EnergyModel::energy(Executor(without).run(stream), without)
+            .dramJ;
+    EXPECT_GT(dram_without, 5.0 * dram_with);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the executor: stage accounting, PPU dispatch policy,
+ * spill policy per algorithm, and the paper's comparative claims at
+ * the whole-iteration level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "models/zoo.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace
+{
+
+SimResult
+simulate(const AcceleratorConfig &cfg, const Network &net,
+         TrainingAlgorithm algo, int batch)
+{
+    return Executor(cfg).run(buildOpStream(net, algo, batch));
+}
+
+TEST(Executor, StageCyclesCoverAllWork)
+{
+    const SimResult r =
+        simulate(tpuV3Ws(), resnet50(), TrainingAlgorithm::kDpSgdR, 32);
+    EXPECT_GT(r.totalCycles(), 0u);
+    EXPECT_GT(r.stageCyclesFor(Stage::kForward), 0u);
+    EXPECT_GT(r.stageCyclesFor(Stage::kPerExampleGrad), 0u);
+    EXPECT_GT(r.stageCyclesFor(Stage::kGradNorm), 0u);
+    EXPECT_GT(r.stageCyclesFor(Stage::kReduceNoise), 0u);
+}
+
+TEST(Executor, SgdHasNoDpStages)
+{
+    const SimResult r =
+        simulate(tpuV3Ws(), resnet50(), TrainingAlgorithm::kSgd, 32);
+    EXPECT_EQ(r.stageCyclesFor(Stage::kPerExampleGrad), 0u);
+    EXPECT_EQ(r.stageCyclesFor(Stage::kGradNorm), 0u);
+    EXPECT_EQ(r.stageCyclesFor(Stage::kGradClip), 0u);
+    EXPECT_EQ(r.stageCyclesFor(Stage::kReduceNoise), 0u);
+    EXPECT_EQ(r.postProcessingDram.total(), 0u);
+}
+
+TEST(Executor, PpuEliminatesNormTraffic)
+{
+    const Network net = resnet50();
+    const SimResult no_ppu =
+        simulate(divaDefault(false), net, TrainingAlgorithm::kDpSgdR,
+                 32);
+    const SimResult with_ppu =
+        simulate(divaDefault(true), net, TrainingAlgorithm::kDpSgdR, 32);
+    // Without the PPU the gradients spill and are re-read; with it the
+    // norm stage produces no off-chip traffic at all.
+    EXPECT_GT(no_ppu.postProcessingDram.total(), 0u);
+    const double reduction =
+        1.0 - double(with_ppu.postProcessingDram.total()) /
+                  double(no_ppu.postProcessingDram.total());
+    EXPECT_GT(reduction, 0.95); // the paper's "99%" claim
+}
+
+TEST(Executor, PpuShrinksNormStageLatency)
+{
+    const Network net = resnet152();
+    const SimResult no_ppu =
+        simulate(divaDefault(false), net, TrainingAlgorithm::kDpSgdR,
+                 32);
+    const SimResult with_ppu =
+        simulate(divaDefault(true), net, TrainingAlgorithm::kDpSgdR, 32);
+    EXPECT_LT(with_ppu.stageCyclesFor(Stage::kGradNorm) * 100,
+              no_ppu.stageCyclesFor(Stage::kGradNorm));
+}
+
+TEST(Executor, VanillaDpSgdAlwaysSpills)
+{
+    // Even with a PPU, vanilla DP-SGD must materialize per-example
+    // grads for the later clip stage.
+    const SimResult r =
+        simulate(divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgd,
+                 32);
+    EXPECT_GT(r.postProcessingDram.writeBytes, 0u);
+    EXPECT_GT(r.stageCyclesFor(Stage::kGradClip), 0u);
+}
+
+TEST(Executor, DpSgdRWithPpuSpillsNothing)
+{
+    const SimResult r = simulate(divaDefault(true), resnet50(),
+                                 TrainingAlgorithm::kDpSgdR, 32);
+    // Only the final noise read-modify-write of |W| remains.
+    const Bytes param_bytes = Bytes(resnet50().paramCount()) * 4;
+    EXPECT_LE(r.postProcessingDram.total(), 3 * param_bytes);
+}
+
+TEST(Executor, DpSlowerThanSgdOnWs)
+{
+    // Figure 5: DP training is many times slower than SGD on the WS
+    // baseline.
+    const Network net = resnet50();
+    const Cycles sgd =
+        simulate(tpuV3Ws(), net, TrainingAlgorithm::kSgd, 32)
+            .totalCycles();
+    const Cycles dp =
+        simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgd, 32)
+            .totalCycles();
+    const Cycles dpr =
+        simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, 32)
+            .totalCycles();
+    EXPECT_GT(dp, 3 * sgd);
+    EXPECT_GT(dpr, 2 * sgd);
+}
+
+TEST(Executor, DpSgdRFasterThanDpSgdOnWs)
+{
+    // Figure 5's surprising result: despite the second backprop,
+    // DP-SGD(R) outperforms vanilla DP-SGD (avg 31% in the paper).
+    for (const auto &net : {resnet50(), vgg16(), bertBase()}) {
+        const int batch =
+            maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB);
+        const Cycles dp =
+            simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgd, batch)
+                .totalCycles();
+        const Cycles dpr =
+            simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, batch)
+                .totalCycles();
+        EXPECT_LT(dpr, dp) << net.name;
+    }
+}
+
+TEST(Executor, DivaBeatsWsOnDpTraining)
+{
+    // Figure 13's headline: DiVa (with PPU) >> WS for DP-SGD(R).
+    for (const auto &net : breakdownModels()) {
+        const int batch =
+            maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB);
+        const SimResult ws =
+            simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, batch);
+        const SimResult diva = simulate(divaDefault(true), net,
+                                        TrainingAlgorithm::kDpSgdR,
+                                        batch);
+        EXPECT_GT(speedup(ws, diva), 1.5) << net.name;
+    }
+}
+
+TEST(Executor, DivaPpuOutperformsNoPpu)
+{
+    for (const auto &net : breakdownModels()) {
+        const SimResult no_ppu = simulate(
+            divaDefault(false), net, TrainingAlgorithm::kDpSgdR, 32);
+        const SimResult with_ppu = simulate(
+            divaDefault(true), net, TrainingAlgorithm::kDpSgdR, 32);
+        EXPECT_GT(speedup(no_ppu, with_ppu), 1.0) << net.name;
+    }
+}
+
+TEST(Executor, UtilizationImprovesOnDiva)
+{
+    const Network net = resnet152();
+    const SimResult ws =
+        simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, 32);
+    const SimResult diva =
+        simulate(divaDefault(true), net, TrainingAlgorithm::kDpSgdR, 32);
+    EXPECT_GT(diva.overallUtilization(divaDefault(true)),
+              2.0 * ws.overallUtilization(tpuV3Ws()));
+}
+
+TEST(Executor, PerExampleStageUtilizationGap)
+{
+    // Figure 15: the per-example weight-gradient stage shows the
+    // largest utilization improvement.
+    const Network net = vgg16();
+    const AcceleratorConfig ws_cfg = tpuV3Ws();
+    const AcceleratorConfig dv_cfg = divaDefault(true);
+    const SimResult ws =
+        simulate(ws_cfg, net, TrainingAlgorithm::kDpSgdR, 32);
+    const SimResult dv =
+        simulate(dv_cfg, net, TrainingAlgorithm::kDpSgdR, 32);
+    EXPECT_GT(dv.stageUtilization(Stage::kPerExampleGrad, dv_cfg),
+              2.0 * ws.stageUtilization(Stage::kPerExampleGrad, ws_cfg));
+}
+
+TEST(Executor, ForwardStageIdenticalAcrossDpAlgorithms)
+{
+    const Network net = mobilenet();
+    const SimResult dp =
+        simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgd, 16);
+    const SimResult dpr =
+        simulate(tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, 16);
+    EXPECT_EQ(dp.stageCyclesFor(Stage::kForward),
+              dpr.stageCyclesFor(Stage::kForward));
+}
+
+TEST(SimResult, SpeedupAndAccumulation)
+{
+    SimResult a;
+    a.stageCycles[0] = 100;
+    SimResult b;
+    b.stageCycles[0] = 50;
+    EXPECT_DOUBLE_EQ(speedup(a, b), 2.0);
+    a += b;
+    EXPECT_EQ(a.totalCycles(), 150u);
+}
+
+TEST(SimResult, SecondsAtClock)
+{
+    SimResult r;
+    r.stageCycles[0] = 940'000'000;
+    EXPECT_NEAR(r.seconds(tpuV3Ws()), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the GEMM shape descriptor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gemm/gemm_shape.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(GemmShape, Validity)
+{
+    EXPECT_FALSE(GemmShape().valid());
+    EXPECT_FALSE(GemmShape(0, 1, 1).valid());
+    EXPECT_FALSE(GemmShape(1, -1, 1).valid());
+    EXPECT_TRUE(GemmShape(1, 1, 1).valid());
+}
+
+TEST(GemmShape, MacsAndFlops)
+{
+    const GemmShape s(4, 2, 4);
+    EXPECT_EQ(s.macs(), 32u);
+    EXPECT_DOUBLE_EQ(s.flops(), 64.0);
+}
+
+TEST(GemmShape, MacsDoNotOverflowAt64Bit)
+{
+    const GemmShape s(1 << 20, 1 << 20, 1 << 20);
+    EXPECT_EQ(s.macs(), Macs(1) << 60);
+}
+
+TEST(GemmShape, OperandBytes)
+{
+    const GemmShape s(8, 16, 32);
+    EXPECT_EQ(s.lhsBytes(2), 8u * 16 * 2);
+    EXPECT_EQ(s.rhsBytes(2), 16u * 32 * 2);
+    EXPECT_EQ(s.outBytes(4), 8u * 32 * 4);
+}
+
+TEST(GemmShape, IntensityGrowsWithK)
+{
+    const GemmShape small_k(1024, 1, 1024);
+    const GemmShape big_k(1024, 1024, 1024);
+    EXPECT_GT(big_k.intensity(2), small_k.intensity(2));
+}
+
+TEST(GemmShape, StringForm)
+{
+    EXPECT_EQ(GemmShape(1, 2, 3).str(), "1x2x3");
+}
+
+TEST(GemmShape, Equality)
+{
+    EXPECT_EQ(GemmShape(1, 2, 3), GemmShape(1, 2, 3));
+    EXPECT_NE(GemmShape(1, 2, 3), GemmShape(3, 2, 1));
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the roofline GPU model used in the Figure-17 comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.h"
+#include "models/zoo.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(GpuConfig, PresetsMatchSectionVID)
+{
+    EXPECT_DOUBLE_EQ(GpuConfig::v100Fp32().peakTflops, 15.7);
+    EXPECT_DOUBLE_EQ(GpuConfig::v100Fp16().peakTflops, 125.0);
+    EXPECT_DOUBLE_EQ(GpuConfig::a100Fp32().peakTflops, 19.5);
+    EXPECT_DOUBLE_EQ(GpuConfig::a100Fp16().peakTflops, 312.0);
+    EXPECT_DOUBLE_EQ(GpuConfig::v100Fp32().bandwidthGBs, 900.0);
+    EXPECT_DOUBLE_EQ(GpuConfig::a100Fp32().bandwidthGBs, 1555.0);
+}
+
+TEST(GpuModel, EmptyBatchIsFree)
+{
+    const GpuModel gpu(GpuConfig::v100Fp16());
+    EXPECT_DOUBLE_EQ(gpu.batchedGemm(GemmShape(8, 8, 8), 0).seconds,
+                     0.0);
+}
+
+TEST(GpuModel, LargeGemmNearRoofline)
+{
+    const GpuConfig cfg = GpuConfig::a100Fp16();
+    const GpuModel gpu(cfg);
+    const GemmShape s(8192, 8192, 8192);
+    const GpuOpResult r = gpu.batchedGemm(s, 1);
+    const double ideal = s.flops() / (cfg.peakTflops * 1e12);
+    EXPECT_GT(r.seconds, ideal);
+    EXPECT_LT(r.seconds, 2.0 * ideal);
+}
+
+TEST(GpuModel, TensorCoreKPaddingHurtsTinyK)
+{
+    // K=1 pads to the MMA granule on Tensor Cores, wasting compute.
+    const GpuModel tc(GpuConfig::a100Fp16());
+    const GemmShape k1(1024, 1, 1024);
+    const GemmShape k16(1024, 16, 1024);
+    const GpuOpResult r1 = tc.batchedGemm(k1, 64);
+    const GpuOpResult r16 = tc.batchedGemm(k16, 64);
+    // 16x the useful work for (nearly) the same time.
+    EXPECT_LT(r16.computeSeconds, 1.05 * r1.computeSeconds);
+}
+
+TEST(GpuModel, BatchingFillsWaves)
+{
+    // 64 tiny GEMMs batched should cost far less than 64x one GEMM.
+    const GpuModel gpu(GpuConfig::v100Fp16());
+    const GemmShape s(64, 32, 64);
+    const double batched = gpu.batchedGemm(s, 64).seconds;
+    const double serial = 64.0 * gpu.batchedGemm(s, 1).seconds;
+    EXPECT_LT(batched, 0.25 * serial);
+}
+
+TEST(GpuModel, MemoryBoundForLowIntensity)
+{
+    const GpuModel gpu(GpuConfig::a100Fp16());
+    // K=1 with huge M,N: output writes dominate.
+    const GpuOpResult r = gpu.batchedGemm(GemmShape(8192, 1, 8192), 8);
+    EXPECT_GT(r.memorySeconds, r.computeSeconds);
+    EXPECT_DOUBLE_EQ(r.seconds, r.memorySeconds);
+}
+
+TEST(GpuModel, A100FasterThanV100)
+{
+    const GpuModel v100(GpuConfig::v100Fp16());
+    const GpuModel a100(GpuConfig::a100Fp16());
+    const GemmShape s(4096, 4096, 4096);
+    EXPECT_LT(a100.batchedGemm(s, 1).seconds,
+              v100.batchedGemm(s, 1).seconds);
+}
+
+TEST(GpuModel, TensorCoresFasterThanCudaCoresOnBigGemm)
+{
+    const GpuModel fp32(GpuConfig::v100Fp32());
+    const GpuModel fp16(GpuConfig::v100Fp16());
+    const GemmShape s(4096, 4096, 4096);
+    EXPECT_LT(fp16.batchedGemm(s, 1).seconds,
+              fp32.batchedGemm(s, 1).seconds);
+}
+
+TEST(GpuModel, BottleneckSecondsPositiveAndOrdered)
+{
+    const OpStream stream =
+        buildOpStream(resnet50(), TrainingAlgorithm::kDpSgdR, 32);
+    const double v100 =
+        GpuModel(GpuConfig::v100Fp16()).bottleneckSeconds(stream);
+    const double a100 =
+        GpuModel(GpuConfig::a100Fp16()).bottleneckSeconds(stream);
+    EXPECT_GT(v100, 0.0);
+    EXPECT_GT(a100, 0.0);
+    EXPECT_LT(a100, v100);
+}
+
+TEST(GpuModel, BottleneckExcludesForward)
+{
+    // Figure 17 compares backprop bottleneck GEMMs only.
+    OpStream fwd_only;
+    fwd_only.algorithm = TrainingAlgorithm::kSgd;
+    fwd_only.batch = 1;
+    Op op;
+    op.type = OpType::kGemm;
+    op.stage = Stage::kForward;
+    op.shape = GemmShape(1024, 1024, 1024);
+    fwd_only.ops.push_back(op);
+    EXPECT_DOUBLE_EQ(
+        GpuModel(GpuConfig::v100Fp16()).bottleneckSeconds(fwd_only),
+        0.0);
+}
+
+TEST(GpuModel, RejectsInvalidShape)
+{
+    const GpuModel gpu(GpuConfig::v100Fp32());
+    EXPECT_THROW(gpu.batchedGemm(GemmShape(0, 1, 1), 1),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the im2col/col2im transforms and their adjointness -- the
+ * foundation of the conv-as-GEMM lowering (Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dp/im2col.h"
+#include "dp/ops.h"
+
+namespace diva
+{
+namespace
+{
+
+ConvGeometry
+geom(int cin, int cout, int k, int stride, int pad, int hw)
+{
+    ConvGeometry g;
+    g.inChannels = cin;
+    g.outChannels = cout;
+    g.kernelH = g.kernelW = k;
+    g.stride = stride;
+    g.padding = pad;
+    g.inH = g.inW = hw;
+    return g;
+}
+
+TEST(ConvGeometry, SpatialMath)
+{
+    const ConvGeometry g = geom(3, 8, 3, 1, 1, 8);
+    EXPECT_EQ(g.outH(), 8);
+    EXPECT_EQ(g.outW(), 8);
+    EXPECT_EQ(g.patchSize(), 27);
+    EXPECT_EQ(g.outPixels(), 64);
+
+    const ConvGeometry s2 = geom(3, 8, 3, 2, 1, 8);
+    EXPECT_EQ(s2.outH(), 4);
+}
+
+TEST(Im2col, IdentityKernelIsIdentity)
+{
+    // 1x1 kernel, stride 1, no padding: patches == pixels.
+    const ConvGeometry g = geom(2, 4, 1, 1, 0, 3);
+    Rng rng(1);
+    const Tensor x = Tensor::randn(1, 2 * 3 * 3, rng, 1.0);
+    const Tensor patches = im2col(g, x, 0);
+    ASSERT_EQ(patches.rows(), 9);
+    ASSERT_EQ(patches.cols(), 2);
+    for (int p = 0; p < 9; ++p) {
+        EXPECT_FLOAT_EQ(patches.at(p, 0), x.at(0, p));
+        EXPECT_FLOAT_EQ(patches.at(p, 1), x.at(0, 9 + p));
+    }
+}
+
+TEST(Im2col, KnownPatchContents)
+{
+    // 1 channel, 2x2 kernel, stride 1, 3x3 input:
+    //   1 2 3
+    //   4 5 6   -> patch at (0,0) = [1 2 4 5]
+    //   7 8 9
+    const ConvGeometry g = geom(1, 1, 2, 1, 0, 3);
+    Tensor x(1, 9);
+    for (int i = 0; i < 9; ++i)
+        x.at(0, i) = float(i + 1);
+    const Tensor patches = im2col(g, x, 0);
+    ASSERT_EQ(patches.rows(), 4);
+    ASSERT_EQ(patches.cols(), 4);
+    EXPECT_FLOAT_EQ(patches.at(0, 0), 1);
+    EXPECT_FLOAT_EQ(patches.at(0, 1), 2);
+    EXPECT_FLOAT_EQ(patches.at(0, 2), 4);
+    EXPECT_FLOAT_EQ(patches.at(0, 3), 5);
+    // Patch at output (1,1): [5 6 8 9].
+    EXPECT_FLOAT_EQ(patches.at(3, 0), 5);
+    EXPECT_FLOAT_EQ(patches.at(3, 3), 9);
+}
+
+TEST(Im2col, PaddingYieldsZeros)
+{
+    const ConvGeometry g = geom(1, 1, 3, 1, 1, 3);
+    Tensor x(1, 9);
+    for (int i = 0; i < 9; ++i)
+        x.at(0, i) = 1.0f;
+    const Tensor patches = im2col(g, x, 0);
+    // Top-left output pixel: the first row and column of the 3x3
+    // receptive field fall in the padding.
+    EXPECT_FLOAT_EQ(patches.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(patches.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(patches.at(0, 4), 1.0f); // center tap
+}
+
+TEST(Im2col, RejectsBadInputs)
+{
+    const ConvGeometry g = geom(1, 1, 3, 1, 0, 4);
+    Tensor x(1, 5); // wrong length
+    EXPECT_THROW(im2col(g, x, 0), std::logic_error);
+    Tensor ok(1, 16);
+    EXPECT_THROW(im2col(g, ok, 1), std::logic_error);
+}
+
+TEST(Col2im, InverseOfIm2colFor1x1)
+{
+    const ConvGeometry g = geom(2, 4, 1, 1, 0, 4);
+    Rng rng(2);
+    const Tensor x = Tensor::randn(1, 2 * 16, rng, 1.0);
+    const Tensor back = col2im(g, im2col(g, x, 0));
+    for (std::int64_t i = 0; i < x.cols(); ++i)
+        EXPECT_FLOAT_EQ(back.at(0, i), x.at(0, i));
+}
+
+TEST(Col2im, CountsPatchOverlap)
+{
+    // 2x2 kernel stride 1 on 3x3: the center pixel appears in all 4
+    // patches, corners in exactly 1.
+    const ConvGeometry g = geom(1, 1, 2, 1, 0, 3);
+    Tensor ones(4, 4);
+    for (std::int64_t i = 0; i < ones.size(); ++i)
+        ones[i] = 1.0f;
+    const Tensor grad = col2im(g, ones);
+    EXPECT_FLOAT_EQ(grad.at(0, 4), 4.0f); // center
+    EXPECT_FLOAT_EQ(grad.at(0, 0), 1.0f); // corner
+    EXPECT_FLOAT_EQ(grad.at(0, 1), 2.0f); // edge
+}
+
+TEST(Im2colCol2im, AdjointProperty)
+{
+    // <im2col(x), P> == <x, col2im(P)> for all x, P: the two
+    // transforms are adjoint linear maps, which is exactly what makes
+    // the GEMM-based backward pass correct.
+    const ConvGeometry g = geom(3, 2, 3, 2, 1, 5);
+    Rng rng(3);
+    const Tensor x = Tensor::randn(1, 3 * 25, rng, 1.0);
+    const Tensor patches =
+        Tensor::randn(g.outPixels(), g.patchSize(), rng, 1.0);
+    const Tensor ix = im2col(g, x, 0);
+    const Tensor cp = col2im(g, patches);
+    double lhs = 0.0;
+    for (std::int64_t i = 0; i < ix.size(); ++i)
+        lhs += double(ix[i]) * double(patches[i]);
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < cp.size(); ++i)
+        rhs += double(cp[i]) * double(x[i]);
+    EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(Im2col, ShapeMatchesFigure6Algebra)
+{
+    // The patch matrix is the LHS operand of the forward conv GEMM:
+    // its dims must equal Figure 6's (P*Q, Cin*R*S) per example.
+    const ConvGeometry g = geom(16, 32, 3, 1, 1, 8);
+    Rng rng(4);
+    const Tensor x = Tensor::randn(2, 16 * 64, rng, 1.0);
+    const Tensor patches = im2col(g, x, 1);
+    EXPECT_EQ(patches.rows(), 64);      // P*Q
+    EXPECT_EQ(patches.cols(), 16 * 9);  // Cin*R*S
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Integration tests spanning planner -> executor -> energy across all
+ * nine models, checking the paper's evaluation-level claims end to end
+ * (Figures 13-16 shape properties).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/accelerator_config.h"
+#include "energy/energy_model.h"
+#include "models/zoo.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace
+{
+
+/** Figure-13 protocol: DP-SGD(R) at the DP-SGD-feasible batch. */
+SimResult
+runModel(const AcceleratorConfig &cfg, const Network &net,
+         TrainingAlgorithm algo)
+{
+    const int batch = maxBatchSize(net, TrainingAlgorithm::kDpSgd,
+                                   16_GiB);
+    return Executor(cfg).run(buildOpStream(net, algo, batch));
+}
+
+class AllModelsIntegration : public ::testing::TestWithParam<int>
+{
+  protected:
+    Network net_ = allModels()[std::size_t(GetParam())];
+};
+
+TEST_P(AllModelsIntegration, DivaSpeedsUpDpTraining)
+{
+    // Figure 13: DiVa with PPU beats WS on every model (avg 3.6x,
+    // min above ~1.3x).
+    const SimResult ws =
+        runModel(tpuV3Ws(), net_, TrainingAlgorithm::kDpSgdR);
+    const SimResult diva =
+        runModel(divaDefault(true), net_, TrainingAlgorithm::kDpSgdR);
+    EXPECT_GT(speedup(ws, diva), 1.2) << net_.name;
+}
+
+TEST_P(AllModelsIntegration, PpuAlwaysHelpsDiva)
+{
+    const SimResult no_ppu =
+        runModel(divaDefault(false), net_, TrainingAlgorithm::kDpSgdR);
+    const SimResult with_ppu =
+        runModel(divaDefault(true), net_, TrainingAlgorithm::kDpSgdR);
+    EXPECT_GE(speedup(no_ppu, with_ppu), 1.0) << net_.name;
+}
+
+TEST_P(AllModelsIntegration, PpuAlsoHelpsOsSystolic)
+{
+    // Section IV-C: the PPU applies to any OS-class dataflow.
+    const SimResult no_ppu =
+        runModel(systolicOs(false), net_, TrainingAlgorithm::kDpSgdR);
+    const SimResult with_ppu =
+        runModel(systolicOs(true), net_, TrainingAlgorithm::kDpSgdR);
+    EXPECT_GT(speedup(no_ppu, with_ppu), 1.0) << net_.name;
+}
+
+TEST_P(AllModelsIntegration, DpSgdRCompetitiveWithVanillaOnWs)
+{
+    // Figure 5: DP-SGD(R) averages 31% faster than vanilla DP-SGD.
+    // The win is not uniform -- on compute-bound models with tiny
+    // weight sets (MobileNet) the second backprop can cost slightly
+    // more than the clip/reduce it eliminates -- so we allow a small
+    // regression but no blowup.
+    const SimResult dp =
+        runModel(tpuV3Ws(), net_, TrainingAlgorithm::kDpSgd);
+    const SimResult dpr =
+        runModel(tpuV3Ws(), net_, TrainingAlgorithm::kDpSgdR);
+    EXPECT_LT(double(dpr.totalCycles()),
+              1.1 * double(dp.totalCycles()))
+        << net_.name;
+}
+
+TEST_P(AllModelsIntegration, BackpropDominatesDpTime)
+{
+    // Section III-B: backprop approaches ~99% of DP training time.
+    const SimResult r =
+        runModel(tpuV3Ws(), net_, TrainingAlgorithm::kDpSgdR);
+    const double fwd_frac =
+        double(r.stageCyclesFor(Stage::kForward)) /
+        double(r.totalCycles());
+    EXPECT_LT(fwd_frac, 0.35) << net_.name;
+}
+
+TEST_P(AllModelsIntegration, PostProcessingTrafficReduction)
+{
+    // The PPU's raison d'etre: per-model post-processing DRAM traffic
+    // collapses (paper: 99% on average).
+    const SimResult ws =
+        runModel(tpuV3Ws(), net_, TrainingAlgorithm::kDpSgdR);
+    const SimResult diva =
+        runModel(divaDefault(true), net_, TrainingAlgorithm::kDpSgdR);
+    ASSERT_GT(ws.postProcessingDram.total(), 0u) << net_.name;
+    const double reduction =
+        1.0 - double(diva.postProcessingDram.total()) /
+                  double(ws.postProcessingDram.total());
+    EXPECT_GT(reduction, 0.9) << net_.name;
+}
+
+TEST_P(AllModelsIntegration, EnergyEfficiencyImproves)
+{
+    // Figure 16: despite higher engine power, DiVa consumes less
+    // energy per iteration than WS.
+    const AcceleratorConfig ws_cfg = tpuV3Ws();
+    const AcceleratorConfig dv_cfg = divaDefault(true);
+    const double e_ws = EnergyModel::energy(
+        runModel(ws_cfg, net_, TrainingAlgorithm::kDpSgdR), ws_cfg)
+        .total();
+    const double e_dv = EnergyModel::energy(
+        runModel(dv_cfg, net_, TrainingAlgorithm::kDpSgdR), dv_cfg)
+        .total();
+    EXPECT_LT(e_dv, e_ws) << net_.name;
+}
+
+TEST_P(AllModelsIntegration, DivaNarrowsGapToNonPrivateSgd)
+{
+    // Figure 13: DiVa's DP-SGD(R) comes within a modest factor of
+    // non-private SGD on WS (the paper reports reaching ~75% of its
+    // performance on average; we accept up to a 4x residual gap).
+    const SimResult sgd_ws =
+        runModel(tpuV3Ws(), net_, TrainingAlgorithm::kSgd);
+    const SimResult dp_diva =
+        runModel(divaDefault(true), net_, TrainingAlgorithm::kDpSgdR);
+    EXPECT_LT(double(dp_diva.totalCycles()),
+              4.0 * double(sgd_ws.totalCycles()))
+        << net_.name;
+}
+
+TEST_P(AllModelsIntegration, DivaSgdBeatsWsSgd)
+{
+    // Figure 13's DiVa-SGD observation: the outer-product engine also
+    // helps non-private SGD (avg 1.6x in the paper).
+    const SimResult ws =
+        runModel(tpuV3Ws(), net_, TrainingAlgorithm::kSgd);
+    const SimResult diva =
+        runModel(divaDefault(true), net_, TrainingAlgorithm::kSgd);
+    EXPECT_GE(speedup(ws, diva), 1.0) << net_.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(NineModels, AllModelsIntegration,
+                         ::testing::Range(0, 9),
+                         [](const auto &info) {
+                             std::string n =
+                                 allModels()[std::size_t(info.param)]
+                                     .name;
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Sensitivity, LargerImagesShrinkDivaAdvantage)
+{
+    // Section VI-C: bigger inputs populate systolic arrays better, so
+    // DiVa's speedup decreases monotonically (3.6x -> 2.1x -> 1.7x).
+    double prev = 1e9;
+    for (int size : {32, 64, 128}) {
+        const Network net = resnet50(size);
+        const int batch = std::max(
+            1, maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB));
+        const OpStream stream =
+            buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
+        const SimResult ws = Executor(tpuV3Ws()).run(stream);
+        const SimResult dv = Executor(divaDefault(true)).run(stream);
+        const double s = speedup(ws, dv);
+        EXPECT_GT(s, 1.0) << size;
+        EXPECT_LE(s, prev * 1.05) << size;
+        prev = s;
+    }
+}
+
+TEST(Sensitivity, LongerSequencesShrinkDivaAdvantage)
+{
+    double prev = 1e9;
+    for (int len : {32, 64, 128, 256}) {
+        const Network net = bertBase(len);
+        const int batch = std::max(
+            1, maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB));
+        const OpStream stream =
+            buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
+        const SimResult ws = Executor(tpuV3Ws()).run(stream);
+        const SimResult dv = Executor(divaDefault(true)).run(stream);
+        const double s = speedup(ws, dv);
+        EXPECT_GT(s, 1.0) << len;
+        EXPECT_LE(s, prev * 1.05) << len;
+        prev = s;
+    }
+}
+
+TEST(Ablation, MoreDrainRowsNeverHurt)
+{
+    const Network net = resnet50();
+    const OpStream stream =
+        buildOpStream(net, TrainingAlgorithm::kDpSgdR, 64);
+    Cycles prev = Cycles(-1);
+    for (int r : {1, 2, 4, 8, 16}) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.drainRowsPerCycle = r;
+        const Cycles c = Executor(cfg).run(stream).totalCycles();
+        EXPECT_LE(c, prev) << "R=" << r;
+        prev = c;
+    }
+}
+
+TEST(Ablation, MoreBandwidthNeverHurts)
+{
+    const Network net = bertBase();
+    const OpStream stream =
+        buildOpStream(net, TrainingAlgorithm::kDpSgdR, 8);
+    Cycles prev = Cycles(-1);
+    for (double bw : {225.0, 450.0, 900.0, 1800.0}) {
+        AcceleratorConfig cfg = tpuV3Ws();
+        cfg.dramBandwidthGBs = bw;
+        const Cycles c = Executor(cfg).run(stream).totalCycles();
+        EXPECT_LE(c, prev) << "bw=" << bw;
+        prev = c;
+    }
+}
+
+} // namespace
+} // namespace diva

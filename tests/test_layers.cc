@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the layer descriptors and the Figure-6 GEMM algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/layer.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(LinearLayer, Figure6Shapes)
+{
+    const Layer l = Layer::linear("fc", 512, 256);
+    const int b = 64;
+    // Forward: (B, I, O).
+    EXPECT_EQ(l.forwardGemm(b).shape, GemmShape(64, 512, 256));
+    EXPECT_EQ(l.forwardGemm(b).count, 1u);
+    // Activation grad: (B, O, I).
+    EXPECT_EQ(l.actGradGemm(b).shape, GemmShape(64, 256, 512));
+    // Per-batch wgrad: (I, B, O) -- K carries the batch.
+    EXPECT_EQ(l.perBatchWGradGemm(b).shape, GemmShape(512, 64, 256));
+    // Per-example wgrad: B GEMMs of (I, 1, O).
+    const GemmInstance pe = l.perExampleWGradGemm(b);
+    EXPECT_EQ(pe.shape, GemmShape(512, 1, 256));
+    EXPECT_EQ(pe.count, 64u);
+}
+
+TEST(LinearLayer, ParamsAndActivations)
+{
+    const Layer l = Layer::linear("fc", 512, 256);
+    EXPECT_EQ(l.paramCount(), 512 * 256 + 256);
+    EXPECT_EQ(l.outputElemsPerExample(), 256u);
+    EXPECT_TRUE(l.hasWeights());
+}
+
+TEST(ConvLayer, SpatialDims)
+{
+    const Layer l = Layer::conv2d("c", 3, 64, 3, 3, 1, 1, 32, 32);
+    EXPECT_EQ(l.outH(), 32);
+    EXPECT_EQ(l.outW(), 32);
+    const Layer s2 = Layer::conv2d("c", 3, 64, 7, 7, 2, 3, 32, 32);
+    EXPECT_EQ(s2.outH(), 16);
+    EXPECT_EQ(s2.outW(), 16);
+}
+
+TEST(ConvLayer, Figure6Shapes)
+{
+    // Cin=64, Cout=128, 3x3, 16x16 -> P=Q=16, CRS=576, PQ=256.
+    const Layer l = Layer::conv2d("c", 64, 128, 3, 3, 1, 1, 16, 16);
+    const int b = 32;
+    EXPECT_EQ(l.forwardGemm(b).shape,
+              GemmShape(32 * 256, 576, 128));
+    EXPECT_EQ(l.actGradGemm(b).shape, GemmShape(32 * 256, 128, 576));
+    EXPECT_EQ(l.perBatchWGradGemm(b).shape,
+              GemmShape(576, 32 * 256, 128));
+    const GemmInstance pe = l.perExampleWGradGemm(b);
+    EXPECT_EQ(pe.shape, GemmShape(576, 256, 128));
+    EXPECT_EQ(pe.count, 32u);
+}
+
+TEST(ConvLayer, PerExampleKIndependentOfBatch)
+{
+    const Layer l = Layer::conv2d("c", 64, 128, 3, 3, 1, 1, 16, 16);
+    EXPECT_EQ(l.perExampleWGradGemm(8).shape,
+              l.perExampleWGradGemm(512).shape);
+    EXPECT_EQ(l.perExampleWGradGemm(512).count, 512u);
+}
+
+TEST(ConvLayer, PerBatchMacsEqualPerExampleMacs)
+{
+    // Both derivations perform the same useful work; they only differ
+    // in GEMM shape (reduction inside vs outside the GEMM).
+    const Layer l = Layer::conv2d("c", 32, 64, 3, 3, 1, 1, 8, 8);
+    for (int b : {1, 4, 128}) {
+        EXPECT_EQ(l.perBatchWGradGemm(b).totalMacs(),
+                  l.perExampleWGradGemm(b).totalMacs())
+            << "batch " << b;
+    }
+}
+
+TEST(ConvLayer, ParamCount)
+{
+    const Layer l = Layer::conv2d("c", 64, 128, 3, 3, 1, 1, 16, 16);
+    EXPECT_EQ(l.paramCount(), 64 * 128 * 9 + 128);
+}
+
+TEST(DepthwiseConv, PerChannelGemms)
+{
+    const Layer l =
+        Layer::depthwiseConv2d("dw", 256, 3, 3, 1, 1, 8, 8);
+    const int b = 16;
+    const GemmInstance fwd = l.forwardGemm(b);
+    // One (B*P*Q, R*S, 1) GEMM per channel.
+    EXPECT_EQ(fwd.shape, GemmShape(16 * 64, 9, 1));
+    EXPECT_EQ(fwd.count, 256u);
+    const GemmInstance pe = l.perExampleWGradGemm(b);
+    EXPECT_EQ(pe.shape, GemmShape(9, 64, 1));
+    EXPECT_EQ(pe.count, 16u * 256u);
+    EXPECT_EQ(l.paramCount(), 256 * 9 + 256);
+}
+
+TEST(TimeSeriesLinear, BatchedShapes)
+{
+    const Layer l = Layer::timeSeriesLinear("proj", 768, 768, 32);
+    const int b = 8;
+    // Forward batches tokens: (B*L, I, O).
+    EXPECT_EQ(l.forwardGemm(b).shape, GemmShape(8 * 32, 768, 768));
+    EXPECT_EQ(l.forwardGemm(b).count, 1u);
+    // Per-example: (I, L, O) x B -- K = L, independent of batch.
+    const GemmInstance pe = l.perExampleWGradGemm(b);
+    EXPECT_EQ(pe.shape, GemmShape(768, 32, 768));
+    EXPECT_EQ(pe.count, 8u);
+    EXPECT_EQ(l.outputElemsPerExample(), 768u * 32u);
+}
+
+TEST(TimeSeriesLinear, SequentialEmitsPerTimestepGemms)
+{
+    const Layer l =
+        Layer::timeSeriesLinear("hh", 256, 1024, 32, true);
+    const GemmInstance fwd = l.forwardGemm(8);
+    EXPECT_EQ(fwd.shape, GemmShape(8, 256, 1024));
+    EXPECT_EQ(fwd.count, 32u);
+    // Per-batch wgrad can still accumulate over time: (I, B*L, O).
+    EXPECT_EQ(l.perBatchWGradGemm(8).shape,
+              GemmShape(256, 8 * 32, 1024));
+}
+
+TEST(AttentionMatmul, ShapesAndNoWeights)
+{
+    const Layer scores = Layer::attentionScores("s", 12, 64, 32);
+    const Layer context = Layer::attentionContext("c", 12, 64, 32);
+    const int b = 4;
+    // scores: (L, d, L) per example per head.
+    EXPECT_EQ(scores.forwardGemm(b).shape, GemmShape(32, 64, 32));
+    EXPECT_EQ(scores.forwardGemm(b).count, 4u * 12u);
+    // context: (L, L, d).
+    EXPECT_EQ(context.forwardGemm(b).shape, GemmShape(32, 32, 64));
+    // Two activation-grad matmuls per forward matmul.
+    EXPECT_EQ(scores.actGradGemm(b).count, 2u * 4u * 12u);
+    // No weights, hence no weight-gradient GEMMs.
+    EXPECT_FALSE(scores.hasWeights());
+    EXPECT_EQ(scores.paramCount(), 0);
+    EXPECT_EQ(scores.perBatchWGradGemm(b).count, 0u);
+    EXPECT_EQ(scores.perExampleWGradGemm(b).count, 0u);
+}
+
+TEST(PoolLayer, NoGemmsButActivations)
+{
+    const Layer p = Layer::pool("pool", 64, 2, 2, 2, 16, 16);
+    EXPECT_FALSE(p.hasWeights());
+    EXPECT_EQ(p.paramCount(), 0);
+    EXPECT_EQ(p.outH(), 8);
+    EXPECT_EQ(p.outputElemsPerExample(), 64u * 8 * 8);
+    EXPECT_EQ(p.forwardGemm(8).count, 0u);
+    EXPECT_EQ(p.actGradGemm(8).count, 0u);
+}
+
+TEST(ConvLayer, RejectsSpatialCollapse)
+{
+    EXPECT_THROW(Layer::conv2d("bad", 3, 8, 7, 7, 1, 0, 4, 4),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing model and SRAM buffer partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "mem/dram_model.h"
+#include "mem/sram_buffer.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(DramModel, ZeroBytesIsFree)
+{
+    const DramModel dram(tpuV3Ws());
+    EXPECT_EQ(dram.transferCycles(0), 0u);
+    EXPECT_EQ(dram.streamingCycles(0), 0u);
+}
+
+TEST(DramModel, LatencyChargedOncePerTransfer)
+{
+    const AcceleratorConfig cfg = tpuV3Ws();
+    const DramModel dram(cfg);
+    const Cycles one_byte = dram.transferCycles(1);
+    EXPECT_EQ(one_byte, cfg.dramLatencyCycles + 1);
+}
+
+TEST(DramModel, StreamingMatchesBandwidth)
+{
+    const AcceleratorConfig cfg = tpuV3Ws();
+    const DramModel dram(cfg);
+    // 478.7 B/cycle -> 478700 bytes should take ~1000 cycles.
+    const Cycles c = dram.streamingCycles(478700);
+    EXPECT_NEAR(double(c), 1000.0, 2.0);
+}
+
+TEST(DramModel, StreamingScalesLinearly)
+{
+    const DramModel dram(tpuV3Ws());
+    const Cycles c1 = dram.streamingCycles(1_MiB);
+    const Cycles c4 = dram.streamingCycles(4_MiB);
+    EXPECT_NEAR(double(c4), 4.0 * double(c1), 4.0);
+}
+
+TEST(DramModel, HigherBandwidthIsFaster)
+{
+    AcceleratorConfig fast = tpuV3Ws();
+    fast.dramBandwidthGBs = 900.0;
+    EXPECT_LT(DramModel(fast).streamingCycles(1_GiB),
+              DramModel(tpuV3Ws()).streamingCycles(1_GiB));
+}
+
+TEST(DramTraffic, Accumulates)
+{
+    DramTraffic a{100, 50};
+    const DramTraffic b{1, 2};
+    a += b;
+    EXPECT_EQ(a.readBytes, 101u);
+    EXPECT_EQ(a.writeBytes, 52u);
+    EXPECT_EQ(a.total(), 153u);
+}
+
+TEST(SramBuffer, DefaultPartitionSumsToTotal)
+{
+    const AcceleratorConfig cfg = tpuV3Ws();
+    const SramBuffer sram(cfg);
+    EXPECT_EQ(sram.totalCapacity(), cfg.sramBytes);
+    EXPECT_GT(sram.lhsCapacity(), 0u);
+    EXPECT_GT(sram.rhsCapacity(), 0u);
+    // TPUv3's output (vector memory) partition is the largest.
+    EXPECT_GE(sram.outCapacity(), sram.lhsCapacity());
+    EXPECT_GE(sram.outCapacity(), sram.rhsCapacity());
+}
+
+TEST(SramBuffer, FitChecks)
+{
+    const SramBuffer sram(tpuV3Ws(), 0.25, 0.25);
+    EXPECT_TRUE(sram.lhsFits(4_MiB));
+    EXPECT_FALSE(sram.lhsFits(4_MiB + 1));
+    EXPECT_TRUE(sram.rhsFits(4_MiB));
+    EXPECT_TRUE(sram.outFits(8_MiB));
+    EXPECT_FALSE(sram.outFits(8_MiB + 1));
+}
+
+TEST(SramBuffer, CustomFractions)
+{
+    const SramBuffer sram(tpuV3Ws(), 0.5, 0.25);
+    EXPECT_EQ(sram.lhsCapacity(), 8_MiB);
+    EXPECT_EQ(sram.rhsCapacity(), 4_MiB);
+    EXPECT_EQ(sram.outCapacity(), 4_MiB);
+}
+
+TEST(SramBuffer, RejectsInvalidFractions)
+{
+    EXPECT_THROW(SramBuffer(tpuV3Ws(), 0.6, 0.5), std::runtime_error);
+    EXPECT_THROW(SramBuffer(tpuV3Ws(), 0.0, 0.5), std::runtime_error);
+    EXPECT_THROW(SramBuffer(tpuV3Ws(), 0.5, -0.1), std::runtime_error);
+}
+
+} // namespace
+} // namespace diva

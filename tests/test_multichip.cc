@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the data-parallel multi-chip scaling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "models/zoo.h"
+#include "sim/multichip.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(MultiChip, SingleChipHasNoCommunication)
+{
+    MultiChipConfig pod;
+    pod.numChips = 1;
+    const ScalingResult r = simulateDataParallel(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR, 64,
+        pod);
+    EXPECT_EQ(r.allReduceCycles, 0u);
+    EXPECT_EQ(r.totalCycles, r.computeCycles);
+    EXPECT_NEAR(r.efficiency, 1.0, 1e-9);
+    EXPECT_EQ(r.perChipBatch, 64);
+}
+
+TEST(MultiChip, ShardSizesCeil)
+{
+    MultiChipConfig pod;
+    pod.numChips = 8;
+    const ScalingResult r = simulateDataParallel(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR, 100,
+        pod);
+    EXPECT_EQ(r.perChipBatch, 13);
+}
+
+TEST(MultiChip, MoreChipsReduceTime)
+{
+    Cycles prev = Cycles(-1);
+    for (int n : {1, 2, 4, 8, 16}) {
+        MultiChipConfig pod;
+        pod.numChips = n;
+        const ScalingResult r = simulateDataParallel(
+            divaDefault(true), resnet152(), TrainingAlgorithm::kDpSgdR,
+            256, pod);
+        EXPECT_LT(r.totalCycles, prev) << n;
+        prev = r.totalCycles;
+    }
+}
+
+TEST(MultiChip, EfficiencyDegradesWithScale)
+{
+    double prev = 1.1;
+    for (int n : {1, 4, 16, 64}) {
+        MultiChipConfig pod;
+        pod.numChips = n;
+        const ScalingResult r = simulateDataParallel(
+            divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR,
+            512, pod);
+        EXPECT_LE(r.efficiency, prev + 1e-9) << n;
+        EXPECT_GT(r.efficiency, 0.0);
+        prev = r.efficiency;
+    }
+}
+
+TEST(MultiChip, AllReduceScalesWithModelSize)
+{
+    MultiChipConfig pod;
+    pod.numChips = 8;
+    const ScalingResult small = simulateDataParallel(
+        divaDefault(true), squeezenet(), TrainingAlgorithm::kDpSgdR,
+        256, pod);
+    const ScalingResult large = simulateDataParallel(
+        divaDefault(true), bertLarge(), TrainingAlgorithm::kDpSgdR, 256,
+        pod);
+    EXPECT_GT(large.allReduceCycles, 10 * small.allReduceCycles);
+}
+
+TEST(MultiChip, FasterInterconnectHelps)
+{
+    MultiChipConfig slow;
+    slow.numChips = 16;
+    slow.interconnectGBs = 10.0;
+    MultiChipConfig fast = slow;
+    fast.interconnectGBs = 200.0;
+    const ScalingResult a = simulateDataParallel(
+        divaDefault(true), bertBase(), TrainingAlgorithm::kDpSgdR, 256,
+        slow);
+    const ScalingResult b = simulateDataParallel(
+        divaDefault(true), bertBase(), TrainingAlgorithm::kDpSgdR, 256,
+        fast);
+    EXPECT_GT(a.allReduceCycles, b.allReduceCycles);
+    EXPECT_LT(a.efficiency, b.efficiency);
+}
+
+TEST(MultiChip, DivaKeepsItsAdvantageAtPodScale)
+{
+    MultiChipConfig pod;
+    pod.numChips = 8;
+    const ScalingResult ws = simulateDataParallel(
+        tpuV3Ws(), resnet152(), TrainingAlgorithm::kDpSgdR, 512, pod);
+    const ScalingResult dv = simulateDataParallel(
+        divaDefault(true), resnet152(), TrainingAlgorithm::kDpSgdR, 512,
+        pod);
+    EXPECT_GT(double(ws.totalCycles) / double(dv.totalCycles), 2.0);
+}
+
+TEST(MultiChip, RejectsUnshardableBatch)
+{
+    MultiChipConfig pod;
+    pod.numChips = 64;
+    EXPECT_THROW(simulateDataParallel(divaDefault(true), resnet50(),
+                                      TrainingAlgorithm::kDpSgdR, 32,
+                                      pod),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace diva

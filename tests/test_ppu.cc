@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the PPU: adder-tree functional/cycle models, PPU
+ * timing, and the vector-unit fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "arch/accelerator_config.h"
+#include "common/rng.h"
+#include "ppu/adder_tree.h"
+#include "ppu/ppu_model.h"
+#include "ppu/vector_unit.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(AdderTree, WidthRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(AdderTree(1).width(), 1);
+    EXPECT_EQ(AdderTree(2).width(), 2);
+    EXPECT_EQ(AdderTree(3).width(), 4);
+    EXPECT_EQ(AdderTree(100).width(), 128);
+    EXPECT_EQ(AdderTree(128).width(), 128);
+}
+
+TEST(AdderTree, LevelsAreLog2Width)
+{
+    // The paper's Figure 11: 7 levels for a 128-wide tree.
+    EXPECT_EQ(AdderTree(128).levels(), 7);
+    EXPECT_EQ(AdderTree(8).levels(), 3);
+    EXPECT_EQ(AdderTree(1).levels(), 0);
+}
+
+TEST(AdderTree, NumAdders)
+{
+    EXPECT_EQ(AdderTree(128).numAdders(), 127);
+    EXPECT_EQ(AdderTree(8).numAdders(), 7);
+}
+
+TEST(AdderTree, ReducesExactSum)
+{
+    const AdderTree tree(8);
+    const std::vector<float> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_DOUBLE_EQ(tree.reduce(v), 36.0);
+}
+
+TEST(AdderTree, HandlesNonMultipleLengths)
+{
+    const AdderTree tree(8);
+    std::vector<float> v(13, 1.0f);
+    EXPECT_DOUBLE_EQ(tree.reduce(v), 13.0);
+}
+
+TEST(AdderTree, EmptyVectorIsZero)
+{
+    EXPECT_DOUBLE_EQ(AdderTree(128).reduce({}), 0.0);
+}
+
+TEST(AdderTree, MatchesSequentialSumOnRandomData)
+{
+    const AdderTree tree(128);
+    Rng rng(5);
+    std::vector<float> v(1000);
+    for (auto &x : v)
+        x = float(rng.uniform(-1.0, 1.0));
+    const double seq = std::accumulate(v.begin(), v.end(), 0.0);
+    EXPECT_NEAR(tree.reduce(v), seq, 1e-6);
+}
+
+TEST(AdderTree, PipelinedCycleModel)
+{
+    const AdderTree tree(128);
+    EXPECT_EQ(tree.reduceCycles(0), 0u);
+    // One vector: pipeline depth + 1.
+    EXPECT_EQ(tree.reduceCycles(1), 8u);
+    // Pipelined: one vector per cycle thereafter.
+    EXPECT_EQ(tree.reduceCycles(100), 107u);
+}
+
+TEST(PpuModel, RequiresPpuConfig)
+{
+    EXPECT_THROW(PpuModel(divaDefault(false)), std::logic_error);
+}
+
+TEST(PpuModel, DefaultGeometryMatchesPaper)
+{
+    const PpuModel ppu(divaDefault(true));
+    // R=8 trees of width 128 -> 1024 elements per cycle.
+    EXPECT_EQ(ppu.numTrees(), 8);
+    EXPECT_EQ(ppu.tree().levels(), 7);
+    EXPECT_EQ(ppu.elemsPerCycle(), 1024u);
+}
+
+TEST(PpuModel, NormOnDrainHasNoDramTraffic)
+{
+    const PpuModel ppu(divaDefault(true));
+    const PostProcResult r = ppu.normOnDrain(100'000'000);
+    EXPECT_EQ(r.dramReadBytes, 0u);
+    EXPECT_EQ(r.dramWriteBytes, 0u);
+    // Only the pipeline depth is exposed, regardless of tensor size.
+    EXPECT_LT(r.cycles, 32u);
+}
+
+TEST(PpuModel, NormOnDrainExposedCostConstant)
+{
+    const PpuModel ppu(divaDefault(true));
+    EXPECT_EQ(ppu.normOnDrain(1).cycles, ppu.normOnDrain(1 << 30).cycles);
+}
+
+TEST(PpuModel, ReduceOnChipThroughput)
+{
+    const PpuModel ppu(divaDefault(true));
+    const PostProcResult r = ppu.reduceOnChip(1024 * 100);
+    EXPECT_EQ(r.cycles, 100u + 7u);
+}
+
+TEST(PpuModel, ThroughputMatchesPaperDrainRate)
+{
+    // Section IV-C: 940 MHz x 8 rows x 128 elems x 4B = 3.85 TB/s.
+    const AcceleratorConfig cfg = divaDefault(true);
+    const PpuModel ppu(cfg);
+    const double bytes_per_sec = double(ppu.elemsPerCycle()) * 4.0 *
+                                 cfg.freqGhz * 1e9;
+    EXPECT_NEAR(bytes_per_sec / 1e12, 3.85, 0.01);
+}
+
+TEST(VectorUnit, ElementwiseThroughput)
+{
+    const VectorUnitModel vu(tpuV3Ws());
+    EXPECT_EQ(vu.elementwiseCycles(1024), 1u);
+    EXPECT_EQ(vu.elementwiseCycles(1025), 2u);
+    EXPECT_EQ(vu.elementwiseCycles(0), 0u);
+}
+
+TEST(VectorUnit, ReductionSlowerThanElementwise)
+{
+    const VectorUnitModel vu(tpuV3Ws());
+    EXPECT_GT(vu.reductionCycles(1 << 20),
+              vu.elementwiseCycles(1 << 20));
+}
+
+TEST(VectorUnit, NoiseIsExpensive)
+{
+    const VectorUnitModel vu(tpuV3Ws());
+    EXPECT_GT(vu.noiseCycles(1 << 20), vu.reductionCycles(1 << 20));
+}
+
+TEST(VectorUnit, PpuReductionBeatsVectorUnit)
+{
+    // The dedicated adder trees outperform permute-based vector
+    // reductions (Section IV-C).
+    const AcceleratorConfig cfg = divaDefault(true);
+    const PpuModel ppu(cfg);
+    const VectorUnitModel vu(cfg);
+    const Elems e = 1 << 24;
+    EXPECT_LT(ppu.reduceOnChip(e).cycles, vu.reductionCycles(e));
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fuzz/property tests: the planner, executor, memory model and energy
+ * model must uphold their invariants on randomly generated networks,
+ * not just the nine hand-built benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "energy/energy_model.h"
+#include "models/random_network.h"
+#include "sim/executor.h"
+#include "train/memory_model.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace
+{
+
+class RandomNetworkFuzz : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(std::uint64_t(GetParam()) * 1000003ULL + 17);
+        net_ = randomNetwork(rng);
+    }
+
+    Network net_;
+};
+
+TEST_P(RandomNetworkFuzz, StructurallyValid)
+{
+    EXPECT_FALSE(net_.layers.empty());
+    EXPECT_GT(net_.paramCount(), 0);
+    EXPECT_GT(net_.activationElemsPerExample(), 0u);
+    EXPECT_GT(net_.numWeightedLayers(), 0);
+}
+
+TEST_P(RandomNetworkFuzz, PlannerProducesValidStreams)
+{
+    for (auto algo :
+         {TrainingAlgorithm::kSgd, TrainingAlgorithm::kDpSgd,
+          TrainingAlgorithm::kDpSgdR}) {
+        const OpStream s = buildOpStream(net_, algo, 8);
+        EXPECT_GT(s.ops.size(), 0u);
+        for (const auto &op : s.ops) {
+            if (op.type == OpType::kGemm) {
+                EXPECT_TRUE(op.shape.valid());
+                EXPECT_GT(op.count, 0u);
+            } else {
+                EXPECT_GT(op.inElems, 0u);
+            }
+        }
+    }
+}
+
+TEST_P(RandomNetworkFuzz, WorkConservationAcrossAlgorithms)
+{
+    // DP-SGD does exactly SGD's GEMM work; DP-SGD(R) strictly more.
+    const Macs sgd =
+        buildOpStream(net_, TrainingAlgorithm::kSgd, 8).totalGemmMacs();
+    const Macs dp =
+        buildOpStream(net_, TrainingAlgorithm::kDpSgd, 8)
+            .totalGemmMacs();
+    const Macs dpr =
+        buildOpStream(net_, TrainingAlgorithm::kDpSgdR, 8)
+            .totalGemmMacs();
+    EXPECT_EQ(dp, sgd);
+    EXPECT_GT(dpr, sgd);
+}
+
+TEST_P(RandomNetworkFuzz, ExecutorInvariantsHold)
+{
+    const OpStream stream =
+        buildOpStream(net_, TrainingAlgorithm::kDpSgdR, 8);
+    for (const auto &cfg :
+         {tpuV3Ws(), systolicOs(true), divaDefault(false),
+          divaDefault(true)}) {
+        const SimResult r = Executor(cfg).run(stream);
+        EXPECT_GT(r.totalCycles(), 0u) << cfg.name;
+        EXPECT_GT(r.totalMacs(), 0u) << cfg.name;
+        EXPECT_LE(r.overallUtilization(cfg), 1.0) << cfg.name;
+        EXPECT_GT(r.overallUtilization(cfg), 0.0) << cfg.name;
+        const EnergyBreakdown e = EnergyModel::energy(r, cfg);
+        EXPECT_GT(e.total(), 0.0) << cfg.name;
+    }
+}
+
+TEST_P(RandomNetworkFuzz, PpuNeverHurts)
+{
+    const OpStream stream =
+        buildOpStream(net_, TrainingAlgorithm::kDpSgdR, 8);
+    const Cycles without =
+        Executor(divaDefault(false)).run(stream).totalCycles();
+    const Cycles with =
+        Executor(divaDefault(true)).run(stream).totalCycles();
+    EXPECT_LE(with, without);
+}
+
+TEST_P(RandomNetworkFuzz, MemoryModelMonotonic)
+{
+    Bytes prev = 0;
+    for (int b : {1, 4, 16, 64}) {
+        const Bytes t =
+            trainingMemory(net_, TrainingAlgorithm::kDpSgd, b).total();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+    // DP-SGD always costs at least as much as SGD at equal batch.
+    EXPECT_GE(trainingMemory(net_, TrainingAlgorithm::kDpSgd, 16)
+                  .total(),
+              trainingMemory(net_, TrainingAlgorithm::kSgd, 16)
+                  .total());
+}
+
+TEST_P(RandomNetworkFuzz, MicrobatchingConservesWork)
+{
+    const Macs mono =
+        buildOpStream(net_, TrainingAlgorithm::kDpSgdR, 24)
+            .totalGemmMacs();
+    const Macs micro =
+        buildMicrobatchedOpStream(net_, TrainingAlgorithm::kDpSgdR, 24,
+                                  5)
+            .totalGemmMacs();
+    EXPECT_EQ(micro, mono);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkFuzz,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace diva

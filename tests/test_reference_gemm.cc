@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Property tests validating the outer-product dataflow mathematics:
+ * inner-product, outer-product and tiled outer-product loop orders must
+ * agree on the same operands (Figure 9(a)).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "gemm/reference_gemm.h"
+
+namespace diva
+{
+namespace
+{
+
+std::vector<float>
+randomMatrix(std::int64_t rows, std::int64_t cols, Rng &rng)
+{
+    std::vector<float> m(std::size_t(rows) * std::size_t(cols));
+    for (auto &v : m)
+        v = float(rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+double
+maxDiff(const std::vector<float> &a, const std::vector<float> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        best = std::max(best, std::abs(double(a[i]) - double(b[i])));
+    return best;
+}
+
+TEST(ReferenceGemm, TinyKnownResult)
+{
+    // [1 2] [5 6]   [19 22]
+    // [3 4] [7 8] = [43 50]
+    const GemmShape s(2, 2, 2);
+    const std::vector<float> a = {1, 2, 3, 4};
+    const std::vector<float> b = {5, 6, 7, 8};
+    const auto c = gemmInnerProduct(s, a, b);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(ReferenceGemm, OuterProductMatchesKnownResult)
+{
+    const GemmShape s(2, 2, 2);
+    const std::vector<float> a = {1, 2, 3, 4};
+    const std::vector<float> b = {5, 6, 7, 8};
+    const auto c = gemmOuterProduct(s, a, b);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(ReferenceGemm, RejectsMismatchedOperands)
+{
+    const GemmShape s(2, 3, 2);
+    const std::vector<float> a(5);  // should be 6
+    const std::vector<float> b(6);
+    EXPECT_THROW(gemmInnerProduct(s, a, b), std::logic_error);
+}
+
+/** Shape sweep: (M, K, N) including the DP-SGD pathological K=1. */
+class GemmEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmEquivalence, OuterEqualsInner)
+{
+    const auto [m, k, n] = GetParam();
+    const GemmShape s(m, k, n);
+    Rng rng(std::uint64_t(m * 10007 + k * 101 + n));
+    const auto a = randomMatrix(m, k, rng);
+    const auto b = randomMatrix(k, n, rng);
+    const auto inner = gemmInnerProduct(s, a, b);
+    const auto outer = gemmOuterProduct(s, a, b);
+    EXPECT_LT(maxDiff(inner, outer), 1e-4)
+        << "shape " << s.str();
+}
+
+TEST_P(GemmEquivalence, TiledOuterEqualsInner)
+{
+    const auto [m, k, n] = GetParam();
+    const GemmShape s(m, k, n);
+    Rng rng(std::uint64_t(m * 7 + k * 11 + n * 13));
+    const auto a = randomMatrix(m, k, rng);
+    const auto b = randomMatrix(k, n, rng);
+    const auto inner = gemmInnerProduct(s, a, b);
+    // Hardware-like 8x8 output tiles.
+    const auto tiled = gemmTiledOuterProduct(s, a, b, 8, 8);
+    EXPECT_LT(maxDiff(inner, tiled), 1e-4)
+        << "shape " << s.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmEquivalence,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1), std::make_tuple(4, 1, 4),
+        std::make_tuple(16, 1, 16), std::make_tuple(33, 1, 65),
+        std::make_tuple(7, 3, 5), std::make_tuple(8, 8, 8),
+        std::make_tuple(31, 17, 9), std::make_tuple(64, 2, 64),
+        std::make_tuple(5, 64, 5), std::make_tuple(1, 32, 1),
+        std::make_tuple(40, 40, 40), std::make_tuple(128, 4, 32)));
+
+TEST(ReferenceGemm, TiledWithOversizeTilesEqualsUntiled)
+{
+    const GemmShape s(20, 6, 24);
+    Rng rng(99);
+    const auto a = randomMatrix(s.m, s.k, rng);
+    const auto b = randomMatrix(s.k, s.n, rng);
+    const auto whole = gemmTiledOuterProduct(s, a, b, 1024, 1024);
+    const auto outer = gemmOuterProduct(s, a, b);
+    EXPECT_LT(maxDiff(whole, outer), 1e-5);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the roofline analysis: classification correctness and the
+ * paper's Section III-C structural findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "models/zoo.h"
+#include "sim/roofline.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(Roofline, MachineBalanceMatchesConfig)
+{
+    const AcceleratorConfig cfg = tpuV3Ws();
+    const RooflineSummary s = analyzeRoofline(
+        cfg, buildOpStream(resnet50(), TrainingAlgorithm::kSgd, 8));
+    // 16384 MACs/cycle over ~478.7 B/cycle ~ 34.2 MACs/B.
+    EXPECT_NEAR(s.machineBalance, 34.2, 0.1);
+}
+
+TEST(Roofline, OneVerdictPerOp)
+{
+    const OpStream stream =
+        buildOpStream(vgg16(), TrainingAlgorithm::kDpSgdR, 16);
+    const RooflineSummary s = analyzeRoofline(tpuV3Ws(), stream);
+    EXPECT_EQ(s.ops.size(), stream.ops.size());
+    EXPECT_EQ(s.computeBoundOps + s.memoryBoundOps, stream.ops.size());
+}
+
+TEST(Roofline, PostProcessingIsMemoryBoundOnWs)
+{
+    // Section III-C: norm/clip/reduce are memory-bandwidth limited.
+    const OpStream stream =
+        buildOpStream(resnet50(), TrainingAlgorithm::kDpSgd, 32);
+    const RooflineSummary s = analyzeRoofline(tpuV3Ws(), stream);
+    for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+        if (stream.ops[i].type != OpType::kGemm) {
+            EXPECT_EQ(s.ops[i].bound, Bound::kMemory)
+                << "op " << i << " (" << opTypeName(stream.ops[i].type)
+                << ")";
+        }
+    }
+}
+
+TEST(Roofline, NormOpsLeaveMemoryRooflineWithPpu)
+{
+    // With the PPU, norm derivation generates no DRAM traffic, so the
+    // norm ops become compute-classified (trivially cheap).
+    const OpStream stream =
+        buildOpStream(resnet50(), TrainingAlgorithm::kDpSgdR, 32);
+    const RooflineSummary s =
+        analyzeRoofline(divaDefault(true), stream);
+    for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+        if (stream.ops[i].type == OpType::kGradNorm) {
+            EXPECT_EQ(s.ops[i].bound, Bound::kCompute) << "op " << i;
+        }
+    }
+}
+
+TEST(Roofline, MemoryBoundShareDropsOnDiva)
+{
+    // The paper's end-to-end story in one number: most DP-SGD(R)
+    // cycles on WS sit under the memory roofline; DiVa+PPU moves the
+    // iteration to the compute region.
+    const OpStream stream =
+        buildOpStream(resnet152(), TrainingAlgorithm::kDpSgdR, 32);
+    const RooflineSummary ws = analyzeRoofline(tpuV3Ws(), stream);
+    const RooflineSummary dv =
+        analyzeRoofline(divaDefault(true), stream);
+    EXPECT_GT(ws.memoryBoundCycleShare, 0.4);
+    EXPECT_LT(dv.memoryBoundCycleShare, ws.memoryBoundCycleShare);
+}
+
+TEST(Roofline, EfficiencyBounded)
+{
+    const OpStream stream =
+        buildOpStream(bertBase(), TrainingAlgorithm::kDpSgdR, 8);
+    for (const auto &cfg : {tpuV3Ws(), divaDefault(true)}) {
+        const RooflineSummary s = analyzeRoofline(cfg, stream);
+        for (const auto &op : s.ops) {
+            EXPECT_GE(op.efficiency, 0.0);
+            EXPECT_LE(op.efficiency, 1.0);
+            EXPECT_GE(op.intensity, 0.0);
+        }
+    }
+}
+
+TEST(Roofline, BoundNames)
+{
+    EXPECT_STREQ(boundName(Bound::kCompute), "compute");
+    EXPECT_STREQ(boundName(Bound::kMemory), "memory");
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the whole-training-run projection (schedule module).
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "train/schedule.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(Schedule, BasicProjection)
+{
+    TrainingRunConfig run;
+    run.datasetSize = 50'000;
+    run.epochs = 10;
+    const TrainingRunSummary s = projectTrainingRun(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR, run);
+    EXPECT_GT(s.batch, 0);
+    EXPECT_EQ(s.stepsPerEpoch, 50'000 / s.batch);
+    EXPECT_EQ(s.totalSteps, s.stepsPerEpoch * 10);
+    EXPECT_GT(s.secondsPerStep, 0.0);
+    EXPECT_GT(s.examplesPerSecond, 0.0);
+    EXPECT_GT(s.totalEnergyKwh, 0.0);
+    EXPECT_GT(s.epsilon, 0.0);
+}
+
+TEST(Schedule, ExplicitBatchRespected)
+{
+    TrainingRunConfig run;
+    run.batch = 32;
+    const TrainingRunSummary s = projectTrainingRun(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR, run);
+    EXPECT_EQ(s.batch, 32);
+}
+
+TEST(Schedule, SgdHasNoPrivacyCost)
+{
+    TrainingRunConfig run;
+    run.batch = 64;
+    const TrainingRunSummary s = projectTrainingRun(
+        tpuV3Ws(), resnet50(), TrainingAlgorithm::kSgd, run);
+    EXPECT_DOUBLE_EQ(s.epsilon, 0.0);
+}
+
+TEST(Schedule, DivaFasterAndGreenerThanWs)
+{
+    TrainingRunConfig run;
+    run.epochs = 5;
+    const TrainingRunSummary ws = projectTrainingRun(
+        tpuV3Ws(), resnet152(), TrainingAlgorithm::kDpSgdR, run);
+    const TrainingRunSummary dv = projectTrainingRun(
+        divaDefault(true), resnet152(), TrainingAlgorithm::kDpSgdR,
+        run);
+    EXPECT_LT(dv.totalHours, ws.totalHours);
+    EXPECT_LT(dv.totalEnergyKwh, ws.totalEnergyKwh);
+    EXPECT_GT(dv.examplesPerSecond, ws.examplesPerSecond);
+    // Same algorithm, batch and noise -> identical privacy cost.
+    EXPECT_DOUBLE_EQ(dv.epsilon, ws.epsilon);
+}
+
+TEST(Schedule, MoreEpochsCostMoreTimeAndPrivacy)
+{
+    TrainingRunConfig short_run;
+    short_run.epochs = 5;
+    TrainingRunConfig long_run;
+    long_run.epochs = 50;
+    const TrainingRunSummary a = projectTrainingRun(
+        divaDefault(true), bertBase(), TrainingAlgorithm::kDpSgdR,
+        short_run);
+    const TrainingRunSummary b = projectTrainingRun(
+        divaDefault(true), bertBase(), TrainingAlgorithm::kDpSgdR,
+        long_run);
+    EXPECT_GT(b.totalHours, a.totalHours);
+    EXPECT_GT(b.epsilon, a.epsilon);
+    EXPECT_DOUBLE_EQ(a.secondsPerStep, b.secondsPerStep);
+}
+
+TEST(Schedule, MoreNoiseLessEpsilon)
+{
+    TrainingRunConfig low;
+    low.noiseMultiplier = 0.8;
+    TrainingRunConfig high;
+    high.noiseMultiplier = 2.0;
+    const TrainingRunSummary a = projectTrainingRun(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR, low);
+    const TrainingRunSummary b = projectTrainingRun(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR,
+        high);
+    EXPECT_GT(a.epsilon, b.epsilon);
+}
+
+TEST(Schedule, TargetEpsilonCalibratesNoise)
+{
+    TrainingRunConfig run;
+    run.epochs = 20;
+    run.targetEpsilon = 4.0;
+    const TrainingRunSummary s = projectTrainingRun(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR, run);
+    EXPECT_GT(s.noiseMultiplier, 0.0);
+    EXPECT_LE(s.epsilon, 4.0 + 1e-6);
+    // Stricter budget demands more noise.
+    TrainingRunConfig strict = run;
+    strict.targetEpsilon = 1.0;
+    const TrainingRunSummary t = projectTrainingRun(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR,
+        strict);
+    EXPECT_GT(t.noiseMultiplier, s.noiseMultiplier);
+}
+
+TEST(Schedule, RejectsOversizedModel)
+{
+    TrainingRunConfig run;
+    run.hbmBytes = 1_GiB;
+    EXPECT_THROW(projectTrainingRun(divaDefault(true), bertLarge(),
+                                    TrainingAlgorithm::kDpSgd, run),
+                 std::runtime_error);
+}
+
+TEST(Schedule, RejectsBatchExceedingMemory)
+{
+    TrainingRunConfig run;
+    run.batch = 1 << 20;
+    EXPECT_THROW(projectTrainingRun(divaDefault(true), resnet152(),
+                                    TrainingAlgorithm::kDpSgd, run),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace diva

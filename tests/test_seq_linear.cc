@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the time-series linear layer: Figure-6 third-row algebra,
+ * the Gram-matrix ghost-norm identity, and consistency with a plain
+ * Linear layer at L = 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dp/linear.h"
+#include "dp/seq_linear.h"
+#include "models/layer.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(SeqLinear, ForwardShape)
+{
+    Rng rng(1);
+    const SeqLinear layer(6, 4, 5, rng);
+    const Tensor x = Tensor::randn(3, 5 * 6, rng, 1.0);
+    const Tensor y = layer.forward(x);
+    EXPECT_EQ(y.rows(), 3);
+    EXPECT_EQ(y.cols(), 5 * 4);
+}
+
+TEST(SeqLinear, SharesWeightsAcrossTimesteps)
+{
+    Rng rng(2);
+    const SeqLinear layer(4, 3, 2, rng);
+    // The same input at both timesteps must give the same output.
+    Tensor x(1, 8);
+    Rng data(3);
+    for (int f = 0; f < 4; ++f) {
+        const float v = float(data.uniform(-1, 1));
+        x.at(0, f) = v;
+        x.at(0, 4 + f) = v;
+    }
+    const Tensor y = layer.forward(x);
+    for (int o = 0; o < 3; ++o)
+        EXPECT_FLOAT_EQ(y.at(0, o), y.at(0, 3 + o));
+}
+
+TEST(SeqLinear, LengthOneMatchesLinear)
+{
+    Rng rng_a(4), rng_b(4);
+    SeqLinear seq(5, 3, 1, rng_a);
+    Linear lin(5, 3, rng_b);
+    // Same init stream -> same weights.
+    ASSERT_LT(seq.weight().maxAbsDiff(lin.weight()), 1e-9);
+
+    Rng data(5);
+    const Tensor x = Tensor::randn(4, 5, data, 1.0);
+    const Tensor gy = Tensor::randn(4, 3, data, 1.0);
+    EXPECT_LT(seq.forward(x).maxAbsDiff(lin.forward(x)), 1e-5);
+    EXPECT_LT(seq.backwardInput(gy).maxAbsDiff(lin.backwardInput(gy)),
+              1e-5);
+    Tensor dw_s, db_s, dw_l, db_l;
+    seq.perBatchGrad(x, gy, dw_s, db_s);
+    lin.perBatchGrad(x, gy, dw_l, db_l);
+    EXPECT_LT(dw_s.maxAbsDiff(dw_l), 1e-4);
+    EXPECT_LT(db_s.maxAbsDiff(db_l), 1e-5);
+}
+
+TEST(SeqLinear, PerBatchEqualsSumOfPerExample)
+{
+    Rng rng(6);
+    const SeqLinear layer(6, 4, 3, rng);
+    const Tensor x = Tensor::randn(5, 3 * 6, rng, 1.0);
+    const Tensor gy = Tensor::randn(5, 3 * 4, rng, 1.0);
+    Tensor dw_b, db_b;
+    layer.perBatchGrad(x, gy, dw_b, db_b);
+    Tensor dw_sum(6, 4), db_sum(1, 4), dw_i, db_i;
+    for (std::int64_t i = 0; i < 5; ++i) {
+        layer.perExampleGrad(x, gy, i, dw_i, db_i);
+        dw_sum.add(dw_i);
+        db_sum.add(db_i);
+    }
+    EXPECT_LT(dw_b.maxAbsDiff(dw_sum), 1e-4);
+    EXPECT_LT(db_b.maxAbsDiff(db_sum), 1e-4);
+}
+
+TEST(SeqLinear, GhostNormMatchesMaterializedNorm)
+{
+    // The Gram-matrix identity must agree with the materialized
+    // gradient norm for every example.
+    Rng rng(7);
+    const SeqLinear layer(8, 5, 6, rng);
+    const Tensor x = Tensor::randn(4, 6 * 8, rng, 1.0);
+    const Tensor gy = Tensor::randn(4, 6 * 5, rng, 1.0);
+    Tensor dw, db;
+    for (std::int64_t i = 0; i < 4; ++i) {
+        layer.perExampleGrad(x, gy, i, dw, db);
+        const double materialized = dw.l2NormSq() + db.l2NormSq();
+        EXPECT_NEAR(layer.perExampleGradNormSq(x, gy, i), materialized,
+                    1e-4 * std::max(1.0, materialized))
+            << "example " << i;
+    }
+}
+
+TEST(SeqLinear, GhostNormHasCrossTimestepTerms)
+{
+    // With L > 1 the norm is NOT the sum of per-timestep norms: the
+    // cross terms (x_t.x_s)(g_t.g_s) matter. Construct a case where
+    // both timesteps carry identical (x, g): the true squared norm is
+    // 4x the single-step one, not 2x.
+    Rng rng(8);
+    SeqLinear layer(3, 2, 2, rng);
+    Tensor x(1, 6), gy(1, 4);
+    for (int f = 0; f < 3; ++f)
+        x.at(0, f) = x.at(0, 3 + f) = float(f + 1);
+    for (int o = 0; o < 2; ++o)
+        gy.at(0, o) = gy.at(0, 2 + o) = float(o + 1);
+    SeqLinear single(3, 2, 1, rng);
+    Tensor x1(1, 3), g1(1, 2);
+    for (int f = 0; f < 3; ++f)
+        x1.at(0, f) = float(f + 1);
+    for (int o = 0; o < 2; ++o)
+        g1.at(0, o) = float(o + 1);
+    const double one = single.perExampleGradNormSq(x1, g1, 0);
+    const double two = layer.perExampleGradNormSq(x, gy, 0);
+    EXPECT_NEAR(two, 4.0 * one, 1e-6 * std::max(1.0, one));
+}
+
+TEST(SeqLinear, InputGradMatchesFiniteDifferences)
+{
+    Rng rng(9);
+    const SeqLinear layer(4, 3, 2, rng);
+    Tensor x = Tensor::randn(1, 2 * 4, rng, 1.0);
+    const Tensor gy = Tensor::randn(1, 2 * 3, rng, 1.0);
+    const Tensor gx = layer.backwardInput(gy);
+
+    auto loss = [&]() {
+        const Tensor y = layer.forward(x);
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < y.size(); ++i)
+            acc += double(y[i]) * double(gy[i]);
+        return acc;
+    };
+    const double eps = 1e-3;
+    for (std::int64_t idx = 0; idx < x.size(); ++idx) {
+        const float orig = x[idx];
+        x[idx] = float(orig + eps);
+        const double fp = loss();
+        x[idx] = float(orig - eps);
+        const double fm = loss();
+        x[idx] = orig;
+        EXPECT_NEAR(gx[idx], (fp - fm) / (2 * eps), 1e-2);
+    }
+}
+
+TEST(SeqLinear, ShapeMatchesFigure6ThirdRow)
+{
+    // dW_i dims must equal the analytic (I, L, O) GEMM output dims.
+    const Layer analytic =
+        Layer::timeSeriesLinear("proj", 16, 12, 10);
+    const GemmInstance gi = analytic.perExampleWGradGemm(4);
+    ASSERT_EQ(gi.shape, GemmShape(16, 10, 12));
+
+    Rng rng(10);
+    const SeqLinear layer(16, 12, 10, rng);
+    const Tensor x = Tensor::randn(4, 10 * 16, rng, 1.0);
+    const Tensor gy = Tensor::randn(4, 10 * 12, rng, 1.0);
+    Tensor dw, db;
+    layer.perExampleGrad(x, gy, 2, dw, db);
+    EXPECT_EQ(dw.rows(), gi.shape.m);
+    EXPECT_EQ(dw.cols(), gi.shape.n);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for op-level tracing: completeness vs the aggregate result,
+ * top-k selection and report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/accelerator_config.h"
+#include "models/zoo.h"
+#include "sim/executor.h"
+#include "sim/trace.h"
+#include "train/planner.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(Trace, OneRecordPerOp)
+{
+    const OpStream stream =
+        buildOpStream(resnet50(), TrainingAlgorithm::kDpSgdR, 16);
+    Trace trace;
+    Executor(divaDefault(true)).run(stream, &trace);
+    EXPECT_EQ(trace.size(), stream.ops.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].index, i);
+}
+
+TEST(Trace, CyclesSumToAggregate)
+{
+    const OpStream stream =
+        buildOpStream(vgg16(), TrainingAlgorithm::kDpSgdR, 16);
+    for (const auto &cfg :
+         {tpuV3Ws(), systolicOs(true), divaDefault(true)}) {
+        Trace trace;
+        const SimResult r = Executor(cfg).run(stream, &trace);
+        Cycles sum = 0;
+        Bytes dram = 0;
+        Macs macs = 0;
+        for (const auto &t : trace) {
+            sum += t.cycles;
+            dram += t.dramBytes;
+            macs += t.macs;
+        }
+        EXPECT_EQ(sum, r.totalCycles()) << cfg.name;
+        EXPECT_EQ(dram, r.totalDram().total()) << cfg.name;
+        EXPECT_EQ(macs, r.totalMacs()) << cfg.name;
+    }
+}
+
+TEST(Trace, NullTraceUnchangedResult)
+{
+    const OpStream stream =
+        buildOpStream(bertBase(), TrainingAlgorithm::kDpSgdR, 4);
+    const Executor exec(divaDefault(true));
+    Trace trace;
+    const SimResult with = exec.run(stream, &trace);
+    const SimResult without = exec.run(stream);
+    EXPECT_EQ(with.totalCycles(), without.totalCycles());
+}
+
+TEST(Trace, GemmDetailCarriesShape)
+{
+    const OpStream stream =
+        buildOpStream(bertBase(), TrainingAlgorithm::kSgd, 4);
+    Trace trace;
+    Executor(tpuV3Ws()).run(stream, &trace);
+    bool found = false;
+    for (const auto &t : trace) {
+        if (t.type == OpType::kGemm) {
+            EXPECT_NE(t.detail.find('x'), std::string::npos);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Trace, TopOpsSortedAndBounded)
+{
+    const OpStream stream =
+        buildOpStream(resnet152(), TrainingAlgorithm::kDpSgdR, 64);
+    Trace trace;
+    Executor(tpuV3Ws()).run(stream, &trace);
+    const auto top = topOpsByCycles(trace, 5);
+    ASSERT_EQ(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].cycles, top[i].cycles);
+    // At a realistic DP batch, the hot set on WS must include the
+    // per-example grad GEMMs or the norm derivation (Figure 5).
+    bool bottleneck_in_top = false;
+    for (const auto &t : top) {
+        bottleneck_in_top = bottleneck_in_top ||
+                            t.stage == Stage::kPerExampleGrad ||
+                            t.stage == Stage::kGradNorm;
+    }
+    EXPECT_TRUE(bottleneck_in_top);
+}
+
+TEST(Trace, TopOpsHandlesShortTraces)
+{
+    Trace trace;
+    trace.push_back({});
+    EXPECT_EQ(topOpsByCycles(trace, 10).size(), 1u);
+    EXPECT_EQ(topOpsByCycles({}, 10).size(), 0u);
+}
+
+TEST(Trace, LayerCyclesAggregates)
+{
+    const OpStream stream =
+        buildOpStream(vgg16(), TrainingAlgorithm::kSgd, 8);
+    Trace trace;
+    Executor(tpuV3Ws()).run(stream, &trace);
+    // block1.conv1 appears in forward and per-batch wgrad (act-grad is
+    // skipped for the first layer).
+    const Cycles c = layerCycles(trace, "block1.conv1");
+    EXPECT_GT(c, 0u);
+    EXPECT_EQ(layerCycles(trace, "no-such-layer"), 0u);
+}
+
+TEST(Trace, ReportRenders)
+{
+    const OpStream stream =
+        buildOpStream(mobilenet(), TrainingAlgorithm::kDpSgdR, 8);
+    Trace trace;
+    Executor(divaDefault(true)).run(stream, &trace);
+    std::ostringstream oss;
+    printTraceReport(oss, trace, 5);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("cycles total"), std::string::npos);
+    EXPECT_NE(out.find("Fwdprop"), std::string::npos);
+    EXPECT_NE(out.find("gemm"), std::string::npos);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the tiled-GEMM DRAM traffic model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator_config.h"
+#include "gemm/traffic_model.h"
+#include "mem/sram_buffer.h"
+
+namespace diva
+{
+namespace
+{
+
+class TrafficModelTest : public ::testing::Test
+{
+  protected:
+    SramBuffer sram_{tpuV3Ws()};
+    GemmOptions opt_;
+};
+
+TEST_F(TrafficModelTest, SmallGemmReadsOperandsOnceWritesOutput)
+{
+    const GemmShape s(128, 128, 128);
+    const DramTraffic t = gemmDramTraffic(s, sram_, 2, 4, opt_);
+    EXPECT_EQ(t.readBytes, s.lhsBytes(2) + s.rhsBytes(2));
+    EXPECT_EQ(t.writeBytes, s.outBytes(4));
+}
+
+TEST_F(TrafficModelTest, OutputWriteSuppressed)
+{
+    const GemmShape s(128, 128, 128);
+    GemmOptions opt;
+    opt.writeOutputToDram = false;
+    const DramTraffic t = gemmDramTraffic(s, sram_, 2, 4, opt);
+    EXPECT_EQ(t.writeBytes, 0u);
+    EXPECT_GT(t.readBytes, 0u);
+}
+
+TEST_F(TrafficModelTest, ResidentOperandsSkipReads)
+{
+    const GemmShape s(128, 128, 128);
+    GemmOptions opt;
+    opt.lhsFromDram = false;
+    const DramTraffic t = gemmDramTraffic(s, sram_, 2, 4, opt);
+    EXPECT_EQ(t.readBytes, s.rhsBytes(2));
+
+    opt.lhsFromDram = true;
+    opt.rhsFromDram = false;
+    const DramTraffic t2 = gemmDramTraffic(s, sram_, 2, 4, opt);
+    EXPECT_EQ(t2.readBytes, s.lhsBytes(2));
+}
+
+TEST_F(TrafficModelTest, FittingRhsIsReadOnce)
+{
+    // RHS of 1024x1024x2B = 2 MiB fits in the 4 MiB partition even
+    // though the LHS (64 MiB) does not.
+    const GemmShape s(32768, 1024, 1024);
+    ASSERT_GT(s.lhsBytes(2), sram_.lhsCapacity());
+    ASSERT_LE(s.rhsBytes(2), sram_.rhsCapacity());
+    const DramTraffic t = gemmDramTraffic(s, sram_, 2, 4, opt_);
+    EXPECT_EQ(t.readBytes, s.lhsBytes(2) + s.rhsBytes(2));
+}
+
+TEST_F(TrafficModelTest, HugeGemmPaysMultiplePasses)
+{
+    // Both operands exceed their partitions: traffic must exceed the
+    // compulsory minimum.
+    const GemmShape s(16384, 16384, 16384);
+    ASSERT_GT(s.lhsBytes(2), sram_.lhsCapacity());
+    ASSERT_GT(s.rhsBytes(2), sram_.rhsCapacity());
+    const DramTraffic t = gemmDramTraffic(s, sram_, 2, 4, opt_);
+    EXPECT_GT(t.readBytes, s.lhsBytes(2) + s.rhsBytes(2));
+    EXPECT_EQ(t.writeBytes, s.outBytes(4));
+}
+
+TEST_F(TrafficModelTest, TrafficMonotonicInProblemSize)
+{
+    const DramTraffic small =
+        gemmDramTraffic(GemmShape(1024, 1024, 1024), sram_, 2, 4, opt_);
+    const DramTraffic large =
+        gemmDramTraffic(GemmShape(8192, 8192, 8192), sram_, 2, 4, opt_);
+    EXPECT_GT(large.total(), small.total());
+}
+
+TEST_F(TrafficModelTest, LargerSramNeverIncreasesTraffic)
+{
+    AcceleratorConfig big = tpuV3Ws();
+    big.sramBytes = 128_MiB;
+    const SramBuffer big_sram(big);
+    const GemmShape s(16384, 16384, 16384);
+    const DramTraffic t_small = gemmDramTraffic(s, sram_, 2, 4, opt_);
+    const DramTraffic t_big = gemmDramTraffic(s, big_sram, 2, 4, opt_);
+    EXPECT_LE(t_big.total(), t_small.total());
+}
+
+TEST_F(TrafficModelTest, RejectsInvalidShape)
+{
+    EXPECT_THROW(gemmDramTraffic(GemmShape(0, 1, 1), sram_, 2, 4, opt_),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace diva

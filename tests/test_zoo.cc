@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the nine-network model zoo: structural sanity, parameter
+ * counts in the published ranges, and sensitivity-scaling behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace diva
+{
+namespace
+{
+
+TEST(Zoo, AllModelsPresentInPaperOrder)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 9u);
+    EXPECT_EQ(models[0].name, "VGG-16");
+    EXPECT_EQ(models[1].name, "ResNet-50");
+    EXPECT_EQ(models[2].name, "ResNet-152");
+    EXPECT_EQ(models[3].name, "SqueezeNet");
+    EXPECT_EQ(models[4].name, "MobileNet");
+    EXPECT_EQ(models[5].name, "BERT-base");
+    EXPECT_EQ(models[6].name, "BERT-large");
+    EXPECT_EQ(models[7].name, "LSTM-small");
+    EXPECT_EQ(models[8].name, "LSTM-large");
+}
+
+TEST(Zoo, FamiliesMatchPaperGrouping)
+{
+    const auto models = allModels();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(models[std::size_t(i)].family, ModelFamily::kCnn);
+    EXPECT_EQ(models[5].family, ModelFamily::kTransformer);
+    EXPECT_EQ(models[6].family, ModelFamily::kTransformer);
+    EXPECT_EQ(models[7].family, ModelFamily::kRnn);
+    EXPECT_EQ(models[8].family, ModelFamily::kRnn);
+}
+
+TEST(Zoo, EveryModelIsWellFormed)
+{
+    for (const auto &net : allModels()) {
+        EXPECT_FALSE(net.layers.empty()) << net.name;
+        EXPECT_GT(net.paramCount(), 0) << net.name;
+        EXPECT_GT(net.inputElemsPerExample, 0u) << net.name;
+        EXPECT_GT(net.activationElemsPerExample(),
+                  net.inputElemsPerExample)
+            << net.name;
+        EXPECT_GT(net.numWeightedLayers(), 0) << net.name;
+        EXPECT_GE(net.paramCount(), net.maxLayerParamCount())
+            << net.name;
+    }
+}
+
+TEST(Zoo, ResNet50ConvCount)
+{
+    // 1 stem + 3*(3+4+6+3) bottleneck convs + 4 downsamples + 1 fc.
+    const Network net = resnet50();
+    int convs = 0, fcs = 0;
+    for (const auto &l : net.layers) {
+        convs += l.kind == LayerKind::kConv2d ? 1 : 0;
+        fcs += l.kind == LayerKind::kLinear ? 1 : 0;
+    }
+    EXPECT_EQ(convs, 1 + 3 * 16 + 4);
+    EXPECT_EQ(fcs, 1);
+}
+
+TEST(Zoo, ParamCountsInPublishedRange)
+{
+    // Backbone parameter counts (CIFAR heads shrink the classifiers,
+    // so we check the published order of magnitude).
+    EXPECT_NEAR(double(resnet50().paramCount()), 23.5e6, 1.5e6);
+    EXPECT_NEAR(double(resnet152().paramCount()), 58.0e6, 3e6);
+    EXPECT_NEAR(double(bertBase().paramCount()), 85.0e6, 5e6);
+    EXPECT_NEAR(double(bertLarge().paramCount()), 302.0e6, 15e6);
+    EXPECT_LT(squeezenet().paramCount(), 2'000'000);
+    EXPECT_NEAR(double(mobilenet().paramCount()), 3.2e6, 1e6);
+}
+
+TEST(Zoo, RelativeModelSizes)
+{
+    EXPECT_GT(resnet152().paramCount(), resnet50().paramCount());
+    EXPECT_GT(bertLarge().paramCount(), bertBase().paramCount());
+    EXPECT_GT(lstmLarge().paramCount(), lstmSmall().paramCount());
+    EXPECT_LT(squeezenet().paramCount(), vgg16().paramCount());
+}
+
+TEST(Zoo, BertLayerStructure)
+{
+    const Network net = bertBase();
+    // 12 encoders x 8 layers + classifier.
+    EXPECT_EQ(net.layers.size(), 12u * 8u + 1u);
+    int attn = 0;
+    for (const auto &l : net.layers)
+        attn += l.kind == LayerKind::kAttentionMatmul ? 1 : 0;
+    EXPECT_EQ(attn, 24);
+}
+
+TEST(Zoo, LstmHasSequentialRecurrentLayers)
+{
+    const Network net = lstmLarge();
+    int sequential = 0;
+    for (const auto &l : net.layers)
+        sequential += l.sequential ? 1 : 0;
+    EXPECT_EQ(sequential, 2); // one hh projection per LSTM layer
+}
+
+TEST(Zoo, ImageSizeScalingGrowsActivationsNotParams)
+{
+    const Network base = resnet50(32);
+    const Network big = resnet50(64);
+    EXPECT_EQ(base.paramCount(), big.paramCount());
+    EXPECT_GT(big.activationElemsPerExample(),
+              2 * base.activationElemsPerExample());
+}
+
+TEST(Zoo, SeqLenScalingGrowsActivationsNotParams)
+{
+    const Network base = bertBase(32);
+    const Network big = bertBase(256);
+    EXPECT_EQ(base.paramCount(), big.paramCount());
+    EXPECT_GT(big.activationElemsPerExample(),
+              4 * base.activationElemsPerExample());
+}
+
+TEST(Zoo, BreakdownSubsetMatchesFigure14)
+{
+    const auto subset = breakdownModels();
+    ASSERT_EQ(subset.size(), 4u);
+    EXPECT_EQ(subset[0].name, "VGG-16");
+    EXPECT_EQ(subset[1].name, "ResNet-152");
+    EXPECT_EQ(subset[2].name, "BERT-large");
+    EXPECT_EQ(subset[3].name, "LSTM-large");
+}
+
+TEST(Zoo, FamilyNames)
+{
+    EXPECT_STREQ(familyName(ModelFamily::kCnn), "CNN");
+    EXPECT_STREQ(familyName(ModelFamily::kTransformer), "Transformer");
+    EXPECT_STREQ(familyName(ModelFamily::kRnn), "RNN");
+}
+
+/** All CNNs must survive the sensitivity image-size sweep. */
+class CnnImageSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CnnImageSweep, BuildsAtScaledSize)
+{
+    const auto [model_idx, size] = GetParam();
+    Network net;
+    switch (model_idx) {
+      case 0: net = vgg16(size); break;
+      case 1: net = resnet50(size); break;
+      case 2: net = resnet152(size); break;
+      case 3: net = squeezenet(size); break;
+      default: net = mobilenet(size); break;
+    }
+    EXPECT_GT(net.paramCount(), 0);
+    EXPECT_GT(net.activationElemsPerExample(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sensitivity, CnnImageSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(32, 64, 128, 256)));
+
+} // namespace
+} // namespace diva

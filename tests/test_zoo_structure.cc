@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Deep structural checks of the model zoo: spatial propagation,
+ * per-stage channel schedules and GEMM totals for each benchmark
+ * network, guarding the builders against silent drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "models/zoo.h"
+
+namespace diva
+{
+namespace
+{
+
+const Layer *
+findLayer(const Network &net, const std::string &name)
+{
+    for (const auto &l : net.layers)
+        if (l.name == name)
+            return &l;
+    return nullptr;
+}
+
+TEST(ZooStructure, Vgg16BlocksAndPools)
+{
+    const Network net = vgg16();
+    // 13 convs + 5 pools + 3 FCs.
+    int convs = 0, pools = 0, fcs = 0;
+    for (const auto &l : net.layers) {
+        convs += l.kind == LayerKind::kConv2d ? 1 : 0;
+        pools += l.kind == LayerKind::kPool ? 1 : 0;
+        fcs += l.kind == LayerKind::kLinear ? 1 : 0;
+    }
+    EXPECT_EQ(convs, 13);
+    EXPECT_EQ(pools, 5);
+    EXPECT_EQ(fcs, 3);
+
+    // 32x32 input: block5 convs run at 2x2.
+    const Layer *b5 = findLayer(net, "block5.conv1");
+    ASSERT_NE(b5, nullptr);
+    EXPECT_EQ(b5->inH, 2);
+    EXPECT_EQ(b5->inChannels, 512);
+
+    // The classifier head sees 512 x 1 x 1 after the fifth pool.
+    const Layer *fc1 = findLayer(net, "fc1");
+    ASSERT_NE(fc1, nullptr);
+    EXPECT_EQ(fc1->inFeatures, 512);
+    EXPECT_EQ(fc1->outFeatures, 4096);
+}
+
+TEST(ZooStructure, Vgg16ScalesWithImageSize)
+{
+    const Network net = vgg16(64);
+    const Layer *fc1 = findLayer(net, "fc1");
+    ASSERT_NE(fc1, nullptr);
+    // 64/2^5 = 2 -> 512*2*2.
+    EXPECT_EQ(fc1->inFeatures, 512 * 2 * 2);
+}
+
+TEST(ZooStructure, ResNet50StageChannels)
+{
+    const Network net = resnet50();
+    const Layer *stem = findLayer(net, "conv1");
+    ASSERT_NE(stem, nullptr);
+    EXPECT_EQ(stem->outChannels, 64);
+    EXPECT_EQ(stem->stride, 2);
+
+    // Stage 4 bottlenecks end at 2048 channels.
+    const Layer *last = findLayer(net, "layer4.2.conv3");
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(last->outChannels, 2048);
+
+    // Exactly four projection shortcuts.
+    int downsamples = 0;
+    for (const auto &l : net.layers)
+        if (l.name.find("downsample") != std::string::npos)
+            ++downsamples;
+    EXPECT_EQ(downsamples, 4);
+}
+
+TEST(ZooStructure, ResNet152HasDeepStage3)
+{
+    const Network net = resnet152();
+    int stage3 = 0;
+    for (const auto &l : net.layers)
+        if (l.name.rfind("layer3.", 0) == 0 &&
+            l.name.find("conv2") != std::string::npos)
+            ++stage3;
+    EXPECT_EQ(stage3, 36);
+}
+
+TEST(ZooStructure, SqueezeNetFireModules)
+{
+    const Network net = squeezenet();
+    int squeezes = 0, expands = 0;
+    for (const auto &l : net.layers) {
+        if (l.name.find("squeeze") != std::string::npos)
+            ++squeezes;
+        if (l.name.find("expand") != std::string::npos)
+            ++expands;
+    }
+    EXPECT_EQ(squeezes, 8);
+    EXPECT_EQ(expands, 16);
+    // fire9 expands at 64/256.
+    const Layer *f9 = findLayer(net, "fire9.squeeze");
+    ASSERT_NE(f9, nullptr);
+    EXPECT_EQ(f9->outChannels, 64);
+}
+
+TEST(ZooStructure, MobileNetAlternatesDepthwisePointwise)
+{
+    const Network net = mobilenet();
+    int dw = 0, pw = 0;
+    for (const auto &l : net.layers) {
+        if (l.kind == LayerKind::kDepthwiseConv2d)
+            ++dw;
+        if (l.name.rfind("pw", 0) == 0) {
+            ++pw;
+            EXPECT_EQ(l.kernelH, 1) << l.name;
+        }
+    }
+    EXPECT_EQ(dw, 13);
+    EXPECT_EQ(pw, 13);
+    // Final pointwise reaches 1024 channels.
+    const Layer *last_pw = findLayer(net, "pw14");
+    ASSERT_NE(last_pw, nullptr);
+    EXPECT_EQ(last_pw->outChannels, 1024);
+}
+
+TEST(ZooStructure, BertProjectionDimensions)
+{
+    const Network net = bertBase();
+    const Layer *q = findLayer(net, "encoder0.q_proj");
+    const Layer *ffn = findLayer(net, "encoder0.ffn_in");
+    ASSERT_NE(q, nullptr);
+    ASSERT_NE(ffn, nullptr);
+    EXPECT_EQ(q->inFeatures, 768);
+    EXPECT_EQ(q->outFeatures, 768);
+    EXPECT_EQ(ffn->outFeatures, 3072);
+    EXPECT_EQ(q->seqLen, 32);
+
+    const Network large = bertLarge();
+    const Layer *ql = findLayer(large, "encoder0.q_proj");
+    ASSERT_NE(ql, nullptr);
+    EXPECT_EQ(ql->inFeatures, 1024);
+}
+
+TEST(ZooStructure, BertAttentionHeadGeometry)
+{
+    const Network net = bertBase();
+    const Layer *scores = findLayer(net, "encoder0.attn_scores");
+    ASSERT_NE(scores, nullptr);
+    EXPECT_EQ(scores->numHeads, 12);
+    EXPECT_EQ(scores->headDim, 64);
+    EXPECT_FALSE(scores->hasWeights());
+}
+
+TEST(ZooStructure, LstmGateDimensions)
+{
+    const Network net = lstmLarge();
+    const Layer *ih = findLayer(net, "lstm0.ih");
+    const Layer *hh = findLayer(net, "lstm0.hh");
+    ASSERT_NE(ih, nullptr);
+    ASSERT_NE(hh, nullptr);
+    EXPECT_EQ(ih->outFeatures, 4 * 1024); // i,f,g,o gates
+    EXPECT_FALSE(ih->sequential);
+    EXPECT_TRUE(hh->sequential);
+}
+
+TEST(ZooStructure, ActivationAccountingIncludesEveryLayer)
+{
+    // The per-example activation total must equal input plus the sum
+    // of every layer's output elements.
+    for (const auto &net : allModels()) {
+        Elems manual = net.inputElemsPerExample;
+        for (const auto &l : net.layers)
+            manual += l.outputElemsPerExample();
+        EXPECT_EQ(net.activationElemsPerExample(), manual) << net.name;
+    }
+}
+
+TEST(ZooStructure, ParamAccountingIncludesEveryLayer)
+{
+    for (const auto &net : allModels()) {
+        std::int64_t manual = 0;
+        for (const auto &l : net.layers)
+            manual += l.paramCount();
+        EXPECT_EQ(net.paramCount(), manual) << net.name;
+    }
+}
+
+TEST(ZooStructure, LayerNamesUnique)
+{
+    for (const auto &net : allModels()) {
+        std::map<std::string, int> seen;
+        for (const auto &l : net.layers)
+            seen[l.name]++;
+        for (const auto &[name, count] : seen)
+            EXPECT_EQ(count, 1) << net.name << ": " << name;
+    }
+}
+
+} // namespace
+} // namespace diva
