@@ -4,6 +4,12 @@
  * paper's Section IV-D discussion: the drain rate R (PPU width), the
  * on-chip SRAM capacity, the PE-array aspect ratio, and the DRAM
  * bandwidth. Each sweep reports DP-SGD(R) iteration cycles.
+ *
+ * All sections are driven by the sweep subsystem: each ablation is a
+ * SweepSpec whose config axis perturbs one parameter, executed on one
+ * shared SweepRunner so design points that recur across sections (the
+ * default DiVa config, the WS baseline) are simulated once and then
+ * served from the result cache.
  */
 
 #include <benchmark/benchmark.h>
@@ -12,92 +18,126 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "sim/multichip.h"
+#include "common/logging.h"
 #include "common/table.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
 
 using namespace diva;
 
 namespace
 {
 
-Cycles
-cyclesFor(const AcceleratorConfig &cfg, const Network &net)
+const std::vector<std::string> kNets = {"ResNet-50", "BERT-base"};
+
+using benchutil::runChecked;
+
+SweepSpec
+ablationSpec(std::vector<AcceleratorConfig> configs)
 {
-    return benchutil::runSim(cfg, net, TrainingAlgorithm::kDpSgdR,
-                             benchutil::dpBatch(net))
-        .totalCycles();
+    SweepSpec spec;
+    spec.configs = std::move(configs);
+    spec.models = kNets;
+    spec.algorithms = {TrainingAlgorithm::kDpSgdR};
+    spec.batches = {kAutoBatch};
+    return spec;
+}
+
+/** Cycles per (config index, model index) from an axis-major report. */
+Cycles
+cyclesAt(const SweepReport &report, std::size_t cfg_idx,
+         std::size_t model_idx)
+{
+    return report.results[cfg_idx * kNets.size() + model_idx].cycles;
 }
 
 void
 printAblation()
 {
-    const std::vector<Network> nets = {resnet50(), bertBase()};
+    SweepRunner runner;
 
     std::cout << "=== Ablation: PPU drain rate R (output rows/cycle) "
                  "===\n";
-    TextTable r_table({"R", "ResNet-50 cycles", "xR=8", "BERT-base "
-                       "cycles", "xR=8"});
-    std::vector<Cycles> base(nets.size());
-    for (std::size_t i = 0; i < nets.size(); ++i) {
-        AcceleratorConfig cfg = divaDefault(true);
-        base[i] = cyclesFor(cfg, nets[i]);
-    }
-    for (int r : {1, 2, 4, 8, 16, 32}) {
+    std::vector<AcceleratorConfig> r_configs;
+    const std::vector<int> r_values = {1, 2, 4, 8, 16, 32};
+    for (int r : r_values) {
         AcceleratorConfig cfg = divaDefault(true);
         cfg.drainRowsPerCycle = r;
-        std::vector<std::string> cells = {std::to_string(r)};
-        for (std::size_t i = 0; i < nets.size(); ++i) {
-            const Cycles c = cyclesFor(cfg, nets[i]);
+        r_configs.push_back(cfg);
+    }
+    const SweepReport r_report = runChecked(runner, ablationSpec(r_configs));
+    const std::size_t r8 =
+        std::size_t(std::find(r_values.begin(), r_values.end(), 8) -
+                    r_values.begin());
+    TextTable r_table({"R", "ResNet-50 cycles", "xR=8", "BERT-base "
+                       "cycles", "xR=8"});
+    for (std::size_t i = 0; i < r_values.size(); ++i) {
+        std::vector<std::string> cells = {std::to_string(r_values[i])};
+        for (std::size_t n = 0; n < kNets.size(); ++n) {
+            const Cycles c = cyclesAt(r_report, i, n);
             cells.push_back(std::to_string(c));
-            cells.push_back(
-                TextTable::fmt(double(c) / double(base[i]), 3));
+            cells.push_back(TextTable::fmt(
+                double(c) / double(cyclesAt(r_report, r8, n)), 3));
         }
         r_table.addRow(cells);
     }
     r_table.print(std::cout);
 
     std::cout << "\n=== Ablation: on-chip SRAM capacity ===\n";
+    std::vector<AcceleratorConfig> s_configs;
+    const std::vector<int> s_mibs = {2, 4, 8, 16, 32, 64};
+    for (int mib : s_mibs) {
+        AcceleratorConfig cfg = divaDefault(true);
+        cfg.sramBytes = Bytes(mib) * 1_MiB;
+        s_configs.push_back(cfg);
+    }
+    // The 16 MiB point is the default DiVa config already simulated in
+    // the R sweep (R=8): the runner serves it from the cache.
+    const SweepReport s_report = runChecked(runner, ablationSpec(s_configs));
     TextTable s_table({"SRAM (MiB)", "ResNet-50 cycles",
                        "BERT-base cycles"});
-    for (Bytes mib : {2, 4, 8, 16, 32, 64}) {
-        AcceleratorConfig cfg = divaDefault(true);
-        cfg.sramBytes = mib * 1_MiB;
-        s_table.addRow({std::to_string(mib),
-                        std::to_string(cyclesFor(cfg, nets[0])),
-                        std::to_string(cyclesFor(cfg, nets[1]))});
-    }
+    for (std::size_t i = 0; i < s_mibs.size(); ++i)
+        s_table.addRow({std::to_string(s_mibs[i]),
+                        std::to_string(cyclesAt(s_report, i, 0)),
+                        std::to_string(cyclesAt(s_report, i, 1))});
     s_table.print(std::cout);
 
     std::cout << "\n=== Ablation: PE-array aspect ratio (16384 MACs) "
                  "===\n";
-    TextTable a_table({"array", "ResNet-50 cycles", "BERT-base cycles"});
     struct Aspect { int rows; int cols; };
-    for (const Aspect a :
-         {Aspect{32, 512}, Aspect{64, 256}, Aspect{128, 128},
-          Aspect{256, 64}, Aspect{512, 32}}) {
+    const std::vector<Aspect> aspects = {
+        {32, 512}, {64, 256}, {128, 128}, {256, 64}, {512, 32}};
+    std::vector<AcceleratorConfig> a_configs;
+    for (const Aspect a : aspects) {
         AcceleratorConfig cfg = divaDefault(true);
         cfg.peRows = a.rows;
         cfg.peCols = a.cols;
         cfg.drainRowsPerCycle = std::min(cfg.drainRowsPerCycle, a.rows);
-        a_table.addRow({std::to_string(a.rows) + "x" +
-                            std::to_string(a.cols),
-                        std::to_string(cyclesFor(cfg, nets[0])),
-                        std::to_string(cyclesFor(cfg, nets[1]))});
+        a_configs.push_back(cfg);
     }
+    const SweepReport a_report = runChecked(runner, ablationSpec(a_configs));
+    TextTable a_table({"array", "ResNet-50 cycles", "BERT-base cycles"});
+    for (std::size_t i = 0; i < aspects.size(); ++i)
+        a_table.addRow({std::to_string(aspects[i].rows) + "x" +
+                            std::to_string(aspects[i].cols),
+                        std::to_string(cyclesAt(a_report, i, 0)),
+                        std::to_string(cyclesAt(a_report, i, 1))});
     a_table.print(std::cout);
 
     std::cout << "\n=== Ablation: WS double-buffered weight latches "
                  "===\n";
+    AcceleratorConfig ws_dbuf = tpuV3Ws();
+    ws_dbuf.wsDoubleBufferWeights = true;
+    ws_dbuf.name = "Systolic-WS+dbuf";
+    const SweepReport w_report = runChecked(runner,
+        ablationSpec({tpuV3Ws(), ws_dbuf, divaDefault(true)}));
     TextTable w_table({"model", "WS cycles", "WS+dbuf cycles",
                        "improvement", "DiVa speedup vs WS+dbuf"});
-    for (const auto &net : nets) {
-        AcceleratorConfig ws = tpuV3Ws();
-        AcceleratorConfig ws_dbuf = tpuV3Ws();
-        ws_dbuf.wsDoubleBufferWeights = true;
-        const Cycles c0 = cyclesFor(ws, net);
-        const Cycles c1 = cyclesFor(ws_dbuf, net);
-        const Cycles cd = cyclesFor(divaDefault(true), net);
-        w_table.addRow({net.name, std::to_string(c0),
+    for (std::size_t n = 0; n < kNets.size(); ++n) {
+        const Cycles c0 = cyclesAt(w_report, 0, n);
+        const Cycles c1 = cyclesAt(w_report, 1, n);
+        const Cycles cd = cyclesAt(w_report, 2, n);
+        w_table.addRow({kNets[n], std::to_string(c0),
                         std::to_string(c1),
                         TextTable::fmtX(double(c0) / double(c1), 3),
                         TextTable::fmtX(double(c1) / double(cd))});
@@ -108,19 +148,22 @@ printAblation()
                  "DP max) ===\n";
     TextTable m_table({"model", "micro-batch", "WS cycles",
                        "DiVa cycles", "DiVa speedup"});
-    for (const auto &net : nets) {
-        const int dp_batch = benchutil::dpBatch(net);
-        const int logical = 4 * dp_batch;
-        for (int mb : {dp_batch, dp_batch / 4, dp_batch / 16}) {
-            if (mb < 1)
-                continue;
-            const OpStream stream = buildMicrobatchedOpStream(
-                net, TrainingAlgorithm::kDpSgdR, logical, mb);
-            const Cycles cw = Executor(tpuV3Ws()).run(stream)
-                                  .totalCycles();
-            const Cycles cd =
-                Executor(divaDefault(true)).run(stream).totalCycles();
-            m_table.addRow({net.name, std::to_string(mb),
+    for (const std::string &net : kNets) {
+        const int dp_batch = benchutil::dpBatch(buildModel(net));
+        SweepSpec spec = ablationSpec({tpuV3Ws(), divaDefault(true)});
+        spec.models = {net};
+        spec.batches = {4 * dp_batch};
+        spec.microbatches.clear();
+        for (int mb : {dp_batch, dp_batch / 4, dp_batch / 16})
+            if (mb >= 1)
+                spec.microbatches.push_back(mb);
+        const SweepReport report = runChecked(runner, spec);
+        const std::size_t num_mb = spec.microbatches.size();
+        for (std::size_t i = 0; i < num_mb; ++i) {
+            const Cycles cw = report.results[i].cycles;
+            const Cycles cd = report.results[num_mb + i].cycles;
+            m_table.addRow({net,
+                            std::to_string(spec.microbatches[i]),
                             std::to_string(cw), std::to_string(cd),
                             TextTable::fmtX(double(cw) / double(cd))});
         }
@@ -128,16 +171,22 @@ printAblation()
     m_table.print(std::cout);
 
     std::cout << "\n=== Ablation: DRAM bandwidth (GB/s) ===\n";
+    const std::vector<double> bws = {112.5, 225.0, 450.0, 900.0, 1800.0};
+    std::vector<AcceleratorConfig> b_configs;
+    for (double bw : bws)
+        for (AcceleratorConfig cfg : {tpuV3Ws(), divaDefault(true)}) {
+            cfg.dramBandwidthGBs = bw;
+            b_configs.push_back(cfg);
+        }
+    SweepSpec b_spec = ablationSpec(std::move(b_configs));
+    b_spec.models = {"ResNet-50"};
+    const SweepReport b_report = runChecked(runner, b_spec);
     TextTable b_table({"bandwidth", "WS ResNet-50", "DiVa ResNet-50",
                        "DiVa speedup"});
-    for (double bw : {112.5, 225.0, 450.0, 900.0, 1800.0}) {
-        AcceleratorConfig ws = tpuV3Ws();
-        AcceleratorConfig dv = divaDefault(true);
-        ws.dramBandwidthGBs = bw;
-        dv.dramBandwidthGBs = bw;
-        const Cycles cw = cyclesFor(ws, nets[0]);
-        const Cycles cd = cyclesFor(dv, nets[0]);
-        b_table.addRow({TextTable::fmt(bw, 1), std::to_string(cw),
+    for (std::size_t i = 0; i < bws.size(); ++i) {
+        const Cycles cw = b_report.results[2 * i].cycles;
+        const Cycles cd = b_report.results[2 * i + 1].cycles;
+        b_table.addRow({TextTable::fmt(bws[i], 1), std::to_string(cw),
                         std::to_string(cd),
                         TextTable::fmtX(double(cw) / double(cd))});
     }
@@ -145,22 +194,34 @@ printAblation()
 
     std::cout << "\n=== Ablation: data-parallel pod scaling "
                  "(ResNet-152, global batch 512) ===\n";
-    TextTable p_table({"chips", "per-chip batch", "WS total cycles",
-                       "DiVa total cycles", "DiVa efficiency"});
-    for (int chips : {1, 2, 4, 8, 16, 32}) {
+    const std::vector<int> chip_counts = {1, 2, 4, 8, 16, 32};
+    SweepSpec p_spec;
+    p_spec.configs = {tpuV3Ws(), divaDefault(true)};
+    p_spec.models = {"ResNet-152"};
+    p_spec.algorithms = {TrainingAlgorithm::kDpSgdR};
+    p_spec.batches = {512};
+    p_spec.backends = {SweepBackend::kMultiChip};
+    for (int chips : chip_counts) {
         MultiChipConfig pod;
         pod.numChips = chips;
-        const ScalingResult ws = simulateDataParallel(
-            tpuV3Ws(), resnet152(), TrainingAlgorithm::kDpSgdR, 512,
-            pod);
-        const ScalingResult dv = simulateDataParallel(
-            divaDefault(true), resnet152(), TrainingAlgorithm::kDpSgdR,
-            512, pod);
-        p_table.addRow({std::to_string(chips),
-                        std::to_string(dv.perChipBatch),
-                        std::to_string(ws.totalCycles),
-                        std::to_string(dv.totalCycles),
-                        TextTable::fmtPct(dv.efficiency)});
+        p_spec.pods.push_back(pod);
+    }
+    const SweepReport p_report = runChecked(runner, p_spec);
+    // Efficiency baseline: the 1-chip pod of the same design point.
+    TextTable p_table({"chips", "per-chip batch", "WS total cycles",
+                       "DiVa total cycles", "DiVa efficiency"});
+    const std::size_t num_pods = chip_counts.size();
+    for (std::size_t i = 0; i < num_pods; ++i) {
+        const Cycles ws_c = p_report.results[i].cycles;
+        const Cycles dv_c = p_report.results[num_pods + i].cycles;
+        const Cycles dv_single = p_report.results[num_pods].cycles;
+        p_table.addRow(
+            {std::to_string(chip_counts[i]),
+             std::to_string(ceilDiv(512, chip_counts[i])),
+             std::to_string(ws_c), std::to_string(dv_c),
+             TextTable::fmtPct(double(dv_single) /
+                               (double(chip_counts[i]) *
+                                double(dv_c)))});
     }
     p_table.print(std::cout);
     std::cout << "\n";
@@ -183,6 +244,31 @@ BENCHMARK(BM_AblationDrainRate)
     ->Arg(8)
     ->Arg(32)
     ->Unit(benchmark::kMicrosecond);
+
+/** Throughput of the sweep engine itself over a 24-scenario spec. */
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    SweepSpec spec;
+    spec.configs = {tpuV3Ws(), systolicOs(true), divaDefault(false),
+                    divaDefault(true)};
+    spec.models = {"ResNet-50", "BERT-base"};
+    spec.algorithms = {TrainingAlgorithm::kDpSgd,
+                       TrainingAlgorithm::kDpSgdR};
+    spec.batches = {16};
+    spec.microbatches = {0};
+    const std::vector<Scenario> scenarios = spec.expand().scenarios;
+    SweepOptions opts;
+    opts.threads = int(state.range(0));
+    opts.cacheAcrossRuns = false; // measure simulation, not the cache
+    SweepRunner runner(opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(scenarios).results.size());
+}
+BENCHMARK(BM_SweepRunner)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

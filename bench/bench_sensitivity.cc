@@ -6,68 +6,81 @@
  * inputs populate systolic arrays better, so the advantage shrinks:
  * the paper reports 3.6x/2.1x/1.7x (images) and 2.0x/1.6x/1.5x
  * (sequences).
+ *
+ * Both tables are one SweepSpec each: the input scale is a sweep axis
+ * ({WS, DiVa} x models x scales), and speedups are read off the
+ * axis-major report.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <functional>
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/logging.h"
 #include "common/table.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
 
 using namespace diva;
 
 namespace
 {
 
-double
-speedupAt(const Network &net)
+const std::vector<int> kScales = {32, 64, 128, 256};
+
+/**
+ * Sweep {WS, DiVa} x models x scales and print one speedup row per
+ * model; returns per-scale speedup columns for the geomean footer.
+ */
+std::vector<std::vector<double>>
+printSpeedups(SweepRunner &runner, const std::vector<std::string> &models,
+              TextTable &table)
 {
-    const int batch = benchutil::dpBatch(net);
-    const Cycles ws = benchutil::runSim(
-        tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, batch)
-        .totalCycles();
-    const Cycles dv = benchutil::runSim(
-        divaDefault(true), net, TrainingAlgorithm::kDpSgdR, batch)
-        .totalCycles();
-    return double(ws) / double(dv);
+    SweepSpec spec;
+    spec.configs = {tpuV3Ws(), divaDefault(true)};
+    spec.models = models;
+    spec.modelScales = kScales;
+    spec.algorithms = {TrainingAlgorithm::kDpSgdR};
+    spec.batches = {kAutoBatch};
+    const SweepReport report = benchutil::runChecked(runner, spec);
+
+    const std::size_t num_scales = kScales.size();
+    auto cycles = [&](std::size_t cfg, std::size_t model,
+                      std::size_t scale) {
+        return report
+            .results[(cfg * models.size() + model) * num_scales + scale]
+            .cycles;
+    };
+
+    std::vector<std::vector<double>> cols(num_scales);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        std::vector<std::string> cells = {models[m]};
+        for (std::size_t s = 0; s < num_scales; ++s) {
+            const double speedup =
+                double(cycles(0, m, s)) / double(cycles(1, m, s));
+            cells.push_back(TextTable::fmtX(speedup));
+            cols[s].push_back(speedup);
+        }
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+    return cols;
 }
 
 void
 printSensitivity()
 {
-    using Builder = std::function<Network(int)>;
-    const std::vector<std::pair<const char *, Builder>> cnns = {
-        {"VGG-16", [](int s) { return vgg16(s); }},
-        {"ResNet-50", [](int s) { return resnet50(s); }},
-        {"ResNet-152", [](int s) { return resnet152(s); }},
-        {"SqueezeNet", [](int s) { return squeezenet(s); }},
-        {"MobileNet", [](int s) { return mobilenet(s); }},
-    };
-    const std::vector<std::pair<const char *, Builder>> nlps = {
-        {"BERT-base", [](int l) { return bertBase(l); }},
-        {"BERT-large", [](int l) { return bertLarge(l); }},
-        {"LSTM-small", [](int l) { return lstmSmall(l); }},
-        {"LSTM-large", [](int l) { return lstmLarge(l); }},
-    };
+    SweepRunner runner;
 
     std::cout << "=== Section VI-C: DiVa speedup vs WS, scaled image "
                  "sizes ===\n";
     TextTable img({"model", "32x32 (x1)", "64x64 (x4)", "128x128 (x16)",
                    "256x256 (x64)"});
-    std::vector<std::vector<double>> img_cols(4);
-    for (const auto &[name, build] : cnns) {
-        std::vector<std::string> cells = {name};
-        int col = 0;
-        for (int size : {32, 64, 128, 256}) {
-            const double s = speedupAt(build(size));
-            cells.push_back(TextTable::fmtX(s));
-            img_cols[std::size_t(col++)].push_back(s);
-        }
-        img.addRow(cells);
-    }
-    img.print(std::cout);
+    const std::vector<std::vector<double>> img_cols = printSpeedups(
+        runner,
+        {"VGG-16", "ResNet-50", "ResNet-152", "SqueezeNet", "MobileNet"},
+        img);
     std::cout << "paper avg (x4/x16/x64): 3.6x / 2.1x / 1.7x; measured "
                  "avg: "
               << TextTable::fmtX(benchutil::geomean(img_cols[1])) << " / "
@@ -79,18 +92,9 @@ printSensitivity()
                  "lengths ===\n";
     TextTable seq({"model", "L=32 (x1)", "L=64 (x2)", "L=128 (x4)",
                    "L=256 (x8)"});
-    std::vector<std::vector<double>> seq_cols(4);
-    for (const auto &[name, build] : nlps) {
-        std::vector<std::string> cells = {name};
-        int col = 0;
-        for (int len : {32, 64, 128, 256}) {
-            const double s = speedupAt(build(len));
-            cells.push_back(TextTable::fmtX(s));
-            seq_cols[std::size_t(col++)].push_back(s);
-        }
-        seq.addRow(cells);
-    }
-    seq.print(std::cout);
+    const std::vector<std::vector<double>> seq_cols = printSpeedups(
+        runner, {"BERT-base", "BERT-large", "LSTM-small", "LSTM-large"},
+        seq);
     std::cout << "paper avg (x2/x4/x8): 2.0x / 1.6x / 1.5x; measured "
                  "avg: "
               << TextTable::fmtX(benchutil::geomean(seq_cols[1])) << " / "

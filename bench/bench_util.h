@@ -17,8 +17,11 @@
 #include <vector>
 
 #include "arch/accelerator_config.h"
+#include "common/logging.h"
 #include "models/zoo.h"
 #include "sim/executor.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
 #include "train/memory_model.h"
 #include "train/planner.h"
 
@@ -66,6 +69,29 @@ runSim(const AcceleratorConfig &cfg, const Network &net,
        TrainingAlgorithm algo, int batch)
 {
     return Executor(cfg).run(buildOpStream(net, algo, batch));
+}
+
+/**
+ * Expand and run a sweep spec for a bench that will index the report
+ * positionally: fatals if expansion dropped any scenario (invalid or
+ * duplicate axis point would shift every later index) or if any
+ * scenario failed, so tables never silently tabulate wrong rows.
+ */
+inline SweepReport
+runChecked(SweepRunner &runner, const SweepSpec &spec)
+{
+    const SweepSpec::Expansion e = spec.expand();
+    if (e.invalidSkipped || e.duplicatesRemoved)
+        DIVA_FATAL("sweep axes dropped scenarios (", e.invalidSkipped,
+                   " invalid, ", e.duplicatesRemoved,
+                   " duplicates); positional table indexing would be "
+                   "misaligned");
+    SweepReport report = runner.run(e.scenarios);
+    for (const ScenarioResult &r : report.results)
+        if (!r.ok())
+            DIVA_FATAL("sweep scenario failed: ", r.scenario.label(),
+                       ": ", r.error);
+    return report;
 }
 
 /** The four design points of Figures 13/14/16. */

@@ -1,26 +1,25 @@
 /**
  * @file
- * Design-space exploration for a DiVa-class accelerator: sweep the
- * PPU drain rate, SRAM capacity and PE-array aspect ratio for a chosen
- * model and report DP-SGD(R) iteration latency, utilization and the
- * engine's area/power cost, exercising the public simulation API the
- * way an architect would.
+ * Design-space exploration for a DiVa-class accelerator, driven by the
+ * sweep subsystem: one SweepSpec crosses the PPU drain rate, SRAM
+ * capacity, PE-array aspect ratio and dataflow axes for a chosen
+ * model; the runner simulates the deduplicated scenarios in parallel,
+ * and the aggregator reports summary statistics plus the Pareto
+ * frontier over (cycles, energy, engine area) -- the trade-off an
+ * architect actually navigates.
  *
- * Usage: design_space [model-name]   (default: BERT-base)
+ * Usage: design_space [model-name] [threads]   (default: BERT-base, 4)
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "arch/accelerator_config.h"
 #include "common/table.h"
-#include "energy/energy_model.h"
-#include "models/zoo.h"
-#include "sim/executor.h"
-#include "train/memory_model.h"
-#include "train/planner.h"
+#include "sweep/aggregate.h"
+#include "sweep/emit.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
 
 using namespace diva;
 
@@ -28,16 +27,19 @@ namespace
 {
 
 void
-report(TextTable &table, const std::string &label,
-       const AcceleratorConfig &cfg, const OpStream &stream)
+printResults(const char *title, const std::vector<ScenarioResult> &slice)
 {
-    const SimResult r = Executor(cfg).run(stream);
-    const EnergyBreakdown e = EnergyModel::energy(r, cfg);
-    table.addRow({label, std::to_string(r.totalCycles()),
-                  TextTable::fmtPct(r.overallUtilization(cfg)),
-                  TextTable::fmt(e.total(), 2),
-                  TextTable::fmt(EnergyModel::enginePowerW(cfg), 1),
-                  TextTable::fmt(EnergyModel::engineAreaMm2(cfg), 1)});
+    std::printf("\n--- %s ---\n", title);
+    TextTable table({"config", "cycles", "util", "energy (J)",
+                     "power (W)", "area (mm^2)"});
+    for (const ScenarioResult &r : slice)
+        table.addRow({r.scenario.config.name,
+                      std::to_string(r.cycles),
+                      TextTable::fmtPct(r.utilization),
+                      TextTable::fmt(r.energyJ, 2),
+                      TextTable::fmt(r.enginePowerW, 1),
+                      TextTable::fmt(r.engineAreaMm2, 1)});
+    table.print(std::cout);
 }
 
 } // namespace
@@ -46,70 +48,114 @@ int
 main(int argc, char **argv)
 {
     const std::string wanted = argc > 1 ? argv[1] : "BERT-base";
-    Network net;
     bool found = false;
-    for (const auto &m : allModels()) {
-        if (m.name == wanted) {
-            net = m;
-            found = true;
-        }
-    }
+    for (const std::string &m : knownModels())
+        found = found || m == wanted;
     if (!found) {
-        std::printf("unknown model '%s'\n", wanted.c_str());
+        std::printf("unknown model '%s'; try one of:\n", wanted.c_str());
+        for (const std::string &m : knownModels())
+            std::printf("  %s\n", m.c_str());
         return 1;
     }
 
-    const int batch = std::max(
-        1, maxBatchSize(net, TrainingAlgorithm::kDpSgd, 16_GiB));
-    const OpStream stream =
-        buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
-    std::printf("design space for %s, DP-SGD(R), mini-batch %d\n\n",
-                net.name.c_str(), batch);
-
-    std::printf("--- drain rate R ---\n");
-    TextTable r_table({"config", "cycles", "util", "energy (J)",
-                       "power (W)", "area (mm^2)"});
+    // One config axis covering every studied design dimension. Axis
+    // points are named so sweep rows read like the paper's tables;
+    // each section records its slice of the axis as it is built.
+    std::vector<AcceleratorConfig> configs;
+    const std::size_t r_begin = configs.size();
     for (int r : {1, 2, 4, 8, 16, 32}) {
         AcceleratorConfig cfg = divaDefault(true);
         cfg.drainRowsPerCycle = r;
-        report(r_table, "R=" + std::to_string(r), cfg, stream);
+        cfg.name = "DiVa R=" + std::to_string(r);
+        configs.push_back(cfg);
     }
-    r_table.print(std::cout);
-
-    std::printf("\n--- SRAM capacity ---\n");
-    TextTable s_table({"config", "cycles", "util", "energy (J)",
-                       "power (W)", "area (mm^2)"});
+    const std::size_t sram_begin = configs.size();
     for (int mib : {4, 8, 16, 32, 64}) {
         AcceleratorConfig cfg = divaDefault(true);
         cfg.sramBytes = Bytes(mib) * 1_MiB;
-        report(s_table, std::to_string(mib) + " MiB", cfg, stream);
+        cfg.name = "DiVa SRAM=" + std::to_string(mib) + "MiB";
+        configs.push_back(cfg);
     }
-    s_table.print(std::cout);
-
-    std::printf("\n--- PE array aspect (16384 MACs) ---\n");
-    TextTable a_table({"config", "cycles", "util", "energy (J)",
-                       "power (W)", "area (mm^2)"});
+    const std::size_t aspect_begin = configs.size();
     for (const auto &[rows, cols] :
          {std::pair{32, 512}, std::pair{64, 256}, std::pair{128, 128},
           std::pair{256, 64}, std::pair{512, 32}}) {
         AcceleratorConfig cfg = divaDefault(true);
         cfg.peRows = rows;
         cfg.peCols = cols;
-        cfg.drainRowsPerCycle =
-            std::min(cfg.drainRowsPerCycle, rows);
-        report(a_table,
-               std::to_string(rows) + "x" + std::to_string(cols), cfg,
-               stream);
+        cfg.drainRowsPerCycle = std::min(cfg.drainRowsPerCycle, rows);
+        cfg.name = "DiVa " + std::to_string(rows) + "x" +
+                   std::to_string(cols);
+        configs.push_back(cfg);
     }
-    a_table.print(std::cout);
+    const std::size_t dataflow_begin = configs.size();
+    configs.push_back(tpuV3Ws());
+    configs.push_back(systolicOs(true));
+    configs.push_back(divaDefault(false));
+    configs.push_back(divaDefault(true));
 
-    std::printf("\n--- dataflow comparison at the default point ---\n");
-    TextTable d_table({"config", "cycles", "util", "energy (J)",
-                       "power (W)", "area (mm^2)"});
-    report(d_table, "Systolic-WS", tpuV3Ws(), stream);
-    report(d_table, "Systolic-OS+PPU", systolicOs(true), stream);
-    report(d_table, "DiVa w/o PPU", divaDefault(false), stream);
-    report(d_table, "DiVa", divaDefault(true), stream);
-    d_table.print(std::cout);
+    SweepSpec spec;
+    spec.configs = configs;
+    spec.models = {wanted};
+    spec.algorithms = {TrainingAlgorithm::kDpSgdR};
+    spec.batches = {kAutoBatch};
+
+    SweepOptions opts;
+    opts.threads = argc > 2 ? std::atoi(argv[2]) : 4;
+    SweepRunner runner(opts);
+    const SweepReport report = runner.run(spec);
+    if (report.failures) {
+        std::printf("%zu scenarios failed\n", report.failures);
+        return 1;
+    }
+    if (report.results.size() != configs.size()) {
+        // A dropped (invalid/duplicate) axis point would shift every
+        // positional slice below.
+        std::printf("expansion dropped %zu of %zu design points; "
+                    "section slices would be misaligned\n",
+                    configs.size() - report.results.size(),
+                    configs.size());
+        return 1;
+    }
+
+    std::printf("design space for %s, DP-SGD(R), mini-batch %d "
+                "(%zu scenarios, %d threads)\n",
+                wanted.c_str(), report.results.front().resolvedBatch,
+                report.results.size(), opts.threads);
+
+    const auto &rs = report.results;
+    auto slice = [&](std::size_t begin, std::size_t end) {
+        return std::vector<ScenarioResult>(
+            rs.begin() + std::ptrdiff_t(begin),
+            rs.begin() + std::ptrdiff_t(end));
+    };
+    printResults("drain rate R", slice(r_begin, sram_begin));
+    printResults("SRAM capacity", slice(sram_begin, aspect_begin));
+    printResults("PE array aspect (16384 MACs)",
+                 slice(aspect_begin, dataflow_begin));
+    printResults("dataflow comparison at the default point",
+                 slice(dataflow_begin, rs.size()));
+
+    const SweepSummary stats = summarizeResults(rs);
+    std::printf("\ncycles across the space: min %.0f / median %.0f / "
+                "p95 %.0f / max %.0f\n",
+                stats.cycles.min, stats.cycles.median, stats.cycles.p95,
+                stats.cycles.max);
+
+    const std::vector<Objective> objectives = {Objective::kCycles,
+                                               Objective::kEnergy,
+                                               Objective::kEngineAreaMm2};
+    const std::vector<std::size_t> frontier =
+        paretoFrontier(rs, objectives);
+    std::printf("\n--- Pareto frontier: cycles vs energy vs area "
+                "(%zu of %zu points) ---\n",
+                frontier.size(), rs.size());
+    TextTable pareto({"config", "cycles", "energy (J)", "area (mm^2)"});
+    for (std::size_t i : frontier)
+        pareto.addRow({rs[i].scenario.config.name,
+                       std::to_string(rs[i].cycles),
+                       TextTable::fmt(rs[i].energyJ, 2),
+                       TextTable::fmt(rs[i].engineAreaMm2, 1)});
+    pareto.print(std::cout);
     return 0;
 }

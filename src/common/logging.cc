@@ -2,36 +2,63 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace diva
 {
 
+namespace
+{
+
+/**
+ * Serializes all sink writes so concurrent sweep workers never
+ * interleave partial lines. The lock is released before any throw so
+ * exception propagation cannot deadlock a logging call on another
+ * thread.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::cerr << "panic: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     throw std::logic_error("panic: " + msg);
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     throw std::runtime_error("fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::cerr << "info: " << msg << std::endl;
 }
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Post-sweep analysis: summary statistics over result metrics and
+ * Pareto-frontier extraction over user-chosen objectives (e.g.
+ * iteration cycles vs. energy vs. engine area).
+ */
+
+#ifndef DIVA_SWEEP_AGGREGATE_H
+#define DIVA_SWEEP_AGGREGATE_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.h"
+
+namespace diva
+{
+
+/** Order statistics of one metric across a sweep. */
+struct SummaryStats
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double p95 = 0.0;
+};
+
+/**
+ * Summarize a value series. Median and p95 use linear interpolation
+ * between order statistics; an empty series yields all-zero stats.
+ */
+SummaryStats summarize(std::vector<double> values);
+
+/** Sweep objectives usable for summaries and Pareto extraction. */
+enum class Objective
+{
+    kCycles,
+    kSeconds,
+    kUtilization,
+    kEnergy,
+    kDramBytes,
+    kEnginePowerW,
+    kEngineAreaMm2,
+};
+
+/** CLI/CSV name of an objective ("cycles", "energy", ...). */
+const char *objectiveName(Objective o);
+
+/** Parse an objective name; nullopt for unknown names. */
+std::optional<Objective> objectiveFromName(const std::string &name);
+
+/** The objective's value in one result. */
+double objectiveValue(const ScenarioResult &r, Objective o);
+
+/** Whether bigger is better (only utilization); others minimize. */
+bool objectiveMaximized(Objective o);
+
+/** Per-metric summaries over the successful results of a sweep. */
+struct SweepSummary
+{
+    SummaryStats cycles;
+    SummaryStats seconds;
+    SummaryStats utilization;
+    SummaryStats energyJ;
+};
+
+SweepSummary summarizeResults(const std::vector<ScenarioResult> &results);
+
+/**
+ * Indices (ascending) of the results on the Pareto frontier of the
+ * given objectives: no other successful result is at least as good in
+ * every objective and strictly better in one. Results with errors
+ * never make the frontier. Duplicate objective vectors all survive.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<ScenarioResult> &results,
+               const std::vector<Objective> &objectives);
+
+} // namespace diva
+
+#endif // DIVA_SWEEP_AGGREGATE_H

@@ -1,0 +1,139 @@
+#include "sweep/emit.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace diva
+{
+
+namespace
+{
+
+/** Quote a CSV/JSON-unsafe cell per RFC 4180. */
+std::string
+csvCell(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatDouble(double v)
+{
+    // %.17g round-trips but is noisy; prefer the shortest precision
+    // that parses back exactly. Deterministic for a given value.
+    char buf[64];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double parsed = 0.0;
+        std::sscanf(buf, "%lf", &parsed);
+        if (parsed == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+csvHeader()
+{
+    return "config,dataflow,ppu,pe_rows,pe_cols,sram_mib,dram_gbs,"
+           "backend,chips,model,scale,algorithm,batch,microbatch,"
+           "cycles,seconds,utilization,energy_j,dram_bytes,"
+           "postproc_dram_bytes,engine_power_w,engine_area_mm2,"
+           "cache_hit,error";
+}
+
+std::string
+csvRow(const ScenarioResult &r)
+{
+    const Scenario &s = r.scenario;
+    const bool gpu = s.backend == SweepBackend::kGpu;
+    std::ostringstream oss;
+    oss << csvCell(gpu ? s.gpu.name : s.config.name) << ','
+        << (gpu ? "-" : dataflowName(s.config.dataflow)) << ','
+        << (gpu ? 0 : int(s.config.hasPpu)) << ','
+        << (gpu ? 0 : s.config.peRows) << ','
+        << (gpu ? 0 : s.config.peCols) << ','
+        << (gpu ? 0 : s.config.sramBytes >> 20) << ','
+        << formatDouble(gpu ? s.gpu.bandwidthGBs
+                            : s.config.dramBandwidthGBs)
+        << ',' << backendName(s.backend) << ','
+        << (s.backend == SweepBackend::kMultiChip ? s.pod.numChips : 1)
+        << ',' << csvCell(s.model) << ',' << s.modelScale << ','
+        << csvCell(algorithmName(s.algorithm)) << ',' << r.resolvedBatch
+        << ',' << s.microbatch << ',' << r.cycles << ','
+        << formatDouble(r.seconds) << ',' << formatDouble(r.utilization)
+        << ',' << formatDouble(r.energyJ) << ',' << r.dramBytes << ','
+        << r.postProcDramBytes << ',' << formatDouble(r.enginePowerW)
+        << ',' << formatDouble(r.engineAreaMm2) << ','
+        << int(r.cacheHit) << ',' << csvCell(r.error);
+    return oss.str();
+}
+
+void
+writeCsv(std::ostream &os, const SweepReport &report)
+{
+    os << csvHeader() << '\n';
+    for (const ScenarioResult &r : report.results)
+        os << csvRow(r) << '\n';
+}
+
+void
+writeJson(std::ostream &os, const SweepReport &report)
+{
+    os << "{\n  \"cache_hits\": " << report.cacheHits
+       << ",\n  \"cache_misses\": " << report.cacheMisses
+       << ",\n  \"failures\": " << report.failures
+       << ",\n  \"results\": [";
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const ScenarioResult &r = report.results[i];
+        const Scenario &s = r.scenario;
+        const bool gpu = s.backend == SweepBackend::kGpu;
+        os << (i ? ",\n    {" : "\n    {") << "\"config\": \""
+           << jsonEscape(gpu ? s.gpu.name : s.config.name)
+           << "\", \"backend\": \"" << backendName(s.backend)
+           << "\", \"model\": \"" << jsonEscape(s.model)
+           << "\", \"scale\": " << s.modelScale << ", \"algorithm\": \""
+           << jsonEscape(algorithmName(s.algorithm))
+           << "\", \"batch\": " << r.resolvedBatch
+           << ", \"microbatch\": " << s.microbatch << ", \"cycles\": "
+           << r.cycles << ", \"seconds\": " << formatDouble(r.seconds)
+           << ", \"utilization\": " << formatDouble(r.utilization)
+           << ", \"energy_j\": " << formatDouble(r.energyJ)
+           << ", \"dram_bytes\": " << r.dramBytes << ", \"cache_hit\": "
+           << (r.cacheHit ? "true" : "false");
+        if (!r.ok())
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace diva

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Deterministic CSV and JSON emitters for sweep reports. Output is a
+ * pure function of the results (no timestamps, no wall-clock), so a
+ * parallel sweep emits bytes identical to a serial one.
+ */
+
+#ifndef DIVA_SWEEP_EMIT_H
+#define DIVA_SWEEP_EMIT_H
+
+#include <ostream>
+#include <string>
+
+#include "sweep/runner.h"
+
+namespace diva
+{
+
+/** Header matching csvRow()'s columns. */
+std::string csvHeader();
+
+/** One RFC-4180 CSV data row for one result. */
+std::string csvRow(const ScenarioResult &r);
+
+/** Emit header + one row per result. */
+void writeCsv(std::ostream &os, const SweepReport &report);
+
+/** Emit the full report (results + cache accounting) as JSON. */
+void writeJson(std::ostream &os, const SweepReport &report);
+
+/** Shortest round-trippable decimal form of a double ("0.25", "1e-06"). */
+std::string formatDouble(double v);
+
+} // namespace diva
+
+#endif // DIVA_SWEEP_EMIT_H

@@ -1,0 +1,177 @@
+#include "sweep/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "energy/energy_model.h"
+#include "sim/executor.h"
+#include "train/planner.h"
+
+namespace diva
+{
+
+namespace
+{
+
+void
+simulateSingleChip(ScenarioResult &out, const Network &net)
+{
+    const Scenario &s = out.scenario;
+    const OpStream stream =
+        out.scenario.microbatch > 0
+            ? buildMicrobatchedOpStream(net, s.algorithm,
+                                        out.resolvedBatch, s.microbatch)
+            : buildOpStream(net, s.algorithm, out.resolvedBatch);
+    const SimResult r = Executor(s.config).run(stream);
+    out.cycles = r.totalCycles();
+    out.seconds = r.seconds(s.config);
+    out.utilization = r.overallUtilization(s.config);
+    out.energyJ = EnergyModel::energy(r, s.config).total();
+    out.dramBytes = r.totalDram().total();
+    out.postProcDramBytes = r.postProcessingDram.total();
+    out.enginePowerW = EnergyModel::enginePowerW(s.config);
+    out.engineAreaMm2 = EnergyModel::engineAreaMm2(s.config);
+}
+
+void
+simulateMultiChip(ScenarioResult &out, const Network &net)
+{
+    const Scenario &s = out.scenario;
+    const ScalingResult r = simulateDataParallel(
+        s.config, net, s.algorithm, out.resolvedBatch, s.pod);
+    out.cycles = r.totalCycles;
+    out.seconds = s.config.cyclesToSeconds(r.totalCycles);
+    out.enginePowerW = EnergyModel::enginePowerW(s.config) * s.pod.numChips;
+    out.engineAreaMm2 = EnergyModel::engineAreaMm2(s.config);
+}
+
+void
+simulateGpu(ScenarioResult &out, const Network &net)
+{
+    const Scenario &s = out.scenario;
+    const OpStream stream =
+        buildOpStream(net, s.algorithm, out.resolvedBatch);
+    out.seconds = GpuModel(s.gpu).bottleneckSeconds(stream);
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const Scenario &scenario)
+{
+    ScenarioResult out;
+    out.scenario = scenario;
+    try {
+        const Network net = buildModel(scenario.model,
+                                       scenario.modelScale);
+        out.resolvedBatch = resolveBatch(scenario, net);
+        switch (scenario.backend) {
+          case SweepBackend::kSingleChip:
+            simulateSingleChip(out, net);
+            break;
+          case SweepBackend::kMultiChip:
+            simulateMultiChip(out, net);
+            break;
+          case SweepBackend::kGpu:
+            simulateGpu(out, net);
+            break;
+        }
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.threads < 1)
+        opts_.threads = 1;
+}
+
+SweepReport
+SweepRunner::run(const SweepSpec &spec)
+{
+    return run(spec.expand().scenarios);
+}
+
+SweepReport
+SweepRunner::run(const std::vector<Scenario> &scenarios)
+{
+    SweepReport report;
+    report.results.resize(scenarios.size());
+
+    if (!opts_.cacheAcrossRuns)
+        cache_.clear();
+
+    // Map each scenario to its canonical key; the first scenario to
+    // claim an uncached key becomes a simulation job, the rest are
+    // cache hits resolved after the pool drains.
+    std::vector<std::string> keys(scenarios.size());
+    std::vector<std::size_t> jobs; // indices into `scenarios`
+    std::unordered_map<std::string, std::size_t> claimed; // key -> job
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        keys[i] = scenarios[i].canonicalKey();
+        if (cache_.count(keys[i]) || claimed.count(keys[i])) {
+            ++report.cacheHits;
+            continue;
+        }
+        claimed.emplace(keys[i], jobs.size());
+        jobs.push_back(i);
+        ++report.cacheMisses;
+    }
+
+    // Fixed-size pool over the job list. Each worker writes only its
+    // own job's slot, so results are independent of scheduling; the
+    // per-scenario assembly below imposes the deterministic order.
+    std::vector<ScenarioResult> job_results(jobs.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t j = next.fetch_add(1);
+            if (j >= jobs.size())
+                return;
+            job_results[j] = runScenario(scenarios[jobs[j]]);
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (opts_.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                opts_.progress(finished, jobs.size(),
+                               scenarios[jobs[j]]);
+            }
+        }
+    };
+    const std::size_t pool_size =
+        std::min<std::size_t>(std::size_t(opts_.threads), jobs.size());
+    if (pool_size <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(pool_size);
+        for (std::size_t t = 0; t < pool_size; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        cache_.emplace(keys[jobs[j]], job_results[j]);
+
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const ScenarioResult &cached = cache_.at(keys[i]);
+        ScenarioResult r = cached;
+        // Report the requester's own scenario (labels may differ even
+        // when the canonical simulation inputs coincide).
+        r.scenario = scenarios[i];
+        r.cacheHit = !claimed.count(keys[i]) ||
+                     jobs[claimed.at(keys[i])] != i;
+        if (!r.ok())
+            ++report.failures;
+        report.results[i] = std::move(r);
+    }
+    return report;
+}
+
+} // namespace diva

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parallel sweep execution with a canonical-key result cache.
+ *
+ * The runner simulates each *unique* scenario exactly once on a
+ * fixed-size worker pool and assembles results in scenario order, so
+ * the report is bit-identical whatever the thread count. Scenarios
+ * whose canonical key was already simulated -- duplicates within one
+ * run, or repeats across run() calls on the same runner -- are served
+ * from the cache and flagged as hits.
+ */
+
+#ifndef DIVA_SWEEP_RUNNER_H
+#define DIVA_SWEEP_RUNNER_H
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sweep/scenario.h"
+#include "sweep/spec.h"
+
+namespace diva
+{
+
+/** Sweep execution options. */
+struct SweepOptions
+{
+    /** Worker threads; values < 1 are clamped to 1. */
+    int threads = 1;
+
+    /**
+     * Keep results cached across run() calls on the same runner.
+     * Within a single run() duplicates are always simulated once.
+     */
+    bool cacheAcrossRuns = true;
+
+    /**
+     * Invoked after each completed simulation with (done, total,
+     * scenario). Called from worker threads under a lock; completion
+     * order is nondeterministic under parallel execution, so route
+     * progress to a side channel (stderr), never into sweep output.
+     */
+    std::function<void(std::size_t, std::size_t, const Scenario &)>
+        progress;
+};
+
+/** Outcome of one run() call. */
+struct SweepReport
+{
+    /** One result per input scenario, in input order. */
+    std::vector<ScenarioResult> results;
+
+    /** Scenarios served from the cache (duplicates + cross-run hits). */
+    std::size_t cacheHits = 0;
+
+    /** Scenarios that required a fresh simulation. */
+    std::size_t cacheMisses = 0;
+
+    /** Results with a non-empty error. */
+    std::size_t failures = 0;
+};
+
+/** Executes scenario lists / specs; owns the result cache. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /** Expand `spec` and run every scenario. */
+    SweepReport run(const SweepSpec &spec);
+
+    /** Run an explicit scenario list. */
+    SweepReport run(const std::vector<Scenario> &scenarios);
+
+    /** Number of cached unique-scenario results. */
+    std::size_t cacheSize() const { return cache_.size(); }
+
+    void clearCache() { cache_.clear(); }
+
+    const SweepOptions &options() const { return opts_; }
+
+  private:
+    SweepOptions opts_;
+    /** canonical key -> finished result (scenario field = first seen). */
+    std::unordered_map<std::string, ScenarioResult> cache_;
+};
+
+/** Simulate one scenario synchronously (no cache, no pool). */
+ScenarioResult runScenario(const Scenario &scenario);
+
+} // namespace diva
+
+#endif // DIVA_SWEEP_RUNNER_H

@@ -1,0 +1,155 @@
+#include "sweep/scenario.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+#include "models/zoo.h"
+#include "train/memory_model.h"
+
+namespace diva
+{
+
+const char *
+backendName(SweepBackend b)
+{
+    switch (b) {
+      case SweepBackend::kSingleChip: return "chip";
+      case SweepBackend::kMultiChip: return "pod";
+      case SweepBackend::kGpu: return "gpu";
+    }
+    return "?";
+}
+
+std::string
+Scenario::label() const
+{
+    std::ostringstream oss;
+    if (backend == SweepBackend::kGpu)
+        oss << gpu.name;
+    else
+        oss << config.name;
+    if (backend == SweepBackend::kMultiChip)
+        oss << " x" << pod.numChips;
+    oss << " / " << model;
+    if (modelScale != 0)
+        oss << "@" << modelScale;
+    oss << " / " << algorithmName(algorithm) << " / b=";
+    if (batch == kAutoBatch)
+        oss << "auto";
+    else
+        oss << batch;
+    if (microbatch > 0)
+        oss << " mb=" << microbatch;
+    return oss.str();
+}
+
+namespace
+{
+
+/**
+ * Serialize every simulated AcceleratorConfig field. The cache and
+ * dedup treat equal keys as identical simulation inputs, so the key
+ * spells the values out rather than trusting a 64-bit configHash
+ * whose collisions would silently alias two design points.
+ */
+void
+appendConfigKey(std::ostringstream &oss, const AcceleratorConfig &c)
+{
+    oss << c.name << ';' << dataflowName(c.dataflow) << ';' << c.peRows
+        << ';' << c.peCols << ';' << c.freqGhz << ';' << c.sramBytes
+        << ';' << c.dramBandwidthGBs << ';' << c.dramLatencyCycles
+        << ';' << c.weightFillRowsPerCycle << ';'
+        << c.wsDoubleBufferWeights << ';' << c.drainRowsPerCycle << ';'
+        << c.hasPpu << ';' << c.inputBytes << ';' << c.accumBytes << ';'
+        << c.vectorLanes;
+}
+
+} // namespace
+
+std::string
+Scenario::canonicalKey() const
+{
+    std::ostringstream oss;
+    oss << backendName(backend) << '|' << model << '|' << modelScale
+        << '|' << algorithmName(algorithm) << '|' << batch << '|'
+        << microbatch;
+    // The auto-batch protocol depends on the budget only when active.
+    if (batch == kAutoBatch)
+        oss << "|mem=" << memoryBudget;
+    switch (backend) {
+      case SweepBackend::kSingleChip:
+        oss << "|cfg=";
+        appendConfigKey(oss, config);
+        break;
+      case SweepBackend::kMultiChip:
+        oss << "|cfg=";
+        appendConfigKey(oss, config);
+        oss << "|chips=" << pod.numChips << "|ici="
+            << pod.interconnectGBs << "|lat=" << pod.linkLatencyCycles;
+        break;
+      case SweepBackend::kGpu:
+        // Key on every timing-relevant GpuConfig field, not just the
+        // display name, so distinct GPU design points sharing a name
+        // never collapse in dedup or the result cache.
+        oss << "|gpu=" << gpu.name << ';' << gpu.peakTflops << ';'
+            << gpu.bandwidthGBs << ';' << gpu.numSms << ';' << gpu.tileM
+            << ';' << gpu.tileN << ';' << gpu.kGranule << ';'
+            << gpu.kernelOverheadSec << ';' << gpu.gemmEfficiency;
+        break;
+    }
+    return oss.str();
+}
+
+Network
+buildModel(const std::string &name, int scale)
+{
+    using Builder = std::function<Network(int)>;
+    static const std::map<std::string, std::pair<Builder, int>> builders =
+        {
+            {"VGG-16", {[](int s) { return vgg16(s); }, kDefaultImageSize}},
+            {"ResNet-50",
+             {[](int s) { return resnet50(s); }, kDefaultImageSize}},
+            {"ResNet-152",
+             {[](int s) { return resnet152(s); }, kDefaultImageSize}},
+            {"SqueezeNet",
+             {[](int s) { return squeezenet(s); }, kDefaultImageSize}},
+            {"MobileNet",
+             {[](int s) { return mobilenet(s); }, kDefaultImageSize}},
+            {"BERT-base",
+             {[](int s) { return bertBase(s); }, kDefaultSeqLen}},
+            {"BERT-large",
+             {[](int s) { return bertLarge(s); }, kDefaultSeqLen}},
+            {"LSTM-small",
+             {[](int s) { return lstmSmall(s); }, kDefaultSeqLen}},
+            {"LSTM-large",
+             {[](int s) { return lstmLarge(s); }, kDefaultSeqLen}},
+        };
+    const auto it = builders.find(name);
+    if (it == builders.end())
+        DIVA_FATAL("unknown sweep model '", name,
+                   "'; see knownModels() for the zoo");
+    const auto &[build, default_scale] = it->second;
+    return build(scale != 0 ? scale : default_scale);
+}
+
+std::vector<std::string>
+knownModels()
+{
+    return {"VGG-16",     "ResNet-50",  "ResNet-152",
+            "SqueezeNet", "MobileNet",  "BERT-base",
+            "BERT-large", "LSTM-small", "LSTM-large"};
+}
+
+int
+resolveBatch(const Scenario &s, const Network &net)
+{
+    if (s.batch != kAutoBatch)
+        return s.batch;
+    return std::max(
+        1, maxBatchSize(net, TrainingAlgorithm::kDpSgd, s.memoryBudget));
+}
+
+} // namespace diva

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit tests for the design-space sweep subsystem: spec expansion
+ * counts, serial-vs-parallel result equality, cache-hit accounting,
+ * summary statistics and Pareto-frontier extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sweep/aggregate.h"
+#include "sweep/emit.h"
+#include "sweep/runner.h"
+#include "sweep/scenario.h"
+#include "sweep/spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace diva
+{
+namespace
+{
+
+/** A small but multi-axis spec: 2 configs x 2 models x 2 algos. */
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.configs = {tpuV3Ws(), divaDefault(true)};
+    spec.models = {"ResNet-50", "BERT-base"};
+    spec.algorithms = {TrainingAlgorithm::kDpSgd,
+                       TrainingAlgorithm::kDpSgdR};
+    spec.batches = {8};
+    return spec;
+}
+
+TEST(SweepSpec, ExpansionCountsCartesianProduct)
+{
+    const SweepSpec::Expansion e = smallSpec().expand();
+    EXPECT_EQ(e.rawCount, 8u);
+    EXPECT_EQ(e.scenarios.size(), 8u);
+    EXPECT_EQ(e.invalidSkipped, 0u);
+    EXPECT_EQ(e.duplicatesRemoved, 0u);
+}
+
+TEST(SweepSpec, ExpansionSkipsInvalidConfigs)
+{
+    SweepSpec spec = smallSpec();
+    AcceleratorConfig bad = tpuV3Ws();
+    bad.hasPpu = true; // WS + PPU fails validate()
+    spec.configs.push_back(bad);
+    const SweepSpec::Expansion e = spec.expand();
+    EXPECT_EQ(e.rawCount, 12u);
+    EXPECT_EQ(e.invalidSkipped, 4u);
+    EXPECT_EQ(e.scenarios.size(), 8u);
+}
+
+TEST(SweepSpec, ExpansionDeduplicatesRepeatedAxes)
+{
+    SweepSpec spec = smallSpec();
+    spec.configs.push_back(tpuV3Ws()); // repeated design point
+    const SweepSpec::Expansion e = spec.expand();
+    EXPECT_EQ(e.rawCount, 12u);
+    EXPECT_EQ(e.duplicatesRemoved, 4u);
+    EXPECT_EQ(e.scenarios.size(), 8u);
+}
+
+TEST(SweepSpec, GpuScenariosIgnoreConfigAxis)
+{
+    SweepSpec spec = smallSpec();
+    spec.backends = {SweepBackend::kSingleChip, SweepBackend::kGpu};
+    spec.gpus = {GpuConfig::a100Fp16()};
+    const SweepSpec::Expansion e = spec.expand();
+    // The GPU scenarios coincide across the 2-config axis: 8 chip
+    // scenarios + 4 unique GPU scenarios (4 duplicates removed).
+    EXPECT_EQ(e.rawCount, 16u);
+    EXPECT_EQ(e.duplicatesRemoved, 4u);
+    EXPECT_EQ(e.scenarios.size(), 12u);
+}
+
+TEST(SweepSpec, ExpansionOrderIsDeterministic)
+{
+    const SweepSpec spec = smallSpec();
+    const auto a = spec.expand();
+    const auto b = spec.expand();
+    ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+    for (std::size_t i = 0; i < a.scenarios.size(); ++i)
+        EXPECT_EQ(a.scenarios[i].canonicalKey(),
+                  b.scenarios[i].canonicalKey());
+}
+
+TEST(SweepRunner, ParallelBitIdenticalToSerial)
+{
+    SweepOptions serial_opts;
+    serial_opts.threads = 1;
+    SweepRunner serial(serial_opts);
+    SweepOptions parallel_opts;
+    parallel_opts.threads = 4;
+    SweepRunner parallel(parallel_opts);
+
+    const std::vector<Scenario> scenarios = smallSpec().expand().scenarios;
+    const SweepReport a = serial.run(scenarios);
+    const SweepReport b = parallel.run(scenarios);
+
+    ASSERT_EQ(a.results.size(), b.results.size());
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        SCOPED_TRACE(a.results[i].scenario.label());
+        EXPECT_EQ(a.results[i].cycles, b.results[i].cycles);
+        EXPECT_EQ(a.results[i].seconds, b.results[i].seconds);
+        EXPECT_EQ(a.results[i].utilization, b.results[i].utilization);
+        EXPECT_EQ(a.results[i].energyJ, b.results[i].energyJ);
+        EXPECT_EQ(a.results[i].dramBytes, b.results[i].dramBytes);
+        EXPECT_EQ(a.results[i].cacheHit, b.results[i].cacheHit);
+        // Emitted rows must match byte for byte.
+        EXPECT_EQ(csvRow(a.results[i]), csvRow(b.results[i]));
+    }
+}
+
+TEST(SweepRunner, DuplicateScenariosAreCacheHits)
+{
+    Scenario s;
+    s.config = divaDefault(true);
+    s.model = "ResNet-50";
+    s.batch = 4;
+    const std::vector<Scenario> scenarios = {s, s, s};
+
+    SweepRunner runner;
+    const SweepReport report = runner.run(scenarios);
+    EXPECT_EQ(report.cacheMisses, 1u);
+    EXPECT_EQ(report.cacheHits, 2u);
+    EXPECT_FALSE(report.results[0].cacheHit);
+    EXPECT_TRUE(report.results[1].cacheHit);
+    EXPECT_TRUE(report.results[2].cacheHit);
+    EXPECT_EQ(report.results[0].cycles, report.results[1].cycles);
+}
+
+TEST(SweepRunner, CachePersistsAcrossRuns)
+{
+    const std::vector<Scenario> scenarios = smallSpec().expand().scenarios;
+    SweepRunner runner;
+    const SweepReport first = runner.run(scenarios);
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(first.cacheMisses, scenarios.size());
+    EXPECT_EQ(runner.cacheSize(), scenarios.size());
+
+    const SweepReport second = runner.run(scenarios);
+    EXPECT_EQ(second.cacheHits, scenarios.size());
+    EXPECT_EQ(second.cacheMisses, 0u);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        EXPECT_TRUE(second.results[i].cacheHit);
+        EXPECT_EQ(first.results[i].cycles, second.results[i].cycles);
+    }
+
+    runner.clearCache();
+    EXPECT_EQ(runner.cacheSize(), 0u);
+}
+
+TEST(SweepRunner, AutoBatchResolvesToFigureProtocol)
+{
+    Scenario s;
+    s.config = divaDefault(true);
+    s.model = "ResNet-50";
+    s.batch = kAutoBatch;
+    const ScenarioResult r = runScenario(s);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_GT(r.resolvedBatch, 0);
+    // An auto-batch scenario and its resolved explicit twin share the
+    // simulation but not the canonical key (different requests).
+    Scenario explicit_twin = s;
+    explicit_twin.batch = r.resolvedBatch;
+    EXPECT_NE(s.canonicalKey(), explicit_twin.canonicalKey());
+    const ScenarioResult r2 = runScenario(explicit_twin);
+    EXPECT_EQ(r.cycles, r2.cycles);
+}
+
+TEST(SweepRunner, FailedScenarioReportsErrorNotCrash)
+{
+    Scenario s;
+    s.config = divaDefault(true);
+    s.model = "ResNet-50";
+    s.batch = 1;
+    s.backend = SweepBackend::kMultiChip;
+    s.pod.numChips = 8; // global batch 1 < 8 chips is impossible
+    SweepRunner runner;
+    const SweepReport report = runner.run(std::vector<Scenario>{s});
+    EXPECT_EQ(report.failures, 1u);
+    EXPECT_FALSE(report.results[0].ok());
+}
+
+TEST(Aggregate, SummaryStatsOnKnownSeries)
+{
+    // 1..100: median 50.5, p95 = 95.05 by linear interpolation.
+    std::vector<double> values;
+    for (int i = 1; i <= 100; ++i)
+        values.push_back(double(i));
+    const SummaryStats s = summarize(values);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+    EXPECT_DOUBLE_EQ(s.median, 50.5);
+    EXPECT_DOUBLE_EQ(s.p95, 95.05);
+}
+
+/** Five hand-computed points over (cycles, energy). */
+std::vector<ScenarioResult>
+paretoFixture()
+{
+    auto point = [](Cycles cycles, double energy) {
+        ScenarioResult r;
+        r.cycles = cycles;
+        r.energyJ = energy;
+        return r;
+    };
+    return {
+        point(100, 10.0), // [0] frontier: fastest
+        point(200, 4.0),  // [1] frontier: cheaper than 0, faster than 3
+        point(200, 6.0),  // [2] dominated by 1 (same cycles, more J)
+        point(400, 2.0),  // [3] frontier: cheapest
+        point(500, 5.0),  // [4] dominated by 1 and 3
+    };
+}
+
+TEST(Aggregate, ParetoFrontierOnHandComputedFixture)
+{
+    const std::vector<std::size_t> frontier = paretoFrontier(
+        paretoFixture(), {Objective::kCycles, Objective::kEnergy});
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Aggregate, ParetoSingleObjectiveKeepsAllTies)
+{
+    auto fixture = paretoFixture();
+    const std::vector<std::size_t> frontier =
+        paretoFrontier(fixture, {Objective::kCycles});
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{0}));
+    // Tie on the single objective: both minima survive.
+    fixture[1].cycles = 100;
+    const std::vector<std::size_t> tied =
+        paretoFrontier(fixture, {Objective::kCycles});
+    EXPECT_EQ(tied, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Aggregate, ParetoMaximizesUtilization)
+{
+    auto fixture = paretoFixture();
+    fixture[0].utilization = 0.2;
+    fixture[1].utilization = 0.9;
+    fixture[2].utilization = 0.1;
+    fixture[3].utilization = 0.9;
+    fixture[4].utilization = 0.95;
+    const std::vector<std::size_t> frontier = paretoFrontier(
+        fixture, {Objective::kCycles, Objective::kUtilization});
+    // 4 now survives on utilization; 2 stays dominated by 1, and 3
+    // falls to 1 (same utilization, more cycles).
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 1, 4}));
+}
+
+TEST(Aggregate, ParetoExcludesFailedResults)
+{
+    auto fixture = paretoFixture();
+    fixture[0].error = "boom"; // the fastest point drops out
+    const std::vector<std::size_t> frontier = paretoFrontier(
+        fixture, {Objective::kCycles, Objective::kEnergy});
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Emit, CsvIsDeterministicAndAlignedWithHeader)
+{
+    Scenario s;
+    s.config = divaDefault(true);
+    s.model = "ResNet-50";
+    s.batch = 4;
+    const ScenarioResult r = runScenario(s);
+    const std::string row = csvRow(r);
+    EXPECT_EQ(row, csvRow(r));
+    const auto count_commas = [](const std::string &text) {
+        return std::count(text.begin(), text.end(), ',');
+    };
+    EXPECT_EQ(count_commas(row), count_commas(csvHeader()));
+}
+
+TEST(Emit, JsonContainsCacheAccounting)
+{
+    SweepRunner runner;
+    SweepSpec spec = smallSpec();
+    spec.models = {"ResNet-50"};
+    const SweepReport report = runner.run(spec);
+    std::ostringstream oss;
+    writeJson(oss, report);
+    EXPECT_NE(oss.str().find("\"cache_misses\": 4"), std::string::npos);
+    EXPECT_NE(oss.str().find("\"results\": ["), std::string::npos);
+}
+
+TEST(Scenario, BuildModelKnowsTheFullZoo)
+{
+    for (const std::string &name : knownModels()) {
+        const Network net = buildModel(name);
+        EXPECT_EQ(net.name, name);
+        EXPECT_FALSE(net.layers.empty());
+    }
+    EXPECT_THROW(buildModel("AlexNet"), std::runtime_error);
+}
+
+TEST(Scenario, GpuKeyCoversTimingFieldsNotJustName)
+{
+    Scenario a;
+    a.model = "ResNet-50";
+    a.backend = SweepBackend::kGpu;
+    a.gpu = GpuConfig::a100Fp16();
+    Scenario b = a;
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+    b.gpu.gemmEfficiency = 0.5; // same name, different design point
+    EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(Scenario, CanonicalKeySeparatesBackends)
+{
+    Scenario chip;
+    chip.config = divaDefault(true);
+    chip.model = "ResNet-50";
+    Scenario pod = chip;
+    pod.backend = SweepBackend::kMultiChip;
+    Scenario gpu = chip;
+    gpu.backend = SweepBackend::kGpu;
+    gpu.gpu = GpuConfig::a100Fp16();
+    EXPECT_NE(chip.canonicalKey(), pod.canonicalKey());
+    EXPECT_NE(chip.canonicalKey(), gpu.canonicalKey());
+    EXPECT_NE(pod.canonicalKey(), gpu.canonicalKey());
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,585 @@
+/**
+ * @file
+ * diva_sweep: parallel design-space sweep driver.
+ *
+ * Expands cartesian axes (dataflow x PPU x model x batch x algorithm,
+ * plus optional pod and GPU backends) into scenarios, runs them on a
+ * worker pool with result caching, and emits deterministic CSV plus a
+ * Figure-13-style speedup table against the weight-stationary TPUv3
+ * baseline.
+ *
+ * All sweep output goes to stdout (or --csv/--json files) and is a
+ * pure function of the scenario list: running with --threads 4 is
+ * byte-identical to --threads 1. Progress and timing go to stderr.
+ *
+ * The WS baseline rows needed for the speedup table are swept first;
+ * when the main sweep meets them again (WS is part of the default
+ * dataflow axis) they are served from the result cache and reported
+ * as cache hits.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sweep/aggregate.h"
+#include "sweep/emit.h"
+#include "sweep/runner.h"
+#include "sweep/scenario.h"
+#include "sweep/spec.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: diva_sweep [options]\n"
+        "\n"
+        "Sweep axes (comma-separated lists):\n"
+        "  --models LIST       zoo models (default ResNet-50,BERT-base;\n"
+        "                      see --list-models)\n"
+        "  --scales LIST       input scales: image side / seq len\n"
+        "                      (default 0 = paper baseline)\n"
+        "  --dataflows LIST    WS,OS,DiVa (default all)\n"
+        "  --ppu LIST          off,on (default both; invalid combos\n"
+        "                      such as WS+PPU are skipped)\n"
+        "  --algos LIST        sgd,dpsgd,dpsgdr (default dpsgd,dpsgdr)\n"
+        "  --batches LIST      sizes or 'auto' = largest vanilla DP-SGD\n"
+        "                      batch under 16 GiB (default auto,32,64)\n"
+        "  --microbatches LIST micro-batch sizes, 0 = monolithic\n"
+        "                      (default 0)\n"
+        "  --chips LIST        add a data-parallel pod backend with\n"
+        "                      these chip counts\n"
+        "  --gpus LIST         add GPU baselines: v100-fp32,v100-fp16,\n"
+        "                      a100-fp32,a100-fp16\n"
+        "\n"
+        "Execution:\n"
+        "  --threads N         worker threads (default 1)\n"
+        "  --quiet             no stderr progress\n"
+        "\n"
+        "Output (deterministic; independent of --threads):\n"
+        "  --csv PATH          write CSV to PATH instead of stdout\n"
+        "  --json PATH         also write a JSON report\n"
+        "  --pareto LIST       print the Pareto frontier over these\n"
+        "                      objectives: cycles,seconds,utilization,\n"
+        "                      energy,dram_bytes,power,area\n"
+        "  --no-speedup        skip the Fig.13-style speedup table\n"
+        "  --list-models       print zoo model names and exit\n";
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::optional<TrainingAlgorithm>
+parseAlgo(std::string name)
+{
+    for (char &c : name)
+        c = char(std::tolower(c));
+    if (name == "sgd")
+        return TrainingAlgorithm::kSgd;
+    if (name == "dpsgd" || name == "dp-sgd")
+        return TrainingAlgorithm::kDpSgd;
+    if (name == "dpsgdr" || name == "dp-sgd-r" || name == "dp-sgd(r)")
+        return TrainingAlgorithm::kDpSgdR;
+    return std::nullopt;
+}
+
+std::optional<GpuConfig>
+parseGpu(const std::string &name)
+{
+    if (name == "v100-fp32")
+        return GpuConfig::v100Fp32();
+    if (name == "v100-fp16")
+        return GpuConfig::v100Fp16();
+    if (name == "a100-fp32")
+        return GpuConfig::a100Fp32();
+    if (name == "a100-fp16")
+        return GpuConfig::a100Fp16();
+    return std::nullopt;
+}
+
+/** The preset for one (dataflow, ppu) combo; invalid combos included
+ *  verbatim so expand() counts them as skipped. */
+AcceleratorConfig
+configFor(Dataflow df, bool ppu)
+{
+    switch (df) {
+      case Dataflow::kWeightStationary: {
+        AcceleratorConfig cfg = tpuV3Ws();
+        cfg.hasPpu = ppu; // ppu=true is invalid and will be skipped
+        return cfg;
+      }
+      case Dataflow::kOutputStationary:
+        return systolicOs(ppu);
+      case Dataflow::kOuterProduct:
+        return divaDefault(ppu);
+    }
+    return {};
+}
+
+struct Args
+{
+    std::vector<std::string> models = {"ResNet-50", "BERT-base"};
+    std::vector<int> scales = {0};
+    std::vector<Dataflow> dataflows = {Dataflow::kWeightStationary,
+                                       Dataflow::kOutputStationary,
+                                       Dataflow::kOuterProduct};
+    std::vector<bool> ppus = {false, true};
+    std::vector<TrainingAlgorithm> algos = {TrainingAlgorithm::kDpSgd,
+                                            TrainingAlgorithm::kDpSgdR};
+    std::vector<int> batches = {kAutoBatch, 32, 64};
+    std::vector<int> microbatches = {0};
+    std::vector<int> chips;
+    std::vector<GpuConfig> gpus;
+    std::vector<Objective> pareto;
+    int threads = 1;
+    bool quiet = false;
+    bool speedupTable = true;
+    std::string csvPath;
+    std::string jsonPath;
+};
+
+/** std::stoi that reports instead of throwing out of main. */
+std::optional<int>
+parseInt(const std::string &flag, const std::string &text)
+{
+    try {
+        std::size_t consumed = 0;
+        const int value = std::stoi(text, &consumed);
+        if (consumed == text.size())
+            return value;
+    } catch (const std::exception &) {
+    }
+    std::cerr << "diva_sweep: " << flag << " expects an integer, got '"
+              << text << "'\n";
+    return std::nullopt;
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    auto need = [&](int &i) -> std::optional<std::string> {
+        if (i + 1 >= argc) {
+            std::cerr << "diva_sweep: " << argv[i]
+                      << " needs a value\n";
+            return std::nullopt;
+        }
+        return std::string(argv[++i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        std::optional<std::string> v;
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--list-models") {
+            for (const std::string &m : knownModels())
+                std::cout << m << "\n";
+            std::exit(0);
+        } else if (a == "--quiet") {
+            args.quiet = true;
+        } else if (a == "--no-speedup") {
+            args.speedupTable = false;
+        } else if (a == "--models") {
+            if (!(v = need(i)))
+                return false;
+            args.models = splitList(*v);
+            const std::vector<std::string> zoo = knownModels();
+            for (const std::string &m : args.models)
+                if (std::find(zoo.begin(), zoo.end(), m) == zoo.end()) {
+                    std::cerr << "diva_sweep: unknown model '" << m
+                              << "'; see --list-models\n";
+                    return false;
+                }
+        } else if (a == "--scales") {
+            if (!(v = need(i)))
+                return false;
+            args.scales.clear();
+            for (const std::string &s : splitList(*v)) {
+                const auto n = parseInt(a, s);
+                if (!n)
+                    return false;
+                args.scales.push_back(*n);
+            }
+        } else if (a == "--dataflows") {
+            if (!(v = need(i)))
+                return false;
+            args.dataflows.clear();
+            for (const std::string &s : splitList(*v)) {
+                if (s == "WS")
+                    args.dataflows.push_back(
+                        Dataflow::kWeightStationary);
+                else if (s == "OS")
+                    args.dataflows.push_back(
+                        Dataflow::kOutputStationary);
+                else if (s == "DiVa")
+                    args.dataflows.push_back(Dataflow::kOuterProduct);
+                else {
+                    std::cerr << "diva_sweep: unknown dataflow '" << s
+                              << "'\n";
+                    return false;
+                }
+            }
+        } else if (a == "--ppu") {
+            if (!(v = need(i)))
+                return false;
+            args.ppus.clear();
+            for (const std::string &s : splitList(*v)) {
+                if (s == "off")
+                    args.ppus.push_back(false);
+                else if (s == "on")
+                    args.ppus.push_back(true);
+                else {
+                    std::cerr << "diva_sweep: --ppu takes off/on\n";
+                    return false;
+                }
+            }
+        } else if (a == "--algos") {
+            if (!(v = need(i)))
+                return false;
+            args.algos.clear();
+            for (const std::string &s : splitList(*v)) {
+                const auto algo = parseAlgo(s);
+                if (!algo) {
+                    std::cerr << "diva_sweep: unknown algorithm '" << s
+                              << "'\n";
+                    return false;
+                }
+                args.algos.push_back(*algo);
+            }
+        } else if (a == "--batches") {
+            if (!(v = need(i)))
+                return false;
+            args.batches.clear();
+            for (const std::string &s : splitList(*v)) {
+                if (s == "auto") {
+                    args.batches.push_back(kAutoBatch);
+                    continue;
+                }
+                const auto n = parseInt(a, s);
+                if (!n)
+                    return false;
+                args.batches.push_back(*n);
+            }
+        } else if (a == "--microbatches") {
+            if (!(v = need(i)))
+                return false;
+            args.microbatches.clear();
+            for (const std::string &s : splitList(*v)) {
+                const auto n = parseInt(a, s);
+                if (!n)
+                    return false;
+                args.microbatches.push_back(*n);
+            }
+        } else if (a == "--chips") {
+            if (!(v = need(i)))
+                return false;
+            for (const std::string &s : splitList(*v)) {
+                const auto n = parseInt(a, s);
+                if (!n)
+                    return false;
+                if (*n < 1) {
+                    std::cerr << "diva_sweep: --chips must be >= 1\n";
+                    return false;
+                }
+                args.chips.push_back(*n);
+            }
+        } else if (a == "--gpus") {
+            if (!(v = need(i)))
+                return false;
+            for (const std::string &s : splitList(*v)) {
+                const auto gpu = parseGpu(s);
+                if (!gpu) {
+                    std::cerr << "diva_sweep: unknown GPU '" << s
+                              << "'\n";
+                    return false;
+                }
+                args.gpus.push_back(*gpu);
+            }
+        } else if (a == "--pareto") {
+            if (!(v = need(i)))
+                return false;
+            for (const std::string &s : splitList(*v)) {
+                const auto obj = objectiveFromName(s);
+                if (!obj) {
+                    std::cerr << "diva_sweep: unknown objective '" << s
+                              << "'\n";
+                    return false;
+                }
+                args.pareto.push_back(*obj);
+            }
+        } else if (a == "--threads") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseInt(a, *v);
+            if (!n)
+                return false;
+            args.threads = *n;
+        } else if (a == "--csv") {
+            if (!(v = need(i)))
+                return false;
+            args.csvPath = *v;
+        } else if (a == "--json") {
+            if (!(v = need(i)))
+                return false;
+            args.jsonPath = *v;
+        } else {
+            std::cerr << "diva_sweep: unknown option '" << a << "'\n";
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+SweepSpec
+buildSpec(const Args &args)
+{
+    SweepSpec spec;
+    for (Dataflow df : args.dataflows)
+        for (bool ppu : args.ppus)
+            spec.configs.push_back(configFor(df, ppu));
+    spec.models = args.models;
+    spec.modelScales = args.scales;
+    spec.algorithms = args.algos;
+    spec.batches = args.batches;
+    spec.microbatches = args.microbatches;
+    spec.backends = {SweepBackend::kSingleChip};
+    if (!args.chips.empty()) {
+        spec.backends.push_back(SweepBackend::kMultiChip);
+        for (int n : args.chips) {
+            MultiChipConfig pod;
+            pod.numChips = n;
+            spec.pods.push_back(pod);
+        }
+    }
+    if (!args.gpus.empty()) {
+        spec.backends.push_back(SweepBackend::kGpu);
+        spec.gpus = args.gpus;
+    }
+    return spec;
+}
+
+/** Fig.13-style table: per workload row, speedup of every design point
+ *  over the WS baseline swept up front. */
+void
+printSpeedupTable(std::ostream &os,
+                  const std::vector<ScenarioResult> &baseline,
+                  const std::vector<ScenarioResult> &results)
+{
+    // Workload key -> WS cycles.
+    auto workloadKey = [](const ScenarioResult &r) {
+        std::ostringstream oss;
+        oss << r.scenario.model << '|' << r.scenario.modelScale << '|'
+            << algorithmName(r.scenario.algorithm) << '|'
+            << r.resolvedBatch << '|' << r.scenario.microbatch;
+        return oss.str();
+    };
+    std::map<std::string, Cycles> ws;
+    for (const ScenarioResult &r : baseline)
+        if (r.ok())
+            ws[workloadKey(r)] = r.cycles;
+
+    // Column per design point, in first-seen order.
+    std::vector<std::string> cfgs;
+    for (const ScenarioResult &r : results) {
+        if (r.scenario.backend != SweepBackend::kSingleChip)
+            continue;
+        const std::string &name = r.scenario.config.name;
+        if (std::find(cfgs.begin(), cfgs.end(), name) == cfgs.end())
+            cfgs.push_back(name);
+    }
+
+    std::vector<std::string> header = {"model", "algorithm", "batch"};
+    for (const std::string &c : cfgs)
+        header.push_back(c + " vs WS");
+    TextTable table(header);
+
+    std::map<std::string, std::map<std::string, double>> rows;
+    std::vector<std::string> row_order;
+    for (const ScenarioResult &r : results) {
+        if (!r.ok() || r.scenario.backend != SweepBackend::kSingleChip)
+            continue;
+        const auto it = ws.find(workloadKey(r));
+        if (it == ws.end() || r.cycles == 0)
+            continue;
+        const std::string key = workloadKey(r);
+        if (!rows.count(key))
+            row_order.push_back(key);
+        rows[key][r.scenario.config.name] =
+            double(it->second) / double(r.cycles);
+    }
+    for (const std::string &key : row_order) {
+        std::stringstream ss(key);
+        std::string model, scale, algo, batch, microbatch;
+        std::getline(ss, model, '|');
+        std::getline(ss, scale, '|');
+        std::getline(ss, algo, '|');
+        std::getline(ss, batch, '|');
+        std::getline(ss, microbatch, '|');
+        std::vector<std::string> cells = {
+            scale == "0" ? model : model + "@" + scale, algo, batch};
+        for (const std::string &c : cfgs) {
+            const auto it = rows[key].find(c);
+            cells.push_back(it == rows[key].end()
+                                ? std::string("-")
+                                : TextTable::fmtX(it->second));
+        }
+        table.addRow(cells);
+    }
+    os << "=== speedup vs Systolic-WS (Fig. 13 protocol) ===\n";
+    table.print(os);
+}
+
+void
+printPareto(std::ostream &os, const std::vector<ScenarioResult> &results,
+            const std::vector<Objective> &objectives)
+{
+    const std::vector<std::size_t> frontier =
+        paretoFrontier(results, objectives);
+    std::vector<std::string> header = {"scenario"};
+    for (Objective o : objectives)
+        header.push_back(objectiveName(o));
+    TextTable table(header);
+    for (std::size_t i : frontier) {
+        std::vector<std::string> cells = {results[i].scenario.label()};
+        for (Objective o : objectives) {
+            const double v = objectiveValue(results[i], o);
+            const bool integral = o == Objective::kCycles ||
+                                  o == Objective::kDramBytes;
+            cells.push_back(integral
+                                ? std::to_string(std::uint64_t(v))
+                                : formatDouble(v));
+        }
+        table.addRow(cells);
+    }
+    os << "=== Pareto frontier (" << frontier.size() << " of "
+       << results.size() << " scenarios) ===\n";
+    table.print(os);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return 1;
+
+    SweepOptions opts;
+    opts.threads = args.threads;
+    if (!args.quiet)
+        opts.progress = [](std::size_t done, std::size_t total,
+                           const Scenario &s) {
+            std::cerr << "[" << done << "/" << total << "] "
+                      << s.label() << "\n";
+        };
+    SweepRunner runner(opts);
+
+    const SweepSpec spec = buildSpec(args);
+    const SweepSpec::Expansion expansion = spec.expand();
+
+    // Baseline pass: the WS design point over the same workload axes,
+    // so every speedup denominator exists. The main sweep re-meets
+    // these scenarios and takes them from the cache.
+    SweepReport baseline;
+    if (args.speedupTable) {
+        SweepSpec base = spec;
+        base.configs = {tpuV3Ws()};
+        base.backends = {SweepBackend::kSingleChip};
+        base.pods.clear();
+        base.gpus.clear();
+        if (!args.quiet)
+            std::cerr << "sweeping WS baseline...\n";
+        baseline = runner.run(base);
+    }
+
+    if (!args.quiet)
+        std::cerr << "sweeping " << expansion.scenarios.size()
+                  << " scenarios on " << args.threads << " thread(s)...\n";
+    const SweepReport report = runner.run(expansion.scenarios);
+
+    std::ofstream csv_file;
+    if (!args.csvPath.empty()) {
+        csv_file.open(args.csvPath);
+        if (!csv_file) {
+            std::cerr << "diva_sweep: cannot write " << args.csvPath
+                      << "\n";
+            return 1;
+        }
+    }
+    std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
+    writeCsv(csv, report);
+
+    if (!args.jsonPath.empty()) {
+        std::ofstream json_file(args.jsonPath);
+        if (!json_file) {
+            std::cerr << "diva_sweep: cannot write " << args.jsonPath
+                      << "\n";
+            return 1;
+        }
+        writeJson(json_file, report);
+    }
+
+    std::cout << "\n=== sweep summary ===\n"
+              << "scenarios: " << report.results.size() << " (cartesian "
+              << expansion.rawCount << ", invalid skipped "
+              << expansion.invalidSkipped << ", duplicates removed "
+              << expansion.duplicatesRemoved << ")\n"
+              << "cache: " << report.cacheHits << " hits, "
+              << report.cacheMisses << " misses\n"
+              << "failures: " << report.failures << "\n";
+
+    const SweepSummary stats = summarizeResults(report.results);
+    TextTable summary({"metric", "min", "median", "p95", "max"});
+    auto statRow = [&](const char *name, const SummaryStats &s,
+                       bool integral) {
+        summary.addRow(
+            {name,
+             integral ? std::to_string(std::uint64_t(s.min))
+                      : formatDouble(s.min),
+             integral ? std::to_string(std::uint64_t(s.median))
+                      : formatDouble(s.median),
+             integral ? std::to_string(std::uint64_t(s.p95))
+                      : formatDouble(s.p95),
+             integral ? std::to_string(std::uint64_t(s.max))
+                      : formatDouble(s.max)});
+    };
+    statRow("cycles", stats.cycles, true);
+    statRow("utilization", stats.utilization, false);
+    statRow("energy (J)", stats.energyJ, false);
+    summary.print(std::cout);
+    std::cout << "\n";
+
+    if (args.speedupTable) {
+        printSpeedupTable(std::cout, baseline.results, report.results);
+        std::cout << "\n";
+    }
+    if (!args.pareto.empty()) {
+        printPareto(std::cout, report.results, args.pareto);
+        std::cout << "\n";
+    }
+    return report.failures == 0 ? 0 : 2;
+}
