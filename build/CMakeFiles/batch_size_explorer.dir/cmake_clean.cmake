@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_size_explorer.dir/examples/batch_size_explorer.cpp.o"
+  "CMakeFiles/batch_size_explorer.dir/examples/batch_size_explorer.cpp.o.d"
+  "batch_size_explorer"
+  "batch_size_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_size_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_speedup.dir/bench/bench_fig13_speedup.cc.o"
+  "CMakeFiles/bench_fig13_speedup.dir/bench/bench_fig13_speedup.cc.o.d"
+  "bench_fig13_speedup"
+  "bench_fig13_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_flops_util.dir/bench/bench_fig15_flops_util.cc.o"
+  "CMakeFiles/bench_fig15_flops_util.dir/bench/bench_fig15_flops_util.cc.o.d"
+  "bench_fig15_flops_util"
+  "bench_fig15_flops_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_flops_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_gpu.dir/bench/bench_fig17_gpu.cc.o"
+  "CMakeFiles/bench_fig17_gpu.dir/bench/bench_fig17_gpu.cc.o.d"
+  "bench_fig17_gpu"
+  "bench_fig17_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ppu_traffic.dir/bench/bench_ppu_traffic.cc.o"
+  "CMakeFiles/bench_ppu_traffic.dir/bench/bench_ppu_traffic.cc.o.d"
+  "bench_ppu_traffic"
+  "bench_ppu_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ppu_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_sram_bw.dir/bench/bench_tab1_sram_bw.cc.o"
+  "CMakeFiles/bench_tab1_sram_bw.dir/bench/bench_tab1_sram_bw.cc.o.d"
+  "bench_tab1_sram_bw"
+  "bench_tab1_sram_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_sram_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

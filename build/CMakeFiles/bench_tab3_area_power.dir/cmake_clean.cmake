@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_area_power.dir/bench/bench_tab3_area_power.cc.o"
+  "CMakeFiles/bench_tab3_area_power.dir/bench/bench_tab3_area_power.cc.o.d"
+  "bench_tab3_area_power"
+  "bench_tab3_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accelerator_config.cc" "CMakeFiles/diva.dir/src/arch/accelerator_config.cc.o" "gcc" "CMakeFiles/diva.dir/src/arch/accelerator_config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/diva.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/diva.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/diva.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/diva.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/diva.dir/src/common/table.cc.o" "gcc" "CMakeFiles/diva.dir/src/common/table.cc.o.d"
+  "/root/repo/src/dp/accountant.cc" "CMakeFiles/diva.dir/src/dp/accountant.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/accountant.cc.o.d"
+  "/root/repo/src/dp/conv2d.cc" "CMakeFiles/diva.dir/src/dp/conv2d.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/conv2d.cc.o.d"
+  "/root/repo/src/dp/convnet.cc" "CMakeFiles/diva.dir/src/dp/convnet.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/convnet.cc.o.d"
+  "/root/repo/src/dp/data.cc" "CMakeFiles/diva.dir/src/dp/data.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/data.cc.o.d"
+  "/root/repo/src/dp/dp_sgd.cc" "CMakeFiles/diva.dir/src/dp/dp_sgd.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/dp_sgd.cc.o.d"
+  "/root/repo/src/dp/im2col.cc" "CMakeFiles/diva.dir/src/dp/im2col.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/im2col.cc.o.d"
+  "/root/repo/src/dp/linear.cc" "CMakeFiles/diva.dir/src/dp/linear.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/linear.cc.o.d"
+  "/root/repo/src/dp/mlp.cc" "CMakeFiles/diva.dir/src/dp/mlp.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/mlp.cc.o.d"
+  "/root/repo/src/dp/ops.cc" "CMakeFiles/diva.dir/src/dp/ops.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/ops.cc.o.d"
+  "/root/repo/src/dp/seq_linear.cc" "CMakeFiles/diva.dir/src/dp/seq_linear.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/seq_linear.cc.o.d"
+  "/root/repo/src/dp/tensor.cc" "CMakeFiles/diva.dir/src/dp/tensor.cc.o" "gcc" "CMakeFiles/diva.dir/src/dp/tensor.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "CMakeFiles/diva.dir/src/energy/energy_model.cc.o" "gcc" "CMakeFiles/diva.dir/src/energy/energy_model.cc.o.d"
+  "/root/repo/src/gemm/bandwidth.cc" "CMakeFiles/diva.dir/src/gemm/bandwidth.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/bandwidth.cc.o.d"
+  "/root/repo/src/gemm/engine.cc" "CMakeFiles/diva.dir/src/gemm/engine.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/engine.cc.o.d"
+  "/root/repo/src/gemm/gemm_shape.cc" "CMakeFiles/diva.dir/src/gemm/gemm_shape.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/gemm_shape.cc.o.d"
+  "/root/repo/src/gemm/os_systolic.cc" "CMakeFiles/diva.dir/src/gemm/os_systolic.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/os_systolic.cc.o.d"
+  "/root/repo/src/gemm/outer_product.cc" "CMakeFiles/diva.dir/src/gemm/outer_product.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/outer_product.cc.o.d"
+  "/root/repo/src/gemm/reference_gemm.cc" "CMakeFiles/diva.dir/src/gemm/reference_gemm.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/reference_gemm.cc.o.d"
+  "/root/repo/src/gemm/shape_stats.cc" "CMakeFiles/diva.dir/src/gemm/shape_stats.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/shape_stats.cc.o.d"
+  "/root/repo/src/gemm/traffic_model.cc" "CMakeFiles/diva.dir/src/gemm/traffic_model.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/traffic_model.cc.o.d"
+  "/root/repo/src/gemm/ws_systolic.cc" "CMakeFiles/diva.dir/src/gemm/ws_systolic.cc.o" "gcc" "CMakeFiles/diva.dir/src/gemm/ws_systolic.cc.o.d"
+  "/root/repo/src/gpu/gpu_model.cc" "CMakeFiles/diva.dir/src/gpu/gpu_model.cc.o" "gcc" "CMakeFiles/diva.dir/src/gpu/gpu_model.cc.o.d"
+  "/root/repo/src/mem/dram_model.cc" "CMakeFiles/diva.dir/src/mem/dram_model.cc.o" "gcc" "CMakeFiles/diva.dir/src/mem/dram_model.cc.o.d"
+  "/root/repo/src/mem/sram_buffer.cc" "CMakeFiles/diva.dir/src/mem/sram_buffer.cc.o" "gcc" "CMakeFiles/diva.dir/src/mem/sram_buffer.cc.o.d"
+  "/root/repo/src/models/layer.cc" "CMakeFiles/diva.dir/src/models/layer.cc.o" "gcc" "CMakeFiles/diva.dir/src/models/layer.cc.o.d"
+  "/root/repo/src/models/network.cc" "CMakeFiles/diva.dir/src/models/network.cc.o" "gcc" "CMakeFiles/diva.dir/src/models/network.cc.o.d"
+  "/root/repo/src/models/random_network.cc" "CMakeFiles/diva.dir/src/models/random_network.cc.o" "gcc" "CMakeFiles/diva.dir/src/models/random_network.cc.o.d"
+  "/root/repo/src/models/summary.cc" "CMakeFiles/diva.dir/src/models/summary.cc.o" "gcc" "CMakeFiles/diva.dir/src/models/summary.cc.o.d"
+  "/root/repo/src/models/zoo_cnn.cc" "CMakeFiles/diva.dir/src/models/zoo_cnn.cc.o" "gcc" "CMakeFiles/diva.dir/src/models/zoo_cnn.cc.o.d"
+  "/root/repo/src/models/zoo_nlp.cc" "CMakeFiles/diva.dir/src/models/zoo_nlp.cc.o" "gcc" "CMakeFiles/diva.dir/src/models/zoo_nlp.cc.o.d"
+  "/root/repo/src/ppu/adder_tree.cc" "CMakeFiles/diva.dir/src/ppu/adder_tree.cc.o" "gcc" "CMakeFiles/diva.dir/src/ppu/adder_tree.cc.o.d"
+  "/root/repo/src/ppu/ppu_model.cc" "CMakeFiles/diva.dir/src/ppu/ppu_model.cc.o" "gcc" "CMakeFiles/diva.dir/src/ppu/ppu_model.cc.o.d"
+  "/root/repo/src/ppu/vector_unit.cc" "CMakeFiles/diva.dir/src/ppu/vector_unit.cc.o" "gcc" "CMakeFiles/diva.dir/src/ppu/vector_unit.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "CMakeFiles/diva.dir/src/sim/executor.cc.o" "gcc" "CMakeFiles/diva.dir/src/sim/executor.cc.o.d"
+  "/root/repo/src/sim/multichip.cc" "CMakeFiles/diva.dir/src/sim/multichip.cc.o" "gcc" "CMakeFiles/diva.dir/src/sim/multichip.cc.o.d"
+  "/root/repo/src/sim/result.cc" "CMakeFiles/diva.dir/src/sim/result.cc.o" "gcc" "CMakeFiles/diva.dir/src/sim/result.cc.o.d"
+  "/root/repo/src/sim/roofline.cc" "CMakeFiles/diva.dir/src/sim/roofline.cc.o" "gcc" "CMakeFiles/diva.dir/src/sim/roofline.cc.o.d"
+  "/root/repo/src/sim/stage.cc" "CMakeFiles/diva.dir/src/sim/stage.cc.o" "gcc" "CMakeFiles/diva.dir/src/sim/stage.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "CMakeFiles/diva.dir/src/sim/trace.cc.o" "gcc" "CMakeFiles/diva.dir/src/sim/trace.cc.o.d"
+  "/root/repo/src/sweep/aggregate.cc" "CMakeFiles/diva.dir/src/sweep/aggregate.cc.o" "gcc" "CMakeFiles/diva.dir/src/sweep/aggregate.cc.o.d"
+  "/root/repo/src/sweep/emit.cc" "CMakeFiles/diva.dir/src/sweep/emit.cc.o" "gcc" "CMakeFiles/diva.dir/src/sweep/emit.cc.o.d"
+  "/root/repo/src/sweep/runner.cc" "CMakeFiles/diva.dir/src/sweep/runner.cc.o" "gcc" "CMakeFiles/diva.dir/src/sweep/runner.cc.o.d"
+  "/root/repo/src/sweep/scenario.cc" "CMakeFiles/diva.dir/src/sweep/scenario.cc.o" "gcc" "CMakeFiles/diva.dir/src/sweep/scenario.cc.o.d"
+  "/root/repo/src/sweep/spec.cc" "CMakeFiles/diva.dir/src/sweep/spec.cc.o" "gcc" "CMakeFiles/diva.dir/src/sweep/spec.cc.o.d"
+  "/root/repo/src/train/memory_model.cc" "CMakeFiles/diva.dir/src/train/memory_model.cc.o" "gcc" "CMakeFiles/diva.dir/src/train/memory_model.cc.o.d"
+  "/root/repo/src/train/op.cc" "CMakeFiles/diva.dir/src/train/op.cc.o" "gcc" "CMakeFiles/diva.dir/src/train/op.cc.o.d"
+  "/root/repo/src/train/planner.cc" "CMakeFiles/diva.dir/src/train/planner.cc.o" "gcc" "CMakeFiles/diva.dir/src/train/planner.cc.o.d"
+  "/root/repo/src/train/schedule.cc" "CMakeFiles/diva.dir/src/train/schedule.cc.o" "gcc" "CMakeFiles/diva.dir/src/train/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

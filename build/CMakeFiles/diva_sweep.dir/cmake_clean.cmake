@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diva_sweep.dir/tools/diva_sweep.cc.o"
+  "CMakeFiles/diva_sweep.dir/tools/diva_sweep.cc.o.d"
+  "diva_sweep"
+  "diva_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diva_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

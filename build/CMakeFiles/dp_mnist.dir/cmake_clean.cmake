@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_mnist.dir/examples/dp_mnist.cpp.o"
+  "CMakeFiles/dp_mnist.dir/examples/dp_mnist.cpp.o.d"
+  "dp_mnist"
+  "dp_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

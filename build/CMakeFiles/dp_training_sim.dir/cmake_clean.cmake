@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_training_sim.dir/examples/dp_training_sim.cpp.o"
+  "CMakeFiles/dp_training_sim.dir/examples/dp_training_sim.cpp.o.d"
+  "dp_training_sim"
+  "dp_training_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_training_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

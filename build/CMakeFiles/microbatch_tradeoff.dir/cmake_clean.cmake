@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbatch_tradeoff.dir/examples/microbatch_tradeoff.cpp.o"
+  "CMakeFiles/microbatch_tradeoff.dir/examples/microbatch_tradeoff.cpp.o.d"
+  "microbatch_tradeoff"
+  "microbatch_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbatch_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_scaling.dir/examples/pod_scaling.cpp.o"
+  "CMakeFiles/pod_scaling.dir/examples/pod_scaling.cpp.o.d"
+  "pod_scaling"
+  "pod_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

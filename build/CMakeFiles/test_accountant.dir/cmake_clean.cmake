@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accountant.dir/tests/test_accountant.cc.o"
+  "CMakeFiles/test_accountant.dir/tests/test_accountant.cc.o.d"
+  "test_accountant"
+  "test_accountant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accountant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

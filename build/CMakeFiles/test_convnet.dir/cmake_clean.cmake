@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convnet.dir/tests/test_convnet.cc.o"
+  "CMakeFiles/test_convnet.dir/tests/test_convnet.cc.o.d"
+  "test_convnet"
+  "test_convnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

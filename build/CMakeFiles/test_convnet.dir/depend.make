@@ -1,0 +1,2 @@
+# Empty dependencies file for test_convnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosscheck.dir/tests/test_crosscheck.cc.o"
+  "CMakeFiles/test_crosscheck.dir/tests/test_crosscheck.cc.o.d"
+  "test_crosscheck"
+  "test_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_conv.dir/tests/test_dp_conv.cc.o"
+  "CMakeFiles/test_dp_conv.dir/tests/test_dp_conv.cc.o.d"
+  "test_dp_conv"
+  "test_dp_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

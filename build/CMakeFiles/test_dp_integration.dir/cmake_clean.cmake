@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_integration.dir/tests/test_dp_integration.cc.o"
+  "CMakeFiles/test_dp_integration.dir/tests/test_dp_integration.cc.o.d"
+  "test_dp_integration"
+  "test_dp_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

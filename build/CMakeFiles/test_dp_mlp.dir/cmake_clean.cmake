@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_mlp.dir/tests/test_dp_mlp.cc.o"
+  "CMakeFiles/test_dp_mlp.dir/tests/test_dp_mlp.cc.o.d"
+  "test_dp_mlp"
+  "test_dp_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

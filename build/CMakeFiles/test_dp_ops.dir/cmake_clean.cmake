@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_ops.dir/tests/test_dp_ops.cc.o"
+  "CMakeFiles/test_dp_ops.dir/tests/test_dp_ops.cc.o.d"
+  "test_dp_ops"
+  "test_dp_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

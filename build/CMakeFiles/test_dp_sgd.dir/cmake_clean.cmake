@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_sgd.dir/tests/test_dp_sgd.cc.o"
+  "CMakeFiles/test_dp_sgd.dir/tests/test_dp_sgd.cc.o.d"
+  "test_dp_sgd"
+  "test_dp_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_tensor.dir/tests/test_dp_tensor.cc.o"
+  "CMakeFiles/test_dp_tensor.dir/tests/test_dp_tensor.cc.o.d"
+  "test_dp_tensor"
+  "test_dp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

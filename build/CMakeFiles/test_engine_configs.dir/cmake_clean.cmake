@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_configs.dir/tests/test_engine_configs.cc.o"
+  "CMakeFiles/test_engine_configs.dir/tests/test_engine_configs.cc.o.d"
+  "test_engine_configs"
+  "test_engine_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_shape.dir/tests/test_gemm_shape.cc.o"
+  "CMakeFiles/test_gemm_shape.dir/tests/test_gemm_shape.cc.o.d"
+  "test_gemm_shape"
+  "test_gemm_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microbatch.dir/tests/test_microbatch.cc.o"
+  "CMakeFiles/test_microbatch.dir/tests/test_microbatch.cc.o.d"
+  "test_microbatch"
+  "test_microbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

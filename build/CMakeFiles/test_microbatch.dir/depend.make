@@ -1,0 +1,2 @@
+# Empty dependencies file for test_microbatch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multichip.dir/tests/test_multichip.cc.o"
+  "CMakeFiles/test_multichip.dir/tests/test_multichip.cc.o.d"
+  "test_multichip"
+  "test_multichip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multichip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppu.dir/tests/test_ppu.cc.o"
+  "CMakeFiles/test_ppu.dir/tests/test_ppu.cc.o.d"
+  "test_ppu"
+  "test_ppu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

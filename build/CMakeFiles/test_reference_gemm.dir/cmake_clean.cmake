@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_gemm.dir/tests/test_reference_gemm.cc.o"
+  "CMakeFiles/test_reference_gemm.dir/tests/test_reference_gemm.cc.o.d"
+  "test_reference_gemm"
+  "test_reference_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roofline.dir/tests/test_roofline.cc.o"
+  "CMakeFiles/test_roofline.dir/tests/test_roofline.cc.o.d"
+  "test_roofline"
+  "test_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

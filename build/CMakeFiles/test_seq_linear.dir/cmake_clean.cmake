@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_linear.dir/tests/test_seq_linear.cc.o"
+  "CMakeFiles/test_seq_linear.dir/tests/test_seq_linear.cc.o.d"
+  "test_seq_linear"
+  "test_seq_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

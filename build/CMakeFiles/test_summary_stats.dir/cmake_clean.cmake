@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary_stats.dir/tests/test_summary_stats.cc.o"
+  "CMakeFiles/test_summary_stats.dir/tests/test_summary_stats.cc.o.d"
+  "test_summary_stats"
+  "test_summary_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

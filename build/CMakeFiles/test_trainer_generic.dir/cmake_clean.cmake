@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer_generic.dir/tests/test_trainer_generic.cc.o"
+  "CMakeFiles/test_trainer_generic.dir/tests/test_trainer_generic.cc.o.d"
+  "test_trainer_generic"
+  "test_trainer_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
