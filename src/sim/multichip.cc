@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "energy/energy_model.h"
 #include "sim/executor.h"
 #include "train/planner.h"
 
@@ -26,14 +27,14 @@ simulateDataParallel(const AcceleratorConfig &chip, const Network &net,
 
     const Executor exec(chip);
     // The slowest chip carries the ceil-sized shard.
-    result.computeCycles =
-        exec.run(buildOpStream(net, algo, result.perChipBatch))
-            .totalCycles();
+    const SimResult chip_result =
+        exec.run(buildOpStream(net, algo, result.perChipBatch));
+    result.computeCycles = chip_result.totalCycles();
 
+    const double grad_bytes = double(net.paramCount()) * 4.0;
     if (pod.numChips > 1) {
         // Ring all-reduce of the FP32 per-batch weight gradients:
         // each chip sends 2*(N-1)/N of |G(W)| over its link.
-        const double grad_bytes = double(net.paramCount()) * 4.0;
         const double wire_bytes = 2.0 *
                                   double(pod.numChips - 1) /
                                   double(pod.numChips) * grad_bytes;
@@ -44,6 +45,34 @@ simulateDataParallel(const AcceleratorConfig &chip, const Network &net,
             Cycles(2 * (pod.numChips - 1)) * pod.linkLatencyCycles;
     }
     result.totalCycles = result.computeCycles + result.allReduceCycles;
+
+    // Pod-level utilization, traffic, and energy. Every chip runs the
+    // same shard simulation, so pod totals are numChips times the
+    // per-chip result plus the all-reduce contributions: each chip
+    // streams its gradients out to the link and the reduced gradients
+    // back (2*|G| of DRAM traffic), and its engine keeps drawing power
+    // while stalled on the ring.
+    const double chips = double(pod.numChips);
+    result.utilization =
+        result.totalCycles == 0
+            ? 0.0
+            : chip_result.overallUtilization(chip) *
+                  double(result.computeCycles) /
+                  double(result.totalCycles);
+    Bytes per_chip_dram = chip_result.totalDram().total();
+    double pod_energy = chips * EnergyModel::energy(chip_result, chip).total();
+    if (pod.numChips > 1) {
+        const Bytes reduce_dram = Bytes(2.0 * grad_bytes);
+        per_chip_dram += reduce_dram;
+        pod_energy += chips * EnergyModel::kDramJoulesPerByte *
+                      double(reduce_dram);
+        pod_energy += chips * EnergyModel::enginePowerW(chip) *
+                      chip.cyclesToSeconds(result.allReduceCycles);
+    }
+    result.dramBytes = Bytes(chips) * per_chip_dram;
+    result.energyJ = pod_energy;
+    result.postProcDramBytes =
+        Bytes(chips) * chip_result.postProcessingDram.total();
 
     const Cycles single =
         exec.run(buildOpStream(net, algo, global_batch)).totalCycles();

@@ -44,6 +44,27 @@ struct ScalingResult
      * divided by (numChips x multi-chip time). 1.0 = perfect scaling.
      */
     double efficiency = 0.0;
+
+    /**
+     * Pod-level effective FLOPS utilization: the per-chip iteration
+     * utilization derated by the all-reduce stall (engines are idle
+     * while gradients circulate the ring).
+     */
+    double utilization = 0.0;
+
+    /**
+     * Pod energy per iteration in joules, summed over all chips:
+     * per-chip compute/SRAM/DRAM energy, engine power drawn during the
+     * all-reduce stall, and the DRAM traffic of streaming each chip's
+     * gradient shard out and the reduced gradients back in.
+     */
+    double energyJ = 0.0;
+
+    /** Pod-wide DRAM traffic, including the gradient-reduce streaming. */
+    Bytes dramBytes = 0;
+
+    /** Pod-wide gradient post-processing off-chip traffic. */
+    Bytes postProcDramBytes = 0;
 };
 
 /**

@@ -157,4 +157,60 @@ paretoFrontier(const std::vector<ScenarioResult> &results,
     return frontier;
 }
 
+double
+throughputExamplesPerSec(const ScenarioResult &r)
+{
+    if (!(r.seconds > 0.0) || !std::isfinite(r.seconds))
+        return 0.0;
+    return double(r.resolvedBatch) / r.seconds;
+}
+
+EnergySearchResult
+energyConstrainedSearch(const std::vector<ScenarioResult> &results,
+                        const EnergyBudget &budget)
+{
+    const bool joules_bound =
+        std::isfinite(budget.maxJoulesPerIteration);
+    const bool watts_bound = std::isfinite(budget.maxPowerW);
+
+    EnergySearchResult out;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        if (!r.ok())
+            continue;
+        // A constrained metric must actually be modeled: energyJ <= 0
+        // means "no energy model" (GPU roofline), not "free".
+        if (joules_bound && (!(r.energyJ > 0.0) ||
+                             r.energyJ > budget.maxJoulesPerIteration))
+            continue;
+        if (watts_bound &&
+            (!(r.enginePowerW > 0.0) || r.enginePowerW > budget.maxPowerW))
+            continue;
+        out.feasible.push_back(i);
+    }
+
+    for (std::size_t i : out.feasible) {
+        if (!out.best) {
+            out.best = i;
+            continue;
+        }
+        const double t = throughputExamplesPerSec(results[i]);
+        const double t_best = throughputExamplesPerSec(results[*out.best]);
+        if (t > t_best ||
+            (t == t_best && results[i].energyJ < results[*out.best].energyJ))
+            out.best = i;
+    }
+
+    // The budget-respecting trade-off curve, via the shared Pareto
+    // machinery on the feasible subset.
+    std::vector<ScenarioResult> feasible_results;
+    feasible_results.reserve(out.feasible.size());
+    for (std::size_t i : out.feasible)
+        feasible_results.push_back(results[i]);
+    for (std::size_t k : paretoFrontier(
+             feasible_results, {Objective::kSeconds, Objective::kEnergy}))
+        out.frontier.push_back(out.feasible[k]);
+    return out;
+}
+
 } // namespace diva

@@ -9,6 +9,7 @@
 #define DIVA_SWEEP_AGGREGATE_H
 
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,6 +80,57 @@ SweepSummary summarizeResults(const std::vector<ScenarioResult> &results);
 std::vector<std::size_t>
 paretoFrontier(const std::vector<ScenarioResult> &results,
                const std::vector<Objective> &objectives);
+
+/**
+ * Constraints for the energy-constrained search. Unset budgets
+ * (infinity) are unconstrained; at least one must be finite for
+ * energyConstrainedSearch to do anything interesting.
+ */
+struct EnergyBudget
+{
+    /** Max energy per training iteration in joules (--budget-j). */
+    double maxJoulesPerIteration = std::numeric_limits<double>::infinity();
+
+    /** Max engine TDP in watts, pod-wide for pod scenarios (--budget-w). */
+    double maxPowerW = std::numeric_limits<double>::infinity();
+};
+
+/** Outcome of an energy-constrained search over a sweep's results. */
+struct EnergySearchResult
+{
+    /** Indices (ascending) of successful results within budget. */
+    std::vector<std::size_t> feasible;
+
+    /**
+     * Feasible index with the highest training throughput
+     * (examples/second); ties break toward lower energy, then input
+     * order. nullopt when nothing is feasible.
+     */
+    std::optional<std::size_t> best;
+
+    /**
+     * Pareto frontier over (seconds, energy) restricted to the
+     * feasible set -- the budget-respecting latency/energy trade-off
+     * curve. Indices into `results`, ascending.
+     */
+    std::vector<std::size_t> frontier;
+};
+
+/** Training throughput of one result in examples per second. */
+double throughputExamplesPerSec(const ScenarioResult &r);
+
+/**
+ * Best config under an energy budget: filter successful results to
+ * those within every finite budget, pick the highest-throughput one,
+ * and expose the feasible (seconds, energy) Pareto frontier. Results
+ * without an energy model (energyJ <= 0, e.g. the GPU roofline
+ * backend) are excluded whenever a joules budget is set, and likewise
+ * enginePowerW <= 0 under a watts budget -- a missing model must not
+ * trivially satisfy the constraint.
+ */
+EnergySearchResult
+energyConstrainedSearch(const std::vector<ScenarioResult> &results,
+                        const EnergyBudget &budget);
 
 } // namespace diva
 

@@ -1,0 +1,283 @@
+#include "sweep/disk_cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "sweep/emit.h"
+
+namespace diva
+{
+
+namespace
+{
+
+/** Header line identifying the file and its record layout version. */
+std::string
+headerLine()
+{
+    return "diva-sweep-cache v" + std::to_string(DiskCache::kFormatVersion);
+}
+
+/** FNV-1a 64-bit, printed as fixed-width hex in the record prefix. */
+std::string
+checksum(const std::string &payload)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end == s.c_str() + s.size();
+}
+
+bool
+parseF64(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+/** Tab-separated simulation outputs; the key is carried separately. */
+std::string
+payloadFor(const std::string &key, const ScenarioResult &r)
+{
+    std::ostringstream oss;
+    oss << key << '\t' << r.resolvedBatch << '\t' << r.cycles << '\t'
+        << r.computeCycles << '\t' << r.allReduceCycles << '\t'
+        << formatDouble(r.seconds) << '\t' << formatDouble(r.utilization)
+        << '\t' << formatDouble(r.energyJ) << '\t' << r.dramBytes << '\t'
+        << r.postProcDramBytes << '\t' << formatDouble(r.enginePowerW)
+        << '\t' << formatDouble(r.engineAreaMm2);
+    return oss.str();
+}
+
+/** Inverse of payloadFor; false on any malformed field. */
+bool
+parsePayload(const std::string &payload, std::string &key,
+             ScenarioResult &r)
+{
+    const std::vector<std::string> f = splitTabs(payload);
+    if (f.size() != 12)
+        return false;
+    key = f[0];
+    std::uint64_t u = 0;
+    if (!parseU64(f[1], u))
+        return false;
+    r.resolvedBatch = static_cast<int>(u);
+    if (!parseU64(f[2], r.cycles) || !parseU64(f[3], r.computeCycles) ||
+        !parseU64(f[4], r.allReduceCycles))
+        return false;
+    if (!parseF64(f[5], r.seconds) || !parseF64(f[6], r.utilization) ||
+        !parseF64(f[7], r.energyJ))
+        return false;
+    if (!parseU64(f[8], r.dramBytes) || !parseU64(f[9], r.postProcDramBytes))
+        return false;
+    if (!parseF64(f[10], r.enginePowerW) ||
+        !parseF64(f[11], r.engineAreaMm2))
+        return false;
+    return true;
+}
+
+} // namespace
+
+DiskCache::DiskCache(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best effort
+    path_ = (std::filesystem::path(dir) / "sweep-results.cache").string();
+    load();
+}
+
+void
+DiskCache::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // no file yet: empty cache
+    std::string line;
+    if (!std::getline(in, line) || line != headerLine()) {
+        // Foreign or future format: never half-parse it. Keep nothing
+        // and replace the file wholesale on the next append.
+        rewrite_needed_ = true;
+        return;
+    }
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const std::size_t tab = line.find('\t');
+        bool ok = tab != std::string::npos;
+        if (ok) {
+            const std::string payload = line.substr(tab + 1);
+            ok = line.substr(0, tab) == checksum(payload);
+            if (ok) {
+                std::string key;
+                ScenarioResult r;
+                ok = parsePayload(payload, key, r);
+                if (ok)
+                    entries_[key] = r; // duplicate keys: last wins
+            }
+        }
+        if (!ok)
+            ++corrupt_;
+    }
+}
+
+namespace
+{
+
+/**
+ * Append `data` to `path` with ONE write so concurrent appenders on
+ * the same store interleave at record-batch granularity, never inside
+ * a record: POSIX guarantees O_APPEND write() calls are atomic with
+ * respect to each other. The Windows fallback is stream-buffered and
+ * therefore single-writer only.
+ */
+bool
+appendAtomically(const std::string &path, const std::string &data)
+{
+#ifndef _WIN32
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd < 0)
+        return false;
+    std::size_t done = 0;
+    bool ok = true;
+    while (done < data.size()) {
+        const ::ssize_t n =
+            ::write(fd, data.data() + done, data.size() - done);
+        if (n <= 0) {
+            ok = false;
+            break;
+        }
+        done += std::size_t(n);
+    }
+    ::close(fd);
+    return ok;
+#else
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    if (!out)
+        return false;
+    out << data;
+    out.flush();
+    return bool(out);
+#endif
+}
+
+} // namespace
+
+std::size_t
+DiskCache::append(
+    const std::vector<std::pair<std::string, ScenarioResult>> &fresh)
+{
+    // Serialize first; entries_ mirrors the file, so it is updated
+    // only once the bytes are known to have reached it.
+    std::string buffer;
+    std::vector<const std::pair<std::string, ScenarioResult> *> batch;
+    for (const auto &entry : fresh) {
+        const auto &[key, r] = entry;
+        if (!r.ok() || contains(key))
+            continue;
+        if (key.find('\t') != std::string::npos ||
+            key.find('\n') != std::string::npos)
+            continue; // the line format cannot carry such a key
+        const std::string payload = payloadFor(key, r);
+        buffer += checksum(payload);
+        buffer += '\t';
+        buffer += payload;
+        buffer += '\n';
+        batch.push_back(&entry);
+    }
+
+    if (rewrite_needed_) {
+        // Replace the foreign file atomically: write everything we
+        // hold plus the new batch to a sibling temp file, then rename
+        // over the original.
+        const std::string tmp = path_ + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out)
+                return 0;
+            out << headerLine() << '\n';
+            for (const auto &[key, r] : entries_)
+                out << checksum(payloadFor(key, r)) << '\t'
+                    << payloadFor(key, r) << '\n';
+            out << buffer;
+            out.flush();
+            if (!out)
+                return 0;
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, path_, ec);
+        if (ec)
+            return 0;
+        rewrite_needed_ = false;
+        for (const auto *entry : batch)
+            entries_[entry->first] = entry->second;
+        return batch.size();
+    }
+
+    if (batch.empty())
+        return 0;
+    if (!std::filesystem::exists(path_))
+        buffer = headerLine() + '\n' + buffer;
+    if (!appendAtomically(path_, buffer))
+        return 0; // keys stay unstored, so a later append retries them
+    for (const auto *entry : batch)
+        entries_[entry->first] = entry->second;
+    return batch.size();
+}
+
+std::string
+DiskCache::defaultDir()
+{
+    if (const char *dir = std::getenv("DIVA_CACHE_DIR"); dir && *dir)
+        return dir;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+        return (std::filesystem::path(xdg) / "diva").string();
+    if (const char *home = std::getenv("HOME"); home && *home)
+        return (std::filesystem::path(home) / ".cache" / "diva").string();
+    return ".diva-cache";
+}
+
+} // namespace diva

@@ -1,5 +1,6 @@
 #include "sweep/emit.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -34,9 +35,20 @@ jsonEscape(const std::string &s)
         switch (c) {
           case '"': out += "\\\""; break;
           case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
           case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;
-          default: out += c;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
         }
     }
     return out;
@@ -47,6 +59,13 @@ jsonEscape(const std::string &s)
 std::string
 formatDouble(double v)
 {
+    // Non-finite values never round-trip (nan != nan would drive the
+    // precision loop to 17 digits) and %g spells them platform-
+    // dependently; pin the text form.
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v < 0.0 ? "-inf" : "inf";
     // %.17g round-trips but is noisy; prefer the shortest precision
     // that parses back exactly. Deterministic for a given value.
     char buf[64];
@@ -61,13 +80,20 @@ formatDouble(double v)
 }
 
 std::string
+jsonNumber(double v)
+{
+    // JSON has no NaN/Infinity literals; emit null for non-finite.
+    return std::isfinite(v) ? formatDouble(v) : "null";
+}
+
+std::string
 csvHeader()
 {
     return "config,dataflow,ppu,pe_rows,pe_cols,sram_mib,dram_gbs,"
-           "backend,chips,model,scale,algorithm,batch,microbatch,"
-           "cycles,seconds,utilization,energy_j,dram_bytes,"
-           "postproc_dram_bytes,engine_power_w,engine_area_mm2,"
-           "cache_hit,error";
+           "backend,chips,ici_gbs,link_lat,model,scale,algorithm,"
+           "batch,microbatch,cycles,compute_cycles,allreduce_cycles,"
+           "seconds,utilization,energy_j,dram_bytes,"
+           "postproc_dram_bytes,engine_power_w,engine_area_mm2,error";
 }
 
 std::string
@@ -86,14 +112,22 @@ csvRow(const ScenarioResult &r)
                             : s.config.dramBandwidthGBs)
         << ',' << backendName(s.backend) << ','
         << (s.backend == SweepBackend::kMultiChip ? s.pod.numChips : 1)
-        << ',' << csvCell(s.model) << ',' << s.modelScale << ','
+        << ',';
+    // Pod link design point; zeros for backends without interconnect.
+    if (s.backend == SweepBackend::kMultiChip)
+        oss << formatDouble(s.pod.interconnectGBs) << ','
+            << s.pod.linkLatencyCycles;
+    else
+        oss << 0 << ',' << 0;
+    oss << ',' << csvCell(s.model) << ',' << s.modelScale << ','
         << csvCell(algorithmName(s.algorithm)) << ',' << r.resolvedBatch
         << ',' << s.microbatch << ',' << r.cycles << ','
+        << r.computeCycles << ',' << r.allReduceCycles << ','
         << formatDouble(r.seconds) << ',' << formatDouble(r.utilization)
         << ',' << formatDouble(r.energyJ) << ',' << r.dramBytes << ','
         << r.postProcDramBytes << ',' << formatDouble(r.enginePowerW)
         << ',' << formatDouble(r.engineAreaMm2) << ','
-        << int(r.cacheHit) << ',' << csvCell(r.error);
+        << csvCell(r.error);
     return oss.str();
 }
 
@@ -108,9 +142,10 @@ writeCsv(std::ostream &os, const SweepReport &report)
 void
 writeJson(std::ostream &os, const SweepReport &report)
 {
-    os << "{\n  \"cache_hits\": " << report.cacheHits
-       << ",\n  \"cache_misses\": " << report.cacheMisses
-       << ",\n  \"failures\": " << report.failures
+    // No cache accounting here: the file is a pure function of the
+    // scenario list, so a rerun against a warm disk cache is
+    // byte-identical. Cache hit/miss counts go to the CLI summary.
+    os << "{\n  \"failures\": " << report.failures
        << ",\n  \"results\": [";
     for (std::size_t i = 0; i < report.results.size(); ++i) {
         const ScenarioResult &r = report.results[i];
@@ -118,17 +153,22 @@ writeJson(std::ostream &os, const SweepReport &report)
         const bool gpu = s.backend == SweepBackend::kGpu;
         os << (i ? ",\n    {" : "\n    {") << "\"config\": \""
            << jsonEscape(gpu ? s.gpu.name : s.config.name)
-           << "\", \"backend\": \"" << backendName(s.backend)
-           << "\", \"model\": \"" << jsonEscape(s.model)
+           << "\", \"backend\": \"" << backendName(s.backend) << '"';
+        if (s.backend == SweepBackend::kMultiChip)
+            os << ", \"chips\": " << s.pod.numChips << ", \"ici_gbs\": "
+               << jsonNumber(s.pod.interconnectGBs)
+               << ", \"link_lat\": " << s.pod.linkLatencyCycles;
+        os << ", \"model\": \"" << jsonEscape(s.model)
            << "\", \"scale\": " << s.modelScale << ", \"algorithm\": \""
            << jsonEscape(algorithmName(s.algorithm))
            << "\", \"batch\": " << r.resolvedBatch
            << ", \"microbatch\": " << s.microbatch << ", \"cycles\": "
-           << r.cycles << ", \"seconds\": " << formatDouble(r.seconds)
-           << ", \"utilization\": " << formatDouble(r.utilization)
-           << ", \"energy_j\": " << formatDouble(r.energyJ)
-           << ", \"dram_bytes\": " << r.dramBytes << ", \"cache_hit\": "
-           << (r.cacheHit ? "true" : "false");
+           << r.cycles << ", \"compute_cycles\": " << r.computeCycles
+           << ", \"allreduce_cycles\": " << r.allReduceCycles
+           << ", \"seconds\": " << jsonNumber(r.seconds)
+           << ", \"utilization\": " << jsonNumber(r.utilization)
+           << ", \"energy_j\": " << jsonNumber(r.energyJ)
+           << ", \"dram_bytes\": " << r.dramBytes;
         if (!r.ok())
             os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
         os << "}";

@@ -25,11 +25,21 @@ std::string csvRow(const ScenarioResult &r);
 /** Emit header + one row per result. */
 void writeCsv(std::ostream &os, const SweepReport &report);
 
-/** Emit the full report (results + cache accounting) as JSON. */
+/**
+ * Emit the report's results as JSON. Like the CSV, the output is a
+ * pure function of the scenario list (cache accounting is deliberately
+ * excluded so reruns against a warm disk cache emit identical bytes).
+ */
 void writeJson(std::ostream &os, const SweepReport &report);
 
-/** Shortest round-trippable decimal form of a double ("0.25", "1e-06"). */
+/**
+ * Shortest round-trippable decimal form of a double ("0.25", "1e-06").
+ * Non-finite values format as "nan" / "inf" / "-inf".
+ */
 std::string formatDouble(double v);
+
+/** JSON number token for v: formatDouble, or "null" when non-finite. */
+std::string jsonNumber(double v);
 
 } // namespace diva
 

@@ -26,6 +26,7 @@ simulateSingleChip(ScenarioResult &out, const Network &net)
             : buildOpStream(net, s.algorithm, out.resolvedBatch);
     const SimResult r = Executor(s.config).run(stream);
     out.cycles = r.totalCycles();
+    out.computeCycles = out.cycles;
     out.seconds = r.seconds(s.config);
     out.utilization = r.overallUtilization(s.config);
     out.energyJ = EnergyModel::energy(r, s.config).total();
@@ -42,7 +43,13 @@ simulateMultiChip(ScenarioResult &out, const Network &net)
     const ScalingResult r = simulateDataParallel(
         s.config, net, s.algorithm, out.resolvedBatch, s.pod);
     out.cycles = r.totalCycles;
+    out.computeCycles = r.computeCycles;
+    out.allReduceCycles = r.allReduceCycles;
     out.seconds = s.config.cyclesToSeconds(r.totalCycles);
+    out.utilization = r.utilization;
+    out.energyJ = r.energyJ;
+    out.dramBytes = r.dramBytes;
+    out.postProcDramBytes = r.postProcDramBytes;
     out.enginePowerW = EnergyModel::enginePowerW(s.config) * s.pod.numChips;
     out.engineAreaMm2 = EnergyModel::engineAreaMm2(s.config);
 }
@@ -88,6 +95,19 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
 {
     if (opts_.threads < 1)
         opts_.threads = 1;
+    if (!opts_.cacheDir.empty()) {
+        disk_ = std::make_unique<DiskCache>(opts_.cacheDir);
+        preloadFromDisk();
+    }
+}
+
+void
+SweepRunner::preloadFromDisk()
+{
+    if (!disk_)
+        return;
+    for (const auto &[key, result] : disk_->entries())
+        cache_.emplace(key, result);
 }
 
 SweepReport
@@ -102,8 +122,10 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
     SweepReport report;
     report.results.resize(scenarios.size());
 
-    if (!opts_.cacheAcrossRuns)
+    if (!opts_.cacheAcrossRuns) {
         cache_.clear();
+        preloadFromDisk(); // persisted results still count as hits
+    }
 
     // Map each scenario to its canonical key; the first scenario to
     // claim an uncached key becomes a simulation job, the rest are
@@ -156,17 +178,29 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
             t.join();
     }
 
-    for (std::size_t j = 0; j < jobs.size(); ++j)
+    // Only successful results enter the cross-run cache (and the disk
+    // store): a cached failure would replay a possibly transient error
+    // forever instead of retrying it.
+    std::vector<std::pair<std::string, ScenarioResult>> fresh_ok;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (!job_results[j].ok())
+            continue;
         cache_.emplace(keys[jobs[j]], job_results[j]);
+        fresh_ok.emplace_back(keys[jobs[j]], job_results[j]);
+    }
+    if (disk_)
+        disk_->append(fresh_ok);
 
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-        const ScenarioResult &cached = cache_.at(keys[i]);
-        ScenarioResult r = cached;
+        const auto claim = claimed.find(keys[i]);
+        // Simulated this run, or (for pure hits) already in the cache.
+        ScenarioResult r = claim != claimed.end()
+                               ? job_results[claim->second]
+                               : cache_.at(keys[i]);
         // Report the requester's own scenario (labels may differ even
         // when the canonical simulation inputs coincide).
         r.scenario = scenarios[i];
-        r.cacheHit = !claimed.count(keys[i]) ||
-                     jobs[claimed.at(keys[i])] != i;
+        r.cacheHit = claim == claimed.end() || jobs[claim->second] != i;
         if (!r.ok())
             ++report.failures;
         report.results[i] = std::move(r);

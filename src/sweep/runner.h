@@ -6,8 +6,10 @@
  * fixed-size worker pool and assembles results in scenario order, so
  * the report is bit-identical whatever the thread count. Scenarios
  * whose canonical key was already simulated -- duplicates within one
- * run, or repeats across run() calls on the same runner -- are served
- * from the cache and flagged as hits.
+ * run, repeats across run() calls on the same runner, or (with
+ * SweepOptions::cacheDir) results persisted by earlier processes --
+ * are served from the cache and flagged as hits. Failed results are
+ * never cached beyond the run that produced them.
  */
 
 #ifndef DIVA_SWEEP_RUNNER_H
@@ -15,11 +17,13 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sweep/disk_cache.h"
 #include "sweep/scenario.h"
 #include "sweep/spec.h"
 
@@ -35,8 +39,18 @@ struct SweepOptions
     /**
      * Keep results cached across run() calls on the same runner.
      * Within a single run() duplicates are always simulated once.
+     * Failed results are never kept across runs: a transient failure
+     * is retried, not replayed.
      */
     bool cacheAcrossRuns = true;
+
+    /**
+     * When non-empty, persist results in a DiskCache under this
+     * directory: previously stored scenarios are served without
+     * simulation (counted as cache hits) and fresh successful results
+     * are appended after every run(). See DiskCache::defaultDir().
+     */
+    std::string cacheDir;
 
     /**
      * Invoked after each completed simulation with (done, total,
@@ -79,14 +93,21 @@ class SweepRunner
     /** Number of cached unique-scenario results. */
     std::size_t cacheSize() const { return cache_.size(); }
 
+    /** Drop the in-memory cache (the disk store is untouched). */
     void clearCache() { cache_.clear(); }
 
     const SweepOptions &options() const { return opts_; }
 
+    /** The persistent store, or nullptr when options().cacheDir empty. */
+    const DiskCache *diskCache() const { return disk_.get(); }
+
   private:
+    void preloadFromDisk();
+
     SweepOptions opts_;
-    /** canonical key -> finished result (scenario field = first seen). */
+    /** canonical key -> successful result (failures are never kept). */
     std::unordered_map<std::string, ScenarioResult> cache_;
+    std::unique_ptr<DiskCache> disk_;
 };
 
 /** Simulate one scenario synchronously (no cache, no pool). */

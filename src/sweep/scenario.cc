@@ -31,8 +31,13 @@ Scenario::label() const
         oss << gpu.name;
     else
         oss << config.name;
-    if (backend == SweepBackend::kMultiChip)
+    if (backend == SweepBackend::kMultiChip) {
         oss << " x" << pod.numChips;
+        // Spell out the link design point: pods differing only in
+        // interconnect must stay tellable apart in reports.
+        oss << " ici=" << pod.interconnectGBs << "GB/s lat="
+            << pod.linkLatencyCycles;
+    }
     oss << " / " << model;
     if (modelScale != 0)
         oss << "@" << modelScale;

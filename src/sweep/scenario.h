@@ -104,10 +104,18 @@ struct ScenarioResult
     int resolvedBatch = 0;
 
     Cycles cycles = 0;
+    /**
+     * Compute / communication split of `cycles`. Single-chip scenarios
+     * are all compute; pod scenarios split into the slowest chip's
+     * local iteration and the ring all-reduce. Zero for the GPU
+     * backend (the roofline model has no cycle notion).
+     */
+    Cycles computeCycles = 0;
+    Cycles allReduceCycles = 0;
     double seconds = 0.0;
-    /** Effective FLOPS utilization (single-chip backend only). */
+    /** Effective FLOPS utilization (chip and pod backends). */
     double utilization = 0.0;
-    /** Iteration energy in joules (single-chip backend only). */
+    /** Iteration energy in joules; pod scenarios sum over all chips. */
     double energyJ = 0.0;
     Bytes dramBytes = 0;
     /** Gradient post-processing off-chip traffic (the PPU's target). */

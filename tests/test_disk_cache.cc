@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the persistent on-disk sweep result cache: round-trip
+ * fidelity, corruption tolerance, version handling, the
+ * never-persist-failures rule, and SweepRunner integration (fresh run
+ * = misses, rerun = 100% hits, byte-identical CSV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sweep/disk_cache.h"
+#include "sweep/emit.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+
+namespace diva
+{
+namespace
+{
+
+/** Unique empty cache directory under the test temp dir. */
+std::string
+freshCacheDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / "diva-cache" / name;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+ScenarioResult
+sampleResult(int salt)
+{
+    ScenarioResult r;
+    r.resolvedBatch = 8 + salt;
+    r.cycles = 1000 + Cycles(salt);
+    r.computeCycles = 900 + Cycles(salt);
+    r.allReduceCycles = 100;
+    r.seconds = 0.125 + double(salt) * 1e-3;
+    r.utilization = 0.5;
+    r.energyJ = 2.5 + double(salt);
+    r.dramBytes = 1 << 20;
+    r.postProcDramBytes = 1 << 10;
+    r.enginePowerW = 23.8;
+    r.engineAreaMm2 = 85.0;
+    return r;
+}
+
+TEST(DiskCache, RoundTripsEveryStoredField)
+{
+    const std::string dir = freshCacheDir("roundtrip");
+    {
+        DiskCache cache(dir);
+        EXPECT_EQ(cache.size(), 0u);
+        EXPECT_EQ(cache.append({{"key-a", sampleResult(1)},
+                                {"key-b", sampleResult(2)}}),
+                  2u);
+    }
+    DiskCache reloaded(dir);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.corruptLinesSkipped(), 0u);
+    ASSERT_TRUE(reloaded.contains("key-a"));
+    const ScenarioResult &got = reloaded.entries().at("key-a");
+    const ScenarioResult want = sampleResult(1);
+    EXPECT_EQ(got.resolvedBatch, want.resolvedBatch);
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.computeCycles, want.computeCycles);
+    EXPECT_EQ(got.allReduceCycles, want.allReduceCycles);
+    EXPECT_EQ(got.seconds, want.seconds);
+    EXPECT_EQ(got.utilization, want.utilization);
+    EXPECT_EQ(got.energyJ, want.energyJ);
+    EXPECT_EQ(got.dramBytes, want.dramBytes);
+    EXPECT_EQ(got.postProcDramBytes, want.postProcDramBytes);
+    EXPECT_EQ(got.enginePowerW, want.enginePowerW);
+    EXPECT_EQ(got.engineAreaMm2, want.engineAreaMm2);
+    EXPECT_TRUE(got.ok());
+}
+
+TEST(DiskCache, AppendSkipsDuplicatesAndUnstorableKeys)
+{
+    const std::string dir = freshCacheDir("dupes");
+    DiskCache cache(dir);
+    EXPECT_EQ(cache.append({{"key", sampleResult(0)}}), 1u);
+    EXPECT_EQ(cache.append({{"key", sampleResult(1)}}), 0u);
+    EXPECT_EQ(cache.append({{"bad\tkey", sampleResult(0)}}), 0u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DiskCache, NeverPersistsFailedResults)
+{
+    const std::string dir = freshCacheDir("failures");
+    {
+        DiskCache cache(dir);
+        ScenarioResult failed = sampleResult(0);
+        failed.error = "transient boom";
+        EXPECT_EQ(cache.append({{"failed-key", failed}}), 0u);
+        EXPECT_FALSE(cache.contains("failed-key"));
+    }
+    DiskCache reloaded(dir);
+    EXPECT_EQ(reloaded.size(), 0u);
+}
+
+TEST(DiskCache, SkipsCorruptLinesButKeepsValidOnes)
+{
+    const std::string dir = freshCacheDir("corrupt");
+    std::string path;
+    {
+        DiskCache cache(dir);
+        cache.append({{"good-1", sampleResult(1)}});
+        path = cache.filePath();
+    }
+    // Simulate a torn append and an edited record.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "deadbeefdeadbeef\tgarbage payload\n";
+        out << "not even a record\n";
+        out << "0123456789abcdef\ttruncated\t1\t2\n";
+    }
+    DiskCache cache(dir);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.contains("good-1"));
+    EXPECT_EQ(cache.corruptLinesSkipped(), 3u);
+    // The store stays writable after corruption.
+    EXPECT_EQ(cache.append({{"good-2", sampleResult(2)}}), 1u);
+    DiskCache reloaded(dir);
+    EXPECT_EQ(reloaded.size(), 2u);
+}
+
+TEST(DiskCache, ForeignVersionIsIgnoredThenRewritten)
+{
+    const std::string dir = freshCacheDir("version");
+    std::string path;
+    {
+        DiskCache cache(dir);
+        cache.append({{"old-format-key", sampleResult(0)}});
+        path = cache.filePath();
+    }
+    // Pretend a future version wrote the file.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "diva-sweep-cache v999\n"
+            << "some future record format\n";
+    }
+    DiskCache cache(dir);
+    EXPECT_EQ(cache.size(), 0u); // foreign file: nothing half-parsed
+    EXPECT_EQ(cache.append({{"new-key", sampleResult(1)}}), 1u);
+    DiskCache reloaded(dir);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_TRUE(reloaded.contains("new-key"));
+    EXPECT_EQ(reloaded.corruptLinesSkipped(), 0u);
+}
+
+/** 2 configs x 1 model x 2 algos, cheap to simulate. */
+SweepSpec
+tinySpec()
+{
+    SweepSpec spec;
+    spec.configs = {tpuV3Ws(), divaDefault(true)};
+    spec.models = {"SqueezeNet"};
+    spec.algorithms = {TrainingAlgorithm::kDpSgd,
+                       TrainingAlgorithm::kDpSgdR};
+    spec.batches = {4};
+    return spec;
+}
+
+TEST(DiskCache, RunnerFreshRunMissesRerunAllHits)
+{
+    const std::string dir = freshCacheDir("runner");
+    const std::vector<Scenario> scenarios = tinySpec().expand().scenarios;
+
+    SweepOptions opts;
+    opts.cacheDir = dir;
+    std::string first_csv;
+    {
+        SweepRunner runner(opts);
+        const SweepReport report = runner.run(scenarios);
+        EXPECT_EQ(report.cacheMisses, scenarios.size());
+        EXPECT_EQ(report.cacheHits, 0u);
+        std::ostringstream oss;
+        writeCsv(oss, report);
+        first_csv = oss.str();
+    }
+    {
+        // A brand-new runner (= a new process) sees only the disk.
+        SweepRunner runner(opts);
+        const SweepReport report = runner.run(scenarios);
+        EXPECT_EQ(report.cacheMisses, 0u);
+        EXPECT_EQ(report.cacheHits, scenarios.size());
+        for (const ScenarioResult &r : report.results)
+            EXPECT_TRUE(r.cacheHit);
+        std::ostringstream oss;
+        writeCsv(oss, report);
+        EXPECT_EQ(oss.str(), first_csv); // byte-identical CSV
+    }
+}
+
+TEST(DiskCache, RunnerWithoutCacheDirDoesNotTouchDisk)
+{
+    SweepRunner runner;
+    EXPECT_EQ(runner.diskCache(), nullptr);
+}
+
+TEST(DiskCache, RunnerPersistsAcrossClearCacheViaDisk)
+{
+    const std::string dir = freshCacheDir("clear");
+    const std::vector<Scenario> scenarios = tinySpec().expand().scenarios;
+    SweepOptions opts;
+    opts.cacheDir = dir;
+    opts.cacheAcrossRuns = false; // memory cleared, disk preloaded
+    SweepRunner runner(opts);
+    const SweepReport first = runner.run(scenarios);
+    EXPECT_EQ(first.cacheMisses, scenarios.size());
+    const SweepReport second = runner.run(scenarios);
+    EXPECT_EQ(second.cacheMisses, 0u);
+    EXPECT_EQ(second.cacheHits, scenarios.size());
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the energy-constrained search mode: feasibility filtering
+ * under joules/TDP budgets, best-throughput selection, exclusion of
+ * unmodeled metrics, and the feasible Pareto frontier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sweep/aggregate.h"
+
+namespace diva
+{
+namespace
+{
+
+ScenarioResult
+point(int batch, double seconds, double energy_j, double power_w)
+{
+    ScenarioResult r;
+    r.resolvedBatch = batch;
+    r.seconds = seconds;
+    r.energyJ = energy_j;
+    r.enginePowerW = power_w;
+    return r;
+}
+
+/**
+ * Fixture (batch 32 everywhere, so throughput orders inversely with
+ * seconds):
+ *   [0] fastest but hot:      0.010 s, 8 J, 40 W
+ *   [1] mid speed, mid power: 0.020 s, 4 J, 20 W
+ *   [2] slow and cool:        0.040 s, 2 J, 10 W
+ *   [3] mid speed duplicate of [1] in time but cheaper energy
+ *   [4] failed
+ */
+std::vector<ScenarioResult>
+fixture()
+{
+    std::vector<ScenarioResult> results = {
+        point(32, 0.010, 8.0, 40.0),
+        point(32, 0.020, 4.0, 20.0),
+        point(32, 0.040, 2.0, 10.0),
+        point(32, 0.020, 3.0, 20.0),
+        point(32, 0.005, 1.0, 5.0),
+    };
+    results[4].error = "boom";
+    return results;
+}
+
+TEST(EnergySearch, ThroughputIsBatchOverSeconds)
+{
+    EXPECT_DOUBLE_EQ(throughputExamplesPerSec(point(32, 0.010, 0, 0)),
+                     3200.0);
+    EXPECT_EQ(throughputExamplesPerSec(point(32, 0.0, 0, 0)), 0.0);
+}
+
+TEST(EnergySearch, UnconstrainedBudgetKeepsAllSuccessfulResults)
+{
+    const EnergySearchResult s =
+        energyConstrainedSearch(fixture(), EnergyBudget{});
+    EXPECT_EQ(s.feasible, (std::vector<std::size_t>{0, 1, 2, 3}));
+    ASSERT_TRUE(s.best.has_value());
+    EXPECT_EQ(*s.best, 0u); // fastest wins without a budget
+}
+
+TEST(EnergySearch, JoulesBudgetSelectsBestThroughputUnderBudget)
+{
+    EnergyBudget budget;
+    budget.maxJoulesPerIteration = 4.5;
+    const EnergySearchResult s =
+        energyConstrainedSearch(fixture(), budget);
+    // [0] (8 J) busts the budget; [1] and [3] tie on throughput and
+    // the tie breaks toward [3]'s lower energy.
+    EXPECT_EQ(s.feasible, (std::vector<std::size_t>{1, 2, 3}));
+    ASSERT_TRUE(s.best.has_value());
+    EXPECT_EQ(*s.best, 3u);
+}
+
+TEST(EnergySearch, TdpBudgetFiltersOnEnginePower)
+{
+    EnergyBudget budget;
+    budget.maxPowerW = 15.0;
+    const EnergySearchResult s =
+        energyConstrainedSearch(fixture(), budget);
+    EXPECT_EQ(s.feasible, (std::vector<std::size_t>{2}));
+    ASSERT_TRUE(s.best.has_value());
+    EXPECT_EQ(*s.best, 2u);
+}
+
+TEST(EnergySearch, BothBudgetsIntersect)
+{
+    EnergyBudget budget;
+    budget.maxJoulesPerIteration = 4.5;
+    budget.maxPowerW = 20.0;
+    const EnergySearchResult s =
+        energyConstrainedSearch(fixture(), budget);
+    EXPECT_EQ(s.feasible, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(EnergySearch, InfeasibleBudgetYieldsNoBest)
+{
+    EnergyBudget budget;
+    budget.maxJoulesPerIteration = 0.5;
+    const EnergySearchResult s =
+        energyConstrainedSearch(fixture(), budget);
+    EXPECT_TRUE(s.feasible.empty());
+    EXPECT_FALSE(s.best.has_value());
+    EXPECT_TRUE(s.frontier.empty());
+}
+
+TEST(EnergySearch, UnmodeledEnergyIsNotTriviallyFeasible)
+{
+    // A GPU-roofline-style row reports energyJ == 0; under a joules
+    // budget it must be excluded, not crowned the winner.
+    std::vector<ScenarioResult> results = fixture();
+    results.push_back(point(32, 0.001, 0.0, 0.0)); // fastest, no model
+    EnergyBudget budget;
+    budget.maxJoulesPerIteration = 4.5;
+    const EnergySearchResult s = energyConstrainedSearch(results, budget);
+    EXPECT_EQ(s.feasible, (std::vector<std::size_t>{1, 2, 3}));
+    ASSERT_TRUE(s.best.has_value());
+    EXPECT_NE(*s.best, 5u);
+}
+
+TEST(EnergySearch, FrontierIsFeasibleParetoOverSecondsAndEnergy)
+{
+    EnergyBudget budget;
+    budget.maxJoulesPerIteration = 4.5;
+    const EnergySearchResult s =
+        energyConstrainedSearch(fixture(), budget);
+    // Within {1,2,3}: [3] dominates [1] (same seconds, less energy);
+    // [2] survives on energy.
+    EXPECT_EQ(s.frontier, (std::vector<std::size_t>{2, 3}));
+}
+
+} // namespace
+} // namespace diva

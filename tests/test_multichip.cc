@@ -108,6 +108,45 @@ TEST(MultiChip, DivaKeepsItsAdvantageAtPodScale)
     EXPECT_GT(double(ws.totalCycles) / double(dv.totalCycles), 2.0);
 }
 
+TEST(MultiChip, PodEnergyTrafficAndUtilizationAreAccounted)
+{
+    MultiChipConfig pod;
+    pod.numChips = 8;
+    const ScalingResult r = simulateDataParallel(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR, 256,
+        pod);
+    EXPECT_GT(r.energyJ, 0.0);
+    EXPECT_GT(r.dramBytes, 0u);
+    EXPECT_GT(r.postProcDramBytes, 0u);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+
+    // The pod at least sums its chips: one chip at the shard batch.
+    MultiChipConfig single;
+    single.numChips = 1;
+    const ScalingResult shard = simulateDataParallel(
+        divaDefault(true), resnet50(), TrainingAlgorithm::kDpSgdR,
+        r.perChipBatch, single);
+    EXPECT_GE(r.energyJ, 8.0 * shard.energyJ);
+    EXPECT_GE(r.dramBytes, 8u * shard.dramBytes);
+}
+
+TEST(MultiChip, AllReduceStallLowersUtilization)
+{
+    MultiChipConfig slow;
+    slow.numChips = 16;
+    slow.interconnectGBs = 5.0;
+    const ScalingResult stalled = simulateDataParallel(
+        divaDefault(true), bertBase(), TrainingAlgorithm::kDpSgdR, 256,
+        slow);
+    MultiChipConfig single;
+    single.numChips = 1;
+    const ScalingResult local = simulateDataParallel(
+        divaDefault(true), bertBase(), TrainingAlgorithm::kDpSgdR,
+        stalled.perChipBatch, single);
+    EXPECT_LT(stalled.utilization, local.utilization);
+}
+
 TEST(MultiChip, RejectsUnshardableBatch)
 {
     MultiChipConfig pod;

@@ -14,6 +14,7 @@
 #include "sweep/spec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace diva
@@ -189,6 +190,64 @@ TEST(SweepRunner, FailedScenarioReportsErrorNotCrash)
     EXPECT_FALSE(report.results[0].ok());
 }
 
+TEST(SweepRunner, FailedResultsAreNotCachedAcrossRuns)
+{
+    // Regression: a failed result pinned in the cross-run cache would
+    // replay a possibly transient error forever instead of retrying.
+    Scenario s;
+    s.config = divaDefault(true);
+    s.model = "ResNet-50";
+    s.batch = 1;
+    s.backend = SweepBackend::kMultiChip;
+    s.pod.numChips = 8; // fails: batch 1 cannot shard over 8 chips
+    SweepRunner runner; // cacheAcrossRuns = true
+    const SweepReport first = runner.run(std::vector<Scenario>{s});
+    EXPECT_EQ(first.failures, 1u);
+    EXPECT_EQ(first.cacheMisses, 1u);
+    EXPECT_EQ(runner.cacheSize(), 0u); // the failure was not kept
+
+    // The second run must re-simulate, not replay the cached failure.
+    const SweepReport second = runner.run(std::vector<Scenario>{s});
+    EXPECT_EQ(second.cacheMisses, 1u);
+    EXPECT_EQ(second.cacheHits, 0u);
+    EXPECT_FALSE(second.results[0].cacheHit);
+    EXPECT_EQ(second.failures, 1u);
+
+    // Within one run duplicates still collapse into one simulation.
+    const SweepReport dup = runner.run(std::vector<Scenario>{s, s});
+    EXPECT_EQ(dup.cacheMisses, 1u);
+    EXPECT_EQ(dup.cacheHits, 1u);
+    EXPECT_EQ(dup.failures, 2u);
+}
+
+TEST(SweepRunner, PodScenariosReportEnergyUtilizationAndTraffic)
+{
+    // Regression: pod-backend rows used to report energy_j = 0.
+    Scenario s;
+    s.config = divaDefault(true);
+    s.model = "SqueezeNet";
+    s.batch = 32;
+    s.backend = SweepBackend::kMultiChip;
+    s.pod.numChips = 4;
+    const ScenarioResult r = runScenario(s);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_GT(r.energyJ, 0.0);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+    EXPECT_GT(r.dramBytes, 0u);
+    EXPECT_GT(r.computeCycles, 0u);
+    EXPECT_GT(r.allReduceCycles, 0u);
+    EXPECT_EQ(r.computeCycles + r.allReduceCycles, r.cycles);
+
+    // The pod spends at least the chips' summed iteration energy.
+    Scenario chip = s;
+    chip.backend = SweepBackend::kSingleChip;
+    chip.batch = 8; // one pod shard
+    const ScenarioResult shard = runScenario(chip);
+    ASSERT_TRUE(shard.ok()) << shard.error;
+    EXPECT_GE(r.energyJ, 4.0 * shard.energyJ);
+}
+
 TEST(Aggregate, SummaryStatsOnKnownSeries)
 {
     // 1..100: median 50.5, p95 = 95.05 by linear interpolation.
@@ -282,16 +341,74 @@ TEST(Emit, CsvIsDeterministicAndAlignedWithHeader)
     EXPECT_EQ(count_commas(row), count_commas(csvHeader()));
 }
 
-TEST(Emit, JsonContainsCacheAccounting)
+TEST(Emit, JsonIsIndependentOfCacheState)
 {
+    // The JSON file is a pure function of the scenario list, so a
+    // rerun against a warm cache (all hits) emits identical bytes.
     SweepRunner runner;
     SweepSpec spec = smallSpec();
     spec.models = {"ResNet-50"};
-    const SweepReport report = runner.run(spec);
+    const SweepReport cold = runner.run(spec);
+    const SweepReport warm = runner.run(spec);
+    EXPECT_EQ(cold.cacheMisses, 4u);
+    EXPECT_EQ(warm.cacheHits, 4u);
+    std::ostringstream a, b;
+    writeJson(a, cold);
+    writeJson(b, warm);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("\"results\": ["), std::string::npos);
+    EXPECT_NE(a.str().find("\"compute_cycles\": "), std::string::npos);
+    EXPECT_EQ(a.str().find("cache"), std::string::npos);
+}
+
+TEST(Emit, FormatDoubleGuardsNonFiniteValues)
+{
+    EXPECT_EQ(formatDouble(std::nan("")), "nan");
+    EXPECT_EQ(formatDouble(HUGE_VAL), "inf");
+    EXPECT_EQ(formatDouble(-HUGE_VAL), "-inf");
+    EXPECT_EQ(formatDouble(0.25), "0.25");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "null");
+    EXPECT_EQ(jsonNumber(0.25), "0.25");
+}
+
+TEST(Emit, JsonStaysValidWithNonFiniteMetrics)
+{
+    SweepReport report;
+    ScenarioResult r;
+    r.scenario.model = "ResNet-50";
+    r.seconds = std::nan("");
+    r.utilization = HUGE_VAL;
+    report.results.push_back(r);
     std::ostringstream oss;
     writeJson(oss, report);
-    EXPECT_NE(oss.str().find("\"cache_misses\": 4"), std::string::npos);
-    EXPECT_NE(oss.str().find("\"results\": ["), std::string::npos);
+    EXPECT_NE(oss.str().find("\"seconds\": null"), std::string::npos);
+    EXPECT_NE(oss.str().find("\"utilization\": null"),
+              std::string::npos);
+    EXPECT_EQ(oss.str().find("nan"), std::string::npos);
+    EXPECT_EQ(oss.str().find("inf"), std::string::npos);
+    // The CSV spells them out as text instead.
+    const std::string row = csvRow(r);
+    EXPECT_NE(row.find("nan"), std::string::npos);
+    EXPECT_NE(row.find("inf"), std::string::npos);
+}
+
+TEST(Emit, JsonEscapesControlCharacters)
+{
+    SweepReport report;
+    ScenarioResult r;
+    r.scenario.model = "ResNet-50";
+    r.error = "bad\r\nthing\x01happened";
+    report.results.push_back(r);
+    std::ostringstream oss;
+    writeJson(oss, report);
+    const std::string json = oss.str();
+    EXPECT_NE(json.find("bad\\r\\nthing\\u0001happened"),
+              std::string::npos);
+    // No raw control characters survive into the document.
+    for (char c : json)
+        EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+            << int(c);
 }
 
 TEST(Scenario, BuildModelKnowsTheFullZoo)
@@ -314,6 +431,57 @@ TEST(Scenario, GpuKeyCoversTimingFieldsNotJustName)
     EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
     b.gpu.gemmEfficiency = 0.5; // same name, different design point
     EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(Scenario, PodAxesAreDistinctDesignPoints)
+{
+    // Interconnect bandwidth and link latency are sweepable pod axes:
+    // each value is its own canonical key and survives expansion.
+    Scenario base;
+    base.config = divaDefault(true);
+    base.model = "ResNet-50";
+    base.backend = SweepBackend::kMultiChip;
+    Scenario fat_links = base;
+    fat_links.pod.interconnectGBs = 140.0;
+    Scenario long_links = base;
+    long_links.pod.linkLatencyCycles = 2000;
+    EXPECT_NE(base.canonicalKey(), fat_links.canonicalKey());
+    EXPECT_NE(base.canonicalKey(), long_links.canonicalKey());
+    EXPECT_NE(fat_links.canonicalKey(), long_links.canonicalKey());
+
+    SweepSpec spec;
+    spec.configs = {divaDefault(true)};
+    spec.models = {"ResNet-50"};
+    spec.batches = {64};
+    spec.backends = {SweepBackend::kMultiChip};
+    spec.pods = {base.pod, fat_links.pod, long_links.pod};
+    const SweepSpec::Expansion e = spec.expand();
+    EXPECT_EQ(e.scenarios.size(), 3u);
+    EXPECT_EQ(e.duplicatesRemoved, 0u);
+}
+
+TEST(Emit, PodRowsAreDistinguishableByLinkDesignPoint)
+{
+    // Regression: two pods differing only in --ici-gbs/--link-lat
+    // must not emit identical identity columns.
+    ScenarioResult a;
+    a.scenario.config = divaDefault(true);
+    a.scenario.model = "ResNet-50";
+    a.scenario.backend = SweepBackend::kMultiChip;
+    a.scenario.pod.numChips = 2;
+    ScenarioResult b = a;
+    b.scenario.pod.interconnectGBs = 140.0;
+    ScenarioResult c = a;
+    c.scenario.pod.linkLatencyCycles = 2000;
+    EXPECT_NE(csvRow(a), csvRow(b));
+    EXPECT_NE(csvRow(a), csvRow(c));
+    EXPECT_NE(a.scenario.label(), b.scenario.label());
+    EXPECT_NE(a.scenario.label(), c.scenario.label());
+    std::ostringstream json;
+    SweepReport report;
+    report.results = {a, b};
+    writeJson(json, report);
+    EXPECT_NE(json.str().find("\"ici_gbs\": 140"), std::string::npos);
 }
 
 TEST(Scenario, CanonicalKeySeparatesBackends)

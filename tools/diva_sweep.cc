@@ -3,14 +3,20 @@
  * diva_sweep: parallel design-space sweep driver.
  *
  * Expands cartesian axes (dataflow x PPU x model x batch x algorithm,
- * plus optional pod and GPU backends) into scenarios, runs them on a
- * worker pool with result caching, and emits deterministic CSV plus a
- * Figure-13-style speedup table against the weight-stationary TPUv3
- * baseline.
+ * plus optional pod and GPU backends; pod shape sweeps over chip
+ * count, interconnect bandwidth and link latency) into scenarios, runs
+ * them on a worker pool with result caching, and emits deterministic
+ * CSV plus a Figure-13-style speedup table against the
+ * weight-stationary TPUv3 baseline. With --cache-dir the result cache
+ * persists on disk, so repeated invocations skip already-simulated
+ * scenarios; --mode energy searches for the best-throughput config
+ * under a --budget-j / --budget-w energy envelope.
  *
  * All sweep output goes to stdout (or --csv/--json files) and is a
  * pure function of the scenario list: running with --threads 4 is
- * byte-identical to --threads 1. Progress and timing go to stderr.
+ * byte-identical to --threads 1, and a warm-cache rerun emits the same
+ * CSV/JSON bytes as the cold run. Progress, timing, and cache
+ * accounting go to stderr / the summary.
  *
  * The WS baseline rows needed for the speedup table are swept first;
  * when the main sweep meets them again (WS is part of the default
@@ -19,6 +25,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +38,7 @@
 
 #include "common/table.h"
 #include "sweep/aggregate.h"
+#include "sweep/disk_cache.h"
 #include "sweep/emit.h"
 #include "sweep/runner.h"
 #include "sweep/scenario.h"
@@ -62,14 +70,31 @@ usage()
         "                      (default 0)\n"
         "  --chips LIST        add a data-parallel pod backend with\n"
         "                      these chip counts\n"
+        "  --ici-gbs LIST      pod interconnect bandwidths in GB/s\n"
+        "                      (default 70; implies --chips 8)\n"
+        "  --link-lat LIST     pod link latencies in core cycles\n"
+        "                      (default 500; implies --chips 8)\n"
         "  --gpus LIST         add GPU baselines: v100-fp32,v100-fp16,\n"
         "                      a100-fp32,a100-fp16\n"
         "\n"
         "Execution:\n"
         "  --threads N         worker threads (default 1)\n"
         "  --quiet             no stderr progress\n"
+        "  --cache-dir PATH    persistent result cache: scenarios\n"
+        "                      simulated by earlier invocations are\n"
+        "                      served from disk\n"
+        "  --cache             like --cache-dir with the default dir\n"
+        "                      ($DIVA_CACHE_DIR, else ~/.cache/diva)\n"
         "\n"
-        "Output (deterministic; independent of --threads):\n"
+        "Search mode:\n"
+        "  --mode MODE         sweep (default) or energy: best config\n"
+        "                      under an energy budget\n"
+        "  --budget-j J        max joules per iteration (mode energy)\n"
+        "  --budget-w W        max engine TDP in watts, pod-wide for\n"
+        "                      pods (mode energy)\n"
+        "\n"
+        "Output (deterministic; independent of --threads and of the\n"
+        "cache state):\n"
         "  --csv PATH          write CSV to PATH instead of stdout\n"
         "  --json PATH         also write a JSON report\n"
         "  --pareto LIST       print the Pareto frontier over these\n"
@@ -151,11 +176,16 @@ struct Args
     std::vector<int> batches = {kAutoBatch, 32, 64};
     std::vector<int> microbatches = {0};
     std::vector<int> chips;
+    std::vector<double> iciGbs;
+    std::vector<int> linkLatencies;
     std::vector<GpuConfig> gpus;
     std::vector<Objective> pareto;
     int threads = 1;
     bool quiet = false;
     bool speedupTable = true;
+    bool energyMode = false;
+    EnergyBudget budget;
+    std::string cacheDir;
     std::string csvPath;
     std::string jsonPath;
 };
@@ -172,6 +202,22 @@ parseInt(const std::string &flag, const std::string &text)
     } catch (const std::exception &) {
     }
     std::cerr << "diva_sweep: " << flag << " expects an integer, got '"
+              << text << "'\n";
+    return std::nullopt;
+}
+
+/** std::stod that reports instead of throwing out of main. */
+std::optional<double>
+parseDouble(const std::string &flag, const std::string &text)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed == text.size())
+            return value;
+    } catch (const std::exception &) {
+    }
+    std::cerr << "diva_sweep: " << flag << " expects a number, got '"
               << text << "'\n";
     return std::nullopt;
 }
@@ -305,6 +351,32 @@ parseArgs(int argc, char **argv, Args &args)
                 }
                 args.chips.push_back(*n);
             }
+        } else if (a == "--ici-gbs") {
+            if (!(v = need(i)))
+                return false;
+            for (const std::string &s : splitList(*v)) {
+                const auto n = parseDouble(a, s);
+                if (!n)
+                    return false;
+                if (*n <= 0.0) {
+                    std::cerr << "diva_sweep: --ici-gbs must be > 0\n";
+                    return false;
+                }
+                args.iciGbs.push_back(*n);
+            }
+        } else if (a == "--link-lat") {
+            if (!(v = need(i)))
+                return false;
+            for (const std::string &s : splitList(*v)) {
+                const auto n = parseInt(a, s);
+                if (!n)
+                    return false;
+                if (*n < 0) {
+                    std::cerr << "diva_sweep: --link-lat must be >= 0\n";
+                    return false;
+                }
+                args.linkLatencies.push_back(*n);
+            }
         } else if (a == "--gpus") {
             if (!(v = need(i)))
                 return false;
@@ -336,6 +408,45 @@ parseArgs(int argc, char **argv, Args &args)
             if (!n)
                 return false;
             args.threads = *n;
+        } else if (a == "--mode") {
+            if (!(v = need(i)))
+                return false;
+            if (*v == "sweep")
+                args.energyMode = false;
+            else if (*v == "energy")
+                args.energyMode = true;
+            else {
+                std::cerr << "diva_sweep: --mode takes sweep/energy\n";
+                return false;
+            }
+        } else if (a == "--budget-j") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseDouble(a, *v);
+            if (!n)
+                return false;
+            if (*n <= 0.0) {
+                std::cerr << "diva_sweep: --budget-j must be > 0\n";
+                return false;
+            }
+            args.budget.maxJoulesPerIteration = *n;
+        } else if (a == "--budget-w") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseDouble(a, *v);
+            if (!n)
+                return false;
+            if (*n <= 0.0) {
+                std::cerr << "diva_sweep: --budget-w must be > 0\n";
+                return false;
+            }
+            args.budget.maxPowerW = *n;
+        } else if (a == "--cache-dir") {
+            if (!(v = need(i)))
+                return false;
+            args.cacheDir = *v;
+        } else if (a == "--cache") {
+            args.cacheDir = DiskCache::defaultDir();
         } else if (a == "--csv") {
             if (!(v = need(i)))
                 return false;
@@ -366,13 +477,32 @@ buildSpec(const Args &args)
     spec.batches = args.batches;
     spec.microbatches = args.microbatches;
     spec.backends = {SweepBackend::kSingleChip};
-    if (!args.chips.empty()) {
+    // Any pod axis enables the pod backend; unspecified axes fall back
+    // to the MultiChipConfig defaults (8 chips, TPUv3-class links).
+    if (!args.chips.empty() || !args.iciGbs.empty() ||
+        !args.linkLatencies.empty()) {
         spec.backends.push_back(SweepBackend::kMultiChip);
-        for (int n : args.chips) {
-            MultiChipConfig pod;
-            pod.numChips = n;
-            spec.pods.push_back(pod);
-        }
+        const MultiChipConfig defaults;
+        const std::vector<int> chip_axis =
+            args.chips.empty() ? std::vector<int>{defaults.numChips}
+                               : args.chips;
+        const std::vector<double> ici_axis =
+            args.iciGbs.empty()
+                ? std::vector<double>{defaults.interconnectGBs}
+                : args.iciGbs;
+        const std::vector<int> lat_axis =
+            args.linkLatencies.empty()
+                ? std::vector<int>{int(defaults.linkLatencyCycles)}
+                : args.linkLatencies;
+        for (int n : chip_axis)
+            for (double ici : ici_axis)
+                for (int lat : lat_axis) {
+                    MultiChipConfig pod;
+                    pod.numChips = n;
+                    pod.interconnectGBs = ici;
+                    pod.linkLatencyCycles = Cycles(lat);
+                    spec.pods.push_back(pod);
+                }
     }
     if (!args.gpus.empty()) {
         spec.backends.push_back(SweepBackend::kGpu);
@@ -479,6 +609,54 @@ printPareto(std::ostream &os, const std::vector<ScenarioResult> &results,
     table.print(os);
 }
 
+/** Energy-constrained search report: the best-throughput config under
+ *  the budget plus the feasible latency/energy trade-off curve. */
+void
+printEnergySearch(std::ostream &os,
+                  const std::vector<ScenarioResult> &results,
+                  const EnergyBudget &budget)
+{
+    const EnergySearchResult search =
+        energyConstrainedSearch(results, budget);
+
+    os << "=== energy-constrained search ===\n";
+    os << "budget:";
+    if (std::isfinite(budget.maxJoulesPerIteration))
+        os << " <= " << formatDouble(budget.maxJoulesPerIteration)
+           << " J/iteration";
+    if (std::isfinite(budget.maxPowerW))
+        os << " <= " << formatDouble(budget.maxPowerW) << " W";
+    if (!std::isfinite(budget.maxJoulesPerIteration) &&
+        !std::isfinite(budget.maxPowerW))
+        os << " none (pass --budget-j and/or --budget-w)";
+    os << "\nfeasible: " << search.feasible.size() << " of "
+       << results.size() << " scenarios\n";
+
+    if (!search.best) {
+        os << "best: none (no successful scenario fits the budget)\n";
+        return;
+    }
+    const ScenarioResult &best = results[*search.best];
+    os << "best: " << best.scenario.label() << "\n"
+       << "  throughput: "
+       << formatDouble(throughputExamplesPerSec(best)) << " examples/s"
+       << "  seconds: " << formatDouble(best.seconds)
+       << "  energy_j: " << formatDouble(best.energyJ)
+       << "  power_w: " << formatDouble(best.enginePowerW) << "\n";
+
+    TextTable table(
+        {"scenario", "examples/s", "seconds", "energy_j", "power_w"});
+    for (std::size_t i : search.frontier)
+        table.addRow({results[i].scenario.label(),
+                      formatDouble(throughputExamplesPerSec(results[i])),
+                      formatDouble(results[i].seconds),
+                      formatDouble(results[i].energyJ),
+                      formatDouble(results[i].enginePowerW)});
+    os << "feasible Pareto frontier (seconds vs energy, "
+       << search.frontier.size() << " scenarios):\n";
+    table.print(os);
+}
+
 } // namespace
 
 int
@@ -490,6 +668,7 @@ main(int argc, char **argv)
 
     SweepOptions opts;
     opts.threads = args.threads;
+    opts.cacheDir = args.cacheDir;
     if (!args.quiet)
         opts.progress = [](std::size_t done, std::size_t total,
                            const Scenario &s) {
@@ -497,6 +676,15 @@ main(int argc, char **argv)
                       << s.label() << "\n";
         };
     SweepRunner runner(opts);
+    if (!args.quiet && runner.diskCache()) {
+        const DiskCache &dc = *runner.diskCache();
+        std::cerr << "disk cache: " << dc.size() << " entries in "
+                  << dc.filePath();
+        if (dc.corruptLinesSkipped())
+            std::cerr << " (" << dc.corruptLinesSkipped()
+                      << " corrupt lines skipped)";
+        std::cerr << "\n";
+    }
 
     const SweepSpec spec = buildSpec(args);
     const SweepSpec::Expansion expansion = spec.expand();
@@ -504,8 +692,11 @@ main(int argc, char **argv)
     // Baseline pass: the WS design point over the same workload axes,
     // so every speedup denominator exists. The main sweep re-meets
     // these scenarios and takes them from the cache.
+    // The Fig.13 speedup table is sweep-mode furniture; energy mode
+    // reports the budget search instead.
+    const bool speedup_table = args.speedupTable && !args.energyMode;
     SweepReport baseline;
-    if (args.speedupTable) {
+    if (speedup_table) {
         SweepSpec base = spec;
         base.configs = {tpuV3Ws()};
         base.backends = {SweepBackend::kSingleChip};
@@ -573,8 +764,12 @@ main(int argc, char **argv)
     summary.print(std::cout);
     std::cout << "\n";
 
-    if (args.speedupTable) {
+    if (speedup_table) {
         printSpeedupTable(std::cout, baseline.results, report.results);
+        std::cout << "\n";
+    }
+    if (args.energyMode) {
+        printEnergySearch(std::cout, report.results, args.budget);
         std::cout << "\n";
     }
     if (!args.pareto.empty()) {
