@@ -1,6 +1,7 @@
 #include "sim/result.h"
 
-#include "common/logging.h"
+#include <cmath>
+#include <limits>
 
 namespace diva
 {
@@ -75,8 +76,10 @@ SimResult::operator+=(const SimResult &o)
 double
 speedup(const SimResult &slow, const SimResult &fast)
 {
-    DIVA_ASSERT(fast.totalCycles() > 0, "division by zero speedup");
-    return double(slow.totalCycles()) / double(fast.totalCycles());
+    const double denom = double(fast.totalCycles());
+    if (denom == 0.0 || !std::isfinite(denom))
+        return std::numeric_limits<double>::quiet_NaN();
+    return double(slow.totalCycles()) / denom;
 }
 
 } // namespace diva

@@ -56,7 +56,11 @@ struct SimResult
     SimResult &operator+=(const SimResult &o);
 };
 
-/** Latency ratio: how much faster `fast` is than `slow`. */
+/**
+ * Latency ratio: how much faster `fast` is than `slow`. NaN when the
+ * denominator is zero or non-finite (an empty/failed fast result); the
+ * emit-layer formatDouble/jsonNumber guards render it as "nan"/null.
+ */
 double speedup(const SimResult &slow, const SimResult &fast);
 
 } // namespace diva

@@ -7,10 +7,6 @@
 namespace diva
 {
 
-namespace
-{
-
-/** Quote a CSV/JSON-unsafe cell per RFC 4180. */
 std::string
 csvCell(const std::string &s)
 {
@@ -53,8 +49,6 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
-
-} // namespace
 
 std::string
 formatDouble(double v)

@@ -41,6 +41,12 @@ std::string formatDouble(double v);
 /** JSON number token for v: formatDouble, or "null" when non-finite. */
 std::string jsonNumber(double v);
 
+/** Quote a CSV-unsafe cell per RFC 4180; safe cells pass through. */
+std::string csvCell(const std::string &s);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
 } // namespace diva
 
 #endif // DIVA_SWEEP_EMIT_H

@@ -1,0 +1,31 @@
+#include "tenant/context_switch.h"
+
+#include "energy/energy_model.h"
+#include "mem/dram_model.h"
+
+namespace diva
+{
+
+ContextSwitchModel::ContextSwitchModel(const AcceleratorConfig &cfg,
+                                       int chips)
+{
+    if (chips < 1)
+        chips = 1;
+    const DramModel dram(cfg);
+    // Flush (SRAM -> DRAM write) and refill (DRAM -> SRAM read) are
+    // two dependent streaming transfers: the refill cannot start until
+    // the flush has drained, so each is charged its own access latency.
+    cost_.cycles = dram.transferCycles(cfg.sramBytes) +
+                   dram.transferCycles(cfg.sramBytes);
+    cost_.seconds = cfg.cyclesToSeconds(cost_.cycles);
+    const Bytes per_chip_bytes = 2 * cfg.sramBytes;
+    cost_.dramBytes = per_chip_bytes * Bytes(chips);
+    // Every byte crosses both the SRAM port and the DRAM interface;
+    // the GEMM engine (and PPU) sit idle but powered for the stall.
+    cost_.energyJ =
+        double(cost_.dramBytes) * (EnergyModel::kSramJoulesPerByte +
+                                   EnergyModel::kDramJoulesPerByte) +
+        EnergyModel::enginePowerW(cfg) * cost_.seconds * double(chips);
+}
+
+} // namespace diva

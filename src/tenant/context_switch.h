@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Context-switch cost model for time-shared accelerators. Switching
+ * the accelerator from one tenant's training job to another's flushes
+ * the outgoing tenant's SRAM-resident working set (weight/activation
+ * tiles, partial sums) to DRAM and refills the incoming tenant's, so a
+ * switch costs both time -- two pipelined streaming transfers of the
+ * on-chip SRAM through the DramModel -- and joules: the SRAM and DRAM
+ * per-byte energies of those transfers plus the engine's idle power
+ * over the stall, via the EnergyModel constants. On a pod every chip
+ * flushes and refills its own SRAM in parallel, so time is unchanged
+ * while energy and traffic scale with the chip count.
+ */
+
+#ifndef DIVA_TENANT_CONTEXT_SWITCH_H
+#define DIVA_TENANT_CONTEXT_SWITCH_H
+
+#include "arch/accelerator_config.h"
+#include "common/types.h"
+
+namespace diva
+{
+
+/** Time/energy/traffic bill of one tenant-to-tenant switch. */
+struct SwitchCost
+{
+    /** Stall cycles at the core clock (flush + refill transfers). */
+    Cycles cycles = 0;
+
+    /** The stall in wall-clock seconds. */
+    double seconds = 0.0;
+
+    /** Joules per switch: SRAM + DRAM movement + engine idle power. */
+    double energyJ = 0.0;
+
+    /** Off-chip bytes moved (flush write + refill read, all chips). */
+    Bytes dramBytes = 0;
+};
+
+/** Derives the per-switch bill for one accelerator (or pod). */
+class ContextSwitchModel
+{
+  public:
+    /**
+     * Model a switch on `cfg`; `chips` > 1 bills a pod where each chip
+     * flushes/refills its own SRAM concurrently.
+     */
+    explicit ContextSwitchModel(const AcceleratorConfig &cfg,
+                                int chips = 1);
+
+    const SwitchCost &cost() const { return cost_; }
+
+  private:
+    SwitchCost cost_;
+};
+
+} // namespace diva
+
+#endif // DIVA_TENANT_CONTEXT_SWITCH_H

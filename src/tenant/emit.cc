@@ -1,0 +1,131 @@
+#include "tenant/emit.h"
+
+#include <sstream>
+
+#include "sweep/emit.h"
+
+namespace diva
+{
+
+namespace
+{
+
+/** The run-level cells shared by every tenant row of one serve. */
+std::string
+servePrefix(const ServeResult &s)
+{
+    std::ostringstream oss;
+    oss << csvCell(std::string(policyName(s.policy))) << ','
+        << csvCell(s.configName) << ',' << csvCell(s.workloadName) << ','
+        << s.chips << ',' << s.quantumIters << ','
+        << formatDouble(s.wallLimitSec);
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+serveCsvHeader()
+{
+    return "policy,config,workload,chips,quantum,wall_s,tenant,model,"
+           "scale,algorithm,batch,priority,arrival_s,qos_sps,"
+           "qos_deadline_s,steps,steps_done,completed,wait_s,end_s,"
+           "achieved_sps,isolated_sps,slowdown,qos_attainment_pct,"
+           "energy_j,energy_share,switches_in,error";
+}
+
+std::string
+serveCsvRow(const ServeResult &serve, const TenantMetrics &t)
+{
+    std::ostringstream oss;
+    oss << servePrefix(serve) << ',' << csvCell(t.job.name) << ','
+        << csvCell(t.job.model) << ',' << t.job.modelScale << ','
+        << csvCell(algorithmName(t.job.algorithm)) << ','
+        << t.resolvedBatch << ',' << t.job.priority << ','
+        << formatDouble(t.job.arrivalSec) << ','
+        << formatDouble(t.job.qosStepsPerSec) << ','
+        << formatDouble(t.job.qosDeadlineSec) << ',' << t.job.steps
+        << ',' << t.stepsDone << ',' << int(t.completed) << ','
+        << formatDouble(t.waitSec) << ',' << formatDouble(t.endSec)
+        << ',' << formatDouble(t.achievedStepsPerSec) << ','
+        << formatDouble(t.isolatedStepsPerSec) << ','
+        << formatDouble(t.slowdown) << ','
+        << formatDouble(t.qosAttainmentPct) << ','
+        << formatDouble(t.energyJ) << ',' << formatDouble(t.energyShare)
+        << ',' << t.switchesIn << ',';
+    return oss.str();
+}
+
+void
+writeServeCsv(std::ostream &os, const std::vector<ServeResult> &serves)
+{
+    os << serveCsvHeader() << '\n';
+    for (const ServeResult &s : serves) {
+        if (!s.ok()) {
+            os << servePrefix(s)
+               << ",-,-,0,-,0,0,0,0,0,0,0,0,nan,nan,nan,nan,nan,nan,"
+                  "nan,nan,0,"
+               << csvCell(s.error) << '\n';
+            continue;
+        }
+        for (const TenantMetrics &t : s.tenants)
+            os << serveCsvRow(s, t) << '\n';
+    }
+}
+
+void
+writeServeJson(std::ostream &os, const std::vector<ServeResult> &serves)
+{
+    os << "{\n  \"serves\": [";
+    for (std::size_t i = 0; i < serves.size(); ++i) {
+        const ServeResult &s = serves[i];
+        os << (i ? ",\n    {" : "\n    {") << "\"policy\": \""
+           << policyName(s.policy) << "\", \"config\": \""
+           << jsonEscape(s.configName) << "\", \"workload\": \""
+           << jsonEscape(s.workloadName) << "\", \"chips\": " << s.chips
+           << ", \"quantum\": " << s.quantumIters << ", \"wall_s\": "
+           << jsonNumber(s.wallLimitSec);
+        if (!s.ok()) {
+            os << ", \"error\": \"" << jsonEscape(s.error) << "\"}";
+            continue;
+        }
+        os << ", \"makespan_s\": " << jsonNumber(s.makespanSec)
+           << ", \"energy_j\": " << jsonNumber(s.totalEnergyJ)
+           << ", \"context_switches\": " << s.contextSwitches
+           << ", \"switch_s\": " << jsonNumber(s.switchSec)
+           << ", \"switch_energy_j\": " << jsonNumber(s.switchEnergyJ)
+           << ", \"switch_dram_bytes\": " << s.switchDramBytes
+           << ", \"mean_qos_attainment_pct\": "
+           << jsonNumber(s.meanQosAttainmentPct) << ", \"tenants\": [";
+        for (std::size_t j = 0; j < s.tenants.size(); ++j) {
+            const TenantMetrics &t = s.tenants[j];
+            os << (j ? ", {" : "{") << "\"name\": \""
+               << jsonEscape(t.job.name) << "\", \"model\": \""
+               << jsonEscape(t.job.model) << "\", \"algorithm\": \""
+               << jsonEscape(algorithmName(t.job.algorithm))
+               << "\", \"batch\": " << t.resolvedBatch
+               << ", \"priority\": " << t.job.priority
+               << ", \"arrival_s\": " << jsonNumber(t.job.arrivalSec)
+               << ", \"qos_sps\": " << jsonNumber(t.job.qosStepsPerSec)
+               << ", \"qos_deadline_s\": "
+               << jsonNumber(t.job.qosDeadlineSec) << ", \"steps\": "
+               << t.job.steps << ", \"steps_done\": " << t.stepsDone
+               << ", \"completed\": " << (t.completed ? "true" : "false")
+               << ", \"wait_s\": " << jsonNumber(t.waitSec)
+               << ", \"end_s\": " << jsonNumber(t.endSec)
+               << ", \"achieved_sps\": "
+               << jsonNumber(t.achievedStepsPerSec)
+               << ", \"isolated_sps\": "
+               << jsonNumber(t.isolatedStepsPerSec) << ", \"slowdown\": "
+               << jsonNumber(t.slowdown) << ", \"qos_attainment_pct\": "
+               << jsonNumber(t.qosAttainmentPct) << ", \"energy_j\": "
+               << jsonNumber(t.energyJ) << ", \"energy_share\": "
+               << jsonNumber(t.energyShare) << ", \"switches_in\": "
+               << t.switchesIn << "}";
+        }
+        os << "]}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace diva

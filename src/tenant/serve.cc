@@ -1,0 +1,359 @@
+#include "tenant/serve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace diva
+{
+
+namespace
+{
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = std::size_t(-1);
+
+/** Float slack for wall-budget and deadline comparisons. */
+constexpr double kEps = 1e-9;
+
+/** Mutable per-tenant state tracked by the scheduling loop. */
+struct TenantRun
+{
+    std::uint64_t done = 0;
+    std::uint64_t metDeadlines = 0;
+    bool started = false;
+    double firstStartSec = 0.0;
+    bool completed = false;
+    double completionSec = 0.0;
+    double energyJ = 0.0;
+    std::uint64_t switchesIn = 0;
+};
+
+/** Deadline of step `k` (1-based) of `job`; +inf without a target. */
+double
+stepDeadline(const TenantJob &job, std::uint64_t k)
+{
+    if (job.qosStepsPerSec > 0.0)
+        return job.arrivalSec + double(k) / job.qosStepsPerSec;
+    if (job.qosDeadlineSec > 0.0)
+        return job.qosDeadlineSec;
+    return kInf;
+}
+
+std::string
+validateInputs(const ServeSpec &spec,
+               const std::vector<IterationCost> &costs,
+               const SwitchCost &sw)
+{
+    const bool wall_limited = spec.opts.wallLimitSec > 0.0;
+    if (spec.opts.quantumIters < 1)
+        return "quantum must be >= 1 iteration";
+    if (!(spec.opts.wallLimitSec >= 0.0) ||
+        !std::isfinite(spec.opts.wallLimitSec))
+        return "wall budget must be finite and >= 0";
+    if (spec.chips < 1)
+        return "chip count must be >= 1";
+    const std::string mix_err =
+        spec.workload.validationError(wall_limited);
+    if (!mix_err.empty())
+        return mix_err;
+    if (costs.size() != spec.workload.jobs.size())
+        return "one iteration cost per tenant required";
+    for (std::size_t i = 0; i < costs.size(); ++i)
+        if (!(costs[i].seconds > 0.0) || !std::isfinite(costs[i].seconds) ||
+            !(costs[i].energyJ >= 0.0) || !std::isfinite(costs[i].energyJ))
+            return "tenant '" + spec.workload.jobs[i].name +
+                   "': iteration cost must be positive and finite";
+    if (!(sw.seconds >= 0.0) || !std::isfinite(sw.seconds) ||
+        !(sw.energyJ >= 0.0) || !std::isfinite(sw.energyJ))
+        return "context-switch cost must be finite and >= 0";
+    return "";
+}
+
+} // namespace
+
+double
+safeRatio(double num, double den)
+{
+    if (den == 0.0 || !std::isfinite(den))
+        return kNaN;
+    return num / den;
+}
+
+Scenario
+tenantScenario(const ServeSpec &spec, const TenantJob &job)
+{
+    Scenario s;
+    s.config = spec.config;
+    s.model = job.model;
+    s.modelScale = job.modelScale;
+    s.batch = job.batch;
+    s.microbatch = job.microbatch;
+    s.algorithm = job.algorithm;
+    if (spec.chips > 1) {
+        s.backend = SweepBackend::kMultiChip;
+        s.pod = spec.pod;
+        s.pod.numChips = spec.chips;
+    }
+    return s;
+}
+
+ServeResult
+runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
+             const SwitchCost &switchCost)
+{
+    ServeResult out;
+    out.workloadName = spec.workload.name;
+    out.configName = spec.config.name;
+    out.policy = spec.policy;
+    out.chips = spec.chips;
+    out.quantumIters = spec.opts.quantumIters;
+    out.wallLimitSec = spec.opts.wallLimitSec;
+    out.error = validateInputs(spec, costs, switchCost);
+    if (!out.ok())
+        return out;
+
+    // The loop works on a private copy of the jobs so fair-share QoS
+    // targets can be filled in and echoed back through the metrics.
+    std::vector<TenantJob> jobs = spec.workload.jobs;
+    const std::size_t n = jobs.size();
+    if (spec.opts.autoQosFairShare)
+        for (std::size_t i = 0; i < n; ++i)
+            if (!jobs[i].hasQos())
+                jobs[i].qosStepsPerSec =
+                    safeRatio(1.0, costs[i].seconds) / double(n);
+
+    const double wall = spec.opts.wallLimitSec;
+    std::vector<TenantRun> run(n);
+    std::vector<SchedView> views(n);
+    std::unique_ptr<Scheduler> sched = makeScheduler(spec.policy);
+    double now = 0.0;
+    std::size_t last = kNone;
+
+    auto finished = [&](std::size_t i) {
+        return jobs[i].steps > 0 && run[i].done >= jobs[i].steps;
+    };
+
+    for (;;) {
+        if (wall > 0.0 && wall - now <= kEps)
+            break;
+
+        std::vector<std::size_t> ready;
+        for (std::size_t i = 0; i < n; ++i)
+            if (!finished(i) && jobs[i].arrivalSec <= now + kEps)
+                ready.push_back(i);
+
+        if (ready.empty()) {
+            // Idle until the next arrival (if any work remains).
+            double next_arrival = kInf;
+            for (std::size_t i = 0; i < n; ++i)
+                if (!finished(i))
+                    next_arrival =
+                        std::min(next_arrival, jobs[i].arrivalSec);
+            if (!std::isfinite(next_arrival))
+                break;
+            // Arrivals at or past the wall can never be serviced; do
+            // not let the idle jump carry `now` (and with it makespan
+            // and every tenant's rate window) beyond the budget.
+            if (wall > 0.0 && next_arrival + kEps >= wall)
+                break;
+            now = std::max(now, next_arrival);
+            continue;
+        }
+
+        // Under a wall budget only steps that finish inside it run --
+        // including the context switch a candidate would first incur,
+        // so a switch is never billed for a step that then cannot run.
+        if (wall > 0.0) {
+            std::vector<std::size_t> fitting;
+            for (std::size_t i : ready) {
+                const double lead = (last != kNone && i != last)
+                                        ? switchCost.seconds
+                                        : 0.0;
+                if (now + lead + costs[i].seconds <= wall + kEps)
+                    fitting.push_back(i);
+            }
+            if (fitting.empty())
+                break;
+            ready.swap(fitting);
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            views[i].arrivalSec = jobs[i].arrivalSec;
+            views[i].priority = jobs[i].priority;
+            views[i].stepsDone = run[i].done;
+            views[i].nextDeadlineSec =
+                stepDeadline(jobs[i], run[i].done + 1);
+        }
+        const std::size_t pick = sched->pick(views, ready, now);
+
+        if (last != kNone && pick != last) {
+            // Bill the tenant change: the engine stalls while the
+            // outgoing working set flushes and the incoming one loads.
+            ++out.contextSwitches;
+            ++run[pick].switchesIn;
+            now += switchCost.seconds;
+            out.switchSec += switchCost.seconds;
+            out.switchEnergyJ += switchCost.energyJ;
+            out.switchDramBytes += switchCost.dramBytes;
+            run[pick].energyJ += switchCost.energyJ;
+        }
+        last = pick;
+
+        // Run up to one quantum of iterations, ending early on
+        // completion, on the wall budget, or when a new arrival makes
+        // a fresh scheduling decision due (preemption point).
+        for (std::uint64_t q = 0; q < spec.opts.quantumIters; ++q) {
+            if (finished(pick))
+                break;
+            if (wall > 0.0 && now + costs[pick].seconds > wall + kEps)
+                break;
+            const double start = now;
+            if (!run[pick].started) {
+                run[pick].started = true;
+                run[pick].firstStartSec = now;
+            }
+            now += costs[pick].seconds;
+            run[pick].energyJ += costs[pick].energyJ;
+            ++run[pick].done;
+            if (now <= stepDeadline(jobs[pick], run[pick].done) + kEps)
+                ++run[pick].metDeadlines;
+            if (finished(pick)) {
+                run[pick].completed = true;
+                run[pick].completionSec = now;
+                break;
+            }
+            bool new_arrival = false;
+            for (std::size_t i = 0; i < n && !new_arrival; ++i)
+                new_arrival = i != pick && !finished(i) &&
+                              jobs[i].arrivalSec > start + kEps &&
+                              jobs[i].arrivalSec <= now + kEps;
+            if (new_arrival)
+                break;
+        }
+    }
+    out.makespanSec = now;
+
+    // Per-tenant metrics.
+    double qos_sum = 0.0;
+    std::size_t qos_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        TenantMetrics m;
+        m.job = jobs[i];
+        m.resolvedBatch = costs[i].resolvedBatch > 0
+                              ? costs[i].resolvedBatch
+                              : jobs[i].batch;
+        m.stepsDone = run[i].done;
+        m.completed = run[i].completed;
+        m.endSec = run[i].completed ? run[i].completionSec
+                                    : out.makespanSec;
+        m.waitSec = run[i].started
+                        ? run[i].firstStartSec - jobs[i].arrivalSec
+                        : kNaN;
+        const double window =
+            std::max(0.0, m.endSec - jobs[i].arrivalSec);
+        m.achievedStepsPerSec =
+            window > 0.0 ? double(run[i].done) / window
+                         : (run[i].done > 0 ? kInf : 0.0);
+        m.isolatedStepsPerSec = safeRatio(1.0, costs[i].seconds);
+        m.slowdown =
+            safeRatio(m.isolatedStepsPerSec, m.achievedStepsPerSec);
+
+        // QoS attainment: of the steps the target demanded by endSec,
+        // the share that met their deadline.
+        double demanded = kNaN;
+        if (jobs[i].qosStepsPerSec > 0.0) {
+            demanded = run[i].completed
+                           ? double(jobs[i].steps)
+                           : std::floor(window * jobs[i].qosStepsPerSec);
+            if (jobs[i].steps > 0)
+                demanded = std::min(demanded, double(jobs[i].steps));
+        } else if (jobs[i].qosDeadlineSec > 0.0) {
+            // Deadline targets are validated to have bounded steps;
+            // nothing is demanded until the deadline has passed.
+            if (run[i].completed || jobs[i].qosDeadlineSec <= m.endSec)
+                demanded = double(jobs[i].steps);
+        }
+        if (std::isfinite(demanded) && demanded > 0.0) {
+            m.qosAttainmentPct =
+                100.0 *
+                std::min(1.0, double(run[i].metDeadlines) / demanded);
+            qos_sum += m.qosAttainmentPct;
+            ++qos_count;
+        } else {
+            m.qosAttainmentPct = kNaN;
+        }
+
+        m.energyJ = run[i].energyJ;
+        m.switchesIn = run[i].switchesIn;
+        out.totalEnergyJ += m.energyJ;
+        out.tenants.push_back(std::move(m));
+    }
+    for (TenantMetrics &m : out.tenants)
+        m.energyShare = safeRatio(m.energyJ, out.totalEnergyJ);
+    out.meanQosAttainmentPct =
+        qos_count > 0 ? qos_sum / double(qos_count) : kNaN;
+    return out;
+}
+
+ServeResult
+simulateServe(const ServeSpec &spec, SweepRunner &runner)
+{
+    ServeResult out;
+    out.workloadName = spec.workload.name;
+    out.configName = spec.config.name;
+    out.policy = spec.policy;
+    out.chips = spec.chips;
+    out.quantumIters = spec.opts.quantumIters;
+    out.wallLimitSec = spec.opts.wallLimitSec;
+
+    const std::string cfg_err = spec.config.validationError();
+    if (!cfg_err.empty()) {
+        out.error = "invalid accelerator config: " + cfg_err;
+        return out;
+    }
+    const std::string mix_err =
+        spec.workload.validationError(spec.opts.wallLimitSec > 0.0);
+    if (!mix_err.empty()) {
+        out.error = mix_err;
+        return out;
+    }
+
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(spec.workload.jobs.size());
+    for (const TenantJob &job : spec.workload.jobs)
+        scenarios.push_back(tenantScenario(spec, job));
+    const SweepReport report = runner.run(scenarios);
+
+    std::vector<IterationCost> costs;
+    costs.reserve(report.results.size());
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const ScenarioResult &r = report.results[i];
+        if (!r.ok()) {
+            out.error = "tenant '" + spec.workload.jobs[i].name +
+                        "': " + r.error;
+            return out;
+        }
+        IterationCost c;
+        c.seconds = r.seconds;
+        c.energyJ = r.energyJ;
+        c.dramBytes = r.dramBytes;
+        c.cycles = r.cycles;
+        c.resolvedBatch = r.resolvedBatch;
+        costs.push_back(c);
+    }
+
+    const ContextSwitchModel switches(spec.config, spec.chips);
+    return runServeLoop(spec, costs, switches.cost());
+}
+
+ServeResult
+simulateServe(const ServeSpec &spec)
+{
+    SweepRunner runner;
+    return simulateServe(spec, runner);
+}
+
+} // namespace diva

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Event-driven time-sharing serve simulator: N tenant training jobs
+ * share one accelerator (or data-parallel pod) under a scheduling
+ * policy, with Executor/SimResult iteration costs as the quantum
+ * granularity and a context-switch bill charged whenever the running
+ * tenant changes.
+ *
+ * The expensive part -- each tenant's isolated per-iteration cost --
+ * is obtained by running ordinary sweep scenarios through a
+ * SweepRunner, so tenant serves share the sweep engine's in-memory and
+ * on-disk result caches: re-serving a mix under a different policy
+ * re-simulates nothing. The scheduling loop itself is sequential,
+ * closed-form arithmetic, so serve results are byte-deterministic
+ * whatever the runner's thread count.
+ */
+
+#ifndef DIVA_TENANT_SERVE_H
+#define DIVA_TENANT_SERVE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator_config.h"
+#include "sim/multichip.h"
+#include "sweep/runner.h"
+#include "tenant/context_switch.h"
+#include "tenant/scheduler.h"
+#include "tenant/tenant.h"
+
+namespace diva
+{
+
+/** Serve-loop knobs independent of the workload and platform. */
+struct ServeOptions
+{
+    /** Training iterations per scheduling quantum (>= 1). */
+    std::uint64_t quantumIters = 1;
+
+    /**
+     * Wall-clock budget in simulated seconds; 0 = run until every
+     * bounded tenant completes (duration mode sets this and may leave
+     * tenant step counts unbounded).
+     */
+    double wallLimitSec = 0.0;
+
+    /**
+     * Give tenants without an explicit QoS target a fair-share rate
+     * target: isolated steps/sec divided by the number of tenants.
+     */
+    bool autoQosFairShare = false;
+};
+
+/** Everything one serve simulation needs. */
+struct ServeSpec
+{
+    TenantWorkload workload;
+
+    /** The shared accelerator design point. */
+    AcceleratorConfig config;
+
+    /** Chip count; > 1 time-shares a data-parallel pod. */
+    int chips = 1;
+
+    /** Pod link parameters (used when chips > 1). */
+    MultiChipConfig pod;
+
+    SchedPolicy policy = SchedPolicy::kRoundRobin;
+
+    ServeOptions opts;
+};
+
+/** Per-tenant isolated iteration cost feeding the serve loop. */
+struct IterationCost
+{
+    /** Wall-clock seconds of one isolated training iteration. */
+    double seconds = 0.0;
+
+    /** Joules of one isolated training iteration. */
+    double energyJ = 0.0;
+
+    /** Off-chip bytes of one isolated training iteration. */
+    Bytes dramBytes = 0;
+
+    Cycles cycles = 0;
+
+    /** Mini-batch after kAutoBatch resolution. */
+    int resolvedBatch = 0;
+};
+
+/** What one tenant experienced over the serve run. */
+struct TenantMetrics
+{
+    /** The job as served (auto QoS targets filled in). */
+    TenantJob job;
+
+    int resolvedBatch = 0;
+
+    std::uint64_t stepsDone = 0;
+
+    /** Whether the job's full step budget completed. */
+    bool completed = false;
+
+    /**
+     * End of the tenant's service window: completion time if it
+     * completed, else the end of the simulation.
+     */
+    double endSec = 0.0;
+
+    /** Seconds between arrival and first scheduled step (NaN if none). */
+    double waitSec = 0.0;
+
+    /** stepsDone over the service window (arrival -> endSec). */
+    double achievedStepsPerSec = 0.0;
+
+    /** Steps/sec the tenant would sustain alone on the accelerator. */
+    double isolatedStepsPerSec = 0.0;
+
+    /**
+     * isolated rate / achieved rate (>= 1 when sharing hurts); NaN
+     * when the achieved rate is zero or non-finite.
+     */
+    double slowdown = 0.0;
+
+    /**
+     * QoS attainment in percent: of the steps the target demanded by
+     * endSec, the share that completed by their deadline (capped at
+     * 100). NaN for tenants without a target or before the target
+     * demands anything.
+     */
+    double qosAttainmentPct = 0.0;
+
+    /** Joules consumed: executed steps + switches into this tenant. */
+    double energyJ = 0.0;
+
+    /** energyJ over the run's total joules (NaN if total is zero). */
+    double energyShare = 0.0;
+
+    /** Context switches that loaded this tenant onto the engine. */
+    std::uint64_t switchesIn = 0;
+};
+
+/** Outcome of one serve simulation. */
+struct ServeResult
+{
+    /** Inputs echoed for reporting. */
+    std::string workloadName;
+    std::string configName;
+    SchedPolicy policy = SchedPolicy::kRoundRobin;
+    int chips = 1;
+    std::uint64_t quantumIters = 1;
+    double wallLimitSec = 0.0;
+
+    std::vector<TenantMetrics> tenants;
+
+    /** End of the last serviced work (switches included). */
+    double makespanSec = 0.0;
+
+    /** Joules over the whole run (tenant energies sum to this). */
+    double totalEnergyJ = 0.0;
+
+    std::uint64_t contextSwitches = 0;
+
+    /** Time / energy / traffic lost to context switches. */
+    double switchSec = 0.0;
+    double switchEnergyJ = 0.0;
+    Bytes switchDramBytes = 0;
+
+    /** Mean attainment over tenants with targets; NaN if none. */
+    double meanQosAttainmentPct = 0.0;
+
+    /** Non-empty when the serve could not run (bad spec, sim error). */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * num / den with the zero/non-finite denominator guarded to NaN
+ * (rendered as "nan" in CSV and null in JSON by the emit helpers).
+ */
+double safeRatio(double num, double den);
+
+/**
+ * The scheduling loop alone, over explicit per-tenant iteration costs
+ * (costs[i] belongs to workload.jobs[i]) and an explicit switch bill.
+ * Exposed for tests and custom cost models; validates the spec and
+ * costs, returning an error-carrying result instead of running on bad
+ * input.
+ */
+ServeResult runServeLoop(const ServeSpec &spec,
+                         const std::vector<IterationCost> &costs,
+                         const SwitchCost &switchCost);
+
+/**
+ * Full pipeline: derive each tenant's isolated iteration cost by
+ * running its sweep scenario through `runner` (cache-, disk-cache- and
+ * thread-pool-aware), derive the switch bill from the spec's
+ * accelerator, then run the scheduling loop.
+ */
+ServeResult simulateServe(const ServeSpec &spec, SweepRunner &runner);
+
+/** Convenience overload with a private single-threaded runner. */
+ServeResult simulateServe(const ServeSpec &spec);
+
+/** The sweep scenario whose result prices one tenant's iteration. */
+Scenario tenantScenario(const ServeSpec &spec, const TenantJob &job);
+
+} // namespace diva
+
+#endif // DIVA_TENANT_SERVE_H

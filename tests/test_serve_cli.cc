@@ -1,0 +1,115 @@
+/**
+ * @file
+ * End-to-end flag validation for the diva_serve and diva_sweep CLIs:
+ * bad flag values must fail with a non-zero exit code, and a minimal
+ * good invocation must succeed. ctest runs with the build directory as
+ * the working directory, so the tool binaries sit at ./diva_serve and
+ * ./diva_sweep; the suite skips (rather than fails) when the tools
+ * were not built.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+bool
+exists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/** Run a command with stdout/stderr dropped; -1 if system() failed. */
+int
+runQuiet(const std::string &cmd)
+{
+    const int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+    if (status == -1)
+        return -1;
+#ifdef WEXITSTATUS
+    return WEXITSTATUS(status);
+#else
+    return status;
+#endif
+}
+
+class ServeCli : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (!exists("./diva_serve") || !exists("./diva_sweep"))
+            GTEST_SKIP() << "tool binaries not built";
+    }
+};
+
+TEST_F(ServeCli, GoodInvocationSucceeds)
+{
+    EXPECT_EQ(runQuiet("./diva_serve --policy rr --tenants 2 --steps 4 "
+                       "--quiet"),
+              0);
+}
+
+TEST_F(ServeCli, StepsDefaultAppliesToTenantSpecsInAnyFlagOrder)
+{
+    // --steps fills in every --tenant spec that did not set its own
+    // step count, wherever it appears on the command line.
+    const std::string csv = "serve_cli_steps.csv";
+    for (const char *order :
+         {"--tenant SqueezeNet --steps 4", "--steps 4 --tenant SqueezeNet"}) {
+        ASSERT_EQ(runQuiet(std::string("./diva_serve ") + order +
+                           " --quiet --no-summary --csv " + csv),
+                  0);
+        std::ifstream in(csv);
+        std::string header, row;
+        ASSERT_TRUE(std::getline(in, header));
+        ASSERT_TRUE(std::getline(in, row));
+        EXPECT_NE(row.find(",4,4,1,"), std::string::npos)
+            << order << ": steps,steps_done,completed -> " << row;
+    }
+    std::remove(csv.c_str());
+}
+
+TEST_F(ServeCli, BadServeFlagsFail)
+{
+    // Unknown policy name.
+    EXPECT_NE(runQuiet("./diva_serve --policy bogus"), 0);
+    // Zero/negative tenant counts.
+    EXPECT_NE(runQuiet("./diva_serve --tenants 0"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --tenants -3"), 0);
+    // Negative/zero budgets and quanta.
+    EXPECT_NE(runQuiet("./diva_serve --wall-s -1"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --wall-s 0"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --quantum 0"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --steps -5"), 0);
+    // Unbounded steps need a wall budget.
+    EXPECT_NE(runQuiet("./diva_serve --steps 0"), 0);
+    // Malformed tenant specs.
+    EXPECT_NE(runQuiet("./diva_serve --tenant ResNet-50:0"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --tenant ResNet-50:8:-2"), 0);
+    // Unknown model in a tenant spec is a (runtime) serve error.
+    EXPECT_NE(runQuiet("./diva_serve --tenant NoSuchNet --quiet"), 0);
+    // Unknown flags and missing values.
+    EXPECT_NE(runQuiet("./diva_serve --no-such-flag"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --policy"), 0);
+}
+
+TEST_F(ServeCli, BadSweepFlagsFail)
+{
+    EXPECT_NE(runQuiet("./diva_sweep --mode bogus"), 0);
+    EXPECT_NE(runQuiet("./diva_sweep --mode duration"), 0)
+        << "duration mode requires --wall-s";
+    EXPECT_NE(runQuiet("./diva_sweep --mode tenant --policies bogus"), 0);
+    EXPECT_NE(runQuiet("./diva_sweep --wall-s -2"), 0);
+    EXPECT_NE(runQuiet("./diva_sweep --quantum 0"), 0);
+    EXPECT_NE(runQuiet("./diva_sweep --steps 0"), 0);
+    EXPECT_NE(runQuiet("./diva_sweep --arrive-every -1"), 0);
+    EXPECT_NE(runQuiet("./diva_sweep --models NoSuchNet"), 0);
+}
+
+} // namespace

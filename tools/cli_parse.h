@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Flag-value parsing helpers shared by the tools/ CLIs: comma-list
+ * splitting and integer/double parsing that demand full consumption of
+ * the text (trailing garbage rejects) and report failure through
+ * std::optional instead of exceptions, so each tool can attach its own
+ * one-line error message.
+ */
+
+#ifndef DIVA_TOOLS_CLI_PARSE_H
+#define DIVA_TOOLS_CLI_PARSE_H
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace diva::cli
+{
+
+/** Split a comma-separated list, dropping empty items. */
+inline std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Parse a whole string as an integer; nullopt on any malformation. */
+inline std::optional<long long>
+parseIntText(const std::string &text)
+{
+    try {
+        std::size_t consumed = 0;
+        const long long value = std::stoll(text, &consumed);
+        if (consumed == text.size())
+            return value;
+    } catch (const std::exception &) {
+    }
+    return std::nullopt;
+}
+
+/** Parse a whole string as a finite double; nullopt otherwise. */
+inline std::optional<double>
+parseDoubleText(const std::string &text)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed == text.size() && std::isfinite(value))
+            return value;
+    } catch (const std::exception &) {
+    }
+    return std::nullopt;
+}
+
+} // namespace diva::cli
+
+#endif // DIVA_TOOLS_CLI_PARSE_H

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * diva_serve: multi-tenant time-sharing serve simulator driver.
+ *
+ * Runs N tenant training jobs (generated with --tenants or spelled out
+ * with repeated --tenant flags) time-sharing one accelerator (or pod)
+ * under one or more scheduling policies, and reports per-tenant
+ * achieved rate, slowdown vs. an isolated run, QoS attainment and
+ * energy share plus the run-level context-switch bill.
+ *
+ * The per-tenant isolated iteration costs are ordinary sweep scenarios
+ * run through the sweep engine, so --threads parallelizes them and
+ * --cache-dir shares the persistent result cache with diva_sweep. All
+ * serve output on stdout (or --csv/--json files) is a pure function of
+ * the spec: --threads N and warm-cache reruns are byte-identical.
+ * Progress and cache accounting go to stderr.
+ */
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_parse.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "sweep/disk_cache.h"
+#include "sweep/emit.h"
+#include "sweep/runner.h"
+#include "tenant/emit.h"
+#include "tenant/serve.h"
+
+using namespace diva;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: diva_serve [options]\n"
+        "\n"
+        "Tenant mix:\n"
+        "  --tenants N         N generated tenants rotating through a\n"
+        "                      fixed model mix (default 3)\n"
+        "  --tenant SPEC       add an explicit tenant; SPEC is\n"
+        "                      model[:batch[:qos_sps[:arrival_s[:prio\n"
+        "                      [:steps]]]]], e.g. ResNet-50:32:2.5:0:1:64\n"
+        "                      (batch 'auto' = largest that fits)\n"
+        "  --steps N           steps per generated tenant (default 32;\n"
+        "                      0 = unbounded, needs --wall-s)\n"
+        "  --batch N|auto      batch per generated tenant (default 8)\n"
+        "  --arrive-every S    stagger generated arrivals (default 0)\n"
+        "  --qos auto|none|R   generated tenants' steps/sec target:\n"
+        "                      auto = fair share of the isolated rate\n"
+        "                      (default), none, or an explicit rate\n"
+        "\n"
+        "Scheduling:\n"
+        "  --policy NAME       fifo, rr, prio, or edf (default rr)\n"
+        "  --policies LIST     compare several policies in one run\n"
+        "                      (or 'all')\n"
+        "  --quantum N         iterations per scheduling quantum\n"
+        "                      (default 1)\n"
+        "  --wall-s S          wall-clock budget in simulated seconds;\n"
+        "                      0 = run every tenant to completion\n"
+        "\n"
+        "Platform:\n"
+        "  --dataflow NAME     WS, OS, or DiVa (default DiVa)\n"
+        "  --ppu on|off        post-processing unit (default on;\n"
+        "                      WS is always off)\n"
+        "  --chips N           time-share a data-parallel pod of N\n"
+        "                      chips (default 1)\n"
+        "\n"
+        "Execution:\n"
+        "  --threads N         worker threads for the isolated-cost\n"
+        "                      simulations (default 1)\n"
+        "  --cache-dir PATH    persistent result cache shared with\n"
+        "                      diva_sweep\n"
+        "  --cache             like --cache-dir with the default dir\n"
+        "  --quiet             no stderr progress\n"
+        "\n"
+        "Output (deterministic; independent of --threads and cache):\n"
+        "  --csv PATH          write per-tenant CSV to PATH instead of\n"
+        "                      stdout\n"
+        "  --json PATH         also write a JSON report\n"
+        "  --no-summary        skip the stdout summary tables\n";
+}
+
+struct Args
+{
+    int tenants = 3;
+    std::vector<TenantJob> explicitTenants;
+    std::uint64_t steps = 32;
+    int batch = 8;
+    double arriveEvery = 0.0;
+    enum class QosMode { kAuto, kNone, kRate } qosMode = QosMode::kAuto;
+    double qosRate = 0.0;
+    std::vector<SchedPolicy> policies = {SchedPolicy::kRoundRobin};
+    std::uint64_t quantum = 1;
+    double wallSec = 0.0;
+    Dataflow dataflow = Dataflow::kOuterProduct;
+    bool ppu = true;
+    int chips = 1;
+    int threads = 1;
+    std::string cacheDir;
+    bool quiet = false;
+    bool summary = true;
+    std::string csvPath;
+    std::string jsonPath;
+};
+
+using cli::parseDoubleText;
+using cli::parseIntText;
+
+bool
+fail(const std::string &msg)
+{
+    std::cerr << "diva_serve: " << msg << "\n";
+    return false;
+}
+
+/** "Steps not given in the spec": resolved to --steps after parsing,
+ *  so --tenant and --steps may appear in any order. */
+constexpr std::uint64_t kStepsUnset = ~std::uint64_t(0);
+
+/** model[:batch[:qos_sps[:arrival_s[:prio[:steps]]]]] */
+bool
+parseTenantSpec(const std::string &spec, TenantJob &job)
+{
+    std::vector<std::string> f;
+    std::stringstream ss(spec);
+    for (std::string item; std::getline(ss, item, ':');)
+        f.push_back(item);
+    if (f.empty() || f.size() > 6 || f[0].empty())
+        return fail("--tenant expects model[:batch[:qos_sps[:arrival_s"
+                    "[:prio[:steps]]]]], got '" + spec + "'");
+    job.model = f[0];
+    job.steps = kStepsUnset;
+    if (f.size() > 1) {
+        if (f[1] == "auto") {
+            job.batch = kAutoBatch;
+        } else {
+            const auto n = parseIntText(f[1]);
+            if (!n || *n < 1)
+                return fail("--tenant batch must be >= 1 or 'auto' in '" +
+                            spec + "'");
+            job.batch = int(*n);
+        }
+    }
+    if (f.size() > 2) {
+        const auto v = parseDoubleText(f[2]);
+        if (!v || *v < 0.0)
+            return fail("--tenant qos_sps must be >= 0 in '" + spec + "'");
+        job.qosStepsPerSec = *v;
+    }
+    if (f.size() > 3) {
+        const auto v = parseDoubleText(f[3]);
+        if (!v || *v < 0.0)
+            return fail("--tenant arrival_s must be >= 0 in '" + spec +
+                        "'");
+        job.arrivalSec = *v;
+    }
+    if (f.size() > 4) {
+        const auto n = parseIntText(f[4]);
+        if (!n)
+            return fail("--tenant prio must be an integer in '" + spec +
+                        "'");
+        job.priority = int(*n);
+    }
+    if (f.size() > 5) {
+        const auto n = parseIntText(f[5]);
+        if (!n || *n < 0)
+            return fail("--tenant steps must be >= 0 in '" + spec + "'");
+        job.steps = std::uint64_t(*n);
+    }
+    return true;
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    auto need = [&](int &i) -> std::optional<std::string> {
+        if (i + 1 >= argc) {
+            fail(std::string(argv[i]) + " needs a value");
+            return std::nullopt;
+        }
+        return std::string(argv[++i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        std::optional<std::string> v;
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--quiet") {
+            args.quiet = true;
+        } else if (a == "--no-summary") {
+            args.summary = false;
+        } else if (a == "--tenants") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseIntText(*v);
+            if (!n || *n < 1)
+                return fail("--tenants must be >= 1, got '" + *v + "'");
+            args.tenants = int(*n);
+        } else if (a == "--tenant") {
+            if (!(v = need(i)))
+                return false;
+            TenantJob job;
+            if (!parseTenantSpec(*v, job))
+                return false;
+            args.explicitTenants.push_back(std::move(job));
+        } else if (a == "--steps") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseIntText(*v);
+            if (!n || *n < 0)
+                return fail("--steps must be >= 0, got '" + *v + "'");
+            args.steps = std::uint64_t(*n);
+        } else if (a == "--batch") {
+            if (!(v = need(i)))
+                return false;
+            if (*v == "auto") {
+                args.batch = kAutoBatch;
+            } else {
+                const auto n = parseIntText(*v);
+                if (!n || *n < 1)
+                    return fail("--batch must be >= 1 or 'auto', got '" +
+                                *v + "'");
+                args.batch = int(*n);
+            }
+        } else if (a == "--arrive-every") {
+            if (!(v = need(i)))
+                return false;
+            const auto d = parseDoubleText(*v);
+            if (!d || *d < 0.0)
+                return fail("--arrive-every must be >= 0, got '" + *v +
+                            "'");
+            args.arriveEvery = *d;
+        } else if (a == "--qos") {
+            if (!(v = need(i)))
+                return false;
+            if (*v == "auto") {
+                args.qosMode = Args::QosMode::kAuto;
+            } else if (*v == "none") {
+                args.qosMode = Args::QosMode::kNone;
+            } else {
+                const auto d = parseDoubleText(*v);
+                if (!d || *d <= 0.0)
+                    return fail("--qos takes auto, none, or a rate > 0; "
+                                "got '" + *v + "'");
+                args.qosMode = Args::QosMode::kRate;
+                args.qosRate = *d;
+            }
+        } else if (a == "--policy" || a == "--policies") {
+            if (!(v = need(i)))
+                return false;
+            args.policies.clear();
+            if (a == "--policies" && *v == "all") {
+                args.policies = allPolicies();
+                continue;
+            }
+            for (const std::string &name : cli::splitList(*v)) {
+                const auto p = policyFromName(name);
+                if (!p)
+                    return fail("unknown policy '" + name +
+                                "' (want fifo, rr, prio, or edf)");
+                args.policies.push_back(*p);
+            }
+            if (args.policies.empty())
+                return fail(a + " needs at least one policy");
+        } else if (a == "--quantum") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseIntText(*v);
+            if (!n || *n < 1)
+                return fail("--quantum must be >= 1, got '" + *v + "'");
+            args.quantum = std::uint64_t(*n);
+        } else if (a == "--wall-s") {
+            if (!(v = need(i)))
+                return false;
+            const auto d = parseDoubleText(*v);
+            if (!d || *d <= 0.0)
+                return fail("--wall-s must be > 0, got '" + *v + "'");
+            args.wallSec = *d;
+        } else if (a == "--dataflow") {
+            if (!(v = need(i)))
+                return false;
+            if (*v == "WS")
+                args.dataflow = Dataflow::kWeightStationary;
+            else if (*v == "OS")
+                args.dataflow = Dataflow::kOutputStationary;
+            else if (*v == "DiVa")
+                args.dataflow = Dataflow::kOuterProduct;
+            else
+                return fail("--dataflow takes WS, OS, or DiVa; got '" +
+                            *v + "'");
+        } else if (a == "--ppu") {
+            if (!(v = need(i)))
+                return false;
+            if (*v == "on")
+                args.ppu = true;
+            else if (*v == "off")
+                args.ppu = false;
+            else
+                return fail("--ppu takes on/off, got '" + *v + "'");
+        } else if (a == "--chips") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseIntText(*v);
+            if (!n || *n < 1)
+                return fail("--chips must be >= 1, got '" + *v + "'");
+            args.chips = int(*n);
+        } else if (a == "--threads") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseIntText(*v);
+            if (!n || *n < 1)
+                return fail("--threads must be >= 1, got '" + *v + "'");
+            args.threads = int(*n);
+        } else if (a == "--cache-dir") {
+            if (!(v = need(i)))
+                return false;
+            args.cacheDir = *v;
+        } else if (a == "--cache") {
+            args.cacheDir = DiskCache::defaultDir();
+        } else if (a == "--csv") {
+            if (!(v = need(i)))
+                return false;
+            args.csvPath = *v;
+        } else if (a == "--json") {
+            if (!(v = need(i)))
+                return false;
+            args.jsonPath = *v;
+        } else {
+            fail("unknown option '" + a + "'");
+            usage();
+            return false;
+        }
+    }
+    if (args.steps == 0 && args.wallSec <= 0.0 &&
+        args.explicitTenants.empty())
+        return fail("--steps 0 (unbounded) needs --wall-s");
+    return true;
+}
+
+AcceleratorConfig
+platformConfig(const Args &args)
+{
+    switch (args.dataflow) {
+      case Dataflow::kWeightStationary: {
+        AcceleratorConfig cfg = tpuV3Ws();
+        if (args.ppu)
+            DIVA_WARN("WS has no PPU datapath; running with --ppu off");
+        return cfg;
+      }
+      case Dataflow::kOutputStationary:
+        return systolicOs(args.ppu);
+      case Dataflow::kOuterProduct:
+        return divaDefault(args.ppu);
+    }
+    return {};
+}
+
+TenantWorkload
+buildWorkload(const Args &args)
+{
+    if (!args.explicitTenants.empty()) {
+        TenantWorkload mix;
+        std::ostringstream oss;
+        oss << "custom-" << args.explicitTenants.size();
+        mix.name = oss.str();
+        for (std::size_t i = 0; i < args.explicitTenants.size(); ++i) {
+            TenantJob job = args.explicitTenants[i];
+            if (job.steps == kStepsUnset)
+                job.steps = args.steps;
+            std::ostringstream name;
+            name << "t" << i << ":" << job.model;
+            job.name = name.str();
+            mix.jobs.push_back(std::move(job));
+        }
+        return mix;
+    }
+    TenantWorkload mix = defaultWorkload(args.tenants, args.steps,
+                                         args.batch, args.arriveEvery);
+    if (args.qosMode == Args::QosMode::kRate)
+        for (TenantJob &job : mix.jobs)
+            job.qosStepsPerSec = args.qosRate;
+    return mix;
+}
+
+void
+printSummary(std::ostream &os, const std::vector<ServeResult> &serves)
+{
+    os << "\n=== serve summary ===\n";
+    TextTable runs({"policy", "makespan_s", "energy_j", "switches",
+                    "switch_s", "switch_j", "mean_qos_pct"});
+    for (const ServeResult &s : serves) {
+        if (!s.ok()) {
+            runs.addRow({policyName(s.policy), "-", "-", "-", "-", "-",
+                         "error: " + s.error});
+            continue;
+        }
+        runs.addRow({policyName(s.policy), formatDouble(s.makespanSec),
+                     formatDouble(s.totalEnergyJ),
+                     std::to_string(s.contextSwitches),
+                     formatDouble(s.switchSec),
+                     formatDouble(s.switchEnergyJ),
+                     formatDouble(s.meanQosAttainmentPct)});
+    }
+    runs.print(os);
+
+    for (const ServeResult &s : serves) {
+        if (!s.ok())
+            continue;
+        os << "\n--- policy " << policyName(s.policy) << " ("
+           << s.configName;
+        if (s.chips > 1)
+            os << " x" << s.chips;
+        os << ") ---\n";
+        TextTable table({"tenant", "steps", "done", "achieved/s",
+                         "isolated/s", "slowdown", "qos_pct",
+                         "energy_share", "switches"});
+        for (const TenantMetrics &t : s.tenants)
+            table.addRow({t.job.name, std::to_string(t.job.steps),
+                          std::to_string(t.stepsDone),
+                          formatDouble(t.achievedStepsPerSec),
+                          formatDouble(t.isolatedStepsPerSec),
+                          formatDouble(t.slowdown),
+                          formatDouble(t.qosAttainmentPct),
+                          formatDouble(t.energyShare),
+                          std::to_string(t.switchesIn)});
+        table.print(os);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return 1;
+
+    SweepOptions opts;
+    opts.threads = args.threads;
+    opts.cacheDir = args.cacheDir;
+    SweepRunner runner(opts);
+    if (!args.quiet && runner.diskCache())
+        std::cerr << "disk cache: " << runner.diskCache()->size()
+                  << " entries in " << runner.diskCache()->filePath()
+                  << "\n";
+
+    ServeSpec spec;
+    spec.workload = buildWorkload(args);
+    spec.config = platformConfig(args);
+    spec.chips = args.chips;
+    spec.policy = args.policies.front();
+    spec.opts.quantumIters = args.quantum;
+    spec.opts.wallLimitSec = args.wallSec;
+    spec.opts.autoQosFairShare =
+        args.explicitTenants.empty() &&
+        args.qosMode == Args::QosMode::kAuto;
+
+    std::vector<ServeResult> serves;
+    bool any_error = false;
+    for (SchedPolicy policy : args.policies) {
+        spec.policy = policy;
+        if (!args.quiet)
+            std::cerr << "serving " << spec.workload.jobs.size()
+                      << " tenant(s) under " << policyName(policy)
+                      << " on " << spec.config.name
+                      << (args.chips > 1
+                              ? " x" + std::to_string(args.chips)
+                              : "")
+                      << "...\n";
+        ServeResult r = simulateServe(spec, runner);
+        if (!r.ok()) {
+            std::cerr << "diva_serve: " << policyName(policy) << ": "
+                      << r.error << "\n";
+            any_error = true;
+        }
+        serves.push_back(std::move(r));
+    }
+
+    std::ofstream csv_file;
+    if (!args.csvPath.empty()) {
+        csv_file.open(args.csvPath);
+        if (!csv_file) {
+            std::cerr << "diva_serve: cannot write " << args.csvPath
+                      << "\n";
+            return 1;
+        }
+    }
+    std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
+    writeServeCsv(csv, serves);
+
+    if (!args.jsonPath.empty()) {
+        std::ofstream json_file(args.jsonPath);
+        if (!json_file) {
+            std::cerr << "diva_serve: cannot write " << args.jsonPath
+                      << "\n";
+            return 1;
+        }
+        writeServeJson(json_file, serves);
+    }
+
+    if (args.summary)
+        printSummary(std::cout, serves);
+    return any_error ? 2 : 0;
+}

@@ -25,6 +25,7 @@
  */
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -36,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_parse.h"
 #include "common/table.h"
 #include "sweep/aggregate.h"
 #include "sweep/disk_cache.h"
@@ -43,6 +45,8 @@
 #include "sweep/runner.h"
 #include "sweep/scenario.h"
 #include "sweep/spec.h"
+#include "tenant/emit.h"
+#include "tenant/serve.h"
 
 using namespace diva;
 
@@ -87,11 +91,27 @@ usage()
         "                      ($DIVA_CACHE_DIR, else ~/.cache/diva)\n"
         "\n"
         "Search mode:\n"
-        "  --mode MODE         sweep (default) or energy: best config\n"
-        "                      under an energy budget\n"
+        "  --mode MODE         sweep (default), energy (best config\n"
+        "                      under an energy budget), tenant\n"
+        "                      (multi-tenant time-sharing serve over\n"
+        "                      policy x config axes), or duration\n"
+        "                      (steps completed per tenant/config in a\n"
+        "                      fixed --wall-s budget)\n"
         "  --budget-j J        max joules per iteration (mode energy)\n"
         "  --budget-w W        max engine TDP in watts, pod-wide for\n"
         "                      pods (mode energy)\n"
+        "\n"
+        "Tenant/duration modes (one tenant per --models entry, batch\n"
+        "and algorithm from the first --batches/--algos value,\n"
+        "fair-share QoS targets):\n"
+        "  --policies LIST     fifo,rr,prio,edf or 'all' (default all)\n"
+        "  --steps N           steps per tenant in tenant mode\n"
+        "                      (default 32)\n"
+        "  --wall-s S          wall-clock budget in simulated seconds\n"
+        "                      (required by duration mode)\n"
+        "  --quantum N         iterations per scheduling quantum\n"
+        "                      (default 1)\n"
+        "  --arrive-every S    stagger tenant arrivals (default 0)\n"
         "\n"
         "Output (deterministic; independent of --threads and of the\n"
         "cache state):\n"
@@ -104,17 +124,7 @@ usage()
         "  --list-models       print zoo model names and exit\n";
 }
 
-std::vector<std::string>
-splitList(const std::string &arg)
-{
-    std::vector<std::string> out;
-    std::stringstream ss(arg);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        if (!item.empty())
-            out.push_back(item);
-    return out;
-}
+using cli::splitList;
 
 std::optional<TrainingAlgorithm>
 parseAlgo(std::string name)
@@ -163,6 +173,14 @@ configFor(Dataflow df, bool ppu)
     return {};
 }
 
+enum class CliMode
+{
+    kSweep,
+    kEnergy,
+    kTenant,
+    kDuration,
+};
+
 struct Args
 {
     std::vector<std::string> models = {"ResNet-50", "BERT-base"};
@@ -183,40 +201,37 @@ struct Args
     int threads = 1;
     bool quiet = false;
     bool speedupTable = true;
-    bool energyMode = false;
+    CliMode mode = CliMode::kSweep;
     EnergyBudget budget;
+    std::vector<SchedPolicy> policies = allPolicies();
+    std::uint64_t steps = 32;
+    double wallSec = 0.0;
+    std::uint64_t quantum = 1;
+    double arriveEvery = 0.0;
     std::string cacheDir;
     std::string csvPath;
     std::string jsonPath;
 };
 
-/** std::stoi that reports instead of throwing out of main. */
+/** Shared int parsing with this tool's one-line error report. */
 std::optional<int>
 parseInt(const std::string &flag, const std::string &text)
 {
-    try {
-        std::size_t consumed = 0;
-        const int value = std::stoi(text, &consumed);
-        if (consumed == text.size())
-            return value;
-    } catch (const std::exception &) {
-    }
+    const std::optional<long long> value = cli::parseIntText(text);
+    if (value && *value >= INT_MIN && *value <= INT_MAX)
+        return int(*value);
     std::cerr << "diva_sweep: " << flag << " expects an integer, got '"
               << text << "'\n";
     return std::nullopt;
 }
 
-/** std::stod that reports instead of throwing out of main. */
+/** Shared finite-double parsing with this tool's error report. */
 std::optional<double>
 parseDouble(const std::string &flag, const std::string &text)
 {
-    try {
-        std::size_t consumed = 0;
-        const double value = std::stod(text, &consumed);
-        if (consumed == text.size())
-            return value;
-    } catch (const std::exception &) {
-    }
+    const std::optional<double> value = cli::parseDoubleText(text);
+    if (value)
+        return value;
     std::cerr << "diva_sweep: " << flag << " expects a number, got '"
               << text << "'\n";
     return std::nullopt;
@@ -412,13 +427,84 @@ parseArgs(int argc, char **argv, Args &args)
             if (!(v = need(i)))
                 return false;
             if (*v == "sweep")
-                args.energyMode = false;
+                args.mode = CliMode::kSweep;
             else if (*v == "energy")
-                args.energyMode = true;
+                args.mode = CliMode::kEnergy;
+            else if (*v == "tenant")
+                args.mode = CliMode::kTenant;
+            else if (*v == "duration")
+                args.mode = CliMode::kDuration;
             else {
-                std::cerr << "diva_sweep: --mode takes sweep/energy\n";
+                std::cerr << "diva_sweep: --mode takes sweep, energy, "
+                             "tenant, or duration; got '" << *v << "'\n";
                 return false;
             }
+        } else if (a == "--policies") {
+            if (!(v = need(i)))
+                return false;
+            args.policies.clear();
+            if (*v == "all") {
+                args.policies = allPolicies();
+            } else {
+                for (const std::string &s : splitList(*v)) {
+                    const auto p = policyFromName(s);
+                    if (!p) {
+                        std::cerr << "diva_sweep: unknown policy '" << s
+                                  << "' (want fifo, rr, prio, or edf)\n";
+                        return false;
+                    }
+                    args.policies.push_back(*p);
+                }
+            }
+            if (args.policies.empty()) {
+                std::cerr
+                    << "diva_sweep: --policies needs at least one\n";
+                return false;
+            }
+        } else if (a == "--steps") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseInt(a, *v);
+            if (!n)
+                return false;
+            if (*n < 1) {
+                std::cerr << "diva_sweep: --steps must be >= 1\n";
+                return false;
+            }
+            args.steps = std::uint64_t(*n);
+        } else if (a == "--wall-s") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseDouble(a, *v);
+            if (!n)
+                return false;
+            if (*n <= 0.0) {
+                std::cerr << "diva_sweep: --wall-s must be > 0\n";
+                return false;
+            }
+            args.wallSec = *n;
+        } else if (a == "--quantum") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseInt(a, *v);
+            if (!n)
+                return false;
+            if (*n < 1) {
+                std::cerr << "diva_sweep: --quantum must be >= 1\n";
+                return false;
+            }
+            args.quantum = std::uint64_t(*n);
+        } else if (a == "--arrive-every") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseDouble(a, *v);
+            if (!n)
+                return false;
+            if (*n < 0.0) {
+                std::cerr << "diva_sweep: --arrive-every must be >= 0\n";
+                return false;
+            }
+            args.arriveEvery = *n;
         } else if (a == "--budget-j") {
             if (!(v = need(i)))
                 return false;
@@ -460,6 +546,35 @@ parseArgs(int argc, char **argv, Args &args)
             usage();
             return false;
         }
+    }
+    if (args.mode == CliMode::kDuration && args.wallSec <= 0.0) {
+        std::cerr << "diva_sweep: --mode duration needs --wall-s\n";
+        return false;
+    }
+    if (args.models.empty()) {
+        std::cerr << "diva_sweep: --models needs at least one model\n";
+        return false;
+    }
+    if (args.batches.empty()) {
+        std::cerr << "diva_sweep: --batches needs at least one batch\n";
+        return false;
+    }
+    if (args.algos.empty()) {
+        std::cerr << "diva_sweep: --algos needs at least one\n";
+        return false;
+    }
+    if (args.scales.empty()) {
+        std::cerr << "diva_sweep: --scales needs at least one scale\n";
+        return false;
+    }
+    if (args.microbatches.empty()) {
+        std::cerr << "diva_sweep: --microbatches needs at least one\n";
+        return false;
+    }
+    if (args.dataflows.empty() || args.ppus.empty()) {
+        std::cerr << "diva_sweep: --dataflows/--ppu need at least one "
+                     "entry\n";
+        return false;
     }
     return true;
 }
@@ -657,6 +772,180 @@ printEnergySearch(std::ostream &os,
     table.print(os);
 }
 
+/**
+ * Tenant / duration modes: one tenant per --models entry, fair-share
+ * QoS targets, served under every policy on every valid accelerator
+ * design point (plus any pod axis points). The per-tenant isolated
+ * costs run through the shared SweepRunner, so they are parallel,
+ * deduplicated across policies, and disk-cacheable like any other
+ * scenario.
+ */
+int
+runTenantModes(const Args &args, SweepRunner &runner)
+{
+    const bool duration = args.mode == CliMode::kDuration;
+
+    TenantWorkload mix;
+    {
+        std::ostringstream oss;
+        oss << (duration ? "duration-" : "tenant-") << args.models.size();
+        mix.name = oss.str();
+    }
+    for (std::size_t i = 0; i < args.models.size(); ++i) {
+        TenantJob job;
+        job.model = args.models[i];
+        std::ostringstream name;
+        name << "t" << i << ":" << job.model;
+        job.name = name.str();
+        job.batch = args.batches.front();
+        job.algorithm = args.algos.front();
+        job.modelScale = args.scales.front();
+        job.microbatch = args.microbatches.front();
+        job.steps = duration ? 0 : args.steps;
+        job.arrivalSec = args.arriveEvery * double(i);
+        job.priority = int(i % 3);
+        mix.jobs.push_back(std::move(job));
+    }
+
+    // Platform axis: every valid (dataflow, ppu) design point on one
+    // chip, plus every pod shape when a pod axis was given.
+    struct Platform
+    {
+        AcceleratorConfig config;
+        int chips = 1;
+        MultiChipConfig pod;
+    };
+    std::vector<Platform> platforms;
+    for (Dataflow df : args.dataflows)
+        for (bool ppu : args.ppus) {
+            const AcceleratorConfig cfg = configFor(df, ppu);
+            if (!cfg.validationError().empty())
+                continue; // e.g. WS+PPU, same skip rule as the sweep
+            platforms.push_back({cfg, 1, {}});
+        }
+    if (platforms.empty()) {
+        std::cerr << "diva_sweep: no valid accelerator design points\n";
+        return 1;
+    }
+    if (!args.chips.empty() || !args.iciGbs.empty() ||
+        !args.linkLatencies.empty()) {
+        const MultiChipConfig defaults;
+        const std::vector<int> chip_axis =
+            args.chips.empty() ? std::vector<int>{defaults.numChips}
+                               : args.chips;
+        const std::vector<double> ici_axis =
+            args.iciGbs.empty()
+                ? std::vector<double>{defaults.interconnectGBs}
+                : args.iciGbs;
+        const std::vector<int> lat_axis =
+            args.linkLatencies.empty()
+                ? std::vector<int>{int(defaults.linkLatencyCycles)}
+                : args.linkLatencies;
+        const std::size_t single_chip = platforms.size();
+        for (std::size_t p = 0; p < single_chip; ++p)
+            for (int n : chip_axis) {
+                // chips=1 has no interconnect and is already covered
+                // by the single-chip platforms above.
+                if (n <= 1)
+                    continue;
+                for (double ici : ici_axis)
+                    for (int lat : lat_axis) {
+                        Platform pod = platforms[p];
+                        pod.chips = n;
+                        pod.pod.numChips = n;
+                        pod.pod.interconnectGBs = ici;
+                        pod.pod.linkLatencyCycles = Cycles(lat);
+                        platforms.push_back(pod);
+                    }
+            }
+    }
+
+    std::vector<ServeResult> serves;
+    std::size_t failures = 0;
+    for (const Platform &p : platforms)
+        for (SchedPolicy policy : args.policies) {
+            ServeSpec spec;
+            spec.workload = mix;
+            spec.config = p.config;
+            spec.chips = p.chips;
+            spec.pod = p.pod;
+            spec.policy = policy;
+            spec.opts.quantumIters = args.quantum;
+            spec.opts.wallLimitSec = args.wallSec;
+            spec.opts.autoQosFairShare = true;
+            if (!args.quiet)
+                std::cerr << "serving " << mix.jobs.size()
+                          << " tenant(s) under " << policyName(policy)
+                          << " on " << p.config.name
+                          << (p.chips > 1
+                                  ? " x" + std::to_string(p.chips)
+                                  : "")
+                          << "...\n";
+            ServeResult r = simulateServe(spec, runner);
+            if (!r.ok()) {
+                std::cerr << "diva_sweep: " << policyName(policy)
+                          << " on " << p.config.name << ": " << r.error
+                          << "\n";
+                ++failures;
+            }
+            serves.push_back(std::move(r));
+        }
+
+    std::ofstream csv_file;
+    if (!args.csvPath.empty()) {
+        csv_file.open(args.csvPath);
+        if (!csv_file) {
+            std::cerr << "diva_sweep: cannot write " << args.csvPath
+                      << "\n";
+            return 1;
+        }
+    }
+    std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
+    writeServeCsv(csv, serves);
+
+    if (!args.jsonPath.empty()) {
+        std::ofstream json_file(args.jsonPath);
+        if (!json_file) {
+            std::cerr << "diva_sweep: cannot write " << args.jsonPath
+                      << "\n";
+            return 1;
+        }
+        writeServeJson(json_file, serves);
+    }
+
+    // Policy comparison per platform: the serve-mode counterpart of
+    // the Fig.13 speedup table (cache accounting stays on stderr so
+    // stdout is a pure function of the serve specs).
+    std::cout << "\n=== " << (duration ? "duration" : "tenant")
+              << " serve summary ===\n"
+              << "serves: " << serves.size() << " ("
+              << platforms.size() << " platform(s) x "
+              << args.policies.size() << " policy(ies)), tenants per "
+              << "serve: " << mix.jobs.size() << "\n"
+              << "failures: " << failures << "\n";
+    TextTable table({"config", "chips", "policy",
+                     duration ? "steps_done" : "makespan_s",
+                     "mean_qos_pct", "switches", "switch_s",
+                     "energy_j"});
+    for (const ServeResult &s : serves) {
+        if (!s.ok())
+            continue;
+        std::uint64_t total_steps = 0;
+        for (const TenantMetrics &t : s.tenants)
+            total_steps += t.stepsDone;
+        table.addRow({s.configName, std::to_string(s.chips),
+                      policyName(s.policy),
+                      duration ? std::to_string(total_steps)
+                               : formatDouble(s.makespanSec),
+                      formatDouble(s.meanQosAttainmentPct),
+                      std::to_string(s.contextSwitches),
+                      formatDouble(s.switchSec),
+                      formatDouble(s.totalEnergyJ)});
+    }
+    table.print(std::cout);
+    return failures == 0 ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -686,6 +975,9 @@ main(int argc, char **argv)
         std::cerr << "\n";
     }
 
+    if (args.mode == CliMode::kTenant || args.mode == CliMode::kDuration)
+        return runTenantModes(args, runner);
+
     const SweepSpec spec = buildSpec(args);
     const SweepSpec::Expansion expansion = spec.expand();
 
@@ -694,7 +986,8 @@ main(int argc, char **argv)
     // these scenarios and takes them from the cache.
     // The Fig.13 speedup table is sweep-mode furniture; energy mode
     // reports the budget search instead.
-    const bool speedup_table = args.speedupTable && !args.energyMode;
+    const bool speedup_table =
+        args.speedupTable && args.mode == CliMode::kSweep;
     SweepReport baseline;
     if (speedup_table) {
         SweepSpec base = spec;
@@ -768,7 +1061,7 @@ main(int argc, char **argv)
         printSpeedupTable(std::cout, baseline.results, report.results);
         std::cout << "\n";
     }
-    if (args.energyMode) {
+    if (args.mode == CliMode::kEnergy) {
         printEnergySearch(std::cout, report.results, args.budget);
         std::cout << "\n";
     }
