@@ -13,8 +13,10 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/logging.h"
 #include "common/table.h"
 #include "gpu/gpu_model.h"
+#include "sweep/runner.h"
 
 using namespace diva;
 
@@ -47,16 +49,24 @@ printFigure17()
     TextTable table({"model", "vs V100(FP32)", "vs V100(FP16 TC)",
                      "vs A100(FP32)", "vs A100(FP16 TC)"});
     std::vector<double> vs_v100_tc, vs_a100_tc;
+    // GPU times run through the backend layer; one plan cache lowers
+    // each model's op stream once for all four GPU design points.
+    PlanCache plans;
     for (const auto &net : allModels()) {
         const int batch = benchutil::dpBatch(net);
-        const OpStream stream =
-            buildOpStream(net, TrainingAlgorithm::kDpSgdR, batch);
         const double diva_sec = divaBottleneckSeconds(net, batch);
         std::vector<std::string> cells = {net.name};
         for (std::size_t g = 0; g < gpus.size(); ++g) {
-            const double gpu_sec =
-                GpuModel(gpus[g]).bottleneckSeconds(stream);
-            const double s = gpu_sec / diva_sec;
+            Scenario scenario;
+            scenario.backend = SweepBackend::kGpu;
+            scenario.gpu = gpus[g];
+            scenario.model = net.name;
+            scenario.batch = batch;
+            scenario.algorithm = TrainingAlgorithm::kDpSgdR;
+            const ScenarioResult r = runScenario(scenario, plans);
+            if (!r.ok())
+                DIVA_FATAL("GPU scenario failed: ", r.error);
+            const double s = r.seconds / diva_sec;
             cells.push_back(TextTable::fmtX(s));
             if (g == 1)
                 vs_v100_tc.push_back(s);

@@ -6,6 +6,11 @@
  * "what happens on a pod" follow-up to the paper's single-chip
  * evaluation.
  *
+ * The pod points run as ordinary sweep scenarios through the pod
+ * simulation backend (see src/backend/), so the chip-count axis is
+ * simulated on the runner's worker pool with one shared workload plan
+ * instead of rebuilding the model per point.
+ *
  * Usage: pod_scaling [model-name] [global-batch]
  */
 
@@ -13,11 +18,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "arch/accelerator_config.h"
 #include "common/table.h"
-#include "models/zoo.h"
-#include "sim/multichip.h"
+#include "common/types.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
 
 using namespace diva;
 
@@ -26,44 +32,68 @@ main(int argc, char **argv)
 {
     const std::string wanted = argc > 1 ? argv[1] : "ResNet-152";
     const int global_batch = argc > 2 ? std::atoi(argv[2]) : 512;
-    Network net;
     bool found = false;
-    for (const auto &m : allModels()) {
-        if (m.name == wanted) {
-            net = m;
-            found = true;
-        }
-    }
+    for (const std::string &m : knownModels())
+        found = found || m == wanted;
     if (!found || global_batch <= 0) {
         std::printf("usage: pod_scaling [model-name] [global-batch]\n");
         return 1;
     }
 
+    std::vector<int> chip_counts;
+    for (int chips : {1, 2, 4, 8, 16, 32})
+        if (chips <= global_batch)
+            chip_counts.push_back(chips);
+
+    SweepSpec spec;
+    spec.configs = {tpuV3Ws(), divaDefault(true)};
+    spec.models = {wanted};
+    spec.algorithms = {TrainingAlgorithm::kDpSgdR};
+    spec.batches = {global_batch};
+    spec.backends = {SweepBackend::kMultiChip};
+    for (int chips : chip_counts) {
+        MultiChipConfig pod;
+        pod.numChips = chips;
+        spec.pods.push_back(pod);
+    }
+
+    SweepOptions opts;
+    opts.threads = 4;
+    SweepRunner runner(opts);
+    const SweepReport report = runner.run(spec);
+    if (report.failures ||
+        report.results.size() != 2 * chip_counts.size()) {
+        std::printf("pod sweep failed (%zu failures)\n",
+                    report.failures);
+        return 1;
+    }
+    // Axis-major expansion: WS rows first, then the DiVa rows.
+    const std::size_t n = chip_counts.size();
+    const auto ws = [&](std::size_t i) { return report.results[i]; };
+    const auto dv = [&](std::size_t i) {
+        return report.results[n + i];
+    };
+
     std::printf("%s, DP-SGD(R), global mini-batch %d, TPUv3-class ICI "
                 "(70 GB/s per link)\n\n",
-                net.name.c_str(), global_batch);
+                wanted.c_str(), global_batch);
     TextTable table({"chips", "per-chip B", "WS cycles", "DiVa cycles",
                      "DiVa allreduce", "DiVa efficiency",
                      "DiVa speedup"});
-    for (int chips : {1, 2, 4, 8, 16, 32}) {
-        if (chips > global_batch)
-            break;
-        MultiChipConfig pod;
-        pod.numChips = chips;
-        const ScalingResult ws = simulateDataParallel(
-            tpuV3Ws(), net, TrainingAlgorithm::kDpSgdR, global_batch,
-            pod);
-        const ScalingResult dv = simulateDataParallel(
-            divaDefault(true), net, TrainingAlgorithm::kDpSgdR,
-            global_batch, pod);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int chips = chip_counts[i];
+        // Strong-scaling efficiency vs the 1-chip pod of the same
+        // design point (whose iteration has no all-reduce).
+        const double efficiency = double(dv(0).cycles) /
+                                  (double(chips) * double(dv(i).cycles));
         table.addRow(
-            {std::to_string(chips), std::to_string(dv.perChipBatch),
-             std::to_string(ws.totalCycles),
-             std::to_string(dv.totalCycles),
-             std::to_string(dv.allReduceCycles),
-             TextTable::fmtPct(dv.efficiency),
-             TextTable::fmtX(double(ws.totalCycles) /
-                             double(dv.totalCycles))});
+            {std::to_string(chips),
+             std::to_string(ceilDiv(global_batch, chips)),
+             std::to_string(ws(i).cycles), std::to_string(dv(i).cycles),
+             std::to_string(dv(i).allReduceCycles),
+             TextTable::fmtPct(efficiency),
+             TextTable::fmtX(double(ws(i).cycles) /
+                             double(dv(i).cycles))});
     }
     table.print(std::cout);
     std::printf("\nNote: per-example clipping is chip-local, so DP-SGD "

@@ -1,0 +1,26 @@
+#include "backend/backend.h"
+
+#include "energy/energy_model.h"
+
+namespace diva
+{
+
+std::shared_ptr<const Network>
+planNetwork(const Scenario &scenario, PlanCache &plans,
+            ScenarioResult &out)
+{
+    std::shared_ptr<const Network> net =
+        plans.network(scenario.model, scenario.modelScale);
+    out.resolvedBatch = resolveBatch(scenario, *net);
+    return net;
+}
+
+void
+assembleEngineRating(ScenarioResult &out,
+                     const AcceleratorConfig &config, int chips)
+{
+    out.enginePowerW = EnergyModel::enginePowerW(config) * chips;
+    out.engineAreaMm2 = EnergyModel::engineAreaMm2(config);
+}
+
+} // namespace diva

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The pluggable simulation-backend layer. A SimBackend evaluates one
+ * sweep Scenario on one execution substrate -- a single accelerator
+ * chip, a data-parallel pod, a roofline GPU, or anything a future
+ * backend models -- filling a ScenarioResult.
+ *
+ * Backends declare *capability flags* for the metrics they actually
+ * model; the emitters consult them so a backend that has no cycle or
+ * energy notion (the GPU roofline) produces empty/NaN cells instead of
+ * fake zeros. Backends are registered by name in the BackendRegistry
+ * (see backend/registry.h), which is how the sweep runner, the tenant
+ * serve loop, and the CLIs' --backends flag reach them.
+ */
+
+#ifndef DIVA_BACKEND_BACKEND_H
+#define DIVA_BACKEND_BACKEND_H
+
+#include <memory>
+
+#include "backend/plan_cache.h"
+#include "sweep/scenario.h"
+
+namespace diva
+{
+
+/**
+ * Which ScenarioResult metrics a backend actually models. Unset flags
+ * mean the corresponding fields are meaningless defaults (not measured
+ * zeros) and are emitted as empty/NaN/null cells. Every backend models
+ * wall-clock `seconds`.
+ */
+struct BackendCaps
+{
+    /** cycles / computeCycles / allReduceCycles. */
+    bool cycles = false;
+
+    /** Effective FLOPS utilization. */
+    bool utilization = false;
+
+    /** Iteration energy in joules. */
+    bool energy = false;
+
+    /** dramBytes / postProcDramBytes off-chip traffic. */
+    bool dramTraffic = false;
+
+    /** enginePowerW / engineAreaMm2 design-point ratings. */
+    bool engineRating = false;
+
+    /** A backend that models every metric (chip and pod substrates). */
+    static BackendCaps all()
+    {
+        return {true, true, true, true, true};
+    }
+};
+
+/** One execution substrate that can evaluate sweep scenarios. */
+class SimBackend
+{
+  public:
+    virtual ~SimBackend() = default;
+
+    /** Registry key and the name scenarios/reports use ("chip"). */
+    virtual const char *name() const = 0;
+
+    /** The Scenario::backend tag this backend evaluates. */
+    virtual SweepBackend kind() const = 0;
+
+    virtual BackendCaps capabilities() const = 0;
+
+    /**
+     * Evaluate `scenario`, filling the metric fields of `out`
+     * (out.scenario and out.cacheHit belong to the caller). Workload
+     * plans come from `plans` so repeated workloads lower once.
+     * Simulation errors are thrown (the runner converts them into
+     * out.error); on throw, `out` may be partially filled and must be
+     * discarded.
+     */
+    virtual void evaluate(const Scenario &scenario, PlanCache &plans,
+                          ScenarioResult &out) const = 0;
+};
+
+/**
+ * Fetch the scenario's network from the plan cache and resolve its
+ * mini-batch into out.resolvedBatch -- the common first step of every
+ * backend's evaluate().
+ */
+std::shared_ptr<const Network> planNetwork(const Scenario &scenario,
+                                           PlanCache &plans,
+                                           ScenarioResult &out);
+
+/**
+ * Shared metric assembly for engine-rating capable backends: the
+ * design point's engine power (scaled by `chips` for pods) and area.
+ */
+void assembleEngineRating(ScenarioResult &out,
+                          const AcceleratorConfig &config, int chips);
+
+} // namespace diva
+
+#endif // DIVA_BACKEND_BACKEND_H

@@ -1,0 +1,29 @@
+#include "backend/chip_backend.h"
+
+#include "energy/energy_model.h"
+#include "sim/executor.h"
+
+namespace diva
+{
+
+void
+ChipBackend::evaluate(const Scenario &scenario, PlanCache &plans,
+                      ScenarioResult &out) const
+{
+    const std::shared_ptr<const Network> net =
+        planNetwork(scenario, plans, out);
+    const std::shared_ptr<const OpStream> stream = plans.stream(
+        *net, scenario.model, scenario.modelScale, scenario.algorithm,
+        out.resolvedBatch, scenario.microbatch);
+    const SimResult r = Executor(scenario.config).run(*stream);
+    out.cycles = r.totalCycles();
+    out.computeCycles = out.cycles;
+    out.seconds = r.seconds(scenario.config);
+    out.utilization = r.overallUtilization(scenario.config);
+    out.energyJ = EnergyModel::energy(r, scenario.config).total();
+    out.dramBytes = r.totalDram().total();
+    out.postProcDramBytes = r.postProcessingDram.total();
+    assembleEngineRating(out, scenario.config, 1);
+}
+
+} // namespace diva

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Single-chip simulation backend: one accelerator design point runs
+ * the scenario's training iteration through the Executor (optionally
+ * micro-batched with gradient accumulation). Models every metric.
+ */
+
+#ifndef DIVA_BACKEND_CHIP_BACKEND_H
+#define DIVA_BACKEND_CHIP_BACKEND_H
+
+#include "backend/backend.h"
+
+namespace diva
+{
+
+/** One accelerator chip via Executor. */
+class ChipBackend : public SimBackend
+{
+  public:
+    const char *name() const override { return "chip"; }
+    SweepBackend kind() const override
+    {
+        return SweepBackend::kSingleChip;
+    }
+    BackendCaps capabilities() const override
+    {
+        return BackendCaps::all();
+    }
+    void evaluate(const Scenario &scenario, PlanCache &plans,
+                  ScenarioResult &out) const override;
+};
+
+} // namespace diva
+
+#endif // DIVA_BACKEND_CHIP_BACKEND_H

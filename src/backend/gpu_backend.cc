@@ -1,0 +1,23 @@
+#include "backend/gpu_backend.h"
+
+#include "gpu/gpu_model.h"
+
+namespace diva
+{
+
+void
+GpuBackend::evaluate(const Scenario &scenario, PlanCache &plans,
+                     ScenarioResult &out) const
+{
+    const std::shared_ptr<const Network> net =
+        planNetwork(scenario, plans, out);
+    // Always the monolithic stream: the roofline GPU executes the
+    // logical mini-batch directly (micro-batching is an accelerator
+    // memory-wall mitigation, not part of the Figure 17 protocol).
+    const std::shared_ptr<const OpStream> stream = plans.stream(
+        *net, scenario.model, scenario.modelScale, scenario.algorithm,
+        out.resolvedBatch, 0);
+    out.seconds = GpuModel(scenario.gpu).bottleneckSeconds(*stream);
+}
+
+} // namespace diva

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Roofline GPU simulation backend (the Figure 17 protocol): times the
+ * key GEMMs of DP-SGD's backpropagation bottleneck stages on a V100/
+ * A100-class roofline model. Models wall-clock seconds only -- it has
+ * no cycle, utilization, energy, or traffic notion, and its
+ * capability flags say so (the emitters render those cells as
+ * empty/NaN/null instead of fake zeros).
+ */
+
+#ifndef DIVA_BACKEND_GPU_BACKEND_H
+#define DIVA_BACKEND_GPU_BACKEND_H
+
+#include "backend/backend.h"
+
+namespace diva
+{
+
+/** Roofline GPU model (Figure 17 protocol). */
+class GpuBackend : public SimBackend
+{
+  public:
+    const char *name() const override { return "gpu"; }
+    SweepBackend kind() const override { return SweepBackend::kGpu; }
+    BackendCaps capabilities() const override
+    {
+        return {}; // seconds only
+    }
+    void evaluate(const Scenario &scenario, PlanCache &plans,
+                  ScenarioResult &out) const override;
+};
+
+} // namespace diva
+
+#endif // DIVA_BACKEND_GPU_BACKEND_H

@@ -1,0 +1,119 @@
+#include "backend/plan_cache.h"
+
+#include <sstream>
+#include <utility>
+
+#include "sweep/scenario.h"
+#include "train/planner.h"
+
+namespace diva
+{
+
+namespace
+{
+
+std::string
+networkKey(const std::string &model, int scale)
+{
+    std::ostringstream oss;
+    oss << model << '|' << scale;
+    return oss.str();
+}
+
+std::string
+streamKey(const std::string &model, int scale, TrainingAlgorithm algo,
+          int batch, int microbatch)
+{
+    std::ostringstream oss;
+    oss << model << '|' << scale << '|' << algorithmName(algo) << '|'
+        << batch << '|' << microbatch;
+    return oss.str();
+}
+
+} // namespace
+
+std::shared_ptr<const Network>
+PlanCache::network(const std::string &model, int scale)
+{
+    if (!enabled_)
+        return std::make_shared<const Network>(buildModel(model, scale));
+    const std::string key = networkKey(model, scale);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = networks_.find(key);
+        if (it != networks_.end()) {
+            ++stats_.networkHits;
+            return it->second;
+        }
+    }
+    // Build outside the lock; a thrown error (unknown model) escapes
+    // before anything is cached or counted.
+    auto built = std::make_shared<const Network>(buildModel(model, scale));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = networks_.emplace(key, std::move(built));
+    // Losing a build race counts as a hit: exactly one miss per
+    // distinct key, whatever the thread count.
+    if (inserted)
+        ++stats_.networkMisses;
+    else
+        ++stats_.networkHits;
+    return it->second;
+}
+
+std::shared_ptr<const OpStream>
+PlanCache::stream(const Network &net, const std::string &model,
+                  int scale, TrainingAlgorithm algo, int batch,
+                  int microbatch)
+{
+    auto build = [&]() {
+        return std::make_shared<const OpStream>(
+            microbatch > 0
+                ? buildMicrobatchedOpStream(net, algo, batch, microbatch)
+                : buildOpStream(net, algo, batch));
+    };
+    if (!enabled_)
+        return build();
+    const std::string key =
+        streamKey(model, scale, algo, batch, microbatch);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = streams_.find(key);
+        if (it != streams_.end()) {
+            ++stats_.streamHits;
+            return it->second;
+        }
+    }
+    auto built = build();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = streams_.emplace(key, std::move(built));
+    if (inserted)
+        ++stats_.streamMisses;
+    else
+        ++stats_.streamHits;
+    return it->second;
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return networks_.size() + streams_.size();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    networks_.clear();
+    streams_.clear();
+    stats_ = {};
+}
+
+} // namespace diva

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared workload-plan cache: memoizes the two deterministic, pure
+ * lowering steps every simulation backend repeats -- buildModel()
+ * (zoo name + input scale -> Network) and buildOpStream() /
+ * buildMicrobatchedOpStream() (network + algorithm + resolved batch +
+ * micro-batch -> one training iteration's op stream).
+ *
+ * A design-space sweep crosses many accelerator design points with few
+ * workloads, so without memoization each sweep cell rebuilds the same
+ * Network and OpStream hundreds of times. The cache is shared by all
+ * backends (chip, pod and GPU scenarios over one workload share the
+ * same monolithic stream entry) and is safe to use from the sweep
+ * runner's worker pool.
+ *
+ * Thread-safety and determinism: lookups and insertions are
+ * mutex-protected; plans are built *outside* the lock, so two workers
+ * missing the same key concurrently both build, and the first to
+ * insert wins (the loser adopts the winner's plan and counts a hit).
+ * That rule makes the hit/miss counters a pure function of the
+ * scenario set -- misses == distinct keys built, hits == lookups -
+ * misses -- so reports stay byte-identical across thread counts.
+ */
+
+#ifndef DIVA_BACKEND_PLAN_CACHE_H
+#define DIVA_BACKEND_PLAN_CACHE_H
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "models/network.h"
+#include "train/algorithm.h"
+#include "train/op.h"
+
+namespace diva
+{
+
+/** Thread-safe memoizer for buildModel + buildOpStream. */
+class PlanCache
+{
+  public:
+    /** A disabled cache builds every plan fresh and counts nothing. */
+    explicit PlanCache(bool enabled = true) : enabled_(enabled) {}
+
+    PlanCache(const PlanCache &) = delete;
+    PlanCache &operator=(const PlanCache &) = delete;
+
+    /** Cumulative lookup accounting since construction / clear(). */
+    struct Stats
+    {
+        std::size_t networkHits = 0;
+        std::size_t networkMisses = 0;
+        std::size_t streamHits = 0;
+        std::size_t streamMisses = 0;
+
+        std::size_t hits() const { return networkHits + streamHits; }
+        std::size_t misses() const
+        {
+            return networkMisses + streamMisses;
+        }
+    };
+
+    /**
+     * The zoo model `model` at input scale `scale` (0 = paper
+     * default), built at most once per (model, scale). Throws like
+     * buildModel() for unknown names; failures are never cached.
+     */
+    std::shared_ptr<const Network> network(const std::string &model,
+                                           int scale);
+
+    /**
+     * The op stream of one training iteration of `net` -- monolithic
+     * when `microbatch` == 0, gradient-accumulating otherwise -- built
+     * at most once per (model, scale, algorithm, batch, microbatch).
+     * `net` must be the (model, scale) network; it is only consulted
+     * on a miss.
+     */
+    std::shared_ptr<const OpStream> stream(const Network &net,
+                                           const std::string &model,
+                                           int scale,
+                                           TrainingAlgorithm algo,
+                                           int batch, int microbatch);
+
+    bool enabled() const { return enabled_; }
+
+    Stats stats() const;
+
+    /** Number of cached plans (networks + streams). */
+    std::size_t size() const;
+
+    /** Drop every cached plan and reset the counters. */
+    void clear();
+
+  private:
+    const bool enabled_;
+    mutable std::mutex mutex_;
+    Stats stats_;
+    std::unordered_map<std::string, std::shared_ptr<const Network>>
+        networks_;
+    std::unordered_map<std::string, std::shared_ptr<const OpStream>>
+        streams_;
+};
+
+} // namespace diva
+
+#endif // DIVA_BACKEND_PLAN_CACHE_H

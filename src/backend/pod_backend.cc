@@ -1,0 +1,28 @@
+#include "backend/pod_backend.h"
+
+#include "sim/multichip.h"
+
+namespace diva
+{
+
+void
+PodBackend::evaluate(const Scenario &scenario, PlanCache &plans,
+                     ScenarioResult &out) const
+{
+    const std::shared_ptr<const Network> net =
+        planNetwork(scenario, plans, out);
+    const ScalingResult r =
+        simulateDataParallel(scenario.config, *net, scenario.algorithm,
+                             out.resolvedBatch, scenario.pod);
+    out.cycles = r.totalCycles;
+    out.computeCycles = r.computeCycles;
+    out.allReduceCycles = r.allReduceCycles;
+    out.seconds = scenario.config.cyclesToSeconds(r.totalCycles);
+    out.utilization = r.utilization;
+    out.energyJ = r.energyJ;
+    out.dramBytes = r.dramBytes;
+    out.postProcDramBytes = r.postProcDramBytes;
+    assembleEngineRating(out, scenario.config, scenario.pod.numChips);
+}
+
+} // namespace diva

@@ -1,0 +1,68 @@
+#include "backend/registry.h"
+
+#include "backend/chip_backend.h"
+#include "backend/gpu_backend.h"
+#include "backend/pod_backend.h"
+#include "common/logging.h"
+
+namespace diva
+{
+
+BackendRegistry::BackendRegistry()
+{
+    backends_.push_back(std::make_unique<ChipBackend>());
+    backends_.push_back(std::make_unique<PodBackend>());
+    backends_.push_back(std::make_unique<GpuBackend>());
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+void
+BackendRegistry::add(std::unique_ptr<SimBackend> backend)
+{
+    DIVA_ASSERT(backend != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &b : backends_)
+        if (std::string(b->name()) == backend->name())
+            DIVA_FATAL("backend '", backend->name(),
+                       "' is already registered");
+    backends_.push_back(std::move(backend));
+}
+
+const SimBackend *
+BackendRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &b : backends_)
+        if (name == b->name())
+            return b.get();
+    return nullptr;
+}
+
+const SimBackend &
+BackendRegistry::at(SweepBackend kind) const
+{
+    const SimBackend *backend = find(backendName(kind));
+    if (!backend)
+        DIVA_FATAL("no backend registered under '", backendName(kind),
+                   "'");
+    return *backend;
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(backends_.size());
+    for (const auto &b : backends_)
+        out.push_back(b->name());
+    return out;
+}
+
+} // namespace diva

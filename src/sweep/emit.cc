@@ -4,8 +4,30 @@
 #include <cstdio>
 #include <sstream>
 
+#include "backend/registry.h"
+
 namespace diva
 {
+
+namespace
+{
+
+/**
+ * Capability flags of the backend a result was evaluated by --
+ * resolved by effective name, falling back to the kind's built-in for
+ * results whose (since-unregistered) backend is unknown.
+ */
+BackendCaps
+capsFor(const Scenario &s)
+{
+    const SimBackend *backend =
+        BackendRegistry::instance().find(s.effectiveBackend());
+    return backend ? backend->capabilities()
+                   : BackendRegistry::instance().at(s.backend)
+                         .capabilities();
+}
+
+} // namespace
 
 std::string
 csvCell(const std::string &s)
@@ -95,6 +117,10 @@ csvRow(const ScenarioResult &r)
 {
     const Scenario &s = r.scenario;
     const bool gpu = s.backend == SweepBackend::kGpu;
+    // Metrics the backend does not model are emitted as empty cells
+    // (integral columns) or "nan" (floating columns), never as fake
+    // zeros a reader could mistake for measurements.
+    const BackendCaps caps = capsFor(s);
     std::ostringstream oss;
     oss << csvCell(gpu ? s.gpu.name : s.config.name) << ','
         << (gpu ? "-" : dataflowName(s.config.dataflow)) << ','
@@ -104,7 +130,7 @@ csvRow(const ScenarioResult &r)
         << (gpu ? 0 : s.config.sramBytes >> 20) << ','
         << formatDouble(gpu ? s.gpu.bandwidthGBs
                             : s.config.dramBandwidthGBs)
-        << ',' << backendName(s.backend) << ','
+        << ',' << csvCell(s.effectiveBackend()) << ','
         << (s.backend == SweepBackend::kMultiChip ? s.pod.numChips : 1)
         << ',';
     // Pod link design point; zeros for backends without interconnect.
@@ -115,13 +141,24 @@ csvRow(const ScenarioResult &r)
         oss << 0 << ',' << 0;
     oss << ',' << csvCell(s.model) << ',' << s.modelScale << ','
         << csvCell(algorithmName(s.algorithm)) << ',' << r.resolvedBatch
-        << ',' << s.microbatch << ',' << r.cycles << ','
-        << r.computeCycles << ',' << r.allReduceCycles << ','
-        << formatDouble(r.seconds) << ',' << formatDouble(r.utilization)
-        << ',' << formatDouble(r.energyJ) << ',' << r.dramBytes << ','
-        << r.postProcDramBytes << ',' << formatDouble(r.enginePowerW)
-        << ',' << formatDouble(r.engineAreaMm2) << ','
-        << csvCell(r.error);
+        << ',' << s.microbatch << ',';
+    if (caps.cycles)
+        oss << r.cycles << ',' << r.computeCycles << ','
+            << r.allReduceCycles << ',';
+    else
+        oss << ",,,";
+    oss << formatDouble(r.seconds) << ','
+        << (caps.utilization ? formatDouble(r.utilization) : "nan")
+        << ',' << (caps.energy ? formatDouble(r.energyJ) : "nan")
+        << ',';
+    if (caps.dramTraffic)
+        oss << r.dramBytes << ',' << r.postProcDramBytes << ',';
+    else
+        oss << ",,";
+    oss << (caps.engineRating ? formatDouble(r.enginePowerW) : "nan")
+        << ','
+        << (caps.engineRating ? formatDouble(r.engineAreaMm2) : "nan")
+        << ',' << csvCell(r.error);
     return oss.str();
 }
 
@@ -145,9 +182,12 @@ writeJson(std::ostream &os, const SweepReport &report)
         const ScenarioResult &r = report.results[i];
         const Scenario &s = r.scenario;
         const bool gpu = s.backend == SweepBackend::kGpu;
+        // Unmodeled metrics are null, never fake zeros.
+        const BackendCaps caps = capsFor(s);
         os << (i ? ",\n    {" : "\n    {") << "\"config\": \""
            << jsonEscape(gpu ? s.gpu.name : s.config.name)
-           << "\", \"backend\": \"" << backendName(s.backend) << '"';
+           << "\", \"backend\": \""
+           << jsonEscape(s.effectiveBackend()) << '"';
         if (s.backend == SweepBackend::kMultiChip)
             os << ", \"chips\": " << s.pod.numChips << ", \"ici_gbs\": "
                << jsonNumber(s.pod.interconnectGBs)
@@ -156,13 +196,24 @@ writeJson(std::ostream &os, const SweepReport &report)
            << "\", \"scale\": " << s.modelScale << ", \"algorithm\": \""
            << jsonEscape(algorithmName(s.algorithm))
            << "\", \"batch\": " << r.resolvedBatch
-           << ", \"microbatch\": " << s.microbatch << ", \"cycles\": "
-           << r.cycles << ", \"compute_cycles\": " << r.computeCycles
-           << ", \"allreduce_cycles\": " << r.allReduceCycles
-           << ", \"seconds\": " << jsonNumber(r.seconds)
-           << ", \"utilization\": " << jsonNumber(r.utilization)
-           << ", \"energy_j\": " << jsonNumber(r.energyJ)
-           << ", \"dram_bytes\": " << r.dramBytes;
+           << ", \"microbatch\": " << s.microbatch << ", \"cycles\": ";
+        if (caps.cycles)
+            os << r.cycles << ", \"compute_cycles\": "
+               << r.computeCycles << ", \"allreduce_cycles\": "
+               << r.allReduceCycles;
+        else
+            os << "null, \"compute_cycles\": null"
+               << ", \"allreduce_cycles\": null";
+        os << ", \"seconds\": " << jsonNumber(r.seconds)
+           << ", \"utilization\": "
+           << (caps.utilization ? jsonNumber(r.utilization) : "null")
+           << ", \"energy_j\": "
+           << (caps.energy ? jsonNumber(r.energyJ) : "null")
+           << ", \"dram_bytes\": ";
+        if (caps.dramTraffic)
+            os << r.dramBytes;
+        else
+            os << "null";
         if (!r.ok())
             os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
         os << "}";

@@ -5,109 +5,60 @@
 #include <exception>
 #include <thread>
 
-#include "energy/energy_model.h"
-#include "sim/executor.h"
-#include "train/planner.h"
+#include "backend/registry.h"
+#include "common/logging.h"
 
 namespace diva
 {
 
-namespace
-{
-
-void
-simulateSingleChip(ScenarioResult &out, const Network &net)
-{
-    const Scenario &s = out.scenario;
-    const OpStream stream =
-        out.scenario.microbatch > 0
-            ? buildMicrobatchedOpStream(net, s.algorithm,
-                                        out.resolvedBatch, s.microbatch)
-            : buildOpStream(net, s.algorithm, out.resolvedBatch);
-    const SimResult r = Executor(s.config).run(stream);
-    out.cycles = r.totalCycles();
-    out.computeCycles = out.cycles;
-    out.seconds = r.seconds(s.config);
-    out.utilization = r.overallUtilization(s.config);
-    out.energyJ = EnergyModel::energy(r, s.config).total();
-    out.dramBytes = r.totalDram().total();
-    out.postProcDramBytes = r.postProcessingDram.total();
-    out.enginePowerW = EnergyModel::enginePowerW(s.config);
-    out.engineAreaMm2 = EnergyModel::engineAreaMm2(s.config);
-}
-
-void
-simulateMultiChip(ScenarioResult &out, const Network &net)
-{
-    const Scenario &s = out.scenario;
-    const ScalingResult r = simulateDataParallel(
-        s.config, net, s.algorithm, out.resolvedBatch, s.pod);
-    out.cycles = r.totalCycles;
-    out.computeCycles = r.computeCycles;
-    out.allReduceCycles = r.allReduceCycles;
-    out.seconds = s.config.cyclesToSeconds(r.totalCycles);
-    out.utilization = r.utilization;
-    out.energyJ = r.energyJ;
-    out.dramBytes = r.dramBytes;
-    out.postProcDramBytes = r.postProcDramBytes;
-    out.enginePowerW = EnergyModel::enginePowerW(s.config) * s.pod.numChips;
-    out.engineAreaMm2 = EnergyModel::engineAreaMm2(s.config);
-}
-
-void
-simulateGpu(ScenarioResult &out, const Network &net)
-{
-    const Scenario &s = out.scenario;
-    const OpStream stream =
-        buildOpStream(net, s.algorithm, out.resolvedBatch);
-    out.seconds = GpuModel(s.gpu).bottleneckSeconds(stream);
-}
-
-} // namespace
-
 ScenarioResult
-runScenario(const Scenario &scenario)
+runScenario(const Scenario &scenario, PlanCache &plans)
 {
     ScenarioResult out;
     out.scenario = scenario;
     try {
-        const Network net = buildModel(scenario.model,
-                                       scenario.modelScale);
-        out.resolvedBatch = resolveBatch(scenario, net);
-        switch (scenario.backend) {
-          case SweepBackend::kSingleChip:
-            simulateSingleChip(out, net);
-            break;
-          case SweepBackend::kMultiChip:
-            simulateMultiChip(out, net);
-            break;
-          case SweepBackend::kGpu:
-            simulateGpu(out, net);
-            break;
-        }
+        // Routed by registry *name*, so a non-built-in backend (set
+        // via Scenario::backendId) is reached without any enum edit.
+        const SimBackend *backend = BackendRegistry::instance().find(
+            scenario.effectiveBackend());
+        if (!backend)
+            DIVA_FATAL("no backend registered under '",
+                       scenario.effectiveBackend(), "'");
+        backend->evaluate(scenario, plans, out);
     } catch (const std::exception &e) {
         out.error = e.what();
     }
     return out;
 }
 
-SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
+ScenarioResult
+runScenario(const Scenario &scenario)
+{
+    PlanCache plans;
+    return runScenario(scenario, plans);
+}
+
+SweepRunner::SweepRunner(SweepOptions opts)
+    : opts_(std::move(opts)), plans_(opts_.planCache)
 {
     if (opts_.threads < 1)
         opts_.threads = 1;
     if (!opts_.cacheDir.empty()) {
         disk_ = std::make_unique<DiskCache>(opts_.cacheDir);
-        preloadFromDisk();
+        // The one and only preload: run() extends this mirror with
+        // fresh appends instead of re-reading the store per call.
+        persistent_ = disk_->entries();
     }
 }
 
-void
-SweepRunner::preloadFromDisk()
+const ScenarioResult *
+SweepRunner::cached(const std::string &key) const
 {
-    if (!disk_)
-        return;
-    for (const auto &[key, result] : disk_->entries())
-        cache_.emplace(key, result);
+    if (const auto it = cache_.find(key); it != cache_.end())
+        return &it->second;
+    if (const auto it = persistent_.find(key); it != persistent_.end())
+        return &it->second;
+    return nullptr;
 }
 
 SweepReport
@@ -122,10 +73,10 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
     SweepReport report;
     report.results.resize(scenarios.size());
 
-    if (!opts_.cacheAcrossRuns) {
+    // The persistent_ mirror always survives (it reflects the disk
+    // store); only fresh in-memory results are forgotten between runs.
+    if (!opts_.cacheAcrossRuns)
         cache_.clear();
-        preloadFromDisk(); // persisted results still count as hits
-    }
 
     // Map each scenario to its canonical key; the first scenario to
     // claim an uncached key becomes a simulation job, the rest are
@@ -135,7 +86,7 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
     std::unordered_map<std::string, std::size_t> claimed; // key -> job
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
         keys[i] = scenarios[i].canonicalKey();
-        if (cache_.count(keys[i]) || claimed.count(keys[i])) {
+        if (cached(keys[i]) || claimed.count(keys[i])) {
             ++report.cacheHits;
             continue;
         }
@@ -143,6 +94,8 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
         jobs.push_back(i);
         ++report.cacheMisses;
     }
+
+    const PlanCache::Stats plans_before = plans_.stats();
 
     // Fixed-size pool over the job list. Each worker writes only its
     // own job's slot, so results are independent of scheduling; the
@@ -156,7 +109,7 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
             const std::size_t j = next.fetch_add(1);
             if (j >= jobs.size())
                 return;
-            job_results[j] = runScenario(scenarios[jobs[j]]);
+            job_results[j] = runScenario(scenarios[jobs[j]], plans_);
             const std::size_t finished = done.fetch_add(1) + 1;
             if (opts_.progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
@@ -178,25 +131,36 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
             t.join();
     }
 
+    const PlanCache::Stats plans_after = plans_.stats();
+    report.planHits = plans_after.hits() - plans_before.hits();
+    report.planMisses = plans_after.misses() - plans_before.misses();
+
     // Only successful results enter the cross-run cache (and the disk
     // store): a cached failure would replay a possibly transient error
-    // forever instead of retrying it.
+    // forever instead of retrying it. With a disk store, fresh results
+    // go into the persistent_ mirror (matching the bytes appended);
+    // otherwise into the in-memory cache.
     std::vector<std::pair<std::string, ScenarioResult>> fresh_ok;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
         if (!job_results[j].ok())
             continue;
-        cache_.emplace(keys[jobs[j]], job_results[j]);
         fresh_ok.emplace_back(keys[jobs[j]], job_results[j]);
     }
-    if (disk_)
+    if (disk_) {
         disk_->append(fresh_ok);
+        for (const auto &[key, result] : fresh_ok)
+            persistent_.emplace(key, result);
+    } else {
+        for (const auto &[key, result] : fresh_ok)
+            cache_.emplace(key, result);
+    }
 
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
         const auto claim = claimed.find(keys[i]);
         // Simulated this run, or (for pure hits) already in the cache.
         ScenarioResult r = claim != claimed.end()
                                ? job_results[claim->second]
-                               : cache_.at(keys[i]);
+                               : *cached(keys[i]);
         // Report the requester's own scenario (labels may differ even
         // when the canonical simulation inputs coincide).
         r.scenario = scenarios[i];

@@ -10,6 +10,13 @@
  * SweepOptions::cacheDir) results persisted by earlier processes --
  * are served from the cache and flagged as hits. Failed results are
  * never cached beyond the run that produced them.
+ *
+ * Scenario evaluation is delegated to the pluggable backend layer
+ * (src/backend/): runScenario() resolves the scenario's backend
+ * through the BackendRegistry, and a shared thread-safe PlanCache
+ * memoizes workload lowering (buildModel + buildOpStream) so a sweep
+ * crossing many design points with few workloads builds each workload
+ * once, not once per cell.
  */
 
 #ifndef DIVA_SWEEP_RUNNER_H
@@ -23,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/plan_cache.h"
 #include "sweep/disk_cache.h"
 #include "sweep/scenario.h"
 #include "sweep/spec.h"
@@ -43,6 +51,14 @@ struct SweepOptions
      * is retried, not replayed.
      */
     bool cacheAcrossRuns = true;
+
+    /**
+     * Memoize workload plans (buildModel + buildOpStream) across
+     * scenarios and run() calls. Results are byte-identical either
+     * way; disable only to benchmark plan lowering or to verify that
+     * identity.
+     */
+    bool planCache = true;
 
     /**
      * When non-empty, persist results in a DiskCache under this
@@ -76,9 +92,18 @@ struct SweepReport
 
     /** Results with a non-empty error. */
     std::size_t failures = 0;
+
+    /**
+     * Workload-plan cache accounting for this run: lookups served
+     * from (hits) or added to (misses) the shared PlanCache. Both are
+     * deterministic across thread counts; both are zero when
+     * SweepOptions::planCache is false.
+     */
+    std::size_t planHits = 0;
+    std::size_t planMisses = 0;
 };
 
-/** Executes scenario lists / specs; owns the result cache. */
+/** Executes scenario lists / specs; owns the result and plan caches. */
 class SweepRunner
 {
   public:
@@ -90,27 +115,55 @@ class SweepRunner
     /** Run an explicit scenario list. */
     SweepReport run(const std::vector<Scenario> &scenarios);
 
-    /** Number of cached unique-scenario results. */
-    std::size_t cacheSize() const { return cache_.size(); }
+    /** Number of cached unique-scenario results (memory + preload). */
+    std::size_t cacheSize() const
+    {
+        return cache_.size() + persistent_.size();
+    }
 
-    /** Drop the in-memory cache (the disk store is untouched). */
-    void clearCache() { cache_.clear(); }
+    /** Drop the in-memory caches (the disk store is untouched). */
+    void clearCache()
+    {
+        cache_.clear();
+        persistent_.clear();
+    }
 
     const SweepOptions &options() const { return opts_; }
 
     /** The persistent store, or nullptr when options().cacheDir empty. */
     const DiskCache *diskCache() const { return disk_.get(); }
 
+    /** The shared workload-plan cache (disabled when !opts.planCache). */
+    const PlanCache &planCache() const { return plans_; }
+
   private:
-    void preloadFromDisk();
+    /** The cached result under `key`, or nullptr. */
+    const ScenarioResult *cached(const std::string &key) const;
 
     SweepOptions opts_;
-    /** canonical key -> successful result (failures are never kept). */
+    PlanCache plans_;
+    /**
+     * canonical key -> successful result, fresh simulations only
+     * (failures are never kept). Cleared per run() when
+     * !opts.cacheAcrossRuns; unused when a disk store exists.
+     */
     std::unordered_map<std::string, ScenarioResult> cache_;
+    /**
+     * In-memory mirror of the disk store: loaded *once* at
+     * construction, then extended with every appended result -- never
+     * re-read per run(). Empty without a disk store.
+     */
+    std::unordered_map<std::string, ScenarioResult> persistent_;
     std::unique_ptr<DiskCache> disk_;
 };
 
-/** Simulate one scenario synchronously (no cache, no pool). */
+/**
+ * Simulate one scenario synchronously through the backend registry,
+ * memoizing workload plans in `plans` (shared across calls).
+ */
+ScenarioResult runScenario(const Scenario &scenario, PlanCache &plans);
+
+/** Convenience overload with a private, single-use plan cache. */
 ScenarioResult runScenario(const Scenario &scenario);
 
 } // namespace diva

@@ -78,7 +78,10 @@ std::string
 Scenario::canonicalKey() const
 {
     std::ostringstream oss;
-    oss << backendName(backend) << '|' << model << '|' << modelScale
+    // Keyed on the *effective* backend: a registered non-built-in
+    // backend must never alias the built-in of the same kind in the
+    // result caches.
+    oss << effectiveBackend() << '|' << model << '|' << modelScale
         << '|' << algorithmName(algorithm) << '|' << batch << '|'
         << microbatch;
     // The auto-batch protocol depends on the budget only when active.

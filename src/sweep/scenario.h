@@ -73,6 +73,15 @@ struct Scenario
 
     SweepBackend backend = SweepBackend::kSingleChip;
 
+    /**
+     * BackendRegistry name of the backend that evaluates this
+     * scenario; empty = the built-in for `backend`. A registered
+     * non-built-in backend (whose kind() must equal `backend`, which
+     * decides the scenario fields and sweep axes that apply) is
+     * routed to by name alone -- see effectiveBackend().
+     */
+    std::string backendId;
+
     /** Pod shape; used only by the kMultiChip backend. */
     MultiChipConfig pod;
 
@@ -84,6 +93,15 @@ struct Scenario
 
     /** Human-readable one-line description. */
     std::string label() const;
+
+    /**
+     * The registry name this scenario is evaluated (and keyed,
+     * reported) under: backendId when set, else backendName(backend).
+     */
+    std::string effectiveBackend() const
+    {
+        return backendId.empty() ? backendName(backend) : backendId;
+    }
 
     /**
      * Canonical key of the simulation inputs this scenario denotes.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
+#include "backend/registry.h"
 #include "common/logging.h"
 
 namespace diva
@@ -13,16 +15,38 @@ SweepSpec::expand() const
 {
     if (models.empty())
         DIVA_FATAL("sweep spec has no model axis");
-    const bool needs_chip_configs =
-        std::any_of(backends.begin(), backends.end(), [](SweepBackend b) {
-            return b != SweepBackend::kGpu;
-        });
-    if (backends.empty())
+
+    // The backend axis as (kind, backendId) pairs: names resolve
+    // through the registry; built-in names keep an empty id so their
+    // canonical keys stay stable.
+    std::vector<std::pair<SweepBackend, std::string>> backend_axis;
+    if (!backendNames.empty()) {
+        for (const std::string &name : backendNames) {
+            const SimBackend *b =
+                BackendRegistry::instance().find(name);
+            if (!b)
+                DIVA_FATAL("unknown sweep backend '", name,
+                           "'; see BackendRegistry names()");
+            backend_axis.emplace_back(
+                b->kind(),
+                name == backendName(b->kind()) ? "" : name);
+        }
+    } else {
+        for (SweepBackend b : backends)
+            backend_axis.emplace_back(b, "");
+    }
+
+    const bool needs_chip_configs = std::any_of(
+        backend_axis.begin(), backend_axis.end(),
+        [](const auto &b) { return b.first != SweepBackend::kGpu; });
+    const bool has_gpu = std::any_of(
+        backend_axis.begin(), backend_axis.end(),
+        [](const auto &b) { return b.first == SweepBackend::kGpu; });
+    if (backend_axis.empty())
         DIVA_FATAL("sweep spec has no backend axis");
     if (needs_chip_configs && configs.empty())
         DIVA_FATAL("sweep spec has no accelerator-config axis");
-    if (std::count(backends.begin(), backends.end(), SweepBackend::kGpu) &&
-        gpus.empty())
+    if (has_gpu && gpus.empty())
         DIVA_FATAL("sweep spec selects the GPU backend but lists no GPUs");
 
     // A GPU-only spec still needs one placeholder config to iterate.
@@ -58,7 +82,8 @@ SweepSpec::expand() const
                 for (TrainingAlgorithm algo : algorithms)
                     for (int batch : batches)
                         for (int microbatch : microbatches)
-                            for (SweepBackend backend : backends) {
+                            for (const auto &[backend, id] :
+                                 backend_axis) {
                                 Scenario s;
                                 s.config = cfg;
                                 s.model = model;
@@ -67,6 +92,7 @@ SweepSpec::expand() const
                                 s.batch = batch;
                                 s.microbatch = microbatch;
                                 s.backend = backend;
+                                s.backendId = id;
                                 s.memoryBudget = memoryBudget;
                                 switch (backend) {
                                   case SweepBackend::kSingleChip:

@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "backend/registry.h"
+
 namespace diva
 {
 
@@ -318,6 +320,23 @@ simulateServe(const ServeSpec &spec, SweepRunner &runner)
         spec.workload.validationError(spec.opts.wallLimitSec > 0.0);
     if (!mix_err.empty()) {
         out.error = mix_err;
+        return out;
+    }
+
+    // Resolve the allowed-backend list through the registry and check
+    // that the substrate this spec needs is permitted.
+    const char *needed = spec.chips > 1 ? "pod" : "chip";
+    bool needed_allowed = spec.backends.empty();
+    for (const std::string &name : spec.backends) {
+        if (!BackendRegistry::instance().find(name)) {
+            out.error = "unknown backend '" + name + "'";
+            return out;
+        }
+        needed_allowed = needed_allowed || name == needed;
+    }
+    if (!needed_allowed) {
+        out.error = "backend '" + std::string(needed) +
+                    "' is not in the allowed --backends list";
         return out;
     }
 

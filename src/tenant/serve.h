@@ -68,6 +68,15 @@ struct ServeSpec
 
     SchedPolicy policy = SchedPolicy::kRoundRobin;
 
+    /**
+     * Simulation backends the serve may price isolated costs on, by
+     * BackendRegistry name; empty = any. Every name must resolve
+     * through the registry, and the backend the spec actually needs
+     * ("pod" when chips > 1, else "chip") must be in the list --
+     * otherwise simulateServe returns an error-carrying result.
+     */
+    std::vector<std::string> backends;
+
     ServeOptions opts;
 };
 

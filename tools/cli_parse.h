@@ -11,10 +11,13 @@
 #define DIVA_TOOLS_CLI_PARSE_H
 
 #include <cmath>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "backend/registry.h"
 
 namespace diva::cli
 {
@@ -44,6 +47,39 @@ parseIntText(const std::string &text)
     } catch (const std::exception &) {
     }
     return std::nullopt;
+}
+
+/**
+ * Parse a --backends value: every comma-separated name must resolve
+ * through the BackendRegistry. Returns the deduplicated names in the
+ * order given, or nullopt after printing a one-line "tool: ..." error
+ * naming the registered backends.
+ */
+inline std::optional<std::vector<std::string>>
+parseBackendList(const std::string &tool, const std::string &text)
+{
+    std::vector<std::string> out;
+    for (const std::string &name : splitList(text)) {
+        if (!BackendRegistry::instance().find(name)) {
+            std::ostringstream registered;
+            for (const std::string &n :
+                 BackendRegistry::instance().names())
+                registered << (registered.tellp() > 0 ? ", " : "") << n;
+            std::cerr << tool << ": unknown backend '" << name
+                      << "' (registered: " << registered.str() << ")\n";
+            return std::nullopt;
+        }
+        bool seen = false;
+        for (const std::string &have : out)
+            seen = seen || have == name;
+        if (!seen)
+            out.push_back(name);
+    }
+    if (out.empty()) {
+        std::cerr << tool << ": --backends needs at least one name\n";
+        return std::nullopt;
+    }
+    return out;
 }
 
 /** Parse a whole string as a finite double; nullopt otherwise. */

@@ -74,6 +74,10 @@ usage()
         "                      WS is always off)\n"
         "  --chips N           time-share a data-parallel pod of N\n"
         "                      chips (default 1)\n"
+        "  --backends LIST     allowed isolated-cost backends by\n"
+        "                      registry name (default: all); the serve\n"
+        "                      prices tenants on 'pod' when --chips > 1,\n"
+        "                      else 'chip'\n"
         "\n"
         "Execution:\n"
         "  --threads N         worker threads for the isolated-cost\n"
@@ -105,6 +109,7 @@ struct Args
     Dataflow dataflow = Dataflow::kOuterProduct;
     bool ppu = true;
     int chips = 1;
+    std::vector<std::string> backends;
     int threads = 1;
     std::string cacheDir;
     bool quiet = false;
@@ -315,6 +320,13 @@ parseArgs(int argc, char **argv, Args &args)
             if (!n || *n < 1)
                 return fail("--chips must be >= 1, got '" + *v + "'");
             args.chips = int(*n);
+        } else if (a == "--backends") {
+            if (!(v = need(i)))
+                return false;
+            const auto names = cli::parseBackendList("diva_serve", *v);
+            if (!names)
+                return false;
+            args.backends = *names;
         } else if (a == "--threads") {
             if (!(v = need(i)))
                 return false;
@@ -460,6 +472,7 @@ main(int argc, char **argv)
     spec.workload = buildWorkload(args);
     spec.config = platformConfig(args);
     spec.chips = args.chips;
+    spec.backends = args.backends;
     spec.policy = args.policies.front();
     spec.opts.quantumIters = args.quantum;
     spec.opts.wallLimitSec = args.wallSec;

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/registry.h"
 #include "cli_parse.h"
 #include "common/table.h"
 #include "sweep/aggregate.h"
@@ -80,10 +81,16 @@ usage()
         "                      (default 500; implies --chips 8)\n"
         "  --gpus LIST         add GPU baselines: v100-fp32,v100-fp16,\n"
         "                      a100-fp32,a100-fp16\n"
+        "  --backends LIST     execution backends by registry name\n"
+        "                      (chip,pod,gpu); default: chip, plus pod\n"
+        "                      when a pod axis is given, plus gpu when\n"
+        "                      --gpus is given\n"
         "\n"
         "Execution:\n"
         "  --threads N         worker threads (default 1)\n"
         "  --quiet             no stderr progress\n"
+        "  --no-plan-cache     rebuild workload plans per scenario\n"
+        "                      (output is byte-identical either way)\n"
         "  --cache-dir PATH    persistent result cache: scenarios\n"
         "                      simulated by earlier invocations are\n"
         "                      served from disk\n"
@@ -197,9 +204,12 @@ struct Args
     std::vector<double> iciGbs;
     std::vector<int> linkLatencies;
     std::vector<GpuConfig> gpus;
+    /** Registry names from --backends; empty = infer from the axes. */
+    std::vector<std::string> backendNames;
     std::vector<Objective> pareto;
     int threads = 1;
     bool quiet = false;
+    bool planCache = true;
     bool speedupTable = true;
     CliMode mode = CliMode::kSweep;
     EnergyBudget budget;
@@ -260,6 +270,8 @@ parseArgs(int argc, char **argv, Args &args)
             std::exit(0);
         } else if (a == "--quiet") {
             args.quiet = true;
+        } else if (a == "--no-plan-cache") {
+            args.planCache = false;
         } else if (a == "--no-speedup") {
             args.speedupTable = false;
         } else if (a == "--models") {
@@ -404,6 +416,13 @@ parseArgs(int argc, char **argv, Args &args)
                 }
                 args.gpus.push_back(*gpu);
             }
+        } else if (a == "--backends") {
+            if (!(v = need(i)))
+                return false;
+            const auto names = cli::parseBackendList("diva_sweep", *v);
+            if (!names)
+                return false;
+            args.backendNames = *names;
         } else if (a == "--pareto") {
             if (!(v = need(i)))
                 return false;
@@ -591,12 +610,48 @@ buildSpec(const Args &args)
     spec.algorithms = args.algos;
     spec.batches = args.batches;
     spec.microbatches = args.microbatches;
-    spec.backends = {SweepBackend::kSingleChip};
-    // Any pod axis enables the pod backend; unspecified axes fall back
-    // to the MultiChipConfig defaults (8 chips, TPUv3-class links).
-    if (!args.chips.empty() || !args.iciGbs.empty() ||
-        !args.linkLatencies.empty()) {
-        spec.backends.push_back(SweepBackend::kMultiChip);
+
+    // The backend axis: --backends names resolved through the
+    // registry (carried by name so non-built-in backends work), or
+    // (without the flag) chip plus whatever backends the pod/GPU axes
+    // imply. spec.backends always holds the kinds: the pod/GPU axis
+    // decisions below and the speedup-table gating read them.
+    spec.backends.clear();
+    if (args.backendNames.empty()) {
+        spec.backends = {SweepBackend::kSingleChip};
+        if (!args.chips.empty() || !args.iciGbs.empty() ||
+            !args.linkLatencies.empty())
+            spec.backends.push_back(SweepBackend::kMultiChip);
+        if (!args.gpus.empty())
+            spec.backends.push_back(SweepBackend::kGpu);
+    } else {
+        spec.backendNames = args.backendNames;
+        for (const std::string &name : args.backendNames)
+            spec.backends.push_back(
+                BackendRegistry::instance().find(name)->kind());
+    }
+    const auto has_backend = [&](SweepBackend b) {
+        return std::find(spec.backends.begin(), spec.backends.end(),
+                         b) != spec.backends.end();
+    };
+    // An explicit --backends list wins over implied axes, but never
+    // silently: a sweep missing points the user spelled out reads as
+    // complete when it is not.
+    if (!args.backendNames.empty()) {
+        if (!has_backend(SweepBackend::kMultiChip) &&
+            (!args.chips.empty() || !args.iciGbs.empty() ||
+             !args.linkLatencies.empty()))
+            std::cerr << "diva_sweep: warning: --chips/--ici-gbs/"
+                         "--link-lat ignored ('pod' is not in "
+                         "--backends)\n";
+        if (!has_backend(SweepBackend::kGpu) && !args.gpus.empty())
+            std::cerr << "diva_sweep: warning: --gpus ignored ('gpu' "
+                         "is not in --backends)\n";
+    }
+
+    // Pod shape axis; unspecified axes fall back to the
+    // MultiChipConfig defaults (8 chips, TPUv3-class links).
+    if (has_backend(SweepBackend::kMultiChip)) {
         const MultiChipConfig defaults;
         const std::vector<int> chip_axis =
             args.chips.empty() ? std::vector<int>{defaults.numChips}
@@ -619,10 +674,15 @@ buildSpec(const Args &args)
                     spec.pods.push_back(pod);
                 }
     }
-    if (!args.gpus.empty()) {
-        spec.backends.push_back(SweepBackend::kGpu);
-        spec.gpus = args.gpus;
-    }
+    if (has_backend(SweepBackend::kGpu))
+        // --backends gpu without --gpus sweeps the paper's four
+        // design points.
+        spec.gpus = args.gpus.empty()
+                        ? std::vector<GpuConfig>{GpuConfig::v100Fp32(),
+                                                 GpuConfig::v100Fp16(),
+                                                 GpuConfig::a100Fp32(),
+                                                 GpuConfig::a100Fp16()}
+                        : args.gpus;
     return spec;
 }
 
@@ -869,6 +929,7 @@ runTenantModes(const Args &args, SweepRunner &runner)
             spec.config = p.config;
             spec.chips = p.chips;
             spec.pod = p.pod;
+            spec.backends = args.backendNames;
             spec.policy = policy;
             spec.opts.quantumIters = args.quantum;
             spec.opts.wallLimitSec = args.wallSec;
@@ -957,6 +1018,7 @@ main(int argc, char **argv)
 
     SweepOptions opts;
     opts.threads = args.threads;
+    opts.planCache = args.planCache;
     opts.cacheDir = args.cacheDir;
     if (!args.quiet)
         opts.progress = [](std::size_t done, std::size_t total,
@@ -985,14 +1047,20 @@ main(int argc, char **argv)
     // so every speedup denominator exists. The main sweep re-meets
     // these scenarios and takes them from the cache.
     // The Fig.13 speedup table is sweep-mode furniture; energy mode
-    // reports the budget search instead.
+    // reports the budget search instead, and a --backends axis
+    // without chip scenarios has no speedup columns to fill.
     const bool speedup_table =
-        args.speedupTable && args.mode == CliMode::kSweep;
+        args.speedupTable && args.mode == CliMode::kSweep &&
+        std::find(spec.backends.begin(), spec.backends.end(),
+                  SweepBackend::kSingleChip) != spec.backends.end();
     SweepReport baseline;
     if (speedup_table) {
         SweepSpec base = spec;
         base.configs = {tpuV3Ws()};
         base.backends = {SweepBackend::kSingleChip};
+        // expand() gives backendNames priority over backends; the
+        // baseline is chip-only whatever axis the main sweep uses.
+        base.backendNames = {"chip"};
         base.pods.clear();
         base.gpus.clear();
         if (!args.quiet)
@@ -1034,6 +1102,8 @@ main(int argc, char **argv)
               << expansion.duplicatesRemoved << ")\n"
               << "cache: " << report.cacheHits << " hits, "
               << report.cacheMisses << " misses\n"
+              << "plan cache: " << report.planHits << " hits, "
+              << report.planMisses << " misses\n"
               << "failures: " << report.failures << "\n";
 
     const SweepSummary stats = summarizeResults(report.results);
