@@ -1,0 +1,67 @@
+#include "arrivals/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace diva
+{
+
+double
+qosUtilizationDemand(const TenantJob &job, const IterationCost &cost)
+{
+    if (!(cost.seconds > 0.0) || !std::isfinite(cost.seconds))
+        return 0.0;
+    if (job.qosStepsPerSec > 0.0 && std::isfinite(job.qosStepsPerSec))
+        return job.qosStepsPerSec * cost.seconds;
+    if (job.qosDeadlineSec > 0.0 && job.steps > 0) {
+        const double window = job.qosDeadlineSec - job.arrivalSec;
+        if (window > 0.0 && std::isfinite(window))
+            return double(job.steps) * cost.seconds / window;
+    }
+    return 0.0;
+}
+
+AdmissionDecision
+decideAdmission(const std::vector<TenantJob> &jobs,
+                const std::vector<IterationCost> &costs,
+                const AdmissionOptions &opts)
+{
+    AdmissionDecision out;
+    const std::size_t n = std::min(jobs.size(), costs.size());
+    out.admitted.assign(jobs.size(), false);
+    out.demand.assign(jobs.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.demand[i] = qosUtilizationDemand(jobs[i], costs[i]);
+        out.totalDemand += out.demand[i];
+    }
+
+    // Priority first (bigger = more important), then earlier arrival,
+    // then input order -- the same tie-break family the schedulers
+    // use, so admission and scheduling agree on who matters.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t(0));
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (jobs[a].priority != jobs[b].priority)
+                             return jobs[a].priority > jobs[b].priority;
+                         if (jobs[a].arrivalSec != jobs[b].arrivalSec)
+                             return jobs[a].arrivalSec <
+                                    jobs[b].arrivalSec;
+                         return a < b;
+                     });
+
+    const double cap = opts.utilizationCap;
+    for (std::size_t i : order) {
+        if (out.admittedDemand + out.demand[i] <= cap + 1e-12) {
+            out.admitted[i] = true;
+            out.admittedDemand += out.demand[i];
+            ++out.admittedCount;
+        } else {
+            ++out.rejectedCount;
+        }
+    }
+    return out;
+}
+
+} // namespace diva

@@ -1,0 +1,82 @@
+#include "common/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace diva
+{
+
+std::string
+csvCell(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    // Non-finite values never round-trip (nan != nan would drive the
+    // precision loop to 17 digits) and %g spells them platform-
+    // dependently; pin the text form.
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v < 0.0 ? "-inf" : "inf";
+    // %.17g round-trips but is noisy; prefer the shortest precision
+    // that parses back exactly. Deterministic for a given value.
+    char buf[64];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double parsed = 0.0;
+        std::sscanf(buf, "%lf", &parsed);
+        if (parsed == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // JSON has no NaN/Infinity literals; emit null for non-finite.
+    return std::isfinite(v) ? formatDouble(v) : "null";
+}
+
+} // namespace diva

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Deterministic text formatting shared by every CSV/JSON emitter
+ * (sweep, serve, arrival traces): shortest round-trippable doubles
+ * with pinned nan/inf spellings, JSON number tokens that map
+ * non-finite values to null, RFC-4180 CSV cell quoting, and JSON
+ * string escaping. One definition here keeps the guards identical
+ * across emitters instead of drifting per copy.
+ */
+
+#ifndef DIVA_COMMON_FORMAT_H
+#define DIVA_COMMON_FORMAT_H
+
+#include <string>
+
+namespace diva
+{
+
+/**
+ * Shortest round-trippable decimal form of a double ("0.25", "1e-06").
+ * Non-finite values format as "nan" / "inf" / "-inf".
+ */
+std::string formatDouble(double v);
+
+/** JSON number token for v: formatDouble, or "null" when non-finite. */
+std::string jsonNumber(double v);
+
+/** Quote a CSV-unsafe cell per RFC 4180; safe cells pass through. */
+std::string csvCell(const std::string &s);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace diva
+
+#endif // DIVA_COMMON_FORMAT_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Whole-string number parsing shared by the CLI flag parsers and the
+ * arrival-trace loaders: the entire text must be consumed (trailing
+ * garbage rejects), doubles must be finite, and failure reports
+ * through std::optional so each caller attaches its own message. One
+ * definition here keeps the accept/reject rules identical everywhere
+ * a number crosses a text boundary.
+ */
+
+#ifndef DIVA_COMMON_PARSE_H
+#define DIVA_COMMON_PARSE_H
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+namespace diva
+{
+
+/** Parse a whole string as an integer; nullopt on any malformation. */
+inline std::optional<long long>
+parseIntText(const std::string &text)
+{
+    try {
+        std::size_t consumed = 0;
+        const long long value = std::stoll(text, &consumed);
+        if (consumed == text.size())
+            return value;
+    } catch (const std::exception &) {
+    }
+    return std::nullopt;
+}
+
+/** Parse a whole string as a finite double; nullopt otherwise. */
+inline std::optional<double>
+parseDoubleText(const std::string &text)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed == text.size() && std::isfinite(value))
+            return value;
+    } catch (const std::exception &) {
+    }
+    return std::nullopt;
+}
+
+/**
+ * parseIntText restricted to [lo, hi] -- the caller's int-typed
+ * destination never sees a silently wrapped 64-bit value.
+ */
+inline std::optional<long long>
+parseBoundedIntText(const std::string &text, long long lo, long long hi)
+{
+    const std::optional<long long> v = parseIntText(text);
+    if (v && *v >= lo && *v <= hi)
+        return v;
+    return std::nullopt;
+}
+
+} // namespace diva
+
+#endif // DIVA_COMMON_PARSE_H

@@ -1,0 +1,58 @@
+#include "common/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace diva
+{
+
+namespace
+{
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+} // namespace
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return kNaN;
+    p = std::min(100.0, std::max(0.0, p));
+    // Nearest rank: ceil(p/100 * n), 1-based; p=0 maps to the minimum.
+    const std::size_t n = sorted.size();
+    std::size_t rank = std::size_t(std::ceil(p / 100.0 * double(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted[rank - 1];
+}
+
+LatencyStats
+computeLatencyStats(std::vector<double> samples)
+{
+    samples.erase(std::remove_if(samples.begin(), samples.end(),
+                                 [](double v) { return std::isnan(v); }),
+                  samples.end());
+    LatencyStats out;
+    if (samples.empty()) {
+        out.meanSec = out.p50Sec = out.p95Sec = out.p99Sec = out.maxSec =
+            kNaN;
+        return out;
+    }
+    std::sort(samples.begin(), samples.end());
+    out.count = samples.size();
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    out.meanSec = sum / double(samples.size());
+    out.p50Sec = percentileSorted(samples, 50.0);
+    out.p95Sec = percentileSorted(samples, 95.0);
+    out.p99Sec = percentileSorted(samples, 99.0);
+    out.maxSec = samples.back();
+    return out;
+}
+
+} // namespace diva

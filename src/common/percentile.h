@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Exact-sort order statistics for latency samples. Serving-systems
+ * tail-latency reporting (p50/p95/p99) uses the nearest-rank
+ * definition over the fully sorted sample set -- no interpolation, no
+ * streaming sketches -- so two runs over the same samples produce the
+ * same bytes and a percentile is always a value that actually
+ * occurred. NaN samples (e.g. steps that never ran) are excluded up
+ * front rather than poisoning the sort.
+ */
+
+#ifndef DIVA_COMMON_PERCENTILE_H
+#define DIVA_COMMON_PERCENTILE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace diva
+{
+
+/**
+ * Nearest-rank percentile of `sorted` (ascending, NaN-free): the
+ * smallest element with at least p percent of the samples at or below
+ * it. p is clamped to [0, 100]; an empty vector yields NaN.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/** Tail-latency summary of one sample set. */
+struct LatencyStats
+{
+    /** Finite samples counted (NaN inputs are excluded). */
+    std::size_t count = 0;
+
+    double meanSec = 0.0;
+    double p50Sec = 0.0;
+    double p95Sec = 0.0;
+    double p99Sec = 0.0;
+    double maxSec = 0.0;
+};
+
+/**
+ * Exact-sort stats over `samples` (taken by value; sorted in place).
+ * NaN samples are dropped first; an empty (or all-NaN) set yields
+ * count 0 with every statistic NaN.
+ */
+LatencyStats computeLatencyStats(std::vector<double> samples);
+
+} // namespace diva
+
+#endif // DIVA_COMMON_PERCENTILE_H

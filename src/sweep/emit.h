@@ -11,6 +11,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/format.h"
 #include "sweep/runner.h"
 
 namespace diva
@@ -32,20 +33,9 @@ void writeCsv(std::ostream &os, const SweepReport &report);
  */
 void writeJson(std::ostream &os, const SweepReport &report);
 
-/**
- * Shortest round-trippable decimal form of a double ("0.25", "1e-06").
- * Non-finite values format as "nan" / "inf" / "-inf".
- */
-std::string formatDouble(double v);
-
-/** JSON number token for v: formatDouble, or "null" when non-finite. */
-std::string jsonNumber(double v);
-
-/** Quote a CSV-unsafe cell per RFC 4180; safe cells pass through. */
-std::string csvCell(const std::string &s);
-
-/** Escape a string for embedding in a JSON string literal. */
-std::string jsonEscape(const std::string &s);
+// formatDouble / jsonNumber / csvCell / jsonEscape moved to
+// common/format.h (shared with the serve and trace emitters); the
+// include above keeps existing callers of this header compiling.
 
 } // namespace diva
 

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "sweep/emit.h"
+#include "common/format.h"
 
 namespace diva
 {
@@ -28,9 +28,10 @@ std::string
 serveCsvHeader()
 {
     return "policy,config,workload,chips,quantum,wall_s,tenant,model,"
-           "scale,algorithm,batch,priority,arrival_s,qos_sps,"
-           "qos_deadline_s,steps,steps_done,completed,wait_s,end_s,"
-           "achieved_sps,isolated_sps,slowdown,qos_attainment_pct,"
+           "scale,algorithm,batch,priority,arrival_s,depart_s,qos_sps,"
+           "qos_deadline_s,steps,steps_done,completed,departed,"
+           "admitted,wait_s,end_s,achieved_sps,isolated_sps,slowdown,"
+           "lat_p50_s,lat_p95_s,lat_p99_s,qos_attainment_pct,"
            "energy_j,energy_share,switches_in,error";
 }
 
@@ -43,13 +44,18 @@ serveCsvRow(const ServeResult &serve, const TenantMetrics &t)
         << csvCell(algorithmName(t.job.algorithm)) << ','
         << t.resolvedBatch << ',' << t.job.priority << ','
         << formatDouble(t.job.arrivalSec) << ','
+        << formatDouble(t.job.departSec) << ','
         << formatDouble(t.job.qosStepsPerSec) << ','
         << formatDouble(t.job.qosDeadlineSec) << ',' << t.job.steps
         << ',' << t.stepsDone << ',' << int(t.completed) << ','
+        << int(t.departed) << ',' << int(t.admitted) << ','
         << formatDouble(t.waitSec) << ',' << formatDouble(t.endSec)
         << ',' << formatDouble(t.achievedStepsPerSec) << ','
         << formatDouble(t.isolatedStepsPerSec) << ','
         << formatDouble(t.slowdown) << ','
+        << formatDouble(t.stepLatency.p50Sec) << ','
+        << formatDouble(t.stepLatency.p95Sec) << ','
+        << formatDouble(t.stepLatency.p99Sec) << ','
         << formatDouble(t.qosAttainmentPct) << ','
         << formatDouble(t.energyJ) << ',' << formatDouble(t.energyShare)
         << ',' << t.switchesIn << ',';
@@ -62,9 +68,10 @@ writeServeCsv(std::ostream &os, const std::vector<ServeResult> &serves)
     os << serveCsvHeader() << '\n';
     for (const ServeResult &s : serves) {
         if (!s.ok()) {
+            // One placeholder cell per tenant column, error last.
             os << servePrefix(s)
-               << ",-,-,0,-,0,0,0,0,0,0,0,0,nan,nan,nan,nan,nan,nan,"
-                  "nan,nan,0,"
+               << ",-,-,0,-,0,0,0,0,0,0,0,0,0,0,0,nan,nan,nan,nan,nan,"
+                  "nan,nan,nan,nan,nan,nan,0,"
                << csvCell(s.error) << '\n';
             continue;
         }
@@ -89,6 +96,7 @@ writeServeJson(std::ostream &os, const std::vector<ServeResult> &serves)
             os << ", \"error\": \"" << jsonEscape(s.error) << "\"}";
             continue;
         }
+        const std::size_t admitted = s.admittedCount();
         os << ", \"makespan_s\": " << jsonNumber(s.makespanSec)
            << ", \"energy_j\": " << jsonNumber(s.totalEnergyJ)
            << ", \"context_switches\": " << s.contextSwitches
@@ -96,7 +104,16 @@ writeServeJson(std::ostream &os, const std::vector<ServeResult> &serves)
            << ", \"switch_energy_j\": " << jsonNumber(s.switchEnergyJ)
            << ", \"switch_dram_bytes\": " << s.switchDramBytes
            << ", \"mean_qos_attainment_pct\": "
-           << jsonNumber(s.meanQosAttainmentPct) << ", \"tenants\": [";
+           << jsonNumber(s.meanQosAttainmentPct)
+           << ", \"admitted\": " << admitted << ", \"rejected\": "
+           << s.tenants.size() - admitted
+           << ", \"lat_count\": " << s.aggStepLatency.count
+           << ", \"lat_mean_s\": " << jsonNumber(s.aggStepLatency.meanSec)
+           << ", \"lat_p50_s\": " << jsonNumber(s.aggStepLatency.p50Sec)
+           << ", \"lat_p95_s\": " << jsonNumber(s.aggStepLatency.p95Sec)
+           << ", \"lat_p99_s\": " << jsonNumber(s.aggStepLatency.p99Sec)
+           << ", \"lat_max_s\": " << jsonNumber(s.aggStepLatency.maxSec)
+           << ", \"tenants\": [";
         for (std::size_t j = 0; j < s.tenants.size(); ++j) {
             const TenantMetrics &t = s.tenants[j];
             os << (j ? ", {" : "{") << "\"name\": \""
@@ -106,18 +123,27 @@ writeServeJson(std::ostream &os, const std::vector<ServeResult> &serves)
                << "\", \"batch\": " << t.resolvedBatch
                << ", \"priority\": " << t.job.priority
                << ", \"arrival_s\": " << jsonNumber(t.job.arrivalSec)
+               << ", \"depart_s\": " << jsonNumber(t.job.departSec)
                << ", \"qos_sps\": " << jsonNumber(t.job.qosStepsPerSec)
                << ", \"qos_deadline_s\": "
                << jsonNumber(t.job.qosDeadlineSec) << ", \"steps\": "
                << t.job.steps << ", \"steps_done\": " << t.stepsDone
                << ", \"completed\": " << (t.completed ? "true" : "false")
+               << ", \"departed\": " << (t.departed ? "true" : "false")
+               << ", \"admitted\": " << (t.admitted ? "true" : "false")
                << ", \"wait_s\": " << jsonNumber(t.waitSec)
                << ", \"end_s\": " << jsonNumber(t.endSec)
                << ", \"achieved_sps\": "
                << jsonNumber(t.achievedStepsPerSec)
                << ", \"isolated_sps\": "
                << jsonNumber(t.isolatedStepsPerSec) << ", \"slowdown\": "
-               << jsonNumber(t.slowdown) << ", \"qos_attainment_pct\": "
+               << jsonNumber(t.slowdown)
+               << ", \"lat_count\": " << t.stepLatency.count
+               << ", \"lat_p50_s\": " << jsonNumber(t.stepLatency.p50Sec)
+               << ", \"lat_p95_s\": " << jsonNumber(t.stepLatency.p95Sec)
+               << ", \"lat_p99_s\": " << jsonNumber(t.stepLatency.p99Sec)
+               << ", \"lat_max_s\": " << jsonNumber(t.stepLatency.maxSec)
+               << ", \"qos_attainment_pct\": "
                << jsonNumber(t.qosAttainmentPct) << ", \"energy_j\": "
                << jsonNumber(t.energyJ) << ", \"energy_share\": "
                << jsonNumber(t.energyShare) << ", \"switches_in\": "

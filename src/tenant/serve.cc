@@ -29,8 +29,12 @@ struct TenantRun
     double firstStartSec = 0.0;
     bool completed = false;
     double completionSec = 0.0;
+    double lastCompletionSec = 0.0;
     double energyJ = 0.0;
     std::uint64_t switchesIn = 0;
+
+    /** Per-executed-step latency samples, chronological. */
+    std::vector<double> latencySec;
 };
 
 /** Deadline of step `k` (1-based) of `job`; +inf without a target. */
@@ -75,6 +79,15 @@ validateInputs(const ServeSpec &spec,
 }
 
 } // namespace
+
+std::size_t
+ServeResult::admittedCount() const
+{
+    std::size_t admitted = 0;
+    for (const TenantMetrics &t : tenants)
+        admitted += t.admitted ? 1 : 0;
+    return admitted;
+}
 
 double
 safeRatio(double num, double den)
@@ -128,6 +141,7 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
                     safeRatio(1.0, costs[i].seconds) / double(n);
 
     const double wall = spec.opts.wallLimitSec;
+    const bool open_loop = spec.opts.openLoop;
     std::vector<TenantRun> run(n);
     std::vector<SchedView> views(n);
     std::unique_ptr<Scheduler> sched = makeScheduler(spec.policy);
@@ -137,6 +151,24 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
     auto finished = [&](std::size_t i) {
         return jobs[i].steps > 0 && run[i].done >= jobs[i].steps;
     };
+    // Open-loop gating: a rate-target tenant only becomes runnable
+    // when the trace clock has issued its next step.
+    auto openGated = [&](std::size_t i) {
+        return open_loop && jobs[i].qosStepsPerSec > 0.0;
+    };
+    auto nextDueSec = [&](std::size_t i) {
+        return jobs[i].arrivalSec +
+               double(run[i].done) / jobs[i].qosStepsPerSec;
+    };
+    // Whether one more step (after `lead` of switch stall) would end
+    // past the tenant's departure; such a tenant can never run again.
+    auto departBlocked = [&](std::size_t i, double lead) {
+        return jobs[i].departSec > 0.0 &&
+               now + lead + costs[i].seconds > jobs[i].departSec + kEps;
+    };
+    auto switchLead = [&](std::size_t i) {
+        return (last != kNone && i != last) ? switchCost.seconds : 0.0;
+    };
 
     for (;;) {
         if (wall > 0.0 && wall - now <= kEps)
@@ -144,24 +176,46 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
 
         std::vector<std::size_t> ready;
         for (std::size_t i = 0; i < n; ++i)
-            if (!finished(i) && jobs[i].arrivalSec <= now + kEps)
+            if (!finished(i) && jobs[i].arrivalSec <= now + kEps &&
+                !departBlocked(i, switchLead(i)) &&
+                (!openGated(i) || nextDueSec(i) <= now + kEps))
                 ready.push_back(i);
 
         if (ready.empty()) {
-            // Idle until the next arrival (if any work remains).
-            double next_arrival = kInf;
-            for (std::size_t i = 0; i < n; ++i)
-                if (!finished(i))
-                    next_arrival =
-                        std::min(next_arrival, jobs[i].arrivalSec);
-            if (!std::isfinite(next_arrival))
+            // Idle until the next event that makes a tenant runnable:
+            // an arrival, or (open loop) the next step coming due.
+            // Events past a tenant's departure window can never be
+            // serviced and are skipped.
+            double next_event = kInf;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (finished(i))
+                    continue;
+                double event;
+                if (jobs[i].arrivalSec > now + kEps)
+                    event = jobs[i].arrivalSec;
+                else if (openGated(i) && nextDueSec(i) > now + kEps)
+                    event = nextDueSec(i);
+                else
+                    continue; // arrived but departure-blocked: done
+                // `last` cannot change while the engine idles, so the
+                // switch lead the tenant would pay at `event` is the
+                // lead it would pay now -- include it, or the jump
+                // lands on an arrival the ready scan then rejects and
+                // the makespan inflates with no work run.
+                if (jobs[i].departSec > 0.0 &&
+                    event + switchLead(i) + costs[i].seconds >
+                        jobs[i].departSec + kEps)
+                    continue; // would run past its departure
+                next_event = std::min(next_event, event);
+            }
+            if (!std::isfinite(next_event))
                 break;
-            // Arrivals at or past the wall can never be serviced; do
+            // Events at or past the wall can never be serviced; do
             // not let the idle jump carry `now` (and with it makespan
             // and every tenant's rate window) beyond the budget.
-            if (wall > 0.0 && next_arrival + kEps >= wall)
+            if (wall > 0.0 && next_event + kEps >= wall)
                 break;
-            now = std::max(now, next_arrival);
+            now = std::max(now, next_event);
             continue;
         }
 
@@ -212,14 +266,31 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
                 break;
             if (wall > 0.0 && now + costs[pick].seconds > wall + kEps)
                 break;
+            if (departBlocked(pick, 0.0))
+                break;
+            if (openGated(pick) && nextDueSec(pick) > now + kEps)
+                break; // next step not issued yet
             const double start = now;
             if (!run[pick].started) {
                 run[pick].started = true;
                 run[pick].firstStartSec = now;
             }
+            // The step's reference point for latency: its open-loop
+            // due time, or (closed loop) the moment it became
+            // eligible -- arrival for the first step, the previous
+            // completion after that.
+            const double eligible =
+                openGated(pick)
+                    ? nextDueSec(pick)
+                    : std::max(jobs[pick].arrivalSec,
+                               run[pick].done > 0
+                                   ? run[pick].lastCompletionSec
+                                   : jobs[pick].arrivalSec);
             now += costs[pick].seconds;
             run[pick].energyJ += costs[pick].energyJ;
             ++run[pick].done;
+            run[pick].latencySec.push_back(now - eligible);
+            run[pick].lastCompletionSec = now;
             if (now <= stepDeadline(jobs[pick], run[pick].done) + kEps)
                 ++run[pick].metDeadlines;
             if (finished(pick)) {
@@ -241,6 +312,7 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
     // Per-tenant metrics.
     double qos_sum = 0.0;
     std::size_t qos_count = 0;
+    std::vector<double> all_latencies;
     for (std::size_t i = 0; i < n; ++i) {
         TenantMetrics m;
         m.job = jobs[i];
@@ -249,8 +321,15 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
                               : jobs[i].batch;
         m.stepsDone = run[i].done;
         m.completed = run[i].completed;
-        m.endSec = run[i].completed ? run[i].completionSec
-                                    : out.makespanSec;
+        // Departed: the tenant's session ended with steps outstanding
+        // and its departure (not the wall budget) is what ended it.
+        m.departed = !run[i].completed && jobs[i].departSec > 0.0 &&
+                     (wall <= 0.0 || jobs[i].departSec < wall + kEps);
+        m.endSec = run[i].completed
+                       ? run[i].completionSec
+                       : (m.departed ? std::min(jobs[i].departSec,
+                                                out.makespanSec)
+                                     : out.makespanSec);
         m.waitSec = run[i].started
                         ? run[i].firstStartSec - jobs[i].arrivalSec
                         : kNaN;
@@ -288,6 +367,11 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
             m.qosAttainmentPct = kNaN;
         }
 
+        m.stepLatency = computeLatencyStats(run[i].latencySec);
+        all_latencies.insert(all_latencies.end(),
+                             run[i].latencySec.begin(),
+                             run[i].latencySec.end());
+
         m.energyJ = run[i].energyJ;
         m.switchesIn = run[i].switchesIn;
         out.totalEnergyJ += m.energyJ;
@@ -297,30 +381,24 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
         m.energyShare = safeRatio(m.energyJ, out.totalEnergyJ);
     out.meanQosAttainmentPct =
         qos_count > 0 ? qos_sum / double(qos_count) : kNaN;
+    out.aggStepLatency = computeLatencyStats(std::move(all_latencies));
     return out;
 }
 
-ServeResult
-simulateServe(const ServeSpec &spec, SweepRunner &runner)
+std::vector<IterationCost>
+isolatedCosts(const ServeSpec &spec, SweepRunner &runner,
+              std::string *error)
 {
-    ServeResult out;
-    out.workloadName = spec.workload.name;
-    out.configName = spec.config.name;
-    out.policy = spec.policy;
-    out.chips = spec.chips;
-    out.quantumIters = spec.opts.quantumIters;
-    out.wallLimitSec = spec.opts.wallLimitSec;
-
     const std::string cfg_err = spec.config.validationError();
     if (!cfg_err.empty()) {
-        out.error = "invalid accelerator config: " + cfg_err;
-        return out;
+        *error = "invalid accelerator config: " + cfg_err;
+        return {};
     }
     const std::string mix_err =
         spec.workload.validationError(spec.opts.wallLimitSec > 0.0);
     if (!mix_err.empty()) {
-        out.error = mix_err;
-        return out;
+        *error = mix_err;
+        return {};
     }
 
     // Resolve the allowed-backend list through the registry and check
@@ -329,15 +407,15 @@ simulateServe(const ServeSpec &spec, SweepRunner &runner)
     bool needed_allowed = spec.backends.empty();
     for (const std::string &name : spec.backends) {
         if (!BackendRegistry::instance().find(name)) {
-            out.error = "unknown backend '" + name + "'";
-            return out;
+            *error = "unknown backend '" + name + "'";
+            return {};
         }
         needed_allowed = needed_allowed || name == needed;
     }
     if (!needed_allowed) {
-        out.error = "backend '" + std::string(needed) +
-                    "' is not in the allowed --backends list";
-        return out;
+        *error = "backend '" + std::string(needed) +
+                 "' is not in the allowed --backends list";
+        return {};
     }
 
     std::vector<Scenario> scenarios;
@@ -351,9 +429,9 @@ simulateServe(const ServeSpec &spec, SweepRunner &runner)
     for (std::size_t i = 0; i < report.results.size(); ++i) {
         const ScenarioResult &r = report.results[i];
         if (!r.ok()) {
-            out.error = "tenant '" + spec.workload.jobs[i].name +
-                        "': " + r.error;
-            return out;
+            *error = "tenant '" + spec.workload.jobs[i].name + "': " +
+                     r.error;
+            return {};
         }
         IterationCost c;
         c.seconds = r.seconds;
@@ -362,6 +440,27 @@ simulateServe(const ServeSpec &spec, SweepRunner &runner)
         c.cycles = r.cycles;
         c.resolvedBatch = r.resolvedBatch;
         costs.push_back(c);
+    }
+    return costs;
+}
+
+ServeResult
+simulateServe(const ServeSpec &spec, SweepRunner &runner)
+{
+    ServeResult out;
+    out.workloadName = spec.workload.name;
+    out.configName = spec.config.name;
+    out.policy = spec.policy;
+    out.chips = spec.chips;
+    out.quantumIters = spec.opts.quantumIters;
+    out.wallLimitSec = spec.opts.wallLimitSec;
+
+    std::string err;
+    const std::vector<IterationCost> costs =
+        isolatedCosts(spec, runner, &err);
+    if (!err.empty()) {
+        out.error = err;
+        return out;
     }
 
     const ContextSwitchModel switches(spec.config, spec.chips);

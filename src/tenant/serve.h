@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "arch/accelerator_config.h"
+#include "common/percentile.h"
 #include "sim/multichip.h"
 #include "sweep/runner.h"
 #include "tenant/context_switch.h"
@@ -50,6 +51,17 @@ struct ServeOptions
      * target: isolated steps/sec divided by the number of tenants.
      */
     bool autoQosFairShare = false;
+
+    /**
+     * Open-loop serving (trace replay): a tenant with a rate target
+     * only becomes runnable when its next step is due (arrival +
+     * done/rate), i.e. steps are issued by the trace clock rather
+     * than back-to-back, and step latency is measured from the due
+     * time. Tenants without a rate target are always eligible. Off
+     * (closed loop): tenants run whenever scheduled and latency is
+     * measured from step eligibility (arrival / previous completion).
+     */
+    bool openLoop = false;
 };
 
 /** Everything one serve simulation needs. */
@@ -111,9 +123,19 @@ struct TenantMetrics
     /** Whether the job's full step budget completed. */
     bool completed = false;
 
+    /** Whether the tenant left at departSec with steps outstanding. */
+    bool departed = false;
+
+    /**
+     * Whether the admission controller let the tenant in. Always true
+     * for serves without admission control; rejected tenants keep
+     * their row with zero steps and NaN rates.
+     */
+    bool admitted = true;
+
     /**
      * End of the tenant's service window: completion time if it
-     * completed, else the end of the simulation.
+     * completed, else its departure, else the end of the simulation.
      */
     double endSec = 0.0;
 
@@ -139,6 +161,14 @@ struct TenantMetrics
      * demands anything.
      */
     double qosAttainmentPct = 0.0;
+
+    /**
+     * Exact-sort tail latency of this tenant's executed steps. Open
+     * loop measures completion minus the step's due time; closed loop
+     * measures completion minus eligibility (arrival or previous
+     * completion). count 0 / NaN stats when no step ran.
+     */
+    LatencyStats stepLatency;
 
     /** Joules consumed: executed steps + switches into this tenant. */
     double energyJ = 0.0;
@@ -179,10 +209,16 @@ struct ServeResult
     /** Mean attainment over tenants with targets; NaN if none. */
     double meanQosAttainmentPct = 0.0;
 
+    /** Tail latency over every executed step of every tenant. */
+    LatencyStats aggStepLatency;
+
     /** Non-empty when the serve could not run (bad spec, sim error). */
     std::string error;
 
     bool ok() const { return error.empty(); }
+
+    /** Tenants the admission controller let in (all, without one). */
+    std::size_t admittedCount() const;
 };
 
 /**
@@ -201,6 +237,18 @@ double safeRatio(double num, double den);
 ServeResult runServeLoop(const ServeSpec &spec,
                          const std::vector<IterationCost> &costs,
                          const SwitchCost &switchCost);
+
+/**
+ * Each tenant's isolated iteration cost, priced by running its sweep
+ * scenario through `runner` (cache-, disk-cache- and thread-pool-
+ * aware). Validates the spec's config, workload and backend list
+ * first; on any failure returns an empty vector and sets *error.
+ * Exposed so the arrival-trace replay engine can price tenants (and
+ * decide admission) without re-implementing the pipeline.
+ */
+std::vector<IterationCost> isolatedCosts(const ServeSpec &spec,
+                                         SweepRunner &runner,
+                                         std::string *error);
 
 /**
  * Full pipeline: derive each tenant's isolated iteration cost by

@@ -23,8 +23,13 @@ TenantJob::validationError(bool wallLimited) const
         return "model scale must be >= 0";
     if (!(arrivalSec >= 0.0) || !std::isfinite(arrivalSec))
         return "arrival must be a finite time >= 0";
-    if (steps == 0 && !wallLimited)
-        return "unbounded steps (0) need a wall-clock budget";
+    if (!(departSec >= 0.0) || !std::isfinite(departSec))
+        return "departure must be a finite time >= 0";
+    if (departSec > 0.0 && departSec <= arrivalSec)
+        return "departure precedes arrival";
+    if (steps == 0 && !wallLimited && departSec <= 0.0)
+        return "unbounded steps (0) need a wall-clock budget or a "
+               "departure time";
     if (!(qosStepsPerSec >= 0.0) || !std::isfinite(qosStepsPerSec))
         return "QoS steps/sec must be finite and >= 0";
     if (!(qosDeadlineSec >= 0.0) || !std::isfinite(qosDeadlineSec))
@@ -51,16 +56,20 @@ TenantWorkload::validationError(bool wallLimited) const
     return "";
 }
 
+const std::vector<std::string> &
+defaultModelRotation()
+{
+    static const std::vector<std::string> kRotation = {
+        "SqueezeNet", "MobileNet", "LSTM-small", "ResNet-50", "BERT-base",
+    };
+    return kRotation;
+}
+
 TenantWorkload
 defaultWorkload(int n, std::uint64_t steps, int batch,
                 double arriveEverySec)
 {
-    // A light mix spanning CNNs and sequence models; every entry
-    // simulates in milliseconds so generated mixes stay CI-friendly.
-    static const char *const kRotation[] = {
-        "SqueezeNet", "MobileNet", "LSTM-small", "ResNet-50", "BERT-base",
-    };
-    constexpr int kRotationSize = int(sizeof(kRotation) / sizeof(*kRotation));
+    const std::vector<std::string> &rotation = defaultModelRotation();
     TenantWorkload mix;
     {
         std::ostringstream oss;
@@ -69,7 +78,7 @@ defaultWorkload(int n, std::uint64_t steps, int batch,
     }
     for (int i = 0; i < n; ++i) {
         TenantJob job;
-        job.model = kRotation[i % kRotationSize];
+        job.model = rotation[std::size_t(i) % rotation.size()];
         std::ostringstream oss;
         oss << "t" << i << ":" << job.model;
         job.name = oss.str();

@@ -42,12 +42,20 @@ struct TenantJob
     /** Simulated time at which the job becomes runnable. */
     double arrivalSec = 0.0;
 
+    /**
+     * Simulated time at which the tenant leaves, finished or not
+     * (trace replay: sessions end). 0 = stays until completion. Must
+     * exceed arrivalSec when set.
+     */
+    double departSec = 0.0;
+
     /** Strict-priority rank; larger = more important. */
     int priority = 0;
 
     /**
      * Training steps (iterations) the job wants to run. 0 = unbounded,
-     * which is only valid under a wall-clock budget (duration mode).
+     * which is only valid under a wall-clock budget (duration mode) or
+     * with a departure time (trace replay).
      */
     std::uint64_t steps = 0;
 
@@ -96,6 +104,13 @@ struct TenantWorkload
  */
 TenantWorkload defaultWorkload(int n, std::uint64_t steps, int batch,
                                double arriveEverySec);
+
+/**
+ * The fixed model cycle generated mixes (and arrival-trace generators)
+ * rotate through: a light CNN/sequence blend whose members all
+ * simulate in milliseconds, keeping generated workloads CI-friendly.
+ */
+const std::vector<std::string> &defaultModelRotation();
 
 } // namespace diva
 

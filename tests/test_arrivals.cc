@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests of the arrival-trace subsystem: CSV/JSONL loaders (round
+ * trips, column order independence, malformed input), seeded
+ * generator determinism (same seed => byte-identical trace, different
+ * seed => different trace) across all three arrival kinds, generator
+ * spec parsing, and the QoS admission controller's greedy feasible
+ * subset.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "arrivals/admission.h"
+#include "arrivals/generate.h"
+#include "arrivals/trace.h"
+
+namespace diva
+{
+namespace
+{
+
+std::string
+traceCsv(const ArrivalTrace &trace)
+{
+    std::ostringstream oss;
+    writeTraceCsv(oss, trace);
+    return oss.str();
+}
+
+TEST(Trace, CsvRoundTrips)
+{
+    ArrivalTrace trace;
+    trace.name = "round-trip";
+    TenantJob a;
+    a.name = "a0:ResNet-50";
+    a.model = "ResNet-50";
+    a.batch = 32;
+    a.arrivalSec = 0.125;
+    a.departSec = 2.5;
+    a.steps = 64;
+    a.qosStepsPerSec = 1.75;
+    a.priority = 2;
+    a.algorithm = TrainingAlgorithm::kDpSgd;
+    trace.jobs.push_back(a);
+    TenantJob b;
+    b.name = "a1:BERT-base";
+    b.model = "BERT-base";
+    b.batch = 8;
+    b.arrivalSec = 0.3333333333333333;
+    b.steps = 16;
+    trace.jobs.push_back(b);
+
+    const std::string csv = traceCsv(trace);
+    std::istringstream in(csv);
+    std::string err;
+    const ArrivalTrace loaded = loadTraceCsv(in, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(loaded.name, "round-trip");
+    ASSERT_EQ(loaded.jobs.size(), 2u);
+    EXPECT_EQ(loaded.jobs[0].name, "a0:ResNet-50");
+    EXPECT_EQ(loaded.jobs[0].model, "ResNet-50");
+    EXPECT_EQ(loaded.jobs[0].batch, 32);
+    EXPECT_DOUBLE_EQ(loaded.jobs[0].arrivalSec, 0.125);
+    EXPECT_DOUBLE_EQ(loaded.jobs[0].departSec, 2.5);
+    EXPECT_EQ(loaded.jobs[0].steps, 64u);
+    EXPECT_DOUBLE_EQ(loaded.jobs[0].qosStepsPerSec, 1.75);
+    EXPECT_EQ(loaded.jobs[0].priority, 2);
+    EXPECT_EQ(loaded.jobs[0].algorithm, TrainingAlgorithm::kDpSgd);
+    // The shortest-round-trip double formatter must reproduce even
+    // non-terminating decimals exactly.
+    EXPECT_DOUBLE_EQ(loaded.jobs[1].arrivalSec, 0.3333333333333333);
+
+    // Re-emitting the loaded trace is byte-identical.
+    EXPECT_EQ(traceCsv(loaded), csv);
+}
+
+TEST(Trace, CsvColumnsMayReorderAndUnknownsReject)
+{
+    std::istringstream in("arrival_s,model,steps\n"
+                          "0.5,SqueezeNet,8\n"
+                          "1,MobileNet,4\n");
+    std::string err;
+    const ArrivalTrace t = loadTraceCsv(in, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_EQ(t.jobs.size(), 2u);
+    EXPECT_EQ(t.jobs[0].model, "SqueezeNet");
+    EXPECT_DOUBLE_EQ(t.jobs[0].arrivalSec, 0.5);
+    EXPECT_EQ(t.jobs[0].name, "a0:SqueezeNet") << "auto-named";
+
+    std::istringstream bad("model,frobnicate\nSqueezeNet,1\n");
+    loadTraceCsv(bad, &err);
+    EXPECT_NE(err.find("unknown column"), std::string::npos) << err;
+
+    std::istringstream short_row("model,steps\nSqueezeNet\n");
+    loadTraceCsv(short_row, &err);
+    EXPECT_NE(err.find("expected 2 cells"), std::string::npos) << err;
+
+    std::istringstream negative("model,arrival_s\nSqueezeNet,-1\n");
+    loadTraceCsv(negative, &err);
+    EXPECT_FALSE(err.empty()) << "negative arrival must not load";
+
+    std::istringstream empty("");
+    loadTraceCsv(empty, &err);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Trace, JsonlLoadsAndToleratesExtraKeys)
+{
+    std::istringstream in(
+        "{\"trace\": \"recorded\"}\n"
+        "\n"
+        "{\"model\": \"SqueezeNet\", \"arrival_s\": 0.25, "
+        "\"steps\": 8, \"qos_sps\": 2, \"recorded_by\": \"prod\"}\n"
+        "{\"name\": \"late\", \"model\": \"BERT-base\", "
+        "\"arrival_s\": 1.5, \"depart_s\": 3, \"steps\": 0}\n");
+    std::string err;
+    const ArrivalTrace t = loadTraceJsonl(in, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(t.name, "recorded");
+    ASSERT_EQ(t.jobs.size(), 2u);
+    EXPECT_EQ(t.jobs[0].model, "SqueezeNet");
+    EXPECT_DOUBLE_EQ(t.jobs[0].qosStepsPerSec, 2.0);
+    EXPECT_EQ(t.jobs[1].name, "late");
+    EXPECT_DOUBLE_EQ(t.jobs[1].departSec, 3.0);
+    EXPECT_EQ(t.jobs[1].steps, 0u) << "unbounded until departure";
+
+    std::istringstream bad("not json\n");
+    loadTraceJsonl(bad, &err);
+    EXPECT_FALSE(err.empty());
+
+    std::istringstream no_model("{\"arrival_s\": 1}\n");
+    loadTraceJsonl(no_model, &err);
+    EXPECT_NE(err.find("model"), std::string::npos) << err;
+}
+
+TEST(Trace, ValidationCatchesOrderAndLifetimes)
+{
+    ArrivalTrace t;
+    t.name = "bad";
+    TenantJob j;
+    j.name = "a0";
+    j.model = "SqueezeNet";
+    j.steps = 4;
+    j.arrivalSec = 2.0;
+    t.jobs.push_back(j);
+    j.name = "a1";
+    j.arrivalSec = 1.0; // decreasing
+    t.jobs.push_back(j);
+    EXPECT_NE(t.validationError(false).find("non-decreasing"),
+              std::string::npos);
+
+    // Departure before arrival is rejected by the job validation.
+    ArrivalTrace d;
+    d.name = "depart";
+    j.name = "a0";
+    j.arrivalSec = 5.0;
+    j.departSec = 2.0;
+    d.jobs.push_back(j);
+    EXPECT_NE(d.validationError(false).find("departure"),
+              std::string::npos);
+
+    EXPECT_FALSE(ArrivalTrace{}.validationError(false).empty());
+}
+
+TEST(Generate, SameSeedIsByteIdenticalDifferentSeedIsNot)
+{
+    for (ArrivalKind kind :
+         {ArrivalKind::kPoisson, ArrivalKind::kOnOff,
+          ArrivalKind::kDiurnal}) {
+        TraceGenSpec spec;
+        spec.kind = kind;
+        spec.ratePerSec = 6.0;
+        spec.horizonSec = 4.0;
+        spec.steps = 4;
+        spec.seed = 42;
+        const std::string first = traceCsv(generateTrace(spec));
+        const std::string second = traceCsv(generateTrace(spec));
+        EXPECT_EQ(first, second)
+            << arrivalKindName(kind) << ": same seed must replay";
+        spec.seed = 43;
+        EXPECT_NE(traceCsv(generateTrace(spec)), first)
+            << arrivalKindName(kind) << ": seeds must differentiate";
+    }
+}
+
+TEST(Generate, ArrivalsRespectHorizonCapAndOrdering)
+{
+    TraceGenSpec spec;
+    spec.ratePerSec = 50.0;
+    spec.horizonSec = 2.0;
+    spec.steps = 1;
+    spec.maxTenants = 10;
+    const ArrivalTrace capped = generateTrace(spec);
+    EXPECT_EQ(capped.jobs.size(), 10u) << "cap bounds rate*horizon";
+
+    spec.maxTenants = 1000;
+    const ArrivalTrace t = generateTrace(spec);
+    EXPECT_GT(t.jobs.size(), 50u) << "~100 expected at rate 50 x 2 s";
+    EXPECT_LT(t.jobs.size(), 200u);
+    for (std::size_t i = 0; i < t.jobs.size(); ++i) {
+        EXPECT_GE(t.jobs[i].arrivalSec, 0.0);
+        EXPECT_LT(t.jobs[i].arrivalSec, spec.horizonSec);
+        if (i > 0)
+            EXPECT_GE(t.jobs[i].arrivalSec, t.jobs[i - 1].arrivalSec);
+    }
+    EXPECT_TRUE(t.validationError(false).empty())
+        << t.validationError(false);
+}
+
+TEST(Generate, OnOffLeavesSilentWindows)
+{
+    TraceGenSpec spec;
+    spec.kind = ArrivalKind::kOnOff;
+    spec.ratePerSec = 40.0;
+    spec.onSec = 0.5;
+    spec.offSec = 0.5;
+    spec.horizonSec = 4.0;
+    spec.steps = 1;
+    spec.maxTenants = 1000;
+    const ArrivalTrace t = generateTrace(spec);
+    ASSERT_GT(t.jobs.size(), 20u);
+    for (const TenantJob &j : t.jobs) {
+        // Arrivals only land in the on half of each 1 s cycle.
+        const double phase = std::fmod(j.arrivalSec, 1.0);
+        EXPECT_LT(phase, 0.5) << "arrival inside an off window";
+    }
+}
+
+TEST(Generate, HoldSetsDeparturesAndTemplateApplies)
+{
+    TraceGenSpec spec;
+    spec.ratePerSec = 8.0;
+    spec.horizonSec = 2.0;
+    spec.steps = 0;
+    spec.holdSec = 1.5;
+    spec.qosStepsPerSec = 3.0;
+    spec.batch = 16;
+    const ArrivalTrace t = generateTrace(spec);
+    ASSERT_FALSE(t.jobs.empty());
+    for (const TenantJob &j : t.jobs) {
+        EXPECT_DOUBLE_EQ(j.departSec, j.arrivalSec + 1.5);
+        EXPECT_DOUBLE_EQ(j.qosStepsPerSec, 3.0);
+        EXPECT_EQ(j.batch, 16);
+        EXPECT_EQ(j.steps, 0u);
+    }
+    EXPECT_TRUE(t.validationError(false).empty())
+        << "unbounded steps are fine with departures";
+}
+
+TEST(Generate, SpecParsing)
+{
+    std::string err;
+    const auto spec = parseTraceGenSpec(
+        "onoff:rate=12,seed=9,horizon=6,on=0.25,off=0.75,steps=8,"
+        "qos=1.5,hold=2,batch=4,cap=32,prios=2",
+        &err);
+    ASSERT_TRUE(spec) << err;
+    EXPECT_EQ(spec->kind, ArrivalKind::kOnOff);
+    EXPECT_DOUBLE_EQ(spec->ratePerSec, 12.0);
+    EXPECT_EQ(spec->seed, 9u);
+    EXPECT_DOUBLE_EQ(spec->horizonSec, 6.0);
+    EXPECT_DOUBLE_EQ(spec->onSec, 0.25);
+    EXPECT_DOUBLE_EQ(spec->offSec, 0.75);
+    EXPECT_EQ(spec->steps, 8u);
+    EXPECT_TRUE(spec->stepsSet);
+    EXPECT_DOUBLE_EQ(spec->qosStepsPerSec, 1.5);
+    EXPECT_TRUE(spec->qosSet);
+    EXPECT_DOUBLE_EQ(spec->holdSec, 2.0);
+    EXPECT_EQ(spec->batch, 4);
+    EXPECT_EQ(spec->maxTenants, 32);
+    EXPECT_EQ(spec->priorityLevels, 2);
+
+    EXPECT_TRUE(parseTraceGenSpec("poisson", &err)) << err;
+    EXPECT_FALSE(parseTraceGenSpec("zipf:rate=1", &err));
+    EXPECT_FALSE(parseTraceGenSpec("poisson:rate=0", &err));
+    EXPECT_FALSE(parseTraceGenSpec("poisson:rate=nope", &err));
+    EXPECT_FALSE(parseTraceGenSpec("poisson:warp=9", &err));
+    EXPECT_FALSE(parseTraceGenSpec("poisson:rate", &err));
+    EXPECT_FALSE(parseTraceGenSpec("poisson:steps=0", &err))
+        << "steps 0 without hold cannot terminate";
+}
+
+TEST(Admission, GreedyFeasibleSubsetByPriority)
+{
+    auto job = [](const char *name, double rate, int prio) {
+        TenantJob j;
+        j.name = name;
+        j.model = "SqueezeNet";
+        j.steps = 8;
+        j.qosStepsPerSec = rate;
+        j.priority = prio;
+        return j;
+    };
+    auto cost = [](double seconds) {
+        IterationCost c;
+        c.seconds = seconds;
+        c.energyJ = 1.0;
+        return c;
+    };
+    // Demands: 0.6, 0.6, 0.3, 0 (best effort). Cap 1.0.
+    const std::vector<TenantJob> jobs = {
+        job("big-low", 0.6, 0), job("big-high", 0.6, 5),
+        job("small", 0.3, 1), job("effort", 0.0, 0)};
+    const std::vector<IterationCost> costs = {cost(1.0), cost(1.0),
+                                              cost(1.0), cost(1.0)};
+    const AdmissionDecision d =
+        decideAdmission(jobs, costs, AdmissionOptions{});
+    EXPECT_DOUBLE_EQ(d.totalDemand, 1.5);
+    // Priority 5 admits first (0.6), then "small" (0.9); the
+    // low-priority 0.6 would hit 1.5 and is shed; best effort rides.
+    EXPECT_FALSE(d.admitted[0]);
+    EXPECT_TRUE(d.admitted[1]);
+    EXPECT_TRUE(d.admitted[2]);
+    EXPECT_TRUE(d.admitted[3]) << "zero-demand tenants always admit";
+    EXPECT_EQ(d.admittedCount, 3u);
+    EXPECT_EQ(d.rejectedCount, 1u);
+    EXPECT_DOUBLE_EQ(d.admittedDemand, 0.9);
+
+    // A tighter cap sheds more; a looser one admits everything.
+    AdmissionOptions tight;
+    tight.utilizationCap = 0.5;
+    EXPECT_EQ(decideAdmission(jobs, costs, tight).admittedCount, 2u)
+        << "only 'small' (0.3) and the best-effort tenant fit 0.5";
+    AdmissionOptions loose;
+    loose.utilizationCap = 2.0;
+    EXPECT_EQ(decideAdmission(jobs, costs, loose).rejectedCount, 0u);
+
+    // Deadline targets demand steps*cost over their window.
+    TenantJob dl;
+    dl.name = "deadline";
+    dl.model = "SqueezeNet";
+    dl.steps = 10;
+    dl.qosDeadlineSec = 5.0;
+    EXPECT_DOUBLE_EQ(qosUtilizationDemand(dl, cost(0.25)), 0.5);
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Edge-case tests of the exact-sort percentile helpers backing the
+ * tail-latency reports: empty and single-sample sets, all-identical
+ * samples, NaN exclusion, and the nearest-rank definition on sets
+ * where interpolation would invent values that never occurred.
+ */
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/percentile.h"
+
+namespace diva
+{
+namespace
+{
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(Percentile, EmptySetYieldsNaNStatsAndZeroCount)
+{
+    const LatencyStats s = computeLatencyStats({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_TRUE(std::isnan(s.meanSec));
+    EXPECT_TRUE(std::isnan(s.p50Sec));
+    EXPECT_TRUE(std::isnan(s.p95Sec));
+    EXPECT_TRUE(std::isnan(s.p99Sec));
+    EXPECT_TRUE(std::isnan(s.maxSec));
+    EXPECT_TRUE(std::isnan(percentileSorted({}, 50.0)));
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile)
+{
+    const LatencyStats s = computeLatencyStats({0.25});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.meanSec, 0.25);
+    EXPECT_DOUBLE_EQ(s.p50Sec, 0.25);
+    EXPECT_DOUBLE_EQ(s.p95Sec, 0.25);
+    EXPECT_DOUBLE_EQ(s.p99Sec, 0.25);
+    EXPECT_DOUBLE_EQ(s.maxSec, 0.25);
+}
+
+TEST(Percentile, AllIdenticalSamplesCollapse)
+{
+    const LatencyStats s =
+        computeLatencyStats(std::vector<double>(1000, 3.5));
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_DOUBLE_EQ(s.meanSec, 3.5);
+    EXPECT_DOUBLE_EQ(s.p50Sec, 3.5);
+    EXPECT_DOUBLE_EQ(s.p99Sec, 3.5);
+    EXPECT_DOUBLE_EQ(s.maxSec, 3.5);
+}
+
+TEST(Percentile, NaNSamplesAreExcludedNotPropagated)
+{
+    const LatencyStats s =
+        computeLatencyStats({kNaN, 1.0, kNaN, 3.0, kNaN});
+    EXPECT_EQ(s.count, 2u) << "only the finite samples count";
+    EXPECT_DOUBLE_EQ(s.meanSec, 2.0);
+    EXPECT_DOUBLE_EQ(s.p50Sec, 1.0);
+    EXPECT_DOUBLE_EQ(s.maxSec, 3.0);
+
+    // An all-NaN set behaves like an empty one.
+    const LatencyStats none = computeLatencyStats({kNaN, kNaN});
+    EXPECT_EQ(none.count, 0u);
+    EXPECT_TRUE(std::isnan(none.p99Sec));
+}
+
+TEST(Percentile, NearestRankNeverInterpolates)
+{
+    // 1..100: pK is exactly the Kth value, and every percentile is a
+    // sample that actually occurred.
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(double(i));
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 95.0), 95.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 1.0);
+
+    // Two samples: the median is the lower one (rank ceil(1) = 1),
+    // not the midpoint.
+    EXPECT_DOUBLE_EQ(percentileSorted({1.0, 9.0}, 50.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({1.0, 9.0}, 51.0), 9.0);
+
+    // Out-of-range p clamps instead of indexing out of bounds.
+    EXPECT_DOUBLE_EQ(percentileSorted({1.0, 9.0}, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({1.0, 9.0}, 250.0), 9.0);
+}
+
+TEST(Percentile, StatsAreOrderedAndSorted)
+{
+    // Unsorted input with a heavy tail: p50 <= p95 <= p99 <= max.
+    const LatencyStats s = computeLatencyStats(
+        {0.9, 0.1, 5.0, 0.2, 0.3, 0.15, 0.25, 0.35, 0.12, 0.18});
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_LE(s.p50Sec, s.p95Sec);
+    EXPECT_LE(s.p95Sec, s.p99Sec);
+    EXPECT_LE(s.p99Sec, s.maxSec);
+    EXPECT_DOUBLE_EQ(s.maxSec, 5.0);
+    EXPECT_DOUBLE_EQ(s.p99Sec, 5.0) << "nearest rank on 10 samples";
+}
+
+} // namespace
+} // namespace diva

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests of open-loop trace replay: departures ending sessions mid-run,
+ * open-loop step issue (latency measured against the trace clock and
+ * growing under overload), EDF <= FIFO on p99 step latency in a
+ * constructed overload, admission control keeping the admitted
+ * subset's QoS attainment above the uncontrolled run, and
+ * byte-determinism of replayed CSV across runner thread counts and
+ * reruns.
+ */
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "arrivals/generate.h"
+#include "arrivals/replay.h"
+#include "tenant/emit.h"
+#include "tenant/serve.h"
+
+namespace diva
+{
+namespace
+{
+
+TenantJob
+job(const std::string &name, double arrival, std::uint64_t steps,
+    double rate)
+{
+    TenantJob j;
+    j.name = name;
+    j.model = "SqueezeNet"; // irrelevant when costs are injected
+    j.batch = 8;
+    j.arrivalSec = arrival;
+    j.steps = steps;
+    j.qosStepsPerSec = rate;
+    return j;
+}
+
+ServeSpec
+spec(std::vector<TenantJob> jobs, SchedPolicy policy)
+{
+    ServeSpec s;
+    s.workload.name = "test";
+    s.workload.jobs = std::move(jobs);
+    s.config = divaDefault(true);
+    s.policy = policy;
+    return s;
+}
+
+IterationCost
+cost(double seconds)
+{
+    IterationCost c;
+    c.seconds = seconds;
+    c.energyJ = 1.0;
+    c.resolvedBatch = 8;
+    return c;
+}
+
+const SwitchCost kFreeSwitch{};
+
+TEST(Departure, SessionEndsAtDepartureWithStepsOutstanding)
+{
+    // 1 s/step, arrives at 0, departs at 3.5: exactly 3 steps run and
+    // the session ends at its departure, not the sim end.
+    TenantJob leaves = job("leaves", 0.0, 100, 0.0);
+    leaves.departSec = 3.5;
+    const ServeResult r =
+        runServeLoop(spec({leaves, job("stays", 0.0, 10, 0.0)},
+                          SchedPolicy::kFifo),
+                     {cost(1.0), cost(1.0)}, kFreeSwitch);
+    ASSERT_TRUE(r.ok()) << r.error;
+    const TenantMetrics &t = r.tenants[0];
+    EXPECT_EQ(t.stepsDone, 3u);
+    EXPECT_FALSE(t.completed);
+    EXPECT_TRUE(t.departed);
+    EXPECT_LE(t.endSec, 3.5 + 1e-9);
+    EXPECT_EQ(r.tenants[1].stepsDone, 10u) << "the other tenant runs on";
+    EXPECT_FALSE(r.tenants[1].departed);
+}
+
+TEST(Departure, UnboundedStepsTerminateViaDeparture)
+{
+    // steps=0 with a departure is a bounded session: no wall needed.
+    TenantJob session = job("session", 1.0, 0, 0.0);
+    session.departSec = 5.0;
+    const ServeResult r = runServeLoop(
+        spec({session}, SchedPolicy::kFifo), {cost(1.0)}, kFreeSwitch);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.tenants[0].stepsDone, 4u) << "t=1..5 fits 4 steps";
+    EXPECT_TRUE(r.tenants[0].departed);
+
+    // Without the departure the same job is rejected (cannot end).
+    const ServeResult bad = runServeLoop(
+        spec({job("forever", 1.0, 0, 0.0)}, SchedPolicy::kFifo),
+        {cost(1.0)}, kFreeSwitch);
+    EXPECT_FALSE(bad.ok());
+}
+
+TEST(Departure, ValidationRejectsDepartureBeforeArrival)
+{
+    TenantJob backwards = job("backwards", 5.0, 4, 0.0);
+    backwards.departSec = 2.0;
+    EXPECT_NE(backwards.validationError(false).find("departure"),
+              std::string::npos);
+    const ServeResult r =
+        runServeLoop(spec({backwards}, SchedPolicy::kFifo),
+                     {cost(1.0)}, kFreeSwitch);
+    EXPECT_FALSE(r.ok());
+
+    TenantJob negative = job("negative", -1.0, 4, 0.0);
+    EXPECT_FALSE(negative.validationError(false).empty());
+    TenantJob inf_qos = job("inf", 0.0, 4, 0.0);
+    inf_qos.qosStepsPerSec = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(inf_qos.validationError(false).empty());
+    TenantJob nan_dl = job("nan", 0.0, 4, 0.0);
+    nan_dl.qosDeadlineSec = std::nan("");
+    EXPECT_FALSE(nan_dl.validationError(false).empty());
+}
+
+TEST(OpenLoop, StepsIssueByTheTraceClock)
+{
+    // Closed loop: a lone 0.1 s/step tenant with a 1 step/s target
+    // races ahead of its schedule (10 steps/s). Open loop: steps wait
+    // for their due times, so the run takes ~10 s and every latency
+    // is the bare service time.
+    ServeSpec s = spec({job("paced", 0.0, 10, 1.0)}, SchedPolicy::kFifo);
+    const ServeResult closed =
+        runServeLoop(s, {cost(0.1)}, kFreeSwitch);
+    ASSERT_TRUE(closed.ok()) << closed.error;
+    EXPECT_LT(closed.makespanSec, 2.0);
+
+    s.opts.openLoop = true;
+    const ServeResult open = runServeLoop(s, {cost(0.1)}, kFreeSwitch);
+    ASSERT_TRUE(open.ok()) << open.error;
+    // Step k due at k-1; the last (10th) step is due at t=9 and takes
+    // 0.1 s.
+    EXPECT_NEAR(open.makespanSec, 9.1, 1e-9);
+    EXPECT_EQ(open.tenants[0].stepsDone, 10u);
+    EXPECT_EQ(open.tenants[0].stepLatency.count, 10u);
+    EXPECT_NEAR(open.tenants[0].stepLatency.p99Sec, 0.1, 1e-9);
+    EXPECT_NEAR(open.tenants[0].stepLatency.p50Sec, 0.1, 1e-9);
+}
+
+TEST(OpenLoop, OverloadGrowsTailLatency)
+{
+    // Offered load 2 steps/s on a 1 step/s machine: the queue builds
+    // and completion drifts ever further behind the due times, so p99
+    // latency far exceeds p50.
+    ServeSpec s =
+        spec({job("swamped", 0.0, 16, 2.0)}, SchedPolicy::kFifo);
+    s.opts.openLoop = true;
+    const ServeResult r = runServeLoop(s, {cost(1.0)}, kFreeSwitch);
+    ASSERT_TRUE(r.ok()) << r.error;
+    const LatencyStats &lat = r.tenants[0].stepLatency;
+    ASSERT_EQ(lat.count, 16u);
+    // Step k due at (k-1)/2 but completes at k: latency grows
+    // linearly from 1 s to 16 - 7.5 = 8.5 s.
+    EXPECT_NEAR(lat.maxSec, 8.5, 1e-9);
+    EXPECT_NEAR(lat.p99Sec, 8.5, 1e-9);
+    EXPECT_NEAR(lat.p50Sec, 4.5, 1e-9);
+    EXPECT_GT(lat.p99Sec, 1.5 * lat.p50Sec);
+}
+
+TEST(OpenLoop, EdfNoWorseThanFifoOnP99UnderOverload)
+{
+    // Constructed overload: a best-effort batch tenant (no target,
+    // always runnable) plus a rate tenant whose steps are issued one
+    // per second, on a 1 step/s machine. FIFO ties on arrival and
+    // keeps serving the batch tenant's backlog, so the rate tenant's
+    // due steps queue for 12 s; EDF serves the finite deadlines first
+    // and the rate tenant's latency stays at the bare service time.
+    const std::vector<TenantJob> mix = {
+        job("batch", 0.0, 12, 0.0), job("rate", 0.0, 12, 1.0)};
+    ServeSpec fifo = spec(mix, SchedPolicy::kFifo);
+    fifo.opts.openLoop = true;
+    ServeSpec edf = spec(mix, SchedPolicy::kEdf);
+    edf.opts.openLoop = true;
+    const std::vector<IterationCost> costs = {cost(1.0), cost(1.0)};
+    const ServeResult f = runServeLoop(fifo, costs, kFreeSwitch);
+    const ServeResult e = runServeLoop(edf, costs, kFreeSwitch);
+    ASSERT_TRUE(f.ok()) << f.error;
+    ASSERT_TRUE(e.ok()) << e.error;
+    EXPECT_LE(e.aggStepLatency.p99Sec, f.aggStepLatency.p99Sec);
+    EXPECT_LT(e.aggStepLatency.p95Sec, f.aggStepLatency.p95Sec);
+    EXPECT_LT(e.tenants[1].stepLatency.p99Sec,
+              f.tenants[1].stepLatency.p99Sec)
+        << "the rate tenant is the one FIFO starves";
+    EXPECT_GT(e.meanQosAttainmentPct, f.meanQosAttainmentPct);
+}
+
+TEST(Replay, AdmissionKeepsAttainmentAboveUncontrolledRun)
+{
+    // Three rate tenants demanding 0.6 of the machine each (1.8x
+    // capacity). Uncontrolled, everyone misses; with admission, one
+    // is shed and the admitted pair meets its schedule.
+    auto mk = [&](bool admission) {
+        ReplaySpec rs;
+        rs.trace.name = "overload";
+        for (int i = 0; i < 3; ++i) {
+            TenantJob j =
+                job("t" + std::to_string(i) + ":SqueezeNet", 0.0, 0,
+                    0.0);
+            j.steps = 20;
+            j.qosStepsPerSec = 0.6; // x cost 1.0 => demand 0.6
+            j.priority = i;
+            rs.trace.jobs.push_back(j);
+        }
+        rs.config = divaDefault(true);
+        rs.policy = SchedPolicy::kEdf;
+        rs.admission = admission;
+        return rs;
+    };
+    // Inject the costs by replaying through the serve loop directly:
+    // price with serveWithAdmission/simulateServe would simulate the
+    // real model, so instead drive runServeLoop through the same
+    // specs the replay engine builds.
+    const std::vector<IterationCost> costs = {cost(1.0), cost(1.0),
+                                              cost(1.0)};
+    ServeSpec uncontrolled;
+    uncontrolled.workload = mk(false).trace.workload();
+    uncontrolled.config = divaDefault(true);
+    uncontrolled.policy = SchedPolicy::kEdf;
+    uncontrolled.opts.openLoop = true;
+    const ServeResult all =
+        runServeLoop(uncontrolled, costs, kFreeSwitch);
+    ASSERT_TRUE(all.ok()) << all.error;
+
+    const AdmissionDecision d = decideAdmission(
+        uncontrolled.workload.jobs, costs, AdmissionOptions{});
+    EXPECT_EQ(d.admittedCount, 1u) << "0.6 + 0.6 already exceeds 1.0";
+    ServeSpec admitted = uncontrolled;
+    admitted.workload.jobs.clear();
+    std::vector<IterationCost> admitted_costs;
+    for (std::size_t i = 0; i < d.admitted.size(); ++i)
+        if (d.admitted[i]) {
+            admitted.workload.jobs.push_back(
+                uncontrolled.workload.jobs[i]);
+            admitted_costs.push_back(costs[i]);
+        }
+    const ServeResult kept =
+        runServeLoop(admitted, admitted_costs, kFreeSwitch);
+    ASSERT_TRUE(kept.ok()) << kept.error;
+    EXPECT_GT(kept.meanQosAttainmentPct, all.meanQosAttainmentPct)
+        << "shedding infeasible demand must raise attainment";
+    EXPECT_DOUBLE_EQ(kept.meanQosAttainmentPct, 100.0);
+}
+
+TEST(Replay, FullPipelineAdmissionReportsRejectedRows)
+{
+    // Real pipeline overload: per-tenant QoS targets far beyond the
+    // isolated rates force the controller to shed. Rejected tenants
+    // keep their rows with admitted=false and zero service.
+    ReplaySpec rs;
+    rs.trace.name = "pipeline-overload";
+    for (int i = 0; i < 3; ++i) {
+        TenantJob j;
+        j.name = "s" + std::to_string(i) + ":SqueezeNet";
+        j.model = "SqueezeNet";
+        j.batch = 8;
+        j.steps = 4;
+        j.arrivalSec = 0.0001 * i;
+        j.priority = i;
+        j.qosStepsPerSec = 1e7; // demand >> 1 for any real cost
+        rs.trace.jobs.push_back(j);
+    }
+    rs.config = divaDefault(true);
+    rs.policy = SchedPolicy::kEdf;
+    rs.admission = true;
+    const ServeResult r = replayTrace(rs);
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_EQ(r.tenants.size(), 3u);
+    std::size_t admitted = 0;
+    for (const TenantMetrics &t : r.tenants)
+        admitted += t.admitted ? 1 : 0;
+    EXPECT_LT(admitted, 3u) << "1e7 steps/s cannot all be feasible";
+    for (const TenantMetrics &t : r.tenants)
+        if (!t.admitted) {
+            EXPECT_EQ(t.stepsDone, 0u);
+            EXPECT_TRUE(std::isnan(t.qosAttainmentPct));
+            EXPECT_EQ(t.stepLatency.count, 0u);
+        }
+
+    // The uncontrolled replay serves everyone (worse attainment or
+    // equal, never more admitted context).
+    rs.admission = false;
+    const ServeResult open = replayTrace(rs);
+    ASSERT_TRUE(open.ok()) << open.error;
+    for (const TenantMetrics &t : open.tenants)
+        EXPECT_TRUE(t.admitted);
+}
+
+TEST(Replay, AdmissionSeesAutoFairShareTargets)
+{
+    // With --qos auto the fair-share targets are assigned inside the
+    // pipeline; the admission controller must price those targets,
+    // not the unset (zero-demand) jobs. Each of three identical
+    // tenants demands a 1/3 fair share, so a 0.5 cap admits exactly
+    // one plus nothing else -- if admission ran before target
+    // assignment it would see zero demand and admit all three.
+    ServeSpec s;
+    s.workload = defaultWorkload(3, 4, 8, 0.0);
+    s.config = divaDefault(true);
+    s.policy = SchedPolicy::kEdf;
+    s.opts.autoQosFairShare = true;
+    // Identical models so every fair share is exactly 1/3.
+    for (TenantJob &j : s.workload.jobs)
+        j.model = "SqueezeNet";
+    AdmissionOptions cap;
+    cap.utilizationCap = 0.5;
+    SweepRunner runner;
+    const ServeResult r = serveWithAdmission(s, cap, runner);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.admittedCount(), 1u)
+        << "two 1/3 shares exceed the 0.5 cap";
+    for (const TenantMetrics &t : r.tenants)
+        EXPECT_GT(t.job.qosStepsPerSec, 0.0)
+            << "reported jobs must echo the priced fair-share target";
+}
+
+TEST(Replay, GeneratedTraceByteIdenticalAcrossThreadsAndReruns)
+{
+    TraceGenSpec gen;
+    gen.kind = ArrivalKind::kPoisson;
+    gen.ratePerSec = 6.0;
+    gen.horizonSec = 1.0;
+    gen.seed = 11;
+    gen.steps = 4;
+    gen.qosStepsPerSec = 2.0;
+    const ArrivalTrace trace = generateTrace(gen);
+    ASSERT_FALSE(trace.jobs.empty());
+
+    auto emit = [&](int threads) {
+        SweepOptions opts;
+        opts.threads = threads;
+        SweepRunner runner(opts);
+        std::vector<ServeResult> serves;
+        for (SchedPolicy p : allPolicies()) {
+            ReplaySpec rs;
+            rs.trace = trace;
+            rs.config = divaDefault(true);
+            rs.policy = p;
+            serves.push_back(replayTrace(rs, runner));
+            EXPECT_TRUE(serves.back().ok()) << serves.back().error;
+        }
+        std::ostringstream csv, json;
+        writeServeCsv(csv, serves);
+        writeServeJson(json, serves);
+        return csv.str() + "\n===\n" + json.str();
+    };
+    const std::string serial = emit(1);
+    EXPECT_EQ(serial, emit(4));
+    EXPECT_EQ(serial, emit(1)) << "reruns must replay identically";
+    EXPECT_NE(serial.find("lat_p99_s"), std::string::npos);
+}
+
+} // namespace
+} // namespace diva

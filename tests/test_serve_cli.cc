@@ -92,11 +92,95 @@ TEST_F(ServeCli, BadServeFlagsFail)
     // Malformed tenant specs.
     EXPECT_NE(runQuiet("./diva_serve --tenant ResNet-50:0"), 0);
     EXPECT_NE(runQuiet("./diva_serve --tenant ResNet-50:8:-2"), 0);
+    // Non-finite QoS rates and negative arrivals/departures reject.
+    EXPECT_NE(runQuiet("./diva_serve --tenant ResNet-50:8:inf"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --tenant ResNet-50:8:nan"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --tenant ResNet-50:8:1:-3"), 0);
+    // Departure before arrival: parses (both >= 0) but the serve
+    // validation rejects it with a non-zero exit.
+    EXPECT_NE(
+        runQuiet("./diva_serve --tenant SqueezeNet:8:0:5:0:4:2 --quiet"),
+        0);
+    EXPECT_NE(runQuiet("./diva_serve --tenant SqueezeNet:8:0:0:0:4:-1"),
+              0);
     // Unknown model in a tenant spec is a (runtime) serve error.
     EXPECT_NE(runQuiet("./diva_serve --tenant NoSuchNet --quiet"), 0);
     // Unknown flags and missing values.
     EXPECT_NE(runQuiet("./diva_serve --no-such-flag"), 0);
     EXPECT_NE(runQuiet("./diva_serve --policy"), 0);
+}
+
+TEST_F(ServeCli, DepartureEndsSessionEarly)
+{
+    // A tenant departing at t=0.001 with a huge step budget must stop
+    // at its departure: the run succeeds and the departed column (20)
+    // flips to 1 with the budget unmet.
+    const std::string csv = "serve_cli_depart.csv";
+    ASSERT_EQ(runQuiet("./diva_serve --tenant SqueezeNet:8:0:0:0:"
+                       "100000:0.001 --quiet --no-summary --csv " +
+                       csv),
+              0);
+    std::ifstream in(csv);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_NE(header.find(",departed,"), std::string::npos);
+    EXPECT_NE(row.find(",0,1,1,"), std::string::npos)
+        << "completed,departed,admitted -> " << row;
+    std::remove(csv.c_str());
+}
+
+TEST_F(ServeCli, TraceFlagsValidate)
+{
+    // Well-formed generated replay succeeds, with and without
+    // admission.
+    EXPECT_EQ(runQuiet("./diva_serve --arrivals poisson:rate=4,seed=3,"
+                       "hold=1,qos=2 --steps 0 --policy edf --quiet"),
+              0);
+    EXPECT_EQ(runQuiet("./diva_serve --arrivals poisson:rate=4,seed=3,"
+                       "hold=1,qos=2 --steps 0 --admission --quiet"),
+              0);
+    // Malformed generator specs and flag combinations fail fast.
+    EXPECT_NE(runQuiet("./diva_serve --arrivals zipf:rate=2"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --arrivals poisson:rate=0"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --arrivals poisson:bogus=1"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --arrivals poisson --trace x.csv"),
+              0);
+    EXPECT_NE(runQuiet("./diva_serve --arrivals poisson "
+                       "--tenant SqueezeNet"),
+              0);
+    EXPECT_NE(runQuiet("./diva_serve --trace /no/such/file.csv"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --admission-cap 0"), 0);
+    EXPECT_NE(runQuiet("./diva_serve --save-trace t.csv"), 0)
+        << "--save-trace needs a trace";
+
+    // A recorded trace with departure-before-arrival fails at replay.
+    const std::string path = "serve_cli_bad_trace.csv";
+    {
+        std::ofstream out(path);
+        out << "model,arrival_s,depart_s,steps\n"
+            << "SqueezeNet,5,2,4\n";
+    }
+    EXPECT_NE(runQuiet("./diva_serve --trace " + path + " --quiet"), 0);
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeCli, SweepTraceModeValidates)
+{
+    EXPECT_NE(runQuiet("./diva_sweep --mode trace"), 0)
+        << "trace mode needs --arrivals or --trace";
+    EXPECT_NE(runQuiet("./diva_sweep --mode trace --arrivals zipf"), 0);
+    EXPECT_NE(runQuiet("./diva_sweep --mode trace --arrivals poisson "
+                       "--loads 0"),
+              0);
+    EXPECT_NE(runQuiet("./diva_sweep --mode trace --trace x.csv "
+                       "--loads 2"),
+              0)
+        << "--loads only scales the generator";
+    EXPECT_EQ(runQuiet("./diva_sweep --quiet --mode trace --arrivals "
+                       "poisson:rate=4,seed=3,hold=1,qos=2,steps=0 "
+                       "--dataflows DiVa --ppu on --policies fifo,edf"),
+              0);
 }
 
 TEST_F(ServeCli, BadSweepFlagsFail)

@@ -10,7 +10,6 @@
 #ifndef DIVA_TOOLS_CLI_PARSE_H
 #define DIVA_TOOLS_CLI_PARSE_H
 
-#include <cmath>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -18,9 +17,15 @@
 #include <vector>
 
 #include "backend/registry.h"
+#include "common/parse.h"
 
 namespace diva::cli
 {
+
+// The number parsers live in common/parse.h (shared with the trace
+// loaders); re-exported here so the tools keep their cli:: spelling.
+using diva::parseDoubleText;
+using diva::parseIntText;
 
 /** Split a comma-separated list, dropping empty items. */
 inline std::vector<std::string>
@@ -33,20 +38,6 @@ splitList(const std::string &arg)
         if (!item.empty())
             out.push_back(item);
     return out;
-}
-
-/** Parse a whole string as an integer; nullopt on any malformation. */
-inline std::optional<long long>
-parseIntText(const std::string &text)
-{
-    try {
-        std::size_t consumed = 0;
-        const long long value = std::stoll(text, &consumed);
-        if (consumed == text.size())
-            return value;
-    } catch (const std::exception &) {
-    }
-    return std::nullopt;
 }
 
 /**
@@ -80,20 +71,6 @@ parseBackendList(const std::string &tool, const std::string &text)
         return std::nullopt;
     }
     return out;
-}
-
-/** Parse a whole string as a finite double; nullopt otherwise. */
-inline std::optional<double>
-parseDoubleText(const std::string &text)
-{
-    try {
-        std::size_t consumed = 0;
-        const double value = std::stod(text, &consumed);
-        if (consumed == text.size() && std::isfinite(value))
-            return value;
-    } catch (const std::exception &) {
-    }
-    return std::nullopt;
 }
 
 } // namespace diva::cli

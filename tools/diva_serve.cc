@@ -24,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "arrivals/generate.h"
+#include "arrivals/replay.h"
+#include "arrivals/trace.h"
 #include "cli_parse.h"
 #include "common/logging.h"
 #include "common/table.h"
@@ -49,8 +52,9 @@ usage()
         "                      fixed model mix (default 3)\n"
         "  --tenant SPEC       add an explicit tenant; SPEC is\n"
         "                      model[:batch[:qos_sps[:arrival_s[:prio\n"
-        "                      [:steps]]]]], e.g. ResNet-50:32:2.5:0:1:64\n"
-        "                      (batch 'auto' = largest that fits)\n"
+        "                      [:steps[:depart_s]]]]]], e.g.\n"
+        "                      ResNet-50:32:2.5:0:1:64 (batch 'auto' =\n"
+        "                      largest that fits; depart_s 0 = stays)\n"
         "  --steps N           steps per generated tenant (default 32;\n"
         "                      0 = unbounded, needs --wall-s)\n"
         "  --batch N|auto      batch per generated tenant (default 8)\n"
@@ -58,6 +62,23 @@ usage()
         "  --qos auto|none|R   generated tenants' steps/sec target:\n"
         "                      auto = fair share of the isolated rate\n"
         "                      (default), none, or an explicit rate\n"
+        "\n"
+        "Arrival traces (replace the static mix; open-loop replay):\n"
+        "  --arrivals SPEC     generate a seeded arrival trace:\n"
+        "                      kind[:key=val,...], kind poisson|onoff|\n"
+        "                      diurnal, keys rate,horizon,seed,cap,on,\n"
+        "                      off,peak,steps,batch,qos,hold,prios --\n"
+        "                      e.g. poisson:rate=4,seed=7,hold=2\n"
+        "  --trace FILE        replay a recorded trace (.csv, or\n"
+        "                      .jsonl/.json with one object per line)\n"
+        "  --save-trace PATH   write the replayed trace as canonical\n"
+        "                      CSV (seeded generators: same seed =>\n"
+        "                      byte-identical file)\n"
+        "  --admission         run the QoS admission controller: shed\n"
+        "                      tenants whose aggregate demand exceeds\n"
+        "                      capacity (also works without a trace)\n"
+        "  --admission-cap U   utilization the admitted QoS demand may\n"
+        "                      claim (default 1.0)\n"
         "\n"
         "Scheduling:\n"
         "  --policy NAME       fifo, rr, prio, or edf (default rr)\n"
@@ -98,6 +119,11 @@ struct Args
 {
     int tenants = 3;
     std::vector<TenantJob> explicitTenants;
+    std::string arrivalsSpec;
+    std::string tracePath;
+    std::string saveTracePath;
+    bool admission = false;
+    double admissionCap = 1.0;
     std::uint64_t steps = 32;
     int batch = 8;
     double arriveEvery = 0.0;
@@ -132,7 +158,7 @@ fail(const std::string &msg)
  *  so --tenant and --steps may appear in any order. */
 constexpr std::uint64_t kStepsUnset = ~std::uint64_t(0);
 
-/** model[:batch[:qos_sps[:arrival_s[:prio[:steps]]]]] */
+/** model[:batch[:qos_sps[:arrival_s[:prio[:steps[:depart_s]]]]]] */
 bool
 parseTenantSpec(const std::string &spec, TenantJob &job)
 {
@@ -140,9 +166,10 @@ parseTenantSpec(const std::string &spec, TenantJob &job)
     std::stringstream ss(spec);
     for (std::string item; std::getline(ss, item, ':');)
         f.push_back(item);
-    if (f.empty() || f.size() > 6 || f[0].empty())
+    if (f.empty() || f.size() > 7 || f[0].empty())
         return fail("--tenant expects model[:batch[:qos_sps[:arrival_s"
-                    "[:prio[:steps]]]]], got '" + spec + "'");
+                    "[:prio[:steps[:depart_s]]]]]], got '" + spec +
+                    "'");
     job.model = f[0];
     job.steps = kStepsUnset;
     if (f.size() > 1) {
@@ -182,6 +209,13 @@ parseTenantSpec(const std::string &spec, TenantJob &job)
             return fail("--tenant steps must be >= 0 in '" + spec + "'");
         job.steps = std::uint64_t(*n);
     }
+    if (f.size() > 6) {
+        const auto v = parseDoubleText(f[6]);
+        if (!v || *v < 0.0)
+            return fail("--tenant depart_s must be >= 0 in '" + spec +
+                        "'");
+        job.departSec = *v;
+    }
     return true;
 }
 
@@ -219,6 +253,28 @@ parseArgs(int argc, char **argv, Args &args)
             if (!parseTenantSpec(*v, job))
                 return false;
             args.explicitTenants.push_back(std::move(job));
+        } else if (a == "--arrivals") {
+            if (!(v = need(i)))
+                return false;
+            args.arrivalsSpec = *v;
+        } else if (a == "--trace") {
+            if (!(v = need(i)))
+                return false;
+            args.tracePath = *v;
+        } else if (a == "--save-trace") {
+            if (!(v = need(i)))
+                return false;
+            args.saveTracePath = *v;
+        } else if (a == "--admission") {
+            args.admission = true;
+        } else if (a == "--admission-cap") {
+            if (!(v = need(i)))
+                return false;
+            const auto d = parseDoubleText(*v);
+            if (!d || *d <= 0.0)
+                return fail("--admission-cap must be > 0, got '" + *v +
+                            "'");
+            args.admissionCap = *d;
         } else if (a == "--steps") {
             if (!(v = need(i)))
                 return false;
@@ -354,8 +410,17 @@ parseArgs(int argc, char **argv, Args &args)
             return false;
         }
     }
+    if (!args.arrivalsSpec.empty() && !args.tracePath.empty())
+        return fail("--arrivals and --trace are mutually exclusive");
+    const bool trace_mode =
+        !args.arrivalsSpec.empty() || !args.tracePath.empty();
+    if (trace_mode && !args.explicitTenants.empty())
+        return fail("--tenant cannot be combined with --arrivals/"
+                    "--trace (the trace is the mix)");
+    if (!args.saveTracePath.empty() && !trace_mode)
+        return fail("--save-trace needs --arrivals or --trace");
     if (args.steps == 0 && args.wallSec <= 0.0 &&
-        args.explicitTenants.empty())
+        args.explicitTenants.empty() && !trace_mode)
         return fail("--steps 0 (unbounded) needs --wall-s");
     return true;
 }
@@ -410,19 +475,24 @@ printSummary(std::ostream &os, const std::vector<ServeResult> &serves)
 {
     os << "\n=== serve summary ===\n";
     TextTable runs({"policy", "makespan_s", "energy_j", "switches",
-                    "switch_s", "switch_j", "mean_qos_pct"});
+                    "switch_s", "mean_qos_pct", "lat_p50_s",
+                    "lat_p99_s", "admitted"});
     for (const ServeResult &s : serves) {
         if (!s.ok()) {
             runs.addRow({policyName(s.policy), "-", "-", "-", "-", "-",
-                         "error: " + s.error});
+                         "-", "-", "error: " + s.error});
             continue;
         }
+        const std::size_t admitted = s.admittedCount();
         runs.addRow({policyName(s.policy), formatDouble(s.makespanSec),
                      formatDouble(s.totalEnergyJ),
                      std::to_string(s.contextSwitches),
                      formatDouble(s.switchSec),
-                     formatDouble(s.switchEnergyJ),
-                     formatDouble(s.meanQosAttainmentPct)});
+                     formatDouble(s.meanQosAttainmentPct),
+                     formatDouble(s.aggStepLatency.p50Sec),
+                     formatDouble(s.aggStepLatency.p99Sec),
+                     std::to_string(admitted) + "/" +
+                         std::to_string(s.tenants.size())});
     }
     runs.print(os);
 
@@ -434,15 +504,19 @@ printSummary(std::ostream &os, const std::vector<ServeResult> &serves)
         if (s.chips > 1)
             os << " x" << s.chips;
         os << ") ---\n";
-        TextTable table({"tenant", "steps", "done", "achieved/s",
-                         "isolated/s", "slowdown", "qos_pct",
-                         "energy_share", "switches"});
+        TextTable table({"tenant", "adm", "steps", "done",
+                         "achieved/s", "isolated/s", "slowdown",
+                         "p50_s", "p99_s", "qos_pct", "energy_share",
+                         "switches"});
         for (const TenantMetrics &t : s.tenants)
-            table.addRow({t.job.name, std::to_string(t.job.steps),
+            table.addRow({t.job.name, t.admitted ? "y" : "n",
+                          std::to_string(t.job.steps),
                           std::to_string(t.stepsDone),
                           formatDouble(t.achievedStepsPerSec),
                           formatDouble(t.isolatedStepsPerSec),
                           formatDouble(t.slowdown),
+                          formatDouble(t.stepLatency.p50Sec),
+                          formatDouble(t.stepLatency.p99Sec),
                           formatDouble(t.qosAttainmentPct),
                           formatDouble(t.energyShare),
                           std::to_string(t.switchesIn)});
@@ -468,6 +542,50 @@ main(int argc, char **argv)
                   << " entries in " << runner.diskCache()->filePath()
                   << "\n";
 
+    // Trace replay: the arrival stream (generated or recorded)
+    // replaces the static mix and drives the serve loop open-loop.
+    const bool trace_mode =
+        !args.arrivalsSpec.empty() || !args.tracePath.empty();
+    ArrivalTrace trace;
+    if (!args.tracePath.empty()) {
+        std::string err;
+        trace = loadTraceFile(args.tracePath, &err);
+        if (!err.empty()) {
+            std::cerr << "diva_serve: --trace: " << err << "\n";
+            return 1;
+        }
+    } else if (!args.arrivalsSpec.empty()) {
+        std::string err;
+        auto gen = parseTraceGenSpec(args.arrivalsSpec, &err);
+        if (!gen) {
+            std::cerr << "diva_serve: --arrivals: " << err << "\n";
+            return 1;
+        }
+        // Spec keys win; otherwise the mix-level flags fill the
+        // per-session template.
+        if (!gen->stepsSet)
+            gen->steps = args.steps;
+        if (!gen->batchSet)
+            gen->batch = args.batch;
+        if (!gen->qosSet && args.qosMode == Args::QosMode::kRate)
+            gen->qosStepsPerSec = args.qosRate;
+        trace = generateTrace(*gen);
+        if (trace.jobs.empty()) {
+            std::cerr << "diva_serve: --arrivals produced no arrivals "
+                         "inside the horizon; raise rate or horizon\n";
+            return 1;
+        }
+    }
+    if (!args.saveTracePath.empty()) {
+        std::ofstream trace_file(args.saveTracePath);
+        if (!trace_file) {
+            std::cerr << "diva_serve: cannot write "
+                      << args.saveTracePath << "\n";
+            return 1;
+        }
+        writeTraceCsv(trace_file, trace);
+    }
+
     ServeSpec spec;
     spec.workload = buildWorkload(args);
     spec.config = platformConfig(args);
@@ -477,22 +595,46 @@ main(int argc, char **argv)
     spec.opts.quantumIters = args.quantum;
     spec.opts.wallLimitSec = args.wallSec;
     spec.opts.autoQosFairShare =
-        args.explicitTenants.empty() &&
+        !trace_mode && args.explicitTenants.empty() &&
         args.qosMode == Args::QosMode::kAuto;
+
+    AdmissionOptions admission;
+    admission.utilizationCap = args.admissionCap;
 
     std::vector<ServeResult> serves;
     bool any_error = false;
     for (SchedPolicy policy : args.policies) {
         spec.policy = policy;
         if (!args.quiet)
-            std::cerr << "serving " << spec.workload.jobs.size()
+            std::cerr << (trace_mode ? "replaying trace '" + trace.name +
+                                           "', "
+                                     : "serving ")
+                      << (trace_mode ? trace.jobs.size()
+                                     : spec.workload.jobs.size())
                       << " tenant(s) under " << policyName(policy)
                       << " on " << spec.config.name
                       << (args.chips > 1
                               ? " x" + std::to_string(args.chips)
                               : "")
+                      << (args.admission ? ", admission on" : "")
                       << "...\n";
-        ServeResult r = simulateServe(spec, runner);
+        ServeResult r;
+        if (trace_mode) {
+            ReplaySpec rs;
+            rs.trace = trace;
+            rs.config = spec.config;
+            rs.chips = spec.chips;
+            rs.policy = policy;
+            rs.backends = spec.backends;
+            rs.opts = spec.opts;
+            rs.admission = args.admission;
+            rs.admissionOpts = admission;
+            r = replayTrace(rs, runner);
+        } else if (args.admission) {
+            r = serveWithAdmission(spec, admission, runner);
+        } else {
+            r = simulateServe(spec, runner);
+        }
         if (!r.ok()) {
             std::cerr << "diva_serve: " << policyName(policy) << ": "
                       << r.error << "\n";

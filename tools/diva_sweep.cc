@@ -37,6 +37,9 @@
 #include <string>
 #include <vector>
 
+#include "arrivals/generate.h"
+#include "arrivals/replay.h"
+#include "arrivals/trace.h"
 #include "backend/registry.h"
 #include "cli_parse.h"
 #include "common/table.h"
@@ -101,12 +104,25 @@ usage()
         "  --mode MODE         sweep (default), energy (best config\n"
         "                      under an energy budget), tenant\n"
         "                      (multi-tenant time-sharing serve over\n"
-        "                      policy x config axes), or duration\n"
+        "                      policy x config axes), duration\n"
         "                      (steps completed per tenant/config in a\n"
-        "                      fixed --wall-s budget)\n"
+        "                      fixed --wall-s budget), or trace\n"
+        "                      (open-loop arrival replay over policy x\n"
+        "                      config x load axes)\n"
         "  --budget-j J        max joules per iteration (mode energy)\n"
         "  --budget-w W        max engine TDP in watts, pod-wide for\n"
         "                      pods (mode energy)\n"
+        "\n"
+        "Trace mode (--mode trace; shares the plan/result caches):\n"
+        "  --arrivals SPEC     seeded generator spec, e.g.\n"
+        "                      poisson:rate=4,seed=7,hold=2,qos=2\n"
+        "                      (see diva_serve --help for keys)\n"
+        "  --trace FILE        replay a recorded CSV/JSONL trace\n"
+        "  --loads LIST        rate multipliers swept over the\n"
+        "                      generator (default 1; --arrivals only)\n"
+        "  --admission         shed tenants whose aggregate QoS\n"
+        "                      demand exceeds capacity\n"
+        "  --admission-cap U   utilization cap (default 1.0)\n"
         "\n"
         "Tenant/duration modes (one tenant per --models entry, batch\n"
         "and algorithm from the first --batches/--algos value,\n"
@@ -186,6 +202,7 @@ enum class CliMode
     kEnergy,
     kTenant,
     kDuration,
+    kTrace,
 };
 
 struct Args
@@ -218,6 +235,11 @@ struct Args
     double wallSec = 0.0;
     std::uint64_t quantum = 1;
     double arriveEvery = 0.0;
+    std::string arrivalsSpec;
+    std::string tracePath;
+    std::vector<double> loads = {1.0};
+    bool admission = false;
+    double admissionCap = 1.0;
     std::string cacheDir;
     std::string csvPath;
     std::string jsonPath;
@@ -453,9 +475,12 @@ parseArgs(int argc, char **argv, Args &args)
                 args.mode = CliMode::kTenant;
             else if (*v == "duration")
                 args.mode = CliMode::kDuration;
+            else if (*v == "trace")
+                args.mode = CliMode::kTrace;
             else {
                 std::cerr << "diva_sweep: --mode takes sweep, energy, "
-                             "tenant, or duration; got '" << *v << "'\n";
+                             "tenant, duration, or trace; got '" << *v
+                          << "'\n";
                 return false;
             }
         } else if (a == "--policies") {
@@ -524,6 +549,45 @@ parseArgs(int argc, char **argv, Args &args)
                 return false;
             }
             args.arriveEvery = *n;
+        } else if (a == "--arrivals") {
+            if (!(v = need(i)))
+                return false;
+            args.arrivalsSpec = *v;
+        } else if (a == "--trace") {
+            if (!(v = need(i)))
+                return false;
+            args.tracePath = *v;
+        } else if (a == "--loads") {
+            if (!(v = need(i)))
+                return false;
+            args.loads.clear();
+            for (const std::string &s : splitList(*v)) {
+                const auto n = parseDouble(a, s);
+                if (!n)
+                    return false;
+                if (*n <= 0.0) {
+                    std::cerr << "diva_sweep: --loads must be > 0\n";
+                    return false;
+                }
+                args.loads.push_back(*n);
+            }
+            if (args.loads.empty()) {
+                std::cerr << "diva_sweep: --loads needs at least one\n";
+                return false;
+            }
+        } else if (a == "--admission") {
+            args.admission = true;
+        } else if (a == "--admission-cap") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseDouble(a, *v);
+            if (!n)
+                return false;
+            if (*n <= 0.0) {
+                std::cerr << "diva_sweep: --admission-cap must be > 0\n";
+                return false;
+            }
+            args.admissionCap = *n;
         } else if (a == "--budget-j") {
             if (!(v = need(i)))
                 return false;
@@ -568,6 +632,23 @@ parseArgs(int argc, char **argv, Args &args)
     }
     if (args.mode == CliMode::kDuration && args.wallSec <= 0.0) {
         std::cerr << "diva_sweep: --mode duration needs --wall-s\n";
+        return false;
+    }
+    if (args.mode == CliMode::kTrace && args.arrivalsSpec.empty() &&
+        args.tracePath.empty()) {
+        std::cerr << "diva_sweep: --mode trace needs --arrivals or "
+                     "--trace\n";
+        return false;
+    }
+    if (!args.arrivalsSpec.empty() && !args.tracePath.empty()) {
+        std::cerr << "diva_sweep: --arrivals and --trace are mutually "
+                     "exclusive\n";
+        return false;
+    }
+    if (!args.tracePath.empty() &&
+        (args.loads.size() != 1 || args.loads[0] != 1.0)) {
+        std::cerr << "diva_sweep: --loads scales the --arrivals "
+                     "generator; recorded traces replay as-is\n";
         return false;
     }
     if (args.models.empty()) {
@@ -832,6 +913,98 @@ printEnergySearch(std::ostream &os,
     table.print(os);
 }
 
+/** One point of the serve-platform axis. */
+struct Platform
+{
+    AcceleratorConfig config;
+    int chips = 1;
+    MultiChipConfig pod;
+};
+
+/**
+ * Platform axis shared by the tenant/duration/trace modes: every
+ * valid (dataflow, ppu) design point on one chip, plus every pod
+ * shape when a pod axis was given. Empty (after a stderr message)
+ * when no design point is valid.
+ */
+std::vector<Platform>
+platformAxis(const Args &args)
+{
+    std::vector<Platform> platforms;
+    for (Dataflow df : args.dataflows)
+        for (bool ppu : args.ppus) {
+            const AcceleratorConfig cfg = configFor(df, ppu);
+            if (!cfg.validationError().empty())
+                continue; // e.g. WS+PPU, same skip rule as the sweep
+            platforms.push_back({cfg, 1, {}});
+        }
+    if (platforms.empty()) {
+        std::cerr << "diva_sweep: no valid accelerator design points\n";
+        return platforms;
+    }
+    if (!args.chips.empty() || !args.iciGbs.empty() ||
+        !args.linkLatencies.empty()) {
+        const MultiChipConfig defaults;
+        const std::vector<int> chip_axis =
+            args.chips.empty() ? std::vector<int>{defaults.numChips}
+                               : args.chips;
+        const std::vector<double> ici_axis =
+            args.iciGbs.empty()
+                ? std::vector<double>{defaults.interconnectGBs}
+                : args.iciGbs;
+        const std::vector<int> lat_axis =
+            args.linkLatencies.empty()
+                ? std::vector<int>{int(defaults.linkLatencyCycles)}
+                : args.linkLatencies;
+        const std::size_t single_chip = platforms.size();
+        for (std::size_t p = 0; p < single_chip; ++p)
+            for (int n : chip_axis) {
+                // chips=1 has no interconnect and is already covered
+                // by the single-chip platforms above.
+                if (n <= 1)
+                    continue;
+                for (double ici : ici_axis)
+                    for (int lat : lat_axis) {
+                        Platform pod = platforms[p];
+                        pod.chips = n;
+                        pod.pod.numChips = n;
+                        pod.pod.interconnectGBs = ici;
+                        pod.pod.linkLatencyCycles = Cycles(lat);
+                        platforms.push_back(pod);
+                    }
+            }
+    }
+    return platforms;
+}
+
+/** Emit serves to --csv/--json (or stdout); false on I/O failure. */
+bool
+emitServes(const Args &args, const std::vector<ServeResult> &serves)
+{
+    std::ofstream csv_file;
+    if (!args.csvPath.empty()) {
+        csv_file.open(args.csvPath);
+        if (!csv_file) {
+            std::cerr << "diva_sweep: cannot write " << args.csvPath
+                      << "\n";
+            return false;
+        }
+    }
+    std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
+    writeServeCsv(csv, serves);
+
+    if (!args.jsonPath.empty()) {
+        std::ofstream json_file(args.jsonPath);
+        if (!json_file) {
+            std::cerr << "diva_sweep: cannot write " << args.jsonPath
+                      << "\n";
+            return false;
+        }
+        writeServeJson(json_file, serves);
+    }
+    return true;
+}
+
 /**
  * Tenant / duration modes: one tenant per --models entry, fair-share
  * QoS targets, served under every policy on every valid accelerator
@@ -867,58 +1040,9 @@ runTenantModes(const Args &args, SweepRunner &runner)
         mix.jobs.push_back(std::move(job));
     }
 
-    // Platform axis: every valid (dataflow, ppu) design point on one
-    // chip, plus every pod shape when a pod axis was given.
-    struct Platform
-    {
-        AcceleratorConfig config;
-        int chips = 1;
-        MultiChipConfig pod;
-    };
-    std::vector<Platform> platforms;
-    for (Dataflow df : args.dataflows)
-        for (bool ppu : args.ppus) {
-            const AcceleratorConfig cfg = configFor(df, ppu);
-            if (!cfg.validationError().empty())
-                continue; // e.g. WS+PPU, same skip rule as the sweep
-            platforms.push_back({cfg, 1, {}});
-        }
-    if (platforms.empty()) {
-        std::cerr << "diva_sweep: no valid accelerator design points\n";
+    const std::vector<Platform> platforms = platformAxis(args);
+    if (platforms.empty())
         return 1;
-    }
-    if (!args.chips.empty() || !args.iciGbs.empty() ||
-        !args.linkLatencies.empty()) {
-        const MultiChipConfig defaults;
-        const std::vector<int> chip_axis =
-            args.chips.empty() ? std::vector<int>{defaults.numChips}
-                               : args.chips;
-        const std::vector<double> ici_axis =
-            args.iciGbs.empty()
-                ? std::vector<double>{defaults.interconnectGBs}
-                : args.iciGbs;
-        const std::vector<int> lat_axis =
-            args.linkLatencies.empty()
-                ? std::vector<int>{int(defaults.linkLatencyCycles)}
-                : args.linkLatencies;
-        const std::size_t single_chip = platforms.size();
-        for (std::size_t p = 0; p < single_chip; ++p)
-            for (int n : chip_axis) {
-                // chips=1 has no interconnect and is already covered
-                // by the single-chip platforms above.
-                if (n <= 1)
-                    continue;
-                for (double ici : ici_axis)
-                    for (int lat : lat_axis) {
-                        Platform pod = platforms[p];
-                        pod.chips = n;
-                        pod.pod.numChips = n;
-                        pod.pod.interconnectGBs = ici;
-                        pod.pod.linkLatencyCycles = Cycles(lat);
-                        platforms.push_back(pod);
-                    }
-            }
-    }
 
     std::vector<ServeResult> serves;
     std::size_t failures = 0;
@@ -952,27 +1076,8 @@ runTenantModes(const Args &args, SweepRunner &runner)
             serves.push_back(std::move(r));
         }
 
-    std::ofstream csv_file;
-    if (!args.csvPath.empty()) {
-        csv_file.open(args.csvPath);
-        if (!csv_file) {
-            std::cerr << "diva_sweep: cannot write " << args.csvPath
-                      << "\n";
-            return 1;
-        }
-    }
-    std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
-    writeServeCsv(csv, serves);
-
-    if (!args.jsonPath.empty()) {
-        std::ofstream json_file(args.jsonPath);
-        if (!json_file) {
-            std::cerr << "diva_sweep: cannot write " << args.jsonPath
-                      << "\n";
-            return 1;
-        }
-        writeServeJson(json_file, serves);
-    }
+    if (!emitServes(args, serves))
+        return 1;
 
     // Policy comparison per platform: the serve-mode counterpart of
     // the Fig.13 speedup table (cache accounting stays on stderr so
@@ -1002,6 +1107,129 @@ runTenantModes(const Args &args, SweepRunner &runner)
                       std::to_string(s.contextSwitches),
                       formatDouble(s.switchSec),
                       formatDouble(s.totalEnergyJ)});
+    }
+    table.print(std::cout);
+    return failures == 0 ? 0 : 2;
+}
+
+/**
+ * Trace mode: open-loop arrival replay swept over policy x config
+ * (x pod shape) x load. Loads scale the --arrivals generator's rate
+ * (same seed, so a load sweep is an apples-to-apples burst-intensity
+ * study); a recorded --trace file replays as-is. Isolated costs run
+ * through the shared SweepRunner, so every (model, batch, algorithm)
+ * prices once across the whole sweep and lands in the disk cache.
+ */
+int
+runTraceMode(const Args &args, SweepRunner &runner)
+{
+    // Resolve the traces of the load axis up front so a bad spec or
+    // file fails before any simulation.
+    std::vector<ArrivalTrace> traces;
+    if (!args.tracePath.empty()) {
+        std::string err;
+        traces.push_back(loadTraceFile(args.tracePath, &err));
+        if (!err.empty()) {
+            std::cerr << "diva_sweep: --trace: " << err << "\n";
+            return 1;
+        }
+    } else {
+        std::string err;
+        const auto base = parseTraceGenSpec(args.arrivalsSpec, &err);
+        if (!base) {
+            std::cerr << "diva_sweep: --arrivals: " << err << "\n";
+            return 1;
+        }
+        for (double load : args.loads) {
+            TraceGenSpec gen = *base;
+            gen.ratePerSec = base->ratePerSec * load;
+            if (!gen.stepsSet)
+                gen.steps = args.steps;
+            ArrivalTrace t = generateTrace(gen);
+            if (t.jobs.empty()) {
+                std::cerr << "diva_sweep: --arrivals at load "
+                          << formatDouble(load)
+                          << " produced no arrivals; raise rate or "
+                             "horizon\n";
+                return 1;
+            }
+            traces.push_back(std::move(t));
+        }
+    }
+
+    const std::vector<Platform> platforms = platformAxis(args);
+    if (platforms.empty())
+        return 1;
+
+    AdmissionOptions admission;
+    admission.utilizationCap = args.admissionCap;
+
+    std::vector<ServeResult> serves;
+    std::size_t failures = 0;
+    for (const ArrivalTrace &trace : traces) {
+        // One ReplaySpec per trace: the (possibly large) session list
+        // is copied in once, and only the platform/policy fields
+        // change per cell.
+        ReplaySpec rs;
+        rs.trace = trace;
+        rs.backends = args.backendNames;
+        rs.opts.quantumIters = args.quantum;
+        rs.opts.wallLimitSec = args.wallSec;
+        rs.admission = args.admission;
+        rs.admissionOpts = admission;
+        for (const Platform &p : platforms)
+            for (SchedPolicy policy : args.policies) {
+                rs.config = p.config;
+                rs.chips = p.chips;
+                rs.pod = p.pod;
+                rs.policy = policy;
+                if (!args.quiet)
+                    std::cerr << "replaying '" << trace.name << "' ("
+                              << trace.jobs.size() << " session(s)) "
+                              << "under " << policyName(policy)
+                              << " on " << p.config.name
+                              << (p.chips > 1
+                                      ? " x" + std::to_string(p.chips)
+                                      : "")
+                              << "...\n";
+                ServeResult r = replayTrace(rs, runner);
+                if (!r.ok()) {
+                    std::cerr << "diva_sweep: " << policyName(policy)
+                              << " on " << p.config.name << ": "
+                              << r.error << "\n";
+                    ++failures;
+                }
+                serves.push_back(std::move(r));
+            }
+    }
+
+    if (!emitServes(args, serves))
+        return 1;
+
+    // Tail-latency comparison across the axes (cache accounting stays
+    // on stderr so stdout is a pure function of the replay specs).
+    std::cout << "\n=== trace serve summary ===\n"
+              << "replays: " << serves.size() << " (" << traces.size()
+              << " trace(s) x " << platforms.size()
+              << " platform(s) x " << args.policies.size()
+              << " policy(ies))\n"
+              << "failures: " << failures << "\n";
+    TextTable table({"trace", "config", "chips", "policy", "admitted",
+                     "mean_qos_pct", "lat_p50_s", "lat_p95_s",
+                     "lat_p99_s", "switches"});
+    for (const ServeResult &s : serves) {
+        if (!s.ok())
+            continue;
+        const std::size_t admitted = s.admittedCount();
+        table.addRow({s.workloadName, s.configName,
+                      std::to_string(s.chips), policyName(s.policy),
+                      std::to_string(admitted) + "/" +
+                          std::to_string(s.tenants.size()),
+                      formatDouble(s.meanQosAttainmentPct),
+                      formatDouble(s.aggStepLatency.p50Sec),
+                      formatDouble(s.aggStepLatency.p95Sec),
+                      formatDouble(s.aggStepLatency.p99Sec),
+                      std::to_string(s.contextSwitches)});
     }
     table.print(std::cout);
     return failures == 0 ? 0 : 2;
@@ -1039,6 +1267,8 @@ main(int argc, char **argv)
 
     if (args.mode == CliMode::kTenant || args.mode == CliMode::kDuration)
         return runTenantModes(args, runner);
+    if (args.mode == CliMode::kTrace)
+        return runTraceMode(args, runner);
 
     const SweepSpec spec = buildSpec(args);
     const SweepSpec::Expansion expansion = spec.expand();
