@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Fleet-engine throughput benchmark: replays generated diurnal traces
+ * on 8- and 64-pod fleets (load-aware placement, rebalance on) and
+ * reports how fast the engine chews through sessions. Besides the
+ * google-benchmark microbenchmarks it writes BENCH_fleet.json --
+ * sessions/sec, migrations/sec and the isolated-cost plan-cache hit
+ * rate per fleet size -- so CI can track the fleet perf trajectory.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+
+#include "arrivals/generate.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/table.h"
+#include "fleet/engine.h"
+
+using namespace diva;
+
+namespace
+{
+
+std::vector<PodSpec>
+osPodGroup(int n)
+{
+    std::string err;
+    const auto group =
+        parsePodTemplate("df=OS,count=" + std::to_string(n), &err);
+    if (!group) {
+        std::cerr << "bench_fleet: " << err << "\n";
+        std::exit(1);
+    }
+    return *group;
+}
+
+ArrivalTrace
+diurnalTrace(int sessions)
+{
+    std::string err;
+    const auto gen = parseTraceGenSpec(
+        "diurnal:rate=12,horizon=86400,seed=3,qos=2,cap=" +
+            std::to_string(sessions),
+        &err);
+    if (!gen) {
+        std::cerr << "bench_fleet: " << err << "\n";
+        std::exit(1);
+    }
+    return generateTrace(*gen);
+}
+
+FleetSpec
+fleetOf(int pods)
+{
+    // Half DiVa, half OS pods: the two types price every job class
+    // separately but share its workload plan, so the plan cache gets
+    // real traffic. First-fit stacks arrivals on the low pods until
+    // the rebalance loop drags the skew back down, so migrations/sec
+    // measures the migration machinery rather than rounding to zero.
+    FleetSpec spec =
+        buildFleet({defaultPodGroup(pods - pods / 2),
+                    osPodGroup(pods / 2)});
+    spec.placement = PlacementKind::kFirstFit;
+    spec.rebalance.enabled = true;
+    spec.controlIntervalSec = 600.0;
+    return spec;
+}
+
+/** One replay, timed; returns the throughput figures for the JSON. */
+struct ReplayFigures
+{
+    int pods = 0;
+    std::size_t sessions = 0;
+    double sessionsPerSec = 0.0;
+    double migrationsPerSec = 0.0;
+    double planHitRate = 0.0;
+};
+
+ReplayFigures
+timeReplay(int pods, int sessions, SweepRunner &runner)
+{
+    const ArrivalTrace trace = diurnalTrace(sessions);
+    const FleetSpec spec = fleetOf(pods);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const FleetResult r = simulateFleet(spec, trace, runner, 4);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+
+    if (!r.ok()) {
+        std::cerr << "bench_fleet: " << r.error << "\n";
+        std::exit(1);
+    }
+    ReplayFigures f;
+    f.pods = pods;
+    f.sessions = trace.jobs.size();
+    f.sessionsPerSec = double(trace.jobs.size()) / sec;
+    f.migrationsPerSec = double(r.migrations) / sec;
+    const double lookups = double(r.planHits + r.planMisses);
+    f.planHitRate = lookups > 0.0 ? double(r.planHits) / lookups : 0.0;
+    return f;
+}
+
+void
+writeBenchJson(const std::vector<ReplayFigures> &figures)
+{
+    std::ofstream os("BENCH_fleet.json");
+    os << "{\n  \"fleets\": [\n";
+    for (std::size_t i = 0; i < figures.size(); ++i) {
+        const ReplayFigures &f = figures[i];
+        os << "    {\"pods\": " << f.pods
+           << ", \"sessions\": " << f.sessions
+           << ", \"sessions_per_sec\": " << jsonNumber(f.sessionsPerSec)
+           << ", \"migrations_per_sec\": "
+           << jsonNumber(f.migrationsPerSec)
+           << ", \"plan_cache_hit_rate\": " << jsonNumber(f.planHitRate)
+           << "}" << (i + 1 < figures.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void
+printFleetThroughput()
+{
+    std::cout << "=== fleet replay throughput (diurnal trace, "
+                 "first-fit placement, rebalance on) ===\n";
+    TextTable table({"pods", "sessions", "sessions/s", "migrations/s",
+                     "plan hit rate"});
+    std::vector<ReplayFigures> figures;
+    for (int pods : {8, 64}) {
+        // A fresh runner per fleet size keeps the hit rate a
+        // self-contained property of one replay's pricing instead of
+        // whatever earlier replays happened to warm.
+        SweepOptions opts;
+        opts.threads = 4;
+        SweepRunner runner(opts);
+        const ReplayFigures f = timeReplay(pods, 200000, runner);
+        figures.push_back(f);
+        table.addRow({std::to_string(f.pods),
+                      std::to_string(f.sessions),
+                      TextTable::fmt(f.sessionsPerSec, 0),
+                      TextTable::fmt(f.migrationsPerSec, 1),
+                      TextTable::fmt(f.planHitRate, 3)});
+    }
+    table.print(std::cout);
+    writeBenchJson(figures);
+    std::cout << "\nwrote BENCH_fleet.json\n\n";
+}
+
+void
+BM_FleetReplay(benchmark::State &state)
+{
+    const int pods = int(state.range(0));
+    const int sessions = int(state.range(1));
+    const ArrivalTrace trace = diurnalTrace(sessions);
+    const FleetSpec spec = fleetOf(pods);
+    SweepOptions opts;
+    opts.threads = 4;
+    SweepRunner runner(opts);
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        const FleetResult r = simulateFleet(spec, trace, runner, 4);
+        steps = r.totalSteps;
+        benchmark::DoNotOptimize(steps);
+    }
+    state.counters["sessions_per_sec"] = benchmark::Counter(
+        double(trace.jobs.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetReplay)
+    ->Args({8, 20000})
+    ->Args({64, 20000})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFleetThroughput();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

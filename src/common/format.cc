@@ -1,5 +1,6 @@
 #include "common/format.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -59,16 +60,23 @@ formatDouble(double v)
         return "nan";
     if (std::isinf(v))
         return v < 0.0 ? "-inf" : "inf";
-    // %.17g round-trips but is noisy; prefer the shortest precision
-    // that parses back exactly. Deterministic for a given value.
+    // %.17g round-trips but is noisy; use the shortest precision that
+    // parses back exactly, floored at 6 (the historical %g default).
+    // The shortest-scientific form's mantissa length *is* that
+    // precision -- correctly-rounded printf round-trips at any
+    // precision >= it and at none below -- so one to_chars call
+    // replaces the old snprintf/sscanf probe loop (which dominated
+    // million-row CSV emission).
+    char sci[64];
+    const auto res =
+        std::to_chars(sci, sci + sizeof(sci), v,
+                      std::chars_format::scientific);
+    int digits = 0;
+    for (const char *c = sci; c != res.ptr && *c != 'e'; ++c)
+        digits += *c >= '0' && *c <= '9';
     char buf[64];
-    for (int prec = 6; prec <= 17; ++prec) {
-        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-        double parsed = 0.0;
-        std::sscanf(buf, "%lf", &parsed);
-        if (parsed == v)
-            break;
-    }
+    std::snprintf(buf, sizeof(buf), "%.*g", digits < 6 ? 6 : digits,
+                  v);
     return buf;
 }
 

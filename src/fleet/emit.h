@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic CSV and JSON emitters for fleet results, mirroring the
+ * serve emitters: output is a pure function of the result (one
+ * per-tenant CSV with a row per session, one per-pod CSV with a row
+ * per pod, one JSON document), doubles go through formatDouble /
+ * jsonNumber so NaN renders as "nan" in CSV and null in JSON, and a
+ * multi-threaded fleet run emits bytes identical to a serial one.
+ * Cache accounting (plan hits/misses) never appears here, so reruns
+ * against a warm disk cache stay byte-identical too.
+ *
+ * Per-tenant rows are built by appending into one reused buffer
+ * rather than a stream per row: million-session fleets emit their CSV
+ * in a few seconds instead of minutes.
+ */
+
+#ifndef DIVA_FLEET_EMIT_H
+#define DIVA_FLEET_EMIT_H
+
+#include <ostream>
+#include <string>
+
+#include "fleet/engine.h"
+
+namespace diva
+{
+
+/** Header matching fleetTenantCsvRow()'s columns. */
+std::string fleetTenantCsvHeader();
+
+/** One CSV row for one tenant session of one fleet run. */
+std::string fleetTenantCsvRow(const FleetResult &fleet,
+                              const FleetTenantMetrics &tenant);
+
+/** Header matching fleetPodCsvRow()'s columns. */
+std::string fleetPodCsvHeader();
+
+/** One CSV row for one pod of one fleet run. */
+std::string fleetPodCsvRow(const FleetResult &fleet,
+                           const FleetPodReport &pod);
+
+/**
+ * Emit header + one row per tenant session. A failed run emits a
+ * single row with tenant "-" and the error column filled.
+ */
+void writeFleetTenantCsv(std::ostream &os, const FleetResult &fleet);
+
+/** Emit header + one row per pod (same error-row convention). */
+void writeFleetPodCsv(std::ostream &os, const FleetResult &fleet);
+
+/**
+ * Emit the fleet run as one JSON document: the fleet summary and the
+ * per-pod reports, plus (with `includeTenants`) every per-tenant
+ * record -- off by default because a million-session fleet's tenant
+ * array dwarfs everything else.
+ */
+void writeFleetJson(std::ostream &os, const FleetResult &fleet,
+                    bool includeTenants = false);
+
+} // namespace diva
+
+#endif // DIVA_FLEET_EMIT_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fleet-level energy-budget enforcement: at every control boundary the
+ * engine projects each active tenant's sustained watts (its step rate
+ * times its joules per step on its current pod) and, when the fleet
+ * total exceeds the effective power cap, preempts tenants from the
+ * bottom of the priority order until the remainder fits. A total
+ * joule budget turns into a power cap over the next interval
+ * (remaining joules / interval), so a draining budget throttles the
+ * fleet progressively instead of falling off a cliff.
+ *
+ * The chooser is a pure function with (priority desc, arrival asc,
+ * index asc) keep-ordering, so budget decisions are byte-reproducible.
+ */
+
+#ifndef DIVA_FLEET_ENERGY_BUDGET_H
+#define DIVA_FLEET_ENERGY_BUDGET_H
+
+#include <cstddef>
+#include <vector>
+
+namespace diva
+{
+
+/** One active tenant as the budget enforcer sees it. */
+struct TenantPowerView
+{
+    /** Projected sustained watts on its current pod. */
+    double watts = 0.0;
+
+    /** Strict-priority rank; larger keeps running longer. */
+    int priority = 0;
+
+    double arrivalSec = 0.0;
+};
+
+/**
+ * The effective power cap for the next control interval: the sustained
+ * cap and/or the remaining joule budget spread over the interval,
+ * whichever is tighter. Negative remaining budget clamps to 0 (all
+ * metered tenants preempt); returns a negative value only when no
+ * budget is configured (meaning "uncapped").
+ */
+double effectivePowerCapW(double powerCapW, double totalJ,
+                          double spentJ, double intervalSec);
+
+/**
+ * Choose which tenants to preempt so the kept tenants' summed watts
+ * stay within `capW`: tenants are kept in (priority desc, arrival asc,
+ * index asc) order while they fit. Unmetered tenants (watts <= 0 or
+ * non-finite) are always kept. A negative cap keeps everyone; a zero
+ * cap preempts every metered tenant. Returns the indices to preempt,
+ * ascending.
+ */
+std::vector<std::size_t>
+chooseSuspensions(const std::vector<TenantPowerView> &tenants,
+                  double capW);
+
+} // namespace diva
+
+#endif // DIVA_FLEET_ENERGY_BUDGET_H

@@ -1,0 +1,1234 @@
+#include "fleet/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "arrivals/admission.h"
+#include "backend/registry.h"
+#include "fleet/energy_budget.h"
+#include "fleet/migration.h"
+#include "tenant/context_switch.h"
+#include "tenant/serve.h"
+
+namespace diva
+{
+
+namespace
+{
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = std::size_t(-1);
+
+/** Float slack for wall-budget and deadline comparisons. */
+constexpr double kEps = 1e-9;
+
+/**
+ * Policy-ordered ready-queue key. Each scheduling policy maps a tenant
+ * onto (k1, k2) -- fifo: (arrival); priority: (-priority, arrival);
+ * EDF: (next deadline, arrival); round-robin uses a per-pod monotone
+ * sequence number instead -- with the tenant index as the final tie
+ * break, so the first element of the set is always the policy's pick.
+ */
+struct ReadyKey
+{
+    double k1 = 0.0;
+    double k2 = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t idx = 0;
+
+    bool operator<(const ReadyKey &o) const
+    {
+        if (k1 != o.k1)
+            return k1 < o.k1;
+        if (k2 != o.k2)
+            return k2 < o.k2;
+        if (seq != o.seq)
+            return seq < o.seq;
+        return idx < o.idx;
+    }
+};
+
+/** Lazily-invalidated entry of a pod's gated-until min-heap. */
+struct GateEntry
+{
+    double dueSec = 0.0;
+    std::uint32_t idx = 0;
+    std::uint64_t gen = 0;
+
+    bool operator>(const GateEntry &o) const
+    {
+        if (dueSec != o.dueSec)
+            return dueSec > o.dueSec;
+        if (idx != o.idx)
+            return idx > o.idx;
+        return gen > o.gen;
+    }
+};
+
+enum class TenantState : std::uint8_t
+{
+    kPending,   // placed, waiting for its arrival time
+    kReady,     // in its pod's ready set
+    kGated,     // waiting for its next due time (open loop / migration)
+    kSuspended, // preempted by the energy budget
+    kDone,      // service over (completed, departed, starved, rejected)
+};
+
+/** Mutable per-tenant state tracked by the fleet engine. */
+struct TenantRt
+{
+    // Cached job scalars (hot path avoids chasing the TenantJob).
+    double arrival = 0.0;
+    double depart = 0.0;
+    double rate = 0.0; // qosStepsPerSec; > 0 gates steps open-loop
+    double qosDeadline = 0.0;
+    std::uint64_t steps = 0;
+    int priority = 0;
+    std::uint32_t cls = 0;
+
+    std::size_t pod = kNoPod;
+    TenantState state = TenantState::kPending;
+    bool admitted = true;
+
+    std::uint64_t done = 0;
+    std::uint64_t metDeadlines = 0;
+    /** Bumped whenever the tenant leaves a queue, invalidating stale
+     *  gated-heap entries that still carry the old generation. */
+    std::uint64_t gen = 0;
+    /** The key under which the tenant sits in ready (state kReady). */
+    ReadyKey readyKey;
+
+    double lastCompletion = 0.0;
+    /** Earliest restart after a migration's state transfer. */
+    double gateUntil = 0.0;
+
+    bool completed = false;
+    double completionSec = 0.0;
+
+    double energyJ = 0.0;
+    std::uint32_t switchesIn = 0;
+    std::uint32_t migrations = 0;
+    std::uint32_t suspensions = 0;
+    double migSec = 0.0;
+    double migEnergyJ = 0.0;
+
+    /** Busy seconds this control epoch (rebalance's migration metric). */
+    double epochBusySec = 0.0;
+    std::uint64_t busyStamp = ~std::uint64_t(0);
+
+    std::vector<double> latencySec;
+};
+
+/** Mutable per-pod state; epochs touch only their own pod's. */
+struct PodRt
+{
+    std::uint32_t type = 0;
+
+    double now = 0.0;
+    std::size_t last = kNone;
+
+    std::set<ReadyKey> ready;
+    /** Tenants first placed here, in arrival order (cursor consumed). */
+    std::vector<std::uint32_t> arrivals;
+    std::size_t arrCursor = 0;
+    std::priority_queue<GateEntry, std::vector<GateEntry>,
+                        std::greater<GateEntry>>
+        gated;
+    std::uint64_t rrSeq = 0;
+
+    /** Every tenant ever assigned here (lazily compacted). */
+    std::vector<std::uint32_t> members;
+
+    // Run accumulators.
+    std::size_t placed = 0;
+    std::size_t migIn = 0;
+    std::size_t migOut = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t switches = 0;
+    double busySec = 0.0;
+    double energyJ = 0.0;
+    double switchSec = 0.0;
+    double switchEnergyJ = 0.0;
+    double migSec = 0.0;
+    double migEnergyJ = 0.0;
+    Bytes migBytes = 0;
+    double lastActiveSec = 0.0;
+
+    // Per-epoch scratch.
+    double epochBusySec = 0.0;
+    std::uint64_t epochSteps = 0;
+    std::size_t finishedThisEpoch = 0;
+
+    std::vector<double> latencySec;
+};
+
+/** Deadline of step `k` (1-based); +inf without a target. */
+double
+stepDeadline(const TenantRt &rt, std::uint64_t k)
+{
+    if (rt.rate > 0.0)
+        return rt.arrival + double(k) / rt.rate;
+    if (rt.qosDeadline > 0.0)
+        return rt.qosDeadline;
+    return kInf;
+}
+
+/** Run the callable over [0, count) pod indices on `threads` workers.
+ *  Each index touches disjoint state, so any schedule is race-free and
+ *  the simulation output does not depend on the thread count. */
+template <typename Fn>
+void
+forEachPod(std::size_t count, int threads, Fn fn)
+{
+    const int workers =
+        std::max(1, std::min<int>(threads, int(count)));
+    if (workers <= 1) {
+        for (std::size_t p = 0; p < count; ++p)
+            fn(p);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t p =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (p >= count)
+                return;
+            fn(p);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(std::size_t(workers - 1));
+    for (int w = 1; w < workers; ++w)
+        pool.emplace_back(work);
+    work();
+    for (std::thread &t : pool)
+        t.join();
+}
+
+/** The whole simulation state, shared by the engine's phases. */
+struct FleetSim
+{
+    const FleetSpec &spec;
+    const ArrivalTrace &trace;
+    FleetResult &out;
+
+    std::size_t n = 0;
+    double wall = 0.0;
+
+    // Pod types (deduped design points) and tenant classes (deduped
+    // workloads); costs[type * numCls + cls] prices one iteration.
+    std::vector<std::uint32_t> podType;
+    std::vector<PodSpec> types;
+    std::vector<std::uint32_t> jobCls;
+    std::size_t numCls = 0;
+    std::vector<IterationCost> costs;
+    std::vector<SwitchCost> switchCosts;         // per type
+    std::vector<MigrationCost> migCosts;         // type x type
+    std::vector<double> isoRate;                 // per (type, cls)
+
+    std::vector<TenantRt> tenants;
+    std::vector<PodRt> pods;
+
+    // Placement projection (sequential, arrival-ordered).
+    std::vector<PodLoadView> loadViews;
+    std::vector<std::priority_queue<std::pair<double, double>,
+                                    std::vector<std::pair<double, double>>,
+                                    std::greater<std::pair<double, double>>>>
+        expiry;
+    std::size_t placeCursor = 0;
+
+    // Placement scratch, hoisted out of the per-arrival hot path.
+    std::vector<double> typeDemand;
+    std::vector<double> typeEnergy;
+    std::vector<double> demandOnPod;
+    std::vector<double> energyOnPod;
+
+    std::size_t unfinished = 0;
+    std::uint64_t epochId = 0;
+
+    FleetSim(const FleetSpec &s, const ArrivalTrace &t, FleetResult &o)
+        : spec(s), trace(t), out(o)
+    {
+    }
+
+    const IterationCost &costOf(std::uint32_t type,
+                                std::uint32_t cls) const
+    {
+        return costs[std::size_t(type) * numCls + cls];
+    }
+
+    /** Price every (pod type, tenant class) pair through the runner. */
+    std::string price(SweepRunner &runner);
+
+    void placeOne(std::size_t i);
+    ReadyKey makeKey(PodRt &pod, std::uint32_t idx);
+    void enqueueReady(PodRt &pod, std::uint32_t idx);
+    void promote(PodRt &pod);
+    double podNextEventSec(PodRt &pod);
+    void finishTenant(PodRt &pod, std::uint32_t idx);
+    void runPodEpoch(std::size_t p, double t1);
+
+    void suspendTenant(std::uint32_t idx);
+    void resumeTenant(std::uint32_t idx);
+    void enforceBudget(double nowSec, double intervalSec);
+    std::size_t rebalanceRound(double nowSec, double widthSec);
+    void migrate(std::uint32_t idx, std::size_t srcP, std::size_t dstP,
+                 double nowSec);
+
+    double globalNextEventSec();
+    double totalEnergySoFar() const;
+
+    void run(int threads);
+    void assemble();
+};
+
+std::string
+FleetSim::price(SweepRunner &runner)
+{
+    // Dedupe pods into types. Design points come from named factory
+    // configs, so the config name plus the pod shape identifies one.
+    std::map<std::string, std::uint32_t> typeOf;
+    podType.resize(spec.pods.size());
+    for (std::size_t p = 0; p < spec.pods.size(); ++p) {
+        const PodSpec &ps = spec.pods[p];
+        std::ostringstream key;
+        key << ps.config.name << '|' << ps.chips << '|'
+            << ps.config.sramBytes << '|' << ps.pod.interconnectGBs
+            << '|' << ps.pod.linkLatencyCycles;
+        const auto [it, fresh] =
+            typeOf.emplace(key.str(), std::uint32_t(types.size()));
+        if (fresh)
+            types.push_back(ps);
+        podType[p] = it->second;
+    }
+
+    // Dedupe jobs into classes.
+    std::map<std::string, std::uint32_t> clsOf;
+    jobCls.resize(n);
+    std::vector<const TenantJob *> clsRep;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TenantJob &job = trace.jobs[i];
+        std::ostringstream key;
+        key << job.model << '|' << job.modelScale << '|' << job.batch
+            << '|' << job.microbatch << '|' << int(job.algorithm);
+        const auto [it, fresh] =
+            clsOf.emplace(key.str(), std::uint32_t(clsRep.size()));
+        if (fresh)
+            clsRep.push_back(&job);
+        jobCls[i] = it->second;
+    }
+    numCls = clsRep.size();
+
+    // Validate the allowed-backend list the way the serve layer does:
+    // every name must resolve, and every substrate the fleet's pods
+    // actually need must be permitted.
+    for (const std::string &name : spec.backends)
+        if (!BackendRegistry::instance().find(name))
+            return "unknown backend '" + name + "'";
+    if (!spec.backends.empty()) {
+        for (const PodSpec &ps : spec.pods) {
+            const std::string needed = ps.backendName();
+            if (std::find(spec.backends.begin(), spec.backends.end(),
+                          needed) == spec.backends.end())
+                return "backend '" + needed +
+                       "' is not in the allowed --backends list";
+        }
+    }
+
+    // One scenario per (type, class), all through one run() so the
+    // runner's thread pool and caches do the heavy lifting.
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(types.size() * numCls);
+    for (const PodSpec &type : types)
+        for (const TenantJob *job : clsRep) {
+            Scenario s;
+            s.config = type.config;
+            s.model = job->model;
+            s.modelScale = job->modelScale;
+            s.batch = job->batch;
+            s.microbatch = job->microbatch;
+            s.algorithm = job->algorithm;
+            if (type.chips > 1) {
+                s.backend = SweepBackend::kMultiChip;
+                s.pod = type.pod;
+                s.pod.numChips = type.chips;
+            }
+            scenarios.push_back(std::move(s));
+        }
+    const SweepReport report = runner.run(scenarios);
+    out.planHits = report.planHits;
+    out.planMisses = report.planMisses;
+
+    costs.resize(report.results.size());
+    isoRate.resize(report.results.size());
+    for (std::size_t k = 0; k < report.results.size(); ++k) {
+        const ScenarioResult &r = report.results[k];
+        const PodSpec &type = types[k / numCls];
+        const TenantJob *job = clsRep[k % numCls];
+        std::ostringstream where;
+        where << "pod type '" << type.config.name << " x" << type.chips
+              << "' class '" << job->model << "'";
+        if (!r.ok())
+            return where.str() + ": " + r.error;
+        if (!(r.seconds > 0.0) || !std::isfinite(r.seconds) ||
+            !(r.energyJ >= 0.0) || !std::isfinite(r.energyJ))
+            return where.str() +
+                   ": iteration cost must be positive and finite";
+        IterationCost c;
+        c.seconds = r.seconds;
+        c.energyJ = r.energyJ;
+        c.dramBytes = r.dramBytes;
+        c.cycles = r.cycles;
+        c.resolvedBatch = r.resolvedBatch;
+        costs[k] = c;
+        isoRate[k] = 1.0 / c.seconds;
+    }
+
+    switchCosts.reserve(types.size());
+    for (const PodSpec &type : types)
+        switchCosts.push_back(
+            ContextSwitchModel(type.config, type.chips,
+                               spec.workingSetFraction)
+                .cost());
+    migCosts.resize(types.size() * types.size());
+    for (std::size_t s = 0; s < types.size(); ++s)
+        for (std::size_t d = 0; d < types.size(); ++d)
+            migCosts[s * types.size() + d] = migrationCost(
+                types[s], types[d], spec.workingSetFraction);
+    return "";
+}
+
+void
+FleetSim::placeOne(std::size_t i)
+{
+    const TenantJob &job = trace.jobs[i];
+    TenantRt &rt = tenants[i];
+    const double a = rt.arrival;
+
+    // Retire projected demand whose sessions have ended by now.
+    for (std::size_t p = 0; p < pods.size(); ++p) {
+        auto &heap = expiry[p];
+        while (!heap.empty() && heap.top().first <= a + kEps) {
+            loadViews[p].demand =
+                std::max(0.0, loadViews[p].demand - heap.top().second);
+            if (loadViews[p].sessions > 0)
+                --loadViews[p].sessions;
+            heap.pop();
+        }
+    }
+
+    // Price the arrival's demand and joules/step once per pod type.
+    typeDemand.resize(types.size());
+    typeEnergy.resize(types.size());
+    for (std::size_t t = 0; t < types.size(); ++t) {
+        const IterationCost &c =
+            costOf(std::uint32_t(t), rt.cls);
+        typeDemand[t] = qosUtilizationDemand(job, c);
+        typeEnergy[t] = c.energyJ;
+    }
+    demandOnPod.resize(pods.size());
+    energyOnPod.resize(pods.size());
+    for (std::size_t p = 0; p < pods.size(); ++p) {
+        demandOnPod[p] = typeDemand[podType[p]];
+        energyOnPod[p] = typeEnergy[podType[p]];
+    }
+
+    const std::size_t chosen =
+        choosePod(spec.placement, loadViews, demandOnPod, energyOnPod,
+                  spec.podDemandCap);
+    if (chosen == kNoPod) {
+        rt.admitted = false;
+        rt.state = TenantState::kDone;
+        ++out.rejectedCount;
+        --unfinished;
+        return;
+    }
+
+    rt.pod = chosen;
+    PodRt &pod = pods[chosen];
+    ++pod.placed;
+    pod.arrivals.push_back(std::uint32_t(i));
+    pod.members.push_back(std::uint32_t(i));
+
+    const double d = demandOnPod[chosen];
+    loadViews[chosen].demand += d;
+    ++loadViews[chosen].sessions;
+    const double step_sec = costOf(pod.type, rt.cls).seconds;
+    double end = kInf;
+    if (rt.depart > 0.0)
+        end = rt.depart;
+    else if (rt.steps > 0 && rt.rate > 0.0)
+        end = a + double(rt.steps) / rt.rate;
+    else if (rt.steps > 0)
+        end = a + double(rt.steps) * step_sec;
+    if (std::isfinite(end))
+        expiry[chosen].push({end, d});
+}
+
+ReadyKey
+FleetSim::makeKey(PodRt &pod, std::uint32_t idx)
+{
+    const TenantRt &rt = tenants[idx];
+    ReadyKey key;
+    key.idx = idx;
+    switch (spec.policy) {
+      case SchedPolicy::kFifo:
+        key.k1 = rt.arrival;
+        break;
+      case SchedPolicy::kPriority:
+        key.k1 = -double(rt.priority);
+        key.k2 = rt.arrival;
+        break;
+      case SchedPolicy::kEdf:
+        key.k1 = stepDeadline(rt, rt.done + 1);
+        key.k2 = rt.arrival;
+        break;
+      case SchedPolicy::kRoundRobin:
+        key.seq = ++pod.rrSeq;
+        break;
+    }
+    return key;
+}
+
+void
+FleetSim::enqueueReady(PodRt &pod, std::uint32_t idx)
+{
+    TenantRt &rt = tenants[idx];
+    rt.readyKey = makeKey(pod, idx);
+    rt.state = TenantState::kReady;
+    pod.ready.insert(rt.readyKey);
+}
+
+void
+FleetSim::promote(PodRt &pod)
+{
+    const std::size_t p = std::size_t(&pod - pods.data());
+    while (pod.arrCursor < pod.arrivals.size()) {
+        const std::uint32_t idx = pod.arrivals[pod.arrCursor];
+        TenantRt &rt = tenants[idx];
+        // Stale entries (tenant migrated, suspended or rejected before
+        // its first run here) are consumed without effect.
+        if (rt.pod != p || rt.state != TenantState::kPending) {
+            ++pod.arrCursor;
+            continue;
+        }
+        if (rt.arrival > pod.now + kEps)
+            break;
+        ++pod.arrCursor;
+        enqueueReady(pod, idx);
+    }
+    while (!pod.gated.empty()) {
+        const GateEntry &top = pod.gated.top();
+        TenantRt &rt = tenants[top.idx];
+        if (top.gen != rt.gen || rt.state != TenantState::kGated ||
+            rt.pod != p) {
+            pod.gated.pop();
+            continue;
+        }
+        if (top.dueSec > pod.now + kEps)
+            break;
+        const std::uint32_t idx = top.idx;
+        pod.gated.pop();
+        enqueueReady(pod, idx);
+    }
+}
+
+/** Next wake-up (arrival or gated due) on this pod; +inf if none. */
+double
+FleetSim::podNextEventSec(PodRt &pod)
+{
+    const std::size_t p = std::size_t(&pod - pods.data());
+    double ev = kInf;
+    while (pod.arrCursor < pod.arrivals.size()) {
+        const std::uint32_t idx = pod.arrivals[pod.arrCursor];
+        const TenantRt &rt = tenants[idx];
+        if (rt.pod != p || rt.state != TenantState::kPending) {
+            ++pod.arrCursor;
+            continue;
+        }
+        ev = rt.arrival;
+        break;
+    }
+    while (!pod.gated.empty()) {
+        const GateEntry &top = pod.gated.top();
+        const TenantRt &rt = tenants[top.idx];
+        if (top.gen != rt.gen || rt.state != TenantState::kGated ||
+            rt.pod != p) {
+            pod.gated.pop();
+            continue;
+        }
+        ev = std::min(ev, top.dueSec);
+        break;
+    }
+    return ev;
+}
+
+void
+FleetSim::finishTenant(PodRt &pod, std::uint32_t idx)
+{
+    tenants[idx].state = TenantState::kDone;
+    ++pod.finishedThisEpoch;
+}
+
+void
+FleetSim::runPodEpoch(std::size_t p, double t1)
+{
+    PodRt &pod = pods[p];
+    pod.epochBusySec = 0.0;
+    pod.epochSteps = 0;
+    pod.finishedThisEpoch = 0;
+
+    const SwitchCost &sw = switchCosts[pod.type];
+
+    auto bill = [&](TenantRt &rt, double sec, double joules) {
+        pod.busySec += sec;
+        pod.epochBusySec += sec;
+        pod.energyJ += joules;
+        rt.energyJ += joules;
+    };
+
+    for (;;) {
+        promote(pod);
+        if (pod.now + kEps >= t1)
+            break;
+
+        if (pod.ready.empty()) {
+            const double ev = podNextEventSec(pod);
+            if (!(ev < t1 - kEps))
+                break;
+            if (ev > pod.now)
+                pod.now = ev;
+            continue;
+        }
+
+        // Pick the first ready tenant that can still run a step;
+        // tenants that can never run again (their next step would end
+        // past their departure, or past the wall) retire on the spot.
+        std::size_t pick = kNone;
+        for (auto it = pod.ready.begin(); it != pod.ready.end();) {
+            const std::uint32_t idx = it->idx;
+            TenantRt &rt = tenants[idx];
+            const double step_sec = costOf(pod.type, rt.cls).seconds;
+            const double lead =
+                (pod.last != kNone && pod.last != idx) ? sw.seconds
+                                                       : 0.0;
+            if (rt.depart > 0.0 &&
+                pod.now + lead + step_sec > rt.depart + kEps) {
+                it = pod.ready.erase(it);
+                finishTenant(pod, idx);
+                continue;
+            }
+            if (wall > 0.0 &&
+                pod.now + lead + step_sec > wall + kEps) {
+                it = pod.ready.erase(it);
+                finishTenant(pod, idx);
+                continue;
+            }
+            pick = idx;
+            pod.ready.erase(it);
+            break;
+        }
+        if (pick == kNone)
+            continue; // everything retired; re-check events
+
+        TenantRt &rt = tenants[pick];
+        const IterationCost &cost = costOf(pod.type, rt.cls);
+
+        if (pod.last != kNone && pick != pod.last) {
+            // Bill the tenant change: the engine stalls while the
+            // outgoing working set flushes and the incoming one loads.
+            ++pod.switches;
+            ++rt.switchesIn;
+            pod.now += sw.seconds;
+            pod.switchSec += sw.seconds;
+            pod.switchEnergyJ += sw.energyJ;
+            bill(rt, sw.seconds, sw.energyJ);
+            pod.lastActiveSec = pod.now;
+        }
+        pod.last = pick;
+
+        // Run up to one quantum, ending early on completion, on the
+        // epoch/wall boundary, on departure, on the open-loop gate, or
+        // when a new arrival makes a fresh decision due.
+        for (std::uint64_t q = 0; q < spec.quantumIters; ++q) {
+            if (rt.steps > 0 && rt.done >= rt.steps)
+                break;
+            if (wall > 0.0 && pod.now + cost.seconds > wall + kEps)
+                break;
+            if (rt.depart > 0.0 &&
+                pod.now + cost.seconds > rt.depart + kEps)
+                break;
+            double due = 0.0;
+            if (rt.rate > 0.0) {
+                due = rt.arrival + double(rt.done) / rt.rate;
+                if (due > pod.now + kEps)
+                    break; // next step not issued yet
+            }
+            // Latency reference: the open-loop due time, or (closed
+            // loop) the moment the step became eligible.
+            const double eligible =
+                rt.rate > 0.0
+                    ? due
+                    : std::max(rt.arrival, rt.done > 0
+                                               ? rt.lastCompletion
+                                               : rt.arrival);
+            pod.now += cost.seconds;
+            bill(rt, cost.seconds, cost.energyJ);
+            if (rt.busyStamp != epochId) {
+                rt.busyStamp = epochId;
+                rt.epochBusySec = 0.0;
+            }
+            rt.epochBusySec += cost.seconds;
+            ++pod.steps;
+            ++pod.epochSteps;
+            ++rt.done;
+            const double lat = pod.now - eligible;
+            rt.latencySec.push_back(lat);
+            pod.latencySec.push_back(lat);
+            rt.lastCompletion = pod.now;
+            if (pod.now <= stepDeadline(rt, rt.done) + kEps)
+                ++rt.metDeadlines;
+            pod.lastActiveSec = pod.now;
+            if (rt.steps > 0 && rt.done >= rt.steps) {
+                rt.completed = true;
+                rt.completionSec = pod.now;
+                break;
+            }
+            if (pod.now + kEps >= t1)
+                break;
+            // Preemption point: a new arrival is waiting.
+            if (pod.arrCursor < pod.arrivals.size() &&
+                tenants[pod.arrivals[pod.arrCursor]].arrival <=
+                    pod.now + kEps)
+                break;
+        }
+
+        if (rt.completed) {
+            finishTenant(pod, pick);
+        } else if (rt.depart > 0.0 &&
+                   pod.now + cost.seconds > rt.depart + kEps) {
+            finishTenant(pod, pick);
+        } else if (rt.rate > 0.0) {
+            const double due =
+                rt.arrival + double(rt.done) / rt.rate;
+            if (due > pod.now + kEps) {
+                ++rt.gen;
+                rt.state = TenantState::kGated;
+                pod.gated.push({due, std::uint32_t(pick), rt.gen});
+            } else {
+                enqueueReady(pod, std::uint32_t(pick));
+            }
+        } else {
+            enqueueReady(pod, std::uint32_t(pick));
+        }
+    }
+}
+
+void
+FleetSim::suspendTenant(std::uint32_t idx)
+{
+    TenantRt &rt = tenants[idx];
+    if (rt.state == TenantState::kReady)
+        pods[rt.pod].ready.erase(rt.readyKey);
+    ++rt.gen; // invalidates any gated entry
+    rt.state = TenantState::kSuspended;
+}
+
+void
+FleetSim::resumeTenant(std::uint32_t idx)
+{
+    TenantRt &rt = tenants[idx];
+    PodRt &pod = pods[rt.pod];
+    ++rt.gen;
+    const double due = rt.rate > 0.0
+                           ? rt.arrival + double(rt.done) / rt.rate
+                           : rt.arrival;
+    rt.state = TenantState::kGated;
+    pod.gated.push({std::max(due, rt.gateUntil), idx, rt.gen});
+}
+
+void
+FleetSim::enforceBudget(double nowSec, double intervalSec)
+{
+    const double capW =
+        effectivePowerCapW(spec.budget.powerCapW, spec.budget.totalJ,
+                           totalEnergySoFar(), intervalSec);
+    if (capW < 0.0) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (tenants[i].state == TenantState::kSuspended)
+                resumeTenant(std::uint32_t(i));
+        return;
+    }
+
+    std::vector<TenantPowerView> views;
+    std::vector<std::uint32_t> active;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TenantRt &rt = tenants[i];
+        if (!rt.admitted || rt.state == TenantState::kDone ||
+            rt.arrival > nowSec + kEps)
+            continue;
+        const IterationCost &c = costOf(pods[rt.pod].type, rt.cls);
+        const double iso = 1.0 / c.seconds;
+        const double sustained =
+            rt.rate > 0.0 ? std::min(rt.rate, iso) : iso;
+        TenantPowerView v;
+        v.watts = sustained * c.energyJ;
+        v.priority = rt.priority;
+        v.arrivalSec = rt.arrival;
+        views.push_back(v);
+        active.push_back(std::uint32_t(i));
+    }
+
+    const std::vector<std::size_t> suspend =
+        chooseSuspensions(views, capW);
+    std::size_t s = 0;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+        const bool want = s < suspend.size() && suspend[s] == k;
+        if (want)
+            ++s;
+        TenantRt &rt = tenants[active[k]];
+        if (want) {
+            ++rt.suspensions;
+            ++out.suspensions;
+            if (rt.state != TenantState::kSuspended)
+                suspendTenant(active[k]);
+        } else if (rt.state == TenantState::kSuspended) {
+            resumeTenant(active[k]);
+        }
+    }
+}
+
+void
+FleetSim::migrate(std::uint32_t idx, std::size_t srcP,
+                  std::size_t dstP, double nowSec)
+{
+    TenantRt &rt = tenants[idx];
+    PodRt &src = pods[srcP];
+    PodRt &dst = pods[dstP];
+
+    if (rt.state == TenantState::kReady)
+        src.ready.erase(rt.readyKey);
+    ++rt.gen;
+    if (src.last == idx)
+        src.last = kNone;
+
+    const MigrationCost &mc =
+        migCosts[std::size_t(src.type) * types.size() + dst.type];
+    rt.pod = dstP;
+    ++rt.migrations;
+    rt.migSec += mc.seconds;
+    rt.migEnergyJ += mc.energyJ;
+    rt.energyJ += mc.energyJ;
+
+    ++src.migOut;
+    ++dst.migIn;
+    dst.migSec += mc.seconds;
+    dst.migEnergyJ += mc.energyJ;
+    dst.migBytes += mc.dramBytes;
+    dst.energyJ += mc.energyJ;
+    dst.busySec += mc.seconds;
+    dst.members.push_back(idx);
+    ++out.migrations;
+    out.migrationSec += mc.seconds;
+    out.migrationEnergyJ += mc.energyJ;
+    out.migrationBytes += mc.dramBytes;
+
+    // Off the air until the state transfer lands (and, open loop,
+    // until its next step is due anyway).
+    rt.gateUntil = nowSec + mc.seconds;
+    const double due = rt.rate > 0.0
+                           ? rt.arrival + double(rt.done) / rt.rate
+                           : rt.arrival;
+    rt.state = TenantState::kGated;
+    dst.gated.push({std::max(due, rt.gateUntil), idx, rt.gen});
+}
+
+std::size_t
+FleetSim::rebalanceRound(double nowSec, double widthSec)
+{
+    if (!(widthSec > 0.0) || !std::isfinite(widthSec))
+        return 0;
+    std::vector<double> util(pods.size());
+    for (std::size_t p = 0; p < pods.size(); ++p)
+        util[p] = pods[p].epochBusySec / widthSec;
+
+    std::size_t moved = 0;
+    while (int(moved) < spec.rebalance.maxPerRound) {
+        std::size_t hot = 0, cold = 0;
+        for (std::size_t p = 1; p < pods.size(); ++p) {
+            if (util[p] > util[hot])
+                hot = p;
+            if (util[p] < util[cold])
+                cold = p;
+        }
+        const double gap = util[hot] - util[cold];
+        if (gap <= spec.rebalance.skewThreshold + kEps)
+            break;
+
+        // Move the hot pod's busiest movable tenant whose measured
+        // share fits in half the gap (a bigger move would overshoot
+        // and oscillate). Ties break on the lowest index.
+        PodRt &src = pods[hot];
+        std::size_t keep = 0;
+        std::uint32_t best = std::uint32_t(-1);
+        double best_busy = 0.0;
+        const double fit = gap * 0.5 * widthSec;
+        for (std::size_t m = 0; m < src.members.size(); ++m) {
+            const std::uint32_t idx = src.members[m];
+            const TenantRt &rt = tenants[idx];
+            if (rt.pod != hot || rt.state == TenantState::kDone)
+                continue; // stale entry: compact it away
+            src.members[keep++] = idx;
+            if (rt.state != TenantState::kReady &&
+                rt.state != TenantState::kGated)
+                continue;
+            const double busy =
+                rt.busyStamp == epochId ? rt.epochBusySec : 0.0;
+            if (busy <= 0.0 || busy > fit + kEps)
+                continue;
+            if (busy > best_busy + kEps) {
+                best = idx;
+                best_busy = busy;
+            }
+        }
+        src.members.resize(keep);
+        if (best == std::uint32_t(-1))
+            break;
+
+        migrate(best, hot, cold, nowSec);
+        ++moved;
+        const double share = best_busy / widthSec;
+        util[hot] -= share;
+        util[cold] += share;
+    }
+    return moved;
+}
+
+double
+FleetSim::globalNextEventSec()
+{
+    double ev = kInf;
+    if (placeCursor < n)
+        ev = trace.jobs[placeCursor].arrivalSec;
+    for (PodRt &pod : pods) {
+        if (!pod.ready.empty())
+            ev = std::min(ev, pod.now);
+        ev = std::min(ev, podNextEventSec(pod));
+    }
+    return ev;
+}
+
+double
+FleetSim::totalEnergySoFar() const
+{
+    double total = 0.0;
+    for (const PodRt &pod : pods)
+        total += pod.energyJ;
+    return total;
+}
+
+void
+FleetSim::run(int threads)
+{
+    n = trace.jobs.size();
+    wall = spec.wallLimitSec;
+    unfinished = n;
+
+    tenants.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const TenantJob &job = trace.jobs[i];
+        TenantRt &rt = tenants[i];
+        rt.arrival = job.arrivalSec;
+        rt.depart = job.departSec;
+        rt.rate = job.qosStepsPerSec;
+        rt.qosDeadline = job.qosDeadlineSec;
+        rt.steps = job.steps;
+        rt.priority = job.priority;
+        rt.cls = jobCls[i];
+        rt.lastCompletion = job.arrivalSec;
+    }
+    pods.resize(spec.pods.size());
+    for (std::size_t p = 0; p < pods.size(); ++p)
+        pods[p].type = podType[p];
+    loadViews.assign(pods.size(), PodLoadView{});
+    expiry.resize(pods.size());
+
+    const bool controls =
+        spec.rebalance.enabled || spec.budget.enabled();
+    double interval = kInf;
+    if (spec.controlIntervalSec > 0.0) {
+        interval = spec.controlIntervalSec;
+    } else if (controls) {
+        const double span = trace.jobs.back().arrivalSec;
+        interval = span > 0.0 ? span / 8.0 : 1.0;
+    }
+
+    double T = 0.0;
+    for (;;) {
+        if (unfinished == 0 && placeCursor >= n)
+            break;
+
+        double t1 = T + interval;
+        if (std::isfinite(t1) && placeCursor >= n) {
+            // Fast-forward empty epochs: when every next event is past
+            // the boundary, push the boundary to just beyond it so a
+            // sparse tail doesn't grind through thousands of idle
+            // control rounds.
+            const double ev = globalNextEventSec();
+            if (std::isfinite(ev) && ev > t1)
+                t1 = ev + interval;
+        }
+        if (wall > 0.0)
+            t1 = std::min(t1, wall);
+
+        const std::size_t placedBefore = placeCursor;
+        while (placeCursor < n &&
+               (!std::isfinite(t1) ||
+                trace.jobs[placeCursor].arrivalSec < t1))
+            placeOne(placeCursor++);
+
+        forEachPod(pods.size(), threads,
+                   [&](std::size_t p) { runPodEpoch(p, t1); });
+
+        std::uint64_t epochSteps = 0;
+        for (PodRt &pod : pods) {
+            unfinished -= pod.finishedThisEpoch;
+            epochSteps += pod.epochSteps;
+        }
+
+        if (!std::isfinite(t1))
+            break; // one uninterrupted epoch ran everything
+        const double width = t1 - T;
+        T = t1;
+        if (wall > 0.0 && T >= wall - kEps)
+            break;
+        if (unfinished == 0 && placeCursor >= n)
+            break;
+
+        if (spec.budget.enabled())
+            enforceBudget(T, std::isfinite(interval) ? interval
+                                                     : width);
+        std::size_t migrated = 0;
+        if (spec.rebalance.enabled)
+            migrated = rebalanceRound(T, width);
+
+        // Deadlock guard: nothing ran, nothing will arrive, and every
+        // survivor is budget-suspended with no resume in sight -- the
+        // budget has permanently preempted them; end the run.
+        if (epochSteps == 0 && migrated == 0 &&
+            placeCursor == placedBefore && placeCursor >= n &&
+            unfinished > 0) {
+            bool all_suspended = true;
+            for (const TenantRt &rt : tenants)
+                if (rt.admitted && rt.state != TenantState::kDone &&
+                    rt.state != TenantState::kSuspended) {
+                    all_suspended = false;
+                    break;
+                }
+            if (all_suspended) {
+                for (TenantRt &rt : tenants)
+                    if (rt.admitted &&
+                        rt.state != TenantState::kDone)
+                        rt.state = TenantState::kDone;
+                unfinished = 0;
+                break;
+            }
+        }
+        ++epochId;
+    }
+}
+
+void
+FleetSim::assemble()
+{
+    for (const PodRt &pod : pods)
+        out.makespanSec = std::max(out.makespanSec, pod.lastActiveSec);
+
+    out.tenants.reserve(n);
+    double qos_sum = 0.0;
+    std::size_t qos_count = 0;
+    std::vector<double> pod_qos_sum(pods.size(), 0.0);
+    std::vector<std::size_t> pod_qos_count(pods.size(), 0);
+    std::vector<std::size_t> pod_ended(pods.size(), 0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const TenantJob &job = trace.jobs[i];
+        TenantRt &rt = tenants[i];
+        FleetTenantMetrics m;
+        m.job = job;
+        m.finalPod = rt.pod;
+        m.admitted = rt.admitted;
+        m.stepsDone = rt.done;
+        m.completed = rt.completed;
+        m.switchesIn = rt.switchesIn;
+        m.migrations = rt.migrations;
+        m.migrationSec = rt.migSec;
+        m.migrationEnergyJ = rt.migEnergyJ;
+        m.suspensions = rt.suspensions;
+        m.energyJ = rt.energyJ;
+        out.totalSteps += rt.done;
+
+        if (!rt.admitted) {
+            m.resolvedBatch = job.batch;
+            m.endSec = job.arrivalSec;
+            m.achievedStepsPerSec = kNaN;
+            m.isolatedStepsPerSec = kNaN;
+            m.qosAttainmentPct = kNaN;
+            m.stepLatency = computeLatencyStats({});
+            out.tenants.push_back(std::move(m));
+            continue;
+        }
+
+        const std::uint32_t type = pods[rt.pod].type;
+        const IterationCost &cost = costOf(type, rt.cls);
+        m.resolvedBatch =
+            cost.resolvedBatch > 0 ? cost.resolvedBatch : job.batch;
+        ++pod_ended[rt.pod];
+
+        // Departed: the session ended with steps outstanding and its
+        // departure (not the wall budget) is what ended it.
+        m.departed = !rt.completed && job.departSec > 0.0 &&
+                     (wall <= 0.0 || job.departSec < wall + kEps);
+        m.endSec = rt.completed
+                       ? rt.completionSec
+                       : (m.departed ? std::min(job.departSec,
+                                                out.makespanSec)
+                                     : out.makespanSec);
+        const double window =
+            std::max(0.0, m.endSec - job.arrivalSec);
+        m.achievedStepsPerSec =
+            window > 0.0 ? double(rt.done) / window
+                         : (rt.done > 0 ? kInf : 0.0);
+        m.isolatedStepsPerSec = safeRatio(1.0, cost.seconds);
+
+        // QoS attainment: of the steps the target demanded by endSec,
+        // the share that met their deadline (see tenant/serve.cc).
+        double demanded = kNaN;
+        if (job.qosStepsPerSec > 0.0) {
+            demanded = rt.completed
+                           ? double(job.steps)
+                           : std::floor(window * job.qosStepsPerSec);
+            if (job.steps > 0)
+                demanded = std::min(demanded, double(job.steps));
+        } else if (job.qosDeadlineSec > 0.0) {
+            if (rt.completed || job.qosDeadlineSec <= m.endSec)
+                demanded = double(job.steps);
+        }
+        if (std::isfinite(demanded) && demanded > 0.0) {
+            m.qosAttainmentPct =
+                100.0 * std::min(1.0, double(rt.metDeadlines) /
+                                          demanded);
+            qos_sum += m.qosAttainmentPct;
+            ++qos_count;
+            pod_qos_sum[rt.pod] += m.qosAttainmentPct;
+            ++pod_qos_count[rt.pod];
+        } else {
+            m.qosAttainmentPct = kNaN;
+        }
+
+        m.stepLatency = computeLatencyStats(std::move(rt.latencySec));
+        out.tenants.push_back(std::move(m));
+    }
+    out.placedCount = n - out.rejectedCount;
+    out.meanQosAttainmentPct =
+        qos_count > 0 ? qos_sum / double(qos_count) : kNaN;
+
+    std::size_t total_lat = 0;
+    for (const PodRt &pod : pods)
+        total_lat += pod.latencySec.size();
+    std::vector<double> all_lat;
+    all_lat.reserve(total_lat);
+
+    out.pods.reserve(pods.size());
+    for (std::size_t p = 0; p < pods.size(); ++p) {
+        PodRt &pod = pods[p];
+        const PodSpec &ps = spec.pods[p];
+        FleetPodReport r;
+        r.name = ps.name;
+        r.configName = ps.config.name;
+        r.chips = ps.chips;
+        r.backend = ps.backendName();
+        r.placed = pod.placed;
+        r.migratedIn = pod.migIn;
+        r.migratedOut = pod.migOut;
+        r.ended = pod_ended[p];
+        r.stepsDone = pod.steps;
+        r.busySec = pod.busySec;
+        r.utilization = safeRatio(pod.busySec, out.makespanSec);
+        r.energyJ = pod.energyJ;
+        r.contextSwitches = pod.switches;
+        r.switchSec = pod.switchSec;
+        r.switchEnergyJ = pod.switchEnergyJ;
+        r.migrationSec = pod.migSec;
+        r.migrationEnergyJ = pod.migEnergyJ;
+        r.migrationBytes = pod.migBytes;
+        r.meanQosAttainmentPct =
+            pod_qos_count[p] > 0
+                ? pod_qos_sum[p] / double(pod_qos_count[p])
+                : kNaN;
+        all_lat.insert(all_lat.end(), pod.latencySec.begin(),
+                       pod.latencySec.end());
+        r.stepLatency = computeLatencyStats(std::move(pod.latencySec));
+
+        out.totalEnergyJ += pod.energyJ;
+        out.contextSwitches += pod.switches;
+        out.pods.push_back(std::move(r));
+    }
+    for (FleetPodReport &r : out.pods)
+        r.energyShare = safeRatio(r.energyJ, out.totalEnergyJ);
+    out.aggStepLatency = computeLatencyStats(std::move(all_lat));
+}
+
+} // namespace
+
+FleetResult
+simulateFleet(const FleetSpec &spec, const ArrivalTrace &trace,
+              SweepRunner &runner, int threads)
+{
+    FleetResult out;
+    out.fleetName = spec.name;
+    out.traceName = trace.name;
+    out.policy = spec.policy;
+    out.placement = spec.placement;
+    out.quantumIters = spec.quantumIters;
+    out.wallLimitSec = spec.wallLimitSec;
+
+    out.error = spec.validationError();
+    if (!out.ok())
+        return out;
+    out.error = trace.validationError(spec.wallLimitSec > 0.0);
+    if (!out.ok())
+        return out;
+    if (trace.jobs.size() >= std::size_t(std::uint32_t(-1))) {
+        out.error = "trace exceeds the fleet engine's session limit";
+        return out;
+    }
+
+    FleetSim sim(spec, trace, out);
+    sim.n = trace.jobs.size();
+    out.error = sim.price(runner);
+    if (!out.ok())
+        return out;
+
+    sim.run(threads);
+    sim.assemble();
+    return out;
+}
+
+FleetResult
+simulateFleet(const FleetSpec &spec, const ArrivalTrace &trace)
+{
+    SweepRunner runner;
+    return simulateFleet(spec, trace, runner);
+}
+
+} // namespace diva

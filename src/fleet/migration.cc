@@ -1,0 +1,62 @@
+#include "fleet/migration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "energy/energy_model.h"
+#include "mem/dram_model.h"
+
+namespace diva
+{
+
+MigrationCost
+migrationCost(const PodSpec &src, const PodSpec &dst,
+              double workingSetFraction)
+{
+    if (!std::isfinite(workingSetFraction) || workingSetFraction <= 0.0)
+        workingSetFraction = 1.0;
+    workingSetFraction = std::min(workingSetFraction, 1.0);
+
+    MigrationCost cost;
+    // The tenant's live state: its working-set share of every source
+    // chip's SRAM (chips drain concurrently, so drain time is one
+    // chip's transfer while bytes scale with the chip count).
+    const Bytes per_chip = Bytes(
+        std::ceil(double(src.config.sramBytes) * workingSetFraction));
+    const Bytes state_bytes = per_chip * Bytes(std::max(1, src.chips));
+
+    const DramModel src_dram(src.config);
+    const Cycles drain_cycles = src_dram.transferCycles(per_chip);
+    const double drain_sec = src.config.cyclesToSeconds(drain_cycles);
+
+    // Interconnect leg: the whole state crosses the inter-pod link at
+    // the slower end's bandwidth.
+    const double link_gbs =
+        std::min(src.pod.interconnectGBs, dst.pod.interconnectGBs);
+    const double wire_sec = double(state_bytes) / (link_gbs * 1e9);
+
+    // Refill: the state lands sharded over the destination's chips,
+    // which stream their shards from DRAM into SRAM concurrently.
+    const int dst_chips = std::max(1, dst.chips);
+    const Bytes dst_per_chip = Bytes(
+        std::ceil(double(state_bytes) / double(dst_chips)));
+    const DramModel dst_dram(dst.config);
+    const Cycles refill_cycles = dst_dram.transferCycles(dst_per_chip);
+    const double refill_sec = dst.config.cyclesToSeconds(refill_cycles);
+
+    cost.cycles = drain_cycles + refill_cycles;
+    cost.seconds = drain_sec + wire_sec + refill_sec;
+    // Both ends move the state across their SRAM port and DRAM
+    // interface; the engines idle powered for their local phase.
+    cost.dramBytes = 2 * state_bytes;
+    cost.energyJ =
+        double(cost.dramBytes) * (EnergyModel::kSramJoulesPerByte +
+                                  EnergyModel::kDramJoulesPerByte) +
+        EnergyModel::enginePowerW(src.config) * drain_sec *
+            double(std::max(1, src.chips)) +
+        EnergyModel::enginePowerW(dst.config) * refill_sec *
+            double(dst_chips);
+    return cost;
+}
+
+} // namespace diva

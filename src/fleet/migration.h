@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tenant-migration cost model: moving a tenant between pods drains its
+ * SRAM-resident working set to DRAM on the source (every source chip
+ * in parallel, as in the context-switch model), ships that state over
+ * the inter-pod interconnect, and refills the destination's SRAM from
+ * DRAM -- three dependent phases billed in cycles, seconds, joules and
+ * bytes through the same DramModel/EnergyModel constants the
+ * context-switch model uses. The partial-SRAM working-set fraction
+ * scales every phase: a tenant with a small live working set is cheap
+ * to move.
+ */
+
+#ifndef DIVA_FLEET_MIGRATION_H
+#define DIVA_FLEET_MIGRATION_H
+
+#include "common/types.h"
+#include "fleet/fleet.h"
+
+namespace diva
+{
+
+/** The full bill of moving one tenant between two pods. */
+struct MigrationCost
+{
+    /** Engine stall cycles (source drain + destination refill). */
+    Cycles cycles = 0;
+
+    /**
+     * End-to-end seconds the tenant is off the air: drain, interconnect
+     * transfer, refill -- sequential, none can overlap its successor.
+     */
+    double seconds = 0.0;
+
+    /** Joules: DRAM/SRAM movement on both ends + engine idle power. */
+    double energyJ = 0.0;
+
+    /** Off-chip bytes moved (source flush + destination refill). */
+    Bytes dramBytes = 0;
+};
+
+/**
+ * Price a migration from `src` to `dst`. `workingSetFraction` in
+ * (0, 1] is the share of the source SRAM that is live tenant state;
+ * out-of-range values clamp to whole-SRAM. The interconnect leg runs
+ * at the slower of the two pods' link bandwidths.
+ */
+MigrationCost migrationCost(const PodSpec &src, const PodSpec &dst,
+                            double workingSetFraction = 1.0);
+
+} // namespace diva
+
+#endif // DIVA_FLEET_MIGRATION_H

@@ -1,5 +1,8 @@
 #include "tenant/context_switch.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "energy/energy_model.h"
 #include "mem/dram_model.h"
 
@@ -7,18 +10,26 @@ namespace diva
 {
 
 ContextSwitchModel::ContextSwitchModel(const AcceleratorConfig &cfg,
-                                       int chips)
+                                       int chips,
+                                       double workingSetFraction)
 {
     if (chips < 1)
         chips = 1;
+    if (!std::isfinite(workingSetFraction) || workingSetFraction <= 0.0)
+        workingSetFraction = 1.0;
+    workingSetFraction = std::min(workingSetFraction, 1.0);
+    // The live working set is the SRAM share a switch actually moves;
+    // rounding up keeps a non-empty transfer for any fraction > 0.
+    const Bytes ws_bytes = Bytes(
+        std::ceil(double(cfg.sramBytes) * workingSetFraction));
     const DramModel dram(cfg);
     // Flush (SRAM -> DRAM write) and refill (DRAM -> SRAM read) are
     // two dependent streaming transfers: the refill cannot start until
     // the flush has drained, so each is charged its own access latency.
-    cost_.cycles = dram.transferCycles(cfg.sramBytes) +
-                   dram.transferCycles(cfg.sramBytes);
+    cost_.cycles =
+        dram.transferCycles(ws_bytes) + dram.transferCycles(ws_bytes);
     cost_.seconds = cfg.cyclesToSeconds(cost_.cycles);
-    const Bytes per_chip_bytes = 2 * cfg.sramBytes;
+    const Bytes per_chip_bytes = 2 * ws_bytes;
     cost_.dramBytes = per_chip_bytes * Bytes(chips);
     // Every byte crosses both the SRAM port and the DRAM interface;
     // the GEMM engine (and PPU) sit idle but powered for the stall.

@@ -10,6 +10,13 @@
  * over the stall, via the EnergyModel constants. On a pod every chip
  * flushes and refills its own SRAM in parallel, so time is unchanged
  * while energy and traffic scale with the chip count.
+ *
+ * By default a switch moves the whole SRAM. A working-set fraction
+ * f < 1 models partial-SRAM switches: only the tenant's live working
+ * set (f of the SRAM) is flushed and refilled, so every cost component
+ * shrinks proportionally -- strictly cheaper switches at the risk of a
+ * cold-start penalty the model deliberately leaves out (the flushed
+ * remainder is dead data by assumption).
  */
 
 #ifndef DIVA_TENANT_CONTEXT_SWITCH_H
@@ -43,10 +50,15 @@ class ContextSwitchModel
   public:
     /**
      * Model a switch on `cfg`; `chips` > 1 bills a pod where each chip
-     * flushes/refills its own SRAM concurrently.
+     * flushes/refills its own SRAM concurrently. `workingSetFraction`
+     * in (0, 1] is the share of the SRAM a switch actually moves;
+     * 1 (the default) is the whole-SRAM flush/refill, < 1 models
+     * partial-SRAM working-set switches. Out-of-range fractions clamp
+     * into (0, 1].
      */
     explicit ContextSwitchModel(const AcceleratorConfig &cfg,
-                                int chips = 1);
+                                int chips = 1,
+                                double workingSetFraction = 1.0);
 
     const SwitchCost &cost() const { return cost_; }
 
