@@ -529,8 +529,12 @@ FleetSim::promote(PodRt &pod)
     while (!pod.gated.empty()) {
         const GateEntry &top = pod.gated.top();
         TenantRt &rt = tenants[top.idx];
-        if (top.gen != rt.gen || rt.state != TenantState::kGated ||
-            rt.pod != p) {
+        // rt.pod must be tested first: it is only written at
+        // sequential epoch boundaries, so that read is race-free even
+        // when the tenant migrated away and its new pod's epoch is
+        // concurrently mutating rt.gen/rt.state.
+        if (rt.pod != p || top.gen != rt.gen ||
+            rt.state != TenantState::kGated) {
             pod.gated.pop();
             continue;
         }
@@ -561,8 +565,9 @@ FleetSim::podNextEventSec(PodRt &pod)
     while (!pod.gated.empty()) {
         const GateEntry &top = pod.gated.top();
         const TenantRt &rt = tenants[top.idx];
-        if (top.gen != rt.gen || rt.state != TenantState::kGated ||
-            rt.pod != p) {
+        // rt.pod first -- see promote() for the data-race rationale.
+        if (rt.pod != p || top.gen != rt.gen ||
+            rt.state != TenantState::kGated) {
             pod.gated.pop();
             continue;
         }
@@ -836,6 +841,11 @@ FleetSim::migrate(std::uint32_t idx, std::size_t srcP,
     dst.migBytes += mc.dramBytes;
     dst.energyJ += mc.energyJ;
     dst.busySec += mc.seconds;
+    // The transfer occupies [nowSec, nowSec + mc.seconds]; extend the
+    // pod's active span so utilization = busySec / makespan stays <= 1
+    // when a migration lands after the pod's last step.
+    dst.lastActiveSec =
+        std::max(dst.lastActiveSec, nowSec + mc.seconds);
     dst.members.push_back(idx);
     ++out.migrations;
     out.migrationSec += mc.seconds;

@@ -78,7 +78,9 @@ choosePod(PlacementKind kind, const std::vector<PodLoadView> &pods,
             (primary <= best_primary + kEps &&
              secondary < best_secondary - kEps)) {
             best = p;
-            best_primary = primary;
+            // Keep the running minimum: a within-kEps tie-break winner
+            // must not raise the bar later pods get compared against.
+            best_primary = std::min(best_primary, primary);
             best_secondary = secondary;
         }
     }

@@ -248,6 +248,11 @@ TEST(FleetMigration, RebalanceMovesLoadAndCostsReconcile)
                 1e-9 * std::max(1.0, ten_energy));
     for (const FleetTenantMetrics &t : r.tenants)
         EXPECT_TRUE(t.completed) << t.job.name;
+    // Migration seconds are billed as destination busy time, so they
+    // must also extend the pod's active span: utilization stays <= 1
+    // even when a transfer lands after the pod's last step.
+    for (const FleetPodReport &p : r.pods)
+        EXPECT_LE(p.utilization, 1.0 + 1e-9) << p.name;
 }
 
 TEST(FleetBudget, PowerCapPreemptsLowPriorityFirst)
