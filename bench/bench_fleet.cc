@@ -3,15 +3,18 @@
  * Fleet-engine throughput benchmark: replays generated diurnal traces
  * on 8- and 64-pod fleets (load-aware placement, rebalance on) and
  * reports how fast the engine chews through sessions. Besides the
- * google-benchmark microbenchmarks it writes BENCH_fleet.json --
- * sessions/sec, migrations/sec and the isolated-cost plan-cache hit
- * rate per fleet size -- so CI can track the fleet perf trajectory.
+ * google-benchmark microbenchmarks it writes BENCH_fleet.json (path
+ * overridable with --out) -- sessions/sec, serve-core events/sec,
+ * migrations/sec and the isolated-cost plan-cache hit rate per fleet
+ * size -- so CI can track the fleet perf trajectory.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <fstream>
+#include <chrono>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "arrivals/generate.h"
 #include "bench_util.h"
@@ -75,6 +78,7 @@ struct ReplayFigures
     int pods = 0;
     std::size_t sessions = 0;
     double sessionsPerSec = 0.0;
+    double eventsPerSec = 0.0;
     double migrationsPerSec = 0.0;
     double planHitRate = 0.0;
 };
@@ -98,6 +102,7 @@ timeReplay(int pods, int sessions, SweepRunner &runner)
     f.pods = pods;
     f.sessions = trace.jobs.size();
     f.sessionsPerSec = double(trace.jobs.size()) / sec;
+    f.eventsPerSec = double(r.coreCounters.events()) / sec;
     f.migrationsPerSec = double(r.migrations) / sec;
     const double lookups = double(r.planHits + r.planMisses);
     f.planHitRate = lookups > 0.0 ? double(r.planHits) / lookups : 0.0;
@@ -105,30 +110,41 @@ timeReplay(int pods, int sessions, SweepRunner &runner)
 }
 
 void
-writeBenchJson(const std::vector<ReplayFigures> &figures)
+writeFleetJson(const std::string &path,
+               const std::vector<ReplayFigures> &figures)
 {
-    std::ofstream os("BENCH_fleet.json");
-    os << "{\n  \"fleets\": [\n";
-    for (std::size_t i = 0; i < figures.size(); ++i) {
-        const ReplayFigures &f = figures[i];
-        os << "    {\"pods\": " << f.pods
-           << ", \"sessions\": " << f.sessions
-           << ", \"sessions_per_sec\": " << jsonNumber(f.sessionsPerSec)
-           << ", \"migrations_per_sec\": "
-           << jsonNumber(f.migrationsPerSec)
-           << ", \"plan_cache_hit_rate\": " << jsonNumber(f.planHitRate)
-           << "}" << (i + 1 < figures.size() ? "," : "") << "\n";
+    std::vector<std::string> rows;
+    for (const ReplayFigures &f : figures) {
+        std::ostringstream row;
+        row << "{\"pods\": " << f.pods
+            << ", \"sessions\": " << f.sessions
+            << ", \"sessions_per_sec\": " << jsonNumber(f.sessionsPerSec)
+            << ", \"events_per_sec\": " << jsonNumber(f.eventsPerSec)
+            << ", \"migrations_per_sec\": "
+            << jsonNumber(f.migrationsPerSec)
+            << ", \"plan_cache_hit_rate\": " << jsonNumber(f.planHitRate)
+            << "}";
+        rows.push_back(row.str());
     }
-    os << "  ]\n}\n";
+    benchutil::writeBenchJson(
+        path, "fleet",
+        {{"pods", "count"},
+         {"sessions", "count"},
+         {"sessions_per_sec", "sessions replayed per wall-clock second"},
+         {"events_per_sec",
+          "serve-core events processed per wall-clock second"},
+         {"migrations_per_sec", "migrations per wall-clock second"},
+         {"plan_cache_hit_rate", "fraction in [0,1]"}},
+        "fleets", rows);
 }
 
 void
-printFleetThroughput()
+printFleetThroughput(const std::string &outPath)
 {
     std::cout << "=== fleet replay throughput (diurnal trace, "
                  "first-fit placement, rebalance on) ===\n";
-    TextTable table({"pods", "sessions", "sessions/s", "migrations/s",
-                     "plan hit rate"});
+    TextTable table({"pods", "sessions", "sessions/s", "events/s",
+                     "migrations/s", "plan hit rate"});
     std::vector<ReplayFigures> figures;
     for (int pods : {8, 64}) {
         // A fresh runner per fleet size keeps the hit rate a
@@ -142,12 +158,13 @@ printFleetThroughput()
         table.addRow({std::to_string(f.pods),
                       std::to_string(f.sessions),
                       TextTable::fmt(f.sessionsPerSec, 0),
+                      TextTable::fmt(f.eventsPerSec, 0),
                       TextTable::fmt(f.migrationsPerSec, 1),
                       TextTable::fmt(f.planHitRate, 3)});
     }
     table.print(std::cout);
-    writeBenchJson(figures);
-    std::cout << "\nwrote BENCH_fleet.json\n\n";
+    writeFleetJson(outPath, figures);
+    std::cout << "\nwrote " << outPath << "\n\n";
 }
 
 void
@@ -179,7 +196,9 @@ BENCHMARK(BM_FleetReplay)
 int
 main(int argc, char **argv)
 {
-    printFleetThroughput();
+    const std::string out =
+        benchutil::benchOutPath(argc, argv, "BENCH_fleet.json");
+    printFleetThroughput(out);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -11,6 +11,8 @@
 #define DIVA_BENCH_BENCH_UTIL_H
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <utility>
 #include <string>
@@ -100,6 +102,100 @@ designPoints()
 {
     return {tpuV3Ws(), systolicOs(true), divaDefault(false),
             divaDefault(true)};
+}
+
+/**
+ * `git describe --always --dirty` of the checkout the bench runs in,
+ * or "unknown" outside a git work tree. Stamped into every
+ * BENCH_*.json so a tracked perf number is attributable to a commit.
+ */
+inline std::string
+gitDescribe()
+{
+    std::string out = "unknown";
+#ifndef _WIN32
+    if (std::FILE *pipe =
+            ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+        char buf[256];
+        std::string raw;
+        while (std::fgets(buf, sizeof(buf), pipe))
+            raw += buf;
+        const int rc = ::pclose(pipe);
+        while (!raw.empty() &&
+               (raw.back() == '\n' || raw.back() == '\r'))
+            raw.pop_back();
+        if (rc == 0 && !raw.empty() &&
+            raw.find('"') == std::string::npos &&
+            raw.find('\\') == std::string::npos)
+            out = raw;
+    }
+#endif
+    return out;
+}
+
+/**
+ * Consume `--out <path>` / `--out=<path>` from argv (they must be
+ * stripped before benchmark::Initialize, which rejects flags it does
+ * not know) and return the BENCH_*.json destination, `def` when the
+ * flag is absent.
+ */
+inline std::string
+benchOutPath(int &argc, char **argv, const std::string &def)
+{
+    std::string path = def;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--out=", 0) == 0) {
+            path = arg.substr(6);
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    return path;
+}
+
+/** One BENCH_*.json metric: field name plus the unit it is read in. */
+struct BenchField
+{
+    std::string name;
+    std::string unit;
+};
+
+/**
+ * Write one BENCH_*.json: a metadata prologue (bench name, git
+ * describe, a units map covering every metric field) followed by one
+ * array of pre-rendered row objects. All three bench emitters
+ * (bench_serve, bench_sweep, bench_fleet) share this shape so
+ * ci/check_bench.py can diff any of them against its baseline.
+ */
+inline bool
+writeBenchJson(const std::string &path, const std::string &bench,
+               const std::vector<BenchField> &units,
+               const std::string &arrayName,
+               const std::vector<std::string> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "{\n  \"bench\": \"" << bench << "\",\n  \"git\": \""
+       << gitDescribe() << "\",\n  \"units\": {\n";
+    for (std::size_t i = 0; i < units.size(); ++i)
+        os << "    \"" << units[i].name << "\": \"" << units[i].unit
+           << "\"" << (i + 1 < units.size() ? "," : "") << "\n";
+    os << "  },\n  \"" << arrayName << "\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        os << "    " << rows[i] << (i + 1 < rows.size() ? "," : "")
+           << "\n";
+    os << "  ]\n}\n";
+    os.flush();
+    return bool(os);
 }
 
 } // namespace benchutil

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json against its checked-in baseline.
+
+Usage: check_bench.py BASELINE CURRENT [--max-drop 0.30]
+
+Every bench JSON has the shape
+
+    {"bench": "...", "git": "...", "units": {...},
+     "<rows>": [{<key>: ..., "<field>_per_sec": ..., ...}, ...]}
+
+Rows are matched between baseline and current by their key field
+("mode", "phase" or "pods", whichever the rows carry), and every
+throughput field (name ending in _per_sec or _per_min) must not drop
+by more than --max-drop relative to the baseline.  Non-throughput
+fields (counts, hit rates, ratios) are reported but never gate: they
+describe the workload, not the machine.
+
+Exits 1 when any throughput field regresses past the threshold, or
+when a baseline row has no counterpart in the current run.
+"""
+
+import argparse
+import json
+import sys
+
+KEY_FIELDS = ("mode", "phase", "pods")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rows = None
+    for name, value in doc.items():
+        if name != "units" and isinstance(value, list):
+            rows = value
+            break
+    if rows is None:
+        sys.exit(f"{path}: no row array found")
+    return doc, rows
+
+
+def row_key(row):
+    for field in KEY_FIELDS:
+        if field in row:
+            return str(row[field])
+    sys.exit(f"row has none of the key fields {KEY_FIELDS}: {row}")
+
+
+def throughput_fields(row):
+    return [
+        name
+        for name, value in row.items()
+        if isinstance(value, (int, float))
+        and (name.endswith("_per_sec") or name.endswith("_per_min"))
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput drop "
+        "(default 0.30 = 30%%)",
+    )
+    args = parser.parse_args()
+
+    base_doc, base_rows = load(args.baseline)
+    _, cur_rows = load(args.current)
+    current_by_key = {row_key(r): r for r in cur_rows}
+
+    bench = base_doc.get("bench", "?")
+    failures = []
+    for base in base_rows:
+        key = row_key(base)
+        cur = current_by_key.get(key)
+        if cur is None:
+            failures.append(f"[{bench}/{key}] row missing from current run")
+            continue
+        for field in throughput_fields(base):
+            want = float(base[field])
+            got = float(cur.get(field, 0.0))
+            if want <= 0.0:
+                continue
+            ratio = got / want
+            status = "ok"
+            if ratio < 1.0 - args.max_drop:
+                status = "REGRESSED"
+                failures.append(
+                    f"[{bench}/{key}] {field}: {got:.3g} is "
+                    f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
+                    f"{want:.3g} (limit {args.max_drop * 100.0:.0f}%)"
+                )
+            print(
+                f"{bench:>6}/{key:<18} {field:<22} "
+                f"base={want:>12.3g} cur={got:>12.3g} "
+                f"({ratio * 100.0:6.1f}%) {status}"
+            )
+
+    if failures:
+        print()
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    print(f"{bench}: all throughput fields within "
+          f"{args.max_drop * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

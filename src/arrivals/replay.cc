@@ -79,7 +79,7 @@ serveWithAdmission(const ServeSpec &serve,
             out.tenants.push_back(
                 rejectedMetrics(priced.workload.jobs[i], costs[i]));
         out.meanQosAttainmentPct = kNaN;
-        out.aggStepLatency = computeLatencyStats({});
+        out.aggStepLatency = computeLatencyStatsSortedMean({});
         return out;
     }
 

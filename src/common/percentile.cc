@@ -12,6 +12,28 @@ namespace
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
+/** Nearest rank for percentile p over n samples: 1-based, clamped. */
+std::size_t
+nearestRank(double p, std::size_t n)
+{
+    p = std::min(100.0, std::max(0.0, p));
+    std::size_t rank = std::size_t(std::ceil(p / 100.0 * double(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return rank;
+}
+
+/** Drop NaNs in place; the survivors keep their relative order. */
+void
+dropNaNs(std::vector<double> &samples)
+{
+    samples.erase(std::remove_if(samples.begin(), samples.end(),
+                                 [](double v) { return std::isnan(v); }),
+                  samples.end());
+}
+
 } // namespace
 
 double
@@ -19,23 +41,59 @@ percentileSorted(const std::vector<double> &sorted, double p)
 {
     if (sorted.empty())
         return kNaN;
-    p = std::min(100.0, std::max(0.0, p));
-    // Nearest rank: ceil(p/100 * n), 1-based; p=0 maps to the minimum.
-    const std::size_t n = sorted.size();
-    std::size_t rank = std::size_t(std::ceil(p / 100.0 * double(n)));
-    if (rank < 1)
-        rank = 1;
-    if (rank > n)
-        rank = n;
-    return sorted[rank - 1];
+    return sorted[nearestRank(p, sorted.size()) - 1];
 }
 
 LatencyStats
 computeLatencyStats(std::vector<double> samples)
 {
-    samples.erase(std::remove_if(samples.begin(), samples.end(),
-                                 [](double v) { return std::isnan(v); }),
-                  samples.end());
+    dropNaNs(samples);
+    LatencyStats out;
+    if (samples.empty()) {
+        out.meanSec = out.p50Sec = out.p95Sec = out.p99Sec = out.maxSec =
+            kNaN;
+        return out;
+    }
+    const std::size_t n = samples.size();
+    out.count = n;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    out.meanSec = sum / double(n);
+    out.maxSec = *std::max_element(samples.begin(), samples.end());
+
+    // One O(n) selection per rank instead of an O(n log n) full sort.
+    // Each nth_element leaves [first, nth) <= *nth <= (nth, last), so
+    // selecting the (non-decreasing) ranks in order lets every later
+    // selection start past the previous rank. The selected values are
+    // the same elements a full sort would index: bit-identical
+    // nearest-rank percentiles, cheaper tails.
+    const double ps[3] = {50.0, 95.0, 99.0};
+    double vals[3];
+    std::size_t prev = 0; // samples[0 .. prev) already partitioned off
+    std::size_t prev_rank = 0;
+    for (int i = 0; i < 3; ++i) {
+        const std::size_t rank = nearestRank(ps[i], n);
+        if (i > 0 && rank == prev_rank) {
+            vals[i] = vals[i - 1];
+            continue;
+        }
+        std::nth_element(samples.begin() + prev,
+                         samples.begin() + (rank - 1), samples.end());
+        vals[i] = samples[rank - 1];
+        prev = rank;
+        prev_rank = rank;
+    }
+    out.p50Sec = vals[0];
+    out.p95Sec = vals[1];
+    out.p99Sec = vals[2];
+    return out;
+}
+
+LatencyStats
+computeLatencyStatsSortedMean(std::vector<double> samples)
+{
+    dropNaNs(samples);
     LatencyStats out;
     if (samples.empty()) {
         out.meanSec = out.p50Sec = out.p95Sec = out.p99Sec = out.maxSec =

@@ -1,12 +1,15 @@
 /**
  * @file
- * Exact-sort order statistics for latency samples. Serving-systems
+ * Exact order statistics for latency samples. Serving-systems
  * tail-latency reporting (p50/p95/p99) uses the nearest-rank
- * definition over the fully sorted sample set -- no interpolation, no
- * streaming sketches -- so two runs over the same samples produce the
- * same bytes and a percentile is always a value that actually
- * occurred. NaN samples (e.g. steps that never ran) are excluded up
- * front rather than poisoning the sort.
+ * definition -- no interpolation, no streaming sketches -- so two
+ * runs over the same samples produce the same bytes and a percentile
+ * is always a value that actually occurred. The workhorse
+ * computeLatencyStats selects each rank with std::nth_element (O(n)
+ * per rank instead of one O(n log n) sort; the selected values are
+ * bit-identical to indexing a full sort). NaN samples (e.g. steps
+ * that never ran) are excluded up front rather than poisoning the
+ * selection.
  */
 
 #ifndef DIVA_COMMON_PERCENTILE_H
@@ -39,11 +42,21 @@ struct LatencyStats
 };
 
 /**
- * Exact-sort stats over `samples` (taken by value; sorted in place).
- * NaN samples are dropped first; an empty (or all-NaN) set yields
- * count 0 with every statistic NaN.
+ * Exact stats over `samples` (taken by value; reordered in place by
+ * the per-rank selections). NaN samples are dropped first; an empty
+ * (or all-NaN) set yields count 0 with every statistic NaN. The mean
+ * accumulates in the samples' input order.
  */
 LatencyStats computeLatencyStats(std::vector<double> samples);
+
+/**
+ * Same statistics via a full sort, with the mean accumulated in
+ * ascending order. The aggregate CSV/JSON rows are the only emitters
+ * of meanSec and have always summed the sorted samples, so they call
+ * this variant to keep their bytes stable; percentiles, count and max
+ * are bit-identical between the two functions.
+ */
+LatencyStats computeLatencyStatsSortedMean(std::vector<double> samples);
 
 } // namespace diva
 

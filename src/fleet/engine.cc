@@ -25,62 +25,25 @@ namespace
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr std::size_t kNone = std::size_t(-1);
 
 /** Float slack for wall-budget and deadline comparisons. */
 constexpr double kEps = 1e-9;
 
-/**
- * Policy-ordered ready-queue key. Each scheduling policy maps a tenant
- * onto (k1, k2) -- fifo: (arrival); priority: (-priority, arrival);
- * EDF: (next deadline, arrival); round-robin uses a per-pod monotone
- * sequence number instead -- with the tenant index as the final tie
- * break, so the first element of the set is always the policy's pick.
- */
-struct ReadyKey
-{
-    double k1 = 0.0;
-    double k2 = 0.0;
-    std::uint64_t seq = 0;
-    std::uint32_t idx = 0;
+using serve_core::TaskState;
 
-    bool operator<(const ReadyKey &o) const
-    {
-        if (k1 != o.k1)
-            return k1 < o.k1;
-        if (k2 != o.k2)
-            return k2 < o.k2;
-        if (seq != o.seq)
-            return seq < o.seq;
-        return idx < o.idx;
+serve_core::Policy
+corePolicy(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::kFifo: return serve_core::Policy::kFifo;
+      case SchedPolicy::kRoundRobin:
+        return serve_core::Policy::kRoundRobin;
+      case SchedPolicy::kPriority:
+        return serve_core::Policy::kPriority;
+      case SchedPolicy::kEdf: return serve_core::Policy::kEdf;
     }
-};
-
-/** Lazily-invalidated entry of a pod's gated-until min-heap. */
-struct GateEntry
-{
-    double dueSec = 0.0;
-    std::uint32_t idx = 0;
-    std::uint64_t gen = 0;
-
-    bool operator>(const GateEntry &o) const
-    {
-        if (dueSec != o.dueSec)
-            return dueSec > o.dueSec;
-        if (idx != o.idx)
-            return idx > o.idx;
-        return gen > o.gen;
-    }
-};
-
-enum class TenantState : std::uint8_t
-{
-    kPending,   // placed, waiting for its arrival time
-    kReady,     // in its pod's ready set
-    kGated,     // waiting for its next due time (open loop / migration)
-    kSuspended, // preempted by the energy budget
-    kDone,      // service over (completed, departed, starved, rejected)
-};
+    return serve_core::Policy::kRoundRobin;
+}
 
 /** Mutable per-tenant state tracked by the fleet engine. */
 struct TenantRt
@@ -95,23 +58,14 @@ struct TenantRt
     std::uint32_t cls = 0;
 
     std::size_t pod = kNoPod;
-    TenantState state = TenantState::kPending;
     bool admitted = true;
 
-    std::uint64_t done = 0;
-    std::uint64_t metDeadlines = 0;
-    /** Bumped whenever the tenant leaves a queue, invalidating stale
-     *  gated-heap entries that still carry the old generation. */
-    std::uint64_t gen = 0;
-    /** The key under which the tenant sits in ready (state kReady). */
-    ReadyKey readyKey;
+    /** Scheduling state (queue membership, generation, step counts),
+     *  owned by the shared event core. */
+    serve_core::TaskCore core;
 
-    double lastCompletion = 0.0;
     /** Earliest restart after a migration's state transfer. */
     double gateUntil = 0.0;
-
-    bool completed = false;
-    double completionSec = 0.0;
 
     double energyJ = 0.0;
     std::uint32_t switchesIn = 0;
@@ -132,17 +86,10 @@ struct PodRt
 {
     std::uint32_t type = 0;
 
-    double now = 0.0;
-    std::size_t last = kNone;
-
-    std::set<ReadyKey> ready;
-    /** Tenants first placed here, in arrival order (cursor consumed). */
-    std::vector<std::uint32_t> arrivals;
-    std::size_t arrCursor = 0;
-    std::priority_queue<GateEntry, std::vector<GateEntry>,
-                        std::greater<GateEntry>>
-        gated;
-    std::uint64_t rrSeq = 0;
+    /** The pod's serving executor (clock, ready set, arrival cursor,
+     *  gated heap), owned by the shared event core; `core.id` is the
+     *  pod index. */
+    serve_core::Executor core;
 
     /** Every tenant ever assigned here (lazily compacted). */
     std::vector<std::uint32_t> members;
@@ -169,17 +116,6 @@ struct PodRt
 
     std::vector<double> latencySec;
 };
-
-/** Deadline of step `k` (1-based); +inf without a target. */
-double
-stepDeadline(const TenantRt &rt, std::uint64_t k)
-{
-    if (rt.rate > 0.0)
-        return rt.arrival + double(k) / rt.rate;
-    if (rt.qosDeadline > 0.0)
-        return rt.qosDeadline;
-    return kInf;
-}
 
 /** Run the callable over [0, count) pod indices on `threads` workers.
  *  Each index touches disjoint state, so any schedule is race-free and
@@ -255,6 +191,9 @@ struct FleetSim
     std::size_t unfinished = 0;
     std::uint64_t epochId = 0;
 
+    /** Mode flags for the shared event core (fleet semantics). */
+    serve_core::Config coreCfg;
+
     FleetSim(const FleetSpec &s, const ArrivalTrace &t, FleetResult &o)
         : spec(s), trace(t), out(o)
     {
@@ -266,15 +205,63 @@ struct FleetSim
         return costs[std::size_t(type) * numCls + cls];
     }
 
+    // serve_core client interface (see serve_core::runUntil). FleetSim
+    // is the client for every pod's executor; epochs run pods in
+    // parallel, so these must only touch the executor's own pod state
+    // and the tenants it owns. `owns` reads rt.pod, which is written
+    // only at sequential epoch boundaries and is therefore race-free
+    // even while another pod's epoch mutates the tenant's gen/state.
+    bool owns(const serve_core::Executor &ex, std::uint32_t idx) const
+    {
+        return tenants[idx].pod == ex.id;
+    }
+    double arrivalSec(std::uint32_t i) const
+    {
+        return tenants[i].arrival;
+    }
+    double departSec(std::uint32_t i) const
+    {
+        return tenants[i].depart;
+    }
+    double rateSps(std::uint32_t i) const { return tenants[i].rate; }
+    double qosDeadlineSec(std::uint32_t i) const
+    {
+        return tenants[i].qosDeadline;
+    }
+    std::uint64_t stepLimit(std::uint32_t i) const
+    {
+        return tenants[i].steps;
+    }
+    int priority(std::uint32_t i) const
+    {
+        return tenants[i].priority;
+    }
+    double stepSeconds(const serve_core::Executor &ex,
+                       std::uint32_t i) const
+    {
+        return costOf(pods[ex.id].type, tenants[i].cls).seconds;
+    }
+    double switchSeconds(const serve_core::Executor &ex) const
+    {
+        return switchCosts[pods[ex.id].type].seconds;
+    }
+    serve_core::TaskCore &core(std::uint32_t i)
+    {
+        return tenants[i].core;
+    }
+    const serve_core::TaskCore &core(std::uint32_t i) const
+    {
+        return tenants[i].core;
+    }
+    void onSwitch(serve_core::Executor &ex, std::uint32_t i);
+    void onStep(serve_core::Executor &ex, std::uint32_t i,
+                double stepStartSec, double latencySec);
+    void onRetire(serve_core::Executor &ex, std::uint32_t i);
+
     /** Price every (pod type, tenant class) pair through the runner. */
     std::string price(SweepRunner &runner);
 
     void placeOne(std::size_t i);
-    ReadyKey makeKey(PodRt &pod, std::uint32_t idx);
-    void enqueueReady(PodRt &pod, std::uint32_t idx);
-    void promote(PodRt &pod);
-    double podNextEventSec(PodRt &pod);
-    void finishTenant(PodRt &pod, std::uint32_t idx);
     void runPodEpoch(std::size_t p, double t1);
 
     void suspendTenant(std::uint32_t idx);
@@ -447,7 +434,7 @@ FleetSim::placeOne(std::size_t i)
                   spec.podDemandCap);
     if (chosen == kNoPod) {
         rt.admitted = false;
-        rt.state = TenantState::kDone;
+        rt.core.state = TaskState::kDone;
         ++out.rejectedCount;
         --unfinished;
         return;
@@ -456,7 +443,7 @@ FleetSim::placeOne(std::size_t i)
     rt.pod = chosen;
     PodRt &pod = pods[chosen];
     ++pod.placed;
-    pod.arrivals.push_back(std::uint32_t(i));
+    pod.core.arrivals.push_back(std::uint32_t(i));
     pod.members.push_back(std::uint32_t(i));
 
     const double d = demandOnPod[chosen];
@@ -474,114 +461,53 @@ FleetSim::placeOne(std::size_t i)
         expiry[chosen].push({end, d});
 }
 
-ReadyKey
-FleetSim::makeKey(PodRt &pod, std::uint32_t idx)
+void
+FleetSim::onSwitch(serve_core::Executor &ex, std::uint32_t i)
 {
-    const TenantRt &rt = tenants[idx];
-    ReadyKey key;
-    key.idx = idx;
-    switch (spec.policy) {
-      case SchedPolicy::kFifo:
-        key.k1 = rt.arrival;
-        break;
-      case SchedPolicy::kPriority:
-        key.k1 = -double(rt.priority);
-        key.k2 = rt.arrival;
-        break;
-      case SchedPolicy::kEdf:
-        key.k1 = stepDeadline(rt, rt.done + 1);
-        key.k2 = rt.arrival;
-        break;
-      case SchedPolicy::kRoundRobin:
-        key.seq = ++pod.rrSeq;
-        break;
-    }
-    return key;
+    // Bill the tenant change (the core already advanced the clock by
+    // the stall): the engine idles while the outgoing working set
+    // flushes and the incoming one loads.
+    PodRt &pod = pods[ex.id];
+    TenantRt &rt = tenants[i];
+    const SwitchCost &sw = switchCosts[pod.type];
+    ++pod.switches;
+    ++rt.switchesIn;
+    pod.switchSec += sw.seconds;
+    pod.switchEnergyJ += sw.energyJ;
+    pod.busySec += sw.seconds;
+    pod.epochBusySec += sw.seconds;
+    pod.energyJ += sw.energyJ;
+    rt.energyJ += sw.energyJ;
+    pod.lastActiveSec = ex.nowSec;
 }
 
 void
-FleetSim::enqueueReady(PodRt &pod, std::uint32_t idx)
+FleetSim::onStep(serve_core::Executor &ex, std::uint32_t i,
+                 double /*stepStartSec*/, double latencySec)
 {
-    TenantRt &rt = tenants[idx];
-    rt.readyKey = makeKey(pod, idx);
-    rt.state = TenantState::kReady;
-    pod.ready.insert(rt.readyKey);
+    PodRt &pod = pods[ex.id];
+    TenantRt &rt = tenants[i];
+    const IterationCost &cost = costOf(pod.type, rt.cls);
+    pod.busySec += cost.seconds;
+    pod.epochBusySec += cost.seconds;
+    pod.energyJ += cost.energyJ;
+    rt.energyJ += cost.energyJ;
+    if (rt.busyStamp != epochId) {
+        rt.busyStamp = epochId;
+        rt.epochBusySec = 0.0;
+    }
+    rt.epochBusySec += cost.seconds;
+    ++pod.steps;
+    ++pod.epochSteps;
+    rt.latencySec.push_back(latencySec);
+    pod.latencySec.push_back(latencySec);
+    pod.lastActiveSec = ex.nowSec;
 }
 
 void
-FleetSim::promote(PodRt &pod)
+FleetSim::onRetire(serve_core::Executor &ex, std::uint32_t)
 {
-    const std::size_t p = std::size_t(&pod - pods.data());
-    while (pod.arrCursor < pod.arrivals.size()) {
-        const std::uint32_t idx = pod.arrivals[pod.arrCursor];
-        TenantRt &rt = tenants[idx];
-        // Stale entries (tenant migrated, suspended or rejected before
-        // its first run here) are consumed without effect.
-        if (rt.pod != p || rt.state != TenantState::kPending) {
-            ++pod.arrCursor;
-            continue;
-        }
-        if (rt.arrival > pod.now + kEps)
-            break;
-        ++pod.arrCursor;
-        enqueueReady(pod, idx);
-    }
-    while (!pod.gated.empty()) {
-        const GateEntry &top = pod.gated.top();
-        TenantRt &rt = tenants[top.idx];
-        // rt.pod must be tested first: it is only written at
-        // sequential epoch boundaries, so that read is race-free even
-        // when the tenant migrated away and its new pod's epoch is
-        // concurrently mutating rt.gen/rt.state.
-        if (rt.pod != p || top.gen != rt.gen ||
-            rt.state != TenantState::kGated) {
-            pod.gated.pop();
-            continue;
-        }
-        if (top.dueSec > pod.now + kEps)
-            break;
-        const std::uint32_t idx = top.idx;
-        pod.gated.pop();
-        enqueueReady(pod, idx);
-    }
-}
-
-/** Next wake-up (arrival or gated due) on this pod; +inf if none. */
-double
-FleetSim::podNextEventSec(PodRt &pod)
-{
-    const std::size_t p = std::size_t(&pod - pods.data());
-    double ev = kInf;
-    while (pod.arrCursor < pod.arrivals.size()) {
-        const std::uint32_t idx = pod.arrivals[pod.arrCursor];
-        const TenantRt &rt = tenants[idx];
-        if (rt.pod != p || rt.state != TenantState::kPending) {
-            ++pod.arrCursor;
-            continue;
-        }
-        ev = rt.arrival;
-        break;
-    }
-    while (!pod.gated.empty()) {
-        const GateEntry &top = pod.gated.top();
-        const TenantRt &rt = tenants[top.idx];
-        // rt.pod first -- see promote() for the data-race rationale.
-        if (rt.pod != p || top.gen != rt.gen ||
-            rt.state != TenantState::kGated) {
-            pod.gated.pop();
-            continue;
-        }
-        ev = std::min(ev, top.dueSec);
-        break;
-    }
-    return ev;
-}
-
-void
-FleetSim::finishTenant(PodRt &pod, std::uint32_t idx)
-{
-    tenants[idx].state = TenantState::kDone;
-    ++pod.finishedThisEpoch;
+    ++pods[ex.id].finishedThisEpoch;
 }
 
 void
@@ -591,174 +517,26 @@ FleetSim::runPodEpoch(std::size_t p, double t1)
     pod.epochBusySec = 0.0;
     pod.epochSteps = 0;
     pod.finishedThisEpoch = 0;
-
-    const SwitchCost &sw = switchCosts[pod.type];
-
-    auto bill = [&](TenantRt &rt, double sec, double joules) {
-        pod.busySec += sec;
-        pod.epochBusySec += sec;
-        pod.energyJ += joules;
-        rt.energyJ += joules;
-    };
-
-    for (;;) {
-        promote(pod);
-        if (pod.now + kEps >= t1)
-            break;
-
-        if (pod.ready.empty()) {
-            const double ev = podNextEventSec(pod);
-            if (!(ev < t1 - kEps))
-                break;
-            if (ev > pod.now)
-                pod.now = ev;
-            continue;
-        }
-
-        // Pick the first ready tenant that can still run a step;
-        // tenants that can never run again (their next step would end
-        // past their departure, or past the wall) retire on the spot.
-        std::size_t pick = kNone;
-        for (auto it = pod.ready.begin(); it != pod.ready.end();) {
-            const std::uint32_t idx = it->idx;
-            TenantRt &rt = tenants[idx];
-            const double step_sec = costOf(pod.type, rt.cls).seconds;
-            const double lead =
-                (pod.last != kNone && pod.last != idx) ? sw.seconds
-                                                       : 0.0;
-            if (rt.depart > 0.0 &&
-                pod.now + lead + step_sec > rt.depart + kEps) {
-                it = pod.ready.erase(it);
-                finishTenant(pod, idx);
-                continue;
-            }
-            if (wall > 0.0 &&
-                pod.now + lead + step_sec > wall + kEps) {
-                it = pod.ready.erase(it);
-                finishTenant(pod, idx);
-                continue;
-            }
-            pick = idx;
-            pod.ready.erase(it);
-            break;
-        }
-        if (pick == kNone)
-            continue; // everything retired; re-check events
-
-        TenantRt &rt = tenants[pick];
-        const IterationCost &cost = costOf(pod.type, rt.cls);
-
-        if (pod.last != kNone && pick != pod.last) {
-            // Bill the tenant change: the engine stalls while the
-            // outgoing working set flushes and the incoming one loads.
-            ++pod.switches;
-            ++rt.switchesIn;
-            pod.now += sw.seconds;
-            pod.switchSec += sw.seconds;
-            pod.switchEnergyJ += sw.energyJ;
-            bill(rt, sw.seconds, sw.energyJ);
-            pod.lastActiveSec = pod.now;
-        }
-        pod.last = pick;
-
-        // Run up to one quantum, ending early on completion, on the
-        // epoch/wall boundary, on departure, on the open-loop gate, or
-        // when a new arrival makes a fresh decision due.
-        for (std::uint64_t q = 0; q < spec.quantumIters; ++q) {
-            if (rt.steps > 0 && rt.done >= rt.steps)
-                break;
-            if (wall > 0.0 && pod.now + cost.seconds > wall + kEps)
-                break;
-            if (rt.depart > 0.0 &&
-                pod.now + cost.seconds > rt.depart + kEps)
-                break;
-            double due = 0.0;
-            if (rt.rate > 0.0) {
-                due = rt.arrival + double(rt.done) / rt.rate;
-                if (due > pod.now + kEps)
-                    break; // next step not issued yet
-            }
-            // Latency reference: the open-loop due time, or (closed
-            // loop) the moment the step became eligible.
-            const double eligible =
-                rt.rate > 0.0
-                    ? due
-                    : std::max(rt.arrival, rt.done > 0
-                                               ? rt.lastCompletion
-                                               : rt.arrival);
-            pod.now += cost.seconds;
-            bill(rt, cost.seconds, cost.energyJ);
-            if (rt.busyStamp != epochId) {
-                rt.busyStamp = epochId;
-                rt.epochBusySec = 0.0;
-            }
-            rt.epochBusySec += cost.seconds;
-            ++pod.steps;
-            ++pod.epochSteps;
-            ++rt.done;
-            const double lat = pod.now - eligible;
-            rt.latencySec.push_back(lat);
-            pod.latencySec.push_back(lat);
-            rt.lastCompletion = pod.now;
-            if (pod.now <= stepDeadline(rt, rt.done) + kEps)
-                ++rt.metDeadlines;
-            pod.lastActiveSec = pod.now;
-            if (rt.steps > 0 && rt.done >= rt.steps) {
-                rt.completed = true;
-                rt.completionSec = pod.now;
-                break;
-            }
-            if (pod.now + kEps >= t1)
-                break;
-            // Preemption point: a new arrival is waiting.
-            if (pod.arrCursor < pod.arrivals.size() &&
-                tenants[pod.arrivals[pod.arrCursor]].arrival <=
-                    pod.now + kEps)
-                break;
-        }
-
-        if (rt.completed) {
-            finishTenant(pod, pick);
-        } else if (rt.depart > 0.0 &&
-                   pod.now + cost.seconds > rt.depart + kEps) {
-            finishTenant(pod, pick);
-        } else if (rt.rate > 0.0) {
-            const double due =
-                rt.arrival + double(rt.done) / rt.rate;
-            if (due > pod.now + kEps) {
-                ++rt.gen;
-                rt.state = TenantState::kGated;
-                pod.gated.push({due, std::uint32_t(pick), rt.gen});
-            } else {
-                enqueueReady(pod, std::uint32_t(pick));
-            }
-        } else {
-            enqueueReady(pod, std::uint32_t(pick));
-        }
-    }
+    serve_core::runUntil(*this, pod.core, coreCfg, t1);
 }
 
 void
 FleetSim::suspendTenant(std::uint32_t idx)
 {
     TenantRt &rt = tenants[idx];
-    if (rt.state == TenantState::kReady)
-        pods[rt.pod].ready.erase(rt.readyKey);
-    ++rt.gen; // invalidates any gated entry
-    rt.state = TenantState::kSuspended;
+    serve_core::unschedule(*this, pods[rt.pod].core, idx);
+    rt.core.state = TaskState::kSuspended;
 }
 
 void
 FleetSim::resumeTenant(std::uint32_t idx)
 {
     TenantRt &rt = tenants[idx];
-    PodRt &pod = pods[rt.pod];
-    ++rt.gen;
-    const double due = rt.rate > 0.0
-                           ? rt.arrival + double(rt.done) / rt.rate
-                           : rt.arrival;
-    rt.state = TenantState::kGated;
-    pod.gated.push({std::max(due, rt.gateUntil), idx, rt.gen});
+    const double due =
+        rt.rate > 0.0 ? rt.arrival + double(rt.core.done) / rt.rate
+                      : rt.arrival;
+    serve_core::gate(*this, pods[rt.pod].core, idx,
+                     std::max(due, rt.gateUntil));
 }
 
 void
@@ -769,7 +547,7 @@ FleetSim::enforceBudget(double nowSec, double intervalSec)
                            totalEnergySoFar(), intervalSec);
     if (capW < 0.0) {
         for (std::size_t i = 0; i < n; ++i)
-            if (tenants[i].state == TenantState::kSuspended)
+            if (tenants[i].core.state == TaskState::kSuspended)
                 resumeTenant(std::uint32_t(i));
         return;
     }
@@ -778,7 +556,7 @@ FleetSim::enforceBudget(double nowSec, double intervalSec)
     std::vector<std::uint32_t> active;
     for (std::size_t i = 0; i < n; ++i) {
         const TenantRt &rt = tenants[i];
-        if (!rt.admitted || rt.state == TenantState::kDone ||
+        if (!rt.admitted || rt.core.state == TaskState::kDone ||
             rt.arrival > nowSec + kEps)
             continue;
         const IterationCost &c = costOf(pods[rt.pod].type, rt.cls);
@@ -804,9 +582,9 @@ FleetSim::enforceBudget(double nowSec, double intervalSec)
         if (want) {
             ++rt.suspensions;
             ++out.suspensions;
-            if (rt.state != TenantState::kSuspended)
+            if (rt.core.state != TaskState::kSuspended)
                 suspendTenant(active[k]);
-        } else if (rt.state == TenantState::kSuspended) {
+        } else if (rt.core.state == TaskState::kSuspended) {
             resumeTenant(active[k]);
         }
     }
@@ -820,11 +598,9 @@ FleetSim::migrate(std::uint32_t idx, std::size_t srcP,
     PodRt &src = pods[srcP];
     PodRt &dst = pods[dstP];
 
-    if (rt.state == TenantState::kReady)
-        src.ready.erase(rt.readyKey);
-    ++rt.gen;
-    if (src.last == idx)
-        src.last = kNone;
+    serve_core::unschedule(*this, src.core, idx);
+    if (src.core.last == idx)
+        src.core.last = serve_core::kNoTask;
 
     const MigrationCost &mc =
         migCosts[std::size_t(src.type) * types.size() + dst.type];
@@ -855,11 +631,11 @@ FleetSim::migrate(std::uint32_t idx, std::size_t srcP,
     // Off the air until the state transfer lands (and, open loop,
     // until its next step is due anyway).
     rt.gateUntil = nowSec + mc.seconds;
-    const double due = rt.rate > 0.0
-                           ? rt.arrival + double(rt.done) / rt.rate
-                           : rt.arrival;
-    rt.state = TenantState::kGated;
-    dst.gated.push({std::max(due, rt.gateUntil), idx, rt.gen});
+    const double due =
+        rt.rate > 0.0 ? rt.arrival + double(rt.core.done) / rt.rate
+                      : rt.arrival;
+    serve_core::gate(*this, dst.core, idx,
+                     std::max(due, rt.gateUntil));
 }
 
 std::size_t
@@ -895,11 +671,11 @@ FleetSim::rebalanceRound(double nowSec, double widthSec)
         for (std::size_t m = 0; m < src.members.size(); ++m) {
             const std::uint32_t idx = src.members[m];
             const TenantRt &rt = tenants[idx];
-            if (rt.pod != hot || rt.state == TenantState::kDone)
+            if (rt.pod != hot || rt.core.state == TaskState::kDone)
                 continue; // stale entry: compact it away
             src.members[keep++] = idx;
-            if (rt.state != TenantState::kReady &&
-                rt.state != TenantState::kGated)
+            if (rt.core.state != TaskState::kReady &&
+                rt.core.state != TaskState::kGated)
                 continue;
             const double busy =
                 rt.busyStamp == epochId ? rt.epochBusySec : 0.0;
@@ -930,9 +706,11 @@ FleetSim::globalNextEventSec()
     if (placeCursor < n)
         ev = trace.jobs[placeCursor].arrivalSec;
     for (PodRt &pod : pods) {
-        if (!pod.ready.empty())
-            ev = std::min(ev, pod.now);
-        ev = std::min(ev, podNextEventSec(pod));
+        if (!pod.core.ready.empty())
+            ev = std::min(ev, pod.core.nowSec);
+        ev = std::min(
+            ev, serve_core::peekNextEvent(*this, pod.core, coreCfg)
+                    .atSec);
     }
     return ev;
 }
@@ -964,13 +742,22 @@ FleetSim::run(int threads)
         rt.steps = job.steps;
         rt.priority = job.priority;
         rt.cls = jobCls[i];
-        rt.lastCompletion = job.arrivalSec;
+        rt.core.lastCompletionSec = job.arrivalSec;
     }
     pods.resize(spec.pods.size());
-    for (std::size_t p = 0; p < pods.size(); ++p)
+    for (std::size_t p = 0; p < pods.size(); ++p) {
         pods[p].type = podType[p];
+        pods[p].core.id = p;
+    }
     loadViews.assign(pods.size(), PodLoadView{});
     expiry.resize(pods.size());
+
+    // Fleet semantics on the shared core: enqueue-order round robin,
+    // rate gating always on, raw arrival preemption, epoch-form
+    // boundary comparisons (every tenant-mode flag stays off).
+    coreCfg.policy = corePolicy(spec.policy);
+    coreCfg.quantumIters = spec.quantumIters;
+    coreCfg.wallLimitSec = wall;
 
     const bool controls =
         spec.rebalance.enabled || spec.budget.enabled();
@@ -1039,16 +826,16 @@ FleetSim::run(int threads)
             unfinished > 0) {
             bool all_suspended = true;
             for (const TenantRt &rt : tenants)
-                if (rt.admitted && rt.state != TenantState::kDone &&
-                    rt.state != TenantState::kSuspended) {
+                if (rt.admitted && rt.core.state != TaskState::kDone &&
+                    rt.core.state != TaskState::kSuspended) {
                     all_suspended = false;
                     break;
                 }
             if (all_suspended) {
                 for (TenantRt &rt : tenants)
                     if (rt.admitted &&
-                        rt.state != TenantState::kDone)
-                        rt.state = TenantState::kDone;
+                        rt.core.state != TaskState::kDone)
+                        rt.core.state = TaskState::kDone;
                 unfinished = 0;
                 break;
             }
@@ -1077,15 +864,15 @@ FleetSim::assemble()
         m.job = job;
         m.finalPod = rt.pod;
         m.admitted = rt.admitted;
-        m.stepsDone = rt.done;
-        m.completed = rt.completed;
+        m.stepsDone = rt.core.done;
+        m.completed = rt.core.completed;
         m.switchesIn = rt.switchesIn;
         m.migrations = rt.migrations;
         m.migrationSec = rt.migSec;
         m.migrationEnergyJ = rt.migEnergyJ;
         m.suspensions = rt.suspensions;
         m.energyJ = rt.energyJ;
-        out.totalSteps += rt.done;
+        out.totalSteps += rt.core.done;
 
         if (!rt.admitted) {
             m.resolvedBatch = job.batch;
@@ -1106,36 +893,36 @@ FleetSim::assemble()
 
         // Departed: the session ended with steps outstanding and its
         // departure (not the wall budget) is what ended it.
-        m.departed = !rt.completed && job.departSec > 0.0 &&
+        m.departed = !rt.core.completed && job.departSec > 0.0 &&
                      (wall <= 0.0 || job.departSec < wall + kEps);
-        m.endSec = rt.completed
-                       ? rt.completionSec
+        m.endSec = rt.core.completed
+                       ? rt.core.completionSec
                        : (m.departed ? std::min(job.departSec,
                                                 out.makespanSec)
                                      : out.makespanSec);
         const double window =
             std::max(0.0, m.endSec - job.arrivalSec);
         m.achievedStepsPerSec =
-            window > 0.0 ? double(rt.done) / window
-                         : (rt.done > 0 ? kInf : 0.0);
+            window > 0.0 ? double(rt.core.done) / window
+                         : (rt.core.done > 0 ? kInf : 0.0);
         m.isolatedStepsPerSec = safeRatio(1.0, cost.seconds);
 
         // QoS attainment: of the steps the target demanded by endSec,
         // the share that met their deadline (see tenant/serve.cc).
         double demanded = kNaN;
         if (job.qosStepsPerSec > 0.0) {
-            demanded = rt.completed
+            demanded = rt.core.completed
                            ? double(job.steps)
                            : std::floor(window * job.qosStepsPerSec);
             if (job.steps > 0)
                 demanded = std::min(demanded, double(job.steps));
         } else if (job.qosDeadlineSec > 0.0) {
-            if (rt.completed || job.qosDeadlineSec <= m.endSec)
+            if (rt.core.completed || job.qosDeadlineSec <= m.endSec)
                 demanded = double(job.steps);
         }
         if (std::isfinite(demanded) && demanded > 0.0) {
             m.qosAttainmentPct =
-                100.0 * std::min(1.0, double(rt.metDeadlines) /
+                100.0 * std::min(1.0, double(rt.core.metDeadlines) /
                                           demanded);
             qos_sum += m.qosAttainmentPct;
             ++qos_count;
@@ -1191,11 +978,12 @@ FleetSim::assemble()
 
         out.totalEnergyJ += pod.energyJ;
         out.contextSwitches += pod.switches;
+        out.coreCounters += pod.core.counters;
         out.pods.push_back(std::move(r));
     }
     for (FleetPodReport &r : out.pods)
         r.energyShare = safeRatio(r.energyJ, out.totalEnergyJ);
-    out.aggStepLatency = computeLatencyStats(std::move(all_lat));
+    out.aggStepLatency = computeLatencyStatsSortedMean(std::move(all_lat));
 }
 
 } // namespace

@@ -31,6 +31,7 @@
 #include "arrivals/trace.h"
 #include "common/percentile.h"
 #include "fleet/fleet.h"
+#include "serve_core/core.h"
 #include "fleet/placement.h"
 #include "sweep/runner.h"
 
@@ -179,6 +180,14 @@ struct FleetResult
      *  emitted into the CSV/JSON so reruns stay byte-identical). */
     std::size_t planHits = 0;
     std::size_t planMisses = 0;
+
+    /**
+     * serve_core event counters summed over every pod (steps,
+     * dispatches, coalesced quanta, promotions, idle jumps, switches,
+     * retires). Reporting-only: not emitted in CSV/JSON, surfaced by
+     * bench_fleet.
+     */
+    serve_core::Counters coreCounters;
 
     /** Non-empty when the fleet could not run (bad spec, sim error). */
     std::string error;

@@ -1,0 +1,755 @@
+#pragma once
+
+/**
+ * @file
+ * Event-driven serve core shared by the tenant serve loop
+ * (src/tenant/serve.cc) and the fleet engine's per-pod simulation
+ * (src/fleet/engine.cc).
+ *
+ * The core replaces the old per-quantum all-tenant scan loops with a
+ * logical priority queue of typed events:
+ *
+ *   kArrival       a placed task's arrival time is reached
+ *                  (sorted arrival list consumed by a cursor)
+ *   kGateDue       an open-loop / migration-gated task's next step
+ *                  comes due (lazily-invalidated min-heap)
+ *   kQuantumExpiry the running task's quantum ends and a fresh
+ *                  scheduling decision is due (implicit in the
+ *                  dispatch loop; coalesced away when it would be a
+ *                  guaranteed no-op re-pick)
+ *   kControlEpoch  the caller's epoch boundary `t1` (the fleet's
+ *                  budget / rebalance / placement rounds run between
+ *                  epochs; the tenant loop passes one infinite epoch)
+ *   kRunEnd        the wall budget, or no event left to serve
+ *
+ * Ready tasks sit in a `std::set<ReadyKey>` ordered so that the first
+ * element is always the policy's pick (FIFO: arrival; priority:
+ * (-priority, arrival); EDF: (next deadline, arrival); round-robin: a
+ * monotone enqueue sequence number) with the task index as the final
+ * tie break.  Dispatching pops the pick, runs up to one quantum of
+ * iterations, and re-enqueues / gates / retires the task.
+ *
+ * The multi-quantum advance: when the quantum expires with no other
+ * ready task and no promotable event, re-enqueue + promote + re-pick
+ * is a guaranteed no-op that would hand the engine straight back to
+ * the same task.  The core skips that scheduler round trip and keeps
+ * stepping (counted in `Counters::coalescedQuanta`).  Time still
+ * accumulates serially, one `now += stepSeconds` per iteration, so
+ * every emitted double is bit-identical to the one-quantum-at-a-time
+ * loops this file replaced.
+ *
+ * The two historical loops differ in small, output-visible ways
+ * (comparator forms, preemption windows, gating conditions); those
+ * differences are preserved behind `Config` flags rather than silently
+ * unified -- byte-identical CSV/JSON output is a hard contract here.
+ *
+ * Clients provide task scalars, costs, and billing through a duck-typed
+ * interface (see `runUntil` for the expected members).  Cross-executor
+ * safety: every staleness check calls `client.owns(ex, idx)` *first*,
+ * because ownership is only written at sequential epoch boundaries and
+ * is therefore race-free to read while another executor concurrently
+ * mutates the task's generation or state.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace diva
+{
+namespace serve_core
+{
+
+constexpr double kEps = 1e-9;
+constexpr double kInfSec = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoTask = std::size_t(-1);
+
+enum class Policy : std::uint8_t
+{
+    kFifo,
+    kRoundRobin,
+    kPriority,
+    kEdf,
+};
+
+enum class EventType : std::uint8_t
+{
+    kNone,
+    kArrival,
+    kGateDue,
+    kQuantumExpiry,
+    kControlEpoch,
+    kRunEnd,
+};
+
+/** One entry of the logical event queue, as seen by the idle path. */
+struct Event
+{
+    EventType type = EventType::kNone;
+    double atSec = kInfSec;
+    std::uint32_t idx = 0;
+};
+
+/**
+ * Composite ordering key of the ready set.  FIFO: (arrival); priority:
+ * (-priority, arrival); EDF: (next deadline, arrival); round-robin
+ * uses a monotone sequence number instead -- with the task index as
+ * the final tie break, so the first element of the set is always the
+ * policy's pick.
+ */
+struct ReadyKey
+{
+    double k1 = 0.0;
+    double k2 = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t idx = 0;
+
+    bool operator<(const ReadyKey &o) const
+    {
+        if (k1 != o.k1)
+            return k1 < o.k1;
+        if (k2 != o.k2)
+            return k2 < o.k2;
+        if (seq != o.seq)
+            return seq < o.seq;
+        return idx < o.idx;
+    }
+};
+
+/** Lazily-invalidated entry of an executor's gated-until min-heap. */
+struct GateEntry
+{
+    double dueSec = 0.0;
+    std::uint32_t idx = 0;
+    std::uint64_t gen = 0;
+
+    bool operator>(const GateEntry &o) const
+    {
+        if (dueSec != o.dueSec)
+            return dueSec > o.dueSec;
+        if (idx != o.idx)
+            return idx > o.idx;
+        return gen > o.gen;
+    }
+};
+
+enum class TaskState : std::uint8_t
+{
+    kPending,   // placed, waiting for its arrival time
+    kReady,     // in its executor's ready set
+    kGated,     // waiting for its next due time (open loop / migration)
+    kSuspended, // preempted by the caller (fleet energy budget)
+    kDone,      // service over (completed, departed, starved, rejected)
+};
+
+/** Scheduling state the core owns for each task. */
+struct TaskCore
+{
+    TaskState state = TaskState::kPending;
+    /** Bumped whenever the task leaves a queue, invalidating stale
+     *  gated-heap entries that still carry the old generation. */
+    std::uint64_t gen = 0;
+    /** The key under which the task sits in ready (state kReady). */
+    ReadyKey readyKey;
+
+    std::uint64_t done = 0;
+    std::uint64_t metDeadlines = 0;
+    double lastCompletionSec = 0.0;
+    bool completed = false;
+    double completionSec = 0.0;
+};
+
+/** Per-executor event accounting, surfaced to the perf benches. */
+struct Counters
+{
+    std::uint64_t steps = 0;
+    std::uint64_t dispatches = 0;
+    /** Quantum expiries absorbed without a scheduler round trip. */
+    std::uint64_t coalescedQuanta = 0;
+    std::uint64_t promotions = 0; // arrival + gate-due events served
+    std::uint64_t idleJumps = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t retired = 0;
+
+    /** Discrete events the core processed (for events/sec rates). */
+    std::uint64_t events() const
+    {
+        return dispatches + coalescedQuanta + promotions + idleJumps +
+               retired;
+    }
+
+    Counters &operator+=(const Counters &o)
+    {
+        steps += o.steps;
+        dispatches += o.dispatches;
+        coalescedQuanta += o.coalescedQuanta;
+        promotions += o.promotions;
+        idleJumps += o.idleJumps;
+        switches += o.switches;
+        retired += o.retired;
+        return *this;
+    }
+};
+
+/** One serving executor (the whole engine for the tenant loop, one pod
+ *  for the fleet).  Epochs touch only their own executor's state. */
+struct Executor
+{
+    /** Caller-assigned id (the fleet's pod index). */
+    std::size_t id = 0;
+
+    double nowSec = 0.0;
+    std::size_t last = kNoTask;
+
+    std::set<ReadyKey> ready;
+    /** Tasks first placed here, in arrival order (cursor consumed). */
+    std::vector<std::uint32_t> arrivals;
+    std::size_t arrCursor = 0;
+    std::priority_queue<GateEntry, std::vector<GateEntry>,
+                        std::greater<GateEntry>>
+        gated;
+    std::uint64_t rrSeq = 0;
+    /** Round-robin index-rotation cursor (Config::rrIndexRotation). */
+    std::uint32_t rrNext = 0;
+
+    Counters counters;
+};
+
+/** Mode flags preserving the two historical loops' exact semantics. */
+struct Config
+{
+    Policy policy = Policy::kRoundRobin;
+    std::uint64_t quantumIters = 1;
+    /** Wall-clock budget in simulated seconds; 0 = unbounded. */
+    double wallLimitSec = 0.0;
+
+    /** Tenant round-robin rotates over task indices (first ready index
+     *  at or after the previous pick + 1) instead of enqueue order. */
+    bool rrIndexRotation = false;
+    /** Rate-target tasks gate on their next due time.  The fleet
+     *  always gates; the tenant loop only under --steps 0 replay. */
+    bool rateGates = true;
+    /** An arrival only preempts the quantum if it lands strictly after
+     *  the current iteration's start (tenant loop); the fleet preempts
+     *  on any arrival at or before `now`. */
+    bool strictArrivalPreempt = false;
+    /** The idle jump skips events whose task could never run a step
+     *  before its departure (tenant loop). */
+    bool idleSkipsBlocked = false;
+    /** No wall-fitting candidate ends the whole run (tenant loop); the
+     *  fleet retires unfitting tasks and keeps serving. */
+    bool endRunWhenNoWallFit = false;
+    /** Boundary comparisons use the tenant loop's wall-based forms
+     *  (`wall - now <= eps`) instead of the fleet's epoch forms
+     *  (`now + eps >= t1`).  Algebraically equal, bitwise not. */
+    bool wallBoundary = false;
+
+    /** Test/debug: take the multi-quantum fast path.  Off forces a
+     *  full scheduler round trip at every quantum expiry; the
+     *  schedule, clocks and billing must be bit-identical either way
+     *  (test_serve_core holds the core to that), only the
+     *  dispatch/coalesce counters shift. */
+    bool coalesce = true;
+};
+
+/** Deadline of step `k` (1-based) of task `idx`; +inf if untargeted. */
+template <class Client>
+inline double
+stepDeadlineSec(const Client &c, std::uint32_t idx, std::uint64_t k)
+{
+    const double rate = c.rateSps(idx);
+    if (rate > 0.0)
+        return c.arrivalSec(idx) + double(k) / rate;
+    const double d = c.qosDeadlineSec(idx);
+    if (d > 0.0)
+        return d;
+    return kInfSec;
+}
+
+template <class Client>
+inline ReadyKey
+makeKey(const Client &c, Executor &ex, const Config &cfg,
+        std::uint32_t idx)
+{
+    ReadyKey key;
+    key.idx = idx;
+    switch (cfg.policy) {
+      case Policy::kFifo:
+        key.k1 = c.arrivalSec(idx);
+        break;
+      case Policy::kPriority:
+        key.k1 = -double(c.priority(idx));
+        key.k2 = c.arrivalSec(idx);
+        break;
+      case Policy::kEdf:
+        key.k1 = stepDeadlineSec(c, idx, c.core(idx).done + 1);
+        key.k2 = c.arrivalSec(idx);
+        break;
+      case Policy::kRoundRobin:
+        if (!cfg.rrIndexRotation)
+            key.seq = ++ex.rrSeq;
+        break;
+    }
+    return key;
+}
+
+template <class Client>
+inline void
+enqueueReady(Client &c, Executor &ex, const Config &cfg,
+             std::uint32_t idx)
+{
+    TaskCore &tc = c.core(idx);
+    tc.readyKey = makeKey(c, ex, cfg, idx);
+    tc.state = TaskState::kReady;
+    ex.ready.insert(tc.readyKey);
+}
+
+/** Park `idx` until `dueSec`; a fresh generation invalidates any older
+ *  heap entry the task may still have. */
+template <class Client>
+inline void
+gate(Client &c, Executor &ex, std::uint32_t idx, double dueSec)
+{
+    TaskCore &tc = c.core(idx);
+    ++tc.gen;
+    tc.state = TaskState::kGated;
+    ex.gated.push({dueSec, idx, tc.gen});
+}
+
+/** Pull `idx` out of its executor's queues (suspension, migration).
+ *  The caller sets the task's next state. */
+template <class Client>
+inline void
+unschedule(Client &c, Executor &ex, std::uint32_t idx)
+{
+    TaskCore &tc = c.core(idx);
+    if (tc.state == TaskState::kReady)
+        ex.ready.erase(tc.readyKey);
+    ++tc.gen; // invalidates any gated entry
+}
+
+template <class Client>
+inline void
+retire(Client &c, Executor &ex, std::uint32_t idx)
+{
+    c.core(idx).state = TaskState::kDone;
+    ++ex.counters.retired;
+    c.onRetire(ex, idx);
+}
+
+/** Serve every arrival and gate-due event at or before `ex.nowSec`. */
+template <class Client>
+inline void
+promote(Client &c, Executor &ex, const Config &cfg)
+{
+    while (ex.arrCursor < ex.arrivals.size()) {
+        const std::uint32_t idx = ex.arrivals[ex.arrCursor];
+        // Stale entries (task migrated, suspended or rejected before
+        // its first run here) are consumed without effect.  `owns` is
+        // tested first: ownership is only written at sequential epoch
+        // boundaries, so that read is race-free even when the task
+        // migrated away and its new executor's epoch is concurrently
+        // mutating its generation/state.
+        if (!c.owns(ex, idx) ||
+            c.core(idx).state != TaskState::kPending) {
+            ++ex.arrCursor;
+            continue;
+        }
+        if (c.arrivalSec(idx) > ex.nowSec + kEps)
+            break;
+        ++ex.arrCursor;
+        ++ex.counters.promotions;
+        enqueueReady(c, ex, cfg, idx);
+    }
+    while (!ex.gated.empty()) {
+        const GateEntry &top = ex.gated.top();
+        // `owns` first -- see the arrival scan for the rationale.
+        if (!c.owns(ex, top.idx) ||
+            top.gen != c.core(top.idx).gen ||
+            c.core(top.idx).state != TaskState::kGated) {
+            ex.gated.pop();
+            continue;
+        }
+        if (top.dueSec > ex.nowSec + kEps)
+            break;
+        const std::uint32_t idx = top.idx;
+        ex.gated.pop();
+        ++ex.counters.promotions;
+        enqueueReady(c, ex, cfg, idx);
+    }
+}
+
+/** Next pending arrival on this executor; +inf if none.  Consumes
+ *  stale cursor entries exactly like `promote` would. */
+template <class Client>
+inline double
+nextArrivalSec(Client &c, Executor &ex)
+{
+    while (ex.arrCursor < ex.arrivals.size()) {
+        const std::uint32_t idx = ex.arrivals[ex.arrCursor];
+        if (!c.owns(ex, idx) ||
+            c.core(idx).state != TaskState::kPending) {
+            ++ex.arrCursor;
+            continue;
+        }
+        return c.arrivalSec(idx);
+    }
+    return kInfSec;
+}
+
+/** Next valid gate-due on this executor; +inf if none. */
+template <class Client>
+inline double
+nextGateDueSec(Client &c, Executor &ex)
+{
+    while (!ex.gated.empty()) {
+        const GateEntry &top = ex.gated.top();
+        if (!c.owns(ex, top.idx) ||
+            top.gen != c.core(top.idx).gen ||
+            c.core(top.idx).state != TaskState::kGated) {
+            ex.gated.pop();
+            continue;
+        }
+        return top.dueSec;
+    }
+    return kInfSec;
+}
+
+/** Whether a step launched at `atSec` (plus the switch stall the task
+ *  would pay under the current `last`) would end past its departure.
+ *  `last` cannot change while the task waits, so a blocked verdict is
+ *  permanent. */
+template <class Client>
+inline bool
+departBlockedAt(const Client &c, const Executor &ex, std::uint32_t idx,
+                double atSec, double switchSec)
+{
+    const double dep = c.departSec(idx);
+    if (!(dep > 0.0))
+        return false;
+    const double lead =
+        (ex.last != kNoTask && ex.last != std::size_t(idx)) ? switchSec
+                                                            : 0.0;
+    return atSec + lead + c.stepSeconds(ex, idx) > dep + kEps;
+}
+
+/**
+ * The next wake-up event (arrival or gate-due) on this executor.
+ * Under `Config::idleSkipsBlocked` events whose task is permanently
+ * departure-blocked are skipped: blocked arrivals stay in the list
+ * (they still preempt a running quantum when they land), blocked
+ * gated tasks are retired on the spot (they can never run again and
+ * nothing else observes them).
+ */
+template <class Client>
+inline Event
+peekNextEvent(Client &c, Executor &ex, const Config &cfg)
+{
+    Event best;
+    const double sw = c.switchSeconds(ex);
+    std::size_t k = ex.arrCursor;
+    while (k < ex.arrivals.size()) {
+        const std::uint32_t idx = ex.arrivals[k];
+        if (!c.owns(ex, idx) ||
+            c.core(idx).state != TaskState::kPending) {
+            if (k == ex.arrCursor)
+                ++ex.arrCursor;
+            ++k;
+            continue;
+        }
+        const double a = c.arrivalSec(idx);
+        if (cfg.idleSkipsBlocked &&
+            departBlockedAt(c, ex, idx, a, sw)) {
+            ++k;
+            continue; // would run past its departure
+        }
+        best = {EventType::kArrival, a, idx};
+        break;
+    }
+    while (!ex.gated.empty()) {
+        const GateEntry &top = ex.gated.top();
+        if (!c.owns(ex, top.idx) ||
+            top.gen != c.core(top.idx).gen ||
+            c.core(top.idx).state != TaskState::kGated) {
+            ex.gated.pop();
+            continue;
+        }
+        if (cfg.idleSkipsBlocked &&
+            departBlockedAt(c, ex, top.idx, top.dueSec, sw)) {
+            const std::uint32_t idx = top.idx;
+            ex.gated.pop();
+            retire(c, ex, idx);
+            continue;
+        }
+        if (top.dueSec < best.atSec)
+            best = {EventType::kGateDue, top.dueSec, top.idx};
+        break;
+    }
+    return best;
+}
+
+/**
+ * Serve one executor until the epoch boundary `t1` (pass +inf for an
+ * uninterrupted run), the wall budget, or event exhaustion.
+ *
+ * `Client` provides, duck-typed:
+ *   bool   owns(const Executor &, uint32_t idx) const
+ *   double arrivalSec(idx) / departSec(idx) / rateSps(idx) /
+ *          qosDeadlineSec(idx) const;  uint64_t stepLimit(idx) const;
+ *   int    priority(idx) const
+ *   double stepSeconds(const Executor &, idx) const
+ *   double switchSeconds(const Executor &) const
+ *   TaskCore &core(idx)  (and a const overload)
+ *   void   onSwitch(Executor &, idx)      -- bill the context switch
+ *   void   onStep(Executor &, idx, stepStartSec, latencySec)
+ *   void   onRetire(Executor &, idx)
+ */
+template <class Client>
+inline void
+runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
+{
+    const double wall = cfg.wallLimitSec;
+
+    // Both forms compare `now` against `bound - eps`; they are kept
+    // bit-exact to the loops they replaced, not merely equivalent.
+    auto atBoundary = [&]() {
+        return cfg.wallBoundary ? (wall > 0.0 && wall - ex.nowSec <= kEps)
+                                : (ex.nowSec + kEps >= t1);
+    };
+    auto idleEnds = [&](double ev) {
+        return cfg.wallBoundary
+                   ? (!std::isfinite(ev) ||
+                      (wall > 0.0 && ev + kEps >= wall))
+                   : !(ev < t1 - kEps);
+    };
+
+    for (;;) {
+        promote(c, ex, cfg);
+        if (atBoundary())
+            break;
+
+        if (ex.ready.empty()) {
+            const Event ev = peekNextEvent(c, ex, cfg);
+            if (idleEnds(ev.atSec))
+                break; // kRunEnd / kControlEpoch
+            if (ev.atSec > ex.nowSec)
+                ex.nowSec = ev.atSec;
+            ++ex.counters.idleJumps;
+            continue;
+        }
+
+        // Pick the first ready task (in policy order) that can still
+        // run a step.  Tasks that can never run again -- their next
+        // step would end past their departure, or past the wall --
+        // retire on the spot; under `endRunWhenNoWallFit` wall-unfit
+        // tasks are only skipped, and if nothing fits the run ends.
+        const double sw = c.switchSeconds(ex);
+        std::size_t pick = kNoTask;
+        bool saw_unfit = false;
+        auto scan = [&](std::set<ReadyKey>::iterator it) {
+            while (it != ex.ready.end()) {
+                const std::uint32_t idx = it->idx;
+                const double step_sec = c.stepSeconds(ex, idx);
+                const double lead =
+                    (ex.last != kNoTask && ex.last != std::size_t(idx))
+                        ? sw
+                        : 0.0;
+                const double dep = c.departSec(idx);
+                if (dep > 0.0 &&
+                    ex.nowSec + lead + step_sec > dep + kEps) {
+                    it = ex.ready.erase(it);
+                    retire(c, ex, idx);
+                    continue;
+                }
+                if (wall > 0.0 &&
+                    ex.nowSec + lead + step_sec > wall + kEps) {
+                    if (cfg.endRunWhenNoWallFit) {
+                        saw_unfit = true;
+                        ++it;
+                        continue;
+                    }
+                    it = ex.ready.erase(it);
+                    retire(c, ex, idx);
+                    continue;
+                }
+                pick = idx;
+                ex.ready.erase(it);
+                return;
+            }
+        };
+        if (cfg.policy == Policy::kRoundRobin && cfg.rrIndexRotation) {
+            // Rotate: first ready index at or after the cursor, else
+            // wrap to the smallest (the historical scheduler's pick).
+            ReadyKey from;
+            from.idx = ex.rrNext;
+            scan(ex.ready.lower_bound(from));
+            if (pick == kNoTask)
+                scan(ex.ready.begin());
+            if (pick != kNoTask)
+                ex.rrNext = std::uint32_t(pick) + 1;
+        } else {
+            scan(ex.ready.begin());
+        }
+        if (pick == kNoTask) {
+            if (saw_unfit)
+                break; // nothing fits the wall: the run is over
+            continue;  // everything retired; re-check events
+        }
+
+        ++ex.counters.dispatches;
+        if (ex.last != kNoTask && pick != ex.last) {
+            // Bill the task change: the engine stalls while the
+            // outgoing working set flushes and the incoming one loads.
+            ++ex.counters.switches;
+            ex.nowSec += sw;
+            c.onSwitch(ex, std::uint32_t(pick));
+        }
+        ex.last = pick;
+
+        const std::uint32_t pidx = std::uint32_t(pick);
+        TaskCore &tc = c.core(pidx);
+        const double step_sec = c.stepSeconds(ex, pidx);
+        const double arrival = c.arrivalSec(pidx);
+        const double dep = c.departSec(pidx);
+        const double rate = c.rateSps(pidx);
+        const bool rate_gated = cfg.rateGates && rate > 0.0;
+        const std::uint64_t limit = c.stepLimit(pidx);
+        // Strict-preempt scan pointer: consumed monotonically as the
+        // iteration start advances, never past unconsumed arrivals.
+        std::size_t peek = ex.arrCursor;
+
+        // Whether the quantum-expiry re-pick is a guaranteed no-op:
+        // no other ready task, no promotable event, boundary not hit.
+        // Then re-enqueue + promote + pick hands the engine straight
+        // back to this task and the round trip can be skipped.
+        auto canCoalesce = [&]() {
+            if (!cfg.coalesce)
+                return false;
+            if (!ex.ready.empty())
+                return false;
+            if (atBoundary())
+                return false;
+            // The runner must be able to step again; otherwise the
+            // dispatch-end transition (retire / gate / re-enqueue)
+            // must run.
+            if (limit > 0 && tc.done >= limit)
+                return false;
+            if (wall > 0.0 && ex.nowSec + step_sec > wall + kEps)
+                return false;
+            if (dep > 0.0 && ex.nowSec + step_sec > dep + kEps)
+                return false;
+            if (rate_gated &&
+                arrival + double(tc.done) / rate > ex.nowSec + kEps)
+                return false;
+            if (nextArrivalSec(c, ex) <= ex.nowSec + kEps)
+                return false;
+            if (nextGateDueSec(c, ex) <= ex.nowSec + kEps)
+                return false;
+            return true;
+        };
+
+        // Run quanta, ending early on completion, on the epoch/wall
+        // boundary, on departure, on the open-loop gate, or when a
+        // new arrival makes a fresh scheduling decision due.
+        bool dispatching = true;
+        while (dispatching) {
+            std::uint64_t q = 0;
+            for (; q < cfg.quantumIters; ++q) {
+                if (limit > 0 && tc.done >= limit) {
+                    dispatching = false;
+                    break;
+                }
+                if (wall > 0.0 &&
+                    ex.nowSec + step_sec > wall + kEps) {
+                    dispatching = false;
+                    break;
+                }
+                if (dep > 0.0 && ex.nowSec + step_sec > dep + kEps) {
+                    dispatching = false;
+                    break;
+                }
+                double due = 0.0;
+                if (rate_gated) {
+                    due = arrival + double(tc.done) / rate;
+                    if (due > ex.nowSec + kEps) {
+                        dispatching = false;
+                        break; // next step not issued yet
+                    }
+                }
+                // Latency reference: the open-loop due time, or
+                // (closed loop) the moment the step became eligible --
+                // arrival for the first step, the previous completion
+                // after that.
+                const double eligible =
+                    rate_gated
+                        ? due
+                        : std::max(arrival,
+                                   tc.done > 0 ? tc.lastCompletionSec
+                                               : arrival);
+                const double step_start = ex.nowSec;
+                ex.nowSec += step_sec;
+                ++tc.done;
+                ++ex.counters.steps;
+                c.onStep(ex, pidx, step_start, ex.nowSec - eligible);
+                tc.lastCompletionSec = ex.nowSec;
+                if (ex.nowSec <=
+                    stepDeadlineSec(c, pidx, tc.done) + kEps)
+                    ++tc.metDeadlines;
+                if (limit > 0 && tc.done >= limit) {
+                    tc.completed = true;
+                    tc.completionSec = ex.nowSec;
+                    dispatching = false;
+                    break;
+                }
+                if (!cfg.wallBoundary && ex.nowSec + kEps >= t1) {
+                    dispatching = false;
+                    break;
+                }
+                // Preemption point: a new arrival is waiting.
+                if (cfg.strictArrivalPreempt) {
+                    while (peek < ex.arrivals.size() &&
+                           c.arrivalSec(ex.arrivals[peek]) <=
+                               step_start + kEps)
+                        ++peek;
+                    if (peek < ex.arrivals.size() &&
+                        c.arrivalSec(ex.arrivals[peek]) <=
+                            ex.nowSec + kEps) {
+                        dispatching = false;
+                        break;
+                    }
+                } else if (ex.arrCursor < ex.arrivals.size() &&
+                           c.arrivalSec(ex.arrivals[ex.arrCursor]) <=
+                               ex.nowSec + kEps) {
+                    dispatching = false;
+                    break;
+                }
+            }
+            if (!dispatching)
+                break;
+            if (!canCoalesce())
+                break;
+            ++ex.counters.coalescedQuanta;
+        }
+
+        if (tc.completed) {
+            retire(c, ex, pidx);
+        } else if (dep > 0.0 && ex.nowSec + step_sec > dep + kEps) {
+            retire(c, ex, pidx);
+        } else if (rate_gated) {
+            const double due = arrival + double(tc.done) / rate;
+            if (due > ex.nowSec + kEps)
+                gate(c, ex, pidx, due);
+            else
+                enqueueReady(c, ex, cfg, pidx);
+        } else {
+            enqueueReady(c, ex, cfg, pidx);
+        }
+    }
+}
+
+} // namespace serve_core
+} // namespace diva

@@ -1,17 +1,22 @@
 #include "sweep/disk_cache.h"
 
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #ifndef _WIN32
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
+#include "common/logging.h"
 #include "sweep/emit.h"
 
 namespace diva
@@ -29,7 +34,7 @@ headerLine()
 
 /** FNV-1a 64-bit, printed as fixed-width hex in the record prefix. */
 std::string
-checksum(const std::string &payload)
+checksum(std::string_view payload)
 {
     std::uint64_t h = 0xcbf29ce484222325ull;
     for (unsigned char c : payload) {
@@ -42,14 +47,14 @@ checksum(const std::string &payload)
     return buf;
 }
 
-std::vector<std::string>
-splitTabs(const std::string &line)
+std::vector<std::string_view>
+splitTabs(std::string_view line)
 {
-    std::vector<std::string> out;
+    std::vector<std::string_view> out;
     std::size_t start = 0;
     for (;;) {
         const std::size_t tab = line.find('\t', start);
-        if (tab == std::string::npos) {
+        if (tab == std::string_view::npos) {
             out.push_back(line.substr(start));
             return out;
         }
@@ -59,23 +64,23 @@ splitTabs(const std::string &line)
 }
 
 bool
-parseU64(const std::string &s, std::uint64_t &out)
+parseU64(std::string_view s, std::uint64_t &out)
 {
     if (s.empty())
         return false;
-    char *end = nullptr;
-    out = std::strtoull(s.c_str(), &end, 10);
-    return end == s.c_str() + s.size();
+    const auto [end, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc() && end == s.data() + s.size();
 }
 
 bool
-parseF64(const std::string &s, double &out)
+parseF64(std::string_view s, double &out)
 {
     if (s.empty())
         return false;
-    char *end = nullptr;
-    out = std::strtod(s.c_str(), &end);
-    return end == s.c_str() + s.size();
+    const auto [end, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc() && end == s.data() + s.size();
 }
 
 /** Tab-separated simulation outputs; the key is carried separately. */
@@ -94,10 +99,10 @@ payloadFor(const std::string &key, const ScenarioResult &r)
 
 /** Inverse of payloadFor; false on any malformed field. */
 bool
-parsePayload(const std::string &payload, std::string &key,
+parsePayload(std::string_view payload, std::string &key,
              ScenarioResult &r)
 {
-    const std::vector<std::string> f = splitTabs(payload);
+    const std::vector<std::string_view> f = splitTabs(payload);
     if (f.size() != 12)
         return false;
     key = f[0];
@@ -132,23 +137,81 @@ DiskCache::DiskCache(const std::string &dir)
 void
 DiskCache::load()
 {
-    std::ifstream in(path_);
-    if (!in)
+    // Preload maps the whole store read-only (POSIX; one buffered
+    // read elsewhere or when mmap fails) and indexes records by
+    // scanning string_views over the mapping -- no per-line
+    // std::getline copies, no re-parse of untouched bytes.
+    const char *data = nullptr;
+    std::string buffer;
+#ifndef _WIN32
+    void *map = nullptr;
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0)
         return; // no file yet: empty cache
-    std::string line;
-    if (!std::getline(in, line) || line != headerLine()) {
-        // Foreign or future format: never half-parse it. Keep nothing
-        // and replace the file wholesale on the next append.
-        rewrite_needed_ = true;
+    struct ::stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
         return;
     }
-    while (std::getline(in, line)) {
+    bytesMapped_ = std::size_t(st.st_size);
+    if (bytesMapped_ > 0) {
+        map = ::mmap(nullptr, bytesMapped_, PROT_READ, MAP_PRIVATE,
+                     fd, 0);
+        if (map != MAP_FAILED) {
+            data = static_cast<const char *>(map);
+        } else {
+            map = nullptr;
+            buffer.resize(bytesMapped_);
+            std::size_t got = 0;
+            while (got < bytesMapped_) {
+                const ::ssize_t k = ::read(fd, buffer.data() + got,
+                                           bytesMapped_ - got);
+                if (k <= 0)
+                    break;
+                got += std::size_t(k);
+            }
+            buffer.resize(got);
+            bytesMapped_ = got;
+            data = buffer.data();
+        }
+    }
+    ::close(fd);
+#else
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return; // no file yet: empty cache
+    std::ostringstream whole;
+    whole << in.rdbuf();
+    buffer = whole.str();
+    bytesMapped_ = buffer.size();
+    data = buffer.data();
+#endif
+
+    const std::string_view file(data ? data : "", bytesMapped_);
+    bool first = true;
+    for (std::size_t pos = 0; pos < file.size();) {
+        std::size_t nl = file.find('\n', pos);
+        if (nl == std::string_view::npos)
+            nl = file.size();
+        const std::string_view line = file.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (first) {
+            first = false;
+            if (line != headerLine()) {
+                // Foreign or future format: never half-parse it. Keep
+                // nothing and replace the file wholesale on the next
+                // append.
+                rewrite_needed_ = true;
+                break;
+            }
+            continue;
+        }
         if (line.empty())
             continue;
         const std::size_t tab = line.find('\t');
-        bool ok = tab != std::string::npos;
+        bool ok = tab != std::string_view::npos;
         if (ok) {
-            const std::string payload = line.substr(tab + 1);
+            const std::string_view payload = line.substr(tab + 1);
             ok = line.substr(0, tab) == checksum(payload);
             if (ok) {
                 std::string key;
@@ -161,6 +224,18 @@ DiskCache::load()
         if (!ok)
             ++corrupt_;
     }
+    if (first)
+        rewrite_needed_ = true; // existing file with no header line
+
+#ifndef _WIN32
+    if (map)
+        ::munmap(map, bytesMapped_);
+#endif
+
+    DIVA_INFORM("disk cache preload: ", entries_.size(),
+                " entries loaded, ", corrupt_,
+                " corrupt lines skipped, ", bytesMapped_,
+                " bytes mapped from ", path_);
 }
 
 namespace

@@ -21,6 +21,11 @@
  *    write is retried by the next append instead of silently dropped.
  *  - Failed results are never persisted: a transient failure must be
  *    retried on the next run, not replayed from the cache.
+ *  - mmap-backed preload: the store is mapped read-only (one buffered
+ *    read where mmap is unavailable) and indexed by scanning
+ *    string_views over the mapping, and the preload reports a
+ *    one-line summary (entries loaded, corrupt lines skipped, bytes
+ *    mapped) to stderr instead of silently dropping corrupt lines.
  *
  * Only simulation *outputs* are stored; the scenario itself is
  * identified by its canonical key, and the runner re-attaches the
@@ -75,6 +80,9 @@ class DiskCache
     /** Lines rejected during load (bad checksum, truncation, ...). */
     std::size_t corruptLinesSkipped() const { return corrupt_; }
 
+    /** Bytes of the backing file mapped (or read) by the preload. */
+    std::size_t bytesMapped() const { return bytesMapped_; }
+
     /**
      * Persist the given results. Entries whose key is already stored,
      * whose result has `error` set, or whose key contains characters
@@ -96,6 +104,7 @@ class DiskCache
     std::string path_;
     std::unordered_map<std::string, ScenarioResult> entries_;
     std::size_t corrupt_ = 0;
+    std::size_t bytesMapped_ = 0;
     /** Set when the existing file has a foreign header: the next
      *  append rewrites the whole file instead of appending to it. */
     bool rewrite_needed_ = false;

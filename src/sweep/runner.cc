@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include "backend/registry.h"
@@ -10,6 +11,27 @@
 
 namespace diva
 {
+
+namespace
+{
+
+/**
+ * The inputs that decide which execution plan (model build + op
+ * stream) a scenario needs -- the PlanCache's key, minus the resolved
+ * batch it cannot know before evaluation. Scenarios sharing a
+ * signature share a plan.
+ */
+std::string
+planSignature(const Scenario &s)
+{
+    std::ostringstream sig;
+    sig << s.model << '|' << s.modelScale << '|' << int(s.algorithm)
+        << '|' << s.batch << '|' << s.microbatch << '|'
+        << s.effectiveBackend();
+    return sig.str();
+}
+
+} // namespace
 
 ScenarioResult
 runScenario(const Scenario &scenario, PlanCache &plans)
@@ -97,29 +119,50 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
 
     const PlanCache::Stats plans_before = plans_.stats();
 
-    // Fixed-size pool over the job list. Each worker writes only its
-    // own job's slot, so results are independent of scheduling; the
+    // Batch the jobs into structure-of-arrays groups keyed on the
+    // plan signature (parallel arrays: job index list per signature,
+    // in first-appearance order). One worker claims a whole group, so
+    // after the first member's PlanCache miss every other member is an
+    // in-thread hit -- and two workers never build the same plan
+    // concurrently. Each worker still writes only its own jobs'
+    // slots, so results are independent of scheduling; the
     // per-scenario assembly below imposes the deterministic order.
+    std::vector<std::vector<std::size_t>> groups; // job slots
+    {
+        std::unordered_map<std::string, std::size_t> group_of;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            const std::string sig = planSignature(scenarios[jobs[j]]);
+            const auto [it, fresh] =
+                group_of.emplace(sig, groups.size());
+            if (fresh)
+                groups.emplace_back();
+            groups[it->second].push_back(j);
+        }
+    }
+
     std::vector<ScenarioResult> job_results(jobs.size());
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
     auto worker = [&]() {
         for (;;) {
-            const std::size_t j = next.fetch_add(1);
-            if (j >= jobs.size())
+            const std::size_t g = next.fetch_add(1);
+            if (g >= groups.size())
                 return;
-            job_results[j] = runScenario(scenarios[jobs[j]], plans_);
-            const std::size_t finished = done.fetch_add(1) + 1;
-            if (opts_.progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                opts_.progress(finished, jobs.size(),
-                               scenarios[jobs[j]]);
+            for (const std::size_t j : groups[g]) {
+                job_results[j] =
+                    runScenario(scenarios[jobs[j]], plans_);
+                const std::size_t finished = done.fetch_add(1) + 1;
+                if (opts_.progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    opts_.progress(finished, jobs.size(),
+                                   scenarios[jobs[j]]);
+                }
             }
         }
     };
-    const std::size_t pool_size =
-        std::min<std::size_t>(std::size_t(opts_.threads), jobs.size());
+    const std::size_t pool_size = std::min<std::size_t>(
+        std::size_t(opts_.threads), groups.size());
     if (pool_size <= 1) {
         worker();
     } else {

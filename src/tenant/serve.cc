@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "backend/registry.h"
+#include "serve_core/core.h"
 
 namespace diva
 {
@@ -15,21 +16,16 @@ namespace
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr std::size_t kNone = std::size_t(-1);
 
 /** Float slack for wall-budget and deadline comparisons. */
 constexpr double kEps = 1e-9;
 
-/** Mutable per-tenant state tracked by the scheduling loop. */
+/** Per-tenant billing state the serve loop tracks beside the core's
+ *  scheduling state (serve_core::TaskCore). */
 struct TenantRun
 {
-    std::uint64_t done = 0;
-    std::uint64_t metDeadlines = 0;
     bool started = false;
     double firstStartSec = 0.0;
-    bool completed = false;
-    double completionSec = 0.0;
-    double lastCompletionSec = 0.0;
     double energyJ = 0.0;
     std::uint64_t switchesIn = 0;
 
@@ -37,16 +33,101 @@ struct TenantRun
     std::vector<double> latencySec;
 };
 
-/** Deadline of step `k` (1-based) of `job`; +inf without a target. */
-double
-stepDeadline(const TenantJob &job, std::uint64_t k)
+serve_core::Policy
+corePolicy(SchedPolicy p)
 {
-    if (job.qosStepsPerSec > 0.0)
-        return job.arrivalSec + double(k) / job.qosStepsPerSec;
-    if (job.qosDeadlineSec > 0.0)
-        return job.qosDeadlineSec;
-    return kInf;
+    switch (p) {
+      case SchedPolicy::kFifo: return serve_core::Policy::kFifo;
+      case SchedPolicy::kRoundRobin:
+        return serve_core::Policy::kRoundRobin;
+      case SchedPolicy::kPriority:
+        return serve_core::Policy::kPriority;
+      case SchedPolicy::kEdf: return serve_core::Policy::kEdf;
+    }
+    return serve_core::Policy::kRoundRobin;
 }
+
+/** serve_core client for the single-executor tenant serve loop: task
+ *  scalars come straight from the jobs, billing lands on TenantRun
+ *  and the run-level ServeResult accumulators. */
+struct ServeClient
+{
+    const std::vector<TenantJob> &jobs;
+    const std::vector<IterationCost> &costs;
+    const SwitchCost &sw;
+    ServeResult &out;
+    std::vector<TenantRun> &run;
+    std::vector<serve_core::TaskCore> cores;
+
+    ServeClient(const std::vector<TenantJob> &j,
+                const std::vector<IterationCost> &c,
+                const SwitchCost &s, ServeResult &o,
+                std::vector<TenantRun> &r)
+        : jobs(j), costs(c), sw(s), out(o), run(r), cores(j.size())
+    {
+    }
+
+    bool owns(const serve_core::Executor &, std::uint32_t) const
+    {
+        return true; // single executor; tasks never move
+    }
+    double arrivalSec(std::uint32_t i) const
+    {
+        return jobs[i].arrivalSec;
+    }
+    double departSec(std::uint32_t i) const
+    {
+        return jobs[i].departSec;
+    }
+    double rateSps(std::uint32_t i) const
+    {
+        return jobs[i].qosStepsPerSec;
+    }
+    double qosDeadlineSec(std::uint32_t i) const
+    {
+        return jobs[i].qosDeadlineSec;
+    }
+    std::uint64_t stepLimit(std::uint32_t i) const
+    {
+        return jobs[i].steps;
+    }
+    int priority(std::uint32_t i) const { return jobs[i].priority; }
+    double stepSeconds(const serve_core::Executor &,
+                       std::uint32_t i) const
+    {
+        return costs[i].seconds;
+    }
+    double switchSeconds(const serve_core::Executor &) const
+    {
+        return sw.seconds;
+    }
+    serve_core::TaskCore &core(std::uint32_t i) { return cores[i]; }
+    const serve_core::TaskCore &core(std::uint32_t i) const
+    {
+        return cores[i];
+    }
+
+    void onSwitch(serve_core::Executor &, std::uint32_t i)
+    {
+        ++out.contextSwitches;
+        ++run[i].switchesIn;
+        out.switchSec += sw.seconds;
+        out.switchEnergyJ += sw.energyJ;
+        out.switchDramBytes += sw.dramBytes;
+        run[i].energyJ += sw.energyJ;
+    }
+    void onStep(serve_core::Executor &, std::uint32_t i,
+                double stepStartSec, double latencySec)
+    {
+        if (!run[i].started) {
+            run[i].started = true;
+            run[i].firstStartSec = stepStartSec;
+        }
+        run[i].energyJ += costs[i].energyJ;
+        run[i].latencySec.push_back(latencySec);
+    }
+    void onRetire(serve_core::Executor &, std::uint32_t) {}
+};
 
 std::string
 validateInputs(const ServeSpec &spec,
@@ -141,173 +222,37 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
                     safeRatio(1.0, costs[i].seconds) / double(n);
 
     const double wall = spec.opts.wallLimitSec;
-    const bool open_loop = spec.opts.openLoop;
     std::vector<TenantRun> run(n);
-    std::vector<SchedView> views(n);
-    std::unique_ptr<Scheduler> sched = makeScheduler(spec.policy);
-    double now = 0.0;
-    std::size_t last = kNone;
+    ServeClient client(jobs, costs, switchCost, out, run);
 
-    auto finished = [&](std::size_t i) {
-        return jobs[i].steps > 0 && run[i].done >= jobs[i].steps;
-    };
-    // Open-loop gating: a rate-target tenant only becomes runnable
-    // when the trace clock has issued its next step.
-    auto openGated = [&](std::size_t i) {
-        return open_loop && jobs[i].qosStepsPerSec > 0.0;
-    };
-    auto nextDueSec = [&](std::size_t i) {
-        return jobs[i].arrivalSec +
-               double(run[i].done) / jobs[i].qosStepsPerSec;
-    };
-    // Whether one more step (after `lead` of switch stall) would end
-    // past the tenant's departure; such a tenant can never run again.
-    auto departBlocked = [&](std::size_t i, double lead) {
-        return jobs[i].departSec > 0.0 &&
-               now + lead + costs[i].seconds > jobs[i].departSec + kEps;
-    };
-    auto switchLead = [&](std::size_t i) {
-        return (last != kNone && i != last) ? switchCost.seconds : 0.0;
-    };
+    serve_core::Config cfg;
+    cfg.policy = corePolicy(spec.policy);
+    cfg.quantumIters = spec.opts.quantumIters;
+    cfg.wallLimitSec = wall;
+    // The tenant loop's historical semantics (see serve_core::Config):
+    // index-rotating round robin, gating only under open-loop replay,
+    // strict arrival-preemption windows, departure-aware idle jumps,
+    // and ending the run when nothing fits the wall budget.
+    cfg.rrIndexRotation = true;
+    cfg.rateGates = spec.opts.openLoop;
+    cfg.strictArrivalPreempt = true;
+    cfg.idleSkipsBlocked = true;
+    cfg.endRunWhenNoWallFit = true;
+    cfg.wallBoundary = true;
 
-    for (;;) {
-        if (wall > 0.0 && wall - now <= kEps)
-            break;
+    serve_core::Executor ex;
+    ex.arrivals.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ex.arrivals[i] = std::uint32_t(i);
+    std::stable_sort(ex.arrivals.begin(), ex.arrivals.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return jobs[a].arrivalSec < jobs[b].arrivalSec;
+                     });
 
-        std::vector<std::size_t> ready;
-        for (std::size_t i = 0; i < n; ++i)
-            if (!finished(i) && jobs[i].arrivalSec <= now + kEps &&
-                !departBlocked(i, switchLead(i)) &&
-                (!openGated(i) || nextDueSec(i) <= now + kEps))
-                ready.push_back(i);
-
-        if (ready.empty()) {
-            // Idle until the next event that makes a tenant runnable:
-            // an arrival, or (open loop) the next step coming due.
-            // Events past a tenant's departure window can never be
-            // serviced and are skipped.
-            double next_event = kInf;
-            for (std::size_t i = 0; i < n; ++i) {
-                if (finished(i))
-                    continue;
-                double event;
-                if (jobs[i].arrivalSec > now + kEps)
-                    event = jobs[i].arrivalSec;
-                else if (openGated(i) && nextDueSec(i) > now + kEps)
-                    event = nextDueSec(i);
-                else
-                    continue; // arrived but departure-blocked: done
-                // `last` cannot change while the engine idles, so the
-                // switch lead the tenant would pay at `event` is the
-                // lead it would pay now -- include it, or the jump
-                // lands on an arrival the ready scan then rejects and
-                // the makespan inflates with no work run.
-                if (jobs[i].departSec > 0.0 &&
-                    event + switchLead(i) + costs[i].seconds >
-                        jobs[i].departSec + kEps)
-                    continue; // would run past its departure
-                next_event = std::min(next_event, event);
-            }
-            if (!std::isfinite(next_event))
-                break;
-            // Events at or past the wall can never be serviced; do
-            // not let the idle jump carry `now` (and with it makespan
-            // and every tenant's rate window) beyond the budget.
-            if (wall > 0.0 && next_event + kEps >= wall)
-                break;
-            now = std::max(now, next_event);
-            continue;
-        }
-
-        // Under a wall budget only steps that finish inside it run --
-        // including the context switch a candidate would first incur,
-        // so a switch is never billed for a step that then cannot run.
-        if (wall > 0.0) {
-            std::vector<std::size_t> fitting;
-            for (std::size_t i : ready) {
-                const double lead = (last != kNone && i != last)
-                                        ? switchCost.seconds
-                                        : 0.0;
-                if (now + lead + costs[i].seconds <= wall + kEps)
-                    fitting.push_back(i);
-            }
-            if (fitting.empty())
-                break;
-            ready.swap(fitting);
-        }
-
-        for (std::size_t i = 0; i < n; ++i) {
-            views[i].arrivalSec = jobs[i].arrivalSec;
-            views[i].priority = jobs[i].priority;
-            views[i].stepsDone = run[i].done;
-            views[i].nextDeadlineSec =
-                stepDeadline(jobs[i], run[i].done + 1);
-        }
-        const std::size_t pick = sched->pick(views, ready, now);
-
-        if (last != kNone && pick != last) {
-            // Bill the tenant change: the engine stalls while the
-            // outgoing working set flushes and the incoming one loads.
-            ++out.contextSwitches;
-            ++run[pick].switchesIn;
-            now += switchCost.seconds;
-            out.switchSec += switchCost.seconds;
-            out.switchEnergyJ += switchCost.energyJ;
-            out.switchDramBytes += switchCost.dramBytes;
-            run[pick].energyJ += switchCost.energyJ;
-        }
-        last = pick;
-
-        // Run up to one quantum of iterations, ending early on
-        // completion, on the wall budget, or when a new arrival makes
-        // a fresh scheduling decision due (preemption point).
-        for (std::uint64_t q = 0; q < spec.opts.quantumIters; ++q) {
-            if (finished(pick))
-                break;
-            if (wall > 0.0 && now + costs[pick].seconds > wall + kEps)
-                break;
-            if (departBlocked(pick, 0.0))
-                break;
-            if (openGated(pick) && nextDueSec(pick) > now + kEps)
-                break; // next step not issued yet
-            const double start = now;
-            if (!run[pick].started) {
-                run[pick].started = true;
-                run[pick].firstStartSec = now;
-            }
-            // The step's reference point for latency: its open-loop
-            // due time, or (closed loop) the moment it became
-            // eligible -- arrival for the first step, the previous
-            // completion after that.
-            const double eligible =
-                openGated(pick)
-                    ? nextDueSec(pick)
-                    : std::max(jobs[pick].arrivalSec,
-                               run[pick].done > 0
-                                   ? run[pick].lastCompletionSec
-                                   : jobs[pick].arrivalSec);
-            now += costs[pick].seconds;
-            run[pick].energyJ += costs[pick].energyJ;
-            ++run[pick].done;
-            run[pick].latencySec.push_back(now - eligible);
-            run[pick].lastCompletionSec = now;
-            if (now <= stepDeadline(jobs[pick], run[pick].done) + kEps)
-                ++run[pick].metDeadlines;
-            if (finished(pick)) {
-                run[pick].completed = true;
-                run[pick].completionSec = now;
-                break;
-            }
-            bool new_arrival = false;
-            for (std::size_t i = 0; i < n && !new_arrival; ++i)
-                new_arrival = i != pick && !finished(i) &&
-                              jobs[i].arrivalSec > start + kEps &&
-                              jobs[i].arrivalSec <= now + kEps;
-            if (new_arrival)
-                break;
-        }
-    }
-    out.makespanSec = now;
+    serve_core::runUntil(client, ex, cfg, kInf);
+    out.makespanSec = ex.nowSec;
+    out.coreCounters = ex.counters;
+    const std::vector<serve_core::TaskCore> &cores = client.cores;
 
     // Per-tenant metrics.
     double qos_sum = 0.0;
@@ -319,14 +264,14 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
         m.resolvedBatch = costs[i].resolvedBatch > 0
                               ? costs[i].resolvedBatch
                               : jobs[i].batch;
-        m.stepsDone = run[i].done;
-        m.completed = run[i].completed;
+        m.stepsDone = cores[i].done;
+        m.completed = cores[i].completed;
         // Departed: the tenant's session ended with steps outstanding
         // and its departure (not the wall budget) is what ended it.
-        m.departed = !run[i].completed && jobs[i].departSec > 0.0 &&
+        m.departed = !cores[i].completed && jobs[i].departSec > 0.0 &&
                      (wall <= 0.0 || jobs[i].departSec < wall + kEps);
-        m.endSec = run[i].completed
-                       ? run[i].completionSec
+        m.endSec = cores[i].completed
+                       ? cores[i].completionSec
                        : (m.departed ? std::min(jobs[i].departSec,
                                                 out.makespanSec)
                                      : out.makespanSec);
@@ -336,8 +281,8 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
         const double window =
             std::max(0.0, m.endSec - jobs[i].arrivalSec);
         m.achievedStepsPerSec =
-            window > 0.0 ? double(run[i].done) / window
-                         : (run[i].done > 0 ? kInf : 0.0);
+            window > 0.0 ? double(cores[i].done) / window
+                         : (cores[i].done > 0 ? kInf : 0.0);
         m.isolatedStepsPerSec = safeRatio(1.0, costs[i].seconds);
         m.slowdown =
             safeRatio(m.isolatedStepsPerSec, m.achievedStepsPerSec);
@@ -346,7 +291,7 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
         // the share that met their deadline.
         double demanded = kNaN;
         if (jobs[i].qosStepsPerSec > 0.0) {
-            demanded = run[i].completed
+            demanded = cores[i].completed
                            ? double(jobs[i].steps)
                            : std::floor(window * jobs[i].qosStepsPerSec);
             if (jobs[i].steps > 0)
@@ -354,13 +299,13 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
         } else if (jobs[i].qosDeadlineSec > 0.0) {
             // Deadline targets are validated to have bounded steps;
             // nothing is demanded until the deadline has passed.
-            if (run[i].completed || jobs[i].qosDeadlineSec <= m.endSec)
+            if (cores[i].completed || jobs[i].qosDeadlineSec <= m.endSec)
                 demanded = double(jobs[i].steps);
         }
         if (std::isfinite(demanded) && demanded > 0.0) {
             m.qosAttainmentPct =
                 100.0 *
-                std::min(1.0, double(run[i].metDeadlines) / demanded);
+                std::min(1.0, double(cores[i].metDeadlines) / demanded);
             qos_sum += m.qosAttainmentPct;
             ++qos_count;
         } else {
@@ -381,7 +326,7 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
         m.energyShare = safeRatio(m.energyJ, out.totalEnergyJ);
     out.meanQosAttainmentPct =
         qos_count > 0 ? qos_sum / double(qos_count) : kNaN;
-    out.aggStepLatency = computeLatencyStats(std::move(all_latencies));
+    out.aggStepLatency = computeLatencyStatsSortedMean(std::move(all_latencies));
     return out;
 }
 

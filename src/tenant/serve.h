@@ -24,6 +24,7 @@
 
 #include "arch/accelerator_config.h"
 #include "common/percentile.h"
+#include "serve_core/core.h"
 #include "sim/multichip.h"
 #include "sweep/runner.h"
 #include "tenant/context_switch.h"
@@ -211,6 +212,13 @@ struct ServeResult
 
     /** Tail latency over every executed step of every tenant. */
     LatencyStats aggStepLatency;
+
+    /**
+     * serve_core event counters for this run (steps, dispatches,
+     * coalesced quanta, promotions, idle jumps, switches, retires).
+     * Reporting-only: not emitted in CSV/JSON, surfaced by bench_serve.
+     */
+    serve_core::Counters coreCounters;
 
     /** Non-empty when the serve could not run (bad spec, sim error). */
     std::string error;

@@ -6,7 +6,9 @@
  * where interpolation would invent values that never occurred.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -91,6 +93,53 @@ TEST(Percentile, NearestRankNeverInterpolates)
     // Out-of-range p clamps instead of indexing out of bounds.
     EXPECT_DOUBLE_EQ(percentileSorted({1.0, 9.0}, -5.0), 1.0);
     EXPECT_DOUBLE_EQ(percentileSorted({1.0, 9.0}, 250.0), 9.0);
+}
+
+TEST(Percentile, SelectionMatchesSortReferenceBitIdentically)
+{
+    // The nth_element-based computeLatencyStats must select exactly
+    // the elements a full sort would index: cross-check count, every
+    // percentile and the max against a sort-based reference over
+    // deterministic pseudo-random sample sets of awkward sizes
+    // (including rank collisions at n < 20 and duplicate-heavy sets).
+    std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+    auto next = [&lcg]() {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return double(lcg >> 16) / double(1ULL << 48);
+    };
+    for (std::size_t n :
+         {1u, 2u, 3u, 7u, 19u, 20u, 21u, 99u, 100u, 101u, 1000u}) {
+        std::vector<double> samples;
+        samples.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double v = next();
+            // Quantize every third sample to force duplicates.
+            samples.push_back(i % 3 == 0 ? std::floor(v * 8.0) / 8.0
+                                         : v);
+        }
+
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        const LatencyStats s = computeLatencyStats(samples);
+        EXPECT_EQ(s.count, n);
+        EXPECT_EQ(s.p50Sec, percentileSorted(sorted, 50.0)) << "n=" << n;
+        EXPECT_EQ(s.p95Sec, percentileSorted(sorted, 95.0)) << "n=" << n;
+        EXPECT_EQ(s.p99Sec, percentileSorted(sorted, 99.0)) << "n=" << n;
+        EXPECT_EQ(s.maxSec, sorted.back()) << "n=" << n;
+
+        // The sorted-mean variant is the old sort-based path: its
+        // percentiles must agree bit-for-bit, and its mean must equal
+        // an ascending-order accumulation exactly.
+        const LatencyStats agg = computeLatencyStatsSortedMean(samples);
+        EXPECT_EQ(agg.p50Sec, s.p50Sec);
+        EXPECT_EQ(agg.p95Sec, s.p95Sec);
+        EXPECT_EQ(agg.p99Sec, s.p99Sec);
+        EXPECT_EQ(agg.maxSec, s.maxSec);
+        double sum = 0.0;
+        for (double v : sorted)
+            sum += v;
+        EXPECT_EQ(agg.meanSec, sum / double(n)) << "n=" << n;
+    }
 }
 
 TEST(Percentile, StatsAreOrderedAndSorted)
