@@ -198,6 +198,9 @@ main(int argc, char **argv)
 {
     const std::string out =
         benchutil::benchOutPath(argc, argv, "BENCH_fleet.json");
+    // Collect phase timings across the artifact runs; writeBenchJson
+    // folds them into the envelope's "profile" object.
+    obs::Profiler::instance().enable(true);
     printFleetThroughput(out);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -221,6 +221,9 @@ main(int argc, char **argv)
 {
     const std::string out =
         benchutil::benchOutPath(argc, argv, "BENCH_serve.json");
+    // Collect phase timings across the artifact runs; writeBenchJson
+    // folds them into the envelope's "profile" object.
+    obs::Profiler::instance().enable(true);
     printServeThroughput(out);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

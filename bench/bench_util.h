@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "arch/accelerator_config.h"
+#include "common/format.h"
 #include "common/logging.h"
 #include "models/zoo.h"
+#include "obs/profile.h"
 #include "sim/executor.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
@@ -174,6 +176,13 @@ struct BenchField
  * array of pre-rendered row objects. All three bench emitters
  * (bench_serve, bench_sweep, bench_fleet) share this shape so
  * ci/check_bench.py can diff any of them against its baseline.
+ *
+ * When the wall-clock Profiler has accumulated phases (the bench
+ * mains enable it around their artifact runs), a top-level "profile"
+ * object is appended -- phase name to {seconds, calls} -- so
+ * check_bench.py can report phase-level timing drift alongside the
+ * row metrics. Top-level on purpose: the rows (what the row-matching
+ * in check_bench.py keys on) are unchanged whether profiling ran.
  */
 inline bool
 writeBenchJson(const std::string &path, const std::string &bench,
@@ -193,7 +202,19 @@ writeBenchJson(const std::string &path, const std::string &bench,
     for (std::size_t i = 0; i < rows.size(); ++i)
         os << "    " << rows[i] << (i + 1 < rows.size() ? "," : "")
            << "\n";
-    os << "  ]\n}\n";
+    os << "  ]";
+    const auto phases = obs::Profiler::instance().phases();
+    if (!phases.empty()) {
+        os << ",\n  \"profile\": {\n";
+        std::size_t i = 0;
+        for (const auto &[name, phase] : phases)
+            os << "    \"" << jsonEscape(name) << "\": {\"seconds\": "
+               << jsonNumber(phase.seconds) << ", \"calls\": "
+               << phase.calls << "}"
+               << (++i < phases.size() ? "," : "") << "\n";
+        os << "  }";
+    }
+    os << "\n}\n";
     os.flush();
     return bool(os);
 }

@@ -15,8 +15,17 @@ by more than --max-drop relative to the baseline.  Non-throughput
 fields (counts, hit rates, ratios) are reported but never gate: they
 describe the workload, not the machine.
 
-Exits 1 when any throughput field regresses past the threshold, or
-when a baseline row has no counterpart in the current run.
+A baseline numeric field that is absent from the matching current row
+is a failure in its own right (the bench silently stopped reporting
+it), named explicitly so the schema drift is visible.
+
+When the current envelope carries a top-level "profile" object (the
+wall-clock phase timings the bench mains collect), it is printed for
+the log; phase timings are informational and never gate.
+
+Exits 1 when any throughput field regresses past the threshold, when
+a baseline row has no counterpart in the current run, or when a
+baseline field vanished from a current row.
 """
 
 import argparse
@@ -69,7 +78,7 @@ def main():
     args = parser.parse_args()
 
     base_doc, base_rows = load(args.baseline)
-    _, cur_rows = load(args.current)
+    cur_doc, cur_rows = load(args.current)
     current_by_key = {row_key(r): r for r in cur_rows}
 
     bench = base_doc.get("bench", "?")
@@ -80,9 +89,17 @@ def main():
         if cur is None:
             failures.append(f"[{bench}/{key}] row missing from current run")
             continue
+        for field, value in base.items():
+            if isinstance(value, (int, float)) and field not in cur:
+                failures.append(
+                    f"[{bench}/{key}] field '{field}' missing from "
+                    f"current run"
+                )
         for field in throughput_fields(base):
+            if field not in cur:
+                continue  # already failed above
             want = float(base[field])
-            got = float(cur.get(field, 0.0))
+            got = float(cur[field])
             if want <= 0.0:
                 continue
             ratio = got / want
@@ -98,6 +115,16 @@ def main():
                 f"{bench:>6}/{key:<18} {field:<22} "
                 f"base={want:>12.3g} cur={got:>12.3g} "
                 f"({ratio * 100.0:6.1f}%) {status}"
+            )
+
+    profile = cur_doc.get("profile")
+    if isinstance(profile, dict) and profile:
+        print(f"{bench}: wall-clock phases (informational):")
+        for name in sorted(profile):
+            phase = profile[name]
+            print(
+                f"  {name:<20} {float(phase.get('seconds', 0.0)):>10.4f}s"
+                f"  x{int(phase.get('calls', 0))}"
             )
 
     if failures:

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tenant/context_switch.h"
 
 namespace diva
@@ -71,6 +73,21 @@ serveWithAdmission(const ServeSpec &serve,
 
     const AdmissionDecision decision =
         decideAdmission(priced.workload.jobs, costs, admission);
+
+    // Sequential: one decision batch per replay.
+    if (auto &metrics = obs::MetricsRegistry::instance();
+        metrics.enabled()) {
+        metrics.addCounter("admission.admitted",
+                           decision.admittedCount);
+        metrics.addCounter("admission.rejected",
+                           decision.rejectedCount);
+    }
+    if (obs::TraceTrack *track = serve.opts.traceTrack)
+        for (std::size_t i = 0; i < priced.workload.jobs.size(); ++i)
+            track->instant(priced.workload.jobs[i].arrivalSec,
+                           (decision.admitted[i] ? "admit " : "shed ") +
+                               priced.workload.jobs[i].name,
+                           "admission");
 
     if (decision.admittedCount == 0) {
         // Nothing feasible: report every session as shed. An empty

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sweep/scenario.h"
 #include "train/planner.h"
 
@@ -35,20 +37,28 @@ streamKey(const std::string &model, int scale, TrainingAlgorithm algo,
 std::shared_ptr<const Network>
 PlanCache::network(const std::string &model, int scale)
 {
-    if (!enabled_)
+    auto &metrics = obs::MetricsRegistry::instance();
+    if (!enabled_) {
+        obs::ScopedPhase phase("plan_build");
         return std::make_shared<const Network>(buildModel(model, scale));
+    }
     const std::string key = networkKey(model, scale);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = networks_.find(key);
         if (it != networks_.end()) {
             ++stats_.networkHits;
+            metrics.addCounter("plan_cache.network_hits");
             return it->second;
         }
     }
     // Build outside the lock; a thrown error (unknown model) escapes
     // before anything is cached or counted.
-    auto built = std::make_shared<const Network>(buildModel(model, scale));
+    std::shared_ptr<const Network> built;
+    {
+        obs::ScopedPhase phase("plan_build");
+        built = std::make_shared<const Network>(buildModel(model, scale));
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] = networks_.emplace(key, std::move(built));
     // Losing a build race counts as a hit: exactly one miss per
@@ -57,6 +67,8 @@ PlanCache::network(const std::string &model, int scale)
         ++stats_.networkMisses;
     else
         ++stats_.networkHits;
+    metrics.addCounter(inserted ? "plan_cache.network_misses"
+                                : "plan_cache.network_hits");
     return it->second;
 }
 
@@ -71,8 +83,11 @@ PlanCache::stream(const Network &net, const std::string &model,
                 ? buildMicrobatchedOpStream(net, algo, batch, microbatch)
                 : buildOpStream(net, algo, batch));
     };
-    if (!enabled_)
+    auto &metrics = obs::MetricsRegistry::instance();
+    if (!enabled_) {
+        obs::ScopedPhase phase("plan_build");
         return build();
+    }
     const std::string key =
         streamKey(model, scale, algo, batch, microbatch);
     {
@@ -80,16 +95,23 @@ PlanCache::stream(const Network &net, const std::string &model,
         const auto it = streams_.find(key);
         if (it != streams_.end()) {
             ++stats_.streamHits;
+            metrics.addCounter("plan_cache.stream_hits");
             return it->second;
         }
     }
-    auto built = build();
+    std::shared_ptr<const OpStream> built;
+    {
+        obs::ScopedPhase phase("plan_build");
+        built = build();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] = streams_.emplace(key, std::move(built));
     if (inserted)
         ++stats_.streamMisses;
     else
         ++stats_.streamHits;
+    metrics.addCounter(inserted ? "plan_cache.stream_misses"
+                                : "plan_cache.stream_hits");
     return it->second;
 }
 

@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -24,7 +25,42 @@ sinkMutex()
     return m;
 }
 
+std::atomic<LogVerbosity> &
+verbosityFlag()
+{
+    static std::atomic<LogVerbosity> level{LogVerbosity::kNormal};
+    return level;
+}
+
+/**
+ * The single guarded sink every non-fatal severity funnels through:
+ * one lock, one prefixed line, one flush. Building the full line
+ * before streaming keeps a message atomic even if a future sink
+ * writes in chunks.
+ */
+void
+sinkWrite(const char *prefix, const std::string &msg,
+          LogVerbosity minLevel)
+{
+    if (logVerbosity() < minLevel)
+        return;
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::cerr << prefix << msg << std::endl;
+}
+
 } // namespace
+
+void
+setLogVerbosity(LogVerbosity level)
+{
+    verbosityFlag().store(level, std::memory_order_relaxed);
+}
+
+LogVerbosity
+logVerbosity()
+{
+    return verbosityFlag().load(std::memory_order_relaxed);
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -51,15 +87,19 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(sinkMutex());
-    std::cerr << "warn: " << msg << std::endl;
+    sinkWrite("warn: ", msg, LogVerbosity::kNormal);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(sinkMutex());
-    std::cerr << "info: " << msg << std::endl;
+    sinkWrite("info: ", msg, LogVerbosity::kNormal);
+}
+
+void
+verboseImpl(const std::string &msg)
+{
+    sinkWrite("info: ", msg, LogVerbosity::kVerbose);
 }
 
 } // namespace diva

@@ -31,6 +31,27 @@ void warnImpl(const std::string &msg);
 /** Print an informational message to stderr. */
 void informImpl(const std::string &msg);
 
+/** Print a message only at verbose level (see setLogVerbosity). */
+void verboseImpl(const std::string &msg);
+
+/**
+ * Stderr chattiness. Levels are cumulative: kQuiet drops warn and
+ * inform too (panic/fatal always print), kNormal (the default) prints
+ * warn/inform, kVerbose additionally prints DIVA_VERBOSE progress
+ * notes such as the disk-cache preload summary.
+ */
+enum class LogVerbosity
+{
+    kQuiet = 0,
+    kNormal = 1,
+    kVerbose = 2,
+};
+
+/** Set the process-wide stderr verbosity (default kNormal). */
+void setLogVerbosity(LogVerbosity level);
+
+LogVerbosity logVerbosity();
+
 namespace detail
 {
 
@@ -59,6 +80,10 @@ concat(Args &&...args)
 
 #define DIVA_INFORM(...) \
     ::diva::informImpl(::diva::detail::concat(__VA_ARGS__))
+
+/** Progress notes printed only under LogVerbosity::kVerbose. */
+#define DIVA_VERBOSE(...) \
+    ::diva::verboseImpl(::diva::detail::concat(__VA_ARGS__))
 
 /** Internal invariant check; failure indicates a simulator bug. */
 #define DIVA_ASSERT(cond, ...)                                        \

@@ -14,6 +14,9 @@
 #include "backend/registry.h"
 #include "fleet/energy_budget.h"
 #include "fleet/migration.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "tenant/context_switch.h"
 #include "tenant/serve.h"
 
@@ -193,6 +196,16 @@ struct FleetSim
 
     /** Mode flags for the shared event core (fleet semantics). */
     serve_core::Config coreCfg;
+
+    /**
+     * Optional sim-time trace. The control track (tid 0) is written
+     * only from sequential boundary code; podTracks[p] (tid p+1) only
+     * from whichever worker owns pod p's epoch -- single-writer per
+     * track, as obs/trace.h requires.
+     */
+    obs::TraceSink *sink = nullptr;
+    obs::TraceTrack *control = nullptr;
+    std::vector<obs::TraceTrack *> podTracks;
 
     FleetSim(const FleetSpec &s, const ArrivalTrace &t, FleetResult &o)
         : spec(s), trace(t), out(o)
@@ -437,6 +450,8 @@ FleetSim::placeOne(std::size_t i)
         rt.core.state = TaskState::kDone;
         ++out.rejectedCount;
         --unfinished;
+        if (control)
+            control->instant(a, "reject " + job.name, "admission");
         return;
     }
 
@@ -445,6 +460,11 @@ FleetSim::placeOne(std::size_t i)
     ++pod.placed;
     pod.core.arrivals.push_back(std::uint32_t(i));
     pod.members.push_back(std::uint32_t(i));
+    if (control)
+        control->instant(a,
+                         "place " + job.name + " -> " +
+                             spec.pods[chosen].name,
+                         "placement");
 
     const double d = demandOnPod[chosen];
     loadViews[chosen].demand += d;
@@ -479,11 +499,14 @@ FleetSim::onSwitch(serve_core::Executor &ex, std::uint32_t i)
     pod.energyJ += sw.energyJ;
     rt.energyJ += sw.energyJ;
     pod.lastActiveSec = ex.nowSec;
+    if (sink)
+        podTracks[ex.id]->instant(
+            ex.nowSec, "switch -> " + trace.jobs[i].name, "switch");
 }
 
 void
 FleetSim::onStep(serve_core::Executor &ex, std::uint32_t i,
-                 double /*stepStartSec*/, double latencySec)
+                 double stepStartSec, double latencySec)
 {
     PodRt &pod = pods[ex.id];
     TenantRt &rt = tenants[i];
@@ -502,6 +525,10 @@ FleetSim::onStep(serve_core::Executor &ex, std::uint32_t i,
     rt.latencySec.push_back(latencySec);
     pod.latencySec.push_back(latencySec);
     pod.lastActiveSec = ex.nowSec;
+    if (sink)
+        podTracks[ex.id]->span(stepStartSec,
+                               stepStartSec + cost.seconds,
+                               trace.jobs[i].name, "step");
 }
 
 void
@@ -584,8 +611,16 @@ FleetSim::enforceBudget(double nowSec, double intervalSec)
             ++out.suspensions;
             if (rt.core.state != TaskState::kSuspended)
                 suspendTenant(active[k]);
+            if (control)
+                control->instant(nowSec,
+                                 "suspend " + trace.jobs[active[k]].name,
+                                 "budget");
         } else if (rt.core.state == TaskState::kSuspended) {
             resumeTenant(active[k]);
+            if (control)
+                control->instant(nowSec,
+                                 "resume " + trace.jobs[active[k]].name,
+                                 "budget");
         }
     }
 }
@@ -627,6 +662,15 @@ FleetSim::migrate(std::uint32_t idx, std::size_t srcP,
     out.migrationSec += mc.seconds;
     out.migrationEnergyJ += mc.energyJ;
     out.migrationBytes += mc.dramBytes;
+    // An instant, not a span: the transfer window [nowSec, +seconds)
+    // may straddle the next epoch boundary, and overlapping spans on
+    // one track would break the control track's clean nesting.
+    if (control)
+        control->instant(nowSec,
+                         "migrate " + trace.jobs[idx].name + ": " +
+                             spec.pods[srcP].name + " -> " +
+                             spec.pods[dstP].name,
+                         "migration");
 
     // Off the air until the state transfer lands (and, open loop,
     // until its next step is due anyway).
@@ -752,6 +796,17 @@ FleetSim::run(int threads)
     loadViews.assign(pods.size(), PodLoadView{});
     expiry.resize(pods.size());
 
+    if (sink) {
+        // Tracks are created here, sequentially, before any parallel
+        // epoch touches them; each pod's worker then appends to its
+        // own track only.
+        control = sink->track(0, "cluster");
+        podTracks.resize(pods.size());
+        for (std::size_t p = 0; p < pods.size(); ++p)
+            podTracks[p] =
+                sink->track(int(p) + 1, "pod " + spec.pods[p].name);
+    }
+
     // Fleet semantics on the shared core: enqueue-order round robin,
     // rate gating always on, raw arrival preemption, epoch-form
     // boundary comparisons (every tenant-mode flag stays off).
@@ -788,13 +843,19 @@ FleetSim::run(int threads)
             t1 = std::min(t1, wall);
 
         const std::size_t placedBefore = placeCursor;
-        while (placeCursor < n &&
-               (!std::isfinite(t1) ||
-                trace.jobs[placeCursor].arrivalSec < t1))
-            placeOne(placeCursor++);
+        {
+            obs::ScopedPhase phase("placement");
+            while (placeCursor < n &&
+                   (!std::isfinite(t1) ||
+                    trace.jobs[placeCursor].arrivalSec < t1))
+                placeOne(placeCursor++);
+        }
 
-        forEachPod(pods.size(), threads,
-                   [&](std::size_t p) { runPodEpoch(p, t1); });
+        {
+            obs::ScopedPhase phase("epoch_serve");
+            forEachPod(pods.size(), threads,
+                       [&](std::size_t p) { runPodEpoch(p, t1); });
+        }
 
         std::uint64_t epochSteps = 0;
         for (PodRt &pod : pods) {
@@ -811,9 +872,18 @@ FleetSim::run(int threads)
         if (unfinished == 0 && placeCursor >= n)
             break;
 
-        if (spec.budget.enabled())
+        obs::ScopedPhase controlsPhase("fleet_controls");
+        if (spec.budget.enabled()) {
+            // The epoch the budget just audited, as a control span:
+            // consecutive epochs tile the timeline without overlap.
+            if (control)
+                control->span(T - width, T,
+                              "budget epoch " +
+                                  std::to_string(epochId),
+                              "budget");
             enforceBudget(T, std::isfinite(interval) ? interval
                                                      : width);
+        }
         std::size_t migrated = 0;
         if (spec.rebalance.enabled)
             migrated = rebalanceRound(T, width);
@@ -983,6 +1053,34 @@ FleetSim::assemble()
     }
     for (FleetPodReport &r : out.pods)
         r.energyShare = safeRatio(r.energyJ, out.totalEnergyJ);
+
+    // Sequential publish point (after the parallel epochs are done):
+    // everything below is a pure function of the simulated outcome,
+    // so the snapshot is byte-identical across thread counts.
+    if (auto &metrics = obs::MetricsRegistry::instance();
+        metrics.enabled()) {
+        metrics.setGauge("fleet.pods", double(pods.size()));
+        metrics.setGauge("fleet.sessions", double(n));
+        metrics.addCounter("fleet.placed", out.placedCount);
+        metrics.addCounter("fleet.rejected", out.rejectedCount);
+        metrics.addCounter(std::string("fleet.placement_picks.") +
+                               placementName(spec.placement),
+                           out.placedCount);
+        metrics.addCounter("fleet.migrations", out.migrations);
+        metrics.addCounter("fleet.suspensions", out.suspensions);
+        metrics.addCounter("fleet.steps", out.totalSteps);
+        const serve_core::Counters &c = out.coreCounters;
+        metrics.addCounter("serve_core.steps", c.steps);
+        metrics.addCounter("serve_core.dispatches", c.dispatches);
+        metrics.addCounter("serve_core.coalesced_quanta",
+                           c.coalescedQuanta);
+        metrics.addCounter("serve_core.promotions", c.promotions);
+        metrics.addCounter("serve_core.idle_jumps", c.idleJumps);
+        metrics.addCounter("serve_core.context_switches", c.switches);
+        metrics.addCounter("serve_core.retired", c.retired);
+        for (double latency : all_lat)
+            metrics.recordValue("fleet.step_latency_sec", latency);
+    }
     out.aggStepLatency = computeLatencyStatsSortedMean(std::move(all_lat));
 }
 
@@ -990,7 +1088,8 @@ FleetSim::assemble()
 
 FleetResult
 simulateFleet(const FleetSpec &spec, const ArrivalTrace &trace,
-              SweepRunner &runner, int threads)
+              SweepRunner &runner, int threads,
+              obs::TraceSink *traceSink)
 {
     FleetResult out;
     out.fleetName = spec.name;
@@ -1013,7 +1112,11 @@ simulateFleet(const FleetSpec &spec, const ArrivalTrace &trace,
 
     FleetSim sim(spec, trace, out);
     sim.n = trace.jobs.size();
-    out.error = sim.price(runner);
+    sim.sink = traceSink;
+    {
+        obs::ScopedPhase phase("fleet_pricing");
+        out.error = sim.price(runner);
+    }
     if (!out.ok())
         return out;
 

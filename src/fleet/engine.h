@@ -38,6 +38,11 @@
 namespace diva
 {
 
+namespace obs
+{
+class TraceSink;
+}
+
 /** What one tenant session experienced over the fleet run. */
 struct FleetTenantMetrics
 {
@@ -201,10 +206,18 @@ struct FleetResult
  * isolated-cost pricing parallelism comes from `runner`'s own options.
  * Validation failures return an error-carrying result instead of
  * running.
+ *
+ * `traceSink`, when non-null, receives a sim-time trace of the run:
+ * one track per pod (step spans, context-switch instants) plus a
+ * cluster control track (placement/admission/migration/suspension
+ * instants and budget-epoch spans). Tracks are timestamped in
+ * simulated seconds, so the trace too is byte-identical across
+ * `threads`. Null leaves the run untouched.
  */
 FleetResult simulateFleet(const FleetSpec &spec,
                           const ArrivalTrace &trace,
-                          SweepRunner &runner, int threads = 1);
+                          SweepRunner &runner, int threads = 1,
+                          obs::TraceSink *traceSink = nullptr);
 
 /** Convenience overload with a private single-threaded runner. */
 FleetResult simulateFleet(const FleetSpec &spec,

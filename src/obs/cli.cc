@@ -1,0 +1,70 @@
+#include "obs/cli.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace diva
+{
+namespace obs
+{
+
+void
+CliObs::activate()
+{
+    if (!metricsOut.empty())
+        MetricsRegistry::instance().enable(true);
+    if (profile)
+        Profiler::instance().enable(true);
+    if (!traceOut.empty())
+        sink = std::make_unique<TraceSink>(traceMaxEvents);
+}
+
+bool
+CliObs::finish()
+{
+    bool ok = true;
+    if (!metricsOut.empty()) {
+        std::ofstream os(metricsOut);
+        if (os)
+            MetricsRegistry::instance().snapshot().writeJson(os);
+        if (!os) {
+            DIVA_WARN("could not write metrics to ", metricsOut);
+            ok = false;
+        }
+    }
+    if (!traceOut.empty() && sink) {
+        std::ofstream os(traceOut);
+        if (os)
+            sink->write(os);
+        if (!os) {
+            DIVA_WARN("could not write trace to ", traceOut);
+            ok = false;
+        }
+    }
+    if (profile)
+        Profiler::instance().writeTable(std::cerr);
+    return ok;
+}
+
+const char *
+cliObsUsage()
+{
+    return
+        "Observability (all optional; no effect on results):\n"
+        "  --metrics-out FILE  write a deterministic counters/gauges/\n"
+        "                      histograms snapshot (JSON)\n"
+        "  --trace-out FILE    write a sim-time Chrome/Perfetto trace\n"
+        "                      (JSON; open in ui.perfetto.dev)\n"
+        "  --trace-max-events N  per-track event cap for --trace-out\n"
+        "                      (default 1048576; excess is counted as\n"
+        "                      droppedEvents)\n"
+        "  --profile           wall-clock phase table on stderr\n"
+        "  --verbose           extra stderr progress notes\n";
+}
+
+} // namespace obs
+} // namespace diva

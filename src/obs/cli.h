@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared observability plumbing for the CLI tools: one struct holding
+ * the parsed --metrics-out / --trace-out / --profile /
+ * --trace-max-events values, the switch-on step, and the end-of-run
+ * emission of metrics JSON, trace JSON and the profile table. All
+ * three tools (diva_sweep, diva_serve, diva_fleet) funnel through
+ * this so the flags mean the same thing everywhere.
+ */
+
+#ifndef DIVA_OBS_CLI_H
+#define DIVA_OBS_CLI_H
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace diva
+{
+namespace obs
+{
+
+struct CliObs
+{
+    std::string metricsOut; ///< --metrics-out FILE.json
+    std::string traceOut;   ///< --trace-out FILE.json
+    bool profile = false;   ///< --profile (stderr table)
+
+    /** --trace-max-events N (per track; see obs/trace.h). */
+    std::size_t traceMaxEvents = TraceSink::kDefaultMaxEventsPerTrack;
+
+    /** Live only between activate() and finish() when tracing is on. */
+    std::unique_ptr<TraceSink> sink;
+
+    bool
+    any() const
+    {
+        return !metricsOut.empty() || !traceOut.empty() || profile;
+    }
+
+    /**
+     * Flip on whatever the parsed flags ask for: the metrics
+     * registry, the profiler, and (for --trace-out) the trace sink.
+     * Call once, after argument parsing, before the simulation.
+     */
+    void activate();
+
+    /**
+     * Emit everything that was collected: metrics JSON to
+     * `metricsOut`, trace JSON to `traceOut`, and the profile table
+     * to stderr. Returns false (with a DIVA_WARN naming the file) if
+     * any requested output could not be written.
+     */
+    bool finish();
+};
+
+/** Usage-text block describing the shared observability flags. */
+const char *cliObsUsage();
+
+} // namespace obs
+} // namespace diva
+
+#endif // DIVA_OBS_CLI_H

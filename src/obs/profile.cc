@@ -1,0 +1,66 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace diva
+{
+namespace obs
+{
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::enable(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::add(const char *phase, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Phase &p = phases_[phase];
+    p.seconds += seconds;
+    ++p.calls;
+}
+
+std::map<std::string, Profiler::Phase>
+Profiler::phases() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phases_;
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    phases_.clear();
+}
+
+void
+Profiler::writeTable(std::ostream &os) const
+{
+    const auto snapshot = phases();
+    std::size_t width = std::string("phase").size();
+    for (const auto &[name, p] : snapshot)
+        width = std::max(width, name.size());
+    os << "=== wall-clock profile ===\n"
+       << std::left << std::setw(int(width)) << "phase" << std::right
+       << std::setw(14) << "seconds" << std::setw(12) << "calls"
+       << "\n";
+    for (const auto &[name, p] : snapshot)
+        os << std::left << std::setw(int(width)) << name << std::right
+           << std::setw(14) << std::fixed << std::setprecision(6)
+           << p.seconds << std::setw(12) << p.calls << "\n";
+    os.unsetf(std::ios::floatfield);
+}
+
+} // namespace obs
+} // namespace diva

@@ -8,6 +8,8 @@
 
 #include "backend/registry.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace diva
 {
@@ -161,17 +163,20 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
             }
         }
     };
-    const std::size_t pool_size = std::min<std::size_t>(
-        std::size_t(opts_.threads), groups.size());
-    if (pool_size <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(pool_size);
-        for (std::size_t t = 0; t < pool_size; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
+    {
+        obs::ScopedPhase phase("scenario_eval");
+        const std::size_t pool_size = std::min<std::size_t>(
+            std::size_t(opts_.threads), groups.size());
+        if (pool_size <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(pool_size);
+            for (std::size_t t = 0; t < pool_size; ++t)
+                pool.emplace_back(worker);
+            for (std::thread &t : pool)
+                t.join();
+        }
     }
 
     const PlanCache::Stats plans_after = plans_.stats();
@@ -211,6 +216,27 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
         if (!r.ok())
             ++report.failures;
         report.results[i] = std::move(r);
+    }
+
+    // Published once per run from this (sequential) tail, so the
+    // totals are independent of worker scheduling.
+    if (auto &metrics = obs::MetricsRegistry::instance();
+        metrics.enabled()) {
+        metrics.addCounter("sweep.scenarios", scenarios.size());
+        metrics.addCounter("sweep.jobs", jobs.size());
+        metrics.addCounter("sweep.plan_groups", groups.size());
+        metrics.addCounter("sweep.result_cache_hits", report.cacheHits);
+        metrics.addCounter("sweep.result_cache_misses",
+                           report.cacheMisses);
+        metrics.addCounter("sweep.failures", report.failures);
+        for (const auto &group : groups)
+            metrics.recordValue("sweep.group_size",
+                                double(group.size()));
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+            if (job_results[j].ok())
+                metrics.recordValue(
+                    "sweep.batch_size",
+                    double(job_results[j].resolvedBatch));
     }
     return report;
 }

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "backend/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve_core/core.h"
 
 namespace diva
@@ -58,6 +60,7 @@ struct ServeClient
     ServeResult &out;
     std::vector<TenantRun> &run;
     std::vector<serve_core::TaskCore> cores;
+    obs::TraceTrack *trace = nullptr;
 
     ServeClient(const std::vector<TenantJob> &j,
                 const std::vector<IterationCost> &c,
@@ -107,7 +110,7 @@ struct ServeClient
         return cores[i];
     }
 
-    void onSwitch(serve_core::Executor &, std::uint32_t i)
+    void onSwitch(serve_core::Executor &ex, std::uint32_t i)
     {
         ++out.contextSwitches;
         ++run[i].switchesIn;
@@ -115,6 +118,9 @@ struct ServeClient
         out.switchEnergyJ += sw.energyJ;
         out.switchDramBytes += sw.dramBytes;
         run[i].energyJ += sw.energyJ;
+        if (trace)
+            trace->instant(ex.nowSec, "switch -> " + jobs[i].name,
+                           "switch");
     }
     void onStep(serve_core::Executor &, std::uint32_t i,
                 double stepStartSec, double latencySec)
@@ -125,6 +131,10 @@ struct ServeClient
         }
         run[i].energyJ += costs[i].energyJ;
         run[i].latencySec.push_back(latencySec);
+        if (trace)
+            trace->span(stepStartSec,
+                        stepStartSec + costs[i].seconds,
+                        jobs[i].name, "step");
     }
     void onRetire(serve_core::Executor &, std::uint32_t) {}
 };
@@ -224,6 +234,7 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
     const double wall = spec.opts.wallLimitSec;
     std::vector<TenantRun> run(n);
     ServeClient client(jobs, costs, switchCost, out, run);
+    client.trace = spec.opts.traceTrack;
 
     serve_core::Config cfg;
     cfg.policy = corePolicy(spec.policy);
@@ -252,6 +263,24 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
     serve_core::runUntil(client, ex, cfg, kInf);
     out.makespanSec = ex.nowSec;
     out.coreCounters = ex.counters;
+
+    // Sequential publish point: the loop above is single-threaded, so
+    // these totals are a pure function of the simulated work.
+    if (auto &metrics = obs::MetricsRegistry::instance();
+        metrics.enabled()) {
+        const serve_core::Counters &c = out.coreCounters;
+        metrics.addCounter("serve_core.steps", c.steps);
+        metrics.addCounter("serve_core.dispatches", c.dispatches);
+        metrics.addCounter("serve_core.coalesced_quanta",
+                           c.coalescedQuanta);
+        metrics.addCounter("serve_core.promotions", c.promotions);
+        metrics.addCounter("serve_core.idle_jumps", c.idleJumps);
+        metrics.addCounter("serve_core.context_switches", c.switches);
+        metrics.addCounter("serve_core.retired", c.retired);
+        for (const TenantRun &r : run)
+            for (double latency : r.latencySec)
+                metrics.recordValue("serve.step_latency_sec", latency);
+    }
     const std::vector<serve_core::TaskCore> &cores = client.cores;
 
     // Per-tenant metrics.

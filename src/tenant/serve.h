@@ -34,6 +34,11 @@
 namespace diva
 {
 
+namespace obs
+{
+class TraceTrack;
+}
+
 /** Serve-loop knobs independent of the workload and platform. */
 struct ServeOptions
 {
@@ -63,6 +68,14 @@ struct ServeOptions
      * measured from step eligibility (arrival / previous completion).
      */
     bool openLoop = false;
+
+    /**
+     * Optional sim-time trace destination (see obs/trace.h). The
+     * serve loop is sequential, so one single-writer track suffices:
+     * step spans and context-switch instants land here. Null (the
+     * default) disables tracing; results are unaffected either way.
+     */
+    obs::TraceTrack *traceTrack = nullptr;
 };
 
 /** Everything one serve simulation needs. */

@@ -30,9 +30,12 @@
 #include "arrivals/trace.h"
 #include "cli_parse.h"
 #include "common/format.h"
+#include "common/logging.h"
 #include "common/table.h"
 #include "fleet/emit.h"
 #include "fleet/engine.h"
+#include "obs/cli.h"
+#include "obs/profile.h"
 #include "sweep/disk_cache.h"
 #include "sweep/runner.h"
 
@@ -123,7 +126,8 @@ usage()
         "                      per session; large traces make this big)\n"
         "  --json PATH         also write a JSON report (fleet + pods)\n"
         "  --json-tenants      include every tenant in the JSON report\n"
-        "  --no-summary        skip the stdout summary tables\n";
+        "  --no-summary        skip the stdout summary tables\n"
+        "\n" << obs::cliObsUsage();
 }
 
 struct Args
@@ -155,6 +159,8 @@ struct Args
     std::string csvPath;
     std::string jsonPath;
     bool jsonTenants = false;
+    bool verbose = false;
+    obs::CliObs obs;
 };
 
 using cli::parseDoubleText;
@@ -337,6 +343,26 @@ parseArgs(int argc, char **argv, Args &args)
             if (!(v = need(i)))
                 return false;
             args.jsonPath = *v;
+        } else if (a == "--metrics-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.metricsOut = *v;
+        } else if (a == "--trace-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.traceOut = *v;
+        } else if (a == "--trace-max-events") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseIntText(*v);
+            if (!n || *n < 1)
+                return fail("--trace-max-events must be >= 1, got '" +
+                            *v + "'");
+            args.obs.traceMaxEvents = std::size_t(*n);
+        } else if (a == "--profile") {
+            args.obs.profile = true;
+        } else if (a == "--verbose") {
+            args.verbose = true;
         } else {
             fail("unknown option '" + a + "'");
             usage();
@@ -433,6 +459,9 @@ main(int argc, char **argv)
     Args args;
     if (!parseArgs(argc, argv, args))
         return 1;
+    if (args.verbose)
+        setLogVerbosity(LogVerbosity::kVerbose);
+    args.obs.activate();
 
     FleetSpec spec;
     if (!buildFleetSpec(args, spec))
@@ -491,47 +520,52 @@ main(int argc, char **argv)
                   << (spec.budget.enabled() ? ", budget on" : "")
                   << "...\n";
 
-    const FleetResult fleet =
-        simulateFleet(spec, trace, runner, args.threads);
+    const FleetResult fleet = simulateFleet(
+        spec, trace, runner, args.threads, args.obs.sink.get());
     if (!fleet.ok())
         std::cerr << "diva_fleet: " << fleet.error << "\n";
     else if (!args.quiet)
         std::cerr << "plan cache: " << fleet.planHits << " hits, "
                   << fleet.planMisses << " misses\n";
 
-    std::ofstream pod_csv_file;
-    if (!args.podCsvPath.empty()) {
-        pod_csv_file.open(args.podCsvPath);
-        if (!pod_csv_file) {
-            std::cerr << "diva_fleet: cannot write " << args.podCsvPath
-                      << "\n";
-            return 1;
+    {
+        obs::ScopedPhase emitPhase("emit");
+        std::ofstream pod_csv_file;
+        if (!args.podCsvPath.empty()) {
+            pod_csv_file.open(args.podCsvPath);
+            if (!pod_csv_file) {
+                std::cerr << "diva_fleet: cannot write "
+                          << args.podCsvPath << "\n";
+                return 1;
+            }
         }
-    }
-    std::ostream &pod_csv =
-        args.podCsvPath.empty() ? std::cout : pod_csv_file;
-    writeFleetPodCsv(pod_csv, fleet);
+        std::ostream &pod_csv =
+            args.podCsvPath.empty() ? std::cout : pod_csv_file;
+        writeFleetPodCsv(pod_csv, fleet);
 
-    if (!args.csvPath.empty()) {
-        std::ofstream csv_file(args.csvPath);
-        if (!csv_file) {
-            std::cerr << "diva_fleet: cannot write " << args.csvPath
-                      << "\n";
-            return 1;
+        if (!args.csvPath.empty()) {
+            std::ofstream csv_file(args.csvPath);
+            if (!csv_file) {
+                std::cerr << "diva_fleet: cannot write " << args.csvPath
+                          << "\n";
+                return 1;
+            }
+            writeFleetTenantCsv(csv_file, fleet);
         }
-        writeFleetTenantCsv(csv_file, fleet);
-    }
-    if (!args.jsonPath.empty()) {
-        std::ofstream json_file(args.jsonPath);
-        if (!json_file) {
-            std::cerr << "diva_fleet: cannot write " << args.jsonPath
-                      << "\n";
-            return 1;
+        if (!args.jsonPath.empty()) {
+            std::ofstream json_file(args.jsonPath);
+            if (!json_file) {
+                std::cerr << "diva_fleet: cannot write " << args.jsonPath
+                          << "\n";
+                return 1;
+            }
+            writeFleetJson(json_file, fleet, args.jsonTenants);
         }
-        writeFleetJson(json_file, fleet, args.jsonTenants);
     }
 
     if (args.summary && fleet.ok())
         printSummary(std::cout, fleet);
+    if (!args.obs.finish())
+        return 1;
     return fleet.ok() ? 0 : 2;
 }

@@ -30,6 +30,8 @@
 #include "cli_parse.h"
 #include "common/logging.h"
 #include "common/table.h"
+#include "obs/cli.h"
+#include "obs/profile.h"
 #include "sweep/disk_cache.h"
 #include "sweep/emit.h"
 #include "sweep/runner.h"
@@ -112,7 +114,8 @@ usage()
         "  --csv PATH          write per-tenant CSV to PATH instead of\n"
         "                      stdout\n"
         "  --json PATH         also write a JSON report\n"
-        "  --no-summary        skip the stdout summary tables\n";
+        "  --no-summary        skip the stdout summary tables\n"
+        "\n" << obs::cliObsUsage();
 }
 
 struct Args
@@ -142,6 +145,8 @@ struct Args
     bool summary = true;
     std::string csvPath;
     std::string jsonPath;
+    bool verbose = false;
+    obs::CliObs obs;
 };
 
 using cli::parseDoubleText;
@@ -404,6 +409,26 @@ parseArgs(int argc, char **argv, Args &args)
             if (!(v = need(i)))
                 return false;
             args.jsonPath = *v;
+        } else if (a == "--metrics-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.metricsOut = *v;
+        } else if (a == "--trace-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.traceOut = *v;
+        } else if (a == "--trace-max-events") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseIntText(*v);
+            if (!n || *n < 1)
+                return fail("--trace-max-events must be >= 1, got '" +
+                            *v + "'");
+            args.obs.traceMaxEvents = std::size_t(*n);
+        } else if (a == "--profile") {
+            args.obs.profile = true;
+        } else if (a == "--verbose") {
+            args.verbose = true;
         } else {
             fail("unknown option '" + a + "'");
             usage();
@@ -532,6 +557,9 @@ main(int argc, char **argv)
     Args args;
     if (!parseArgs(argc, argv, args))
         return 1;
+    if (args.verbose)
+        setLogVerbosity(LogVerbosity::kVerbose);
+    args.obs.activate();
 
     SweepOptions opts;
     opts.threads = args.threads;
@@ -603,8 +631,14 @@ main(int argc, char **argv)
 
     std::vector<ServeResult> serves;
     bool any_error = false;
+    int policy_idx = 0;
     for (SchedPolicy policy : args.policies) {
         spec.policy = policy;
+        // One track per policy run: the serve loop is sequential, so
+        // each track keeps a single writer.
+        if (args.obs.sink)
+            spec.opts.traceTrack = args.obs.sink->track(
+                policy_idx++, std::string("serve ") + policyName(policy));
         if (!args.quiet)
             std::cerr << (trace_mode ? "replaying trace '" + trace.name +
                                            "', "
@@ -643,29 +677,34 @@ main(int argc, char **argv)
         serves.push_back(std::move(r));
     }
 
-    std::ofstream csv_file;
-    if (!args.csvPath.empty()) {
-        csv_file.open(args.csvPath);
-        if (!csv_file) {
-            std::cerr << "diva_serve: cannot write " << args.csvPath
-                      << "\n";
-            return 1;
+    {
+        obs::ScopedPhase emit_phase("emit");
+        std::ofstream csv_file;
+        if (!args.csvPath.empty()) {
+            csv_file.open(args.csvPath);
+            if (!csv_file) {
+                std::cerr << "diva_serve: cannot write " << args.csvPath
+                          << "\n";
+                return 1;
+            }
         }
-    }
-    std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
-    writeServeCsv(csv, serves);
+        std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
+        writeServeCsv(csv, serves);
 
-    if (!args.jsonPath.empty()) {
-        std::ofstream json_file(args.jsonPath);
-        if (!json_file) {
-            std::cerr << "diva_serve: cannot write " << args.jsonPath
-                      << "\n";
-            return 1;
+        if (!args.jsonPath.empty()) {
+            std::ofstream json_file(args.jsonPath);
+            if (!json_file) {
+                std::cerr << "diva_serve: cannot write "
+                          << args.jsonPath << "\n";
+                return 1;
+            }
+            writeServeJson(json_file, serves);
         }
-        writeServeJson(json_file, serves);
-    }
 
-    if (args.summary)
-        printSummary(std::cout, serves);
+        if (args.summary)
+            printSummary(std::cout, serves);
+    }
+    if (!args.obs.finish())
+        return 1;
     return any_error ? 2 : 0;
 }

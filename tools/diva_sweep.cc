@@ -42,7 +42,11 @@
 #include "arrivals/trace.h"
 #include "backend/registry.h"
 #include "cli_parse.h"
+#include "common/logging.h"
 #include "common/table.h"
+#include "obs/cli.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sweep/aggregate.h"
 #include "sweep/disk_cache.h"
 #include "sweep/emit.h"
@@ -144,7 +148,8 @@ usage()
         "                      objectives: cycles,seconds,utilization,\n"
         "                      energy,dram_bytes,power,area\n"
         "  --no-speedup        skip the Fig.13-style speedup table\n"
-        "  --list-models       print zoo model names and exit\n";
+        "  --list-models       print zoo model names and exit\n"
+        "\n" << obs::cliObsUsage();
 }
 
 using cli::splitList;
@@ -243,6 +248,8 @@ struct Args
     std::string cacheDir;
     std::string csvPath;
     std::string jsonPath;
+    bool verbose = false;
+    obs::CliObs obs;
 };
 
 /** Shared int parsing with this tool's one-line error report. */
@@ -624,6 +631,30 @@ parseArgs(int argc, char **argv, Args &args)
             if (!(v = need(i)))
                 return false;
             args.jsonPath = *v;
+        } else if (a == "--metrics-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.metricsOut = *v;
+        } else if (a == "--trace-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.traceOut = *v;
+        } else if (a == "--trace-max-events") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseInt(a, *v);
+            if (!n)
+                return false;
+            if (*n < 1) {
+                std::cerr << "diva_sweep: --trace-max-events must be "
+                             ">= 1, got '" << *v << "'\n";
+                return false;
+            }
+            args.obs.traceMaxEvents = std::size_t(*n);
+        } else if (a == "--profile") {
+            args.obs.profile = true;
+        } else if (a == "--verbose") {
+            args.verbose = true;
         } else {
             std::cerr << "diva_sweep: unknown option '" << a << "'\n";
             usage();
@@ -981,6 +1012,7 @@ platformAxis(const Args &args)
 bool
 emitServes(const Args &args, const std::vector<ServeResult> &serves)
 {
+    obs::ScopedPhase emit_phase("emit");
     std::ofstream csv_file;
     if (!args.csvPath.empty()) {
         csv_file.open(args.csvPath);
@@ -1046,6 +1078,7 @@ runTenantModes(const Args &args, SweepRunner &runner)
 
     std::vector<ServeResult> serves;
     std::size_t failures = 0;
+    int cell = 0;
     for (const Platform &p : platforms)
         for (SchedPolicy policy : args.policies) {
             ServeSpec spec;
@@ -1058,6 +1091,11 @@ runTenantModes(const Args &args, SweepRunner &runner)
             spec.opts.quantumIters = args.quantum;
             spec.opts.wallLimitSec = args.wallSec;
             spec.opts.autoQosFairShare = true;
+            // One track per (platform, policy) cell: each serve loop
+            // is sequential, so every track has a single writer.
+            if (args.obs.sink)
+                spec.opts.traceTrack = args.obs.sink->track(
+                    cell++, p.config.name + " " + policyName(policy));
             if (!args.quiet)
                 std::cerr << "serving " << mix.jobs.size()
                           << " tenant(s) under " << policyName(policy)
@@ -1166,6 +1204,7 @@ runTraceMode(const Args &args, SweepRunner &runner)
 
     std::vector<ServeResult> serves;
     std::size_t failures = 0;
+    int cell = 0;
     for (const ArrivalTrace &trace : traces) {
         // One ReplaySpec per trace: the (possibly large) session list
         // is copied in once, and only the platform/policy fields
@@ -1183,6 +1222,12 @@ runTraceMode(const Args &args, SweepRunner &runner)
                 rs.chips = p.chips;
                 rs.pod = p.pod;
                 rs.policy = policy;
+                // One track per replay cell (single-writer: replays
+                // run sequentially here).
+                if (args.obs.sink)
+                    rs.opts.traceTrack = args.obs.sink->track(
+                        cell++, trace.name + " " + p.config.name + " " +
+                                    policyName(policy));
                 if (!args.quiet)
                     std::cerr << "replaying '" << trace.name << "' ("
                               << trace.jobs.size() << " session(s)) "
@@ -1243,6 +1288,9 @@ main(int argc, char **argv)
     Args args;
     if (!parseArgs(argc, argv, args))
         return 1;
+    if (args.verbose)
+        setLogVerbosity(LogVerbosity::kVerbose);
+    args.obs.activate();
 
     SweepOptions opts;
     opts.threads = args.threads;
@@ -1265,10 +1313,19 @@ main(int argc, char **argv)
         std::cerr << "\n";
     }
 
-    if (args.mode == CliMode::kTenant || args.mode == CliMode::kDuration)
-        return runTenantModes(args, runner);
-    if (args.mode == CliMode::kTrace)
-        return runTraceMode(args, runner);
+    if (args.mode == CliMode::kTenant ||
+        args.mode == CliMode::kDuration) {
+        const int rc = runTenantModes(args, runner);
+        if (!args.obs.finish())
+            return rc != 0 ? rc : 1;
+        return rc;
+    }
+    if (args.mode == CliMode::kTrace) {
+        const int rc = runTraceMode(args, runner);
+        if (!args.obs.finish())
+            return rc != 0 ? rc : 1;
+        return rc;
+    }
 
     const SweepSpec spec = buildSpec(args);
     const SweepSpec::Expansion expansion = spec.expand();
@@ -1303,26 +1360,44 @@ main(int argc, char **argv)
                   << " scenarios on " << args.threads << " thread(s)...\n";
     const SweepReport report = runner.run(expansion.scenarios);
 
-    std::ofstream csv_file;
-    if (!args.csvPath.empty()) {
-        csv_file.open(args.csvPath);
-        if (!csv_file) {
-            std::cerr << "diva_sweep: cannot write " << args.csvPath
-                      << "\n";
-            return 1;
+    // Sweep scenarios have no arrival clock, so the trace lays the
+    // per-iteration costs end to end on a synthetic time axis in
+    // input (= output CSV) order: span k starts where span k-1 ends.
+    if (args.obs.sink) {
+        obs::TraceTrack *track = args.obs.sink->track(0, "scenarios");
+        double t = 0.0;
+        for (const ScenarioResult &r : report.results) {
+            if (!r.ok())
+                continue;
+            track->span(t, t + r.seconds, r.scenario.label(),
+                        "scenario");
+            t += r.seconds;
         }
     }
-    std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
-    writeCsv(csv, report);
 
-    if (!args.jsonPath.empty()) {
-        std::ofstream json_file(args.jsonPath);
-        if (!json_file) {
-            std::cerr << "diva_sweep: cannot write " << args.jsonPath
-                      << "\n";
-            return 1;
+    {
+        obs::ScopedPhase emit_phase("emit");
+        std::ofstream csv_file;
+        if (!args.csvPath.empty()) {
+            csv_file.open(args.csvPath);
+            if (!csv_file) {
+                std::cerr << "diva_sweep: cannot write " << args.csvPath
+                          << "\n";
+                return 1;
+            }
         }
-        writeJson(json_file, report);
+        std::ostream &csv = args.csvPath.empty() ? std::cout : csv_file;
+        writeCsv(csv, report);
+
+        if (!args.jsonPath.empty()) {
+            std::ofstream json_file(args.jsonPath);
+            if (!json_file) {
+                std::cerr << "diva_sweep: cannot write "
+                          << args.jsonPath << "\n";
+                return 1;
+            }
+            writeJson(json_file, report);
+        }
     }
 
     std::cout << "\n=== sweep summary ===\n"
@@ -1369,5 +1444,7 @@ main(int argc, char **argv)
         printPareto(std::cout, report.results, args.pareto);
         std::cout << "\n";
     }
+    if (!args.obs.finish())
+        return report.failures == 0 ? 1 : 2;
     return report.failures == 0 ? 0 : 2;
 }
