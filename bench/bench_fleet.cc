@@ -7,14 +7,26 @@
  * overridable with --out) -- sessions/sec, serve-core events/sec,
  * migrations/sec and the isolated-cost plan-cache hit rate per fleet
  * size -- so CI can track the fleet perf trajectory.
+ *
+ * A thread-scaling sweep (threads 1/2/4/8 at 8 and 64 pods) emits one
+ * "scale_p<pods>_t<threads>" row per point, so the regression harness
+ * catches scaling regressions (a serialized pool, a contended lock)
+ * and not just single-point throughput drift.  Flags:
+ *
+ *   --threads N    epoch workers for the headline rows (default: the
+ *                  machine's hardware concurrency)
+ *   --sessions N   sessions per replay (default 200000)
+ *   --no-scaling   skip the thread-scaling sweep
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "arrivals/generate.h"
 #include "bench_util.h"
@@ -72,10 +84,20 @@ fleetOf(int pods)
     return spec;
 }
 
+/** Epoch workers when --threads is absent: what the machine has. */
+int
+autoThreads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? int(hc) : 1;
+}
+
 /** One replay, timed; returns the throughput figures for the JSON. */
 struct ReplayFigures
 {
+    std::string mode; // non-empty for thread-scaling sweep rows
     int pods = 0;
+    int threads = 0;
     std::size_t sessions = 0;
     double sessionsPerSec = 0.0;
     double eventsPerSec = 0.0;
@@ -84,13 +106,13 @@ struct ReplayFigures
 };
 
 ReplayFigures
-timeReplay(int pods, int sessions, SweepRunner &runner)
+timeReplay(int pods, int sessions, SweepRunner &runner, int threads)
 {
     const ArrivalTrace trace = diurnalTrace(sessions);
     const FleetSpec spec = fleetOf(pods);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const FleetResult r = simulateFleet(spec, trace, runner, 4);
+    const FleetResult r = simulateFleet(spec, trace, runner, threads);
     const auto t1 = std::chrono::steady_clock::now();
     const double sec = std::chrono::duration<double>(t1 - t0).count();
 
@@ -100,6 +122,7 @@ timeReplay(int pods, int sessions, SweepRunner &runner)
     }
     ReplayFigures f;
     f.pods = pods;
+    f.threads = threads;
     f.sessions = trace.jobs.size();
     f.sessionsPerSec = double(trace.jobs.size()) / sec;
     f.eventsPerSec = double(r.coreCounters.events()) / sec;
@@ -116,7 +139,11 @@ writeFleetJson(const std::string &path,
     std::vector<std::string> rows;
     for (const ReplayFigures &f : figures) {
         std::ostringstream row;
-        row << "{\"pods\": " << f.pods
+        row << "{";
+        if (!f.mode.empty())
+            row << "\"mode\": \"" << f.mode << "\", ";
+        row << "\"pods\": " << f.pods
+            << ", \"threads\": " << f.threads
             << ", \"sessions\": " << f.sessions
             << ", \"sessions_per_sec\": " << jsonNumber(f.sessionsPerSec)
             << ", \"events_per_sec\": " << jsonNumber(f.eventsPerSec)
@@ -128,7 +155,9 @@ writeFleetJson(const std::string &path,
     }
     benchutil::writeBenchJson(
         path, "fleet",
-        {{"pods", "count"},
+        {{"mode", "row key (thread-scaling sweep rows only)"},
+         {"pods", "count"},
+         {"threads", "epoch workers"},
          {"sessions", "count"},
          {"sessions_per_sec", "sessions replayed per wall-clock second"},
          {"events_per_sec",
@@ -139,28 +168,56 @@ writeFleetJson(const std::string &path,
 }
 
 void
-printFleetThroughput(const std::string &outPath)
+addTableRow(TextTable &table, const ReplayFigures &f)
+{
+    table.addRow({f.mode.empty() ? std::string("-") : f.mode,
+                  std::to_string(f.pods), std::to_string(f.threads),
+                  std::to_string(f.sessions),
+                  TextTable::fmt(f.sessionsPerSec, 0),
+                  TextTable::fmt(f.eventsPerSec, 0),
+                  TextTable::fmt(f.migrationsPerSec, 1),
+                  TextTable::fmt(f.planHitRate, 3)});
+}
+
+void
+printFleetThroughput(const std::string &outPath, int threads,
+                     int sessions, bool scaling)
 {
     std::cout << "=== fleet replay throughput (diurnal trace, "
                  "first-fit placement, rebalance on) ===\n";
-    TextTable table({"pods", "sessions", "sessions/s", "events/s",
-                     "migrations/s", "plan hit rate"});
+    TextTable table({"mode", "pods", "threads", "sessions",
+                     "sessions/s", "events/s", "migrations/s",
+                     "plan hit rate"});
     std::vector<ReplayFigures> figures;
     for (int pods : {8, 64}) {
         // A fresh runner per fleet size keeps the hit rate a
         // self-contained property of one replay's pricing instead of
         // whatever earlier replays happened to warm.
         SweepOptions opts;
-        opts.threads = 4;
+        opts.threads = threads;
         SweepRunner runner(opts);
-        const ReplayFigures f = timeReplay(pods, 200000, runner);
+        const ReplayFigures f =
+            timeReplay(pods, sessions, runner, threads);
         figures.push_back(f);
-        table.addRow({std::to_string(f.pods),
-                      std::to_string(f.sessions),
-                      TextTable::fmt(f.sessionsPerSec, 0),
-                      TextTable::fmt(f.eventsPerSec, 0),
-                      TextTable::fmt(f.migrationsPerSec, 1),
-                      TextTable::fmt(f.planHitRate, 3)});
+        addTableRow(table, f);
+    }
+    if (scaling) {
+        // The scaling sweep reports how the *same* replay responds to
+        // the worker count.  The simulated outcome is identical at
+        // every point (the regression harness only reads the rates);
+        // what moves is wall-clock, so a pool serialization or a
+        // contended stripe shows up as a flat or inverted curve.
+        for (int pods : {8, 64})
+            for (int t : {1, 2, 4, 8}) {
+                SweepOptions opts;
+                opts.threads = t;
+                SweepRunner runner(opts);
+                ReplayFigures f = timeReplay(pods, sessions, runner, t);
+                f.mode = "scale_p" + std::to_string(pods) + "_t" +
+                         std::to_string(t);
+                figures.push_back(f);
+                addTableRow(table, f);
+            }
     }
     table.print(std::cout);
     writeFleetJson(outPath, figures);
@@ -191,6 +248,43 @@ BENCHMARK(BM_FleetReplay)
     ->Args({64, 20000})
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Consume the bench_fleet-specific flags (see the file comment) from
+ * argv before benchmark::Initialize sees -- and rejects -- them.
+ */
+void
+parseFleetFlags(int &argc, char **argv, int &threads, int &sessions,
+                bool &scaling)
+{
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+            continue;
+        }
+        if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::atoi(arg.c_str() + 10);
+            continue;
+        }
+        if (arg == "--sessions" && i + 1 < argc) {
+            sessions = std::atoi(argv[++i]);
+            continue;
+        }
+        if (arg.rfind("--sessions=", 0) == 0) {
+            sessions = std::atoi(arg.c_str() + 11);
+            continue;
+        }
+        if (arg == "--no-scaling") {
+            scaling = false;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+}
+
 } // namespace
 
 int
@@ -198,10 +292,20 @@ main(int argc, char **argv)
 {
     const std::string out =
         benchutil::benchOutPath(argc, argv, "BENCH_fleet.json");
+    int threads = 0;
+    int sessions = 200000;
+    bool scaling = true;
+    parseFleetFlags(argc, argv, threads, sessions, scaling);
+    if (threads <= 0)
+        threads = autoThreads();
+    if (sessions <= 0) {
+        std::cerr << "bench_fleet: --sessions must be positive\n";
+        return 1;
+    }
     // Collect phase timings across the artifact runs; writeBenchJson
     // folds them into the envelope's "profile" object.
     obs::Profiler::instance().enable(true);
-    printFleetThroughput(out);
+    printFleetThroughput(out, threads, sessions, scaling);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

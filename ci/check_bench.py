@@ -23,6 +23,10 @@ When the current envelope carries a top-level "profile" object (the
 wall-clock phase timings the bench mains collect), it is printed for
 the log; phase timings are informational and never gate.
 
+A baseline whose "git" field ends in "-dirty" draws a warning: its
+numbers came from an uncommitted tree and cannot be attributed to a
+commit, so it should be regenerated from a clean checkout.
+
 Exits 1 when any throughput field regresses past the threshold, when
 a baseline row has no counterpart in the current run, or when a
 baseline field vanished from a current row.
@@ -80,6 +84,15 @@ def main():
     base_doc, base_rows = load(args.baseline)
     cur_doc, cur_rows = load(args.current)
     current_by_key = {row_key(r): r for r in cur_rows}
+
+    base_git = str(base_doc.get("git", ""))
+    if base_git.endswith("-dirty"):
+        print(
+            f"WARNING: baseline {args.baseline} was generated from a "
+            f"dirty tree (git: {base_git}); regenerate it from a clean "
+            f"checkout so its numbers are attributable to a commit",
+            file=sys.stderr,
+        )
 
     bench = base_doc.get("bench", "?")
     failures = []

@@ -1,6 +1,8 @@
 #include "backend/plan_cache.h"
 
-#include <sstream>
+#include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -14,25 +16,78 @@ namespace diva
 namespace
 {
 
-std::string
+/**
+ * Fixed-capacity key builder: renders "model|scale|..." into a stack
+ * buffer so a hot-path probe allocates nothing. Zoo model names and
+ * algorithm names are short; should a pathological name overflow the
+ * buffer anyway, the tail is truncated -- consistently for probe and
+ * insert, so correctness (same key -> same entry) is unaffected.
+ */
+class KeyBuf
+{
+  public:
+    void append(std::string_view s)
+    {
+        const std::size_t room = sizeof(buf_) - len_;
+        const std::size_t n = std::min(room, s.size());
+        std::memcpy(buf_ + len_, s.data(), n);
+        len_ += n;
+    }
+
+    void append(char c) { append(std::string_view(&c, 1)); }
+
+    void append(int v)
+    {
+        char digits[16];
+        const auto [end, ec] =
+            std::to_chars(digits, digits + sizeof(digits), v);
+        (void)ec; // 16 chars always fit an int
+        append(std::string_view(digits, std::size_t(end - digits)));
+    }
+
+    std::string_view view() const
+    {
+        return std::string_view(buf_, len_);
+    }
+
+  private:
+    char buf_[192];
+    std::size_t len_ = 0;
+};
+
+KeyBuf
 networkKey(const std::string &model, int scale)
 {
-    std::ostringstream oss;
-    oss << model << '|' << scale;
-    return oss.str();
+    KeyBuf key;
+    key.append(model);
+    key.append('|');
+    key.append(scale);
+    return key;
 }
 
-std::string
+KeyBuf
 streamKey(const std::string &model, int scale, TrainingAlgorithm algo,
           int batch, int microbatch)
 {
-    std::ostringstream oss;
-    oss << model << '|' << scale << '|' << algorithmName(algo) << '|'
-        << batch << '|' << microbatch;
-    return oss.str();
+    KeyBuf key;
+    key.append(model);
+    key.append('|');
+    key.append(scale);
+    key.append('|');
+    key.append(std::string_view(algorithmName(algo)));
+    key.append('|');
+    key.append(batch);
+    key.append('|');
+    key.append(microbatch);
+    return key;
 }
 
 } // namespace
+
+PlanCache::PlanCache(bool enabled, std::size_t stripes)
+    : enabled_(enabled), stripes_(std::max<std::size_t>(1, stripes))
+{
+}
 
 std::shared_ptr<const Network>
 PlanCache::network(const std::string &model, int scale)
@@ -42,12 +97,13 @@ PlanCache::network(const std::string &model, int scale)
         obs::ScopedPhase phase("plan_build");
         return std::make_shared<const Network>(buildModel(model, scale));
     }
-    const std::string key = networkKey(model, scale);
+    const KeyBuf key = networkKey(model, scale);
+    Stripe &stripe = stripeOf(key.view());
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = networks_.find(key);
-        if (it != networks_.end()) {
-            ++stats_.networkHits;
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        const auto it = stripe.networks.find(key.view());
+        if (it != stripe.networks.end()) {
+            ++stripe.stats.networkHits;
             metrics.addCounter("plan_cache.network_hits");
             return it->second;
         }
@@ -59,14 +115,16 @@ PlanCache::network(const std::string &model, int scale)
         obs::ScopedPhase phase("plan_build");
         built = std::make_shared<const Network>(buildModel(model, scale));
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] = networks_.emplace(key, std::move(built));
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto [it, inserted] =
+        stripe.networks.emplace(std::string(key.view()),
+                                std::move(built));
     // Losing a build race counts as a hit: exactly one miss per
-    // distinct key, whatever the thread count.
+    // distinct key, whatever the thread or stripe count.
     if (inserted)
-        ++stats_.networkMisses;
+        ++stripe.stats.networkMisses;
     else
-        ++stats_.networkHits;
+        ++stripe.stats.networkHits;
     metrics.addCounter(inserted ? "plan_cache.network_misses"
                                 : "plan_cache.network_hits");
     return it->second;
@@ -88,13 +146,13 @@ PlanCache::stream(const Network &net, const std::string &model,
         obs::ScopedPhase phase("plan_build");
         return build();
     }
-    const std::string key =
-        streamKey(model, scale, algo, batch, microbatch);
+    const KeyBuf key = streamKey(model, scale, algo, batch, microbatch);
+    Stripe &stripe = stripeOf(key.view());
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = streams_.find(key);
-        if (it != streams_.end()) {
-            ++stats_.streamHits;
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        const auto it = stripe.streams.find(key.view());
+        if (it != stripe.streams.end()) {
+            ++stripe.stats.streamHits;
             metrics.addCounter("plan_cache.stream_hits");
             return it->second;
         }
@@ -104,12 +162,14 @@ PlanCache::stream(const Network &net, const std::string &model,
         obs::ScopedPhase phase("plan_build");
         built = build();
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto [it, inserted] = streams_.emplace(key, std::move(built));
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto [it, inserted] =
+        stripe.streams.emplace(std::string(key.view()),
+                               std::move(built));
     if (inserted)
-        ++stats_.streamMisses;
+        ++stripe.stats.streamMisses;
     else
-        ++stats_.streamHits;
+        ++stripe.stats.streamHits;
     metrics.addCounter(inserted ? "plan_cache.stream_misses"
                                 : "plan_cache.stream_hits");
     return it->second;
@@ -118,24 +178,37 @@ PlanCache::stream(const Network &net, const std::string &model,
 PlanCache::Stats
 PlanCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    Stats total;
+    for (const Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        total.networkHits += stripe.stats.networkHits;
+        total.networkMisses += stripe.stats.networkMisses;
+        total.streamHits += stripe.stats.streamHits;
+        total.streamMisses += stripe.stats.streamMisses;
+    }
+    return total;
 }
 
 std::size_t
 PlanCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return networks_.size() + streams_.size();
+    std::size_t total = 0;
+    for (const Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        total += stripe.networks.size() + stripe.streams.size();
+    }
+    return total;
 }
 
 void
 PlanCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    networks_.clear();
-    streams_.clear();
-    stats_ = {};
+    for (Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        stripe.networks.clear();
+        stripe.streams.clear();
+        stripe.stats = {};
+    }
 }
 
 } // namespace diva

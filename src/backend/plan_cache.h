@@ -13,13 +13,21 @@
  * same monolithic stream entry) and is safe to use from the sweep
  * runner's worker pool.
  *
- * Thread-safety and determinism: lookups and insertions are
- * mutex-protected; plans are built *outside* the lock, so two workers
- * missing the same key concurrently both build, and the first to
- * insert wins (the loser adopts the winner's plan and counts a hit).
- * That rule makes the hit/miss counters a pure function of the
- * scenario set -- misses == distinct keys built, hits == lookups -
- * misses -- so reports stay byte-identical across thread counts.
+ * Concurrency: the table is striped N ways -- each stripe owns its own
+ * mutex, map and counters, and a key hashes to exactly one stripe --
+ * so concurrent lookups of different keys proceed in parallel instead
+ * of serializing on one global lock. Hot-path probes are heterogeneous:
+ * the key is rendered into a stack buffer and looked up as a
+ * std::string_view, so a cache hit allocates no std::string.
+ *
+ * Thread-safety and determinism: plans are built *outside* the stripe
+ * lock, so two workers missing the same key concurrently both build,
+ * and the first to insert wins (the loser adopts the winner's plan and
+ * counts a hit). That rule makes the hit/miss counters a pure function
+ * of the scenario set -- misses == distinct keys built, hits ==
+ * lookups - misses -- so totals stay byte-identical across thread
+ * counts *and* stripe counts (a key lands on one stripe whatever their
+ * number; stats() sums the stripes sequentially).
  */
 
 #ifndef DIVA_BACKEND_PLAN_CACHE_H
@@ -29,7 +37,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "models/network.h"
 #include "train/algorithm.h"
@@ -38,12 +48,20 @@
 namespace diva
 {
 
-/** Thread-safe memoizer for buildModel + buildOpStream. */
+/** Thread-safe, stripe-locked memoizer for buildModel+buildOpStream. */
 class PlanCache
 {
   public:
-    /** A disabled cache builds every plan fresh and counts nothing. */
-    explicit PlanCache(bool enabled = true) : enabled_(enabled) {}
+    /** Stripes used when the constructor does not say otherwise. */
+    static constexpr std::size_t kDefaultStripes = 16;
+
+    /**
+     * A disabled cache builds every plan fresh and counts nothing.
+     * `stripes` (clamped to >= 1) sets the lock-striping width; any
+     * value yields identical plans and identical hit/miss totals.
+     */
+    explicit PlanCache(bool enabled = true,
+                       std::size_t stripes = kDefaultStripes);
 
     PlanCache(const PlanCache &) = delete;
     PlanCache &operator=(const PlanCache &) = delete;
@@ -86,6 +104,9 @@ class PlanCache
 
     bool enabled() const { return enabled_; }
 
+    std::size_t stripeCount() const { return stripes_.size(); }
+
+    /** Summed over the stripes in index order (deterministic). */
     Stats stats() const;
 
     /** Number of cached plans (networks + streams). */
@@ -95,13 +116,42 @@ class PlanCache
     void clear();
 
   private:
+    /** Transparent hasher: lets find() take a std::string_view probe
+     *  against std::string keys without materializing a string. */
+    struct KeyHash
+    {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view key) const
+        {
+            return std::hash<std::string_view>{}(key);
+        }
+    };
+
+    /** One lock-striped shard: its own mutex, maps and counters. */
+    struct Stripe
+    {
+        mutable std::mutex mutex;
+        Stats stats;
+        std::unordered_map<std::string,
+                           std::shared_ptr<const Network>, KeyHash,
+                           std::equal_to<>>
+            networks;
+        std::unordered_map<std::string,
+                           std::shared_ptr<const OpStream>, KeyHash,
+                           std::equal_to<>>
+            streams;
+    };
+
+    Stripe &stripeOf(std::string_view key)
+    {
+        return stripes_[std::hash<std::string_view>{}(key) %
+                        stripes_.size()];
+    }
+
     const bool enabled_;
-    mutable std::mutex mutex_;
-    Stats stats_;
-    std::unordered_map<std::string, std::shared_ptr<const Network>>
-        networks_;
-    std::unordered_map<std::string, std::shared_ptr<const OpStream>>
-        streams_;
+    /** Sized at construction, never resized: stripeOf() indexes it
+     *  concurrently without synchronization. */
+    std::vector<Stripe> stripes_;
 };
 
 } // namespace diva

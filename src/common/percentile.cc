@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
+#include <memory>
 
 namespace diva
 {
@@ -11,6 +14,155 @@ namespace
 {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/** Below this, a comparison sort beats the radix passes' setup. */
+constexpr std::size_t kRadixMin = 4096;
+
+/**
+ * LSD radix sort, ascending, for strictly positive NaN-free doubles.
+ * Positive IEEE-754 doubles order the same as their raw bit patterns,
+ * so eight byte-wide counting passes reproduce std::sort's order
+ * exactly (equal doubles are bit-identical, so stability questions
+ * cannot surface in the output).  All eight histograms come out of one
+ * fused widening pass (16 KB of counters, L1-resident), which also
+ * verifies the positivity precondition: on the first sample that is
+ * not > 0 (NaN compares false) the function bails out with `v`
+ * untouched and returns false so the caller can comparison-sort.
+ * Scatter passes whose byte is constant across the whole array --
+ * most of them, for latency samples that share an exponent range --
+ * are skipped.  The fleet's aggregate latency sort is O(n log n)
+ * worth avoiding: n is the total step count.
+ */
+bool
+radixSortPositive(std::vector<double> &v)
+{
+    const std::size_t n = v.size();
+    // new[] (not vector) so the scratch stays uninitialized: every
+    // slot is written before it is read.
+    std::unique_ptr<std::uint64_t[]> lo(new std::uint64_t[n]);
+    std::unique_ptr<std::uint64_t[]> hi(new std::uint64_t[n]);
+    std::uint64_t *a = lo.get();
+    std::uint64_t *b = hi.get();
+    std::size_t count[8][256] = {};
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(v[i] > 0.0))
+            return false;
+        std::uint64_t bits;
+        std::memcpy(&bits, &v[i], sizeof bits);
+        a[i] = bits;
+        for (int pass = 0; pass < 8; ++pass)
+            ++count[pass][(bits >> (pass * 8)) & 255];
+    }
+    for (int pass = 0; pass < 8; ++pass) {
+        const int shift = pass * 8;
+        std::size_t *c = count[pass];
+        if (c[(a[0] >> shift) & 255] == n)
+            continue; // constant byte: the pass is a no-op
+        std::size_t offset = 0;
+        for (std::size_t slot = 0; slot < 256; ++slot) {
+            const std::size_t here = c[slot];
+            c[slot] = offset;
+            offset += here;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            b[c[(a[i] >> shift) & 255]++] = a[i];
+        std::swap(a, b);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        std::memcpy(&v[i], &a[i], sizeof(double));
+    return true;
+}
+
+/**
+ * Distinct-value census of a strictly positive, NaN-free sample set.
+ * Fleet latency samples repeat heavily -- a replay's millions of steps
+ * share a few thousand distinct queueing delays -- so order statistics
+ * over (value, count) pairs beat both a full sort and per-rank
+ * selection.  The census keeps the same precondition as
+ * radixSortPositive (every sample > 0.0): positive doubles order by
+ * their raw bits and carry one bit pattern per value, so "distinct
+ * bits" and "distinct value" coincide and the derived statistics are
+ * bit-identical to sorting the raw array.  Gives up (returning false,
+ * with `bits`/`cnt` unspecified) on the first non-positive sample or
+ * when the distinct count passes kMaxDistinct, where the plain sort
+ * path is the better tool anyway.
+ */
+constexpr std::size_t kMaxDistinct = std::size_t(1) << 13;
+
+bool
+censusPositive(const double *s, std::size_t n,
+               std::vector<std::uint64_t> &bits,
+               std::vector<std::size_t> &cnt)
+{
+    constexpr std::size_t kSlots = kMaxDistinct * 4; // load <= 0.25
+    constexpr std::uint64_t kMul = 0x9E3779B97F4A7C15ull;
+    struct Slot
+    {
+        std::uint64_t bits;
+        std::size_t cnt; // 0 marks an empty slot
+    };
+    std::unique_ptr<Slot[]> table(new Slot[kSlots]());
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(s[i] > 0.0))
+            return false;
+        std::uint64_t b;
+        std::memcpy(&b, &s[i], sizeof b);
+        std::size_t at = std::size_t((b * kMul) >> 49) & (kSlots - 1);
+        for (;;) {
+            Slot &sl = table[at];
+            if (sl.cnt == 0) {
+                if (distinct == kMaxDistinct)
+                    return false;
+                ++distinct;
+                sl.bits = b;
+                sl.cnt = 1;
+                break;
+            }
+            if (sl.bits == b) {
+                ++sl.cnt;
+                break;
+            }
+            at = (at + 1) & (kSlots - 1);
+        }
+    }
+    bits.clear();
+    cnt.clear();
+    bits.reserve(distinct);
+    cnt.reserve(distinct);
+    for (std::size_t at = 0; at < kSlots; ++at)
+        if (table[at].cnt != 0) {
+            bits.push_back(table[at].bits);
+            cnt.push_back(table[at].cnt);
+        }
+    // Ascending bit order is ascending value order for positives; the
+    // counts vector is permuted in lockstep via an index sort.
+    std::vector<std::uint32_t> order(bits.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b2) {
+                  return bits[a] < bits[b2];
+              });
+    std::vector<std::uint64_t> sb(bits.size());
+    std::vector<std::size_t> sc(cnt.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        sb[i] = bits[order[i]];
+        sc[i] = cnt[order[i]];
+    }
+    bits.swap(sb);
+    cnt.swap(sc);
+    return true;
+}
+
+/** The double whose raw bits are `b`. */
+double
+bitsToDouble(std::uint64_t b)
+{
+    double v;
+    std::memcpy(&v, &b, sizeof v);
+    return v;
+}
 
 /** Nearest rank for percentile p over n samples: 1-based, clamped. */
 std::size_t
@@ -34,6 +186,102 @@ dropNaNs(std::vector<double> &samples)
                   samples.end());
 }
 
+/**
+ * Shared tail of computeLatencyStats: statistics over a NaN-free
+ * buffer of n samples, reordering the buffer as a side effect.
+ */
+LatencyStats
+statsOverBuffer(double *s, std::size_t n)
+{
+    LatencyStats out;
+    if (n == 0) {
+        out.meanSec = out.p50Sec = out.p95Sec = out.p99Sec = out.maxSec =
+            kNaN;
+        return out;
+    }
+    out.count = n;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += s[i];
+    out.meanSec = sum / double(n);
+
+    // Small sets (the per-tenant fleet stats: one run per session)
+    // take one tiny full sort instead of three selection passes; the
+    // ranked values are the same elements either way.  Most steady
+    // tenants see one constant step latency, and a constant set makes
+    // every pick that value -- detected with one scan, no sort.  (Not
+    // for zeros: +0.0 == -0.0 with distinct bytes, so those keep the
+    // sort path that arbitrates which pattern each rank yields.)
+    if (n <= 32) {
+        bool all_eq = s[0] != 0.0;
+        for (std::size_t i = 1; all_eq && i < n; ++i)
+            all_eq = s[i] == s[0];
+        if (all_eq) {
+            out.maxSec = out.p50Sec = out.p95Sec = out.p99Sec = s[0];
+            return out;
+        }
+        std::sort(s, s + n);
+        out.maxSec = s[n - 1];
+        out.p50Sec = s[nearestRank(50.0, n) - 1];
+        out.p95Sec = s[nearestRank(95.0, n) - 1];
+        out.p99Sec = s[nearestRank(99.0, n) - 1];
+        return out;
+    }
+
+    // Large positive sets: rank lookups over the distinct-value census
+    // replace the selection passes (same elements, same bytes).  Below
+    // kRadixMin the census table's setup dwarfs the selections it
+    // saves.
+    if (n >= kRadixMin) {
+        std::vector<std::uint64_t> bits;
+        std::vector<std::size_t> cnt;
+        if (censusPositive(s, n, bits, cnt)) {
+            out.maxSec = bitsToDouble(bits.back());
+            const std::size_t ranks[3] = {nearestRank(50.0, n),
+                                          nearestRank(95.0, n),
+                                          nearestRank(99.0, n)};
+            double vals[3] = {0.0, 0.0, 0.0};
+            std::size_t cum = 0, r = 0;
+            for (std::size_t i = 0; i < bits.size() && r < 3; ++i) {
+                cum += cnt[i];
+                while (r < 3 && ranks[r] <= cum)
+                    vals[r++] = bitsToDouble(bits[i]);
+            }
+            out.p50Sec = vals[0];
+            out.p95Sec = vals[1];
+            out.p99Sec = vals[2];
+            return out;
+        }
+    }
+    out.maxSec = *std::max_element(s, s + n);
+
+    // One O(n) selection per rank instead of an O(n log n) full sort.
+    // Each nth_element leaves [first, nth) <= *nth <= (nth, last), so
+    // selecting the (non-decreasing) ranks in order lets every later
+    // selection start past the previous rank. The selected values are
+    // the same elements a full sort would index: bit-identical
+    // nearest-rank percentiles, cheaper tails.
+    const double ps[3] = {50.0, 95.0, 99.0};
+    double vals[3];
+    std::size_t prev = 0; // s[0 .. prev) already partitioned off
+    std::size_t prev_rank = 0;
+    for (int i = 0; i < 3; ++i) {
+        const std::size_t rank = nearestRank(ps[i], n);
+        if (i > 0 && rank == prev_rank) {
+            vals[i] = vals[i - 1];
+            continue;
+        }
+        std::nth_element(s + prev, s + (rank - 1), s + n);
+        vals[i] = s[rank - 1];
+        prev = rank;
+        prev_rank = rank;
+    }
+    out.p50Sec = vals[0];
+    out.p95Sec = vals[1];
+    out.p99Sec = vals[2];
+    return out;
+}
+
 } // namespace
 
 double
@@ -48,46 +296,16 @@ LatencyStats
 computeLatencyStats(std::vector<double> samples)
 {
     dropNaNs(samples);
-    LatencyStats out;
-    if (samples.empty()) {
-        out.meanSec = out.p50Sec = out.p95Sec = out.p99Sec = out.maxSec =
-            kNaN;
-        return out;
-    }
-    const std::size_t n = samples.size();
-    out.count = n;
-    double sum = 0.0;
-    for (double v : samples)
-        sum += v;
-    out.meanSec = sum / double(n);
-    out.maxSec = *std::max_element(samples.begin(), samples.end());
+    return statsOverBuffer(samples.data(), samples.size());
+}
 
-    // One O(n) selection per rank instead of an O(n log n) full sort.
-    // Each nth_element leaves [first, nth) <= *nth <= (nth, last), so
-    // selecting the (non-decreasing) ranks in order lets every later
-    // selection start past the previous rank. The selected values are
-    // the same elements a full sort would index: bit-identical
-    // nearest-rank percentiles, cheaper tails.
-    const double ps[3] = {50.0, 95.0, 99.0};
-    double vals[3];
-    std::size_t prev = 0; // samples[0 .. prev) already partitioned off
-    std::size_t prev_rank = 0;
-    for (int i = 0; i < 3; ++i) {
-        const std::size_t rank = nearestRank(ps[i], n);
-        if (i > 0 && rank == prev_rank) {
-            vals[i] = vals[i - 1];
-            continue;
-        }
-        std::nth_element(samples.begin() + prev,
-                         samples.begin() + (rank - 1), samples.end());
-        vals[i] = samples[rank - 1];
-        prev = rank;
-        prev_rank = rank;
-    }
-    out.p50Sec = vals[0];
-    out.p95Sec = vals[1];
-    out.p99Sec = vals[2];
-    return out;
+LatencyStats
+computeLatencyStatsScratch(double *samples, std::size_t count)
+{
+    double *last = std::remove_if(
+        samples, samples + count,
+        [](double v) { return std::isnan(v); });
+    return statsOverBuffer(samples, std::size_t(last - samples));
 }
 
 LatencyStats
@@ -100,8 +318,51 @@ computeLatencyStatsSortedMean(std::vector<double> samples)
             kNaN;
         return out;
     }
-    std::sort(samples.begin(), samples.end());
-    out.count = samples.size();
+    const std::size_t n = samples.size();
+    out.count = n;
+
+    // First choice for big sample sets: the distinct-value census.
+    // Summing each value `count` times in ascending value order
+    // replays the exact addition sequence of summing the sorted array,
+    // and rank lookups over the cumulative counts index the same
+    // elements a sort would -- identical bytes, no 8-byte-per-sample
+    // scratch, no scatter passes.
+    if (n >= kRadixMin) {
+        std::vector<std::uint64_t> bits;
+        std::vector<std::size_t> cnt;
+        if (censusPositive(samples.data(), n, bits, cnt)) {
+            double sum = 0.0;
+            for (std::size_t i = 0; i < bits.size(); ++i) {
+                const double v = bitsToDouble(bits[i]);
+                for (std::size_t k = 0; k < cnt[i]; ++k)
+                    sum += v;
+            }
+            out.meanSec = sum / double(n);
+            const std::size_t ranks[3] = {nearestRank(50.0, n),
+                                          nearestRank(95.0, n),
+                                          nearestRank(99.0, n)};
+            double vals[3] = {0.0, 0.0, 0.0};
+            std::size_t cum = 0, r = 0;
+            for (std::size_t i = 0; i < bits.size() && r < 3; ++i) {
+                cum += cnt[i];
+                while (r < 3 && ranks[r] <= cum)
+                    vals[r++] = bitsToDouble(bits[i]);
+            }
+            out.p50Sec = vals[0];
+            out.p95Sec = vals[1];
+            out.p99Sec = vals[2];
+            out.maxSec = bitsToDouble(bits.back());
+            return out;
+        }
+    }
+
+    // The radix path requires strictly positive samples: with zeros of
+    // both signs in play, a comparison sort's placement among "equal"
+    // elements would be observable.  Real latencies are positive; any
+    // other input makes radixSortPositive bail and takes the
+    // comparison sort.
+    if (n < kRadixMin || !radixSortPositive(samples))
+        std::sort(samples.begin(), samples.end());
     double sum = 0.0;
     for (double v : samples)
         sum += v;

@@ -50,6 +50,16 @@ struct LatencyStats
 LatencyStats computeLatencyStats(std::vector<double> samples);
 
 /**
+ * computeLatencyStats over a caller-owned scratch buffer: identical
+ * statistics (bit for bit), but the samples are reordered in place
+ * instead of being copied into a fresh vector. For callers that slice
+ * many small sample runs out of one arena -- the fleet's per-tenant
+ * stats -- this removes an allocation per call.
+ */
+LatencyStats computeLatencyStatsScratch(double *samples,
+                                        std::size_t count);
+
+/**
  * Same statistics via a full sort, with the mean accumulated in
  * ascending order. The aggregate CSV/JSON rows are the only emitters
  * of meanSec and have always summed the sorted samples, so they call

@@ -1,0 +1,180 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace diva
+{
+
+namespace
+{
+
+/** Whether this thread is currently executing inside a pool lane;
+ *  nested parallelFor calls run inline instead of deadlocking. */
+thread_local bool t_insidePool = false;
+
+} // namespace
+
+/**
+ * One parallelFor invocation, stack-allocated in run().  Lanes claim
+ * indices from their own chunk's cursor first, then steal from the
+ * other chunks in cyclic order.  Chunk cursors are the only state
+ * touched outside the pool mutex; they are padded apart so two lanes
+ * draining neighboring chunks do not false-share a cache line.
+ *
+ * Lifetime: a worker adopts the job and bumps `visitors` under the
+ * pool mutex; it decrements under the same mutex when it exits the
+ * job.  The caller runs lane 0 itself, then sleeps until `visitors`
+ * drains to zero -- at that point every claimed index has finished
+ * (work() only returns once every chunk is exhausted, and a claimed
+ * index is executed by its claimer before that lane exits), so the
+ * stack frame can die.  The mutex hand-off also sequences the lanes'
+ * writes before the caller's reads of the results.
+ */
+struct TaskPool::Job
+{
+    struct alignas(64) Chunk
+    {
+        std::atomic<std::size_t> next{0};
+        std::size_t end = 0;
+    };
+
+    void (*invoke)(void *, std::size_t) = nullptr;
+    void *ctx = nullptr;
+    std::vector<Chunk> chunks;
+    /** Next lane id to hand out (mutex-guarded); also the preferred
+     *  start chunk, so lanes begin on disjoint ranges. */
+    std::size_t laneClaim = 1;
+    /** Pool workers currently inside the job (mutex-guarded). */
+    std::size_t visitors = 0;
+
+    /** Drain the job starting from chunk `lane` until no chunk has an
+     *  unclaimed index left. */
+    void work(std::size_t lane)
+    {
+        const std::size_t nchunks = chunks.size();
+        for (std::size_t probe = 0; probe < nchunks; ++probe) {
+            Chunk &chunk = chunks[(lane + probe) % nchunks];
+            for (;;) {
+                const std::size_t i = chunk.next.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (i >= chunk.end)
+                    break;
+                invoke(ctx, i);
+            }
+        }
+    }
+};
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+TaskPool &
+TaskPool::shared()
+{
+    static TaskPool pool;
+    return pool;
+}
+
+std::size_t
+TaskPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threads_.size();
+}
+
+void
+TaskPool::ensureWorkers(std::size_t target)
+{
+    // Caller holds mutex_.
+    while (threads_.size() < target)
+        threads_.emplace_back([this]() { workerLoop(); });
+}
+
+void
+TaskPool::workerLoop()
+{
+    t_insidePool = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        Job *job = nullptr;
+        std::size_t lane = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&]() {
+                return stop_ || (job_ != nullptr && jobGen_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = jobGen_;
+            job = job_;
+            lane = job->laneClaim++;
+            if (lane >= job->chunks.size())
+                continue; // more workers woke than the job has lanes
+            ++job->visitors;
+        }
+        job->work(lane);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --job->visitors;
+        }
+        done_.notify_all();
+    }
+}
+
+void
+TaskPool::run(std::size_t count, int workers,
+              void (*invoke)(void *, std::size_t), void *ctx)
+{
+    if (count == 0)
+        return;
+    // Trivial runs -- and nested calls from inside a pool lane -- skip
+    // the pool machinery entirely: no lock, no atomics, no wakeups.
+    if (workers <= 1 || count == 1 || t_insidePool) {
+        for (std::size_t i = 0; i < count; ++i)
+            invoke(ctx, i);
+        return;
+    }
+
+    const std::size_t lanes =
+        std::min<std::size_t>(std::size_t(workers), count);
+    Job job;
+    job.invoke = invoke;
+    job.ctx = ctx;
+    job.chunks = std::vector<Job::Chunk>(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        // Chunk l covers [l*count/lanes, (l+1)*count/lanes): an exact
+        // cover of [0, count) -- no index shared, no index dropped.
+        job.chunks[l].next.store(count * l / lanes,
+                                 std::memory_order_relaxed);
+        job.chunks[l].end = count * (l + 1) / lanes;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ensureWorkers(lanes - 1);
+        job_ = &job;
+        ++jobGen_;
+    }
+    wake_.notify_all();
+
+    // The caller is lane 0.
+    t_insidePool = true;
+    job.work(0);
+    t_insidePool = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&]() { return job.visitors == 0; });
+    job_ = nullptr;
+}
+
+} // namespace diva

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Persistent work-stealing task pool shared by the fleet engine's
+ * epoch loop and the sweep runner's scenario-group execution.
+ *
+ * Both call sites used to build and join a brand-new std::thread pool
+ * per invocation -- per *epoch* in the fleet's case, which turns a
+ * 144-epoch replay into hundreds of spawn/join cycles whose cost
+ * scales with the thread count instead of amortizing away.  This pool
+ * spawns each worker once, parks it on a condition variable between
+ * jobs, and hands out indices via chunked work stealing:
+ *
+ *   - [0, count) is split into one contiguous chunk per lane (a lane
+ *     is the caller plus up to workers-1 pool threads), preserving the
+ *     cache locality of a static partition;
+ *   - each lane drains its own chunk through an atomic cursor, then
+ *     steals from the remaining chunks in cyclic order, so a lane that
+ *     finishes early absorbs the stragglers' tails instead of idling.
+ *
+ * Determinism: the pool imposes no ordering -- every index runs
+ * exactly once, on some lane.  Call sites must only use it when
+ * distinct indices touch disjoint state (the fleet's pods, the sweep's
+ * scenario groups), which is also what makes the output independent of
+ * the schedule and therefore of the thread count.
+ *
+ * Trivial runs (`workers <= 1` or `count <= 1`) execute inline on the
+ * calling thread and never touch the pool machinery, locks included.
+ * Nested parallelFor calls from inside a pool lane also run inline:
+ * the pool never deadlocks on itself.
+ *
+ * Worker threads must not throw out of `fn`; simulation call sites
+ * report failures through their result objects instead.
+ */
+
+#ifndef DIVA_COMMON_TASK_POOL_H
+#define DIVA_COMMON_TASK_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace diva
+{
+
+/** Persistent worker pool; see the file comment for the contract. */
+class TaskPool
+{
+  public:
+    TaskPool() = default;
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /**
+     * The process-wide shared pool.  Grown on demand to the largest
+     * `workers` ever requested, never shrunk; idle workers block on a
+     * condition variable and cost nothing.
+     */
+    static TaskPool &shared();
+
+    /**
+     * Run `fn(i)` exactly once for every i in [0, count), on up to
+     * `workers` lanes including the calling thread, and return when
+     * all of them finished.  `fn` must tolerate concurrent invocation
+     * on distinct indices and must not throw.
+     */
+    template <class Fn>
+    void parallelFor(std::size_t count, int workers, Fn &&fn)
+    {
+        run(count, workers,
+            [](void *ctx, std::size_t i) {
+                (*static_cast<std::remove_reference_t<Fn> *>(ctx))(i);
+            },
+            &fn);
+    }
+
+    /** Pool threads currently spawned (for tests / introspection). */
+    std::size_t workerCount() const;
+
+  private:
+    struct Job;
+
+    /** Type-erased core of parallelFor. */
+    void run(std::size_t count, int workers,
+             void (*invoke)(void *, std::size_t), void *ctx);
+
+    /** Spawn pool threads until at least `target` exist. */
+    void ensureWorkers(std::size_t target);
+
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::vector<std::thread> threads_;
+    Job *job_ = nullptr;          // the in-flight job, or nullptr
+    std::uint64_t jobGen_ = 0;    // bumped per published job
+    bool stop_ = false;
+};
+
+} // namespace diva
+
+#endif // DIVA_COMMON_TASK_POOL_H

@@ -1,17 +1,16 @@
 #include "fleet/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <queue>
-#include <set>
 #include <sstream>
-#include <thread>
+#include <unordered_map>
 
 #include "arrivals/admission.h"
 #include "backend/registry.h"
+#include "common/task_pool.h"
 #include "fleet/energy_budget.h"
 #include "fleet/migration.h"
 #include "obs/metrics.h"
@@ -33,6 +32,34 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-9;
 
 using serve_core::TaskState;
+
+/** FNV-1a over the fields that identify a job class.  Buckets only --
+ *  candidates are confirmed field-by-field, so a collision costs one
+ *  extra compare, never a wrong class. */
+std::uint64_t
+jobClassHash(const TenantJob &job)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (const unsigned char c : job.model)
+        mix(c);
+    mix(std::uint64_t(job.modelScale));
+    mix(std::uint64_t(job.batch));
+    mix(std::uint64_t(job.microbatch));
+    mix(std::uint64_t(job.algorithm));
+    return h;
+}
+
+bool
+sameJobClass(const TenantJob &a, const TenantJob &b)
+{
+    return a.modelScale == b.modelScale && a.batch == b.batch &&
+           a.microbatch == b.microbatch &&
+           a.algorithm == b.algorithm && a.model == b.model;
+}
 
 serve_core::Policy
 corePolicy(SchedPolicy p)
@@ -81,6 +108,12 @@ struct TenantRt
     double epochBusySec = 0.0;
     std::uint64_t busyStamp = ~std::uint64_t(0);
 
+    /** Start of this tenant's slice in FleetSim::latArena (valid when
+     *  steps > 0; step k's latency lands in slot latOff + k - 1). */
+    std::size_t latOff = 0;
+
+    /** Overflow store for unbounded sessions (steps == 0), whose
+     *  sample count has no a-priori cap. */
     std::vector<double> latencySec;
 };
 
@@ -120,37 +153,16 @@ struct PodRt
     std::vector<double> latencySec;
 };
 
-/** Run the callable over [0, count) pod indices on `threads` workers.
- *  Each index touches disjoint state, so any schedule is race-free and
- *  the simulation output does not depend on the thread count. */
+/** Run the callable over [0, count) pod indices on up to `threads`
+ *  persistent pool lanes (trivial runs execute inline -- see
+ *  TaskPool::parallelFor).  Each index touches disjoint state, so any
+ *  schedule is race-free and the simulation output does not depend on
+ *  the thread count. */
 template <typename Fn>
 void
 forEachPod(std::size_t count, int threads, Fn fn)
 {
-    const int workers =
-        std::max(1, std::min<int>(threads, int(count)));
-    if (workers <= 1) {
-        for (std::size_t p = 0; p < count; ++p)
-            fn(p);
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    auto work = [&]() {
-        for (;;) {
-            const std::size_t p =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (p >= count)
-                return;
-            fn(p);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(std::size_t(workers - 1));
-    for (int w = 1; w < workers; ++w)
-        pool.emplace_back(work);
-    work();
-    for (std::thread &t : pool)
-        t.join();
+    TaskPool::shared().parallelFor(count, threads, fn);
 }
 
 /** The whole simulation state, shared by the engine's phases. */
@@ -177,11 +189,40 @@ struct FleetSim
     std::vector<TenantRt> tenants;
     std::vector<PodRt> pods;
 
+    /** Per-tenant step-latency slices, packed by arrival order (slice
+     *  i starts at tenants[i].latOff, one slot per budgeted step).
+     *  Direct indexed stores -- pods write disjoint tenants' slices --
+     *  replace 200k per-tenant realloc chains on the hot path. */
+    std::vector<double> latArena;
+
     // Placement projection (sequential, arrival-ordered).
     std::vector<PodLoadView> loadViews;
-    std::vector<std::priority_queue<std::pair<double, double>,
-                                    std::vector<std::pair<double, double>>,
-                                    std::greater<std::pair<double, double>>>>
+
+    /**
+     * Projected session end, across all pods in one min-heap ordered
+     * (end, pod, demand).  Per pod that is exactly the (end, demand)
+     * pair order of the per-pod heaps this replaces -- the demand
+     * subtractions replay in the same sequence, so every projected
+     * load float is bit-identical -- but retiring expired demand costs
+     * one heap peek per arrival instead of a scan over every pod.
+     */
+    struct ExpiryEntry
+    {
+        double endSec = 0.0;
+        std::uint32_t pod = 0;
+        double demand = 0.0;
+
+        bool operator>(const ExpiryEntry &o) const
+        {
+            if (endSec != o.endSec)
+                return endSec > o.endSec;
+            if (pod != o.pod)
+                return pod > o.pod;
+            return demand > o.demand;
+        }
+    };
+    std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                        std::greater<ExpiryEntry>>
         expiry;
     std::size_t placeCursor = 0;
 
@@ -190,6 +231,11 @@ struct FleetSim
     std::vector<double> typeEnergy;
     std::vector<double> demandOnPod;
     std::vector<double> energyOnPod;
+
+    // Control-round scratch, reused across epochs (capacity persists).
+    std::vector<TenantPowerView> powerViews;
+    std::vector<std::uint32_t> powerActive;
+    std::vector<double> utilScratch;
 
     std::size_t unfinished = 0;
     std::uint64_t epochId = 0;
@@ -288,7 +334,7 @@ struct FleetSim
     double totalEnergySoFar() const;
 
     void run(int threads);
-    void assemble();
+    void assemble(int threads);
 };
 
 std::string
@@ -311,20 +357,29 @@ FleetSim::price(SweepRunner &runner)
         podType[p] = it->second;
     }
 
-    // Dedupe jobs into classes.
-    std::map<std::string, std::uint32_t> clsOf;
+    // Dedupe jobs into classes.  Class ids are assigned in first-
+    // appearance order, and the hash only buckets candidates (equality
+    // is confirmed on the fields), so the numbering is identical to
+    // the string-keyed dedup this replaces -- without rendering a key
+    // string per session on a hot path that sees the whole trace.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> clsOf;
     jobCls.resize(n);
     std::vector<const TenantJob *> clsRep;
     for (std::size_t i = 0; i < n; ++i) {
         const TenantJob &job = trace.jobs[i];
-        std::ostringstream key;
-        key << job.model << '|' << job.modelScale << '|' << job.batch
-            << '|' << job.microbatch << '|' << int(job.algorithm);
-        const auto [it, fresh] =
-            clsOf.emplace(key.str(), std::uint32_t(clsRep.size()));
-        if (fresh)
+        std::vector<std::uint32_t> &bucket = clsOf[jobClassHash(job)];
+        std::uint32_t cls = std::uint32_t(-1);
+        for (const std::uint32_t c : bucket)
+            if (sameJobClass(*clsRep[c], job)) {
+                cls = c;
+                break;
+            }
+        if (cls == std::uint32_t(-1)) {
+            cls = std::uint32_t(clsRep.size());
             clsRep.push_back(&job);
-        jobCls[i] = it->second;
+            bucket.push_back(cls);
+        }
+        jobCls[i] = cls;
     }
     numCls = clsRep.size();
 
@@ -415,15 +470,13 @@ FleetSim::placeOne(std::size_t i)
     const double a = rt.arrival;
 
     // Retire projected demand whose sessions have ended by now.
-    for (std::size_t p = 0; p < pods.size(); ++p) {
-        auto &heap = expiry[p];
-        while (!heap.empty() && heap.top().first <= a + kEps) {
-            loadViews[p].demand =
-                std::max(0.0, loadViews[p].demand - heap.top().second);
-            if (loadViews[p].sessions > 0)
-                --loadViews[p].sessions;
-            heap.pop();
-        }
+    while (!expiry.empty() && expiry.top().endSec <= a + kEps) {
+        const ExpiryEntry &e = expiry.top();
+        loadViews[e.pod].demand =
+            std::max(0.0, loadViews[e.pod].demand - e.demand);
+        if (loadViews[e.pod].sessions > 0)
+            --loadViews[e.pod].sessions;
+        expiry.pop();
     }
 
     // Price the arrival's demand and joules/step once per pod type.
@@ -478,7 +531,7 @@ FleetSim::placeOne(std::size_t i)
     else if (rt.steps > 0)
         end = a + double(rt.steps) * step_sec;
     if (std::isfinite(end))
-        expiry[chosen].push({end, d});
+        expiry.push({end, std::uint32_t(chosen), d});
 }
 
 void
@@ -522,7 +575,12 @@ FleetSim::onStep(serve_core::Executor &ex, std::uint32_t i,
     rt.epochBusySec += cost.seconds;
     ++pod.steps;
     ++pod.epochSteps;
-    rt.latencySec.push_back(latencySec);
+    // Step tc.done just ran (the core bumps `done` before this hook),
+    // so bounded sessions store straight into their arena slice.
+    if (rt.steps > 0)
+        latArena[rt.latOff + rt.core.done - 1] = latencySec;
+    else
+        rt.latencySec.push_back(latencySec);
     pod.latencySec.push_back(latencySec);
     pod.lastActiveSec = ex.nowSec;
     if (sink)
@@ -579,8 +637,10 @@ FleetSim::enforceBudget(double nowSec, double intervalSec)
         return;
     }
 
-    std::vector<TenantPowerView> views;
-    std::vector<std::uint32_t> active;
+    std::vector<TenantPowerView> &views = powerViews;
+    std::vector<std::uint32_t> &active = powerActive;
+    views.clear();
+    active.clear();
     for (std::size_t i = 0; i < n; ++i) {
         const TenantRt &rt = tenants[i];
         if (!rt.admitted || rt.core.state == TaskState::kDone ||
@@ -687,7 +747,8 @@ FleetSim::rebalanceRound(double nowSec, double widthSec)
 {
     if (!(widthSec > 0.0) || !std::isfinite(widthSec))
         return 0;
-    std::vector<double> util(pods.size());
+    std::vector<double> &util = utilScratch;
+    util.resize(pods.size());
     for (std::size_t p = 0; p < pods.size(); ++p)
         util[p] = pods[p].epochBusySec / widthSec;
 
@@ -776,6 +837,7 @@ FleetSim::run(int threads)
     unfinished = n;
 
     tenants.resize(n);
+    std::size_t lat_slots = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const TenantJob &job = trace.jobs[i];
         TenantRt &rt = tenants[i];
@@ -787,14 +849,16 @@ FleetSim::run(int threads)
         rt.priority = job.priority;
         rt.cls = jobCls[i];
         rt.core.lastCompletionSec = job.arrivalSec;
+        rt.latOff = lat_slots;
+        lat_slots += job.steps; // bounded sessions: one slot per step
     }
+    latArena.resize(lat_slots);
     pods.resize(spec.pods.size());
     for (std::size_t p = 0; p < pods.size(); ++p) {
         pods[p].type = podType[p];
         pods[p].core.id = p;
     }
     loadViews.assign(pods.size(), PodLoadView{});
-    expiry.resize(pods.size());
 
     if (sink) {
         // Tracks are created here, sequentially, before any parallel
@@ -915,22 +979,30 @@ FleetSim::run(int threads)
 }
 
 void
-FleetSim::assemble()
+FleetSim::assemble(int threads)
 {
     for (const PodRt &pod : pods)
         out.makespanSec = std::max(out.makespanSec, pod.lastActiveSec);
 
-    out.tenants.reserve(n);
     double qos_sum = 0.0;
     std::size_t qos_count = 0;
     std::vector<double> pod_qos_sum(pods.size(), 0.0);
     std::vector<std::size_t> pod_qos_count(pods.size(), 0);
     std::vector<std::size_t> pod_ended(pods.size(), 0);
 
-    for (std::size_t i = 0; i < n; ++i) {
+    {
+    obs::ScopedPhase tenants_phase("assemble_tenants");
+    // Each row is a pure function of its own tenant's runtime state
+    // (the latency selections sort disjoint arena ranges in place),
+    // so rows build in parallel; the floating-point QoS accumulators
+    // run in a sequential index-order pass below so their addition
+    // order -- and therefore every mean byte -- is independent of the
+    // worker count.
+    out.tenants.resize(n);
+    forEachPod(n, threads, [&](std::size_t i) {
         const TenantJob &job = trace.jobs[i];
         TenantRt &rt = tenants[i];
-        FleetTenantMetrics m;
+        FleetTenantMetrics &m = out.tenants[i];
         m.job = job;
         m.finalPod = rt.pod;
         m.admitted = rt.admitted;
@@ -942,7 +1014,6 @@ FleetSim::assemble()
         m.migrationEnergyJ = rt.migEnergyJ;
         m.suspensions = rt.suspensions;
         m.energyJ = rt.energyJ;
-        out.totalSteps += rt.core.done;
 
         if (!rt.admitted) {
             m.resolvedBatch = job.batch;
@@ -951,15 +1022,13 @@ FleetSim::assemble()
             m.isolatedStepsPerSec = kNaN;
             m.qosAttainmentPct = kNaN;
             m.stepLatency = computeLatencyStats({});
-            out.tenants.push_back(std::move(m));
-            continue;
+            return;
         }
 
         const std::uint32_t type = pods[rt.pod].type;
         const IterationCost &cost = costOf(type, rt.cls);
         m.resolvedBatch =
             cost.resolvedBatch > 0 ? cost.resolvedBatch : job.batch;
-        ++pod_ended[rt.pod];
 
         // Departed: the session ended with steps outstanding and its
         // departure (not the wall budget) is what ended it.
@@ -990,20 +1059,32 @@ FleetSim::assemble()
             if (rt.core.completed || job.qosDeadlineSec <= m.endSec)
                 demanded = double(job.steps);
         }
-        if (std::isfinite(demanded) && demanded > 0.0) {
+        if (std::isfinite(demanded) && demanded > 0.0)
             m.qosAttainmentPct =
                 100.0 * std::min(1.0, double(rt.core.metDeadlines) /
                                           demanded);
+        else
+            m.qosAttainmentPct = kNaN;
+
+        m.stepLatency =
+            rt.steps > 0
+                ? computeLatencyStatsScratch(
+                      latArena.data() + rt.latOff, rt.core.done)
+                : computeLatencyStats(std::move(rt.latencySec));
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+        const FleetTenantMetrics &m = out.tenants[i];
+        out.totalSteps += m.stepsDone;
+        if (!m.admitted)
+            continue;
+        ++pod_ended[m.finalPod];
+        if (std::isfinite(m.qosAttainmentPct)) {
             qos_sum += m.qosAttainmentPct;
             ++qos_count;
-            pod_qos_sum[rt.pod] += m.qosAttainmentPct;
-            ++pod_qos_count[rt.pod];
-        } else {
-            m.qosAttainmentPct = kNaN;
+            pod_qos_sum[m.finalPod] += m.qosAttainmentPct;
+            ++pod_qos_count[m.finalPod];
         }
-
-        m.stepLatency = computeLatencyStats(std::move(rt.latencySec));
-        out.tenants.push_back(std::move(m));
+    }
     }
     out.placedCount = n - out.rejectedCount;
     out.meanQosAttainmentPct =
@@ -1014,12 +1095,21 @@ FleetSim::assemble()
         total_lat += pod.latencySec.size();
     std::vector<double> all_lat;
     all_lat.reserve(total_lat);
+    for (const PodRt &pod : pods)
+        all_lat.insert(all_lat.end(), pod.latencySec.begin(),
+                       pod.latencySec.end());
 
-    out.pods.reserve(pods.size());
-    for (std::size_t p = 0; p < pods.size(); ++p) {
+    {
+    obs::ScopedPhase pods_phase("assemble_pods");
+    // Same split as the tenant rows: per-pod latency selections run
+    // in parallel (the fleet-wide sample list was captured above, in
+    // pod-index order, before the moves), totals accumulate
+    // sequentially afterwards.
+    out.pods.resize(pods.size());
+    forEachPod(pods.size(), threads, [&](std::size_t p) {
         PodRt &pod = pods[p];
         const PodSpec &ps = spec.pods[p];
-        FleetPodReport r;
+        FleetPodReport &r = out.pods[p];
         r.name = ps.name;
         r.configName = ps.config.name;
         r.chips = ps.chips;
@@ -1042,14 +1132,13 @@ FleetSim::assemble()
             pod_qos_count[p] > 0
                 ? pod_qos_sum[p] / double(pod_qos_count[p])
                 : kNaN;
-        all_lat.insert(all_lat.end(), pod.latencySec.begin(),
-                       pod.latencySec.end());
         r.stepLatency = computeLatencyStats(std::move(pod.latencySec));
-
+    });
+    for (const PodRt &pod : pods) {
         out.totalEnergyJ += pod.energyJ;
         out.contextSwitches += pod.switches;
         out.coreCounters += pod.core.counters;
-        out.pods.push_back(std::move(r));
+    }
     }
     for (FleetPodReport &r : out.pods)
         r.energyShare = safeRatio(r.energyJ, out.totalEnergyJ);
@@ -1081,7 +1170,11 @@ FleetSim::assemble()
         for (double latency : all_lat)
             metrics.recordValue("fleet.step_latency_sec", latency);
     }
-    out.aggStepLatency = computeLatencyStatsSortedMean(std::move(all_lat));
+    {
+        obs::ScopedPhase agg_phase("assemble_agg");
+        out.aggStepLatency =
+            computeLatencyStatsSortedMean(std::move(all_lat));
+    }
 }
 
 } // namespace
@@ -1120,8 +1213,14 @@ simulateFleet(const FleetSpec &spec, const ArrivalTrace &trace,
     if (!out.ok())
         return out;
 
-    sim.run(threads);
-    sim.assemble();
+    {
+        obs::ScopedPhase phase("fleet_run");
+        sim.run(threads);
+    }
+    {
+        obs::ScopedPhase phase("fleet_assemble");
+        sim.assemble(threads);
+    }
     return out;
 }
 

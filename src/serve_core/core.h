@@ -22,8 +22,9 @@
  *                  epochs; the tenant loop passes one infinite epoch)
  *   kRunEnd        the wall budget, or no event left to serve
  *
- * Ready tasks sit in a `std::set<ReadyKey>` ordered so that the first
- * element is always the policy's pick (FIFO: arrival; priority:
+ * Ready tasks sit in a `ReadySet` (a sorted small-vector with
+ * std::set<ReadyKey> ordering) whose first element is always the
+ * policy's pick (FIFO: arrival; priority:
  * (-priority, arrival); EDF: (next deadline, arrival); round-robin: a
  * monotone enqueue sequence number) with the task index as the final
  * tie break.  Dispatching pops the pick, runs up to one quantum of
@@ -55,9 +56,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <queue>
-#include <set>
 #include <vector>
+
+#include "common/small_vector.h"
 
 namespace diva
 {
@@ -146,6 +147,79 @@ enum class TaskState : std::uint8_t
     kDone,      // service over (completed, departed, starved, rejected)
 };
 
+/**
+ * The ready set: a sorted small-vector ordered exactly like the
+ * std::set<ReadyKey> it replaced (operator<, first element = the
+ * policy's pick), with the first 8 entries stored inline in the
+ * executor.  Most executors hold a handful of runnable tasks, so a
+ * scheduling transition is a memmove within one cache line instead of
+ * a red-black-tree node allocation; the schedule it produces is
+ * element-for-element identical, which the golden serve-core byte
+ * fixtures hold it to.
+ */
+class ReadySet
+{
+  public:
+    using iterator = ReadyKey *;
+
+    bool empty() const { return keys_.empty(); }
+    std::size_t size() const { return keys_.size(); }
+    iterator begin() { return keys_.begin(); }
+    iterator end() { return keys_.end(); }
+
+    iterator lower_bound(const ReadyKey &k)
+    {
+        return std::lower_bound(keys_.begin(), keys_.end(), k);
+    }
+
+    void insert(const ReadyKey &k) { keys_.insert(lower_bound(k), k); }
+
+    /** Remove `k` if present (std::set::erase(key) semantics). */
+    void erase(const ReadyKey &k)
+    {
+        const iterator it = lower_bound(k);
+        if (it != keys_.end() && !(k < *it))
+            keys_.erase(it);
+    }
+
+    iterator erase(iterator it) { return keys_.erase(it); }
+
+  private:
+    SmallVector<ReadyKey, 8> keys_;
+};
+
+/**
+ * The gated-until min-heap, replacing std::priority_queue<GateEntry,
+ * vector, greater<>> with the same std::push_heap/std::pop_heap calls
+ * over inline small-vector storage -- the pop order (and therefore
+ * every emitted byte) is unchanged, but a steady-state executor never
+ * touches the allocator.
+ */
+class GatedHeap
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+    const GateEntry &top() const { return heap_.front(); }
+
+    void push(const GateEntry &e)
+    {
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(),
+                       std::greater<GateEntry>());
+    }
+
+    void pop()
+    {
+        std::pop_heap(heap_.begin(), heap_.end(),
+                      std::greater<GateEntry>());
+        heap_.pop_back();
+    }
+
+  private:
+    SmallVector<GateEntry, 8> heap_;
+};
+
 /** Scheduling state the core owns for each task. */
 struct TaskCore
 {
@@ -205,13 +279,11 @@ struct Executor
     double nowSec = 0.0;
     std::size_t last = kNoTask;
 
-    std::set<ReadyKey> ready;
+    ReadySet ready;
     /** Tasks first placed here, in arrival order (cursor consumed). */
     std::vector<std::uint32_t> arrivals;
     std::size_t arrCursor = 0;
-    std::priority_queue<GateEntry, std::vector<GateEntry>,
-                        std::greater<GateEntry>>
-        gated;
+    GatedHeap gated;
     std::uint64_t rrSeq = 0;
     /** Round-robin index-rotation cursor (Config::rrIndexRotation). */
     std::uint32_t rrNext = 0;
@@ -297,15 +369,33 @@ makeKey(const Client &c, Executor &ex, const Config &cfg,
     return key;
 }
 
+/** `kSteady` statically selects the fleet's round-robin enqueue-order
+ *  key (see runUntil): the policy switch folds away and the key is
+ *  just the next sequence number. */
+template <bool kSteady, class Client>
+inline void
+enqueueReadyT(Client &c, Executor &ex, const Config &cfg,
+              std::uint32_t idx)
+{
+    TaskCore &tc = c.core(idx);
+    if constexpr (kSteady) {
+        ReadyKey key;
+        key.idx = idx;
+        key.seq = ++ex.rrSeq;
+        tc.readyKey = key;
+    } else {
+        tc.readyKey = makeKey(c, ex, cfg, idx);
+    }
+    tc.state = TaskState::kReady;
+    ex.ready.insert(tc.readyKey);
+}
+
 template <class Client>
 inline void
 enqueueReady(Client &c, Executor &ex, const Config &cfg,
              std::uint32_t idx)
 {
-    TaskCore &tc = c.core(idx);
-    tc.readyKey = makeKey(c, ex, cfg, idx);
-    tc.state = TaskState::kReady;
-    ex.ready.insert(tc.readyKey);
+    enqueueReadyT<false>(c, ex, cfg, idx);
 }
 
 /** Park `idx` until `dueSec`; a fresh generation invalidates any older
@@ -342,9 +432,9 @@ retire(Client &c, Executor &ex, std::uint32_t idx)
 }
 
 /** Serve every arrival and gate-due event at or before `ex.nowSec`. */
-template <class Client>
+template <bool kSteady, class Client>
 inline void
-promote(Client &c, Executor &ex, const Config &cfg)
+promoteT(Client &c, Executor &ex, const Config &cfg)
 {
     while (ex.arrCursor < ex.arrivals.size()) {
         const std::uint32_t idx = ex.arrivals[ex.arrCursor];
@@ -363,7 +453,7 @@ promote(Client &c, Executor &ex, const Config &cfg)
             break;
         ++ex.arrCursor;
         ++ex.counters.promotions;
-        enqueueReady(c, ex, cfg, idx);
+        enqueueReadyT<kSteady>(c, ex, cfg, idx);
     }
     while (!ex.gated.empty()) {
         const GateEntry &top = ex.gated.top();
@@ -379,8 +469,15 @@ promote(Client &c, Executor &ex, const Config &cfg)
         const std::uint32_t idx = top.idx;
         ex.gated.pop();
         ++ex.counters.promotions;
-        enqueueReady(c, ex, cfg, idx);
+        enqueueReadyT<kSteady>(c, ex, cfg, idx);
     }
+}
+
+template <class Client>
+inline void
+promote(Client &c, Executor &ex, const Config &cfg)
+{
+    promoteT<false>(c, ex, cfg);
 }
 
 /** Next pending arrival on this executor; +inf if none.  Consumes
@@ -507,39 +604,128 @@ peekNextEvent(Client &c, Executor &ex, const Config &cfg)
  *   void   onSwitch(Executor &, idx)      -- bill the context switch
  *   void   onStep(Executor &, idx, stepStartSec, latencySec)
  *   void   onRetire(Executor &, idx)
+ *
+ * switchSeconds must be constant over one runUntil call (both clients
+ * derive it from the executor's fixed hardware type); it is read once.
+ *
+ * `kSteady` marks the fleet's steady-state serve configuration
+ * (enqueue-order round-robin, rate gates, fleet-style boundaries,
+ * quantum 1, coalescing).  runUntil proves the configuration once per
+ * call and dispatches here, so in this instantiation every flag test
+ * below folds to a constant and the dead branches drop out of the
+ * per-event code.  The non-steady instantiation reads cfg exactly as
+ * before; both produce bit-identical serve decisions for any config.
  */
-template <class Client>
+template <bool kSteady, class Client>
 inline void
-runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
+runUntilT(Client &c, Executor &ex, const Config &cfg, double t1)
 {
     const double wall = cfg.wallLimitSec;
+    const bool wall_boundary = !kSteady && cfg.wallBoundary;
+    const bool idle_skips = !kSteady && cfg.idleSkipsBlocked;
+    const bool end_on_unfit = !kSteady && cfg.endRunWhenNoWallFit;
+    const bool strict_preempt = !kSteady && cfg.strictArrivalPreempt;
+    const bool rr_rotation = !kSteady &&
+                             cfg.policy == Policy::kRoundRobin &&
+                             cfg.rrIndexRotation;
+    const bool coalesce = kSteady || cfg.coalesce;
+    const bool rate_gates = kSteady || cfg.rateGates;
+    const std::uint64_t quantum = kSteady ? 1 : cfg.quantumIters;
+    const double sw = c.switchSeconds(ex);
 
     // Both forms compare `now` against `bound - eps`; they are kept
     // bit-exact to the loops they replaced, not merely equivalent.
     auto atBoundary = [&]() {
-        return cfg.wallBoundary ? (wall > 0.0 && wall - ex.nowSec <= kEps)
-                                : (ex.nowSec + kEps >= t1);
+        return wall_boundary ? (wall > 0.0 && wall - ex.nowSec <= kEps)
+                             : (ex.nowSec + kEps >= t1);
     };
     auto idleEnds = [&](double ev) {
-        return cfg.wallBoundary
+        return wall_boundary
                    ? (!std::isfinite(ev) ||
                       (wall > 0.0 && ev + kEps >= wall))
                    : !(ev < t1 - kEps);
     };
 
+    // Cache of nextArrivalSec.  The next pending arrival's time can
+    // only change when `promote` consumes it, and promote consumes
+    // arrivals exactly when they are <= now + kEps -- the invalidation
+    // test below.  Nothing else inside one runUntil call moves a task
+    // into or out of kPending (placement runs between epochs), so a
+    // cached value that survives the test is the value nextArrivalSec
+    // would return.  Saves a tenant-table load per event on replays.
+    double next_arr = 0.0;
+    bool next_arr_known = false;
+    auto nextArr = [&]() {
+        if (!next_arr_known) {
+            next_arr = nextArrivalSec(c, ex);
+            next_arr_known = true;
+        }
+        return next_arr;
+    };
+
     for (;;) {
-        promote(c, ex, cfg);
+        if (next_arr_known && next_arr <= ex.nowSec + kEps)
+            next_arr_known = false; // promote is about to consume it
+        promoteT<kSteady>(c, ex, cfg);
         if (atBoundary())
             break;
 
+        std::size_t pick = kNoTask;
         if (ex.ready.empty()) {
-            const Event ev = peekNextEvent(c, ex, cfg);
-            if (idleEnds(ev.atSec))
-                break; // kRunEnd / kControlEpoch
-            if (ev.atSec > ex.nowSec)
-                ex.nowSec = ev.atSec;
+            // Fast path for the open-loop steady state: one gated task
+            // alone on the executor, its due time the next event, no
+            // task change pending.  Replays the generic idle-jump ->
+            // promote -> dispatch transition sequence (same counters,
+            // same clock writes, same fit checks) without the
+            // event-peek and ready-set machinery, which on a fleet
+            // replay is the bulk of all serve-core events.
+            bool fast = false;
+            if (!idle_skips && ex.gated.size() == 1) {
+                const GateEntry &top = ex.gated.top();
+                if (c.owns(ex, top.idx) &&
+                    top.gen == c.core(top.idx).gen &&
+                    c.core(top.idx).state == TaskState::kGated &&
+                    ex.last == std::size_t(top.idx) &&
+                    !idleEnds(top.dueSec) &&
+                    nextArr() > top.dueSec + kEps)
+                    fast = true;
+            }
+            if (!fast) {
+                const Event ev = peekNextEvent(c, ex, cfg);
+                if (idleEnds(ev.atSec))
+                    break; // kRunEnd / kControlEpoch
+                if (ev.atSec > ex.nowSec)
+                    ex.nowSec = ev.atSec;
+                ++ex.counters.idleJumps;
+                continue;
+            }
+            const std::uint32_t fidx = ex.gated.top().idx;
+            ex.nowSec = ex.gated.top().dueSec;
             ++ex.counters.idleJumps;
-            continue;
+            ex.gated.pop();
+            ++ex.counters.promotions;
+            // The scan's fit checks, for the lone candidate (lead is
+            // zero: the task is already resident).
+            const double fstep = c.stepSeconds(ex, fidx);
+            const double fdep = c.departSec(fidx);
+            if (fdep > 0.0 && ex.nowSec + fstep > fdep + kEps) {
+                retire(c, ex, fidx);
+                continue;
+            }
+            if (wall > 0.0 && ex.nowSec + fstep > wall + kEps) {
+                if (end_on_unfit) {
+                    // The generic path leaves an unfit survivor in the
+                    // ready set and ends the run; keep that state.
+                    enqueueReadyT<kSteady>(c, ex, cfg, fidx);
+                    break;
+                }
+                retire(c, ex, fidx);
+                continue;
+            }
+            if (rr_rotation)
+                ex.rrNext = fidx + 1;
+            c.core(fidx).state = TaskState::kReady;
+            pick = fidx;
         }
 
         // Pick the first ready task (in policy order) that can still
@@ -547,10 +733,8 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
         // step would end past their departure, or past the wall --
         // retire on the spot; under `endRunWhenNoWallFit` wall-unfit
         // tasks are only skipped, and if nothing fits the run ends.
-        const double sw = c.switchSeconds(ex);
-        std::size_t pick = kNoTask;
         bool saw_unfit = false;
-        auto scan = [&](std::set<ReadyKey>::iterator it) {
+        auto scan = [&](ReadySet::iterator it) {
             while (it != ex.ready.end()) {
                 const std::uint32_t idx = it->idx;
                 const double step_sec = c.stepSeconds(ex, idx);
@@ -567,7 +751,7 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
                 }
                 if (wall > 0.0 &&
                     ex.nowSec + lead + step_sec > wall + kEps) {
-                    if (cfg.endRunWhenNoWallFit) {
+                    if (end_on_unfit) {
                         saw_unfit = true;
                         ++it;
                         continue;
@@ -581,23 +765,26 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
                 return;
             }
         };
-        if (cfg.policy == Policy::kRoundRobin && cfg.rrIndexRotation) {
-            // Rotate: first ready index at or after the cursor, else
-            // wrap to the smallest (the historical scheduler's pick).
-            ReadyKey from;
-            from.idx = ex.rrNext;
-            scan(ex.ready.lower_bound(from));
-            if (pick == kNoTask)
-                scan(ex.ready.begin());
-            if (pick != kNoTask)
-                ex.rrNext = std::uint32_t(pick) + 1;
-        } else {
-            scan(ex.ready.begin());
-        }
         if (pick == kNoTask) {
-            if (saw_unfit)
-                break; // nothing fits the wall: the run is over
-            continue;  // everything retired; re-check events
+            if (rr_rotation) {
+                // Rotate: first ready index at or after the cursor,
+                // else wrap to the smallest (the historical
+                // scheduler's pick).
+                ReadyKey from;
+                from.idx = ex.rrNext;
+                scan(ex.ready.lower_bound(from));
+                if (pick == kNoTask)
+                    scan(ex.ready.begin());
+                if (pick != kNoTask)
+                    ex.rrNext = std::uint32_t(pick) + 1;
+            } else {
+                scan(ex.ready.begin());
+            }
+            if (pick == kNoTask) {
+                if (saw_unfit)
+                    break; // nothing fits the wall: the run is over
+                continue;  // everything retired; re-check events
+            }
         }
 
         ++ex.counters.dispatches;
@@ -616,18 +803,25 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
         const double arrival = c.arrivalSec(pidx);
         const double dep = c.departSec(pidx);
         const double rate = c.rateSps(pidx);
-        const bool rate_gated = cfg.rateGates && rate > 0.0;
+        const bool rate_gated = rate_gates && rate > 0.0;
         const std::uint64_t limit = c.stepLimit(pidx);
         // Strict-preempt scan pointer: consumed monotonically as the
         // iteration start advances, never past unconsumed arrivals.
         std::size_t peek = ex.arrCursor;
+        // `arrival + done/rate` changes only when `done` does; caching
+        // the latest value saves the deadline check, the coalesce
+        // check and the end-of-dispatch transition their own FP
+        // divisions.  Reuse of the identical expression cannot change
+        // a byte.
+        double due_cache = 0.0;
+        bool due_cached = false;
 
         // Whether the quantum-expiry re-pick is a guaranteed no-op:
         // no other ready task, no promotable event, boundary not hit.
         // Then re-enqueue + promote + pick hands the engine straight
         // back to this task and the round trip can be skipped.
         auto canCoalesce = [&]() {
-            if (!cfg.coalesce)
+            if (!coalesce)
                 return false;
             if (!ex.ready.empty())
                 return false;
@@ -643,9 +837,11 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
             if (dep > 0.0 && ex.nowSec + step_sec > dep + kEps)
                 return false;
             if (rate_gated &&
-                arrival + double(tc.done) / rate > ex.nowSec + kEps)
+                (due_cached ? due_cache
+                            : arrival + double(tc.done) / rate) >
+                    ex.nowSec + kEps)
                 return false;
-            if (nextArrivalSec(c, ex) <= ex.nowSec + kEps)
+            if (nextArr() <= ex.nowSec + kEps)
                 return false;
             if (nextGateDueSec(c, ex) <= ex.nowSec + kEps)
                 return false;
@@ -658,7 +854,7 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
         bool dispatching = true;
         while (dispatching) {
             std::uint64_t q = 0;
-            for (; q < cfg.quantumIters; ++q) {
+            for (; q < quantum; ++q) {
                 if (limit > 0 && tc.done >= limit) {
                     dispatching = false;
                     break;
@@ -674,7 +870,9 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
                 }
                 double due = 0.0;
                 if (rate_gated) {
-                    due = arrival + double(tc.done) / rate;
+                    due = due_cached
+                              ? due_cache
+                              : arrival + double(tc.done) / rate;
                     if (due > ex.nowSec + kEps) {
                         dispatching = false;
                         break; // next step not issued yet
@@ -696,8 +894,17 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
                 ++ex.counters.steps;
                 c.onStep(ex, pidx, step_start, ex.nowSec - eligible);
                 tc.lastCompletionSec = ex.nowSec;
-                if (ex.nowSec <=
-                    stepDeadlineSec(c, pidx, tc.done) + kEps)
+                double deadline;
+                if (rate > 0.0) {
+                    // stepDeadlineSec's rate branch, computed here so
+                    // the due cache picks up the new `done`'s value.
+                    deadline = arrival + double(tc.done) / rate;
+                    due_cache = deadline;
+                    due_cached = true;
+                } else {
+                    deadline = stepDeadlineSec(c, pidx, tc.done);
+                }
+                if (ex.nowSec <= deadline + kEps)
                     ++tc.metDeadlines;
                 if (limit > 0 && tc.done >= limit) {
                     tc.completed = true;
@@ -705,12 +912,12 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
                     dispatching = false;
                     break;
                 }
-                if (!cfg.wallBoundary && ex.nowSec + kEps >= t1) {
+                if (!wall_boundary && ex.nowSec + kEps >= t1) {
                     dispatching = false;
                     break;
                 }
                 // Preemption point: a new arrival is waiting.
-                if (cfg.strictArrivalPreempt) {
+                if (strict_preempt) {
                     while (peek < ex.arrivals.size() &&
                            c.arrivalSec(ex.arrivals[peek]) <=
                                step_start + kEps)
@@ -740,15 +947,30 @@ runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
         } else if (dep > 0.0 && ex.nowSec + step_sec > dep + kEps) {
             retire(c, ex, pidx);
         } else if (rate_gated) {
-            const double due = arrival + double(tc.done) / rate;
+            const double due =
+                due_cached ? due_cache
+                           : arrival + double(tc.done) / rate;
             if (due > ex.nowSec + kEps)
                 gate(c, ex, pidx, due);
             else
-                enqueueReady(c, ex, cfg, pidx);
+                enqueueReadyT<kSteady>(c, ex, cfg, pidx);
         } else {
-            enqueueReady(c, ex, cfg, pidx);
+            enqueueReadyT<kSteady>(c, ex, cfg, pidx);
         }
     }
+}
+
+template <class Client>
+inline void
+runUntil(Client &c, Executor &ex, const Config &cfg, double t1)
+{
+    if (cfg.policy == Policy::kRoundRobin && !cfg.rrIndexRotation &&
+        cfg.rateGates && !cfg.strictArrivalPreempt &&
+        !cfg.idleSkipsBlocked && !cfg.endRunWhenNoWallFit &&
+        !cfg.wallBoundary && cfg.coalesce && cfg.quantumIters == 1)
+        runUntilT<true>(c, ex, cfg, t1);
+    else
+        runUntilT<false>(c, ex, cfg, t1);
 }
 
 } // namespace serve_core

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <exception>
 #include <sstream>
-#include <thread>
 
 #include "backend/registry.h"
 #include "common/logging.h"
+#include "common/task_pool.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 
@@ -63,7 +63,8 @@ runScenario(const Scenario &scenario)
 }
 
 SweepRunner::SweepRunner(SweepOptions opts)
-    : opts_(std::move(opts)), plans_(opts_.planCache)
+    : opts_(std::move(opts)),
+      plans_(opts_.planCache, opts_.planCacheStripes)
 {
     if (opts_.threads < 1)
         opts_.threads = 1;
@@ -143,40 +144,26 @@ SweepRunner::run(const std::vector<Scenario> &scenarios)
     }
 
     std::vector<ScenarioResult> job_results(jobs.size());
-    std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t g = next.fetch_add(1);
-            if (g >= groups.size())
-                return;
-            for (const std::size_t j : groups[g]) {
-                job_results[j] =
-                    runScenario(scenarios[jobs[j]], plans_);
-                const std::size_t finished = done.fetch_add(1) + 1;
-                if (opts_.progress) {
-                    std::lock_guard<std::mutex> lock(progress_mutex);
-                    opts_.progress(finished, jobs.size(),
-                                   scenarios[jobs[j]]);
-                }
-            }
-        }
-    };
     {
         obs::ScopedPhase phase("scenario_eval");
-        const std::size_t pool_size = std::min<std::size_t>(
-            std::size_t(opts_.threads), groups.size());
-        if (pool_size <= 1) {
-            worker();
-        } else {
-            std::vector<std::thread> pool;
-            pool.reserve(pool_size);
-            for (std::size_t t = 0; t < pool_size; ++t)
-                pool.emplace_back(worker);
-            for (std::thread &t : pool)
-                t.join();
-        }
+        // One persistent-pool lane claims a whole group (see the
+        // grouping comment above); the shared TaskPool replaces the
+        // per-run() thread spawn/join this loop used to pay.
+        TaskPool::shared().parallelFor(
+            groups.size(), opts_.threads, [&](std::size_t g) {
+                for (const std::size_t j : groups[g]) {
+                    job_results[j] =
+                        runScenario(scenarios[jobs[j]], plans_);
+                    const std::size_t finished = done.fetch_add(1) + 1;
+                    if (opts_.progress) {
+                        std::lock_guard<std::mutex> lock(progress_mutex);
+                        opts_.progress(finished, jobs.size(),
+                                       scenarios[jobs[j]]);
+                    }
+                }
+            });
     }
 
     const PlanCache::Stats plans_after = plans_.stats();

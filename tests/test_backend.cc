@@ -19,6 +19,7 @@
 #include "backend/chip_backend.h"
 #include "backend/plan_cache.h"
 #include "backend/registry.h"
+#include "common/task_pool.h"
 #include "sweep/emit.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
@@ -199,6 +200,55 @@ TEST(PlanCache, DisabledCacheBuildsFreshAndCountsNothing)
     EXPECT_EQ(plans.size(), 0u);
     EXPECT_EQ(plans.stats().hits(), 0u);
     EXPECT_EQ(plans.stats().misses(), 0u);
+}
+
+/**
+ * The striping width and the caller's thread count are pure
+ * concurrency knobs: a key hashes to one stripe whatever their
+ * number, concurrent same-key misses resolve first-insert-wins with
+ * the loser counting a hit, and stats() sums stripes in index order.
+ * So the hit/miss totals must be byte-identical across stripe counts
+ * {1, 4, 16} x thread counts {1, 4} for the same lookup workload.
+ */
+TEST(PlanCache, HitMissTotalsIndependentOfStripesAndThreads)
+{
+    const char *kModels[] = {"SqueezeNet", "MobileNet"};
+    const int kBatches[] = {4, 8};
+
+    // Each of `tasks` workers performs the identical lookup sequence:
+    // misses == distinct keys, hits == lookups - misses, regardless
+    // of which worker builds first or which stripe a key lands on.
+    auto drive = [&](PlanCache &plans, int threads) {
+        TaskPool pool;
+        const std::size_t tasks = std::size_t(threads) * 2;
+        pool.parallelFor(tasks, threads, [&](std::size_t) {
+            for (const char *model : kModels) {
+                const auto net = plans.network(model, 0);
+                for (int batch : kBatches)
+                    plans.stream(*net, model, 0,
+                                 TrainingAlgorithm::kDpSgdR, batch, 0);
+            }
+        });
+        return tasks;
+    };
+
+    for (int threads : {1, 4}) {
+        for (std::size_t stripes : {1u, 4u, 16u}) {
+            PlanCache plans(true, stripes);
+            EXPECT_EQ(plans.stripeCount(), stripes);
+            const std::size_t tasks = drive(plans, threads);
+            const PlanCache::Stats s = plans.stats();
+            EXPECT_EQ(s.networkMisses, 2u)
+                << stripes << " stripes, " << threads << " threads";
+            EXPECT_EQ(s.streamMisses, 4u)
+                << stripes << " stripes, " << threads << " threads";
+            EXPECT_EQ(s.networkHits, tasks * 2u - 2u)
+                << stripes << " stripes, " << threads << " threads";
+            EXPECT_EQ(s.streamHits, tasks * 4u - 4u)
+                << stripes << " stripes, " << threads << " threads";
+            EXPECT_EQ(plans.size(), 6u);
+        }
+    }
 }
 
 TEST(PlanCache, UnknownModelThrowsAndCachesNothing)

@@ -142,6 +142,71 @@ TEST(Percentile, SelectionMatchesSortReferenceBitIdentically)
     }
 }
 
+TEST(Percentile, CensusPathMatchesSortReferenceBitIdentically)
+{
+    // Large strictly-positive duplicate-heavy sets take the
+    // distinct-value census path (rank lookups over per-value counts
+    // instead of selection / radix sort).  Its stats must match the
+    // sort reference bit-for-bit, and the sorted-mean variant's mean
+    // must equal an ascending-order accumulation exactly -- the census
+    // replays that exact addition sequence per distinct value.
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+    auto next = [&lcg]() {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lcg >> 33;
+    };
+    for (std::size_t n : {4096u, 5000u, 20000u}) {
+        // A pool of ~64 distinct positive values, wildly duplicated --
+        // the shape fleet latency aggregation actually sees.
+        std::vector<double> pool;
+        for (int i = 0; i < 64; ++i)
+            pool.push_back(0.001 + double(next() % 10000) / 1000.0);
+        std::vector<double> samples;
+        samples.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            samples.push_back(pool[next() % pool.size()]);
+
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        const LatencyStats s = computeLatencyStats(samples);
+        EXPECT_EQ(s.count, n);
+        EXPECT_EQ(s.p50Sec, percentileSorted(sorted, 50.0)) << "n=" << n;
+        EXPECT_EQ(s.p95Sec, percentileSorted(sorted, 95.0)) << "n=" << n;
+        EXPECT_EQ(s.p99Sec, percentileSorted(sorted, 99.0)) << "n=" << n;
+        EXPECT_EQ(s.maxSec, sorted.back()) << "n=" << n;
+
+        const LatencyStats agg = computeLatencyStatsSortedMean(samples);
+        EXPECT_EQ(agg.p50Sec, s.p50Sec);
+        EXPECT_EQ(agg.p95Sec, s.p95Sec);
+        EXPECT_EQ(agg.p99Sec, s.p99Sec);
+        EXPECT_EQ(agg.maxSec, s.maxSec);
+        double sum = 0.0;
+        for (double v : sorted)
+            sum += v;
+        EXPECT_EQ(agg.meanSec, sum / double(n)) << "n=" << n;
+    }
+
+    // A single non-positive sample disqualifies the census (positive
+    // doubles order by raw bits; zero and negatives do not), so the
+    // fallback must kick in and still match the sort reference.
+    std::vector<double> mixed(4096, 2.5);
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+        mixed[i] = 0.5 + double(i % 97) / 97.0;
+    mixed[1234] = 0.0;
+    std::vector<double> sortedMixed = mixed;
+    std::sort(sortedMixed.begin(), sortedMixed.end());
+    const LatencyStats m = computeLatencyStats(mixed);
+    EXPECT_EQ(m.p50Sec, percentileSorted(sortedMixed, 50.0));
+    EXPECT_EQ(m.p99Sec, percentileSorted(sortedMixed, 99.0));
+    EXPECT_EQ(m.maxSec, sortedMixed.back());
+    const LatencyStats ma = computeLatencyStatsSortedMean(mixed);
+    EXPECT_EQ(ma.p50Sec, m.p50Sec);
+    double msum = 0.0;
+    for (double v : sortedMixed)
+        msum += v;
+    EXPECT_EQ(ma.meanSec, msum / double(mixed.size()));
+}
+
 TEST(Percentile, StatsAreOrderedAndSorted)
 {
     // Unsorted input with a heavy tail: p50 <= p95 <= p99 <= max.

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the shared persistent work-stealing TaskPool: exact
+ * [0, count) coverage under every chunking, inline execution of
+ * trivial and nested runs, reuse across rounds, and determinism of
+ * disjoint-state workloads across pool sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/task_pool.h"
+
+namespace diva
+{
+namespace
+{
+
+/**
+ * Every index in [0, count) must run exactly once, whatever the lane
+ * count -- including counts that do not divide evenly, counts smaller
+ * than the worker count, and the empty run.  This is the chunking
+ * contract: chunk l covers [l*count/lanes, (l+1)*count/lanes) and the
+ * chunks tile [0, count) with no overlap and no gap.
+ */
+TEST(TaskPool, EveryIndexRunsExactlyOnce)
+{
+    TaskPool pool;
+    for (std::size_t count : {0u, 1u, 2u, 3u, 7u, 8u, 64u, 1000u}) {
+        for (int workers : {1, 2, 3, 5, 8}) {
+            std::vector<std::atomic<int>> seen(count);
+            for (auto &s : seen)
+                s.store(0);
+            pool.parallelFor(count, workers, [&](std::size_t i) {
+                ASSERT_LT(i, count);
+                seen[i].fetch_add(1);
+            });
+            for (std::size_t i = 0; i < count; ++i)
+                ASSERT_EQ(seen[i].load(), 1)
+                    << "index " << i << " of " << count << " with "
+                    << workers << " workers";
+        }
+    }
+}
+
+/** Trivial runs (1 worker or 1 index) stay on the calling thread and
+ *  never spawn pool threads. */
+TEST(TaskPool, TrivialRunsExecuteInlineWithoutWorkers)
+{
+    TaskPool pool;
+    int hits = 0;
+    pool.parallelFor(16, 1, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits, 16);
+    pool.parallelFor(1, 8, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++hits;
+    });
+    EXPECT_EQ(hits, 17);
+    pool.parallelFor(0, 8, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits, 17);
+    // None of the above may have touched the pool machinery.
+    EXPECT_EQ(pool.workerCount(), 0u);
+}
+
+/** Nested parallelFor from inside a lane runs inline (no deadlock on
+ *  the pool's own workers) and still covers every inner index. */
+TEST(TaskPool, NestedCallsRunInlineAndCoverEverything)
+{
+    TaskPool pool;
+    constexpr std::size_t kOuter = 4;
+    constexpr std::size_t kInner = 100;
+    std::vector<std::atomic<int>> cells(kOuter * kInner);
+    for (auto &c : cells)
+        c.store(0);
+    pool.parallelFor(kOuter, 4, [&](std::size_t o) {
+        pool.parallelFor(kInner, 4, [&](std::size_t i) {
+            cells[o * kInner + i].fetch_add(1);
+        });
+    });
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        ASSERT_EQ(cells[i].load(), 1) << "cell " << i;
+}
+
+/** The pool persists across rounds: workers spawn once for the
+ *  largest request and later rounds reuse them. */
+TEST(TaskPool, ReusedAcrossRoundsWithoutRespawning)
+{
+    TaskPool pool;
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(32, 4, [&](std::size_t) { total.fetch_add(1); });
+    const std::size_t spawned = pool.workerCount();
+    EXPECT_GE(spawned, 1u);
+    EXPECT_LE(spawned, 3u); // the caller is lane 0
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(32, 4,
+                         [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 32u * 51u);
+    EXPECT_EQ(pool.workerCount(), spawned); // no growth, no respawn
+}
+
+/**
+ * Disjoint-state workloads -- each index writes only its own slot --
+ * produce identical results at every pool size.  This is the property
+ * the fleet's byte-identity across --threads rests on.
+ */
+TEST(TaskPool, DisjointWorkloadResultsIndependentOfPoolSize)
+{
+    TaskPool pool;
+    constexpr std::size_t kN = 257; // prime: uneven chunks everywhere
+    auto run = [&](int workers) {
+        std::vector<double> out(kN, 0.0);
+        pool.parallelFor(kN, workers, [&](std::size_t i) {
+            double v = double(i) + 1.0;
+            for (int k = 0; k < 8; ++k)
+                v = v * 1.0000001 + double(k);
+            out[i] = v;
+        });
+        return out;
+    };
+    const std::vector<double> one = run(1);
+    for (int workers : {2, 4, 8})
+        EXPECT_EQ(run(workers), one) << workers << " workers";
+}
+
+/** The process-wide shared pool is a single instance. */
+TEST(TaskPool, SharedPoolIsSingleton)
+{
+    EXPECT_EQ(&TaskPool::shared(), &TaskPool::shared());
+}
+
+} // namespace
+} // namespace diva
