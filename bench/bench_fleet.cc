@@ -11,7 +11,10 @@
  * A thread-scaling sweep (threads 1/2/4/8 at 8 and 64 pods) emits one
  * "scale_p<pods>_t<threads>" row per point, so the regression harness
  * catches scaling regressions (a serialized pool, a contended lock)
- * and not just single-point throughput drift.  Flags:
+ * and not just single-point throughput drift.  An "obs_overhead_p64"
+ * row times the 64-pod replay with the windowed telemetry + SLO layer
+ * off and on; ci/check_bench.py gates the fractional cost at 5%.
+ * Flags:
  *
  *   --threads N    epoch workers for the headline rows (default: the
  *                  machine's hardware concurrency)
@@ -33,6 +36,7 @@
 #include "common/format.h"
 #include "common/table.h"
 #include "fleet/engine.h"
+#include "obs/slo.h"
 
 using namespace diva;
 
@@ -103,6 +107,10 @@ struct ReplayFigures
     double eventsPerSec = 0.0;
     double migrationsPerSec = 0.0;
     double planHitRate = 0.0;
+    /** Set (>= 0) only on the obs_overhead row: the same replay with
+     *  full telemetry on, and the fractional throughput cost. */
+    double obsSessionsPerSec = -1.0;
+    double obsOverheadFrac = -1.0;
 };
 
 ReplayFigures
@@ -132,6 +140,68 @@ timeReplay(int pods, int sessions, SweepRunner &runner, int threads)
     return f;
 }
 
+/**
+ * Telemetry overhead on the 64-pod replay: the same warm-cache run
+ * timed with the windowed-telemetry layer off and on (auto window,
+ * global + per-priority SLO targets, i.e. every per-step hook live).
+ * Best-of-5 each way, with the off/on pairs interleaved, so scheduler
+ * noise and clock drift do not masquerade as overhead;
+ * ci/check_bench.py gates obs_overhead_frac at 5%.
+ */
+ReplayFigures
+timeObsOverhead(int pods, int sessions, int threads)
+{
+    const ArrivalTrace trace = diurnalTrace(sessions);
+    const FleetSpec spec = fleetOf(pods);
+    SweepOptions opts;
+    opts.threads = threads;
+    SweepRunner runner(opts);
+
+    auto timeOne = [&](bool telemetryOn) {
+        obs::RunTelemetry tel;
+        if (telemetryOn) {
+            std::string err;
+            if (!obs::parseSloSpec("0.5,1:0.25", &tel.slo, &err)) {
+                std::cerr << "bench_fleet: " << err << "\n";
+                std::exit(1);
+            }
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const FleetResult r =
+            simulateFleet(spec, trace, runner, threads, nullptr,
+                          telemetryOn ? &tel : nullptr);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+            std::cerr << "bench_fleet: " << r.error << "\n";
+            std::exit(1);
+        }
+        return double(trace.jobs.size()) /
+               std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    // Warm the plan cache so both timed sides price identically, then
+    // interleave the off/on pairs so clock drift (turbo decay, a
+    // noisy neighbor) hits both sides equally instead of whichever
+    // batch ran second.
+    simulateFleet(spec, trace, runner, threads);
+    double off = 0.0;
+    double on = 0.0;
+    for (int i = 0; i < 7; ++i) {
+        off = std::max(off, timeOne(false));
+        on = std::max(on, timeOne(true));
+    }
+
+    ReplayFigures f;
+    f.mode = "obs_overhead_p" + std::to_string(pods);
+    f.pods = pods;
+    f.threads = threads;
+    f.sessions = trace.jobs.size();
+    f.sessionsPerSec = off;
+    f.obsSessionsPerSec = on;
+    f.obsOverheadFrac = std::max(0.0, 1.0 - on / off);
+    return f;
+}
+
 void
 writeFleetJson(const std::string &path,
                const std::vector<ReplayFigures> &figures)
@@ -149,13 +219,18 @@ writeFleetJson(const std::string &path,
             << ", \"events_per_sec\": " << jsonNumber(f.eventsPerSec)
             << ", \"migrations_per_sec\": "
             << jsonNumber(f.migrationsPerSec)
-            << ", \"plan_cache_hit_rate\": " << jsonNumber(f.planHitRate)
-            << "}";
+            << ", \"plan_cache_hit_rate\": " << jsonNumber(f.planHitRate);
+        if (f.obsSessionsPerSec >= 0.0)
+            row << ", \"obs_sessions_per_sec\": "
+                << jsonNumber(f.obsSessionsPerSec)
+                << ", \"obs_overhead_frac\": "
+                << jsonNumber(f.obsOverheadFrac);
+        row << "}";
         rows.push_back(row.str());
     }
     benchutil::writeBenchJson(
         path, "fleet",
-        {{"mode", "row key (thread-scaling sweep rows only)"},
+        {{"mode", "row key (sweep / obs-overhead rows only)"},
          {"pods", "count"},
          {"threads", "epoch workers"},
          {"sessions", "count"},
@@ -163,7 +238,11 @@ writeFleetJson(const std::string &path,
          {"events_per_sec",
           "serve-core events processed per wall-clock second"},
          {"migrations_per_sec", "migrations per wall-clock second"},
-         {"plan_cache_hit_rate", "fraction in [0,1]"}},
+         {"plan_cache_hit_rate", "fraction in [0,1]"},
+         {"obs_sessions_per_sec",
+          "same replay with full windowed telemetry + SLO monitoring"},
+         {"obs_overhead_frac",
+          "1 - obs_sessions_per_sec / sessions_per_sec, gated <= 0.05"}},
         "fleets", rows);
 }
 
@@ -220,6 +299,18 @@ printFleetThroughput(const std::string &outPath, int threads,
             }
     }
     table.print(std::cout);
+
+    // Telemetry cost on the big fleet (warm cache, best of 3/side).
+    const ReplayFigures obs = timeObsOverhead(64, sessions, threads);
+    figures.push_back(obs);
+    std::cout << "\ntelemetry overhead @" << obs.pods << " pods: off="
+              << TextTable::fmt(obs.sessionsPerSec, 0)
+              << " sessions/s, on="
+              << TextTable::fmt(obs.obsSessionsPerSec, 0)
+              << " sessions/s, overhead="
+              << TextTable::fmt(obs.obsOverheadFrac * 100.0, 2)
+              << "%\n";
+
     writeFleetJson(outPath, figures);
     std::cout << "\nwrote " << outPath << "\n\n";
 }

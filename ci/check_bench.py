@@ -13,7 +13,10 @@ Rows are matched between baseline and current by their key field
 throughput field (name ending in _per_sec or _per_min) must not drop
 by more than --max-drop relative to the baseline.  Non-throughput
 fields (counts, hit rates, ratios) are reported but never gate: they
-describe the workload, not the machine.
+describe the workload, not the machine.  The one exception is
+overhead fractions: a current-row field ending in _overhead_frac is
+an absolute budget and must not exceed --max-overhead (default 0.05),
+regardless of what the baseline measured.
 
 A baseline numeric field that is absent from the matching current row
 is a failure in its own right (the bench silently stopped reporting
@@ -79,6 +82,13 @@ def main():
         help="maximum tolerated fractional throughput drop "
         "(default 0.30 = 30%%)",
     )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="absolute ceiling for *_overhead_frac fields "
+        "(default 0.05 = 5%%)",
+    )
     args = parser.parse_args()
 
     base_doc, base_rows = load(args.baseline)
@@ -128,6 +138,29 @@ def main():
                 f"{bench:>6}/{key:<18} {field:<22} "
                 f"base={want:>12.3g} cur={got:>12.3g} "
                 f"({ratio * 100.0:6.1f}%) {status}"
+            )
+
+    # Overhead fractions gate on the current run's absolute value: the
+    # budget is a design contract, not a drift bound.
+    for cur in cur_rows:
+        key = row_key(cur)
+        for field, value in cur.items():
+            if not field.endswith("_overhead_frac"):
+                continue
+            if not isinstance(value, (int, float)):
+                continue
+            frac = float(value)
+            status = "ok"
+            if frac > args.max_overhead:
+                status = "OVER BUDGET"
+                failures.append(
+                    f"[{bench}/{key}] {field}: {frac:.4f} exceeds the "
+                    f"{args.max_overhead:.2f} budget"
+                )
+            print(
+                f"{bench:>6}/{key:<18} {field:<22} "
+                f"budget={args.max_overhead:>12.3g} cur={frac:>12.3g} "
+                f"{status}"
             )
 
     profile = cur_doc.get("profile")

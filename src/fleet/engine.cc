@@ -15,6 +15,7 @@
 #include "fleet/migration.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "tenant/context_switch.h"
 #include "tenant/serve.h"
@@ -112,9 +113,26 @@ struct TenantRt
      *  steps > 0; step k's latency lands in slot latOff + k - 1). */
     std::size_t latOff = 0;
 
+    /** Index into FleetSim::prioValues (telemetry runs only). */
+    std::uint32_t prioSlot = 0;
+
     /** Overflow store for unbounded sessions (steps == 0), whose
      *  sample count has no a-priori cap. */
     std::vector<double> latencySec;
+};
+
+/** One pod's per-window telemetry accumulator: event counts, busy
+ *  seconds and joules landed in the window, plus the queue-depth /
+ *  gated-count gauges sampled at the window's first billable event. */
+struct PodObsRow
+{
+    std::int64_t w = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t switches = 0;
+    double busySec = 0.0;
+    double energyJ = 0.0;
+    double queueDepth = 0.0;
+    double gated = 0.0;
 };
 
 /** Mutable per-pod state; epochs touch only their own pod's. */
@@ -151,6 +169,30 @@ struct PodRt
     std::size_t finishedThisEpoch = 0;
 
     std::vector<double> latencySec;
+
+    // Windowed telemetry (telemetry runs only). All pod-owned:
+    // written by whichever worker runs this pod's epoch -- the pod
+    // clock is monotone, so obsRows flush in increasing window order
+    // -- and merged sequentially in pod-index order at assemble.
+    bool obsOpen = false;
+    PodObsRow obsCur;
+    /** Upper edge of the open window. Events roll the row with one FP
+     *  compare against this instead of recomputing their window index
+     *  (windowUpperEdge makes the compare bitwise-equivalent to the
+     *  floor). +inf when telemetry is off, so the hot-path compare
+     *  never fires; telemetry setup drops it to -inf to force the
+     *  first roll. */
+    double obsEdgeSec = kInf;
+    std::vector<PodObsRow> obsRows;
+    /** Cumulative-counter snapshots taken when the open row rolled;
+     *  the row's counters are the deltas since then, so the step/
+     *  switch hot paths never touch the row itself. */
+    std::uint64_t obsBaseSteps = 0;
+    std::uint64_t obsBaseSwitches = 0;
+    double obsBaseBusySec = 0.0;
+    double obsBaseEnergyJ = 0.0;
+    std::vector<obs::ComponentWindows> latWindows; // one per prioSlot
+    std::uint64_t decompFailures = 0;
 };
 
 /** Run the callable over [0, count) pod indices on up to `threads`
@@ -253,6 +295,69 @@ struct FleetSim
     obs::TraceTrack *control = nullptr;
     std::vector<obs::TraceTrack *> podTracks;
 
+    /**
+     * Optional windowed telemetry. Hot-path hooks accumulate into the
+     * executing pod's own state (PodRt) only; the cluster maps below
+     * are written solely from sequential boundary code (placement,
+     * budget, rebalance), and everything merges into the bundle at
+     * the sequential assemble publish point.
+     */
+    obs::RunTelemetry *telemetry = nullptr;
+    std::vector<int> prioValues; ///< distinct priorities, ascending
+    std::map<std::int64_t, double> wPlaced, wRejected, wMigrations,
+        wSuspensions, wResumes;
+
+    /** Close the open row, filling its counters from the pod's
+     *  cumulative accumulators (delta since the row opened), and
+     *  rebase the snapshots. Steps and switches bill themselves to
+     *  the open window by bumping only the run-level counters;
+     *  control-plane contributions (a migration transfer's busy and
+     *  energy seconds) fold into whichever window is open -- or next
+     *  opens -- on the destination pod when they land. */
+    void
+    flushObsRow(PodRt &pod)
+    {
+        if (pod.obsOpen) {
+            pod.obsCur.steps = pod.steps - pod.obsBaseSteps;
+            pod.obsCur.switches =
+                pod.switches - pod.obsBaseSwitches;
+            pod.obsCur.busySec = pod.busySec - pod.obsBaseBusySec;
+            pod.obsCur.energyJ = pod.energyJ - pod.obsBaseEnergyJ;
+            pod.obsRows.push_back(pod.obsCur);
+            pod.obsOpen = false;
+        }
+        pod.obsBaseSteps = pod.steps;
+        pod.obsBaseSwitches = pod.switches;
+        pod.obsBaseBusySec = pod.busySec;
+        pod.obsBaseEnergyJ = pod.energyJ;
+    }
+
+    /** Open the window holding the pod clock. Callers check the edge
+     *  BEFORE the event's accumulators land, so the cumulative-delta
+     *  row attributes the triggering event to its own window. */
+    void
+    rollObsRow(PodRt &pod, const serve_core::Executor &ex)
+    {
+        flushObsRow(pod);
+        const std::int64_t w =
+            obs::windowIndexOf(ex.nowSec, telemetry->invWindowSec);
+        pod.obsCur = PodObsRow{};
+        pod.obsCur.w = w;
+        pod.obsCur.queueDepth = double(ex.ready.size());
+        pod.obsCur.gated = double(ex.gated.size());
+        pod.obsOpen = true;
+        pod.obsEdgeSec = obs::windowUpperEdge(
+            w, telemetry->windowSec, telemetry->invWindowSec);
+    }
+
+    void
+    bumpCluster(std::map<std::int64_t, double> &series, double tSec)
+    {
+        if (telemetry)
+            ++series[obs::windowIndexOf(tSec,
+                                        telemetry->invWindowSec)];
+    }
+
     FleetSim(const FleetSpec &s, const ArrivalTrace &t, FleetResult &o)
         : spec(s), trace(t), out(o)
     {
@@ -314,7 +419,8 @@ struct FleetSim
     }
     void onSwitch(serve_core::Executor &ex, std::uint32_t i);
     void onStep(serve_core::Executor &ex, std::uint32_t i,
-                double stepStartSec, double latencySec);
+                double stepStartSec, double latencySec,
+                double eligibleSec, double switchLeadSec);
     void onRetire(serve_core::Executor &ex, std::uint32_t i);
 
     /** Price every (pod type, tenant class) pair through the runner. */
@@ -335,6 +441,7 @@ struct FleetSim
 
     void run(int threads);
     void assemble(int threads);
+    void publishTelemetry();
 };
 
 std::string
@@ -503,6 +610,7 @@ FleetSim::placeOne(std::size_t i)
         rt.core.state = TaskState::kDone;
         ++out.rejectedCount;
         --unfinished;
+        bumpCluster(wRejected, a);
         if (control)
             control->instant(a, "reject " + job.name, "admission");
         return;
@@ -513,6 +621,7 @@ FleetSim::placeOne(std::size_t i)
     ++pod.placed;
     pod.core.arrivals.push_back(std::uint32_t(i));
     pod.members.push_back(std::uint32_t(i));
+    bumpCluster(wPlaced, a);
     if (control)
         control->instant(a,
                          "place " + job.name + " -> " +
@@ -543,6 +652,8 @@ FleetSim::onSwitch(serve_core::Executor &ex, std::uint32_t i)
     PodRt &pod = pods[ex.id];
     TenantRt &rt = tenants[i];
     const SwitchCost &sw = switchCosts[pod.type];
+    if (ex.nowSec >= pod.obsEdgeSec)
+        rollObsRow(pod, ex);
     ++pod.switches;
     ++rt.switchesIn;
     pod.switchSec += sw.seconds;
@@ -559,11 +670,14 @@ FleetSim::onSwitch(serve_core::Executor &ex, std::uint32_t i)
 
 void
 FleetSim::onStep(serve_core::Executor &ex, std::uint32_t i,
-                 double stepStartSec, double latencySec)
+                 double stepStartSec, double latencySec,
+                 double eligibleSec, double switchLeadSec)
 {
     PodRt &pod = pods[ex.id];
     TenantRt &rt = tenants[i];
     const IterationCost &cost = costOf(pod.type, rt.cls);
+    if (ex.nowSec >= pod.obsEdgeSec)
+        rollObsRow(pod, ex);
     pod.busySec += cost.seconds;
     pod.epochBusySec += cost.seconds;
     pod.energyJ += cost.energyJ;
@@ -583,6 +697,33 @@ FleetSim::onStep(serve_core::Executor &ex, std::uint32_t i,
         rt.latencySec.push_back(latencySec);
     pod.latencySec.push_back(latencySec);
     pod.lastActiveSec = ex.nowSec;
+    if (telemetry) {
+        // Stall overlaps: the switch billed immediately ahead of this
+        // step, and the part of the wait spent in this tenant's
+        // migration state transfer. Most steps have neither, so the
+        // overlap arithmetic stays off the common path.
+        obs::LatencyComponents comp;
+        bool exact;
+        if (switchLeadSec == 0.0 && rt.gateUntil <= eligibleSec) {
+            exact = obs::decomposeLatencyAudited(
+                latencySec, cost.seconds, 0.0, 0.0, &comp);
+        } else {
+            const double wait =
+                std::max(0.0, stepStartSec - eligibleSec);
+            const double sw_ov = std::min(switchLeadSec, wait);
+            const double mig_ov = std::clamp(
+                rt.gateUntil - eligibleSec, 0.0, wait - sw_ov);
+            exact = obs::decomposeLatencyAudited(
+                latencySec, cost.seconds, sw_ov, mig_ov, &comp);
+        }
+        // decompSteps is derived at publish (it equals the recorded
+        // window steps), so the hot path only tracks failures -- a
+        // never-taken branch when the invariant holds.
+        if (!exact)
+            ++pod.decompFailures;
+        pod.latWindows[rt.prioSlot].recordAt(pod.obsCur.w,
+                                             latencySec, comp);
+    }
     if (sink)
         podTracks[ex.id]->span(stepStartSec,
                                stepStartSec + cost.seconds,
@@ -669,6 +810,7 @@ FleetSim::enforceBudget(double nowSec, double intervalSec)
         if (want) {
             ++rt.suspensions;
             ++out.suspensions;
+            bumpCluster(wSuspensions, nowSec);
             if (rt.core.state != TaskState::kSuspended)
                 suspendTenant(active[k]);
             if (control)
@@ -677,6 +819,7 @@ FleetSim::enforceBudget(double nowSec, double intervalSec)
                                  "budget");
         } else if (rt.core.state == TaskState::kSuspended) {
             resumeTenant(active[k]);
+            bumpCluster(wResumes, nowSec);
             if (control)
                 control->instant(nowSec,
                                  "resume " + trace.jobs[active[k]].name,
@@ -722,6 +865,7 @@ FleetSim::migrate(std::uint32_t idx, std::size_t srcP,
     out.migrationSec += mc.seconds;
     out.migrationEnergyJ += mc.energyJ;
     out.migrationBytes += mc.dramBytes;
+    bumpCluster(wMigrations, nowSec);
     // An instant, not a span: the transfer window [nowSec, +seconds)
     // may straddle the next epoch boundary, and overlapping spans on
     // one track would break the control track's clean nesting.
@@ -859,6 +1003,35 @@ FleetSim::run(int threads)
         pods[p].core.id = p;
     }
     loadViews.assign(pods.size(), PodLoadView{});
+
+    if (telemetry) {
+        // Window width from the input trace alone (last arrival), so
+        // the same trace always yields the same windows.
+        if (!(telemetry->invWindowSec > 0.0))
+            telemetry->resolveWindow(
+                n > 0 ? trace.jobs.back().arrivalSec : 0.0);
+        prioValues.clear();
+        for (const TenantRt &rt : tenants)
+            prioValues.push_back(rt.priority);
+        std::sort(prioValues.begin(), prioValues.end());
+        prioValues.erase(
+            std::unique(prioValues.begin(), prioValues.end()),
+            prioValues.end());
+        for (TenantRt &rt : tenants)
+            rt.prioSlot = std::uint32_t(
+                std::lower_bound(prioValues.begin(), prioValues.end(),
+                                 rt.priority) -
+                prioValues.begin());
+        for (PodRt &pod : pods) {
+            pod.obsEdgeSec = -kInf; // arm the hot-path edge compare
+            pod.latWindows.resize(prioValues.size());
+            for (std::size_t s = 0; s < prioValues.size(); ++s)
+                pod.latWindows[s].configure(
+                    telemetry->invWindowSec,
+                    telemetry->slo.targetFor(prioValues[s]),
+                    telemetry->slo.globalTargetSec);
+        }
+    }
 
     if (sink) {
         // Tracks are created here, sequentially, before any parallel
@@ -1143,6 +1316,11 @@ FleetSim::assemble(int threads)
     for (FleetPodReport &r : out.pods)
         r.energyShare = safeRatio(r.energyJ, out.totalEnergyJ);
 
+    if (telemetry) {
+        obs::ScopedPhase obs_phase("assemble_telemetry");
+        publishTelemetry();
+    }
+
     // Sequential publish point (after the parallel epochs are done):
     // everything below is a pure function of the simulated outcome,
     // so the snapshot is byte-identical across thread counts.
@@ -1158,6 +1336,14 @@ FleetSim::assemble(int threads)
         metrics.addCounter("fleet.migrations", out.migrations);
         metrics.addCounter("fleet.suspensions", out.suspensions);
         metrics.addCounter("fleet.steps", out.totalSteps);
+        // Cache-state-dependent, so it lives here (diva-metrics-v1)
+        // rather than in the byte-deterministic timeseries document.
+        metrics.addCounter("fleet.plan_cache.hits", out.planHits);
+        metrics.addCounter("fleet.plan_cache.misses", out.planMisses);
+        metrics.setGauge(
+            "fleet.plan_cache.hit_rate",
+            safeRatio(double(out.planHits),
+                      double(out.planHits + out.planMisses)));
         const serve_core::Counters &c = out.coreCounters;
         metrics.addCounter("serve_core.steps", c.steps);
         metrics.addCounter("serve_core.dispatches", c.dispatches);
@@ -1177,12 +1363,94 @@ FleetSim::assemble(int threads)
     }
 }
 
+void
+FleetSim::publishTelemetry()
+{
+    obs::TimeSeriesSnapshot &snap = telemetry->snapshot;
+    using Kind = obs::TimeSeries::Kind;
+    const double W = telemetry->windowSec;
+
+    // Per-pod window series, in pod-index order. The pod clock is
+    // monotone, so obsRows is already window-sorted per pod.
+    for (std::size_t p = 0; p < pods.size(); ++p) {
+        PodRt &pod = pods[p];
+        flushObsRow(pod);
+        const std::string base = "pod." + spec.pods[p].name + ".";
+        obs::TimeSeries &steps =
+            snap.seriesRef(base + "steps", Kind::kCounter);
+        obs::TimeSeries &switches =
+            snap.seriesRef(base + "switches", Kind::kCounter);
+        obs::TimeSeries &busy =
+            snap.seriesRef(base + "busy_s", Kind::kSum);
+        obs::TimeSeries &energy =
+            snap.seriesRef(base + "energy_j", Kind::kSum);
+        obs::TimeSeries &util =
+            snap.seriesRef(base + "util", Kind::kGauge);
+        obs::TimeSeries &power =
+            snap.seriesRef(base + "power_w", Kind::kGauge);
+        obs::TimeSeries &queue =
+            snap.seriesRef(base + "queue_depth", Kind::kGauge);
+        obs::TimeSeries &gated =
+            snap.seriesRef(base + "gated", Kind::kGauge);
+        for (const PodObsRow &r : pod.obsRows) {
+            steps.points[r.w] += double(r.steps);
+            switches.points[r.w] += double(r.switches);
+            busy.points[r.w] += r.busySec;
+            energy.points[r.w] += r.energyJ;
+            util.points[r.w] = r.busySec / W;
+            power.points[r.w] = r.energyJ / W;
+            queue.points[r.w] = r.queueDepth;
+            gated.points[r.w] = r.gated;
+        }
+        telemetry->decompExactFailures += pod.decompFailures;
+    }
+
+    // Per-priority latency decomposition: merge each pod's
+    // single-writer windows in pod-index order, then publish the
+    // series/sketches and the SLO report over the merged rows.
+    std::map<int, std::map<std::int64_t, obs::ComponentWindows::Row>>
+        by_prio;
+    for (PodRt &pod : pods)
+        for (std::size_t s = 0; s < pod.latWindows.size(); ++s) {
+            pod.latWindows[s].finish();
+            // Every decomposed step went through recordAt, so the
+            // audit denominator is the sum of recorded steps.
+            for (const obs::ComponentWindows::Row &r :
+                 pod.latWindows[s].rows())
+                telemetry->decompSteps += r.steps;
+            obs::mergeComponentRows(pod.latWindows[s].rows(),
+                                    &by_prio[prioValues[s]]);
+        }
+    obs::publishLatencyWindows(by_prio, "", telemetry);
+
+    auto emitCluster = [&](const char *name,
+                           const std::map<std::int64_t, double> &m) {
+        for (const auto &[w, v] : m)
+            snap.add(name, Kind::kCounter, w, v);
+    };
+    emitCluster("cluster.placed", wPlaced);
+    emitCluster("cluster.rejected", wRejected);
+    emitCluster("cluster.migrations", wMigrations);
+    emitCluster("cluster.suspensions", wSuspensions);
+    emitCluster("cluster.resumes", wResumes);
+
+    // Breach instants land on the cluster control track; the sink
+    // stable-sorts by timestamp at write time, so appending after the
+    // run keeps the emitted trace ordered.
+    if (control)
+        for (const obs::SloScope &sc : telemetry->report.scopes)
+            for (const obs::SloWindow &sw : sc.windows)
+                if (sw.breach)
+                    control->instant(double(sw.w) * W,
+                                     "slo breach " + sc.name, "slo");
+}
+
 } // namespace
 
 FleetResult
 simulateFleet(const FleetSpec &spec, const ArrivalTrace &trace,
               SweepRunner &runner, int threads,
-              obs::TraceSink *traceSink)
+              obs::TraceSink *traceSink, obs::RunTelemetry *telemetry)
 {
     FleetResult out;
     out.fleetName = spec.name;
@@ -1206,6 +1474,7 @@ simulateFleet(const FleetSpec &spec, const ArrivalTrace &trace,
     FleetSim sim(spec, trace, out);
     sim.n = trace.jobs.size();
     sim.sink = traceSink;
+    sim.telemetry = telemetry;
     {
         obs::ScopedPhase phase("fleet_pricing");
         out.error = sim.price(runner);

@@ -41,6 +41,7 @@ namespace diva
 namespace obs
 {
 class TraceSink;
+struct RunTelemetry;
 }
 
 /** What one tenant session experienced over the fleet run. */
@@ -213,11 +214,24 @@ struct FleetResult
  * instants and budget-epoch spans). Tracks are timestamped in
  * simulated seconds, so the trace too is byte-identical across
  * `threads`. Null leaves the run untouched.
+ *
+ * `telemetry`, when non-null, receives the windowed time-series view
+ * of the run (see obs/slo.h): per-pod window series (steps, switches,
+ * busy seconds, utilization, energy, power, queue depth, gated
+ * count), per-priority latency decompositions and per-window latency
+ * sketches, cluster control-event series, and -- when its SLO spec
+ * monitors anything -- the per-window p99 attainment report, with
+ * breach instants appended to the trace's cluster control track when
+ * `traceSink` is also set. Every telemetry value is accumulated by
+ * the entity that owns it (one pod, one priority class on one pod)
+ * and merged sequentially in pod-index order, so the bundle is
+ * byte-identical across `threads` and reruns.
  */
 FleetResult simulateFleet(const FleetSpec &spec,
                           const ArrivalTrace &trace,
                           SweepRunner &runner, int threads = 1,
-                          obs::TraceSink *traceSink = nullptr);
+                          obs::TraceSink *traceSink = nullptr,
+                          obs::RunTelemetry *telemetry = nullptr);
 
 /** Convenience overload with a private single-threaded runner. */
 FleetResult simulateFleet(const FleetSpec &spec,

@@ -12,15 +12,59 @@ namespace diva
 namespace obs
 {
 
-void
+namespace
+{
+
+/**
+ * Fail fast on unwritable output paths: probe with an append-mode
+ * open (never truncates what is already there) so the tool can exit
+ * with a clear message at startup instead of silently losing the
+ * output after a long run.
+ */
+bool
+probeWritable(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        return true;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        std::cerr << "error: " << flag << " path '" << path
+                  << "' is not writable\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
 CliObs::activate()
 {
+    if (!probeWritable(metricsOut, "--metrics-out") ||
+        !probeWritable(traceOut, "--trace-out") ||
+        !probeWritable(timeseriesOut, "--timeseries-out"))
+        return false;
+    SloSpec slo;
+    if (!sloSpecText.empty()) {
+        std::string err;
+        if (!parseSloSpec(sloSpecText, &slo, &err)) {
+            std::cerr << "error: " << err << "\n";
+            return false;
+        }
+    }
     if (!metricsOut.empty())
         MetricsRegistry::instance().enable(true);
     if (profile)
         Profiler::instance().enable(true);
     if (!traceOut.empty())
         sink = std::make_unique<TraceSink>(traceMaxEvents);
+    if (!timeseriesOut.empty() || slo.enabled() ||
+        obsWindowSec > 0.0) {
+        telemetry = std::make_unique<RunTelemetry>();
+        telemetry->windowSec = obsWindowSec;
+        telemetry->slo = slo;
+    }
+    return true;
 }
 
 bool
@@ -28,6 +72,18 @@ CliObs::finish()
 {
     bool ok = true;
     if (!metricsOut.empty()) {
+        // Cap-induced trace loss belongs in the metrics snapshot too,
+        // so it is visible without opening the trace file.
+        if (sink) {
+            auto &metrics = MetricsRegistry::instance();
+            metrics.addCounter("trace.dropped_events",
+                               sink->dropped());
+            for (const auto &[name, droppedCount] :
+                 sink->droppedByTrack())
+                metrics.addCounter(
+                    "trace.track." + name + ".dropped_events",
+                    droppedCount);
+        }
         std::ofstream os(metricsOut);
         if (os)
             MetricsRegistry::instance().snapshot().writeJson(os);
@@ -45,6 +101,25 @@ CliObs::finish()
             ok = false;
         }
     }
+    if (telemetry && !timeseriesOut.empty()) {
+        const bool csv =
+            timeseriesOut.size() >= 4 &&
+            timeseriesOut.compare(timeseriesOut.size() - 4, 4,
+                                  ".csv") == 0;
+        std::ofstream os(timeseriesOut);
+        if (os) {
+            if (csv)
+                telemetry->writeCsv(os);
+            else
+                telemetry->writeJson(os);
+        }
+        if (!os) {
+            DIVA_WARN("could not write timeseries to ", timeseriesOut);
+            ok = false;
+        }
+    }
+    if (telemetry)
+        telemetry->printSloSummary(std::cerr);
     if (profile)
         Profiler::instance().writeTable(std::cerr);
     return ok;
@@ -62,6 +137,16 @@ cliObsUsage()
         "  --trace-max-events N  per-track event cap for --trace-out\n"
         "                      (default 1048576; excess is counted as\n"
         "                      droppedEvents)\n"
+        "  --timeseries-out FILE  write windowed sim-time telemetry\n"
+        "                      (diva-timeseries-v1; CSV when FILE ends\n"
+        "                      in .csv, JSON otherwise)\n"
+        "  --obs-window-s W    telemetry window width in simulated\n"
+        "                      seconds (default: trace span / 64)\n"
+        "  --slo-p99-s SPEC    p99 step-latency target: seconds\n"
+        "                      (global) and/or prio:seconds pairs,\n"
+        "                      comma-separated (e.g. \"0.5,1:0.2\");\n"
+        "                      enables the per-window attainment\n"
+        "                      report\n"
         "  --profile           wall-clock phase table on stderr\n"
         "  --verbose           extra stderr progress notes\n";
 }

@@ -1,10 +1,11 @@
 /**
  * @file
  * Shared observability plumbing for the CLI tools: one struct holding
- * the parsed --metrics-out / --trace-out / --profile /
- * --trace-max-events values, the switch-on step, and the end-of-run
- * emission of metrics JSON, trace JSON and the profile table. All
- * three tools (diva_sweep, diva_serve, diva_fleet) funnel through
+ * the parsed --metrics-out / --trace-out / --timeseries-out /
+ * --obs-window-s / --slo-p99-s / --profile / --trace-max-events
+ * values, the switch-on step, and the end-of-run emission of metrics
+ * JSON, trace JSON, the timeseries document and the profile table.
+ * All three tools (diva_sweep, diva_serve, diva_fleet) funnel through
  * this so the flags mean the same thing everywhere.
  */
 
@@ -14,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace diva
@@ -23,9 +25,16 @@ namespace obs
 
 struct CliObs
 {
-    std::string metricsOut; ///< --metrics-out FILE.json
-    std::string traceOut;   ///< --trace-out FILE.json
-    bool profile = false;   ///< --profile (stderr table)
+    std::string metricsOut;    ///< --metrics-out FILE.json
+    std::string traceOut;      ///< --trace-out FILE.json
+    std::string timeseriesOut; ///< --timeseries-out FILE.{json,csv}
+    bool profile = false;      ///< --profile (stderr table)
+
+    /** --obs-window-s W (<= 0: auto, trace span / 64). */
+    double obsWindowSec = 0.0;
+
+    /** Raw --slo-p99-s text; parsed and validated by activate(). */
+    std::string sloSpecText;
 
     /** --trace-max-events N (per track; see obs/trace.h). */
     std::size_t traceMaxEvents = TraceSink::kDefaultMaxEventsPerTrack;
@@ -33,23 +42,36 @@ struct CliObs
     /** Live only between activate() and finish() when tracing is on. */
     std::unique_ptr<TraceSink> sink;
 
+    /** Live only between activate() and finish() when the windowed
+     *  telemetry layer is on (--timeseries-out / --slo-p99-s). */
+    std::unique_ptr<RunTelemetry> telemetry;
+
     bool
     any() const
     {
-        return !metricsOut.empty() || !traceOut.empty() || profile;
+        return !metricsOut.empty() || !traceOut.empty() ||
+               !timeseriesOut.empty() || !sloSpecText.empty() ||
+               profile;
     }
 
     /**
-     * Flip on whatever the parsed flags ask for: the metrics
-     * registry, the profiler, and (for --trace-out) the trace sink.
-     * Call once, after argument parsing, before the simulation.
+     * Validate the parsed flags and flip on whatever they ask for:
+     * the metrics registry, the profiler, the trace sink
+     * (--trace-out) and the telemetry bundle (--timeseries-out /
+     * --slo-p99-s). Every output path is probed for writability here,
+     * so a bad path fails fast at startup -- false means a clear
+     * message already went to stderr and the tool should exit
+     * non-zero. Call once, after argument parsing, before the
+     * simulation.
      */
-    void activate();
+    bool activate();
 
     /**
      * Emit everything that was collected: metrics JSON to
-     * `metricsOut`, trace JSON to `traceOut`, and the profile table
-     * to stderr. Returns false (with a DIVA_WARN naming the file) if
+     * `metricsOut`, trace JSON to `traceOut`, the timeseries document
+     * to `timeseriesOut` (CSV when the path ends in .csv, JSON
+     * otherwise), the SLO attainment summary and the profile table to
+     * stderr. Returns false (with a DIVA_WARN naming the file) if
      * any requested output could not be written.
      */
     bool finish();

@@ -32,6 +32,17 @@ TraceSink::dropped() const
     return total;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+TraceSink::droppedByTrack() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> rows;
+    rows.reserve(tracks_.size());
+    for (const auto &[tid, track] : tracks_)
+        rows.emplace_back(track->name(), track->dropped());
+    return rows;
+}
+
 void
 TraceSink::write(std::ostream &os) const
 {

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace diva
@@ -133,6 +134,10 @@ class TraceSink
 
     /** Total events dropped across all tracks. */
     std::uint64_t dropped() const;
+
+    /** (track name, dropped count) per track, in track-id order. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    droppedByTrack() const;
 
     /**
      * Emit the whole trace as Chrome trace-event JSON: thread_name

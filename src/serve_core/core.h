@@ -602,8 +602,16 @@ peekNextEvent(Client &c, Executor &ex, const Config &cfg)
  *   double switchSeconds(const Executor &) const
  *   TaskCore &core(idx)  (and a const overload)
  *   void   onSwitch(Executor &, idx)      -- bill the context switch
- *   void   onStep(Executor &, idx, stepStartSec, latencySec)
+ *   void   onStep(Executor &, idx, stepStartSec, latencySec,
+ *                 eligibleSec, switchLeadSec)
  *   void   onRetire(Executor &, idx)
+ *
+ * onStep's eligibleSec is the latency reference point (latencySec ==
+ * nowSec - eligibleSec at the call); switchLeadSec is the context
+ * switch billed immediately ahead of this step (nonzero only on a
+ * dispatch's first step, and only when the dispatch changed tasks).
+ * Together they let a client split latencySec into queue-wait /
+ * switch / service components without re-deriving engine state.
  *
  * switchSeconds must be constant over one runUntil call (both clients
  * derive it from the executor's fixed hardware type); it is read once.
@@ -788,12 +796,14 @@ runUntilT(Client &c, Executor &ex, const Config &cfg, double t1)
         }
 
         ++ex.counters.dispatches;
+        double switch_lead = 0.0;
         if (ex.last != kNoTask && pick != ex.last) {
             // Bill the task change: the engine stalls while the
             // outgoing working set flushes and the incoming one loads.
             ++ex.counters.switches;
             ex.nowSec += sw;
             c.onSwitch(ex, std::uint32_t(pick));
+            switch_lead = sw;
         }
         ex.last = pick;
 
@@ -892,7 +902,9 @@ runUntilT(Client &c, Executor &ex, const Config &cfg, double t1)
                 ex.nowSec += step_sec;
                 ++tc.done;
                 ++ex.counters.steps;
-                c.onStep(ex, pidx, step_start, ex.nowSec - eligible);
+                c.onStep(ex, pidx, step_start, ex.nowSec - eligible,
+                         eligible, switch_lead);
+                switch_lead = 0.0; // only the dispatch's first step
                 tc.lastCompletionSec = ex.nowSec;
                 double deadline;
                 if (rate > 0.0) {

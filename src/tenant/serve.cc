@@ -7,6 +7,7 @@
 
 #include "backend/registry.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve_core/core.h"
 
@@ -33,6 +34,9 @@ struct TenantRun
 
     /** Per-executed-step latency samples, chronological. */
     std::vector<double> latencySec;
+
+    /** Windowed latency decomposition (telemetry runs only). */
+    obs::ComponentWindows windows;
 };
 
 serve_core::Policy
@@ -61,6 +65,11 @@ struct ServeClient
     std::vector<TenantRun> &run;
     std::vector<serve_core::TaskCore> cores;
     obs::TraceTrack *trace = nullptr;
+    obs::RunTelemetry *telemetry = nullptr;
+
+    /** Context switches per window (single-writer: the loop is
+     *  sequential), published as `serve.<policy>.switches`. */
+    std::map<std::int64_t, double> switchWindows;
 
     ServeClient(const std::vector<TenantJob> &j,
                 const std::vector<IterationCost> &c,
@@ -118,12 +127,16 @@ struct ServeClient
         out.switchEnergyJ += sw.energyJ;
         out.switchDramBytes += sw.dramBytes;
         run[i].energyJ += sw.energyJ;
+        if (telemetry)
+            ++switchWindows[obs::windowIndexOf(
+                ex.nowSec, telemetry->invWindowSec)];
         if (trace)
             trace->instant(ex.nowSec, "switch -> " + jobs[i].name,
                            "switch");
     }
-    void onStep(serve_core::Executor &, std::uint32_t i,
-                double stepStartSec, double latencySec)
+    void onStep(serve_core::Executor &ex, std::uint32_t i,
+                double stepStartSec, double latencySec,
+                double eligibleSec, double switchLeadSec)
     {
         if (!run[i].started) {
             run[i].started = true;
@@ -131,6 +144,24 @@ struct ServeClient
         }
         run[i].energyJ += costs[i].energyJ;
         run[i].latencySec.push_back(latencySec);
+        if (telemetry) {
+            obs::LatencyComponents comp;
+            bool exact;
+            if (switchLeadSec == 0.0) {
+                exact = obs::decomposeLatencyAudited(
+                    latencySec, costs[i].seconds, 0.0, 0.0, &comp);
+            } else {
+                const double wait =
+                    std::max(0.0, stepStartSec - eligibleSec);
+                exact = obs::decomposeLatencyAudited(
+                    latencySec, costs[i].seconds,
+                    std::min(switchLeadSec, wait), 0.0, &comp);
+            }
+            ++telemetry->decompSteps;
+            if (!exact)
+                ++telemetry->decompExactFailures;
+            run[i].windows.record(ex.nowSec, latencySec, comp);
+        }
         if (trace)
             trace->span(stepStartSec,
                         stepStartSec + costs[i].seconds,
@@ -235,6 +266,21 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
     std::vector<TenantRun> run(n);
     ServeClient client(jobs, costs, switchCost, out, run);
     client.trace = spec.opts.traceTrack;
+    if (obs::RunTelemetry *tel = spec.opts.telemetry) {
+        if (!(tel->invWindowSec > 0.0)) {
+            // Deterministic span guess from the inputs alone: the
+            // wall budget when one is set, else the last arrival.
+            double span = wall;
+            for (const TenantJob &j : jobs)
+                span = std::max(span, j.arrivalSec);
+            tel->resolveWindow(span);
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            run[i].windows.configure(
+                tel->invWindowSec, tel->slo.targetFor(jobs[i].priority),
+                tel->slo.globalTargetSec);
+        client.telemetry = tel;
+    }
 
     serve_core::Config cfg;
     cfg.policy = corePolicy(spec.policy);
@@ -263,6 +309,31 @@ runServeLoop(const ServeSpec &spec, const std::vector<IterationCost> &costs,
     serve_core::runUntil(client, ex, cfg, kInf);
     out.makespanSec = ex.nowSec;
     out.coreCounters = ex.counters;
+
+    // Telemetry publish point (sequential, tenant index order, so the
+    // emitted floats replay byte-identically).
+    if (obs::RunTelemetry *tel = spec.opts.telemetry) {
+        const std::string prefix =
+            std::string("serve.") + policyName(spec.policy) + ".";
+        std::map<int,
+                 std::map<std::int64_t, obs::ComponentWindows::Row>>
+            by_prio;
+        for (std::size_t i = 0; i < n; ++i) {
+            run[i].windows.finish();
+            std::map<std::int64_t, obs::ComponentWindows::Row> rows;
+            obs::mergeComponentRows(run[i].windows.rows(), &rows);
+            obs::publishComponentSeries(
+                rows, prefix + "tenant." + jobs[i].name + ".",
+                &tel->snapshot);
+            obs::mergeComponentRows(run[i].windows.rows(),
+                                    &by_prio[jobs[i].priority]);
+        }
+        obs::publishLatencyWindows(by_prio, prefix, tel);
+        for (const auto &[w, count] : client.switchWindows)
+            tel->snapshot.add(prefix + "switches",
+                              obs::TimeSeries::Kind::kCounter, w,
+                              count);
+    }
 
     // Sequential publish point: the loop above is single-threaded, so
     // these totals are a pure function of the simulated work.

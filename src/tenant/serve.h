@@ -37,6 +37,7 @@ namespace diva
 namespace obs
 {
 class TraceTrack;
+struct RunTelemetry;
 }
 
 /** Serve-loop knobs independent of the workload and platform. */
@@ -76,6 +77,18 @@ struct ServeOptions
      * default) disables tracing; results are unaffected either way.
      */
     obs::TraceTrack *traceTrack = nullptr;
+
+    /**
+     * Optional windowed-telemetry destination (see obs/slo.h). When
+     * set, the loop records each step's exact latency decomposition
+     * into per-tenant and per-priority windows, publishes them as
+     * `serve.<policy>.`-prefixed series/sketches, and -- when the
+     * bundle's SLO spec monitors anything -- fills the attainment
+     * report. The window width is resolved from the workload if the
+     * caller has not pinned it. Null (the default) disables all of it;
+     * serve results are byte-identical either way.
+     */
+    obs::RunTelemetry *telemetry = nullptr;
 };
 
 /** Everything one serve simulation needs. */

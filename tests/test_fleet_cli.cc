@@ -132,6 +132,32 @@ TEST_F(FleetCli, TraceFlagsValidate)
     std::remove(path.c_str());
 }
 
+TEST_F(FleetCli, ObservabilityFlagsValidateAtStartup)
+{
+    // Unwritable output paths must fail fast, before the run.
+    const std::string base =
+        std::string("./diva_fleet --pods 1 --quiet ") + kSmallTrace;
+    EXPECT_NE(runQuiet(base + " --metrics-out /no/such/dir/m.json"),
+              0);
+    EXPECT_NE(runQuiet(base + " --trace-out /no/such/dir/t.json"), 0);
+    EXPECT_NE(
+        runQuiet(base + " --timeseries-out /no/such/dir/ts.json"), 0);
+
+    // Malformed telemetry knobs fail at parse time.
+    EXPECT_NE(runQuiet(base + " --obs-window-s 0"), 0);
+    EXPECT_NE(runQuiet(base + " --obs-window-s -1"), 0);
+    EXPECT_NE(runQuiet(base + " --slo-p99-s nonsense"), 0);
+    EXPECT_NE(runQuiet(base + " --slo-p99-s 1:0.2,1:0.3"), 0);
+
+    // A good telemetry invocation succeeds and writes the document.
+    const std::string ts = "fleet_cli_ts.json";
+    EXPECT_EQ(runQuiet(base + " --timeseries-out " + ts +
+                       " --obs-window-s 0.25 --slo-p99-s 0.5,1:0.2"),
+              0);
+    EXPECT_TRUE(exists(ts));
+    std::remove(ts.c_str());
+}
+
 TEST_F(FleetCli, SavedTraceReplaysIdentically)
 {
     // --save-trace writes the canonical CSV; replaying that file must

@@ -216,7 +216,8 @@ struct MiniClient
         switchLog.push_back(i);
     }
     void onStep(serve_core::Executor &, std::uint32_t i,
-                double stepStartSec, double latencySec)
+                double stepStartSec, double latencySec, double,
+                double)
     {
         stepLog.emplace_back(i, stepStartSec, latencySec);
     }

@@ -359,6 +359,22 @@ parseArgs(int argc, char **argv, Args &args)
                 return fail("--trace-max-events must be >= 1, got '" +
                             *v + "'");
             args.obs.traceMaxEvents = std::size_t(*n);
+        } else if (a == "--timeseries-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.timeseriesOut = *v;
+        } else if (a == "--obs-window-s") {
+            if (!(v = need(i)))
+                return false;
+            const auto d = parseDoubleText(*v);
+            if (!d || *d <= 0.0)
+                return fail("--obs-window-s must be > 0, got '" + *v +
+                            "'");
+            args.obs.obsWindowSec = *d;
+        } else if (a == "--slo-p99-s") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.sloSpecText = *v;
         } else if (a == "--profile") {
             args.obs.profile = true;
         } else if (a == "--verbose") {
@@ -461,7 +477,8 @@ main(int argc, char **argv)
         return 1;
     if (args.verbose)
         setLogVerbosity(LogVerbosity::kVerbose);
-    args.obs.activate();
+    if (!args.obs.activate())
+        return 1;
 
     FleetSpec spec;
     if (!buildFleetSpec(args, spec))
@@ -521,7 +538,8 @@ main(int argc, char **argv)
                   << "...\n";
 
     const FleetResult fleet = simulateFleet(
-        spec, trace, runner, args.threads, args.obs.sink.get());
+        spec, trace, runner, args.threads, args.obs.sink.get(),
+        args.obs.telemetry.get());
     if (!fleet.ok())
         std::cerr << "diva_fleet: " << fleet.error << "\n";
     else if (!args.quiet)

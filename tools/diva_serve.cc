@@ -425,6 +425,22 @@ parseArgs(int argc, char **argv, Args &args)
                 return fail("--trace-max-events must be >= 1, got '" +
                             *v + "'");
             args.obs.traceMaxEvents = std::size_t(*n);
+        } else if (a == "--timeseries-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.timeseriesOut = *v;
+        } else if (a == "--obs-window-s") {
+            if (!(v = need(i)))
+                return false;
+            const auto d = parseDoubleText(*v);
+            if (!d || *d <= 0.0)
+                return fail("--obs-window-s must be > 0, got '" + *v +
+                            "'");
+            args.obs.obsWindowSec = *d;
+        } else if (a == "--slo-p99-s") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.sloSpecText = *v;
         } else if (a == "--profile") {
             args.obs.profile = true;
         } else if (a == "--verbose") {
@@ -559,7 +575,8 @@ main(int argc, char **argv)
         return 1;
     if (args.verbose)
         setLogVerbosity(LogVerbosity::kVerbose);
-    args.obs.activate();
+    if (!args.obs.activate())
+        return 1;
 
     SweepOptions opts;
     opts.threads = args.threads;
@@ -625,6 +642,9 @@ main(int argc, char **argv)
     spec.opts.autoQosFairShare =
         !trace_mode && args.explicitTenants.empty() &&
         args.qosMode == Args::QosMode::kAuto;
+    // One telemetry bundle across all policy runs; the serve loop
+    // prefixes its series "serve.<policy>.", so runs never collide.
+    spec.opts.telemetry = args.obs.telemetry.get();
 
     AdmissionOptions admission;
     admission.utilizationCap = args.admissionCap;

@@ -651,6 +651,26 @@ parseArgs(int argc, char **argv, Args &args)
                 return false;
             }
             args.obs.traceMaxEvents = std::size_t(*n);
+        } else if (a == "--timeseries-out") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.timeseriesOut = *v;
+        } else if (a == "--obs-window-s") {
+            if (!(v = need(i)))
+                return false;
+            const auto n = parseDouble(a, *v);
+            if (!n)
+                return false;
+            if (*n <= 0.0) {
+                std::cerr << "diva_sweep: --obs-window-s must be "
+                             "> 0\n";
+                return false;
+            }
+            args.obs.obsWindowSec = *n;
+        } else if (a == "--slo-p99-s") {
+            if (!(v = need(i)))
+                return false;
+            args.obs.sloSpecText = *v;
         } else if (a == "--profile") {
             args.obs.profile = true;
         } else if (a == "--verbose") {
@@ -1091,6 +1111,10 @@ runTenantModes(const Args &args, SweepRunner &runner)
             spec.opts.quantumIters = args.quantum;
             spec.opts.wallLimitSec = args.wallSec;
             spec.opts.autoQosFairShare = true;
+            // One telemetry bundle across all cells; the serve loop
+            // prefixes its series "serve.<policy>.", and per-tenant
+            // names embed the model, so cells never collide.
+            spec.opts.telemetry = args.obs.telemetry.get();
             // One track per (platform, policy) cell: each serve loop
             // is sequential, so every track has a single writer.
             if (args.obs.sink)
@@ -1214,6 +1238,9 @@ runTraceMode(const Args &args, SweepRunner &runner)
         rs.backends = args.backendNames;
         rs.opts.quantumIters = args.quantum;
         rs.opts.wallLimitSec = args.wallSec;
+        // Shared telemetry bundle: replay cells run sequentially and
+        // the serve loop prefixes its series "serve.<policy>.".
+        rs.opts.telemetry = args.obs.telemetry.get();
         rs.admission = args.admission;
         rs.admissionOpts = admission;
         for (const Platform &p : platforms)
@@ -1290,7 +1317,8 @@ main(int argc, char **argv)
         return 1;
     if (args.verbose)
         setLogVerbosity(LogVerbosity::kVerbose);
-    args.obs.activate();
+    if (!args.obs.activate())
+        return 1;
 
     SweepOptions opts;
     opts.threads = args.threads;
