@@ -15,8 +15,12 @@ by more than --max-drop relative to the baseline.  Non-throughput
 fields (counts, hit rates, ratios) are reported but never gate: they
 describe the workload, not the machine.  The one exception is
 overhead fractions: a current-row field ending in _overhead_frac is
-an absolute budget and must not exceed --max-overhead (default 0.05),
-regardless of what the baseline measured.
+an absolute budget and must not exceed --max-overhead, regardless of
+what the baseline measured.  The default (0.08) is the 5% telemetry
+budget plus headroom for per-invocation layout and CI-runner noise,
+mirroring the generous --max-drop philosophy: the checked-in baseline
+row documents the true quiet-machine overhead, the gate exists to
+catch real regressions without flaking on a noisy measurement.
 
 A baseline numeric field that is absent from the matching current row
 is a failure in its own right (the bench silently stopped reporting
@@ -85,9 +89,10 @@ def main():
     parser.add_argument(
         "--max-overhead",
         type=float,
-        default=0.05,
+        default=0.08,
         help="absolute ceiling for *_overhead_frac fields "
-        "(default 0.05 = 5%%)",
+        "(default 0.08 = the 5%% telemetry budget plus "
+        "measurement-noise headroom)",
     )
     args = parser.parse_args()
 
