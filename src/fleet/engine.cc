@@ -702,27 +702,31 @@ FleetSim::onStep(serve_core::Executor &ex, std::uint32_t i,
         // step, and the part of the wait spent in this tenant's
         // migration state transfer. Most steps have neither, so the
         // overlap arithmetic stays off the common path.
-        obs::LatencyComponents comp;
-        bool exact;
-        if (switchLeadSec == 0.0 && rt.gateUntil <= eligibleSec) {
-            exact = obs::decomposeLatencyAudited(
-                latencySec, cost.seconds, 0.0, 0.0, &comp);
+        // decompSteps is derived at publish (it equals the recorded
+        // window steps), so the hot path only tracks failures -- a
+        // never-taken branch when the invariant holds. The stall-free
+        // residual check q + s == T IS the fixed-order reconstruction
+        // (the zero components add nothing), so the common case needs
+        // no LatencyComponents round trip at all.
+        const double q = latencySec - cost.seconds;
+        if (switchLeadSec == 0.0 && rt.gateUntil <= eligibleSec &&
+            q + cost.seconds == latencySec) {
+            pod.latWindows[rt.prioSlot].recordAtFast(
+                pod.obsCur.w, latencySec, q, cost.seconds);
         } else {
             const double wait =
                 std::max(0.0, stepStartSec - eligibleSec);
             const double sw_ov = std::min(switchLeadSec, wait);
             const double mig_ov = std::clamp(
                 rt.gateUntil - eligibleSec, 0.0, wait - sw_ov);
-            exact = obs::decomposeLatencyAudited(
-                latencySec, cost.seconds, sw_ov, mig_ov, &comp);
+            obs::LatencyComponents comp;
+            if (!obs::decomposeLatencyAudited(latencySec,
+                                              cost.seconds, sw_ov,
+                                              mig_ov, &comp))
+                ++pod.decompFailures;
+            pod.latWindows[rt.prioSlot].recordAt(pod.obsCur.w,
+                                                 latencySec, comp);
         }
-        // decompSteps is derived at publish (it equals the recorded
-        // window steps), so the hot path only tracks failures -- a
-        // never-taken branch when the invariant holds.
-        if (!exact)
-            ++pod.decompFailures;
-        pod.latWindows[rt.prioSlot].recordAt(pod.obsCur.w,
-                                             latencySec, comp);
     }
     if (sink)
         podTracks[ex.id]->span(stepStartSec,

@@ -150,9 +150,16 @@ decomposeLatencyAudited(double totalSec, double serviceSec,
 class ComponentWindows
 {
   public:
+    /** Row::w default: never a real window (events land at t >= 0,
+     *  so real windows are >= 0), letting the recording hot path
+     *  test "same window?" with one integer compare and no
+     *  separate open flag. */
+    static constexpr std::int64_t kNoWindow =
+        std::numeric_limits<std::int64_t>::min();
+
     struct Row
     {
-        std::int64_t w = 0;
+        std::int64_t w = kNoWindow;
         std::uint64_t steps = 0;
         /** Steps with total <= the scope's / the global p99 target. */
         std::uint64_t withinTarget = 0;
@@ -192,12 +199,9 @@ class ComponentWindows
     recordAt(std::int64_t w, double totalSec,
              const LatencyComponents &c)
     {
-        if (!open_ || w != cur_.w)
+        if (w != cur_.w)
             roll(w);
-        ++cur_.steps;
-        cur_.withinTarget += std::uint64_t(totalSec <= target_);
-        cur_.withinGlobal +=
-            std::uint64_t(totalSec <= globalTarget_);
+        bump(totalSec);
         cur_.queueWaitSec += c.queueWaitSec;
         cur_.switchSec += c.switchSec;
         cur_.migrationSec += c.migrationSec;
@@ -206,14 +210,34 @@ class ComponentWindows
         cur_.sketch.add(totalSec);
     }
 
+    /**
+     * recordAt for the stall-free fast path: the switch and migration
+     * components are exactly zero, so their accumulators are left
+     * untouched. Bit-identical to recordAt with zero components --
+     * the stall overlaps are clamped nonnegative, so neither the
+     * components nor the accumulators are ever -0.0, and x += +0.0
+     * cannot change x's bits.
+     */
+    void
+    recordAtFast(std::int64_t w, double totalSec,
+                 double queueWaitSec, double serviceSec)
+    {
+        if (w != cur_.w)
+            roll(w);
+        bump(totalSec);
+        cur_.queueWaitSec += queueWaitSec;
+        cur_.serviceSec += serviceSec;
+        cur_.totalSec += totalSec;
+        cur_.sketch.add(totalSec);
+    }
+
     /** Flush the open window; call once, after the last record(). */
     void
     finish()
     {
-        if (open_ && cur_.steps > 0)
+        if (cur_.steps > 0)
             rows_.push_back(std::move(cur_));
         cur_ = Row{};
-        open_ = false;
     }
 
     /** Flushed rows, in nondecreasing window order. */
@@ -225,19 +249,26 @@ class ComponentWindows
 
   private:
     void
+    bump(double totalSec)
+    {
+        ++cur_.steps;
+        cur_.withinTarget += std::uint64_t(totalSec <= target_);
+        cur_.withinGlobal +=
+            std::uint64_t(totalSec <= globalTarget_);
+    }
+
+    void
     roll(std::int64_t w)
     {
-        if (open_ && cur_.steps > 0)
+        if (cur_.steps > 0)
             rows_.push_back(std::move(cur_));
         cur_ = Row{};
         cur_.w = w;
-        open_ = true;
     }
 
     double inv_ = 0.0;
     double target_ = 0.0;
     double globalTarget_ = 0.0;
-    bool open_ = false;
     Row cur_;
     std::vector<Row> rows_;
 };
